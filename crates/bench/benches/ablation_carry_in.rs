@@ -1,0 +1,55 @@
+//! Ablation: the Eq. 8 carry-in maximization — exhaustive subset
+//! enumeration (the paper's literal definition) vs the Guan-style
+//! top-(M−1)-difference bound — cost and, printed once, tightness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rts_analysis::semi::{CarryInStrategy, Environment, MigratingHp};
+use rts_analysis::uniproc::HpTask;
+use rts_model::time::Duration;
+
+fn build_env(cores: usize, migrating: usize) -> Environment {
+    let ms = Duration::from_ms;
+    let mut env = Environment::new(cores);
+    for core in 0..cores {
+        env.pin(core, HpTask::new(ms(20 + 7 * core as u64), ms(100)));
+    }
+    for i in 0..migrating {
+        let period = ms(400 + 130 * i as u64);
+        let wcet = ms(15 + 5 * i as u64);
+        // Response time somewhere between C and T (deterministic).
+        let r = wcet + Duration::from_ms(30 * i as u64);
+        env.add_migrating(MigratingHp::new(wcet, period, r));
+    }
+    env
+}
+
+fn bench_carry_in(c: &mut Criterion) {
+    let ms = Duration::from_ms;
+    let mut group = c.benchmark_group("ablation_carry_in");
+    group.sample_size(20);
+    for cores in [2usize, 4] {
+        for migrating in [4usize, 8, 12] {
+            let env = build_env(cores, migrating);
+            // Print tightness once per configuration.
+            let ex = env.response_time(ms(50), ms(60_000), CarryInStrategy::Exhaustive);
+            let td = env.response_time(ms(50), ms(60_000), CarryInStrategy::TopDiff);
+            println!("tightness M={cores} n={migrating}: exhaustive {ex:?} vs topdiff {td:?}");
+            for (label, strategy) in [
+                ("exhaustive", CarryInStrategy::Exhaustive),
+                ("topdiff", CarryInStrategy::TopDiff),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(label, format!("M{cores}_n{migrating}")),
+                    &env,
+                    |b, env| {
+                        b.iter(|| env.response_time(ms(50), ms(60_000), strategy));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_carry_in);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: the segment-walking fixed-point solver vs the textbook
+//! `x ← ⌊Ω(x)/M⌋ + C_s` orbit, on the cap-bound "crawl" configuration
+//! (the rover's Tripwire) where the orbit advances one tick at a time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rts_analysis::interference::cap;
+use rts_analysis::semi::{CarryInStrategy, Environment};
+use rts_analysis::uniproc::HpTask;
+use rts_analysis::workload::non_carry_in;
+use rts_model::time::Duration;
+
+/// The textbook orbit, reimplemented from the public workload functions.
+fn naive_orbit(env: &Environment, wcet: Duration, limit: Duration) -> Option<Duration> {
+    let m = env.num_cores() as u64;
+    let mut x = wcet;
+    loop {
+        if x > limit {
+            return None;
+        }
+        let mut omega = Duration::ZERO;
+        for core in 0..env.num_cores() {
+            let tasks = env.pinned_on(core);
+            if tasks.is_empty() {
+                continue;
+            }
+            let w: Duration = tasks
+                .iter()
+                .map(|t| non_carry_in(t.wcet, t.period, x))
+                .sum();
+            omega += cap(w, x, wcet);
+        }
+        let next = omega / m + wcet;
+        if next <= x {
+            return Some(x);
+        }
+        x = next;
+    }
+}
+
+fn bench_crossing(c: &mut Criterion) {
+    let ms = Duration::from_ms;
+    // The rover Tripwire configuration: caps bind on both cores for
+    // thousands of ticks.
+    let mut env = Environment::new(2);
+    env.pin(0, HpTask::new(ms(240), ms(500)));
+    env.pin(1, HpTask::new(ms(1120), ms(5000)));
+    let wcet = ms(5342);
+    let limit = ms(10_000);
+
+    // The two must agree — the ablation is about cost, not the value.
+    assert_eq!(
+        env.response_time(wcet, limit, CarryInStrategy::Exhaustive),
+        naive_orbit(&env, wcet, limit),
+    );
+
+    let mut group = c.benchmark_group("ablation_fixed_point");
+    group.bench_function("segment_walk", |b| {
+        b.iter(|| env.response_time(wcet, limit, CarryInStrategy::Exhaustive));
+    });
+    group.sample_size(10);
+    group.bench_function("textbook_orbit", |b| {
+        b.iter(|| naive_orbit(&env, wcet, limit));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossing);
+criterion_main!(benches);

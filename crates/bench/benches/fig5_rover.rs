@@ -1,0 +1,41 @@
+//! Fig. 5 bench: cost of one rover intrusion-detection trial (90 s
+//! simulated detection run + 45 s context-switch run + integrity
+//! substrate) for each scheme, plus the raw per-series numbers printed
+//! by the `fig5_rover` experiment binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ids_sim::rover::{run_trial, RoverConfiguration, RoverScheme};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_rover_trial");
+    group.sample_size(10);
+    for scheme in [RoverScheme::HydraC, RoverScheme::Hydra] {
+        let config = RoverConfiguration::select(scheme);
+        group.bench_function(scheme.label(), |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    seed
+                },
+                |s| run_trial(&config, s),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+
+    // Period selection for the rover itself (the design-time cost).
+    let mut sel = c.benchmark_group("fig5_rover_period_selection");
+    sel.sample_size(20);
+    sel.bench_function("HYDRA-C", |b| {
+        b.iter(|| RoverConfiguration::select(RoverScheme::HydraC));
+    });
+    sel.bench_function("HYDRA", |b| {
+        b.iter(|| RoverConfiguration::select(RoverScheme::Hydra));
+    });
+    sel.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 6 bench: Algorithm 1 (period selection) on Table 3 workloads,
+//! across core counts and utilization groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::sample_system;
+use hydra_core::period_selection::select_periods;
+use rts_analysis::semi::CarryInStrategy;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_period_selection");
+    group.sample_size(10);
+    for cores in [2usize, 4] {
+        for util_group in [2usize, 5] {
+            let sys = sample_system(cores, util_group, 7);
+            group.bench_with_input(
+                BenchmarkId::new(format!("M{cores}"), format!("group{util_group}")),
+                &sys,
+                |b, sys| {
+                    b.iter(|| select_periods(sys, CarryInStrategy::TopDiff));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

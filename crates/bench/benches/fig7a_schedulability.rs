@@ -1,0 +1,28 @@
+//! Fig. 7a bench: the admission test of each of the four schemes on the
+//! same Table 3 workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::sample_system;
+use hydra_core::schemes::Scheme;
+use rts_analysis::semi::CarryInStrategy;
+
+fn bench_fig7a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_admission");
+    group.sample_size(10);
+    for cores in [2usize, 4] {
+        let sys = sample_system(cores, 4, 11);
+        for scheme in Scheme::all() {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.label(), format!("M{cores}")),
+                &sys,
+                |b, sys| {
+                    b.iter(|| scheme.evaluate(sys, CarryInStrategy::TopDiff).schedulable());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7a);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 7b bench: producing the period-vector distance series — both
+//! adaptive selections (HYDRA-C and the two HYDRA variants) plus the
+//! normalized Euclidean distance computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_bench::sample_system;
+use hydra_core::schemes::{hydra_joint_select, hydra_select};
+use hydra_core::select_periods;
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::PeriodVector;
+
+fn bench_fig7b(c: &mut Criterion) {
+    let sys = sample_system(2, 3, 5);
+    let t_max = PeriodVector::at_max(sys.security_tasks());
+
+    let mut group = c.benchmark_group("fig7b_selection");
+    group.sample_size(10);
+    group.bench_function("HYDRA-C", |b| {
+        b.iter(|| select_periods(&sys, CarryInStrategy::TopDiff));
+    });
+    group.bench_function("HYDRA (greedy)", |b| b.iter(|| hydra_select(&sys)));
+    group.bench_function("HYDRA (joint)", |b| b.iter(|| hydra_joint_select(&sys)));
+    group.finish();
+
+    if let (Ok(ours), Ok(theirs)) = (
+        select_periods(&sys, CarryInStrategy::TopDiff),
+        hydra_select(&sys),
+    ) {
+        c.bench_function("fig7b_distance_metric", |b| {
+            b.iter(|| {
+                let a = ours.periods.euclidean_distance_ms(&theirs.periods);
+                let n = ours.periods.normalized_distance_from_max(&t_max);
+                (a, n)
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_fig7b);
+criterion_main!(benches);

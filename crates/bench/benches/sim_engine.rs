@@ -1,0 +1,44 @@
+//! Simulator throughput: the rover scenario and a dense synthetic
+//! workload, with and without trace recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::sample_system;
+use ids_sim::rover::rover_system;
+use rts_model::time::Duration;
+use rts_sim::{SecurityPlacement, SimConfig, Simulation};
+
+fn bench_sim(c: &mut Criterion) {
+    let ms = Duration::from_ms;
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+
+    // Rover, 60 s, both placements.
+    let rover = rover_system();
+    let periods = [ms(7582), ms(2783)];
+    for (label, placement) in [
+        ("rover_migrating", SecurityPlacement::Migrating),
+        ("rover_global", SecurityPlacement::GlobalAll),
+    ] {
+        let specs = rts_sim::system_specs(&rover, &periods, placement);
+        let sim = Simulation::new(rover.platform(), specs);
+        group.bench_function(BenchmarkId::new(label, "60s"), |b| {
+            b.iter(|| sim.run(&SimConfig::new(ms(60_000))));
+        });
+    }
+
+    // Dense synthetic workload (M = 4, mid utilization), traced and not.
+    let sys = sample_system(4, 5, 3);
+    let t_max: Vec<Duration> = sys.security_tasks().max_periods();
+    let specs = rts_sim::system_specs(&sys, &t_max, SecurityPlacement::Migrating);
+    let sim = Simulation::new(sys.platform(), specs);
+    group.bench_function("synthetic_M4/10s", |b| {
+        b.iter(|| sim.run(&SimConfig::new(ms(10_000))));
+    });
+    group.bench_function("synthetic_M4_traced/10s", |b| {
+        b.iter(|| sim.run(&SimConfig::new(ms(10_000)).with_trace()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 3 bench: the synthetic workload generator — Randfixedsum
+//! utilization vectors, log-uniform periods, and the full Table 3 draw
+//! including best-fit RT partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::assemble::assemble_system;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rts_partition::FitHeuristic;
+use rts_taskgen::randfixedsum::randfixedsum;
+use rts_taskgen::table3::{generate_workload, Table3Config, UtilizationGroup};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut rfs = c.benchmark_group("table3_randfixedsum");
+    for n in [8usize, 20, 40] {
+        rfs.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| randfixedsum(n, n as f64 * 0.4, &mut rng));
+        });
+    }
+    rfs.finish();
+
+    let mut gen = c.benchmark_group("table3_workload");
+    for cores in [2usize, 4] {
+        let config = Table3Config::for_cores(cores);
+        gen.bench_with_input(
+            BenchmarkId::new("generate", format!("M{cores}")),
+            &config,
+            |b, config| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| generate_workload(config, UtilizationGroup::new(4), &mut rng));
+            },
+        );
+        gen.bench_with_input(
+            BenchmarkId::new("generate_and_partition", format!("M{cores}")),
+            &config,
+            |b, config| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    let w = generate_workload(config, UtilizationGroup::new(4), &mut rng);
+                    assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
+                        .ok()
+                });
+            },
+        );
+    }
+    gen.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every benchmark regenerating a paper artifact lives in `benches/`:
+//!
+//! | Bench target | Paper artifact |
+//! |---|---|
+//! | `fig5_rover` | Fig. 5a/5b trial cost (detection + context switches) |
+//! | `fig6_period_selection` | Fig. 6 (Algorithm 1 over Table 3 workloads) |
+//! | `fig7a_schedulability` | Fig. 7a (all four admission tests) |
+//! | `fig7b_distance` | Fig. 7b (period-vector distances) |
+//! | `table3_generation` | Table 3 (Randfixedsum + log-uniform generator) |
+//! | `ablation_carry_in` | Eq. 8 strategies: exhaustive vs top-difference |
+//! | `ablation_crossing` | fixed-point solvers: segment-walk vs textbook orbit |
+//! | `sim_engine` | scheduler simulator throughput |
+
+#![forbid(unsafe_code)]
+
+use hydra_core::assemble::assemble_system;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rts_model::System;
+use rts_partition::FitHeuristic;
+use rts_taskgen::table3::{generate_workload, Table3Config, UtilizationGroup};
+
+/// First RT-partitionable Table 3 workload for `(cores, group, seed)` —
+/// the deterministic fixture used across benches.
+#[must_use]
+pub fn sample_system(cores: usize, group: usize, seed: u64) -> System {
+    let config = Table3Config::for_cores(cores);
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let w = generate_workload(&config, UtilizationGroup::new(group), &mut rng);
+        if let Ok(sys) =
+            assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
+        {
+            return sys;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = sample_system(2, 4, 1);
+        let b = sample_system(2, 4, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.num_cores(), 2);
+        assert!(rts_analysis::rt_schedulable(&a));
+    }
+}

@@ -1,0 +1,91 @@
+//! Convenience assembly of a [`System`] from an unpartitioned workload.
+//!
+//! Mirrors the paper's pipeline: RT tasks are partitioned with a bin-
+//! packing heuristic (Table 3 uses best-fit) and the security tasks ride
+//! on top as the migrating set. Task sets whose RT part cannot be
+//! partitioned are discarded by the caller, exactly as the paper "only
+//! considered the schedulable tasksets".
+
+use rts_model::taskset::{RtTaskSet, SecurityTaskSet};
+use rts_model::{Platform, System};
+use rts_partition::{partition_rt_tasks, FitHeuristic, PartitionError, SortOrder};
+
+/// Partitions `rt_tasks` onto `platform` with `heuristic` (decreasing-
+/// utilization order) and assembles the full semi-partitioned system.
+///
+/// # Errors
+///
+/// Returns the underlying [`PartitionError`] if some RT task fits on no
+/// core — the task set is then unschedulable by assumption and should be
+/// discarded or regenerated.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_core::assemble::assemble_system;
+/// use rts_model::prelude::*;
+/// use rts_partition::FitHeuristic;
+///
+/// let platform = Platform::dual_core();
+/// let rt = RtTaskSet::new_rate_monotonic(vec![
+///     RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?,
+///     RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?,
+/// ]);
+/// let sec = SecurityTaskSet::new(vec![
+///     SecurityTask::new(Duration::from_ms(223), Duration::from_ms(10_000))?,
+/// ]);
+/// let system = assemble_system(platform, rt, sec, FitHeuristic::BestFit)?;
+/// assert_eq!(system.num_cores(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn assemble_system(
+    platform: Platform,
+    rt_tasks: RtTaskSet,
+    security_tasks: SecurityTaskSet,
+    heuristic: FitHeuristic,
+) -> Result<System, PartitionError> {
+    let partition = partition_rt_tasks(
+        platform,
+        &rt_tasks,
+        heuristic,
+        SortOrder::DecreasingUtilization,
+    )?;
+    Ok(System::new(platform, rt_tasks, partition, security_tasks)
+        .expect("partition is index-aligned by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::task::{RtTask, SecurityTask};
+    use rts_model::time::Duration;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn assembles_and_keeps_rt_schedulable() {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(30), ms(100)).unwrap(),
+            RtTask::new(ms(60), ms(100)).unwrap(),
+            RtTask::new(ms(80), ms(200)).unwrap(),
+        ]);
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(10), ms(1000)).unwrap()]);
+        let sys = assemble_system(platform, rt, sec, FitHeuristic::BestFit).unwrap();
+        assert!(rts_analysis::rt_schedulable(&sys));
+    }
+
+    #[test]
+    fn overfull_rt_reports_error() {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(60), ms(100)).unwrap(),
+            RtTask::new(ms(60), ms(100)).unwrap(),
+            RtTask::new(ms(60), ms(100)).unwrap(),
+        ]);
+        let sec = SecurityTaskSet::default();
+        assert!(assemble_system(platform, rt, sec, FitHeuristic::BestFit).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Errors reported by the period-selection algorithms and schemes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a scheme failed to admit a task set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SelectionError {
+    /// The partitioned RT tasks themselves are not schedulable (paper
+    /// Eq. 1 fails) — the legacy precondition of the whole framework.
+    RtUnschedulable,
+    /// A security task cannot meet `R_s ≤ T^max_s` even with every period
+    /// at its maximum (paper Algorithm 1, lines 2–4), or — for the
+    /// partitioned baselines — fits on no core.
+    SecurityUnschedulable {
+        /// Index of the highest-priority offending security task.
+        task: usize,
+    },
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::RtUnschedulable => {
+                write!(f, "the partitioned RT tasks are not schedulable (Eq. 1)")
+            }
+            SelectionError::SecurityUnschedulable { task } => write!(
+                f,
+                "security task {task} cannot be scheduled within its maximum period"
+            ),
+        }
+    }
+}
+
+impl Error for SelectionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failing_task() {
+        let e = SelectionError::SecurityUnschedulable { task: 3 };
+        assert!(e.to_string().contains("task 3"));
+        assert!(SelectionError::RtUnschedulable.to_string().contains("Eq. 1"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Algorithm 2 — logarithmic search for the minimum feasible period.
+//!
+//! Given a feasibility predicate over candidate periods that is *monotone*
+//! (if `T` is feasible, every `T' > T` is feasible — true here because
+//! enlarging a period only ever removes interference from lower-priority
+//! tasks), the minimum feasible period in `[lo, hi]` is found by binary
+//! search, exactly as the paper's Algorithm 2 does with its
+//! `T^l/T^r/T^c` bookkeeping.
+
+use rts_model::time::Duration;
+
+/// Finds the minimum `T ∈ [lo, hi]` with `feasible(T)`, assuming upward
+/// closure of the feasible set (paper Algorithm 2).
+///
+/// Returns `None` if even `hi` is infeasible. The search performs
+/// `O(log((hi − lo) in ticks))` evaluations of `feasible`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_core::feasible_period::min_feasible_period;
+/// use rts_model::time::Duration;
+///
+/// let t = |v| Duration::from_ticks(v);
+/// // Feasible iff period ≥ 37.
+/// let found = min_feasible_period(t(10), t(100), |p| p >= t(37));
+/// assert_eq!(found, Some(t(37)));
+/// ```
+pub fn min_feasible_period<F>(lo: Duration, hi: Duration, mut feasible: F) -> Option<Duration>
+where
+    F: FnMut(Duration) -> bool,
+{
+    assert!(lo <= hi, "search interval must be non-empty");
+    // Paper Algorithm 2: T^l := R_s, T^r := T^max_s, the feasible set is
+    // seeded with T^max (line 2) — mirrored here by checking `hi` first so
+    // we can honestly return None when nothing at all is feasible.
+    if !feasible(hi) {
+        return None;
+    }
+    let mut best = hi;
+    let mut left = lo;
+    let mut right = hi;
+    while left <= right {
+        let mid = left.midpoint(right);
+        if feasible(mid) {
+            best = mid;
+            // Try a smaller period next (Algorithm 2, lines 10–12).
+            if mid.is_zero() {
+                break;
+            }
+            match mid.checked_sub(Duration::from_ticks(1)) {
+                Some(m) => right = m,
+                None => break,
+            }
+        } else {
+            // Grow the period to shed interference (Algorithm 2, line 7).
+            left = mid + Duration::from_ticks(1);
+        }
+        if right < left {
+            break;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    #[test]
+    fn finds_exact_threshold() {
+        for threshold in [0u64, 1, 10, 37, 99, 100] {
+            let found = min_feasible_period(t(0), t(100), |p| p >= t(threshold));
+            assert_eq!(found, Some(t(threshold)), "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none() {
+        assert_eq!(min_feasible_period(t(1), t(50), |_| false), None);
+    }
+
+    #[test]
+    fn feasible_everywhere_returns_lo() {
+        assert_eq!(min_feasible_period(t(5), t(50), |_| true), Some(t(5)));
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        assert_eq!(min_feasible_period(t(7), t(7), |p| p == t(7)), Some(t(7)));
+        assert_eq!(min_feasible_period(t(7), t(7), |_| false), None);
+    }
+
+    #[test]
+    fn evaluation_count_is_logarithmic() {
+        let mut evals = 0usize;
+        let _ = min_feasible_period(t(0), t(1_000_000), |p| {
+            evals += 1;
+            p >= t(777_777)
+        });
+        assert!(evals <= 25, "used {evals} evaluations");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_interval_panics() {
+        let _ = min_feasible_period(t(10), t(5), |_| true);
+    }
+}

@@ -1,0 +1,286 @@
+//! Algorithm 1 — HYDRA-C period selection.
+//!
+//! Approximates the optimization `minimize Σ T_s subject to
+//! R_s ≤ T_s ≤ T^max_s` by the paper's priority-ordered greedy:
+//!
+//! 1. set every `T_s := T^max_s`, compute all response times; reject the
+//!    set if any `R_s > T^max_s` (lines 1–4);
+//! 2. for each security task from highest to lowest priority, binary
+//!    search ([Algorithm 2](crate::feasible_period)) the minimum period in
+//!    `[R_s, T^max_s]` that keeps every *lower-priority* security task
+//!    schedulable (`R_j ≤ T^max_j`), then lock it in and refresh the
+//!    lower-priority response times (lines 5–9).
+//!
+//! Response times come from the semi-partitioned analysis
+//! (`rts-analysis`, paper Eqs. 6–8); higher-priority periods are final by
+//! construction when each task is processed, exactly the property the
+//! paper uses to make the carry-in bounds well-defined.
+
+use rts_analysis::semi::{CarryInStrategy, Environment, MigratingHp};
+use rts_analysis::uniproc::HpTask;
+use rts_model::time::Duration;
+use rts_model::{PeriodVector, System};
+
+use crate::error::SelectionError;
+use crate::feasible_period::min_feasible_period;
+
+/// Result of a successful period selection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PeriodSelection {
+    /// The selected period vector `T* = [T*_s]`, index-aligned with the
+    /// system's security task set.
+    pub periods: PeriodVector,
+    /// Worst-case response times under `periods`, same indexing.
+    pub response_times: Vec<Duration>,
+}
+
+impl PeriodSelection {
+    /// Total of the selected periods — the objective value of the paper's
+    /// optimization problem (smaller = more frequent monitoring).
+    #[must_use]
+    pub fn objective(&self) -> Duration {
+        self.periods.iter().copied().sum()
+    }
+}
+
+/// The RT-task interference environment of `system`, shared by every
+/// response-time computation below.
+fn base_environment(system: &System) -> Environment {
+    let mut env = Environment::new(system.num_cores());
+    for core in system.platform().cores() {
+        for idx in system.rt_tasks_on(core) {
+            let task = &system.rt_tasks()[idx];
+            env.pin(core.index(), HpTask::new(task.wcet(), task.period()));
+        }
+    }
+    env
+}
+
+/// Computes `R_j` for every security task `j ≥ start` given:
+/// `env` already contains RT interference plus migrating entries for
+/// tasks `0..start` (with their final periods), and `periods[j]` holds the
+/// current period (and response-time limit) of each remaining task.
+///
+/// Returns the response times of tasks `start..` or the index of the
+/// first unschedulable task.
+fn cascade_response_times(
+    system: &System,
+    mut env: Environment,
+    start: usize,
+    periods: &[Duration],
+    strategy: CarryInStrategy,
+) -> Result<Vec<Duration>, usize> {
+    let sec = system.security_tasks();
+    let mut result = Vec::with_capacity(sec.len() - start);
+    for j in start..sec.len() {
+        let task = &sec[j];
+        let r = env
+            .response_time(task.wcet(), periods[j], strategy)
+            .ok_or(j)?;
+        result.push(r);
+        env.add_migrating(MigratingHp::new(task.wcet(), periods[j], r));
+    }
+    Ok(result)
+}
+
+/// Algorithm 1: selects the minimum feasible period for every security
+/// task of `system`, from highest to lowest priority.
+///
+/// # Errors
+///
+/// * [`SelectionError::RtUnschedulable`] if the partitioned RT tasks fail
+///   Eq. 1 — the framework's legacy precondition;
+/// * [`SelectionError::SecurityUnschedulable`] if some security task
+///   cannot achieve `R_s ≤ T^max_s` even with every period at its maximum
+///   (Algorithm 1, lines 2–4).
+///
+/// # Examples
+///
+/// ```
+/// use hydra_core::period_selection::select_periods;
+/// use rts_analysis::semi::CarryInStrategy;
+/// use rts_model::prelude::*;
+///
+/// let platform = Platform::dual_core();
+/// let rt = RtTaskSet::new_rate_monotonic(vec![
+///     RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?,
+///     RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?,
+/// ]);
+/// let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)])?;
+/// let sec = SecurityTaskSet::new(vec![
+///     SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?,
+///     SecurityTask::new(Duration::from_ms(223), Duration::from_ms(10_000))?,
+/// ]);
+/// let system = System::new(platform, rt, partition, sec)?;
+/// let sel = select_periods(&system, CarryInStrategy::Exhaustive)?;
+/// // Periods are minimized: every period sits at its response-time floor
+/// // unless a lower-priority task constrains it.
+/// assert!(sel.periods[0] < Duration::from_ms(10_000));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn select_periods(
+    system: &System,
+    strategy: CarryInStrategy,
+) -> Result<PeriodSelection, SelectionError> {
+    if !rts_analysis::rt_schedulable(system) {
+        return Err(SelectionError::RtUnschedulable);
+    }
+    let sec = system.security_tasks();
+    let base_env = base_environment(system);
+    let mut periods: Vec<Duration> = sec.max_periods();
+
+    // Lines 1–4: all periods at T^max; any failure is final.
+    let initial = cascade_response_times(system, base_env.clone(), 0, &periods, strategy)
+        .map_err(|task| SelectionError::SecurityUnschedulable { task })?;
+    let mut response_times = initial;
+
+    // Lines 5–9: optimize one task at a time, high to low priority.
+    // `env` accumulates the already-final higher-priority tasks.
+    let mut env = base_env;
+    for s in 0..sec.len() {
+        let r_s = response_times[s];
+        let t_max = sec[s].t_max();
+        // R_s depends only on higher-priority tasks, so it is already
+        // final; the candidate range is [R_s, T^max_s] (Algorithm 2).
+        let best = min_feasible_period(r_s, t_max, |candidate| {
+            let mut probe_env = env.clone();
+            probe_env.add_migrating(MigratingHp::new(sec[s].wcet(), candidate, r_s));
+            let mut probe_periods = periods.clone();
+            probe_periods[s] = candidate;
+            cascade_response_times(system, probe_env, s + 1, &probe_periods, strategy).is_ok()
+        })
+        .expect("T^max_s is feasible: the initial full-vector check passed");
+        periods[s] = best;
+        env.add_migrating(MigratingHp::new(sec[s].wcet(), best, r_s));
+        // Line 8: refresh the lower-priority response times under T*_s.
+        let lower = cascade_response_times(system, env.clone(), s + 1, &periods, strategy)
+            .expect("the selected period was verified feasible");
+        response_times.truncate(s + 1);
+        response_times.extend(lower);
+    }
+
+    Ok(PeriodSelection {
+        periods: PeriodVector::from_raw(periods),
+        response_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::{
+        CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
+    };
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover() -> System {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(240), ms(500)).unwrap(),
+            RtTask::new(ms(1120), ms(5000)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+        ]);
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    #[test]
+    fn rover_periods_shrink_below_t_max() {
+        for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+            let sel = select_periods(&rover(), strategy).unwrap();
+            assert!(sel.periods[0] < ms(10_000), "{strategy:?}");
+            assert!(sel.periods[1] < ms(10_000), "{strategy:?}");
+            // Periods respect the response-time floor.
+            assert!(sel.periods[0] >= sel.response_times[0]);
+            assert!(sel.periods[1] >= sel.response_times[1]);
+        }
+    }
+
+    #[test]
+    fn selected_periods_remain_schedulable() {
+        let sys = rover();
+        let sel = select_periods(&sys, CarryInStrategy::Exhaustive).unwrap();
+        let rta = rts_analysis::SecurityRta::new(&sys, CarryInStrategy::Exhaustive);
+        let r = rta
+            .response_times(sel.periods.as_slice())
+            .expect("selected vector must be schedulable");
+        for (i, &ri) in r.iter().enumerate() {
+            assert!(ri <= sel.periods[i], "task {i}: R={ri:?} > T={:?}", sel.periods[i]);
+        }
+    }
+
+    #[test]
+    fn highest_priority_task_reaches_its_floor_when_unconstrained() {
+        // A single security task has no lower-priority constraints: its
+        // period must equal its response time exactly.
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![RtTask::new(ms(100), ms(400)).unwrap()]);
+        let partition = Partition::new(platform, vec![CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(50), ms(5000)).unwrap()]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        let sel = select_periods(&sys, CarryInStrategy::Exhaustive).unwrap();
+        assert_eq!(sel.periods[0], sel.response_times[0]);
+        // With a free second core the task runs unimpeded: R = C.
+        assert_eq!(sel.response_times[0], ms(50));
+    }
+
+    #[test]
+    fn unschedulable_rt_is_rejected() {
+        let platform = Platform::uniprocessor();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(6), ms(10)).unwrap(),
+            RtTask::new(ms(5), ms(10)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(1), ms(100)).unwrap()]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert_eq!(
+            select_periods(&sys, CarryInStrategy::TopDiff),
+            Err(SelectionError::RtUnschedulable)
+        );
+    }
+
+    #[test]
+    fn oversubscribed_security_is_rejected_with_index() {
+        let platform = Platform::uniprocessor();
+        let rt = RtTaskSet::new_rate_monotonic(vec![RtTask::new(ms(9), ms(10)).unwrap()]);
+        let partition = Partition::new(platform, vec![CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(1), ms(200)).unwrap(),
+            SecurityTask::new(ms(150), ms(1000)).unwrap(),
+        ]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert_eq!(
+            select_periods(&sys, CarryInStrategy::TopDiff),
+            Err(SelectionError::SecurityUnschedulable { task: 1 })
+        );
+    }
+
+    #[test]
+    fn objective_is_sum_of_periods() {
+        let sel = PeriodSelection {
+            periods: PeriodVector::from_raw(vec![ms(10), ms(20)]),
+            response_times: vec![ms(5), ms(6)],
+        };
+        assert_eq!(sel.objective(), ms(30));
+    }
+
+    #[test]
+    fn exhaustive_never_selects_longer_first_period_than_topdiff() {
+        // For the highest-priority security task the feasible candidate
+        // sets are nested (Exhaustive response times are ≤ TopDiff's for
+        // every lower-priority task at identical periods), so its selected
+        // period can only be smaller or equal. Lower-priority comparisons
+        // are not order-theoretic because the two runs diverge.
+        let sys = rover();
+        let ex = select_periods(&sys, CarryInStrategy::Exhaustive).unwrap();
+        let td = select_periods(&sys, CarryInStrategy::TopDiff).unwrap();
+        assert!(ex.periods[0] <= td.periods[0]);
+    }
+}

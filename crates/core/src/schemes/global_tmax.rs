@@ -1,0 +1,141 @@
+//! The GLOBAL-TMax baseline: every task — RT and security — scheduled by
+//! global fixed-priority scheduling, security periods fixed at `T^max`.
+//!
+//! The paper (§5.2.3) uses this scheme to quantify what binding RT tasks
+//! to cores costs or gains: under global scheduling the RT tasks lose
+//! their per-core isolation and must be analysed with the pessimistic
+//! multicore carry-in machinery, which is why GLOBAL-TMax accepts fewer
+//! task sets than HYDRA-C at high utilizations even though it allows
+//! maximal migration.
+
+use rts_analysis::global::{global_response_times, GlobalTask};
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::time::Duration;
+use rts_model::System;
+
+use crate::error::SelectionError;
+
+/// Response times of the fully global system (RT tasks first, then
+/// security tasks, both in priority order with security below RT).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GlobalSelection {
+    /// Response times of the RT tasks (priority order).
+    pub rt_response_times: Vec<Duration>,
+    /// Response times of the security tasks at `T_s = T^max_s`.
+    pub sec_response_times: Vec<Duration>,
+}
+
+/// Evaluates the GLOBAL-TMax scheme on `system`.
+///
+/// The system's partition is ignored — all tasks are treated as freely
+/// migrating. Security periods are pinned at `T^max_s`.
+///
+/// # Errors
+///
+/// * [`SelectionError::RtUnschedulable`] if an RT task misses its deadline
+///   under the global analysis (this *can* happen for systems whose
+///   partitioned variant is fine — the schemes are incomparable, as the
+///   paper stresses);
+/// * [`SelectionError::SecurityUnschedulable`] if a security task exceeds
+///   its maximum period.
+pub fn global_tmax_select(
+    system: &System,
+    strategy: CarryInStrategy,
+) -> Result<GlobalSelection, SelectionError> {
+    let rt = system.rt_tasks();
+    let sec = system.security_tasks();
+    let mut tasks: Vec<GlobalTask> = Vec::with_capacity(rt.len() + sec.len());
+    for task in rt.iter() {
+        tasks.push(GlobalTask::new(task.wcet(), task.period(), task.deadline()));
+    }
+    for task in sec.iter() {
+        tasks.push(GlobalTask::implicit(task.wcet(), task.t_max()));
+    }
+    match global_response_times(system.num_cores(), &tasks, strategy) {
+        Ok(r) => {
+            let (rt_r, sec_r) = r.split_at(rt.len());
+            Ok(GlobalSelection {
+                rt_response_times: rt_r.to_vec(),
+                sec_response_times: sec_r.to_vec(),
+            })
+        }
+        Err(i) if i < rt.len() => Err(SelectionError::RtUnschedulable),
+        Err(i) => Err(SelectionError::SecurityUnschedulable {
+            task: i - rt.len(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::{
+        CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
+    };
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn system(rt_params: &[(u64, u64)], sec_params: &[(u64, u64)], cores: usize) -> System {
+        let platform = Platform::new(cores).unwrap();
+        let rt = RtTaskSet::new_rate_monotonic(
+            rt_params
+                .iter()
+                .map(|&(c, t)| RtTask::new(ms(c), ms(t)).unwrap())
+                .collect(),
+        );
+        // Partition is irrelevant to the global analysis; round-robin.
+        let partition = Partition::new(
+            platform,
+            (0..rt.len()).map(|i| CoreId::new(i % cores)).collect(),
+        )
+        .unwrap();
+        let sec = SecurityTaskSet::new(
+            sec_params
+                .iter()
+                .map(|&(c, t)| SecurityTask::new(ms(c), ms(t)).unwrap())
+                .collect(),
+        );
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    #[test]
+    fn light_system_is_globally_schedulable() {
+        let sys = system(&[(100, 1000), (100, 1000)], &[(50, 2000)], 2);
+        let sel = global_tmax_select(&sys, CarryInStrategy::Exhaustive).unwrap();
+        assert_eq!(sel.rt_response_times.len(), 2);
+        assert_eq!(sel.sec_response_times.len(), 1);
+        assert!(sel.sec_response_times[0] <= ms(2000));
+    }
+
+    #[test]
+    fn rt_failure_is_distinguished_from_security_failure() {
+        // Three heavy RT tasks on two cores: global analysis rejects RT.
+        let sys = system(&[(800, 1000), (800, 1000), (800, 1000)], &[(1, 2000)], 2);
+        assert_eq!(
+            global_tmax_select(&sys, CarryInStrategy::TopDiff),
+            Err(SelectionError::RtUnschedulable)
+        );
+        // RT fine, security too heavy.
+        let sys = system(&[(100, 1000)], &[(1900, 2000), (1900, 2000)], 2);
+        assert!(matches!(
+            global_tmax_select(&sys, CarryInStrategy::TopDiff),
+            Err(SelectionError::SecurityUnschedulable { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_binding_is_ignored() {
+        // Identical workloads with different partitions yield identical
+        // global verdicts.
+        let a = system(&[(400, 1000), (400, 1000)], &[(100, 1500)], 2);
+        let sel_a = global_tmax_select(&a, CarryInStrategy::Exhaustive).unwrap();
+        let platform = Platform::dual_core();
+        let rt = a.rt_tasks().clone();
+        let flipped = Partition::new(platform, vec![CoreId::new(1), CoreId::new(0)]).unwrap();
+        let b = System::new(platform, rt, flipped, a.security_tasks().clone()).unwrap();
+        let sel_b = global_tmax_select(&b, CarryInStrategy::Exhaustive).unwrap();
+        assert_eq!(sel_a, sel_b);
+    }
+}

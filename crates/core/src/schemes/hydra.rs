@@ -1,0 +1,477 @@
+//! The HYDRA baseline (DATE 2018) and its HYDRA-TMax variant — security
+//! tasks statically partitioned to cores.
+//!
+//! HYDRA is the state of the art the paper compares against (§5.1.2):
+//! security tasks are *pinned* and allocated greedily in decreasing
+//! priority order — each task goes to the core that yields the shortest
+//! period for it ("maximum monitoring frequency"). On every allocation
+//! the candidate core's period assignment is re-derived by the per-core
+//! analog of the optimization in the DATE'18 paper: tasks on the core
+//! are minimized from highest to lowest priority, each period pushed to
+//! its response-time floor as long as every lower-priority task on that
+//! core stays schedulable within its own `T^max`.
+//!
+//! Two structural weaknesses remain — deliberately, since they are what
+//! the HYDRA-C paper improves on: the *allocation* is greedy per task
+//! ("without considering the global state" across cores, and biased
+//! toward lightly loaded cores, which packs poorly at high load), and a
+//! pinned task can never exploit another core's slack at runtime.
+//!
+//! HYDRA-TMax (§5.2.3) keeps static partitioning (classic best-fit by
+//! utilization) but performs *no* period adaptation: every
+//! `T_s = T^max_s`. It isolates the effect of period minimization from
+//! the effect of migration.
+
+use rts_analysis::uniproc::{self, HpTask};
+use rts_model::time::Duration;
+use rts_model::{CoreId, PeriodVector, System};
+
+use crate::error::SelectionError;
+use crate::feasible_period::min_feasible_period;
+
+/// Result of a partitioned (HYDRA-style) selection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartitionedSelection {
+    /// Selected periods, index-aligned with the security task set.
+    pub periods: PeriodVector,
+    /// Per-core worst-case response times, same indexing.
+    pub response_times: Vec<Duration>,
+    /// The core each security task was pinned to.
+    pub assignment: Vec<CoreId>,
+}
+
+/// The outcome of (re-)optimizing one core's security tasks.
+#[derive(Clone, Debug)]
+struct CorePlan {
+    /// `(security task index, period, response time)` in priority order.
+    tasks: Vec<(usize, Duration, Duration)>,
+}
+
+/// Per-core allocation state shared by both variants.
+struct CoreAlloc<'a> {
+    system: &'a System,
+    /// Current plan per core.
+    plans: Vec<CorePlan>,
+}
+
+impl<'a> CoreAlloc<'a> {
+    fn new(system: &'a System) -> Self {
+        CoreAlloc {
+            system,
+            plans: vec![CorePlan { tasks: Vec::new() }; system.num_cores()],
+        }
+    }
+
+    /// The RT load pinned to `core`.
+    fn rt_hp(&self, core: CoreId) -> Vec<HpTask> {
+        let rt = self.system.rt_tasks();
+        self.system
+            .rt_tasks_on(core)
+            .into_iter()
+            .map(|i| HpTask::new(rt[i].wcet(), rt[i].period()))
+            .collect()
+    }
+
+    /// Response times of the security tasks `members` (priority order,
+    /// with the given periods) on `core`; `None` if any exceeds its
+    /// period.
+    fn core_response_times(
+        &self,
+        core: CoreId,
+        members: &[(usize, Duration)],
+    ) -> Option<Vec<Duration>> {
+        let sec = self.system.security_tasks();
+        let mut hp = self.rt_hp(core);
+        let mut result = Vec::with_capacity(members.len());
+        for &(s, period) in members {
+            let r = uniproc::response_time(sec[s].wcet(), &hp, period)?;
+            result.push(r);
+            hp.push(HpTask::new(sec[s].wcet(), period));
+        }
+        Some(result)
+    }
+
+    /// The DATE'18 per-core optimization: with `candidate` appended to
+    /// `core`'s current members, minimize every period from highest to
+    /// lowest priority (each task's period pushed toward its response
+    /// time while all lower-priority members stay schedulable within
+    /// their `T^max`). Returns the feasible plan or `None`.
+    fn optimize_core(&self, core: CoreId, candidate: usize) -> Option<CorePlan> {
+        let sec = self.system.security_tasks();
+        let mut member_ids: Vec<usize> =
+            self.plans[core.index()].tasks.iter().map(|&(s, _, _)| s).collect();
+        member_ids.push(candidate);
+        member_ids.sort_unstable(); // global priority order
+
+        // Feasibility screen at T^max (the optimization's fallback point).
+        let mut periods: Vec<(usize, Duration)> =
+            member_ids.iter().map(|&s| (s, sec[s].t_max())).collect();
+        self.core_response_times(core, &periods)?;
+
+        // Priority-ordered minimization, mirroring Algorithm 1 per core.
+        for i in 0..periods.len() {
+            let (s, _) = periods[i];
+            // R_i depends only on higher-priority members (already final).
+            let r_i = {
+                let r = self
+                    .core_response_times(core, &periods[..=i])
+                    .expect("prefix was feasible at the previous step");
+                r[i]
+            };
+            let best = min_feasible_period(r_i, sec[s].t_max(), |candidate_period| {
+                let mut probe = periods.clone();
+                probe[i].1 = candidate_period;
+                self.core_response_times(core, &probe).is_some()
+            })
+            .expect("T^max is feasible: the screen above passed");
+            periods[i].1 = best;
+        }
+        let response_times = self
+            .core_response_times(core, &periods)
+            .expect("minimized plan remains feasible");
+        Some(CorePlan {
+            tasks: periods
+                .iter()
+                .zip(&response_times)
+                .map(|(&(s, t), &r)| (s, t, r))
+                .collect(),
+        })
+    }
+
+    /// Total utilization currently committed to `core` (RT + planned
+    /// security tasks at their current periods) — best-fit's key.
+    fn utilization_of(&self, core: CoreId) -> f64 {
+        let sec = self.system.security_tasks();
+        self.system.rt_utilization_on(core)
+            + self.plans[core.index()]
+                .tasks
+                .iter()
+                .map(|&(s, t, _)| sec[s].utilization_at(t))
+                .sum::<f64>()
+    }
+
+    /// Final selection across all cores.
+    fn into_selection(self) -> PartitionedSelection {
+        let sec_len = self.system.security_tasks().len();
+        let mut periods = vec![Duration::ZERO; sec_len];
+        let mut response_times = vec![Duration::ZERO; sec_len];
+        let mut assignment = vec![CoreId::new(0); sec_len];
+        for (core, plan) in self.plans.iter().enumerate() {
+            for &(s, t, r) in &plan.tasks {
+                periods[s] = t;
+                response_times[s] = r;
+                assignment[s] = CoreId::new(core);
+            }
+        }
+        PartitionedSelection {
+            periods: PeriodVector::from_raw(periods),
+            response_times,
+            assignment,
+        }
+    }
+}
+
+/// HYDRA (DATE 2018), as the paper describes it: greedy static
+/// partitioning where each security task, in decreasing priority order,
+/// is allocated "to a core that gives maximum monitoring frequency (i.e.,
+/// shorter period) *without violating schedulability constraints of
+/// already allocated tasks*". Already-allocated tasks keep the periods
+/// they were given; the newcomer's period becomes its per-core response
+/// time (the shortest feasible value). Lower-priority tasks that arrive
+/// later simply have to live with the interference — the greedy
+/// short-sightedness the HYDRA-C paper criticizes, and the reason
+/// HYDRA's acceptance collapses at high utilization (its Figs. 7a/7b).
+///
+/// See [`hydra_joint_select`] for a strengthened variant that re-derives
+/// all on-core periods jointly on every allocation.
+///
+/// # Errors
+///
+/// * [`SelectionError::RtUnschedulable`] if the RT partition fails Eq. 1;
+/// * [`SelectionError::SecurityUnschedulable`] naming the first security
+///   task that fits on no core within its `T^max`.
+pub fn hydra_select(system: &System) -> Result<PartitionedSelection, SelectionError> {
+    if !rts_analysis::rt_schedulable(system) {
+        return Err(SelectionError::RtUnschedulable);
+    }
+    let sec = system.security_tasks();
+    let mut alloc = CoreAlloc::new(system);
+    for s in 0..sec.len() {
+        let best = system
+            .platform()
+            .cores()
+            .filter_map(|core| {
+                // Fixed periods for the already-allocated tasks; the
+                // newcomer is appended at the lowest priority *on this
+                // core's current plan* (global priority order).
+                let mut members: Vec<(usize, Duration)> = alloc.plans[core.index()]
+                    .tasks
+                    .iter()
+                    .map(|&(id, t, _)| (id, t))
+                    .collect();
+                members.push((s, sec[s].t_max()));
+                members.sort_unstable_by_key(|&(id, _)| id);
+                let r = alloc.core_response_times(core, &members)?;
+                let pos = members
+                    .iter()
+                    .position(|&(id, _)| id == s)
+                    .expect("candidate is a member");
+                Some((r[pos], core, members, r))
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.index().cmp(&b.1.index())));
+        let (r_s, core, mut members, mut r) =
+            best.ok_or(SelectionError::SecurityUnschedulable { task: s })?;
+        // Maximum monitoring frequency: the newcomer runs at its
+        // response-time floor. (Already-allocated tasks are unaffected —
+        // they all have higher priority.)
+        let pos = members
+            .iter()
+            .position(|&(id, _)| id == s)
+            .expect("candidate is a member");
+        members[pos].1 = r_s;
+        // Response times of other members are unchanged (the newcomer is
+        // the lowest-priority on-core task); refresh only the newcomer.
+        r[pos] = r_s;
+        alloc.plans[core.index()] = CorePlan {
+            tasks: members
+                .iter()
+                .zip(&r)
+                .map(|(&(id, t), &ri)| (id, t, ri))
+                .collect(),
+        };
+    }
+    Ok(alloc.into_selection())
+}
+
+/// Strengthened HYDRA (an extension beyond the paper): identical greedy
+/// core choice, but every allocation re-derives the chosen core's period
+/// assignment *jointly* — all on-core periods are minimized from highest
+/// to lowest priority subject to keeping every on-core task within its
+/// `T^max` (the per-core analog of Algorithm 1). This removes the
+/// zero-slack pathology of [`hydra_select`] at the cost of no longer
+/// matching the DATE'18 behaviour; the ablation benches compare both
+/// against HYDRA-C.
+///
+/// # Errors
+///
+/// Same conditions as [`hydra_select`].
+pub fn hydra_joint_select(system: &System) -> Result<PartitionedSelection, SelectionError> {
+    if !rts_analysis::rt_schedulable(system) {
+        return Err(SelectionError::RtUnschedulable);
+    }
+    let sec = system.security_tasks();
+    let mut alloc = CoreAlloc::new(system);
+    for s in 0..sec.len() {
+        let best = system
+            .platform()
+            .cores()
+            .filter_map(|core| {
+                let plan = alloc.optimize_core(core, s)?;
+                let period = plan
+                    .tasks
+                    .iter()
+                    .find(|&&(id, _, _)| id == s)
+                    .map(|&(_, t, _)| t)
+                    .expect("candidate is in its own plan");
+                Some((period, core, plan))
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.index().cmp(&b.1.index())));
+        let (_, core, plan) = best.ok_or(SelectionError::SecurityUnschedulable { task: s })?;
+        alloc.plans[core.index()] = plan;
+    }
+    Ok(alloc.into_selection())
+}
+
+/// HYDRA-TMax: static best-fit partitioning with every period fixed at
+/// `T^max_s` (no period adaptation). Among the cores where the task is
+/// schedulable, the most-utilized one is chosen (classic best-fit).
+///
+/// # Errors
+///
+/// Same conditions as [`hydra_select`].
+pub fn hydra_tmax_select(system: &System) -> Result<PartitionedSelection, SelectionError> {
+    if !rts_analysis::rt_schedulable(system) {
+        return Err(SelectionError::RtUnschedulable);
+    }
+    let sec = system.security_tasks();
+    let mut alloc = CoreAlloc::new(system);
+    for s in 0..sec.len() {
+        let best = system
+            .platform()
+            .cores()
+            .filter_map(|core| {
+                // Feasibility at T^max for the whole core.
+                let mut members: Vec<(usize, Duration)> = alloc.plans[core.index()]
+                    .tasks
+                    .iter()
+                    .map(|&(id, t, _)| (id, t))
+                    .collect();
+                members.push((s, sec[s].t_max()));
+                members.sort_unstable_by_key(|&(id, _)| id);
+                let r = alloc.core_response_times(core, &members)?;
+                Some((core, members, r))
+            })
+            .max_by(|a, b| {
+                alloc
+                    .utilization_of(a.0)
+                    .partial_cmp(&alloc.utilization_of(b.0))
+                    .expect("utilizations are finite")
+                    // On ties prefer the lower index (max_by keeps the
+                    // *last* maximum, so order the tie downward).
+                    .then(b.0.index().cmp(&a.0.index()))
+            });
+        let (core, members, r) = best.ok_or(SelectionError::SecurityUnschedulable { task: s })?;
+        alloc.plans[core.index()] = CorePlan {
+            tasks: members
+                .iter()
+                .zip(&r)
+                .map(|(&(id, t), &ri)| (id, t, ri))
+                .collect(),
+        };
+    }
+    Ok(alloc.into_selection())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::{
+        Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
+    };
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover() -> System {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(240), ms(500)).unwrap(),
+            RtTask::new(ms(1120), ms(5000)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+        ]);
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    #[test]
+    fn hydra_pins_each_task_and_minimizes_period() {
+        let sel = hydra_select(&rover()).unwrap();
+        assert_eq!(sel.assignment.len(), 2);
+        // Tripwire only fits beside the camera: R = 5342 + 2·1120 = 7582.
+        assert_eq!(sel.periods[0], ms(7582));
+        assert_eq!(sel.assignment[0], CoreId::new(1));
+        // The checker's best core is core 0 (beside navigation): R = 463.
+        assert_eq!(sel.periods[1], ms(463));
+        assert_eq!(sel.assignment[1], CoreId::new(0));
+        // Unconstrained tails sit at their response-time floor.
+        assert_eq!(sel.periods.as_slice(), &sel.response_times[..]);
+    }
+
+    #[test]
+    fn greedy_hydra_never_revisits_earlier_periods() {
+        // One core; the hp security task takes T = R = 6 at allocation
+        // time. The heavy lp task then cannot fit (utilization
+        // 0.2 + 4/6 + 0.4 > 1): the DATE'18 greedy rejects the set.
+        let platform = Platform::uniprocessor();
+        let rt = RtTaskSet::new_rate_monotonic(vec![RtTask::new(ms(2), ms(10)).unwrap()]);
+        let partition = Partition::new(platform, vec![CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(4), ms(100)).unwrap(),
+            SecurityTask::new(ms(40), ms(100)).unwrap(),
+        ]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert_eq!(
+            hydra_select(&sys),
+            Err(SelectionError::SecurityUnschedulable { task: 1 })
+        );
+        // The strengthened variant re-derives the core plan jointly and
+        // admits the set: task 0's period rises above its floor.
+        let sel = hydra_joint_select(&sys).unwrap();
+        assert!(sel.periods[0] > ms(6));
+        assert!(sel.periods[0] < ms(100));
+        assert!(sel.response_times[1] <= sel.periods[1]);
+        assert_eq!(sel.assignment[0], sel.assignment[1]);
+    }
+
+    #[test]
+    fn hydra_tmax_runs_at_maximum_periods() {
+        let sys = rover();
+        let sel = hydra_tmax_select(&sys).unwrap();
+        assert_eq!(sel.periods, PeriodVector::at_max(sys.security_tasks()));
+        for (i, &r) in sel.response_times.iter().enumerate() {
+            assert!(r <= sys.security_tasks()[i].t_max());
+        }
+    }
+
+    #[test]
+    fn hydra_periods_never_beat_per_core_floor() {
+        // HYDRA's period can never fall below the task's own WCET.
+        let sel = hydra_select(&rover()).unwrap();
+        assert!(sel.periods[0] >= ms(5342));
+        assert!(sel.periods[1] >= ms(223));
+    }
+
+    #[test]
+    fn infeasible_task_is_reported() {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(9), ms(10)).unwrap(),
+            RtTask::new(ms(9), ms(10)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(500), ms(1000)).unwrap()]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert_eq!(
+            hydra_select(&sys),
+            Err(SelectionError::SecurityUnschedulable { task: 0 })
+        );
+        assert_eq!(
+            hydra_tmax_select(&sys),
+            Err(SelectionError::SecurityUnschedulable { task: 0 })
+        );
+    }
+
+    #[test]
+    fn rt_precondition_checked() {
+        let platform = Platform::uniprocessor();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(6), ms(10)).unwrap(),
+            RtTask::new(ms(5), ms(10)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(1), ms(100)).unwrap()]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert_eq!(hydra_select(&sys), Err(SelectionError::RtUnschedulable));
+    }
+
+    #[test]
+    fn zero_slack_pathology_is_what_the_paper_criticizes() {
+        // Three identical medium tasks on two cores: the greedy gives the
+        // first task a zero-slack period (T = R = C on the empty core),
+        // which jams that core completely; the third task then fits
+        // nowhere. The joint variant spreads the slack and admits all
+        // three — quantifying how weak the paper's baseline is.
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![RtTask::new(ms(30), ms(100)).unwrap()]);
+        let partition = Partition::new(platform, vec![CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(40), ms(300)).unwrap(),
+            SecurityTask::new(ms(40), ms(300)).unwrap(),
+            SecurityTask::new(ms(40), ms(300)).unwrap(),
+        ]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert!(matches!(
+            hydra_select(&sys),
+            Err(SelectionError::SecurityUnschedulable { .. })
+        ));
+        let joint = hydra_joint_select(&sys).unwrap();
+        for s in 0..3 {
+            assert!(joint.response_times[s] <= joint.periods[s]);
+            assert!(joint.periods[s] <= ms(300));
+        }
+    }
+}

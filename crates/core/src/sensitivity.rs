@@ -1,0 +1,265 @@
+//! Sensitivity analysis: how much headroom does an admitted system have?
+//!
+//! The paper's framework answers a yes/no admission question; designers
+//! additionally want margins — "how much can the monitoring workload grow
+//! before integration fails?" (e.g. a Tripwire database that grows with
+//! the image store, as on the rover). This module binary-searches the
+//! monotone failure boundary in three directions:
+//!
+//! * [`security_wcet_margin`] — a common scale factor on *all* security
+//!   WCETs;
+//! * [`security_task_slack`] — extra WCET for *one* security task;
+//! * [`rt_wcet_margin`] — a common scale factor on all RT WCETs (how
+//!   much the legacy workload may grow before the security integration
+//!   must be redesigned).
+//!
+//! All margins are evaluated at the designer bounds `T_s = T^max_s`
+//! (admission is equivalent to Algorithm 1's lines 1–4 check).
+
+use rts_analysis::sched_check::SecurityRta;
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::task::{RtTask, SecurityTask};
+use rts_model::taskset::{RtTaskSet, SecurityTaskSet};
+use rts_model::time::Duration;
+use rts_model::System;
+
+/// Granularity of the scale-factor searches (per mille).
+const PER_MILLE: u64 = 1000;
+/// Upper bound of the scale-factor searches (16×).
+const MAX_SCALE: u64 = 16_000;
+
+/// Scales a duration by `k`/1000, rounding down but never below one tick.
+fn scale(d: Duration, k: u64) -> Duration {
+    Duration::from_ticks(((d.as_ticks() * k) / PER_MILLE).max(1))
+}
+
+/// Is `system` schedulable with every security period at `T^max`?
+fn admitted(system: &System, strategy: CarryInStrategy) -> bool {
+    if !rts_analysis::rt_schedulable(system) {
+        return false;
+    }
+    let rta = SecurityRta::new(system, strategy);
+    rta.schedulable(&system.security_tasks().max_periods())
+}
+
+/// Rebuilds `system` with transformed task sets.
+fn rebuild(
+    system: &System,
+    rt: RtTaskSet,
+    sec: SecurityTaskSet,
+) -> Option<System> {
+    System::new(system.platform(), rt, system.partition().clone(), sec).ok()
+}
+
+/// `system` with all security WCETs scaled by `k`/1000; `None` if a
+/// scaled WCET no longer fits its `T^max`.
+fn with_scaled_security(system: &System, k: u64) -> Option<System> {
+    let sec: Option<Vec<SecurityTask>> = system
+        .security_tasks()
+        .iter()
+        .map(|t| SecurityTask::new(scale(t.wcet(), k), t.t_max()).ok())
+        .collect();
+    rebuild(system, system.rt_tasks().clone(), SecurityTaskSet::new(sec?))
+}
+
+/// `system` with all RT WCETs scaled by `k`/1000; `None` if a scaled
+/// WCET exceeds its deadline.
+fn with_scaled_rt(system: &System, k: u64) -> Option<System> {
+    let rt: Option<Vec<RtTask>> = system
+        .rt_tasks()
+        .iter()
+        .map(|t| RtTask::with_deadline(scale(t.wcet(), k), t.period(), t.deadline()).ok())
+        .collect();
+    // Keep the existing priority order (already RM; scaling preserves it).
+    rebuild(
+        system,
+        RtTaskSet::new(rt?),
+        system.security_tasks().clone(),
+    )
+}
+
+/// Largest `k` in `[lo, hi]` (per mille) with `feasible(k)`, assuming
+/// downward closure (if `k` works, everything below works).
+fn max_feasible_permille(lo: u64, hi: u64, mut feasible: impl FnMut(u64) -> bool) -> Option<u64> {
+    if !feasible(lo) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    let mut best = lo;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            best = mid;
+            lo = mid + 1;
+        } else {
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        }
+    }
+    Some(best)
+}
+
+/// The largest common scale factor (as a fraction, e.g. `1.25`) that can
+/// be applied to **all security WCETs** with the system still admitted at
+/// `T^max` periods. Returns `None` if the system is not admitted as-is.
+///
+/// The search is capped at 16× and quantized to 1/1000.
+#[must_use]
+pub fn security_wcet_margin(system: &System, strategy: CarryInStrategy) -> Option<f64> {
+    let k = max_feasible_permille(PER_MILLE, MAX_SCALE, |k| {
+        with_scaled_security(system, k)
+            .is_some_and(|sys| admitted(&sys, strategy))
+    })?;
+    Some(k as f64 / PER_MILLE as f64)
+}
+
+/// The largest common scale factor for **all RT WCETs** with the system
+/// (RT partition *and* security tasks at `T^max`) still admitted.
+/// Returns `None` if the system is not admitted as-is.
+#[must_use]
+pub fn rt_wcet_margin(system: &System, strategy: CarryInStrategy) -> Option<f64> {
+    let k = max_feasible_permille(PER_MILLE, MAX_SCALE, |k| {
+        with_scaled_rt(system, k).is_some_and(|sys| admitted(&sys, strategy))
+    })?;
+    Some(k as f64 / PER_MILLE as f64)
+}
+
+/// The maximum *additional* WCET (in time units) that security task
+/// `index` alone can absorb with the system still admitted at `T^max`
+/// periods. Returns `None` if the system is not admitted as-is.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+#[must_use]
+pub fn security_task_slack(
+    system: &System,
+    index: usize,
+    strategy: CarryInStrategy,
+) -> Option<Duration> {
+    let task = &system.security_tasks()[index];
+    let max_extra = (task.t_max() - task.wcet()).as_ticks();
+    let feasible = |extra: u64| -> bool {
+        let sec: Vec<SecurityTask> = system
+            .security_tasks()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let wcet = if i == index {
+                    t.wcet() + Duration::from_ticks(extra)
+                } else {
+                    t.wcet()
+                };
+                SecurityTask::new(wcet, t.t_max()).expect("extra is bounded by T^max − C")
+            })
+            .collect();
+        rebuild(system, system.rt_tasks().clone(), SecurityTaskSet::new(sec))
+            .is_some_and(|sys| admitted(&sys, strategy))
+    };
+    let extra = max_feasible_permille(0, max_extra, feasible)?;
+    Some(Duration::from_ticks(extra))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::{CoreId, Partition, Platform};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover() -> System {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(240), ms(500)).unwrap(),
+            RtTask::new(ms(1120), ms(5000)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+        ]);
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    #[test]
+    fn rover_margins_are_modest_but_positive() {
+        let sys = rover();
+        let sec_margin = security_wcet_margin(&sys, CarryInStrategy::Exhaustive).unwrap();
+        assert!(sec_margin >= 1.0, "admitted system has margin >= 1");
+        assert!(sec_margin < 2.0, "tripwire is heavy; margin below 2x");
+        let rt_margin = rt_wcet_margin(&sys, CarryInStrategy::Exhaustive).unwrap();
+        assert!(rt_margin >= 1.0 && rt_margin < 2.1, "got {rt_margin}");
+    }
+
+    #[test]
+    fn light_system_has_large_margins() {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![RtTask::new(ms(10), ms(1000)).unwrap()]);
+        let partition = Partition::new(platform, vec![CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(10), ms(5000)).unwrap()]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        let m = security_wcet_margin(&sys, CarryInStrategy::Exhaustive).unwrap();
+        assert!(m > 10.0, "got {m}");
+    }
+
+    #[test]
+    fn slack_is_consistent_with_direct_check() {
+        let sys = rover();
+        let slack = security_task_slack(&sys, 1, CarryInStrategy::Exhaustive).unwrap();
+        assert!(slack > Duration::ZERO);
+        // Exactly at the boundary: C + slack admitted, C + slack + 1 not.
+        let boundary = |extra: Duration| {
+            let sec = SecurityTaskSet::new(vec![
+                SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+                SecurityTask::new(ms(223) + extra, ms(10_000)).unwrap(),
+            ]);
+            let sys2 = System::new(
+                sys.platform(),
+                sys.rt_tasks().clone(),
+                sys.partition().clone(),
+                sec,
+            )
+            .unwrap();
+            admitted(&sys2, CarryInStrategy::Exhaustive)
+        };
+        assert!(boundary(slack));
+        assert!(!boundary(slack + Duration::from_ticks(1)));
+    }
+
+    #[test]
+    fn unschedulable_system_has_no_margin() {
+        let platform = Platform::uniprocessor();
+        let rt = RtTaskSet::new_rate_monotonic(vec![RtTask::new(ms(9), ms(10)).unwrap()]);
+        let partition = Partition::new(platform, vec![CoreId::new(0)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(500), ms(1000)).unwrap()]);
+        let sys = System::new(platform, rt, partition, sec).unwrap();
+        assert_eq!(security_wcet_margin(&sys, CarryInStrategy::TopDiff), None);
+        assert_eq!(security_task_slack(&sys, 0, CarryInStrategy::TopDiff), None);
+    }
+
+    #[test]
+    fn margins_shrink_with_load() {
+        // Doubling the checker's WCET must not increase any margin.
+        let sys = rover();
+        let heavier = {
+            let sec = SecurityTaskSet::new(vec![
+                SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+                SecurityTask::new(ms(446), ms(10_000)).unwrap(),
+            ]);
+            System::new(
+                sys.platform(),
+                sys.rt_tasks().clone(),
+                sys.partition().clone(),
+                sec,
+            )
+            .unwrap()
+        };
+        let m1 = security_wcet_margin(&sys, CarryInStrategy::TopDiff).unwrap();
+        let m2 = security_wcet_margin(&heavier, CarryInStrategy::TopDiff).unwrap();
+        assert!(m2 <= m1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates the paper's Fig. 1 illustration from a *real* simulation:
+//! two RT tasks pinned to two cores, one migrating security task filling
+//! the slack — vanilla schedule vs integrated schedule, as ASCII Gantt
+//! charts.
+
+use rts_model::time::Duration;
+use rts_model::Platform;
+use rts_sim::gantt::{render, GanttOptions};
+use rts_sim::{Affinity, SimConfig, Simulation, TaskSpec};
+
+fn main() {
+    let t = Duration::from_ticks;
+    // Stylized Fig. 1 parameters: two RT tasks with staggered releases
+    // leave alternating idle windows on the two cores.
+    let rt = vec![
+        TaskSpec::new("rt1", t(6), t(10), 0, Affinity::Pinned(0.into())),
+        TaskSpec::new("rt2", t(6), t(10), 1, Affinity::Pinned(1.into())).with_offset(t(5)),
+    ];
+    let horizon = t(40);
+    let opts = GanttOptions::fit(t(40), 40);
+
+    println!("Fig. 1 — security integration under semi-partitioned scheduling\n");
+    println!("Schedule (vanilla): the legacy RT tasks alone");
+    let vanilla = Simulation::new(Platform::dual_core(), rt.clone())
+        .run(&SimConfig::new(horizon).with_trace());
+    println!("{}", render(vanilla.trace.as_ref().unwrap(), 2, &opts));
+
+    println!("Schedule (with security task): C migrates to whichever core is idle");
+    let mut with_sec = rt.clone();
+    with_sec.push(TaskSpec::new("sec", t(7), t(20), 2, Affinity::Migrating));
+    let integrated = Simulation::new(Platform::dual_core(), with_sec)
+        .run(&SimConfig::new(horizon).with_trace());
+    println!("{}", render(integrated.trace.as_ref().unwrap(), 2, &opts));
+
+    println!("Schedule (pinned security task): the same task bound to core 0 (HYDRA)");
+    let mut pinned = rt;
+    pinned.push(TaskSpec::new("sec", t(7), t(20), 2, Affinity::Pinned(0.into())));
+    let pinned_run = Simulation::new(Platform::dual_core(), pinned)
+        .run(&SimConfig::new(horizon).with_trace());
+    println!("{}", render(pinned_run.trace.as_ref().unwrap(), 2, &opts));
+
+    let m = integrated.metrics.tasks[2].max_response_time;
+    let p = pinned_run.metrics.tasks[2].max_response_time;
+    println!(
+        "security-task response time: migrating {} vs pinned {} — continuous\n\
+         execution is what buys the faster intrusion detection of Fig. 5.",
+        m, p
+    );
+    // The RT rows must be identical in all three schedules.
+    for i in 0..2 {
+        assert_eq!(
+            vanilla.metrics.tasks[i].max_response_time,
+            integrated.metrics.tasks[i].max_response_time
+        );
+        assert_eq!(
+            vanilla.metrics.tasks[i].max_response_time,
+            pinned_run.metrics.tasks[i].max_response_time
+        );
+    }
+    println!("(RT task schedules are bit-identical across all three runs.)");
+}

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 5: intrusion detection time (5a) and context
+//! switches (5b) on the simulated rover, HYDRA-C vs HYDRA, over repeated
+//! attack trials (paper: 35 trials).
+//!
+//! Usage: `fig5_rover [--trials N] [--full]` (default 35, = paper).
+
+use hydra_experiments::{percent_faster, results_dir, run_fig5, PeriodProtocol, TextTable};
+use ids_sim::rover::to_cycles;
+use rts_model::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials = hydra_experiments::arg_usize(&args, "--trials", 35, 35) as u64;
+
+    println!("Fig. 5 — rover intrusion detection, {trials} trials per scheme\n");
+    let mut table = TextTable::new(vec![
+        "protocol",
+        "scheme",
+        "periods (ms)",
+        "detect mean (ms)",
+        "detect (Gcycles)",
+        "file (ms)",
+        "rootkit (ms)",
+        "CS/45s",
+        "migrations",
+    ]);
+    for protocol in PeriodProtocol::all() {
+        let agg = run_fig5(protocol, trials);
+        for a in &agg {
+            let cycles =
+                to_cycles(Duration::from_ms(a.detection_ms.mean.round() as u64)) as f64 / 1e9;
+            table.row(vec![
+                protocol.label().to_string(),
+                a.scheme.label().to_string(),
+                format!("{:?}", a.periods_ms),
+                format!("{:.0} ± {:.0}", a.detection_ms.mean, a.detection_ms.ci95()),
+                format!("{cycles:.2}"),
+                format!("{:.0}", a.file_ms.mean),
+                format!("{:.0}", a.rootkit_ms.mean),
+                format!("{:.0}", a.context_switches.mean),
+                format!("{:.1}", a.migrations.mean),
+            ]);
+        }
+        let faster = percent_faster(agg[0].detection_ms.mean, agg[1].detection_ms.mean)
+            .unwrap_or(f64::NAN);
+        let cs_ratio = agg[0].context_switches.mean / agg[1].context_switches.mean.max(1.0);
+        println!(
+            "[{}] HYDRA-C detects {:+.2}% faster; context-switch ratio {:.2}x (paper: +19.05%, 1.75x)",
+            protocol.label(),
+            faster,
+            cs_ratio
+        );
+    }
+    println!();
+    println!("{}", table.render());
+    let path = results_dir().join("fig5_rover.csv");
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

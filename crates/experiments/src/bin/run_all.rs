@@ -1,0 +1,124 @@
+//! Regenerates every table and figure of the paper in one run, writing
+//! text output to stdout and CSVs to `results/`.
+//!
+//! Usage: `run_all [--per-group N] [--trials N] [--full]`
+//! (defaults: 50 tasksets/group, 35 rover trials; `--full` uses the
+//! paper's 250 tasksets/group).
+
+use hydra_core::schemes::Scheme;
+use hydra_experiments::{
+    percent_faster, results_dir, run_fig5, run_sweep, PeriodProtocol, SweepConfig, TextTable,
+};
+use ids_sim::catalog::SecurityTaskClass;
+use ids_sim::rover::table2_rows;
+use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let per_group = hydra_experiments::arg_usize(&args, "--per-group", 50, TASKSETS_PER_GROUP);
+    let trials = hydra_experiments::arg_usize(&args, "--trials", 35, 35) as u64;
+    let started = std::time::Instant::now();
+
+    // ---- Tables ---------------------------------------------------------
+    println!("==== Table 1: security task catalog ====");
+    let mut t1 = TextTable::new(vec!["Security Task", "Approach/Tools"]);
+    for class in SecurityTaskClass::all() {
+        t1.row(vec![class.name(), class.tools()]);
+    }
+    println!("{}", t1.render());
+    let _ = t1.write_csv(&results_dir().join("table1_catalog.csv"));
+
+    println!("==== Table 2: evaluation platform ====");
+    let mut t2 = TextTable::new(vec!["Artifact", "Configuration/Tools"]);
+    for (k, v) in table2_rows() {
+        t2.row(vec![k, v]);
+    }
+    println!("{}", t2.render());
+    let _ = t2.write_csv(&results_dir().join("table2_platform.csv"));
+
+    println!("==== Table 3: generator parameters ====");
+    println!("(see table3_params binary for the full parameter table)\n");
+
+    // ---- Fig. 5 ---------------------------------------------------------
+    println!("==== Fig. 5: rover detection time & context switches ({trials} trials) ====");
+    let mut f5 = TextTable::new(vec![
+        "protocol", "scheme", "detect mean (ms)", "file (ms)", "rootkit (ms)", "CS/45s", "migr",
+    ]);
+    for protocol in PeriodProtocol::all() {
+        let agg = run_fig5(protocol, trials);
+        for a in &agg {
+            f5.row(vec![
+                protocol.label().to_string(),
+                a.scheme.label().to_string(),
+                format!("{:.0}", a.detection_ms.mean),
+                format!("{:.0}", a.file_ms.mean),
+                format!("{:.0}", a.rootkit_ms.mean),
+                format!("{:.0}", a.context_switches.mean),
+                format!("{:.1}", a.migrations.mean),
+            ]);
+        }
+        let faster =
+            percent_faster(agg[0].detection_ms.mean, agg[1].detection_ms.mean).unwrap_or(f64::NAN);
+        println!(
+            "[{}] HYDRA-C {:+.2}% faster; CS ratio {:.2}x (paper: +19.05%, 1.75x)",
+            protocol.label(),
+            faster,
+            agg[0].context_switches.mean / agg[1].context_switches.mean.max(1.0)
+        );
+    }
+    println!("\n{}", f5.render());
+    let _ = f5.write_csv(&results_dir().join("fig5_rover.csv"));
+
+    // ---- Figs. 6, 7a, 7b (one sweep per core count) ---------------------
+    let mut f6 = TextTable::new(vec!["cores", "group", "n", "distance"]);
+    let mut f7a = TextTable::new(vec![
+        "cores", "group", "HYDRA-C", "HYDRA", "GLOBAL-TMax", "HYDRA-TMax",
+    ]);
+    let mut f7b = TextTable::new(vec![
+        "cores", "group", "vs HYDRA (n)", "vs HYDRA", "vs TMax (n)", "vs TMax",
+    ]);
+    for cores in [2usize, 4] {
+        eprint!("sweep M={cores} ({per_group}/group): ");
+        let sweep = run_sweep(&SweepConfig::new(cores, per_group), |g| eprint!("{g} "));
+        eprintln!("done");
+        for g in 0..NUM_GROUPS {
+            let label = UtilizationGroup::new(g).label();
+            let d = sweep.fig6_distance(g);
+            f6.row(vec![
+                cores.to_string(),
+                label.clone(),
+                d.n.to_string(),
+                format!("{:.4}", d.mean),
+            ]);
+            f7a.row(vec![
+                cores.to_string(),
+                label.clone(),
+                format!("{:.1}", sweep.acceptance_ratio(Scheme::HydraC, g)),
+                format!("{:.1}", sweep.acceptance_ratio(Scheme::Hydra, g)),
+                format!("{:.1}", sweep.acceptance_ratio(Scheme::GlobalTMax, g)),
+                format!("{:.1}", sweep.acceptance_ratio(Scheme::HydraTMax, g)),
+            ]);
+            let vh = sweep.fig7b_vs_hydra(g);
+            let vt = sweep.fig7b_vs_tmax(g);
+            f7b.row(vec![
+                cores.to_string(),
+                label,
+                vh.n.to_string(),
+                format!("{:.4}", vh.mean),
+                vt.n.to_string(),
+                format!("{:.4}", vt.mean),
+            ]);
+        }
+    }
+    println!("==== Fig. 6: distance from maximum periods ====");
+    println!("{}", f6.render());
+    println!("==== Fig. 7a: acceptance ratio (%) ====");
+    println!("{}", f7a.render());
+    println!("==== Fig. 7b: period-vector distances ====");
+    println!("{}", f7b.render());
+    let _ = f6.write_csv(&results_dir().join("fig6_period_quality.csv"));
+    let _ = f7a.write_csv(&results_dir().join("fig7a_acceptance.csv"));
+    let _ = f7b.write_csv(&results_dir().join("fig7b_period_distance.csv"));
+
+    println!("all artifacts regenerated in {:?}; CSVs in {}/", started.elapsed(), results_dir().display());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1: example classes of security tasks.
+
+use hydra_experiments::{results_dir, TextTable};
+use ids_sim::catalog::SecurityTaskClass;
+
+fn main() {
+    let mut table = TextTable::new(vec!["Security Task", "Approach/Tools", "Realized by"]);
+    for class in SecurityTaskClass::all() {
+        table.row(vec![class.name(), class.tools(), class.realized_by()]);
+    }
+    println!("Table 1: Example of Security Tasks");
+    println!("{}", table.render());
+    let path = results_dir().join("table1_catalog.csv");
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

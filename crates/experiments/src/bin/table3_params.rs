@@ -1,0 +1,62 @@
+//! Regenerates Table 3: the synthetic taskset generation parameters, and
+//! validates them against a sample draw from the live generator.
+
+use hydra_experiments::{results_dir, TextTable};
+use rand::SeedableRng;
+use rts_taskgen::table3::{
+    generate_workload, Table3Config, UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP,
+};
+
+fn main() {
+    let mut table = TextTable::new(vec!["Parameter", "Values"]);
+    table.row(vec!["Process cores, M", "{2, 4}"]);
+    table.row(vec!["Number of real-time tasks, N_R", "[3 x M, 10 x M]"]);
+    table.row(vec!["Number of security tasks, N_S", "[2 x M, 5 x M]"]);
+    table.row(vec![
+        "Period distribution (RT and security tasks)",
+        "Log-uniform",
+    ]);
+    table.row(vec!["RT task allocation", "Best-fit"]);
+    table.row(vec!["RT task period, T_r", "[10, 1000] ms"]);
+    table.row(vec![
+        "Maximum period for security tasks, T^max_s",
+        "[1500, 3000] ms",
+    ]);
+    table.row(vec![
+        "Minimum utilization of security tasks",
+        "At least 30% of RT tasks (exactly 30% of total)",
+    ]);
+    table.row(vec!["Base utilization groups", "10"]);
+    table.row(vec![
+        "Number of tasksets in each configuration",
+        &TASKSETS_PER_GROUP.to_string(),
+    ]);
+    println!("Table 3: Simulation Parameters");
+    println!("{}", table.render());
+
+    // Live validation: draw one workload per (M, group) and show ranges.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut sample = TextTable::new(vec!["M", "group", "U/M", "N_R", "N_S"]);
+    for m in [2usize, 4] {
+        let config = Table3Config::for_cores(m);
+        for g in 0..NUM_GROUPS {
+            let w = generate_workload(&config, UtilizationGroup::new(g), &mut rng);
+            sample.row(vec![
+                m.to_string(),
+                UtilizationGroup::new(g).label(),
+                format!("{:.3}", w.normalized_utilization()),
+                w.rt_tasks.len().to_string(),
+                w.security_tasks.len().to_string(),
+            ]);
+        }
+    }
+    println!("Sample draws (seed 42):");
+    println!("{}", sample.render());
+
+    let path = results_dir().join("table3_params.csv");
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,57 @@
+//! Regeneration harness for every table and figure of the HYDRA-C paper.
+//!
+//! | Artifact | Module / binary |
+//! |---|---|
+//! | Table 1 (security task catalog) | `table1_catalog` binary over [`ids_sim::catalog`] |
+//! | Table 2 (rover platform) | `table2_platform` binary over [`ids_sim::rover`] |
+//! | Table 3 (generator parameters) | `table3_params` binary over [`rts_taskgen::table3`] |
+//! | Fig. 5a/5b (rover detection time & context switches) | [`fig5`], `fig5_rover` binary |
+//! | Fig. 6 (period distance vs utilization) | [`sweep`], `fig6_period_quality` binary |
+//! | Fig. 7a (acceptance ratios) | [`sweep`], `fig7a_acceptance` binary |
+//! | Fig. 7b (period-vector distances) | [`sweep`], `fig7b_period_distance` binary |
+//!
+//! `run_all` regenerates everything and writes text + CSV to `results/`.
+//! Every binary accepts an optional sample-size argument (`--trials N`,
+//! `--per-group N`) and `--full` to use the paper's original sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig5;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+pub use fig5::{run_fig5, PeriodProtocol, SchemeAggregate};
+pub use report::{results_dir, TextTable};
+pub use stats::{percent_faster, Summary};
+pub use sweep::{run_sweep, SweepConfig, SweepResult};
+
+/// Parses `--flag N` style arguments with a default, plus `--full`
+/// overrides. Tiny on purpose — no CLI dependency.
+#[must_use]
+pub fn arg_usize(args: &[String], flag: &str, default: usize, full_value: usize) -> usize {
+    if args.iter().any(|a| a == "--full") {
+        return full_value;
+    }
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--per-group", "7"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_usize(&args, "--per-group", 50, 250), 7);
+        assert_eq!(arg_usize(&args, "--trials", 35, 100), 35);
+        let full: Vec<String> = vec!["--full".into()];
+        assert_eq!(arg_usize(&full, "--per-group", 50, 250), 250);
+        assert_eq!(arg_usize(&[], "--per-group", 50, 250), 50);
+    }
+}

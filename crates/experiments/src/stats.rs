@@ -1,0 +1,96 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (unbiased; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval.
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Ratio `a/b` expressed as a percentage improvement of `a` over `b`
+/// (positive = `a` smaller/faster), `None` when `b` is zero.
+#[must_use]
+pub fn percent_faster(a: f64, b: f64) -> Option<f64> {
+    if b == 0.0 {
+        None
+    } else {
+        Some((b - a) / b * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic sample is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 1e-3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn percent_faster_direction() {
+        assert!((percent_faster(81.0, 100.0).unwrap() - 19.0).abs() < 1e-12);
+        assert_eq!(percent_faster(1.0, 0.0), None);
+        assert!(percent_faster(120.0, 100.0).unwrap() < 0.0);
+    }
+}

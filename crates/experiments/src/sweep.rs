@@ -1,0 +1,273 @@
+//! The Table 3 design-space sweep shared by Figs. 6, 7a and 7b.
+//!
+//! For each core count and base-utilization group, draws task sets from
+//! the Table 3 generator, discards those whose RT part cannot be
+//! partitioned (the paper "only considered the schedulable tasksets"),
+//! and evaluates all four schemes, retaining the admitted period vectors
+//! for the distance metrics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::PeriodVector;
+use rts_partition::FitHeuristic;
+use rts_taskgen::table3::{generate_workload, Table3Config, UtilizationGroup, NUM_GROUPS};
+
+use hydra_core::assemble::assemble_system;
+use hydra_core::schemes::Scheme;
+
+use crate::stats::Summary;
+
+/// Sweep parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SweepConfig {
+    /// Core count `M` (the paper uses 2 and 4).
+    pub cores: usize,
+    /// Task sets per utilization group (paper: 250).
+    pub tasksets_per_group: usize,
+    /// RNG seed (the sweep is fully deterministic given the seed).
+    pub seed: u64,
+    /// Carry-in strategy for the HYDRA-C analyses. The sweeps default to
+    /// [`CarryInStrategy::TopDiff`]; `Exhaustive` is exponential in the
+    /// number of security tasks and reserved for small cross-checks.
+    pub strategy: CarryInStrategy,
+}
+
+impl SweepConfig {
+    /// The paper's configuration for `cores`, reduced to
+    /// `tasksets_per_group` samples.
+    #[must_use]
+    pub fn new(cores: usize, tasksets_per_group: usize) -> Self {
+        SweepConfig {
+            cores,
+            tasksets_per_group,
+            seed: 0xB0B5 + cores as u64,
+            strategy: CarryInStrategy::TopDiff,
+        }
+    }
+}
+
+/// Results for one generated task set.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TasksetRecord {
+    /// Utilization group index.
+    pub group: usize,
+    /// Achieved normalized utilization `U/M`.
+    pub norm_util: f64,
+    /// The designer bounds `T^max`.
+    pub t_max: PeriodVector,
+    /// Admitted period vector per scheme (same order as
+    /// [`Scheme::all`]), `None` when rejected.
+    pub periods: [Option<PeriodVector>; 4],
+}
+
+impl TasksetRecord {
+    /// The admitted period vector of `scheme`, if any.
+    #[must_use]
+    pub fn periods_of(&self, scheme: Scheme) -> Option<&PeriodVector> {
+        let idx = Scheme::all()
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("scheme is in Scheme::all()");
+        self.periods[idx].as_ref()
+    }
+
+    /// Whether `scheme` admitted the task set.
+    #[must_use]
+    pub fn accepted(&self, scheme: Scheme) -> bool {
+        self.periods_of(scheme).is_some()
+    }
+}
+
+/// All records of one sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepResult {
+    /// Sweep parameters.
+    pub config: SweepConfig,
+    /// One record per generated (RT-schedulable) task set.
+    pub records: Vec<TasksetRecord>,
+}
+
+impl SweepResult {
+    /// Records belonging to utilization group `group`.
+    pub fn group(&self, group: usize) -> impl Iterator<Item = &TasksetRecord> {
+        self.records.iter().filter(move |r| r.group == group)
+    }
+
+    /// Fig. 7a: fraction of group `group`'s task sets admitted by
+    /// `scheme`, in percent.
+    #[must_use]
+    pub fn acceptance_ratio(&self, scheme: Scheme, group: usize) -> f64 {
+        let (total, accepted) = self.group(group).fold((0usize, 0usize), |(t, a), r| {
+            (t + 1, a + usize::from(r.accepted(scheme)))
+        });
+        if total == 0 {
+            0.0
+        } else {
+            accepted as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Fig. 6: normalized Euclidean distance `‖T^max − T*‖/‖T^max‖` of
+    /// the HYDRA-C period vector, over the group's admitted task sets.
+    #[must_use]
+    pub fn fig6_distance(&self, group: usize) -> Summary {
+        let values: Vec<f64> = self
+            .group(group)
+            .filter_map(|r| {
+                r.periods_of(Scheme::HydraC)
+                    .map(|p| p.normalized_distance_from_max(&r.t_max))
+            })
+            .collect();
+        Summary::of(&values)
+    }
+
+    /// Fig. 7b (dashed): normalized distance between the HYDRA-C and
+    /// HYDRA period vectors, over task sets admitted by both.
+    #[must_use]
+    pub fn fig7b_vs_hydra(&self, group: usize) -> Summary {
+        let values: Vec<f64> = self
+            .group(group)
+            .filter_map(|r| {
+                let ours = r.periods_of(Scheme::HydraC)?;
+                let theirs = r.periods_of(Scheme::Hydra)?;
+                let norm = r.t_max.norm_ms();
+                (norm > 0.0).then(|| ours.euclidean_distance_ms(theirs) / norm)
+            })
+            .collect();
+        Summary::of(&values)
+    }
+
+    /// Fig. 7b (dotted): normalized distance between HYDRA-C and the
+    /// no-adaptation operating point `T^max`, over task sets admitted by
+    /// HYDRA-C and at least one of the TMax schemes.
+    #[must_use]
+    pub fn fig7b_vs_tmax(&self, group: usize) -> Summary {
+        let values: Vec<f64> = self
+            .group(group)
+            .filter_map(|r| {
+                let ours = r.periods_of(Scheme::HydraC)?;
+                if !r.accepted(Scheme::HydraTMax) && !r.accepted(Scheme::GlobalTMax) {
+                    return None;
+                }
+                Some(ours.normalized_distance_from_max(&r.t_max))
+            })
+            .collect();
+        Summary::of(&values)
+    }
+}
+
+/// Runs the sweep. Progress is reported via `progress` once per group
+/// (pass `|_| ()` to silence it).
+pub fn run_sweep(config: &SweepConfig, mut progress: impl FnMut(usize)) -> SweepResult {
+    let table3 = Table3Config::for_cores(config.cores);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut records = Vec::with_capacity(config.tasksets_per_group * NUM_GROUPS);
+    for group in UtilizationGroup::all() {
+        progress(group.index());
+        let mut produced = 0;
+        // The paper discards RT-infeasible draws; cap the retries so a
+        // pathological configuration cannot loop forever.
+        let mut attempts_left = config.tasksets_per_group * 200;
+        while produced < config.tasksets_per_group && attempts_left > 0 {
+            attempts_left -= 1;
+            let w = generate_workload(&table3, group, &mut rng);
+            let norm_util = w.normalized_utilization();
+            let Ok(system) =
+                assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
+            else {
+                continue; // trivially unschedulable: regenerate
+            };
+            let t_max = PeriodVector::at_max(system.security_tasks());
+            let mut periods: [Option<PeriodVector>; 4] = [None, None, None, None];
+            for (i, scheme) in Scheme::all().into_iter().enumerate() {
+                periods[i] = scheme.evaluate(&system, config.strategy).periods;
+            }
+            records.push(TasksetRecord {
+                group: group.index(),
+                norm_util,
+                t_max,
+                periods,
+            });
+            produced += 1;
+        }
+    }
+    SweepResult {
+        config: *config,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> SweepResult {
+        run_sweep(&SweepConfig::new(2, 3), |_| ())
+    }
+
+    #[test]
+    fn sweep_produces_requested_counts() {
+        let r = tiny_sweep();
+        for g in 0..NUM_GROUPS {
+            assert_eq!(r.group(g).count(), 3, "group {g}");
+        }
+    }
+
+    #[test]
+    fn acceptance_is_monotone_ish_in_utilization() {
+        // Group 0 (U/M ≤ 0.1) must accept everything under every scheme;
+        // group 9 accepts almost nothing.
+        let r = tiny_sweep();
+        for scheme in Scheme::all() {
+            assert_eq!(
+                r.acceptance_ratio(scheme, 0),
+                100.0,
+                "{scheme} must accept trivial load"
+            );
+        }
+        assert!(r.acceptance_ratio(Scheme::HydraC, 9) <= 50.0);
+    }
+
+    #[test]
+    fn distances_are_normalized() {
+        let r = tiny_sweep();
+        for g in 0..NUM_GROUPS {
+            let s = r.fig6_distance(g);
+            assert!(s.mean >= 0.0 && s.mean <= 1.0, "group {g}: {}", s.mean);
+            let d = r.fig7b_vs_hydra(g);
+            assert!(d.mean >= 0.0 && d.mean <= 1.5);
+        }
+    }
+
+    #[test]
+    fn hydra_c_acceptance_dominates_hydra() {
+        // HYDRA-C admits a superset of HYDRA's task sets in every group
+        // (semi-partitioned analysis sees strictly more slack than any
+        // static partitioning of the same priorities) — the paper's
+        // Fig. 7a ordering. With tiny samples we assert per record
+        // rather than on ratios... which would also hold, but noisily.
+        let r = run_sweep(&SweepConfig::new(2, 5), |_| ());
+        for g in 0..NUM_GROUPS {
+            let hc = r.acceptance_ratio(Scheme::HydraC, g);
+            let h = r.acceptance_ratio(Scheme::Hydra, g);
+            // Not a theorem (the analyses are incomparable in corner
+            // cases), but holds on every sampled group of this seed and
+            // matches the paper's figure.
+            assert!(
+                hc + 1e-9 >= h,
+                "group {g}: HYDRA-C {hc}% < HYDRA {h}%"
+            );
+        }
+    }
+
+    #[test]
+    fn records_expose_scheme_outcomes() {
+        let r = tiny_sweep();
+        let rec = &r.records[0];
+        assert!(rec.accepted(Scheme::HydraC));
+        let p = rec.periods_of(Scheme::HydraC).unwrap();
+        assert_eq!(p.len(), rec.t_max.len());
+        assert!(p.dominates(&rec.t_max));
+    }
+}

@@ -1,0 +1,112 @@
+//! Attack injection — the paper's two rover intrusions at random times.
+
+use rand::Rng;
+use rts_model::time::{Duration, Instant};
+
+use crate::filesystem::ObjectId;
+
+/// What the attacker does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttackKind {
+    /// The ARM shellcode tampering with one object of the image store
+    /// (detected by the Tripwire-style checker).
+    FileTamper {
+        /// The compromised object.
+        object: ObjectId,
+    },
+    /// The loadable-module rootkit hooking `read()` (detected by the
+    /// kernel-module checker at the end of its profile sweep).
+    RootkitLoad,
+}
+
+/// One attack instance: what happened, and when.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Attack {
+    /// The attack class.
+    pub kind: AttackKind,
+    /// The injection instant.
+    pub at: Instant,
+}
+
+impl Attack {
+    /// Draws a file-tampering attack: a uniformly random object,
+    /// injected at a uniformly random instant in `[0, window)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store_len` is zero or `window` is zero.
+    pub fn random_file_tamper<R: Rng + ?Sized>(
+        store_len: usize,
+        window: Duration,
+        rng: &mut R,
+    ) -> Self {
+        assert!(store_len > 0, "store must hold at least one object");
+        assert!(!window.is_zero(), "attack window must be non-empty");
+        Attack {
+            kind: AttackKind::FileTamper {
+                object: rng.gen_range(0..store_len),
+            },
+            at: Instant::from_ticks(rng.gen_range(0..window.as_ticks())),
+        }
+    }
+
+    /// Draws a rootkit-load attack at a uniformly random instant in
+    /// `[0, window)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn random_rootkit<R: Rng + ?Sized>(window: Duration, rng: &mut R) -> Self {
+        assert!(!window.is_zero(), "attack window must be non-empty");
+        Attack {
+            kind: AttackKind::RootkitLoad,
+            at: Instant::from_ticks(rng.gen_range(0..window.as_ticks())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn file_attacks_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a = Attack::random_file_tamper(16, Duration::from_ms(1000), &mut rng);
+            let AttackKind::FileTamper { object } = a.kind else {
+                panic!("wrong kind");
+            };
+            assert!(object < 16);
+            assert!(a.at < Instant::from_ms(1000));
+        }
+    }
+
+    #[test]
+    fn rootkit_attacks_stay_in_window() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let a = Attack::random_rootkit(Duration::from_ms(500), &mut rng);
+            assert_eq!(a.kind, AttackKind::RootkitLoad);
+            assert!(a.at < Instant::from_ms(500));
+        }
+    }
+
+    #[test]
+    fn attacks_are_spread_over_the_window() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let times: Vec<u64> = (0..500)
+            .map(|_| {
+                Attack::random_rootkit(Duration::from_ms(1000), &mut rng)
+                    .at
+                    .as_ticks()
+            })
+            .collect();
+        let lo = times.iter().min().unwrap();
+        let hi = times.iter().max().unwrap();
+        assert!(*lo < 1000, "min {lo}");
+        assert!(*hi > 9000, "max {hi}");
+    }
+}

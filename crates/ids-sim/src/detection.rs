@@ -1,0 +1,257 @@
+//! Mapping execution traces to intrusion-detection instants.
+//!
+//! A monitoring job checks its whole object population once per job,
+//! sequentially, spending an equal share of its WCET on each object. An
+//! attack at time `t_a` compromising object `k` is detected the first
+//! time a scanner *finishes checking object `k` in a check that started
+//! at or after `t_a`* — a check already past object `k` (or mid-read at
+//! the attack instant) cannot see the modification and the detection
+//! slips a full period, which is precisely the paper's motivation for
+//! continuous (migration-enabled, rarely interrupted) monitoring.
+
+use rts_model::time::{Duration, Instant};
+use rts_sim::{TaskId, Trace};
+
+/// The scan-progress model of one monitoring task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScanModel {
+    /// Simulator task id of the scanner.
+    pub task: TaskId,
+    /// Objects checked per job (one full sweep per job).
+    pub objects: usize,
+    /// Job WCET; each object costs `wcet / objects` execution time.
+    pub wcet: Duration,
+}
+
+impl ScanModel {
+    /// Creates a scan model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects` is zero or `wcet` shorter than one tick per
+    /// object.
+    #[must_use]
+    pub fn new(task: TaskId, objects: usize, wcet: Duration) -> Self {
+        assert!(objects > 0, "a scanner must cover at least one object");
+        assert!(
+            wcet.as_ticks() >= objects as u64,
+            "each object needs at least one tick of execution"
+        );
+        ScanModel {
+            task,
+            objects,
+            wcet,
+        }
+    }
+
+    /// Execution-time offset at which the check of `object` begins
+    /// within a job.
+    fn start_offset(&self, object: usize) -> u64 {
+        (object as u64 * self.wcet.as_ticks()) / self.objects as u64
+    }
+
+    /// Execution-time offset at which the check of `object` completes.
+    fn end_offset(&self, object: usize) -> u64 {
+        ((object as u64 + 1) * self.wcet.as_ticks()) / self.objects as u64
+    }
+
+    /// Wall-clock instants at which one job's check of `object` starts
+    /// and completes, given the job's slices in order. `None` if the job
+    /// never accumulated enough execution (truncated by the horizon).
+    fn check_window(&self, slices: &[ChronoSlice], object: usize) -> Option<(Instant, Instant)> {
+        let so = self.start_offset(object);
+        let eo = self.end_offset(object);
+        let mut start: Option<Instant> = None;
+        let mut cum: u64 = 0;
+        for s in slices {
+            let len = s.len;
+            // Check start: the first instant cumulative execution == so.
+            if start.is_none() && so < cum + len {
+                start = Some(s.start + Duration::from_ticks(so - cum));
+            }
+            // Check end: the instant cumulative execution reaches eo.
+            if eo <= cum + len {
+                let end = s.start + Duration::from_ticks(eo - cum);
+                return Some((start.expect("start precedes end"), end));
+            }
+            cum += len;
+        }
+        None
+    }
+
+    /// First instant at which a compromise of `object` at time `attack`
+    /// is detected, or `None` if no qualifying check completes within the
+    /// trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ids_sim::detection::ScanModel;
+    /// use rts_model::time::{Duration, Instant};
+    /// use rts_model::Platform;
+    /// use rts_sim::{Affinity, SimConfig, Simulation, TaskId, TaskSpec};
+    ///
+    /// let t = Duration::from_ticks;
+    /// let sim = Simulation::new(
+    ///     Platform::uniprocessor(),
+    ///     vec![TaskSpec::new("scan", t(10), t(20), 0, Affinity::Migrating)],
+    /// );
+    /// let out = sim.run(&SimConfig::new(t(100)).with_trace());
+    /// let model = ScanModel::new(TaskId(0), 10, t(10));
+    /// // Attack object 4 at t=1: the first job started at t=0 — too
+    /// // early for object 0..1, but object 4's check starts at t=4 ≥ 1,
+    /// // so it is caught in the same pass, completing at t=5.
+    /// let hit = model.detection_instant(out.trace.as_ref().unwrap(), 4, Instant::from_ticks(1));
+    /// assert_eq!(hit, Some(Instant::from_ticks(5)));
+    /// ```
+    #[must_use]
+    pub fn detection_instant(
+        &self,
+        trace: &Trace,
+        object: usize,
+        attack: Instant,
+    ) -> Option<Instant> {
+        assert!(object < self.objects, "object outside the scanned range");
+        // Group this task's slices by job, preserving order.
+        let mut jobs: Vec<(u64, Vec<ChronoSlice>)> = Vec::new();
+        for s in trace.of_task(self.task) {
+            let cs = ChronoSlice {
+                start: s.start,
+                len: s.len().as_ticks(),
+            };
+            match jobs.last_mut() {
+                Some((seq, v)) if *seq == s.job => v.push(cs),
+                _ => jobs.push((s.job, vec![cs])),
+            }
+        }
+        for (_, slices) in &jobs {
+            if let Some((check_start, check_end)) = self.check_window(slices, object) {
+                if check_start >= attack {
+                    return Some(check_end);
+                }
+            }
+        }
+        None
+    }
+
+    /// Detection latency (`instant − attack`), if detected in the trace.
+    #[must_use]
+    pub fn detection_latency(
+        &self,
+        trace: &Trace,
+        object: usize,
+        attack: Instant,
+    ) -> Option<Duration> {
+        self.detection_instant(trace, object, attack)
+            .map(|t| t - attack)
+    }
+}
+
+/// A slice reduced to what the progress arithmetic needs.
+#[derive(Clone, Copy, Debug)]
+struct ChronoSlice {
+    start: Instant,
+    len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::Platform;
+    use rts_sim::{Affinity, SimConfig, Simulation, TaskSpec};
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    fn at(v: u64) -> Instant {
+        Instant::from_ticks(v)
+    }
+
+    /// Uninterrupted scanner: 10 objects, 1 tick each, period 20.
+    fn solo_trace() -> Trace {
+        let sim = Simulation::new(
+            Platform::uniprocessor(),
+            vec![TaskSpec::new("scan", t(10), t(20), 0, Affinity::Migrating)],
+        );
+        sim.run(&SimConfig::new(t(100)).with_trace())
+            .trace
+            .unwrap()
+    }
+
+    #[test]
+    fn attack_ahead_of_scan_head_detected_same_pass() {
+        let model = ScanModel::new(TaskId(0), 10, t(10));
+        let trace = solo_trace();
+        // Attack object 7 at t=3: check starts at 7 ≥ 3 → ends at 8.
+        assert_eq!(model.detection_instant(&trace, 7, at(3)), Some(at(8)));
+        assert_eq!(model.detection_latency(&trace, 7, at(3)), Some(t(5)));
+    }
+
+    #[test]
+    fn attack_behind_scan_head_waits_a_period() {
+        let model = ScanModel::new(TaskId(0), 10, t(10));
+        let trace = solo_trace();
+        // Attack object 2 at t=5: this pass already checked it (at 2–3),
+        // so the next pass (job 1 at t=20) catches it at 23.
+        assert_eq!(model.detection_instant(&trace, 2, at(5)), Some(at(23)));
+    }
+
+    #[test]
+    fn attack_mid_check_is_missed_until_next_pass() {
+        let model = ScanModel::new(TaskId(0), 10, t(10));
+        let trace = solo_trace();
+        // Attack object 4 exactly as its check starts ([4,5)): the read
+        // happens after the tampering, so this pass still catches it.
+        assert_eq!(model.detection_instant(&trace, 4, at(4)), Some(at(5)));
+        // One tick later the check has already begun — the read may have
+        // passed the tampered bytes, so detection slips to the next pass,
+        // whose object-4 check completes at 25.
+        assert_eq!(model.detection_instant(&trace, 4, at(5)), Some(at(25)));
+    }
+
+    #[test]
+    fn preempted_scanner_detection_accounts_for_gaps() {
+        // Scanner shares the core with a higher-priority task: slices are
+        // fragmented; progress accumulates only while executing.
+        let sim = Simulation::new(
+            Platform::uniprocessor(),
+            vec![
+                TaskSpec::new("rt", t(3), t(10), 0, Affinity::Pinned(0.into())),
+                TaskSpec::new("scan", t(10), t(40), 1, Affinity::Migrating),
+            ],
+        );
+        let out = sim.run(&SimConfig::new(t(200)).with_trace());
+        let trace = out.trace.unwrap();
+        let model = ScanModel::new(TaskId(1), 10, t(10));
+        // Execution pattern: [3,10) = 7 units, [13,16) = 3 units → object
+        // 9 (offsets [9,10)) completes at wall time 15+1 = 16.
+        assert_eq!(model.detection_instant(&trace, 9, at(0)), Some(at(16)));
+        // Object 8 ([8,9)) completes at 13 + (8−7) + 1 = 15.
+        assert_eq!(model.detection_instant(&trace, 8, at(0)), Some(at(15)));
+    }
+
+    #[test]
+    fn truncated_final_job_returns_none() {
+        let sim = Simulation::new(
+            Platform::uniprocessor(),
+            vec![TaskSpec::new("scan", t(10), t(20), 0, Affinity::Migrating)],
+        );
+        let out = sim.run(&SimConfig::new(t(25)).with_trace());
+        let trace = out.trace.unwrap();
+        let model = ScanModel::new(TaskId(0), 10, t(10));
+        // Attack object 9 at t=15: job 1 runs [20,25) only — its check of
+        // object 9 never completes inside the horizon.
+        assert_eq!(model.detection_instant(&trace, 9, at(15)), None);
+    }
+
+    #[test]
+    fn object_cost_proration_is_exact() {
+        // 3 objects over 10 ticks: offsets 0–3, 3–6, 6–10.
+        let model = ScanModel::new(TaskId(0), 3, t(10));
+        assert_eq!(model.start_offset(0), 0);
+        assert_eq!(model.end_offset(0), 3);
+        assert_eq!(model.start_offset(2), 6);
+        assert_eq!(model.end_offset(2), 10);
+    }
+}

@@ -1,0 +1,169 @@
+//! The synthetic object store — the rover's image data directory.
+//!
+//! Stands in for the ext4 directory Tripwire watched on the real rover:
+//! a flat collection of named objects with mutable contents. An attack
+//! (the paper's ARM shellcode) is a content mutation; the integrity
+//! checker detects it by comparing content digests against a baseline.
+
+use rand::Rng;
+
+use crate::hashing::{fnv1a, Digest};
+
+/// Index of an object within a store.
+pub type ObjectId = usize;
+
+/// One stored object (e.g. a captured camera frame).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoredObject {
+    name: String,
+    content: Vec<u8>,
+}
+
+impl StoredObject {
+    /// The object's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The object's raw content.
+    #[must_use]
+    pub fn content(&self) -> &[u8] {
+        &self.content
+    }
+
+    /// Content digest.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        fnv1a(&self.content)
+    }
+}
+
+/// A flat object store with content hashing.
+///
+/// # Examples
+///
+/// ```
+/// use ids_sim::filesystem::ObjectStore;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut store = ObjectStore::synthetic(8, 256, &mut rng);
+/// let before = store.object(3).digest();
+/// store.tamper(3, &mut rng);
+/// assert_ne!(store.object(3).digest(), before);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ObjectStore {
+    objects: Vec<StoredObject>,
+}
+
+impl ObjectStore {
+    /// Creates a store of `count` objects with `size` random bytes each,
+    /// named `image-0000` onward (the rover stores camera frames).
+    #[must_use]
+    pub fn synthetic<R: Rng + ?Sized>(count: usize, size: usize, rng: &mut R) -> Self {
+        let objects = (0..count)
+            .map(|i| {
+                let mut content = vec![0u8; size];
+                rng.fill(&mut content[..]);
+                StoredObject {
+                    name: format!("image-{i:04}"),
+                    content,
+                }
+            })
+            .collect();
+        ObjectStore { objects }
+    }
+
+    /// Number of objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if the store holds no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Borrows object `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn object(&self, id: ObjectId) -> &StoredObject {
+        &self.objects[id]
+    }
+
+    /// Iterates over all objects in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, StoredObject> {
+        self.objects.iter()
+    }
+
+    /// Overwrites a random byte range of object `id` with random data —
+    /// the shellcode's file tampering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the object is empty.
+    pub fn tamper<R: Rng + ?Sized>(&mut self, id: ObjectId, rng: &mut R) {
+        let content = &mut self.objects[id].content;
+        assert!(!content.is_empty(), "cannot tamper an empty object");
+        let start = rng.gen_range(0..content.len());
+        let len = rng.gen_range(1..=(content.len() - start).min(16));
+        let before = content[start..start + len].to_vec();
+        loop {
+            rng.fill(&mut content[start..start + len]);
+            // Guarantee the mutation is visible (random bytes could
+            // coincide with the original).
+            if content[start..start + len] != before[..] {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthetic_store_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let store = ObjectStore::synthetic(16, 64, &mut rng);
+        assert_eq!(store.len(), 16);
+        assert!(!store.is_empty());
+        assert_eq!(store.object(0).name(), "image-0000");
+        assert_eq!(store.object(15).content().len(), 64);
+        assert_eq!(store.iter().count(), 16);
+    }
+
+    #[test]
+    fn tamper_always_changes_content() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let mut store = ObjectStore::synthetic(4, 32, &mut rng);
+            let before = store.object(2).digest();
+            store.tamper(2, &mut rng);
+            assert_ne!(store.object(2).digest(), before);
+        }
+    }
+
+    #[test]
+    fn tamper_leaves_other_objects_alone() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ObjectStore::synthetic(4, 32, &mut rng);
+        let digests: Vec<_> = store.iter().map(StoredObject::digest).collect();
+        store.tamper(1, &mut rng);
+        for (i, obj) in store.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(obj.digest(), digests[i], "object {i} must be intact");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Content hashing for integrity baselines (FNV-1a, 64-bit).
+//!
+//! Tripwire hashes file contents against a baseline database; our
+//! synthetic store does the same with FNV-1a — small, dependency-free,
+//! and adequate for *detecting modifications* (the integrity use case;
+//! cryptographic strength is irrelevant to the scheduling questions the
+//! paper studies, and substituting a faster hash keeps the substrate
+//! honest about what it claims: equality checking).
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A content digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Digest(pub u64);
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Hashes a byte slice with FNV-1a.
+///
+/// # Examples
+///
+/// ```
+/// use ids_sim::hashing::fnv1a;
+///
+/// let clean = fnv1a(b"camera-frame-0001");
+/// let tampered = fnv1a(b"camera-frame-0001\xff");
+/// assert_ne!(clean, tampered);
+/// assert_eq!(clean, fnv1a(b"camera-frame-0001"));
+/// ```
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> Digest {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    Digest(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b"").0, 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a").0, 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar").0, 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data = vec![0u8; 128];
+        let clean = fnv1a(&data);
+        data[77] ^= 0x01;
+        assert_ne!(fnv1a(&data), clean);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(fnv1a(b"").to_string(), "cbf29ce484222325");
+    }
+}

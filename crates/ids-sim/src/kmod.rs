@@ -1,0 +1,248 @@
+//! Kernel-module registry and the custom module checker.
+//!
+//! Models the paper's in-house security task: "checks current kernel
+//! modules (as a preventive measure to detect rootkits) and compares
+//! with an expected profile of modules". The rootkit of the paper's
+//! experiment (a `read()`-hooking loadable module) manifests as an
+//! unexpected entry in the module list — or, for stealthier variants,
+//! as a modified text hash of an existing module.
+
+use crate::hashing::{fnv1a, Digest};
+
+/// One loaded kernel module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KernelModule {
+    name: String,
+    text: Vec<u8>,
+}
+
+impl KernelModule {
+    /// Creates a module with the given name and text segment.
+    #[must_use]
+    pub fn new(name: impl Into<String>, text: Vec<u8>) -> Self {
+        KernelModule {
+            name: name.into(),
+            text,
+        }
+    }
+
+    /// The module's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Digest of the module's text segment.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        fnv1a(&self.text)
+    }
+}
+
+/// The live module registry (what `/proc/modules` would show).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ModuleRegistry {
+    modules: Vec<KernelModule>,
+}
+
+impl ModuleRegistry {
+    /// A registry pre-populated with `count` benign modules.
+    #[must_use]
+    pub fn synthetic(count: usize) -> Self {
+        let modules = (0..count)
+            .map(|i| {
+                KernelModule::new(
+                    format!("mod_{i:03}"),
+                    format!("text-segment-of-module-{i}").into_bytes(),
+                )
+            })
+            .collect();
+        ModuleRegistry { modules }
+    }
+
+    /// Number of loaded modules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Returns `true` if no modules are loaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The module at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn module(&self, index: usize) -> &KernelModule {
+        &self.modules[index]
+    }
+
+    /// Iterates over the loaded modules.
+    pub fn iter(&self) -> std::slice::Iter<'_, KernelModule> {
+        self.modules.iter()
+    }
+
+    /// Loads a module (what `insmod` does — and what the rootkit abuses).
+    pub fn load(&mut self, module: KernelModule) {
+        self.modules.push(module);
+    }
+
+    /// Patches the text of module `index` (a hooking rootkit variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn patch_text(&mut self, index: usize, patch: &[u8]) {
+        let text = &mut self.modules[index].text;
+        text.extend_from_slice(patch);
+    }
+}
+
+/// The expected profile: names and digests captured at commissioning.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExpectedProfile {
+    entries: Vec<(String, Digest)>,
+}
+
+/// A deviation found by the checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModuleFinding {
+    /// A module not present in the profile is loaded.
+    Unexpected {
+        /// The intruder's name.
+        name: String,
+    },
+    /// A profiled module's text was altered.
+    Tampered {
+        /// The altered module's name.
+        name: String,
+    },
+    /// A profiled module is missing (hidden or unloaded).
+    Missing {
+        /// The missing module's name.
+        name: String,
+    },
+}
+
+impl ExpectedProfile {
+    /// Captures the profile of a trusted registry.
+    #[must_use]
+    pub fn capture(registry: &ModuleRegistry) -> Self {
+        ExpectedProfile {
+            entries: registry
+                .iter()
+                .map(|m| (m.name().to_owned(), m.digest()))
+                .collect(),
+        }
+    }
+
+    /// Number of profiled modules — the unit count for the scan-progress
+    /// model.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the profile is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Checks the profile entry at `index` against the live registry,
+    /// also flagging any *extra* module that sits at positions beyond
+    /// the profile when `index` is the last entry.
+    #[must_use]
+    pub fn check_entry(&self, registry: &ModuleRegistry, index: usize) -> Vec<ModuleFinding> {
+        let mut findings = Vec::new();
+        let (name, digest) = &self.entries[index];
+        match registry.iter().find(|m| m.name() == name) {
+            None => findings.push(ModuleFinding::Missing { name: name.clone() }),
+            Some(m) if m.digest() != *digest => {
+                findings.push(ModuleFinding::Tampered { name: name.clone() });
+            }
+            Some(_) => {}
+        }
+        if index + 1 == self.entries.len() {
+            // Tail of the sweep: anything loaded but unprofiled.
+            for m in registry.iter() {
+                if !self.entries.iter().any(|(n, _)| n == m.name()) {
+                    findings.push(ModuleFinding::Unexpected {
+                        name: m.name().to_owned(),
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// Full sweep over the profile (and the unexpected-module tail).
+    #[must_use]
+    pub fn check_all(&self, registry: &ModuleRegistry) -> Vec<ModuleFinding> {
+        (0..self.entries.len())
+            .flat_map(|i| self.check_entry(registry, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_registry_passes() {
+        let reg = ModuleRegistry::synthetic(5);
+        let profile = ExpectedProfile::capture(&reg);
+        assert_eq!(profile.len(), 5);
+        assert!(profile.check_all(&reg).is_empty());
+    }
+
+    #[test]
+    fn rootkit_module_is_unexpected() {
+        let mut reg = ModuleRegistry::synthetic(3);
+        let profile = ExpectedProfile::capture(&reg);
+        reg.load(KernelModule::new("simple_rootkit", b"hook read()".to_vec()));
+        let findings = profile.check_all(&reg);
+        assert_eq!(
+            findings,
+            vec![ModuleFinding::Unexpected {
+                name: "simple_rootkit".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn patched_module_is_tampered() {
+        let mut reg = ModuleRegistry::synthetic(3);
+        let profile = ExpectedProfile::capture(&reg);
+        reg.patch_text(1, b"\x90\x90jmp hook");
+        let findings = profile.check_all(&reg);
+        assert_eq!(findings, vec![ModuleFinding::Tampered { name: "mod_001".into() }]);
+    }
+
+    #[test]
+    fn unexpected_is_only_reported_at_sweep_tail() {
+        let mut reg = ModuleRegistry::synthetic(3);
+        let profile = ExpectedProfile::capture(&reg);
+        reg.load(KernelModule::new("evil", b"x".to_vec()));
+        assert!(profile.check_entry(&reg, 0).is_empty());
+        assert!(profile.check_entry(&reg, 1).is_empty());
+        assert_eq!(profile.check_entry(&reg, 2).len(), 1);
+    }
+
+    #[test]
+    fn hidden_module_is_missing() {
+        let reg = ModuleRegistry::synthetic(3);
+        let profile = ExpectedProfile::capture(&reg);
+        let mut hidden = ModuleRegistry::default();
+        hidden.load(reg.module(0).clone());
+        hidden.load(reg.module(2).clone());
+        let findings = profile.check_all(&hidden);
+        assert!(findings.contains(&ModuleFinding::Missing { name: "mod_001".into() }));
+    }
+}

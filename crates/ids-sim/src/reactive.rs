@@ -1,0 +1,216 @@
+//! Reactive (multi-mode) monitors — the paper's §6 extension sketch.
+//!
+//! The paper discusses monitors that *react*: job `j` performs the
+//! routine action `a₀`; if it observes an anomaly, job `j+1` performs
+//! both `a₀` and the deeper check `a₁` (e.g. also auditing the syscall
+//! list). This module models such a monitor as a two-mode task:
+//!
+//! * **Passive** — routine sweep, WCET `C_p`;
+//! * **Active** — escalated sweep, WCET `C_a ≥ C_p`.
+//!
+//! Escalation happens on any finding; the monitor de-escalates after a
+//! configurable number of consecutive clean active sweeps. For
+//! *admission* the designer integrates the monitor at its active WCET
+//! ([`ModalMonitor::conservative_task`]) — sound for any mode sequence,
+//! at the price the paper's future-work section would want to optimize.
+
+use rts_model::task::SecurityTask;
+use rts_model::time::Duration;
+use rts_model::ModelError;
+
+/// The two monitoring depths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MonitorMode {
+    /// Routine checking (`a₀`).
+    #[default]
+    Passive,
+    /// Escalated checking (`a₀ + a₁`).
+    Active,
+}
+
+/// Result of one sweep, as fed back by the detection substrate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepOutcome {
+    /// No anomaly observed.
+    Clean,
+    /// At least one finding (integrity violation, unexpected module,
+    /// alert, anomalous counter sample…).
+    Findings(usize),
+}
+
+/// A two-mode reactive monitor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModalMonitor {
+    passive_wcet: Duration,
+    active_wcet: Duration,
+    t_max: Duration,
+    calm_after: u32,
+    mode: MonitorMode,
+    clean_streak: u32,
+    escalations: u64,
+}
+
+impl ModalMonitor {
+    /// Creates a reactive monitor.
+    ///
+    /// `calm_after` is the number of consecutive clean *active* sweeps
+    /// after which the monitor returns to passive mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the WCETs are zero, the active WCET is
+    /// below the passive one, or the active WCET exceeds `t_max`.
+    pub fn new(
+        passive_wcet: Duration,
+        active_wcet: Duration,
+        t_max: Duration,
+        calm_after: u32,
+    ) -> Result<Self, ModelError> {
+        if passive_wcet.is_zero() || active_wcet.is_zero() {
+            return Err(ModelError::ZeroWcet);
+        }
+        if active_wcet < passive_wcet {
+            return Err(ModelError::WcetExceedsDeadline {
+                wcet: passive_wcet,
+                deadline: active_wcet,
+            });
+        }
+        if active_wcet > t_max {
+            return Err(ModelError::WcetExceedsMaxPeriod {
+                wcet: active_wcet,
+                t_max,
+            });
+        }
+        Ok(ModalMonitor {
+            passive_wcet,
+            active_wcet,
+            t_max,
+            calm_after,
+            mode: MonitorMode::Passive,
+            clean_streak: 0,
+            escalations: 0,
+        })
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> MonitorMode {
+        self.mode
+    }
+
+    /// WCET of the *next* sweep, given the current mode.
+    #[must_use]
+    pub fn current_wcet(&self) -> Duration {
+        match self.mode {
+            MonitorMode::Passive => self.passive_wcet,
+            MonitorMode::Active => self.active_wcet,
+        }
+    }
+
+    /// Number of passive→active escalations so far.
+    #[must_use]
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Feeds one sweep outcome into the mode state machine and returns
+    /// the mode the *next* sweep will run in.
+    pub fn observe(&mut self, outcome: SweepOutcome) -> MonitorMode {
+        match (self.mode, outcome) {
+            (MonitorMode::Passive, SweepOutcome::Findings(_)) => {
+                self.mode = MonitorMode::Active;
+                self.clean_streak = 0;
+                self.escalations += 1;
+            }
+            (MonitorMode::Active, SweepOutcome::Clean) => {
+                self.clean_streak += 1;
+                if self.clean_streak >= self.calm_after {
+                    self.mode = MonitorMode::Passive;
+                    self.clean_streak = 0;
+                }
+            }
+            (MonitorMode::Active, SweepOutcome::Findings(_)) => {
+                self.clean_streak = 0;
+            }
+            (MonitorMode::Passive, SweepOutcome::Clean) => {}
+        }
+        self.mode
+    }
+
+    /// The task to hand to the admission analysis: the monitor at its
+    /// **active** WCET. Sound for every mode sequence, since the active
+    /// sweep upper-bounds the passive one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] (cannot occur for a validly constructed
+    /// monitor).
+    pub fn conservative_task(&self) -> Result<SecurityTask, ModelError> {
+        SecurityTask::new(self.active_wcet, self.t_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn monitor() -> ModalMonitor {
+        ModalMonitor::new(ms(100), ms(350), ms(5000), 2).unwrap()
+    }
+
+    #[test]
+    fn starts_passive_and_escalates_on_finding() {
+        let mut m = monitor();
+        assert_eq!(m.mode(), MonitorMode::Passive);
+        assert_eq!(m.current_wcet(), ms(100));
+        assert_eq!(m.observe(SweepOutcome::Findings(1)), MonitorMode::Active);
+        assert_eq!(m.current_wcet(), ms(350));
+        assert_eq!(m.escalations(), 1);
+    }
+
+    #[test]
+    fn deescalates_after_consecutive_clean_sweeps() {
+        let mut m = monitor();
+        m.observe(SweepOutcome::Findings(2));
+        assert_eq!(m.observe(SweepOutcome::Clean), MonitorMode::Active);
+        assert_eq!(m.observe(SweepOutcome::Clean), MonitorMode::Passive);
+    }
+
+    #[test]
+    fn findings_reset_the_clean_streak() {
+        let mut m = monitor();
+        m.observe(SweepOutcome::Findings(1));
+        m.observe(SweepOutcome::Clean);
+        m.observe(SweepOutcome::Findings(1)); // streak resets
+        assert_eq!(m.observe(SweepOutcome::Clean), MonitorMode::Active);
+        assert_eq!(m.observe(SweepOutcome::Clean), MonitorMode::Passive);
+    }
+
+    #[test]
+    fn conservative_task_uses_active_wcet() {
+        let m = monitor();
+        let task = m.conservative_task().unwrap();
+        assert_eq!(task.wcet(), ms(350));
+        assert_eq!(task.t_max(), ms(5000));
+    }
+
+    #[test]
+    fn validation_rejects_inverted_wcets() {
+        assert!(ModalMonitor::new(ms(400), ms(350), ms(5000), 1).is_err());
+        assert!(ModalMonitor::new(ms(100), ms(6000), ms(5000), 1).is_err());
+        assert!(ModalMonitor::new(Duration::ZERO, ms(10), ms(100), 1).is_err());
+    }
+
+    #[test]
+    fn passive_clean_is_a_fixpoint() {
+        let mut m = monitor();
+        for _ in 0..10 {
+            assert_eq!(m.observe(SweepOutcome::Clean), MonitorMode::Passive);
+        }
+        assert_eq!(m.escalations(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! A Tripwire-style file integrity checker.
+//!
+//! Mirrors the open-source Tripwire workflow the paper deployed on the
+//! rover: *initialize* a baseline database of content digests, then
+//! *check* the store against it, reporting every modified object.
+
+use crate::filesystem::{ObjectId, ObjectStore};
+use crate::hashing::Digest;
+
+/// The baseline database: one digest per object, captured while the
+/// system is known-good.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BaselineDb {
+    digests: Vec<Digest>,
+}
+
+impl BaselineDb {
+    /// Initializes the baseline from the current (trusted) store state —
+    /// Tripwire's `--init`.
+    #[must_use]
+    pub fn init(store: &ObjectStore) -> Self {
+        BaselineDb {
+            digests: store.iter().map(|o| o.digest()).collect(),
+        }
+    }
+
+    /// Number of baselined objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Returns `true` if the baseline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// Checks a single object against the baseline — the unit of work
+    /// the scan-progress model meters out over a job's execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the baseline.
+    #[must_use]
+    pub fn check_object(&self, store: &ObjectStore, id: ObjectId) -> IntegrityVerdict {
+        if store.object(id).digest() == self.digests[id] {
+            IntegrityVerdict::Clean
+        } else {
+            IntegrityVerdict::Modified
+        }
+    }
+
+    /// Full integrity sweep — Tripwire's `--check`; returns the ids of
+    /// every modified object.
+    #[must_use]
+    pub fn check_all(&self, store: &ObjectStore) -> Vec<ObjectId> {
+        (0..self.digests.len())
+            .filter(|&id| self.check_object(store, id) == IntegrityVerdict::Modified)
+            .collect()
+    }
+}
+
+/// Outcome of checking one object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IntegrityVerdict {
+    /// Digest matches the baseline.
+    Clean,
+    /// Digest differs — the object was modified after baselining.
+    Modified,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_store_passes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let store = ObjectStore::synthetic(8, 64, &mut rng);
+        let db = BaselineDb::init(&store);
+        assert_eq!(db.len(), 8);
+        assert!(db.check_all(&store).is_empty());
+    }
+
+    #[test]
+    fn tampered_object_is_flagged_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ObjectStore::synthetic(8, 64, &mut rng);
+        let db = BaselineDb::init(&store);
+        store.tamper(5, &mut rng);
+        assert_eq!(db.check_object(&store, 5), IntegrityVerdict::Modified);
+        assert_eq!(db.check_object(&store, 4), IntegrityVerdict::Clean);
+        assert_eq!(db.check_all(&store), vec![5]);
+    }
+
+    #[test]
+    fn multiple_tampers_all_reported() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ObjectStore::synthetic(10, 64, &mut rng);
+        let db = BaselineDb::init(&store);
+        store.tamper(1, &mut rng);
+        store.tamper(7, &mut rng);
+        assert_eq!(db.check_all(&store), vec![1, 7]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the detection-latency model — the quantity behind
+//! the paper's Fig. 5.
+
+use ids_sim::detection::ScanModel;
+use proptest::prelude::*;
+use rts_model::time::{Duration, Instant};
+use rts_model::Platform;
+use rts_sim::{Affinity, SimConfig, Simulation, TaskId, TaskSpec};
+
+fn t(v: u64) -> Duration {
+    Duration::from_ticks(v)
+}
+
+/// A solo scanner with the given WCET/period over `objects` objects.
+fn solo_trace(wcet: u64, period: u64, horizon: u64) -> rts_sim::Trace {
+    let sim = Simulation::new(
+        Platform::uniprocessor(),
+        vec![TaskSpec::new("scan", t(wcet), t(period), 0, Affinity::Migrating)],
+    );
+    sim.run(&SimConfig::new(t(horizon)).with_trace())
+        .trace
+        .expect("trace enabled")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solo_scanner_latency_is_bounded_by_two_periods(
+        objects in 1usize..20,
+        period_slack in 0u64..40,
+        attack_at in 0u64..200,
+        object_sel in 0usize..20,
+    ) {
+        // An uninterrupted scanner that fits in its period detects any
+        // attack within two periods (worst case: the attack lands just
+        // behind the scan head, waits out the rest of this pass plus a
+        // whole next pass).
+        let wcet = objects as u64; // 1 tick per object
+        let period = wcet + period_slack + 1;
+        let object = object_sel % objects;
+        let trace = solo_trace(wcet, period, attack_at + 3 * period + wcet);
+        let model = ScanModel::new(TaskId(0), objects, t(wcet));
+        let attack = Instant::from_ticks(attack_at);
+        let latency = model
+            .detection_latency(&trace, object, attack)
+            .expect("horizon covers two periods past the attack");
+        prop_assert!(
+            latency <= t(2 * period),
+            "latency {latency:?} exceeds two periods ({period} ticks each)"
+        );
+    }
+
+    #[test]
+    fn detection_is_monotone_in_attack_time(
+        objects in 2usize..12,
+        attack_at in 0u64..100,
+        delta in 1u64..50,
+        object_sel in 0usize..12,
+    ) {
+        // A later attack is never detected earlier.
+        let wcet = objects as u64 * 2;
+        let period = wcet + 10;
+        let object = object_sel % objects;
+        let trace = solo_trace(wcet, period, 1000);
+        let model = ScanModel::new(TaskId(0), objects, t(wcet));
+        let d1 = model.detection_instant(&trace, object, Instant::from_ticks(attack_at));
+        let d2 = model.detection_instant(&trace, object, Instant::from_ticks(attack_at + delta));
+        if let (Some(a), Some(b)) = (d1, d2) {
+            prop_assert!(b >= a, "later attack detected earlier: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn detection_never_precedes_the_check_or_the_attack(
+        objects in 1usize..16,
+        attack_at in 0u64..300,
+        object_sel in 0usize..16,
+    ) {
+        let wcet = objects as u64;
+        let period = wcet + 5;
+        let object = object_sel % objects;
+        let trace = solo_trace(wcet, period, 1200);
+        let model = ScanModel::new(TaskId(0), objects, t(wcet));
+        let attack = Instant::from_ticks(attack_at);
+        if let Some(instant) = model.detection_instant(&trace, object, attack) {
+            prop_assert!(instant > attack, "detected before the attack happened");
+        }
+    }
+
+    #[test]
+    fn interruptions_never_speed_up_check_completions(
+        objects in 2usize..10,
+        object_sel in 0usize..10,
+    ) {
+        // Pointwise, interference *can* luckily speed up a detection (a
+        // delayed pass start may land just after the attack instead of
+        // just before), so the sound invariant is about the mechanism:
+        // under added higher-priority load, every job's check of every
+        // object completes no earlier than in the solo schedule. This is
+        // what degrades detection latency *on average* — the paper's
+        // continuous-monitoring argument.
+        let wcet = objects as u64 * 2;
+        let period = wcet * 4;
+        let object = object_sel % objects;
+        let solo = solo_trace(wcet, period, 2000);
+        let busy = {
+            let sim = Simulation::new(
+                Platform::uniprocessor(),
+                vec![
+                    TaskSpec::new("rt", t(3), t(12), 0, Affinity::Pinned(0.into())),
+                    TaskSpec::new("scan", t(wcet), t(period), 1, Affinity::Migrating),
+                ],
+            );
+            sim.run(&SimConfig::new(t(2000)).with_trace()).trace.unwrap()
+        };
+        let solo_model = ScanModel::new(TaskId(0), objects, t(wcet));
+        let busy_model = ScanModel::new(TaskId(1), objects, t(wcet));
+        // Compare per-job check completions via attacks pinned to each
+        // job's release (so both schedules look at the same job).
+        for job in 0..8u64 {
+            let release = Instant::from_ticks(job * period);
+            let a = solo_model.detection_instant(&solo, object, release);
+            let b = busy_model.detection_instant(&busy, object, release);
+            if let (Some(a), Some(b)) = (a, b) {
+                prop_assert!(
+                    b >= a,
+                    "job {job}: busy completion {b:?} precedes solo {a:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Enumeration of admissible carry-in sets (paper Lemma 2 / Eq. 8).
+//!
+//! Lemma 2 bounds the number of higher-priority tasks with carry-in at the
+//! start of the extended busy period by `M − 1`. The exhaustive Eq. 8
+//! maximization therefore ranges over all subsets of the higher-priority
+//! migrating tasks with cardinality at most `M − 1`;
+//! [`CombinationsUpTo`] yields exactly those subsets.
+
+/// Iterator over all subsets of `{0, …, n−1}` of size `0..=k_max`,
+/// in increasing size, each subset in lexicographic order.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::carry_in::CombinationsUpTo;
+///
+/// let subsets: Vec<Vec<usize>> = CombinationsUpTo::new(3, 1).collect();
+/// assert_eq!(subsets, vec![vec![], vec![0], vec![1], vec![2]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CombinationsUpTo {
+    n: usize,
+    k_max: usize,
+    k: usize,
+    current: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl CombinationsUpTo {
+    /// Creates the iterator for subsets of `{0, …, n−1}` with at most
+    /// `k_max` elements. `k_max` is clamped to `n`.
+    #[must_use]
+    pub fn new(n: usize, k_max: usize) -> Self {
+        CombinationsUpTo {
+            n,
+            k_max: k_max.min(n),
+            k: 0,
+            current: Vec::new(),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Total number of subsets this iterator will yield:
+    /// `Σ_{k=0}^{k_max} C(n, k)`.
+    #[must_use]
+    pub fn count_total(n: usize, k_max: usize) -> u128 {
+        let k_max = k_max.min(n);
+        let mut total: u128 = 0;
+        let mut binom: u128 = 1; // C(n, 0)
+        for k in 0..=k_max {
+            total += binom;
+            binom = binom * (n - k) as u128 / (k + 1) as u128;
+        }
+        total
+    }
+
+    /// Advances `current` to the next k-combination; returns `false` when
+    /// the k-combinations are exhausted.
+    fn advance_same_k(&mut self) -> bool {
+        let k = self.k;
+        if k == 0 {
+            return false;
+        }
+        // Find the rightmost element that can still move right.
+        let mut i = k;
+        while i > 0 {
+            i -= 1;
+            if self.current[i] < self.n - (k - i) {
+                self.current[i] += 1;
+                for j in i + 1..k {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for CombinationsUpTo {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(Vec::new()); // the empty subset (k = 0)
+        }
+        if self.k == 0 || !self.advance_same_k() {
+            // Move to the next cardinality.
+            self.k += 1;
+            if self.k > self.k_max {
+                self.done = true;
+                return None;
+            }
+            self.current = (0..self.k).collect();
+        }
+        Some(self.current.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_k_max_yields_only_empty_set() {
+        let subsets: Vec<Vec<usize>> = CombinationsUpTo::new(5, 0).collect();
+        assert_eq!(subsets, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn full_enumeration_small_case() {
+        let subsets: Vec<Vec<usize>> = CombinationsUpTo::new(3, 2).collect();
+        assert_eq!(
+            subsets,
+            vec![
+                vec![],
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn k_max_clamped_to_n() {
+        let subsets: Vec<Vec<usize>> = CombinationsUpTo::new(2, 10).collect();
+        assert_eq!(subsets.len(), 4); // {}, {0}, {1}, {0,1}
+    }
+
+    #[test]
+    fn n_zero_yields_empty_set_only() {
+        let subsets: Vec<Vec<usize>> = CombinationsUpTo::new(0, 3).collect();
+        assert_eq!(subsets, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn counts_match_binomials() {
+        assert_eq!(CombinationsUpTo::count_total(19, 3), 1160);
+        assert_eq!(CombinationsUpTo::count_total(4, 4), 16);
+        let actual = CombinationsUpTo::new(6, 3).count();
+        assert_eq!(actual as u128, CombinationsUpTo::count_total(6, 3));
+    }
+
+    #[test]
+    fn subsets_are_unique_and_within_bounds() {
+        let all: Vec<Vec<usize>> = CombinationsUpTo::new(7, 3).collect();
+        let mut seen = std::collections::HashSet::new();
+        for s in &all {
+            assert!(s.len() <= 3);
+            assert!(s.iter().all(|&i| i < 7));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+            assert!(seen.insert(s.clone()), "duplicate subset {s:?}");
+        }
+    }
+}

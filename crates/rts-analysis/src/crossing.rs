@@ -1,0 +1,452 @@
+//! Exact minimal-crossing solver for the Eq. 7 fixed point.
+//!
+//! The naive iteration `x ← ⌊Ω(x)/M⌋ + C_s` can crawl one tick at a time
+//! whenever the per-group interference caps `x − C_s + 1` bind on `M` or
+//! more groups (then `f(x) = x + 1` until some cap unbinds) — at 100 µs
+//! ticks that is tens of thousands of iterations per response time, far
+//! too slow for a 2×2500-taskset design-space sweep.
+//!
+//! This module exploits the fact that every capped interference term is a
+//! *piecewise-affine, nondecreasing* function of the window length `x`
+//! with integer slopes: between breakpoints (task release boundaries,
+//! WCET saturation points, cap catch-up points) the total interference
+//! `Ω(x)` is exactly affine, so the smallest `x` with
+//! `Ω(x) ≤ M·(x − C_s) + (M − 1)`  (⇔ `⌊Ω(x)/M⌋ + C_s ≤ x`)
+//! inside a segment has a closed form. The solver walks segment to
+//! segment and returns the *same* minimal crossing the naive iteration
+//! would find (the naive map is monotone for a fixed carry-in assignment,
+//! so its limit is the least crossing) at a cost proportional to the
+//! number of breakpoints instead of ticks.
+//!
+//! For the top-difference (Guan-style) bound the carry-in selection may
+//! switch *inside* a segment; the solver then uses the current selection's
+//! slopes as a prediction but always re-validates candidates by exact
+//! evaluation, so the result remains a sound bound (and coincides with
+//! the naive iteration in all but pathological cases).
+
+/// Sentinel for "no further breakpoint".
+const INF: u64 = u64::MAX;
+
+/// A piecewise-affine nondecreasing workload curve, in raw ticks.
+#[derive(Clone, Debug)]
+pub(crate) enum Curve {
+    /// Eq. 2 synchronous (non-carry-in) workload of one task.
+    Nc {
+        /// WCET in ticks.
+        wcet: u64,
+        /// Period in ticks.
+        period: u64,
+    },
+    /// Eq. 4 carry-in workload of one task; `x_bar = C − 1 + T − R`.
+    Ci {
+        /// WCET in ticks.
+        wcet: u64,
+        /// Period in ticks.
+        period: u64,
+        /// The busy-period extension offset `x̄`.
+        x_bar: u64,
+    },
+    /// A per-core pinned group: the *sum* of Eq. 2 curves, capped as one.
+    Group {
+        /// `(wcet, period)` of each pinned task, in ticks.
+        tasks: Vec<(u64, u64)>,
+    },
+}
+
+/// Value, right-slope and next slope-change point (strictly greater than
+/// the evaluation point) of a curve segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Piece {
+    pub value: u64,
+    pub slope: u64,
+    pub next_bp: u64,
+}
+
+fn nc_piece(wcet: u64, period: u64, x: u64) -> Piece {
+    debug_assert!(wcet >= 1 && wcet <= period);
+    let q = x / period;
+    let r = x % period;
+    if r < wcet {
+        Piece {
+            value: q * wcet + r,
+            slope: 1,
+            next_bp: x + (wcet - r),
+        }
+    } else {
+        Piece {
+            value: (q + 1) * wcet,
+            slope: 0,
+            next_bp: x + (period - r),
+        }
+    }
+}
+
+fn ci_piece(wcet: u64, period: u64, x_bar: u64, x: u64) -> Piece {
+    // Body: the synchronous curve shifted right by x̄ (zero before it).
+    let body = if x < x_bar {
+        Piece {
+            value: 0,
+            slope: 0,
+            next_bp: x_bar,
+        }
+    } else {
+        let p = nc_piece(wcet, period, x - x_bar);
+        Piece {
+            value: p.value,
+            slope: p.slope,
+            next_bp: p.next_bp.saturating_add(x_bar),
+        }
+    };
+    // Head: the carried-in job contributes min(x, C − 1).
+    let head_cap = wcet - 1;
+    let head = if x < head_cap {
+        Piece {
+            value: x,
+            slope: 1,
+            next_bp: head_cap,
+        }
+    } else {
+        Piece {
+            value: head_cap,
+            slope: 0,
+            next_bp: INF,
+        }
+    };
+    Piece {
+        value: body.value + head.value,
+        slope: body.slope + head.slope,
+        next_bp: body.next_bp.min(head.next_bp),
+    }
+}
+
+impl Curve {
+    /// Evaluates the (uncapped) curve at `x`.
+    pub(crate) fn piece(&self, x: u64) -> Piece {
+        match self {
+            Curve::Nc { wcet, period } => nc_piece(*wcet, *period, x),
+            Curve::Ci {
+                wcet,
+                period,
+                x_bar,
+            } => ci_piece(*wcet, *period, *x_bar, x),
+            Curve::Group { tasks } => {
+                let mut value = 0;
+                let mut slope = 0;
+                let mut next_bp = INF;
+                for &(c, t) in tasks {
+                    let p = nc_piece(c, t, x);
+                    value += p.value;
+                    slope += p.slope;
+                    next_bp = next_bp.min(p.next_bp);
+                }
+                Piece {
+                    value,
+                    slope,
+                    next_bp,
+                }
+            }
+        }
+    }
+
+    /// Evaluates `min(curve, x − cs + 1)` — the interference term of
+    /// Eqs. 3/5 — reporting the capped value, right-slope and the next
+    /// point where the *capped* term's slope may change.
+    pub(crate) fn capped_piece(&self, x: u64, cs: u64) -> Piece {
+        debug_assert!(x >= cs);
+        let cap = x - cs + 1;
+        let p = self.piece(x);
+        if p.value < cap {
+            p
+        } else if p.value == cap {
+            Piece {
+                value: cap,
+                slope: p.slope.min(1),
+                next_bp: p.next_bp,
+            }
+        } else {
+            // Cap binds: the term follows x − cs + 1 (slope 1). If the
+            // curve is momentarily flat the cap catches up after
+            // (value − cap) ticks — that is a slope-change point too.
+            let catch_up = if p.slope == 0 {
+                x + (p.value - cap)
+            } else {
+                INF
+            };
+            Piece {
+                value: cap,
+                slope: 1,
+                next_bp: p.next_bp.min(catch_up),
+            }
+        }
+    }
+}
+
+/// Smallest `x ∈ [cs, limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`, where
+/// `Ω` is the sum of the capped curves — i.e. the least fixed point of
+/// Eq. 7 for a fixed carry-in assignment. `None` if it exceeds `limit`.
+pub(crate) fn min_crossing(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Option<u64> {
+    debug_assert!(m >= 1 && cs >= 1);
+    let mut x = cs;
+    loop {
+        if x > limit {
+            return None;
+        }
+        let mut omega: u64 = 0;
+        let mut sigma: u64 = 0;
+        let mut next_bp: u64 = INF;
+        for curve in curves {
+            let p = curve.capped_piece(x, cs);
+            omega += p.value;
+            sigma += p.slope;
+            next_bp = next_bp.min(p.next_bp);
+        }
+        let rhs = m * (x - cs) + (m - 1);
+        if omega <= rhs {
+            return Some(x);
+        }
+        // Inside the current affine segment, solve Ω + σδ ≤ m(x+δ−cs)+m−1.
+        let step = if sigma < m {
+            let need = omega - rhs; // > 0 here
+            let delta = need.div_ceil(m - sigma);
+            (x + delta).min(next_bp)
+        } else {
+            next_bp
+        };
+        debug_assert!(step > x, "solver must make progress");
+        x = step;
+    }
+}
+
+/// Smallest validated crossing for the top-difference interference bound
+/// (Guan et al.): `Ω(x) = Σ I^NC + Σ top_{m−1} max(I^CI − I^NC, 0)`.
+///
+/// `pairs` holds `(NC curve, CI curve)` per higher-priority migrating
+/// task; `groups` the pinned per-core groups. Candidates predicted from
+/// the current selection's slopes are always re-validated by exact
+/// evaluation, so the returned point genuinely satisfies the crossing
+/// condition (soundness does not depend on the prediction).
+pub(crate) fn min_crossing_topdiff(
+    groups: &[Curve],
+    pairs: &[(Curve, Curve)],
+    m: u64,
+    cs: u64,
+    limit: u64,
+) -> Option<u64> {
+    debug_assert!(m >= 1 && cs >= 1);
+    let take = (m - 1) as usize;
+    let mut diffs: Vec<(i64, i64)> = Vec::with_capacity(pairs.len());
+    let mut x = cs;
+    loop {
+        if x > limit {
+            return None;
+        }
+        let mut omega: i64 = 0;
+        let mut sigma: i64 = 0;
+        let mut next_bp: u64 = INF;
+        for g in groups {
+            let p = g.capped_piece(x, cs);
+            omega += p.value as i64;
+            sigma += p.slope as i64;
+            next_bp = next_bp.min(p.next_bp);
+        }
+        diffs.clear();
+        for (nc, ci) in pairs {
+            let pn = nc.capped_piece(x, cs);
+            let pc = ci.capped_piece(x, cs);
+            omega += pn.value as i64;
+            sigma += pn.slope as i64;
+            next_bp = next_bp.min(pn.next_bp).min(pc.next_bp);
+            let dv = pc.value as i64 - pn.value as i64;
+            if dv > 0 {
+                diffs.push((dv, pc.slope as i64 - pn.slope as i64));
+            }
+        }
+        diffs.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        for &(dv, ds) in diffs.iter().take(take) {
+            omega += dv;
+            sigma += ds;
+        }
+        let rhs = (m * (x - cs) + (m - 1)) as i64;
+        if omega <= rhs {
+            return Some(x);
+        }
+        let step = if sigma < m as i64 {
+            let need = omega - rhs; // > 0 here
+            let denom = m as i64 - sigma; // > 0 here
+            let delta = ((need + denom - 1) / denom) as u64;
+            (x + delta.max(1)).min(next_bp)
+        } else {
+            next_bp
+        };
+        debug_assert!(step > x, "solver must make progress");
+        x = step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nc_piece_matches_closed_form() {
+        // C = 3, T = 10.
+        let c = Curve::Nc { wcet: 3, period: 10 };
+        let p = c.piece(0);
+        assert_eq!((p.value, p.slope, p.next_bp), (0, 1, 3));
+        let p = c.piece(2);
+        assert_eq!((p.value, p.slope, p.next_bp), (2, 1, 3));
+        let p = c.piece(3);
+        assert_eq!((p.value, p.slope, p.next_bp), (3, 0, 10));
+        let p = c.piece(10);
+        assert_eq!((p.value, p.slope, p.next_bp), (3, 1, 13));
+        // x = 25: ⌊25/10⌋·3 + min(5, 3) = 9, in a flat segment.
+        let p = c.piece(25);
+        assert_eq!((p.value, p.slope), (9, 0));
+    }
+
+    #[test]
+    fn ci_piece_combines_head_and_body() {
+        // C = 3, T = 10, x̄ = 4.
+        let c = Curve::Ci {
+            wcet: 3,
+            period: 10,
+            x_bar: 4,
+        };
+        // x = 1: head contributes 1 (slope 1 until 2), body 0 until 4.
+        let p = c.piece(1);
+        assert_eq!((p.value, p.slope, p.next_bp), (1, 1, 2));
+        // x = 2: head saturated at C−1 = 2; body still 0.
+        let p = c.piece(2);
+        assert_eq!((p.value, p.slope, p.next_bp), (2, 0, 4));
+        // x = 6: body = nc(2) = 2; total 4.
+        let p = c.piece(6);
+        assert_eq!((p.value, p.slope, p.next_bp), (4, 1, 7));
+    }
+
+    #[test]
+    fn capped_piece_tracks_the_cap() {
+        let c = Curve::Nc { wcet: 9, period: 10 };
+        // cs = 2, x = 5: W = 5, cap = 4 → capped, slope 1; the curve flat
+        // region starts at 9 and the catch-up is irrelevant while slope=1.
+        let p = c.capped_piece(5, 2);
+        assert_eq!((p.value, p.slope), (4, 1));
+        // x = 9: W = 9 (flat), cap = 8; catch-up at 9 + (9−8) = 10.
+        let p = c.capped_piece(9, 2);
+        assert_eq!((p.value, p.slope, p.next_bp), (8, 1, 10));
+        // x = 12: W = 11 (slope 1 again at r=2<9), cap = 11: equal.
+        let p = c.capped_piece(12, 2);
+        assert_eq!((p.value, p.slope), (11, 1));
+    }
+
+    /// Reference: the naive Eq. 7 orbit (known-correct, possibly slow).
+    fn naive_crossing(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Option<u64> {
+        let mut x = cs;
+        loop {
+            if x > limit {
+                return None;
+            }
+            let omega: u64 = curves
+                .iter()
+                .map(|c| {
+                    let cap = x - cs + 1;
+                    c.piece(x).value.min(cap)
+                })
+                .sum();
+            let next = omega / m + cs;
+            if next <= x {
+                return Some(x);
+            }
+            x = next;
+        }
+    }
+
+    #[test]
+    fn solver_matches_naive_orbit_on_dense_grid() {
+        let cases: Vec<(Vec<Curve>, u64, u64)> = vec![
+            (
+                vec![
+                    Curve::Group {
+                        tasks: vec![(2, 4), (1, 7)],
+                    },
+                    Curve::Group { tasks: vec![(3, 9)] },
+                ],
+                2,
+                2,
+            ),
+            (
+                vec![
+                    Curve::Nc { wcet: 2, period: 5 },
+                    Curve::Ci {
+                        wcet: 3,
+                        period: 11,
+                        x_bar: 6,
+                    },
+                    Curve::Group { tasks: vec![(4, 9)] },
+                ],
+                2,
+                3,
+            ),
+            (
+                vec![
+                    Curve::Group {
+                        tasks: vec![(9, 10)],
+                    },
+                    Curve::Group {
+                        tasks: vec![(9, 10)],
+                    },
+                ],
+                2,
+                5,
+            ),
+            (vec![], 3, 7),
+        ];
+        for (curves, m, cs) in cases {
+            let fast = min_crossing(&curves, m, cs, 100_000);
+            let naive = naive_crossing(&curves, m, cs, 100_000);
+            assert_eq!(fast, naive, "curves {curves:?} m={m} cs={cs}");
+        }
+    }
+
+    #[test]
+    fn crawl_case_terminates_quickly_and_exactly() {
+        // The rover's Tripwire situation scaled down: two nearly saturated
+        // cores force a long cap-bound crawl in the naive orbit.
+        let curves = vec![
+            Curve::Group {
+                tasks: vec![(480, 1000)],
+            },
+            Curve::Group {
+                tasks: vec![(2240, 10_000)],
+            },
+        ];
+        let cs = 10_684;
+        let fast = min_crossing(&curves, 2, cs, 1_000_000);
+        let naive = naive_crossing(&curves, 2, cs, 1_000_000);
+        assert_eq!(fast, naive);
+        assert!(fast.is_some());
+    }
+
+    #[test]
+    fn unschedulable_returns_none() {
+        let curves = vec![Curve::Group {
+            tasks: vec![(10, 10)],
+        }];
+        assert_eq!(min_crossing(&curves, 1, 1, 50_000), None);
+    }
+
+    #[test]
+    fn topdiff_with_single_core_ignores_carry_in() {
+        // m = 1 → take = 0 carry-in diffs: reduces to pure NC analysis.
+        let pairs = vec![(
+            Curve::Nc { wcet: 2, period: 6 },
+            Curve::Ci {
+                wcet: 2,
+                period: 6,
+                x_bar: 1,
+            },
+        )];
+        let td = min_crossing_topdiff(&[], &pairs, 1, 3, 10_000);
+        let nc_only = min_crossing(&[Curve::Nc { wcet: 2, period: 6 }], 1, 3, 10_000);
+        assert_eq!(td, nc_only);
+    }
+}

@@ -1,0 +1,165 @@
+//! Global fixed-priority multicore RTA (the paper's GLOBAL-TMax baseline).
+//!
+//! Under global scheduling every task — RT and security alike — may migrate
+//! freely. The analysis is the same Eq. 6–8 machinery with *no* pinned
+//! groups: every higher-priority task is a migrating task needing the
+//! carry-in treatment. As the paper notes (§5.2.3 and §7), this
+//! over-approximates the carry-in of tasks that are in fact pinned, which
+//! is exactly why GLOBAL-TMax accepts fewer task sets than HYDRA-C.
+
+use rts_model::time::Duration;
+
+use crate::semi::{CarryInStrategy, Environment, MigratingHp};
+
+/// One task of a globally scheduled system, in priority order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GlobalTask {
+    /// Worst-case execution time.
+    pub wcet: Duration,
+    /// Minimum inter-arrival time.
+    pub period: Duration,
+    /// Relative deadline (constrained: `deadline ≤ period`).
+    pub deadline: Duration,
+}
+
+impl GlobalTask {
+    /// Creates a global task descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline > period` (the analysis assumes constrained
+    /// deadlines) or if `wcet` is zero.
+    #[must_use]
+    pub fn new(wcet: Duration, period: Duration, deadline: Duration) -> Self {
+        assert!(!wcet.is_zero(), "WCET must be positive");
+        assert!(deadline <= period, "deadlines must be constrained (D <= T)");
+        GlobalTask {
+            wcet,
+            period,
+            deadline,
+        }
+    }
+
+    /// A task with an implicit deadline (`D = T`).
+    #[must_use]
+    pub fn implicit(wcet: Duration, period: Duration) -> Self {
+        Self::new(wcet, period, period)
+    }
+}
+
+/// Response times of a fully global fixed-priority system with `num_cores`
+/// cores. `tasks` must be in decreasing priority order.
+///
+/// # Errors
+///
+/// Returns `Err(i)` with the index of the highest-priority task whose
+/// response-time bound exceeds its deadline.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::global::{global_response_times, GlobalTask};
+/// use rts_analysis::semi::CarryInStrategy;
+/// use rts_model::time::Duration;
+///
+/// let t = |v| Duration::from_ticks(v);
+/// let tasks = [
+///     GlobalTask::implicit(t(2), t(10)),
+///     GlobalTask::implicit(t(3), t(10)),
+/// ];
+/// let r = global_response_times(2, &tasks, CarryInStrategy::Exhaustive).unwrap();
+/// // Two tasks on two cores run in parallel: R equals each WCET.
+/// assert_eq!(r, vec![t(2), t(3)]);
+/// ```
+pub fn global_response_times(
+    num_cores: usize,
+    tasks: &[GlobalTask],
+    strategy: CarryInStrategy,
+) -> Result<Vec<Duration>, usize> {
+    let mut env = Environment::new(num_cores);
+    let mut result = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let r = env
+            .response_time(task.wcet, task.deadline, strategy)
+            .ok_or(i)?;
+        result.push(r);
+        env.add_migrating(MigratingHp::new(task.wcet, task.period, r));
+    }
+    Ok(result)
+}
+
+/// Returns `true` if the global system is deemed schedulable by
+/// [`global_response_times`].
+#[must_use]
+pub fn global_schedulable(
+    num_cores: usize,
+    tasks: &[GlobalTask],
+    strategy: CarryInStrategy,
+) -> bool {
+    global_response_times(num_cores, tasks, strategy).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    #[test]
+    fn fewer_tasks_than_cores_run_unimpeded() {
+        let tasks = [
+            GlobalTask::implicit(t(5), t(20)),
+            GlobalTask::implicit(t(7), t(30)),
+            GlobalTask::implicit(t(9), t(40)),
+        ];
+        let r = global_response_times(4, &tasks, CarryInStrategy::Exhaustive).unwrap();
+        assert_eq!(r, vec![t(5), t(7), t(9)]);
+    }
+
+    #[test]
+    fn single_core_global_equals_uniproc() {
+        let tasks = [
+            GlobalTask::implicit(t(1), t(4)),
+            GlobalTask::implicit(t(2), t(6)),
+            GlobalTask::implicit(t(3), t(12)),
+        ];
+        let r = global_response_times(1, &tasks, CarryInStrategy::Exhaustive).unwrap();
+        assert_eq!(r, vec![t(1), t(3), t(10)]);
+    }
+
+    #[test]
+    fn overload_reports_failing_index() {
+        // Three always-ready tasks saturating two cores starve the fourth.
+        let tasks = [
+            GlobalTask::implicit(t(10), t(10)),
+            GlobalTask::implicit(t(10), t(10)),
+            GlobalTask::implicit(t(1), t(10)),
+        ];
+        let res = global_response_times(2, &tasks, CarryInStrategy::TopDiff);
+        assert_eq!(res, Err(2));
+        assert!(!global_schedulable(2, &tasks, CarryInStrategy::TopDiff));
+    }
+
+    #[test]
+    fn constrained_deadline_is_respected() {
+        let tasks = [
+            GlobalTask::implicit(t(4), t(10)),
+            GlobalTask::new(t(4), t(10), t(5)),
+        ];
+        // On one core the second task has R = 8 > D = 5.
+        assert_eq!(
+            global_response_times(1, &tasks, CarryInStrategy::Exhaustive),
+            Err(1)
+        );
+        // On two cores it runs in parallel: R = 4 ≤ 5.
+        assert!(global_schedulable(2, &tasks, CarryInStrategy::Exhaustive));
+    }
+
+    #[test]
+    #[should_panic(expected = "constrained")]
+    fn unconstrained_deadline_rejected() {
+        let _ = GlobalTask::new(t(1), t(5), t(6));
+    }
+}

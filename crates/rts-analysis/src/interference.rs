@@ -1,0 +1,73 @@
+//! Interference caps (paper Definition 2, Eqs. 3 and 5).
+//!
+//! The *interference* `I_{τs←τi}` a higher-priority task (or group of
+//! same-core tasks) causes on the job under analysis can never exceed
+//! `x − C_s + 1` in a busy window of length `x`: the job itself executes
+//! for `C_s` of those ticks, and the extra `+1` is the standard guard that
+//! keeps the fixed-point iteration from terminating prematurely at
+//! `x = C_s` (Bertogna & Cirinei; discussed below paper Eq. 3).
+
+use rts_model::time::Duration;
+
+/// Caps a workload bound into an interference bound (paper Eqs. 3 and 5):
+///
+/// `I = min(W, x − C_s + 1)`
+///
+/// `window` is the busy-window length `x` and `wcet_under_analysis` the
+/// WCET `C_s` of the job under analysis.
+///
+/// # Panics
+///
+/// Panics if `window < wcet_under_analysis`; the fixed-point iteration
+/// starts at `x = C_s`, so smaller windows never occur.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::interference::cap;
+/// use rts_model::time::Duration;
+///
+/// let x = Duration::from_ticks(10);
+/// let cs = Duration::from_ticks(4);
+/// // Cap is x − Cs + 1 = 7.
+/// assert_eq!(cap(Duration::from_ticks(100), x, cs), Duration::from_ticks(7));
+/// assert_eq!(cap(Duration::from_ticks(3), x, cs), Duration::from_ticks(3));
+/// ```
+#[must_use]
+pub fn cap(workload: Duration, window: Duration, wcet_under_analysis: Duration) -> Duration {
+    assert!(
+        window >= wcet_under_analysis,
+        "busy window shorter than the WCET under analysis"
+    );
+    let limit = (window - wcet_under_analysis) + Duration::from_ticks(1);
+    workload.min(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    #[test]
+    fn cap_at_window_start_is_one_tick() {
+        // x = Cs: the cap is exactly 1, which keeps the iteration moving
+        // (a zero cap would declare convergence at x = Cs immediately —
+        // the failure mode the paper's '+1' term exists to avoid).
+        assert_eq!(cap(t(50), t(4), t(4)), t(1));
+    }
+
+    #[test]
+    fn small_workloads_pass_through() {
+        assert_eq!(cap(t(2), t(10), t(4)), t(2));
+        assert_eq!(cap(Duration::ZERO, t(10), t(4)), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy window shorter")]
+    fn window_below_wcet_panics() {
+        let _ = cap(t(1), t(3), t(4));
+    }
+}

@@ -1,0 +1,53 @@
+//! Response-time and schedulability analysis for partitioned and
+//! semi-partitioned fixed-priority multicore real-time systems.
+//!
+//! Implements the analytical core of the HYDRA-C paper (§4):
+//!
+//! | Paper reference | Module |
+//! |---|---|
+//! | Eq. 1 — per-core RTA of partitioned RT tasks | [`uniproc`] |
+//! | Eq. 2 — synchronous / non-carry-in workload bound | [`workload::non_carry_in`] |
+//! | Eq. 3, 5 — interference caps `min(W, x − C_s + 1)` | [`interference::cap`] |
+//! | Eq. 4 — carry-in workload bound | [`workload::carry_in`] |
+//! | Lemma 2 — at most `M − 1` carry-in tasks | [`carry_in::CombinationsUpTo`] |
+//! | Eq. 6, 7 — total interference & fixed point | [`semi::Environment`] |
+//! | Eq. 8 — maximization over carry-in assignments | [`semi::CarryInStrategy`] |
+//! | whole-system checks over [`rts_model::System`] | [`sched_check`] |
+//! | GLOBAL-TMax baseline (all tasks migrate) | [`global`] |
+//!
+//! # Example
+//!
+//! Response time of a migrating security task on a dual-core platform with
+//! one pinned RT task per core:
+//!
+//! ```
+//! use rts_analysis::semi::{CarryInStrategy, Environment};
+//! use rts_analysis::uniproc::HpTask;
+//! use rts_model::time::Duration;
+//!
+//! let ms = Duration::from_ms;
+//! let mut env = Environment::new(2);
+//! env.pin(0, HpTask::new(ms(240), ms(500)));
+//! env.pin(1, HpTask::new(ms(1120), ms(5000)));
+//! let r = env
+//!     .response_time(ms(223), ms(10_000), CarryInStrategy::Exhaustive)
+//!     .expect("schedulable");
+//! assert!(r >= ms(223) && r <= ms(10_000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carry_in;
+pub(crate) mod crossing;
+pub mod global;
+pub mod interference;
+pub mod sched_check;
+pub mod semi;
+pub mod uniproc;
+pub mod workload;
+
+pub use global::{global_response_times, global_schedulable, GlobalTask};
+pub use sched_check::{rt_response_times, rt_schedulable, SecurityRta};
+pub use semi::{CarryInStrategy, Environment, MigratingHp};
+pub use uniproc::HpTask;

@@ -1,0 +1,464 @@
+//! Response-time analysis for a migrating task under semi-partitioned
+//! scheduling (paper §4, Eqs. 6–8).
+//!
+//! The job under analysis `τ_s^k` is a *migrating* task (a security task in
+//! the paper) that may run on any of the `M` cores whenever one is free of
+//! higher-priority work. Higher-priority load comes from two populations:
+//!
+//! * **pinned tasks** (the partitioned RT tasks) — grouped per core, their
+//!   workload is the synchronous-release bound of Lemma 1 / Eq. 2 and the
+//!   whole group's interference is capped per core (Eq. 3);
+//! * **migrating tasks** (higher-priority security tasks) — each needs a
+//!   carry-in / non-carry-in distinction (Definition 4, Eq. 4/5), with at
+//!   most `M − 1` of them carrying in (Lemma 2).
+//!
+//! The response time is the least fixed point of Eq. 7,
+//! `x = ⌊Ω_s(x)/M⌋ + C_s`, maximized over the admissible carry-in
+//! assignments (Eq. 8). Two strategies implement that maximization — see
+//! [`CarryInStrategy`]. The fixed points themselves are found by the
+//! segment-walking solver in [`crate::crossing`], which returns the same
+//! least crossing as the textbook iteration at a fraction of the cost.
+//!
+//! The same machinery covers **global** fixed-priority scheduling (the
+//! paper's GLOBAL-TMax baseline): leave the pinned groups empty and make
+//! every higher-priority task migrating.
+
+use rts_model::time::Duration;
+
+use crate::carry_in::CombinationsUpTo;
+use crate::crossing::{min_crossing, min_crossing_topdiff, Curve};
+use crate::uniproc::HpTask;
+
+/// A higher-priority *migrating* task as seen by the analysis: its WCET,
+/// its (current) period, and its already-computed worst-case response time
+/// `R_i` (required by the carry-in bound of Eq. 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MigratingHp {
+    /// Worst-case execution time `C_i`.
+    pub wcet: Duration,
+    /// Current period `T_i`.
+    pub period: Duration,
+    /// Worst-case response time `R_i ≤ T_i`.
+    pub response_time: Duration,
+}
+
+impl MigratingHp {
+    /// Creates a higher-priority migrating task descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `response_time > period` — carry-in analysis assumes the
+    /// higher-priority task meets its implicit deadline.
+    #[must_use]
+    pub fn new(wcet: Duration, period: Duration, response_time: Duration) -> Self {
+        assert!(
+            response_time <= period,
+            "higher-priority migrating task must have R <= T"
+        );
+        MigratingHp {
+            wcet,
+            period,
+            response_time,
+        }
+    }
+
+    /// The busy-period extension offset `x̄ = C − 1 + T − R` (Eq. 4), in
+    /// ticks.
+    fn x_bar_ticks(&self) -> u64 {
+        (self.wcet.as_ticks() - 1) + (self.period.as_ticks() - self.response_time.as_ticks())
+    }
+
+    fn nc_curve(&self) -> Curve {
+        Curve::Nc {
+            wcet: self.wcet.as_ticks(),
+            period: self.period.as_ticks(),
+        }
+    }
+
+    fn ci_curve(&self) -> Curve {
+        Curve::Ci {
+            wcet: self.wcet.as_ticks(),
+            period: self.period.as_ticks(),
+            x_bar: self.x_bar_ticks(),
+        }
+    }
+}
+
+/// The complete higher-priority environment of one migrating task under
+/// analysis: pinned tasks grouped per core plus migrating tasks.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::semi::{Environment, MigratingHp, CarryInStrategy};
+/// use rts_analysis::uniproc::HpTask;
+/// use rts_model::time::Duration;
+///
+/// let t = |v| Duration::from_ticks(v);
+/// let mut env = Environment::new(2);
+/// env.pin(0, HpTask::new(t(2), t(10)));
+/// env.pin(1, HpTask::new(t(3), t(10)));
+/// env.add_migrating(MigratingHp::new(t(1), t(20), t(1)));
+/// let r = env.response_time(t(4), t(100), CarryInStrategy::Exhaustive);
+/// assert!(r.is_some());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Environment {
+    per_core_pinned: Vec<Vec<HpTask>>,
+    migrating: Vec<MigratingHp>,
+}
+
+/// How the Eq. 8 maximization over carry-in assignments is carried out.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CarryInStrategy {
+    /// Literal paper semantics: enumerate every partition of the
+    /// higher-priority migrating tasks into carry-in (at most `M − 1`) and
+    /// non-carry-in sets, solve the Eq. 7 fixed point for each, take the
+    /// maximum (Eq. 8). Exponential in the number of higher-priority
+    /// migrating tasks; exact with respect to the paper's definition.
+    Exhaustive,
+    /// The standard implementation trick (Guan et al., RTSS 2009): at every
+    /// evaluation point, charge each task its non-carry-in interference
+    /// plus the `M − 1` largest non-negative differences
+    /// `I^CI_i − I^NC_i`. A sound upper bound on `Exhaustive` (it picks the
+    /// worst assignment *per point* rather than one assignment globally)
+    /// at polynomial cost; this is what the large design-space sweeps use.
+    #[default]
+    TopDiff,
+}
+
+impl Environment {
+    /// Creates an empty environment for an `M`-core platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    #[must_use]
+    pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "environment needs at least one core");
+        Environment {
+            per_core_pinned: vec![Vec::new(); num_cores],
+            migrating: Vec::new(),
+        }
+    }
+
+    /// Number of cores `M`.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.per_core_pinned.len()
+    }
+
+    /// Adds a pinned higher-priority task to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn pin(&mut self, core: usize, task: HpTask) -> &mut Self {
+        self.per_core_pinned[core].push(task);
+        self
+    }
+
+    /// Adds a higher-priority migrating task.
+    pub fn add_migrating(&mut self, task: MigratingHp) -> &mut Self {
+        self.migrating.push(task);
+        self
+    }
+
+    /// The higher-priority migrating tasks registered so far.
+    #[must_use]
+    pub fn migrating_tasks(&self) -> &[MigratingHp] {
+        &self.migrating
+    }
+
+    /// The pinned tasks on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn pinned_on(&self, core: usize) -> &[HpTask] {
+        &self.per_core_pinned[core]
+    }
+
+    /// The pinned per-core workload curves (empty cores contribute
+    /// nothing and are skipped).
+    fn group_curves(&self) -> Vec<Curve> {
+        self.per_core_pinned
+            .iter()
+            .filter(|tasks| !tasks.is_empty())
+            .map(|tasks| Curve::Group {
+                tasks: tasks
+                    .iter()
+                    .map(|t| (t.wcet.as_ticks(), t.period.as_ticks()))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Worst-case response time of a migrating task with WCET `wcet`
+    /// against this environment (paper Eqs. 6–8).
+    ///
+    /// Returns `None` if the bound exceeds `limit` (e.g. `T^max_s`), in
+    /// which case the task is unschedulable for any admissible period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcet` is zero.
+    #[must_use]
+    pub fn response_time(
+        &self,
+        wcet: Duration,
+        limit: Duration,
+        strategy: CarryInStrategy,
+    ) -> Option<Duration> {
+        assert!(!wcet.is_zero(), "task under analysis must have positive WCET");
+        let m = self.num_cores() as u64;
+        let cs = wcet.as_ticks();
+        let lim = limit.as_ticks();
+        let groups = self.group_curves();
+        match strategy {
+            CarryInStrategy::TopDiff => {
+                let pairs: Vec<(Curve, Curve)> = self
+                    .migrating
+                    .iter()
+                    .map(|t| (t.nc_curve(), t.ci_curve()))
+                    .collect();
+                min_crossing_topdiff(&groups, &pairs, m, cs, lim).map(Duration::from_ticks)
+            }
+            CarryInStrategy::Exhaustive => {
+                let n = self.migrating.len();
+                let k_max = self.num_cores().saturating_sub(1).min(n);
+                let mut worst = 0u64;
+                let mut curves: Vec<Curve> = Vec::with_capacity(groups.len() + n);
+                for combo in CombinationsUpTo::new(n, k_max) {
+                    curves.clear();
+                    curves.extend(groups.iter().cloned());
+                    let mut is_ci = vec![false; n];
+                    for &i in &combo {
+                        is_ci[i] = true;
+                    }
+                    for (i, task) in self.migrating.iter().enumerate() {
+                        curves.push(if is_ci[i] {
+                            task.ci_curve()
+                        } else {
+                            task.nc_curve()
+                        });
+                    }
+                    let r = min_crossing(&curves, m, cs, lim)?;
+                    worst = worst.max(r);
+                }
+                Some(Duration::from_ticks(worst))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::cap;
+    use crate::uniproc;
+    use crate::workload::{carry_in, non_carry_in};
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    /// Textbook Eq. 6/7 evaluation for a fixed carry-in mask — the slow
+    /// reference the fast solver must agree with.
+    fn naive_response_time(
+        env: &Environment,
+        wcet: Duration,
+        limit: Duration,
+        mask: &[bool],
+    ) -> Option<Duration> {
+        let m = env.num_cores() as u64;
+        let mut x = wcet;
+        loop {
+            if x > limit {
+                return None;
+            }
+            let rt_part: Duration = env
+                .per_core_pinned
+                .iter()
+                .map(|core_tasks| {
+                    let w: Duration = core_tasks
+                        .iter()
+                        .map(|task| non_carry_in(task.wcet, task.period, x))
+                        .sum();
+                    cap(w, x, wcet)
+                })
+                .sum();
+            let sec_part: Duration = env
+                .migrating
+                .iter()
+                .zip(mask)
+                .map(|(task, &ci)| {
+                    let w = if ci {
+                        carry_in(task.wcet, task.period, task.response_time, x)
+                    } else {
+                        non_carry_in(task.wcet, task.period, x)
+                    };
+                    cap(w, x, wcet)
+                })
+                .sum();
+            let next = (rt_part + sec_part) / m + wcet;
+            if next <= x {
+                return Some(x);
+            }
+            x = next;
+        }
+    }
+
+    /// Eq. 8 by brute force over the naive per-assignment iteration.
+    fn naive_exhaustive(env: &Environment, wcet: Duration, limit: Duration) -> Option<Duration> {
+        let n = env.migrating.len();
+        let k_max = env.num_cores().saturating_sub(1).min(n);
+        let mut worst = Duration::ZERO;
+        for combo in CombinationsUpTo::new(n, k_max) {
+            let mut mask = vec![false; n];
+            for &i in &combo {
+                mask[i] = true;
+            }
+            worst = worst.max(naive_response_time(env, wcet, limit, &mask)?);
+        }
+        Some(worst)
+    }
+
+    /// On one core with no migrating hp tasks, the semi-partitioned
+    /// analysis must agree with classic uniprocessor RTA.
+    #[test]
+    fn single_core_matches_uniproc_rta() {
+        let hp = [HpTask::new(t(1), t(4)), HpTask::new(t(2), t(6))];
+        let mut env = Environment::new(1);
+        for h in hp {
+            env.pin(0, h);
+        }
+        for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+            let r_semi = env.response_time(t(3), t(100), strategy);
+            let r_uni = uniproc::response_time(t(3), &hp, t(100));
+            assert_eq!(r_semi, r_uni, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_environment_r_equals_c() {
+        let env = Environment::new(4);
+        assert_eq!(
+            env.response_time(t(9), t(100), CarryInStrategy::Exhaustive),
+            Some(t(9))
+        );
+    }
+
+    #[test]
+    fn parallel_rt_load_is_divided_across_cores() {
+        // Two cores each with an RT task of C=2, T=4; a migrating C=2 job:
+        // both cores run their RT job in [0,2), the job runs [2,4): R=4.
+        let mut env = Environment::new(2);
+        env.pin(0, HpTask::new(t(2), t(4)));
+        env.pin(1, HpTask::new(t(2), t(4)));
+        let r = env
+            .response_time(t(2), t(100), CarryInStrategy::Exhaustive)
+            .unwrap();
+        assert_eq!(r, t(4));
+    }
+
+    #[test]
+    fn fast_solver_agrees_with_naive_on_assorted_environments() {
+        let mut env = Environment::new(2);
+        env.pin(0, HpTask::new(t(3), t(9)));
+        env.pin(0, HpTask::new(t(1), t(5)));
+        env.pin(1, HpTask::new(t(4), t(11)));
+        env.add_migrating(MigratingHp::new(t(2), t(8), t(5)));
+        env.add_migrating(MigratingHp::new(t(1), t(6), t(3)));
+        for cs in [1u64, 2, 3, 5] {
+            let fast = env.response_time(t(cs), t(100_000), CarryInStrategy::Exhaustive);
+            let naive = naive_exhaustive(&env, t(cs), t(100_000));
+            assert_eq!(fast, naive, "cs={cs}");
+        }
+    }
+
+    #[test]
+    fn fast_solver_handles_the_tripwire_crawl() {
+        // The rover configuration that makes the naive orbit crawl one
+        // tick at a time for ~30k iterations: nearly saturated caps.
+        let mut env = Environment::new(2);
+        env.pin(0, HpTask::new(Duration::from_ms(240), Duration::from_ms(500)));
+        env.pin(1, HpTask::new(Duration::from_ms(1120), Duration::from_ms(5000)));
+        let fast = env.response_time(
+            Duration::from_ms(5342),
+            Duration::from_ms(10_000),
+            CarryInStrategy::Exhaustive,
+        );
+        let naive = naive_exhaustive(&env, Duration::from_ms(5342), Duration::from_ms(10_000));
+        assert_eq!(fast, naive);
+        assert!(fast.is_some());
+    }
+
+    #[test]
+    fn migrating_hp_with_carry_in_inflates_response() {
+        let mut env = Environment::new(2);
+        env.add_migrating(MigratingHp::new(t(2), t(10), t(2)));
+        let r_exhaustive = env
+            .response_time(t(3), t(100), CarryInStrategy::Exhaustive)
+            .unwrap();
+        let r_nc = naive_response_time(&env, t(3), t(100), &[false]).unwrap();
+        let r_ci = naive_response_time(&env, t(3), t(100), &[true]).unwrap();
+        assert_eq!(r_exhaustive, r_nc.max(r_ci));
+        assert!(r_ci >= r_nc);
+    }
+
+    #[test]
+    fn topdiff_dominates_exhaustive() {
+        // TopDiff may only ever be >= Exhaustive (it is an upper bound).
+        let mut env = Environment::new(2);
+        env.pin(0, HpTask::new(t(3), t(9)));
+        env.add_migrating(MigratingHp::new(t(2), t(8), t(5)));
+        env.add_migrating(MigratingHp::new(t(1), t(6), t(3)));
+        let ex = env
+            .response_time(t(2), t(200), CarryInStrategy::Exhaustive)
+            .unwrap();
+        let td = env
+            .response_time(t(2), t(200), CarryInStrategy::TopDiff)
+            .unwrap();
+        assert!(td >= ex);
+    }
+
+    #[test]
+    fn limit_exceeded_returns_none() {
+        // A (9, 10) hp task leaves 1 tick per period, so a C=2 job needs
+        // x = 20; any limit below that reports unschedulable.
+        let mut env = Environment::new(1);
+        env.pin(0, HpTask::new(t(9), t(10)));
+        assert_eq!(env.response_time(t(2), t(15), CarryInStrategy::TopDiff), None);
+        assert_eq!(
+            env.response_time(t(2), t(50), CarryInStrategy::TopDiff),
+            Some(t(20))
+        );
+        // Zero slack never completes regardless of the limit.
+        let mut full = Environment::new(1);
+        full.pin(0, HpTask::new(t(10), t(10)));
+        assert_eq!(
+            full.response_time(t(1), t(10_000), CarryInStrategy::TopDiff),
+            None
+        );
+    }
+
+    #[test]
+    fn more_cores_never_hurt() {
+        // The same workload spread over more cores cannot increase R.
+        let mk_env = |m: usize| {
+            let mut env = Environment::new(m);
+            env.add_migrating(MigratingHp::new(t(2), t(12), t(4)));
+            env.add_migrating(MigratingHp::new(t(3), t(15), t(6)));
+            env
+        };
+        let r2 = mk_env(2)
+            .response_time(t(4), t(500), CarryInStrategy::Exhaustive)
+            .unwrap();
+        let r4 = mk_env(4)
+            .response_time(t(4), t(500), CarryInStrategy::Exhaustive)
+            .unwrap();
+        assert!(r4 <= r2);
+    }
+}

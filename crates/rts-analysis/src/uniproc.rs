@@ -1,0 +1,147 @@
+//! Classic uniprocessor fixed-priority response-time analysis (paper Eq. 1).
+//!
+//! Used in three places:
+//!
+//! 1. validating that the partitioned RT tasks are schedulable on their
+//!    cores (the paper *assumes* this of any legacy system — Eq. 1 is the
+//!    exact, necessary-and-sufficient test for constrained deadlines);
+//! 2. the HYDRA baseline (DATE 2018), where security tasks are pinned to
+//!    cores and analysed per core;
+//! 3. cross-validation of the semi-partitioned analysis on `M = 1`.
+
+use rts_model::time::Duration;
+
+/// WCET and period of one higher-priority interfering task, as seen by the
+/// task under analysis on the same core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HpTask {
+    /// Worst-case execution time `C_i`.
+    pub wcet: Duration,
+    /// Minimum inter-arrival time `T_i`.
+    pub period: Duration,
+}
+
+impl HpTask {
+    /// Creates a higher-priority task descriptor.
+    #[must_use]
+    pub const fn new(wcet: Duration, period: Duration) -> Self {
+        HpTask { wcet, period }
+    }
+}
+
+/// Exact response time of a task with WCET `wcet` under fixed-priority
+/// preemptive scheduling on one core, interfered by `hp` (paper Eq. 1):
+///
+/// finds the least `t ≤ limit` with `C + Σ_i ⌈t/T_i⌉·C_i = t`.
+///
+/// Returns `None` if the fixed point exceeds `limit` (the task is
+/// unschedulable for any deadline ≤ `limit`). The iteration starts at
+/// `t = C + Σ C_i` (the first point the fixed point can possibly be).
+///
+/// # Panics
+///
+/// Panics if `wcet` is zero or any `hp` period is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::uniproc::{response_time, HpTask};
+/// use rts_model::time::Duration;
+///
+/// let t = |v| Duration::from_ticks(v);
+/// let hp = [HpTask::new(t(1), t(3)), HpTask::new(t(1), t(4))];
+/// // Liu & Layland style example: R = 1 + ⌈3/3⌉ + ⌈3/4⌉ = 3.
+/// assert_eq!(response_time(t(1), &hp, t(5)), Some(t(3)));
+/// ```
+#[must_use]
+pub fn response_time(wcet: Duration, hp: &[HpTask], limit: Duration) -> Option<Duration> {
+    assert!(!wcet.is_zero(), "task under analysis must have positive WCET");
+    let mut x = wcet + hp.iter().map(|h| h.wcet).sum::<Duration>();
+    loop {
+        if x > limit {
+            return None;
+        }
+        let demand = wcet
+            + hp.iter()
+                .map(|h| h.wcet * x.div_ceil(h.period))
+                .sum::<Duration>();
+        if demand == x {
+            return Some(x);
+        }
+        debug_assert!(demand > x, "demand must be monotone along the iteration");
+        x = demand;
+    }
+}
+
+/// Convenience check: is a task with `(wcet, deadline)` schedulable on a
+/// core already hosting `hp`?
+#[must_use]
+pub fn is_schedulable(wcet: Duration, deadline: Duration, hp: &[HpTask]) -> bool {
+    response_time(wcet, hp, deadline).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    #[test]
+    fn no_interference_means_r_equals_c() {
+        assert_eq!(response_time(t(7), &[], t(100)), Some(t(7)));
+    }
+
+    #[test]
+    fn textbook_three_task_example() {
+        // C = (1, 2, 3), T = (4, 6, 12): a classic RM-schedulable set.
+        let hp1 = [HpTask::new(t(1), t(4))];
+        let hp2 = [HpTask::new(t(1), t(4)), HpTask::new(t(2), t(6))];
+        assert_eq!(response_time(t(2), &hp1, t(6)), Some(t(3)));
+        // τ3: x=6 → 3+2+4=... iterate: start 3+1+2=6; demand(6)=3+2·1+2·1=... ⌈6/4⌉=2 →
+        // 3+2+4=9; demand(9)=3+⌈9/4⌉+2⌈9/6⌉=3+3+4=10; demand(10)=3+3+4=10. R=10.
+        assert_eq!(response_time(t(3), &hp2, t(12)), Some(t(10)));
+    }
+
+    #[test]
+    fn unschedulable_when_limit_exceeded() {
+        // Higher-priority utilization of exactly 1.0 leaves no slack at
+        // all: the demand recursion diverges and hits the limit.
+        let hp = [HpTask::new(t(3), t(4)), HpTask::new(t(2), t(8))];
+        assert_eq!(response_time(t(2), &hp, t(1000)), None);
+    }
+
+    #[test]
+    fn single_hp_task_with_high_utilization_still_converges() {
+        // One (3, 4) hp task leaves 1 tick per period: a C=2 job finishes
+        // after absorbing two full preemptions: R = 2 + 2·3 = 8.
+        let hp = [HpTask::new(t(3), t(4))];
+        assert_eq!(response_time(t(2), &hp, t(1000)), Some(t(8)));
+    }
+
+    #[test]
+    fn exactly_at_limit_is_schedulable() {
+        let hp = [HpTask::new(t(2), t(4))];
+        // R = 2 + 2 = 4 with one preemption: x=4 → 2+⌈4/4⌉·2=4. Limit 4 passes.
+        assert_eq!(response_time(t(2), &hp, t(4)), Some(t(4)));
+        // Limit 3 fails.
+        assert_eq!(response_time(t(2), &hp, t(3)), None);
+    }
+
+    #[test]
+    fn rover_navigation_camera_core_assignment() {
+        // Paper §5.1: navigation (240, 500) alone on core 0 → R = C.
+        assert_eq!(
+            response_time(Duration::from_ms(240), &[], Duration::from_ms(500)),
+            Some(Duration::from_ms(240))
+        );
+    }
+
+    #[test]
+    fn is_schedulable_matches_response_time() {
+        let hp = [HpTask::new(t(2), t(5))];
+        assert!(is_schedulable(t(2), t(6), &hp));
+        assert!(!is_schedulable(t(4), t(5), &hp));
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload bounds (paper Definition 3, Eqs. 2 and 4).
+//!
+//! The *workload* `W_i(x)` of a task `τ_i` in a window of length `x` is the
+//! accumulated execution time of `τ_i` inside the window. The analysis uses
+//! two alignment-specific upper bounds:
+//!
+//! * [`non_carry_in`] (Eq. 2) — the task is released exactly at the window
+//!   start and every job executes as early as possible. This is also the
+//!   exact worst case for *pinned* RT tasks on their own core (paper
+//!   Lemma 1), because their schedule is independent of everything else.
+//! * [`carry_in`] (Eq. 4) — one job was released before the window and is
+//!   still executing at the window start (Definition 4). The first job
+//!   contributes at most `C_i − 1` ticks (it must have started at the
+//!   latest one tick before the extended busy period began).
+
+use rts_model::time::Duration;
+
+/// Non-carry-in workload bound (paper Eq. 2):
+///
+/// `W(x) = ⌊x / T⌋·C + min(x mod T, C)`
+///
+/// This bounds the execution a task with WCET `wcet` and period `period`
+/// can receive in *any* window of length `window` that it does not carry
+/// into, and is exact when the task is released at the window start and
+/// runs as early as possible.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::workload::non_carry_in;
+/// use rts_model::time::Duration;
+///
+/// let c = Duration::from_ticks(2);
+/// let t = Duration::from_ticks(5);
+/// // Window of 12 = two full periods (2 + 2) plus 2 ticks of the third job.
+/// assert_eq!(non_carry_in(c, t, Duration::from_ticks(12)), Duration::from_ticks(6));
+/// ```
+#[must_use]
+pub fn non_carry_in(wcet: Duration, period: Duration, window: Duration) -> Duration {
+    let full_jobs = window.div_floor(period);
+    let tail = (window % period).min(wcet);
+    wcet * full_jobs + tail
+}
+
+/// Carry-in workload bound (paper Eq. 4):
+///
+/// `W^CI(x) = W^NC(max(x − x̄, 0)) + min(x, C − 1)`, with
+/// `x̄ = C − 1 + T − R`.
+///
+/// `response_time` is the task's worst-case response time `R` (computed
+/// beforehand in priority order); the carry-in job contributes at most
+/// `C − 1` because at least one core was free one tick before the extended
+/// busy period started, so the job must already have begun executing.
+///
+/// # Panics
+///
+/// Panics if `period` is zero, if `wcet` is zero, or if
+/// `response_time > period` (the carry-in bound is only meaningful for
+/// tasks that meet their implicit deadlines; an unschedulable
+/// higher-priority task makes the whole analysis moot).
+///
+/// Note that the carry-in bound is *usually but not always* larger than
+/// the non-carry-in bound at the same window length (the paper makes the
+/// same remark below Definition 4) — which is why the carry-in set
+/// maximization of Eq. 8 considers all admissible assignments instead of
+/// greedily marking `M − 1` tasks as carry-in.
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::workload::carry_in;
+/// use rts_model::time::Duration;
+///
+/// let c = Duration::from_ticks(3);
+/// let t = Duration::from_ticks(10);
+/// let r = Duration::from_ticks(4);
+/// // x̄ = C−1+T−R = 8; W = W_nc(15−8) + min(15, C−1) = 3 + 2.
+/// assert_eq!(carry_in(c, t, r, Duration::from_ticks(15)), Duration::from_ticks(5));
+/// ```
+#[must_use]
+pub fn carry_in(
+    wcet: Duration,
+    period: Duration,
+    response_time: Duration,
+    window: Duration,
+) -> Duration {
+    assert!(!wcet.is_zero(), "carry-in workload requires a positive WCET");
+    assert!(
+        response_time <= period,
+        "carry-in bound assumes the task meets its implicit deadline (R <= T)"
+    );
+    let one = Duration::from_ticks(1);
+    // x̄ = C − 1 + T − R  (all terms non-negative given the asserts above).
+    let x_bar = (wcet - one) + (period - response_time);
+    let body = non_carry_in(wcet, period, window.saturating_sub(x_bar));
+    let head = window.min(wcet - one);
+    body + head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    #[test]
+    fn non_carry_in_zero_window_is_zero() {
+        assert_eq!(non_carry_in(t(2), t(5), Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn non_carry_in_partial_first_job() {
+        // Window shorter than the WCET: the job only gets the window.
+        assert_eq!(non_carry_in(t(4), t(10), t(3)), t(3));
+        // Window between C and T: exactly one full job.
+        assert_eq!(non_carry_in(t(4), t(10), t(7)), t(4));
+    }
+
+    #[test]
+    fn non_carry_in_exact_multiple_of_period() {
+        assert_eq!(non_carry_in(t(2), t(5), t(10)), t(4));
+        assert_eq!(non_carry_in(t(2), t(5), t(11)), t(5));
+    }
+
+    #[test]
+    fn carry_in_adds_at_most_cminus1_head() {
+        // R = T (just schedulable): x̄ = C − 1, so for x ≤ C−1 the bound is x.
+        let c = t(5);
+        let p = t(20);
+        let r = t(20);
+        assert_eq!(carry_in(c, p, r, t(3)), t(3));
+        // At x = x̄ = 4 the body is still zero: bound = min(x, C−1) = 4.
+        assert_eq!(carry_in(c, p, r, t(4)), t(4));
+        // Beyond x̄ the synchronous body kicks in.
+        assert_eq!(carry_in(c, p, r, t(10)), t(4) + non_carry_in(c, p, t(6)));
+    }
+
+    #[test]
+    fn carry_in_with_early_response_shifts_window() {
+        // R < T enlarges x̄ = C−1+T−R, delaying the body contribution.
+        let c = t(3);
+        let p = t(10);
+        let tight = carry_in(c, p, t(10), t(12)); // x̄ = 2
+        let loose = carry_in(c, p, t(3), t(12)); // x̄ = 9
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit deadline")]
+    fn carry_in_rejects_r_greater_than_t() {
+        let _ = carry_in(t(2), t(5), t(6), t(10));
+    }
+
+    #[test]
+    fn single_tick_wcet_carry_in_head_is_zero() {
+        // C = 1, R = T → x̄ = 0 and the head min(x, C−1) is 0, so the
+        // carry-in bound degenerates to the synchronous bound.
+        let w = carry_in(t(1), t(4), t(4), t(2));
+        assert_eq!(w, non_carry_in(t(1), t(4), t(2)));
+    }
+}

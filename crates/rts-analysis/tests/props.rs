@@ -1,0 +1,250 @@
+//! Property-based tests for the response-time analysis.
+//!
+//! Invariants checked:
+//!
+//! * workload bounds are monotone in the window and dominated by the
+//!   released-work bound `⌈x/T⌉·C`;
+//! * the semi-partitioned analysis on one core coincides with classic
+//!   uniprocessor RTA;
+//! * `TopDiff` is a sound upper bound of `Exhaustive`;
+//! * response times are monotone under added load and antitone in the
+//!   number of cores.
+
+use proptest::prelude::*;
+use rts_analysis::semi::{CarryInStrategy, Environment, MigratingHp};
+use rts_analysis::uniproc::{self, HpTask};
+use rts_analysis::workload::{carry_in, non_carry_in};
+use rts_model::time::Duration;
+
+fn t(v: u64) -> Duration {
+    Duration::from_ticks(v)
+}
+
+/// Strategy: a plausible (wcet, period) pair with C ≤ T.
+fn task_params() -> impl Strategy<Value = (u64, u64)> {
+    (1u64..=30, 1u64..=8).prop_map(|(period, frac)| {
+        let period = period * 4;
+        let wcet = (period * frac / 10).max(1).min(period);
+        (wcet, period)
+    })
+}
+
+proptest! {
+    #[test]
+    fn non_carry_in_monotone_and_bounded((c, p) in task_params(), x in 0u64..200, dx in 0u64..50) {
+        let w1 = non_carry_in(t(c), t(p), t(x));
+        let w2 = non_carry_in(t(c), t(p), t(x + dx));
+        // Monotone in the window length.
+        prop_assert!(w2 >= w1);
+        // Never more than the released-work bound and never more than the window.
+        prop_assert!(w1.as_ticks() <= t(x).div_ceil(t(p)) * c);
+        prop_assert!(w1.as_ticks() <= x);
+    }
+
+    #[test]
+    fn carry_in_monotone_in_window((c, p) in task_params(), r_frac in 0u64..=100, x in 0u64..200, dx in 0u64..50) {
+        // R somewhere in [C, T].
+        let r = c + (p - c) * r_frac / 100;
+        let w1 = carry_in(t(c), t(p), t(r), t(x));
+        let w2 = carry_in(t(c), t(p), t(r), t(x + dx));
+        prop_assert!(w2 >= w1);
+        // The carry-in job head contributes at most C − 1 beyond the body.
+        prop_assert!(w1.as_ticks() <= t(x).div_ceil(t(p)) * c + (c - 1));
+    }
+
+    #[test]
+    fn carry_in_antitone_in_response_time((c, p) in task_params(), x in 0u64..200) {
+        // A smaller R means the task finished earlier, pushing its next
+        // release further from the window start: the bound may only drop.
+        let w_tight = carry_in(t(c), t(p), t(p), t(x)); // R = T
+        let w_loose = carry_in(t(c), t(p), t(c), t(x)); // R = C
+        prop_assert!(w_loose <= w_tight);
+    }
+
+    #[test]
+    fn semi_on_one_core_matches_uniproc(
+        params in proptest::collection::vec(task_params(), 0..5),
+        (c_s, _) in task_params(),
+    ) {
+        let hp: Vec<HpTask> = params.iter().map(|&(c, p)| HpTask::new(t(c), t(p))).collect();
+        let mut env = Environment::new(1);
+        for h in &hp {
+            env.pin(0, *h);
+        }
+        let limit = t(100_000);
+        let r_uni = uniproc::response_time(t(c_s), &hp, limit);
+        for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+            let r_semi = env.response_time(t(c_s), limit, strategy);
+            prop_assert_eq!(r_semi, r_uni, "strategy {:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn topdiff_upper_bounds_exhaustive(
+        pinned in proptest::collection::vec(task_params(), 0..4),
+        migrating in proptest::collection::vec((task_params(), 0u64..=100), 0..4),
+        (c_s, _) in task_params(),
+        cores in 1usize..=4,
+    ) {
+        let mut env = Environment::new(cores);
+        for (i, &(c, p)) in pinned.iter().enumerate() {
+            env.pin(i % cores, HpTask::new(t(c), t(p)));
+        }
+        for &((c, p), r_frac) in &migrating {
+            let r = c + (p - c) * r_frac / 100;
+            env.add_migrating(MigratingHp::new(t(c), t(p), t(r)));
+        }
+        let limit = t(50_000);
+        let ex = env.response_time(t(c_s), limit, CarryInStrategy::Exhaustive);
+        let td = env.response_time(t(c_s), limit, CarryInStrategy::TopDiff);
+        match (ex, td) {
+            // TopDiff is an upper bound: it may fail where Exhaustive
+            // succeeds, but never the reverse with a smaller value.
+            (Some(ex), Some(td)) => prop_assert!(td >= ex),
+            (Some(_), None) => {}
+            (None, Some(_)) => prop_assert!(false, "TopDiff succeeded where Exhaustive failed"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn added_migrating_load_never_reduces_response_time(
+        migrating in proptest::collection::vec((task_params(), 0u64..=100), 1..4),
+        (c_s, _) in task_params(),
+        cores in 1usize..=3,
+    ) {
+        let build = |n: usize| {
+            let mut env = Environment::new(cores);
+            for &((c, p), r_frac) in &migrating[..n] {
+                let r = c + (p - c) * r_frac / 100;
+                env.add_migrating(MigratingHp::new(t(c), t(p), t(r)));
+            }
+            env
+        };
+        let limit = t(50_000);
+        let r_less = build(migrating.len() - 1).response_time(t(c_s), limit, CarryInStrategy::Exhaustive);
+        let r_more = build(migrating.len()).response_time(t(c_s), limit, CarryInStrategy::Exhaustive);
+        match (r_less, r_more) {
+            (Some(a), Some(b)) => prop_assert!(b >= a),
+            (None, Some(_)) => prop_assert!(false, "adding load made the task schedulable"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn more_cores_never_increase_response_time(
+        migrating in proptest::collection::vec((task_params(), 0u64..=100), 0..4),
+        (c_s, _) in task_params(),
+        cores in 1usize..=3,
+    ) {
+        let build = |m: usize| {
+            let mut env = Environment::new(m);
+            for &((c, p), r_frac) in &migrating {
+                let r = c + (p - c) * r_frac / 100;
+                env.add_migrating(MigratingHp::new(t(c), t(p), t(r)));
+            }
+            env
+        };
+        let limit = t(50_000);
+        let r_small = build(cores).response_time(t(c_s), limit, CarryInStrategy::Exhaustive);
+        let r_big = build(cores + 1).response_time(t(c_s), limit, CarryInStrategy::Exhaustive);
+        match (r_small, r_big) {
+            (Some(a), Some(b)) => prop_assert!(b <= a),
+            (Some(_), None) => prop_assert!(false, "more cores made the task unschedulable"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn fast_solver_matches_textbook_iteration(
+        pinned in proptest::collection::vec(task_params(), 0..4),
+        migrating in proptest::collection::vec((task_params(), 0u64..=100), 0..3),
+        (c_s, _) in task_params(),
+        cores in 1usize..=3,
+    ) {
+        // Reimplement the naive Eq. 6/7 orbit for a fixed carry-in
+        // assignment from the public workload primitives and check the
+        // segment-walking solver returns the identical least fixed point
+        // (maximized over assignments) for the Exhaustive strategy.
+        let mig: Vec<MigratingHp> = migrating
+            .iter()
+            .map(|&((c, p), r_frac)| {
+                let r = c + (p - c) * r_frac / 100;
+                MigratingHp::new(t(c), t(p), t(r))
+            })
+            .collect();
+        let naive_for_mask = |mask: &[bool]| -> Option<Duration> {
+            let m = cores as u64;
+            let mut x = t(c_s);
+            loop {
+                if x > t(50_000) {
+                    return None;
+                }
+                let mut omega = Duration::ZERO;
+                // Pinned groups: tasks assigned round-robin (i % cores).
+                for core in 0..cores {
+                    let w: Duration = pinned
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % cores == core)
+                        .map(|(_, &(c, p))| rts_analysis::workload::non_carry_in(t(c), t(p), x))
+                        .sum();
+                    if !pinned.iter().enumerate().any(|(i, _)| i % cores == core) {
+                        continue;
+                    }
+                    omega += rts_analysis::interference::cap(w, x, t(c_s));
+                }
+                for (task, &ci) in mig.iter().zip(mask) {
+                    let w = if ci {
+                        rts_analysis::workload::carry_in(task.wcet, task.period, task.response_time, x)
+                    } else {
+                        rts_analysis::workload::non_carry_in(task.wcet, task.period, x)
+                    };
+                    omega += rts_analysis::interference::cap(w, x, t(c_s));
+                }
+                let next = omega / m + t(c_s);
+                if next <= x {
+                    return Some(x);
+                }
+                x = next;
+            }
+        };
+        // Max over all admissible carry-in masks, Eq. 8.
+        let k_max = (cores - 1).min(mig.len());
+        let mut naive_worst: Option<Duration> = Some(Duration::ZERO);
+        'outer: for bits in 0u32..(1 << mig.len()) {
+            if (bits.count_ones() as usize) > k_max {
+                continue;
+            }
+            let mask: Vec<bool> = (0..mig.len()).map(|i| bits & (1 << i) != 0).collect();
+            match naive_for_mask(&mask) {
+                Some(r) => naive_worst = naive_worst.map(|w| w.max(r)),
+                None => {
+                    naive_worst = None;
+                    break 'outer;
+                }
+            }
+        }
+        let mut env = Environment::new(cores);
+        for (i, &(c, p)) in pinned.iter().enumerate() {
+            env.pin(i % cores, HpTask::new(t(c), t(p)));
+        }
+        for task in &mig {
+            env.add_migrating(*task);
+        }
+        let fast = env.response_time(t(c_s), t(50_000), CarryInStrategy::Exhaustive);
+        prop_assert_eq!(fast, naive_worst);
+    }
+
+    #[test]
+    fn uniproc_response_time_at_least_total_wcet(
+        params in proptest::collection::vec(task_params(), 0..5),
+        (c_s, _) in task_params(),
+    ) {
+        let hp: Vec<HpTask> = params.iter().map(|&(c, p)| HpTask::new(t(c), t(p))).collect();
+        if let Some(r) = uniproc::response_time(t(c_s), &hp, t(100_000)) {
+            let floor: u64 = c_s + params.iter().map(|&(c, _)| c).sum::<u64>();
+            prop_assert!(r.as_ticks() >= floor);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::Duration;
+
+/// Error returned when a task, task set, or system fails validation.
+///
+/// Every constructor in this crate validates its arguments
+/// ([C-VALIDATE]); this is the error they report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A worst-case execution time of zero ticks was supplied.
+    ZeroWcet,
+    /// A period of zero ticks was supplied.
+    ZeroPeriod,
+    /// WCET exceeds the deadline, so the task can never meet it.
+    WcetExceedsDeadline {
+        /// Offending WCET.
+        wcet: Duration,
+        /// Offending deadline.
+        deadline: Duration,
+    },
+    /// Deadline exceeds the period; the paper assumes constrained
+    /// deadlines (`D ≤ T`) for RT tasks.
+    DeadlineExceedsPeriod {
+        /// Offending deadline.
+        deadline: Duration,
+        /// Offending period.
+        period: Duration,
+    },
+    /// WCET exceeds the designer-provided maximum period bound
+    /// `T^max` of a security task.
+    WcetExceedsMaxPeriod {
+        /// Offending WCET.
+        wcet: Duration,
+        /// Offending bound.
+        t_max: Duration,
+    },
+    /// A platform with zero cores was requested.
+    NoCores,
+    /// A core index was out of range for the platform.
+    CoreOutOfRange {
+        /// Offending core index.
+        core: usize,
+        /// Number of cores on the platform.
+        num_cores: usize,
+    },
+    /// A partition vector's length does not match the task count.
+    PartitionLengthMismatch {
+        /// Number of entries in the partition.
+        partition_len: usize,
+        /// Number of tasks to be assigned.
+        task_count: usize,
+    },
+    /// A period vector's length does not match the security task count.
+    PeriodLengthMismatch {
+        /// Number of entries in the period vector.
+        periods_len: usize,
+        /// Number of security tasks.
+        task_count: usize,
+    },
+    /// A selected period lies outside `[C_s, T^max_s]`.
+    PeriodOutOfBounds {
+        /// Index of the offending security task.
+        task: usize,
+        /// The offending period.
+        period: Duration,
+        /// The designer bound.
+        t_max: Duration,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroWcet => write!(f, "worst-case execution time must be positive"),
+            ModelError::ZeroPeriod => write!(f, "period must be positive"),
+            ModelError::WcetExceedsDeadline { wcet, deadline } => write!(
+                f,
+                "WCET {wcet} exceeds deadline {deadline}; the task can never be schedulable"
+            ),
+            ModelError::DeadlineExceedsPeriod { deadline, period } => write!(
+                f,
+                "deadline {deadline} exceeds period {period}; constrained deadlines require D <= T"
+            ),
+            ModelError::WcetExceedsMaxPeriod { wcet, t_max } => write!(
+                f,
+                "WCET {wcet} exceeds the maximum period bound {t_max}; the security task cannot \
+                 finish within any admissible period"
+            ),
+            ModelError::NoCores => write!(f, "platform must have at least one core"),
+            ModelError::CoreOutOfRange { core, num_cores } => {
+                write!(f, "core index {core} out of range for {num_cores}-core platform")
+            }
+            ModelError::PartitionLengthMismatch {
+                partition_len,
+                task_count,
+            } => write!(
+                f,
+                "partition has {partition_len} entries but there are {task_count} tasks"
+            ),
+            ModelError::PeriodLengthMismatch {
+                periods_len,
+                task_count,
+            } => write!(
+                f,
+                "period vector has {periods_len} entries but there are {task_count} security tasks"
+            ),
+            ModelError::PeriodOutOfBounds { task, period, t_max } => write!(
+                f,
+                "period {period} for security task {task} lies outside its admissible range \
+                 (max {t_max})"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = ModelError::WcetExceedsDeadline {
+            wcet: Duration::from_ms(10),
+            deadline: Duration::from_ms(5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("10ms"));
+        assert!(msg.contains("5ms"));
+        assert!(msg.starts_with(char::is_uppercase) == false || msg.starts_with("WCET"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Task, time, priority and platform model for multicore real-time systems.
+//!
+//! This crate is the foundation of the HYDRA-C reproduction
+//! (Hasan et al., *Period Adaptation for Continuous Security Monitoring in
+//! Multicore Real-Time Systems*, DATE 2020). It defines the vocabulary every
+//! other crate speaks:
+//!
+//! * [`time`] — exact integer-tick [`time::Duration`] / [`time::Instant`];
+//! * [`task`] — [`task::RtTask`] `(C, T, D)` and [`task::SecurityTask`]
+//!   `(C, T^max)`;
+//! * [`taskset`] — priority-ordered task collections with rate-monotonic
+//!   ordering for RT tasks;
+//! * [`platform`] — `M`-core [`platform::Platform`] and static
+//!   [`platform::Partition`]s;
+//! * [`periods`] — [`periods::PeriodVector`] plus the Euclidean distance
+//!   metrics of the paper's Figs. 6/7b;
+//! * [`system`] — the assembled [`system::System`] (platform + partitioned
+//!   RT tasks + migrating security tasks).
+//!
+//! # Example
+//!
+//! Model the paper's rover platform (§5.1): two RT tasks pinned to two
+//! cores, plus Tripwire and a kernel-module checker as migrating security
+//! tasks.
+//!
+//! ```
+//! use rts_model::prelude::*;
+//!
+//! let platform = Platform::dual_core();
+//! let rt = RtTaskSet::new_rate_monotonic(vec![
+//!     RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?,
+//!     RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?,
+//! ]);
+//! let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)])?;
+//! let sec = SecurityTaskSet::new(vec![
+//!     SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?,
+//!     SecurityTask::new(Duration::from_ms(223), Duration::from_ms(10_000))?,
+//! ]);
+//! let system = System::new(platform, rt, partition, sec)?;
+//! assert_eq!(system.num_cores(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod periods;
+pub mod platform;
+pub mod system;
+pub mod task;
+pub mod taskset;
+pub mod time;
+
+/// Convenient glob-import of the most common types.
+pub mod prelude {
+    pub use crate::error::ModelError;
+    pub use crate::periods::PeriodVector;
+    pub use crate::platform::{CoreId, Partition, Platform};
+    pub use crate::system::System;
+    pub use crate::task::{RtTask, SecurityTask};
+    pub use crate::taskset::{RtTaskSet, SecurityTaskSet};
+    pub use crate::time::{Duration, Instant, TICKS_PER_MS};
+}
+
+pub use error::ModelError;
+pub use periods::PeriodVector;
+pub use platform::{CoreId, Partition, Platform};
+pub use system::System;
+pub use task::{RtTask, SecurityTask};
+pub use taskset::{RtTaskSet, SecurityTaskSet};
+pub use time::{Duration, Instant};

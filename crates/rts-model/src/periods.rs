@@ -1,0 +1,297 @@
+//! Period vectors for security tasks and the distance metrics used by the
+//! paper's evaluation (Figs. 6 and 7b).
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::error::ModelError;
+use crate::taskset::SecurityTaskSet;
+use crate::time::Duration;
+
+/// A concrete assignment of periods to the security tasks of one
+/// [`SecurityTaskSet`], index-aligned with it.
+///
+/// Produced by the period-selection algorithms; consumed by schedulability
+/// checks, the simulator, and the distance metrics below.
+///
+/// # Examples
+///
+/// ```
+/// use rts_model::periods::PeriodVector;
+/// use rts_model::task::SecurityTask;
+/// use rts_model::taskset::SecurityTaskSet;
+/// use rts_model::time::Duration;
+///
+/// let set = SecurityTaskSet::new(vec![
+///     SecurityTask::new(Duration::from_ms(10), Duration::from_ms(100))?,
+/// ]);
+/// let periods = PeriodVector::new(&set, vec![Duration::from_ms(40)])?;
+/// let t_max = PeriodVector::at_max(&set);
+/// assert!(periods.euclidean_distance_ms(&t_max) > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PeriodVector {
+    periods: Vec<Duration>,
+}
+
+impl PeriodVector {
+    /// Creates a period vector for `tasks`, validating that every period
+    /// lies in `[C_s, T^max_s]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PeriodLengthMismatch`] on a length mismatch and
+    /// [`ModelError::PeriodOutOfBounds`] if any period exceeds its `T^max`
+    /// or is below its task's WCET.
+    pub fn new(tasks: &SecurityTaskSet, periods: Vec<Duration>) -> Result<Self, ModelError> {
+        if periods.len() != tasks.len() {
+            return Err(ModelError::PeriodLengthMismatch {
+                periods_len: periods.len(),
+                task_count: tasks.len(),
+            });
+        }
+        for (i, (&p, task)) in periods.iter().zip(tasks.iter()).enumerate() {
+            if p > task.t_max() || p < task.wcet() {
+                return Err(ModelError::PeriodOutOfBounds {
+                    task: i,
+                    period: p,
+                    t_max: task.t_max(),
+                });
+            }
+        }
+        Ok(PeriodVector { periods })
+    }
+
+    /// The vector `T^max = [T^max_s]` — every task at its maximum period
+    /// (the GLOBAL-TMax / HYDRA-TMax operating point).
+    #[must_use]
+    pub fn at_max(tasks: &SecurityTaskSet) -> Self {
+        PeriodVector {
+            periods: tasks.max_periods(),
+        }
+    }
+
+    /// Creates a period vector without bounds validation.
+    ///
+    /// Intended for the inner loops of the selection algorithms, which
+    /// maintain the bounds invariant themselves.
+    #[must_use]
+    pub fn from_raw(periods: Vec<Duration>) -> Self {
+        PeriodVector { periods }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// Returns `true` if the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// Iterates over the periods in task-priority order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Duration> {
+        self.periods.iter()
+    }
+
+    /// The periods as an index-aligned slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Duration] {
+        &self.periods
+    }
+
+    /// Replaces the period of task `index`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize, period: Duration) -> Duration {
+        std::mem::replace(&mut self.periods[index], period)
+    }
+
+    /// Euclidean distance to `other` in milliseconds:
+    /// `‖self − other‖₂ = sqrt(Σ (T_i − T'_i)²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[must_use]
+    pub fn euclidean_distance_ms(&self, other: &PeriodVector) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "period vectors must have equal length"
+        );
+        self.periods
+            .iter()
+            .zip(&other.periods)
+            .map(|(&a, &b)| {
+                let d = a.as_ms() - b.as_ms();
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Euclidean norm `‖self‖₂` in milliseconds.
+    #[must_use]
+    pub fn norm_ms(&self) -> f64 {
+        self.periods
+            .iter()
+            .map(|&p| p.as_ms() * p.as_ms())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The paper's Fig. 6 metric: Euclidean distance from the maximum-period
+    /// vector, normalized to `[0, 1]` by the maximum vector's norm:
+    /// `‖T^max − T*‖₂ / ‖T^max‖₂`.
+    ///
+    /// A larger value means the selected periods are further below their
+    /// bounds, i.e. the security tasks run more frequently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[must_use]
+    pub fn normalized_distance_from_max(&self, t_max: &PeriodVector) -> f64 {
+        let norm = t_max.norm_ms();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        self.euclidean_distance_ms(t_max) / norm
+    }
+
+    /// Returns `true` if every component of `self` is ≤ the matching
+    /// component of `other` (componentwise dominance: `self` runs every
+    /// task at least as frequently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[must_use]
+    pub fn dominates(&self, other: &PeriodVector) -> bool {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "period vectors must have equal length"
+        );
+        self.periods.iter().zip(&other.periods).all(|(&a, &b)| a <= b)
+    }
+}
+
+impl Index<usize> for PeriodVector {
+    type Output = Duration;
+    fn index(&self, index: usize) -> &Duration {
+        &self.periods[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a PeriodVector {
+    type Item = &'a Duration;
+    type IntoIter = std::slice::Iter<'a, Duration>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.periods.iter()
+    }
+}
+
+impl fmt::Display for PeriodVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.periods.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SecurityTask;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn set() -> SecurityTaskSet {
+        SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(10), ms(100)).unwrap(),
+            SecurityTask::new(ms(20), ms(200)).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn validated_construction() {
+        let tasks = set();
+        assert!(PeriodVector::new(&tasks, vec![ms(50), ms(100)]).is_ok());
+        let too_long = PeriodVector::new(&tasks, vec![ms(50), ms(250)]);
+        assert!(matches!(
+            too_long.unwrap_err(),
+            ModelError::PeriodOutOfBounds { task: 1, .. }
+        ));
+        let below_wcet = PeriodVector::new(&tasks, vec![ms(5), ms(100)]);
+        assert!(below_wcet.is_err());
+        let short = PeriodVector::new(&tasks, vec![ms(50)]);
+        assert!(matches!(
+            short.unwrap_err(),
+            ModelError::PeriodLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn at_max_matches_task_bounds() {
+        let tasks = set();
+        let v = PeriodVector::at_max(&tasks);
+        assert_eq!(v.as_slice(), &[ms(100), ms(200)]);
+    }
+
+    #[test]
+    fn euclidean_distance_is_symmetric_and_zero_on_self() {
+        let a = PeriodVector::from_raw(vec![ms(30), ms(40)]);
+        let b = PeriodVector::from_raw(vec![ms(60), ms(80)]);
+        assert_eq!(a.euclidean_distance_ms(&a), 0.0);
+        assert!((a.euclidean_distance_ms(&b) - 50.0).abs() < 1e-9);
+        assert_eq!(a.euclidean_distance_ms(&b), b.euclidean_distance_ms(&a));
+    }
+
+    #[test]
+    fn normalized_distance_is_unit_free() {
+        let tasks = set();
+        let t_max = PeriodVector::at_max(&tasks);
+        // Periods at exactly half of T^max: distance = ||Tmax/2|| / ||Tmax|| = 0.5.
+        let half = PeriodVector::from_raw(vec![ms(50), ms(100)]);
+        assert!((half.normalized_distance_from_max(&t_max) - 0.5).abs() < 1e-12);
+        // At max: distance 0.
+        assert_eq!(t_max.normalized_distance_from_max(&t_max), 0.0);
+    }
+
+    #[test]
+    fn dominance() {
+        let a = PeriodVector::from_raw(vec![ms(30), ms(40)]);
+        let b = PeriodVector::from_raw(vec![ms(30), ms(80)]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a) || a == b);
+    }
+
+    #[test]
+    fn set_replaces_and_returns_old() {
+        let mut v = PeriodVector::from_raw(vec![ms(30)]);
+        let old = v.set(0, ms(20));
+        assert_eq!(old, ms(30));
+        assert_eq!(v[0], ms(20));
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let v = PeriodVector::from_raw(vec![ms(30), ms(40)]);
+        assert_eq!(v.to_string(), "[30ms, 40ms]");
+    }
+}

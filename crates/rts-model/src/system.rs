@@ -1,0 +1,223 @@
+//! The complete system model: platform + partitioned RT tasks + migrating
+//! security tasks.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::platform::{CoreId, Partition, Platform};
+use crate::taskset::{RtTaskSet, SecurityTaskSet};
+
+/// A fully described HYDRA-C system: an `M`-core [`Platform`], an RT task
+/// set statically partitioned onto the cores, and a security task set that
+/// may migrate across all cores at runtime (semi-partitioned scheduling).
+///
+/// This is the input to the period-selection algorithms and to the
+/// response-time analysis. The security tasks' *periods* are deliberately
+/// not part of the system: they are carried separately as
+/// [`crate::periods::PeriodVector`] values, because the whole point of the
+/// framework is to search over them.
+///
+/// # Examples
+///
+/// ```
+/// use rts_model::platform::{CoreId, Partition, Platform};
+/// use rts_model::system::System;
+/// use rts_model::task::{RtTask, SecurityTask};
+/// use rts_model::taskset::{RtTaskSet, SecurityTaskSet};
+/// use rts_model::time::Duration;
+///
+/// let platform = Platform::dual_core();
+/// let rt = RtTaskSet::new_rate_monotonic(vec![
+///     RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?,
+///     RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?,
+/// ]);
+/// let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)])?;
+/// let sec = SecurityTaskSet::new(vec![
+///     SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?,
+///     SecurityTask::new(Duration::from_ms(223), Duration::from_ms(10_000))?,
+/// ]);
+/// let system = System::new(platform, rt, partition, sec)?;
+/// assert!((system.min_total_utilization() - 1.2605).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct System {
+    platform: Platform,
+    rt_tasks: RtTaskSet,
+    partition: Partition,
+    security_tasks: SecurityTaskSet,
+}
+
+impl System {
+    /// Assembles a system, validating that the partition covers exactly the
+    /// RT tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PartitionLengthMismatch`] if `partition` does
+    /// not have one entry per RT task, or [`ModelError::CoreOutOfRange`] if
+    /// it references a core missing from `platform`.
+    pub fn new(
+        platform: Platform,
+        rt_tasks: RtTaskSet,
+        partition: Partition,
+        security_tasks: SecurityTaskSet,
+    ) -> Result<Self, ModelError> {
+        if partition.len() != rt_tasks.len() {
+            return Err(ModelError::PartitionLengthMismatch {
+                partition_len: partition.len(),
+                task_count: rt_tasks.len(),
+            });
+        }
+        for &core in partition.as_slice() {
+            platform.check_core(core)?;
+        }
+        Ok(System {
+            platform,
+            rt_tasks,
+            partition,
+            security_tasks,
+        })
+    }
+
+    /// The platform.
+    #[must_use]
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// Number of cores `M`.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.platform.num_cores()
+    }
+
+    /// The RT task set, in priority (RM) order.
+    #[must_use]
+    pub fn rt_tasks(&self) -> &RtTaskSet {
+        &self.rt_tasks
+    }
+
+    /// The static RT-task-to-core partition.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The security task set, in priority order.
+    #[must_use]
+    pub fn security_tasks(&self) -> &SecurityTaskSet {
+        &self.security_tasks
+    }
+
+    /// RT task indices pinned to `core` (the paper's `Γ_R^{π_m}`).
+    #[must_use]
+    pub fn rt_tasks_on(&self, core: CoreId) -> Vec<usize> {
+        self.partition.tasks_on(core)
+    }
+
+    /// Total RT utilization `Σ_r C_r/T_r`.
+    #[must_use]
+    pub fn rt_utilization(&self) -> f64 {
+        self.rt_tasks.total_utilization()
+    }
+
+    /// RT utilization of the tasks pinned to `core`.
+    #[must_use]
+    pub fn rt_utilization_on(&self, core: CoreId) -> f64 {
+        self.rt_tasks_on(core)
+            .iter()
+            .map(|&i| self.rt_tasks[i].utilization())
+            .sum()
+    }
+
+    /// The paper's minimum-utilization requirement
+    /// `U = Σ_r C_r/T_r + Σ_s C_s/T^max_s` (security tasks at their maximum
+    /// periods). Figures 6 and 7 plot results against `U / M`.
+    #[must_use]
+    pub fn min_total_utilization(&self) -> f64 {
+        self.rt_utilization() + self.security_tasks.min_total_utilization()
+    }
+
+    /// `U / M`, the normalized utilization used on the x-axes of the
+    /// paper's figures.
+    #[must_use]
+    pub fn normalized_utilization(&self) -> f64 {
+        self.min_total_utilization() / self.num_cores() as f64
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "System[{} cores, {} RT tasks, {} security tasks, U={:.4}]",
+            self.num_cores(),
+            self.rt_tasks.len(),
+            self.security_tasks.len(),
+            self.min_total_utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{RtTask, SecurityTask};
+    use crate::time::Duration;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover_system() -> System {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(240), ms(500)).unwrap().labeled("navigation"),
+            RtTask::new(ms(1120), ms(5000)).unwrap().labeled("camera"),
+        ]);
+        let partition =
+            Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap().labeled("tripwire"),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap().labeled("kmod-checker"),
+        ]);
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    #[test]
+    fn rover_utilizations_match_paper() {
+        let sys = rover_system();
+        // Paper §5.1.2: total RT utilization 0.7040, system ≥ 1.2605.
+        assert!((sys.rt_utilization() - 0.704).abs() < 1e-9);
+        assert!((sys.min_total_utilization() - 1.2605).abs() < 1e-9);
+        assert!((sys.normalized_utilization() - 0.63025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_length_must_match() {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new(vec![RtTask::new(ms(1), ms(10)).unwrap()]);
+        let partition =
+            Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::default();
+        let err = System::new(platform, rt, partition, sec).unwrap_err();
+        assert!(matches!(err, ModelError::PartitionLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn tasks_on_core_respects_partition() {
+        let sys = rover_system();
+        assert_eq!(sys.rt_tasks_on(CoreId::new(0)), vec![0]);
+        assert_eq!(sys.rt_tasks_on(CoreId::new(1)), vec![1]);
+        assert!((sys.rt_utilization_on(CoreId::new(0)) - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let sys = rover_system();
+        let s = sys.to_string();
+        assert!(s.contains("2 cores"));
+        assert!(s.contains("2 RT tasks"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Real-time and security task types.
+//!
+//! The paper models two task populations:
+//!
+//! * **RT tasks** `τ_r = (C_r, T_r, D_r)` — legacy periodic/sporadic tasks
+//!   with constrained deadlines (`D_r ≤ T_r`), statically partitioned to
+//!   cores and scheduled by fixed-priority preemptive scheduling with
+//!   rate-monotonic priorities.
+//! * **Security tasks** `τ_s = (C_s, T_s, T^max_s)` — monitoring tasks whose
+//!   period `T_s` is *unknown a priori*: the framework selects it inside
+//!   `[R_s, T^max_s]`. They have implicit deadlines (`D_s = T_s`) and run at
+//!   priorities strictly below every RT task.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::time::Duration;
+
+/// A legacy real-time task `(C_r, T_r, D_r)` with a constrained deadline.
+///
+/// # Examples
+///
+/// ```
+/// use rts_model::task::RtTask;
+/// use rts_model::time::Duration;
+///
+/// // The rover's navigation task: C = 240 ms, T = D = 500 ms.
+/// let nav = RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?;
+/// assert_eq!(nav.deadline(), nav.period());
+/// assert!((nav.utilization() - 0.48).abs() < 1e-12);
+/// # Ok::<(), rts_model::error::ModelError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RtTask {
+    wcet: Duration,
+    period: Duration,
+    deadline: Duration,
+    label: Option<String>,
+}
+
+impl RtTask {
+    /// Creates an RT task with an implicit deadline (`D = T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroWcet`], [`ModelError::ZeroPeriod`] or
+    /// [`ModelError::WcetExceedsDeadline`] on invalid parameters.
+    pub fn new(wcet: Duration, period: Duration) -> Result<Self, ModelError> {
+        Self::with_deadline(wcet, period, period)
+    }
+
+    /// Creates an RT task with an explicit constrained deadline (`D ≤ T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroWcet`], [`ModelError::ZeroPeriod`],
+    /// [`ModelError::WcetExceedsDeadline`] or
+    /// [`ModelError::DeadlineExceedsPeriod`] on invalid parameters.
+    pub fn with_deadline(
+        wcet: Duration,
+        period: Duration,
+        deadline: Duration,
+    ) -> Result<Self, ModelError> {
+        if wcet.is_zero() {
+            return Err(ModelError::ZeroWcet);
+        }
+        if period.is_zero() {
+            return Err(ModelError::ZeroPeriod);
+        }
+        if wcet > deadline {
+            return Err(ModelError::WcetExceedsDeadline { wcet, deadline });
+        }
+        if deadline > period {
+            return Err(ModelError::DeadlineExceedsPeriod { deadline, period });
+        }
+        Ok(RtTask {
+            wcet,
+            period,
+            deadline,
+            label: None,
+        })
+    }
+
+    /// Attaches a human-readable label (e.g. `"navigation"`), consuming and
+    /// returning the task for chaining.
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Worst-case execution time `C_r`.
+    #[must_use]
+    pub fn wcet(&self) -> Duration {
+        self.wcet
+    }
+
+    /// Minimum inter-arrival time (period) `T_r`.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Relative deadline `D_r` (constrained: `D_r ≤ T_r`).
+    #[must_use]
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Optional human-readable label.
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Utilization `U_r = C_r / T_r`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.wcet.ratio(self.period)
+    }
+}
+
+impl fmt::Display for RtTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(
+                f,
+                "{l}(C={}, T={}, D={})",
+                self.wcet, self.period, self.deadline
+            ),
+            None => write!(f, "rt(C={}, T={}, D={})", self.wcet, self.period, self.deadline),
+        }
+    }
+}
+
+/// A security monitoring task `(C_s, T_s, T^max_s)` whose period is chosen
+/// by the framework.
+///
+/// `T^max_s` is the designer-provided upper bound on the period: if the task
+/// ran any less frequently, its monitoring would be considered ineffective.
+/// The selected period always lies in `[R_s, T^max_s]`, where `R_s` is the
+/// task's worst-case response time.
+///
+/// # Examples
+///
+/// ```
+/// use rts_model::task::SecurityTask;
+/// use rts_model::time::Duration;
+///
+/// // Tripwire on the rover: C = 5342 ms, T^max = 10000 ms.
+/// let tripwire =
+///     SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?;
+/// assert!((tripwire.min_utilization() - 0.5342).abs() < 1e-12);
+/// # Ok::<(), rts_model::error::ModelError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SecurityTask {
+    wcet: Duration,
+    t_max: Duration,
+    label: Option<String>,
+}
+
+impl SecurityTask {
+    /// Creates a security task with WCET `wcet` and maximum admissible
+    /// period `t_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroWcet`], [`ModelError::ZeroPeriod`] (for a
+    /// zero `t_max`) or [`ModelError::WcetExceedsMaxPeriod`] on invalid
+    /// parameters.
+    pub fn new(wcet: Duration, t_max: Duration) -> Result<Self, ModelError> {
+        if wcet.is_zero() {
+            return Err(ModelError::ZeroWcet);
+        }
+        if t_max.is_zero() {
+            return Err(ModelError::ZeroPeriod);
+        }
+        if wcet > t_max {
+            return Err(ModelError::WcetExceedsMaxPeriod { wcet, t_max });
+        }
+        Ok(SecurityTask {
+            wcet,
+            t_max,
+            label: None,
+        })
+    }
+
+    /// Attaches a human-readable label (e.g. `"tripwire"`), consuming and
+    /// returning the task for chaining.
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Worst-case execution time `C_s`.
+    #[must_use]
+    pub fn wcet(&self) -> Duration {
+        self.wcet
+    }
+
+    /// Designer-provided maximum period `T^max_s`.
+    #[must_use]
+    pub fn t_max(&self) -> Duration {
+        self.t_max
+    }
+
+    /// Optional human-readable label.
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The *minimum* utilization this task can impose, reached when it runs
+    /// at its maximum period: `C_s / T^max_s`.
+    #[must_use]
+    pub fn min_utilization(&self) -> f64 {
+        self.wcet.ratio(self.t_max)
+    }
+
+    /// Utilization when running with the concrete period `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn utilization_at(&self, period: Duration) -> f64 {
+        self.wcet.ratio(period)
+    }
+}
+
+impl fmt::Display for SecurityTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{l}(C={}, Tmax={})", self.wcet, self.t_max),
+            None => write!(f, "sec(C={}, Tmax={})", self.wcet, self.t_max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn rt_task_implicit_deadline() {
+        let t = RtTask::new(ms(240), ms(500)).unwrap();
+        assert_eq!(t.deadline(), ms(500));
+        assert_eq!(t.wcet(), ms(240));
+        assert_eq!(t.period(), ms(500));
+    }
+
+    #[test]
+    fn rt_task_rejects_zero_wcet() {
+        assert_eq!(RtTask::new(Duration::ZERO, ms(10)), Err(ModelError::ZeroWcet));
+    }
+
+    #[test]
+    fn rt_task_rejects_wcet_over_deadline() {
+        let err = RtTask::with_deadline(ms(10), ms(20), ms(5)).unwrap_err();
+        assert!(matches!(err, ModelError::WcetExceedsDeadline { .. }));
+    }
+
+    #[test]
+    fn rt_task_rejects_unconstrained_deadline() {
+        let err = RtTask::with_deadline(ms(1), ms(10), ms(20)).unwrap_err();
+        assert!(matches!(err, ModelError::DeadlineExceedsPeriod { .. }));
+    }
+
+    #[test]
+    fn security_task_rejects_wcet_over_t_max() {
+        let err = SecurityTask::new(ms(20), ms(10)).unwrap_err();
+        assert!(matches!(err, ModelError::WcetExceedsMaxPeriod { .. }));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let t = RtTask::new(ms(1), ms(10)).unwrap().labeled("camera");
+        assert_eq!(t.label(), Some("camera"));
+        assert!(t.to_string().starts_with("camera("));
+        let s = SecurityTask::new(ms(1), ms(10)).unwrap().labeled("tripwire");
+        assert_eq!(s.label(), Some("tripwire"));
+    }
+
+    #[test]
+    fn utilizations() {
+        let t = RtTask::new(ms(1120), ms(5000)).unwrap();
+        assert!((t.utilization() - 0.224).abs() < 1e-12);
+        let s = SecurityTask::new(ms(223), ms(10_000)).unwrap();
+        assert!((s.min_utilization() - 0.0223).abs() < 1e-12);
+        assert!((s.utilization_at(ms(446)) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Priority-ordered collections of RT and security tasks.
+//!
+//! Priority conventions, fixed once and for all here:
+//!
+//! * Within each collection, **index order is priority order**: index 0 is
+//!   the highest-priority task.
+//! * RT tasks are ordered **rate-monotonically** (shorter period = higher
+//!   priority), the paper's assumption; [`RtTaskSet::new_rate_monotonic`]
+//!   enforces it by sorting.
+//! * Every security task has lower priority than every RT task. Security
+//!   tasks have *distinct, designer-given* priorities — their index order in
+//!   [`SecurityTaskSet`].
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::task::{RtTask, SecurityTask};
+use crate::time::Duration;
+
+/// A set of RT tasks in decreasing priority order (index 0 = highest).
+///
+/// # Examples
+///
+/// ```
+/// use rts_model::task::RtTask;
+/// use rts_model::taskset::RtTaskSet;
+/// use rts_model::time::Duration;
+///
+/// let camera = RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?;
+/// let nav = RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?;
+/// // Rate-monotonic ordering puts the shorter-period navigation task first.
+/// let set = RtTaskSet::new_rate_monotonic(vec![camera, nav]);
+/// assert_eq!(set[0].period(), Duration::from_ms(500));
+/// # Ok::<(), rts_model::error::ModelError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RtTaskSet {
+    tasks: Vec<RtTask>,
+}
+
+impl RtTaskSet {
+    /// Creates a set whose priority order is the given vector order.
+    ///
+    /// Use this when priorities are already fixed externally (e.g. by a
+    /// deadline-monotonic assignment); use
+    /// [`RtTaskSet::new_rate_monotonic`] for the paper's RM assumption.
+    #[must_use]
+    pub fn new(tasks: Vec<RtTask>) -> Self {
+        RtTaskSet { tasks }
+    }
+
+    /// Creates a set sorted into rate-monotonic order: ascending period,
+    /// ties broken by ascending WCET then original position (stable).
+    #[must_use]
+    pub fn new_rate_monotonic(mut tasks: Vec<RtTask>) -> Self {
+        tasks.sort_by(|a, b| {
+            a.period()
+                .cmp(&b.period())
+                .then_with(|| a.wcet().cmp(&b.wcet()))
+        });
+        RtTaskSet { tasks }
+    }
+
+    /// Number of tasks `N_R`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the set contains no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over the tasks in priority order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RtTask> {
+        self.tasks.iter()
+    }
+
+    /// The tasks as a priority-ordered slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[RtTask] {
+        &self.tasks
+    }
+
+    /// Total utilization `Σ C_r / T_r`.
+    #[must_use]
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(RtTask::utilization).sum()
+    }
+
+    /// Indices of tasks with *higher* priority than `index`, i.e. `0..index`
+    /// (the paper's `hp(τ_r)` restricted to this set).
+    #[must_use]
+    pub fn higher_priority_than(&self, index: usize) -> std::ops::Range<usize> {
+        0..index
+    }
+}
+
+impl Index<usize> for RtTaskSet {
+    type Output = RtTask;
+    fn index(&self, index: usize) -> &RtTask {
+        &self.tasks[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a RtTaskSet {
+    type Item = &'a RtTask;
+    type IntoIter = std::slice::Iter<'a, RtTask>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl FromIterator<RtTask> for RtTaskSet {
+    fn from_iter<I: IntoIterator<Item = RtTask>>(iter: I) -> Self {
+        RtTaskSet::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for RtTaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RtTaskSet[{} tasks]", self.tasks.len())
+    }
+}
+
+/// A set of security tasks in decreasing priority order (index 0 =
+/// highest-priority security task; still below every RT task).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SecurityTaskSet {
+    tasks: Vec<SecurityTask>,
+}
+
+impl SecurityTaskSet {
+    /// Creates a set whose (designer-given) priority order is the vector
+    /// order.
+    #[must_use]
+    pub fn new(tasks: Vec<SecurityTask>) -> Self {
+        SecurityTaskSet { tasks }
+    }
+
+    /// Number of security tasks `N_S`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the set contains no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over the tasks in priority order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SecurityTask> {
+        self.tasks.iter()
+    }
+
+    /// The tasks as a priority-ordered slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[SecurityTask] {
+        &self.tasks
+    }
+
+    /// Minimum total utilization, i.e. with every task at its maximum
+    /// period: `Σ C_s / T^max_s`. This is the security contribution to the
+    /// paper's `U` in Fig. 6/7 (normalized utilization).
+    #[must_use]
+    pub fn min_total_utilization(&self) -> f64 {
+        self.tasks.iter().map(SecurityTask::min_utilization).sum()
+    }
+
+    /// Total utilization under a concrete period vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods` has a different length than the set.
+    #[must_use]
+    pub fn total_utilization_at(&self, periods: &[Duration]) -> f64 {
+        assert_eq!(
+            periods.len(),
+            self.tasks.len(),
+            "period vector length must match task count"
+        );
+        self.tasks
+            .iter()
+            .zip(periods)
+            .map(|(t, &p)| t.utilization_at(p))
+            .sum()
+    }
+
+    /// Indices of security tasks with higher priority than `index`
+    /// (the paper's `hp_S(τ_s)`).
+    #[must_use]
+    pub fn higher_priority_than(&self, index: usize) -> std::ops::Range<usize> {
+        0..index
+    }
+
+    /// Indices of security tasks with lower priority than `index`
+    /// (the paper's `lp(τ_s)` restricted to security tasks — RT tasks are
+    /// never affected by security tasks).
+    #[must_use]
+    pub fn lower_priority_than(&self, index: usize) -> std::ops::Range<usize> {
+        (index + 1)..self.tasks.len()
+    }
+
+    /// The vector of maximum periods `T^max = [T^max_s]`, the starting point
+    /// of the period-selection algorithm.
+    #[must_use]
+    pub fn max_periods(&self) -> Vec<Duration> {
+        self.tasks.iter().map(SecurityTask::t_max).collect()
+    }
+}
+
+impl Index<usize> for SecurityTaskSet {
+    type Output = SecurityTask;
+    fn index(&self, index: usize) -> &SecurityTask {
+        &self.tasks[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a SecurityTaskSet {
+    type Item = &'a SecurityTask;
+    type IntoIter = std::slice::Iter<'a, SecurityTask>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl FromIterator<SecurityTask> for SecurityTaskSet {
+    fn from_iter<I: IntoIterator<Item = SecurityTask>>(iter: I) -> Self {
+        SecurityTaskSet::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for SecurityTaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecurityTaskSet[{} tasks]", self.tasks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(c: u64, t: u64) -> RtTask {
+        RtTask::new(Duration::from_ms(c), Duration::from_ms(t)).unwrap()
+    }
+
+    fn sec(c: u64, tmax: u64) -> SecurityTask {
+        SecurityTask::new(Duration::from_ms(c), Duration::from_ms(tmax)).unwrap()
+    }
+
+    #[test]
+    fn rate_monotonic_sort_orders_by_period() {
+        let set = RtTaskSet::new_rate_monotonic(vec![rt(10, 100), rt(5, 50), rt(1, 200)]);
+        let periods: Vec<u64> = set.iter().map(|t| t.period().as_ticks()).collect();
+        assert_eq!(periods, vec![500, 1000, 2000]);
+    }
+
+    #[test]
+    fn rate_monotonic_ties_break_by_wcet() {
+        let set = RtTaskSet::new_rate_monotonic(vec![rt(9, 100), rt(3, 100)]);
+        assert_eq!(set[0].wcet(), Duration::from_ms(3));
+    }
+
+    #[test]
+    fn hp_and_lp_ranges() {
+        let set = SecurityTaskSet::new(vec![sec(1, 100), sec(2, 100), sec(3, 100)]);
+        assert_eq!(set.higher_priority_than(2), 0..2);
+        assert_eq!(set.lower_priority_than(0), 1..3);
+        assert_eq!(set.lower_priority_than(2), 3..3);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let rts = RtTaskSet::new(vec![rt(240, 500), rt(1120, 5000)]);
+        assert!((rts.total_utilization() - 0.704).abs() < 1e-12);
+        let secs = SecurityTaskSet::new(vec![sec(5342, 10_000), sec(223, 10_000)]);
+        assert!((secs.min_total_utilization() - 0.5565).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_at_periods() {
+        let secs = SecurityTaskSet::new(vec![sec(10, 100), sec(20, 200)]);
+        let u = secs.total_utilization_at(&[Duration::from_ms(50), Duration::from_ms(40)]);
+        assert!((u - (0.2 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collections_support_from_iterator() {
+        let set: RtTaskSet = (1..4).map(|i| rt(i, i * 10)).collect();
+        assert_eq!(set.len(), 3);
+        let secs: SecurityTaskSet = (1..3).map(|i| sec(i, 100)).collect();
+        assert_eq!(secs.len(), 2);
+    }
+
+    #[test]
+    fn max_periods_vector() {
+        let secs = SecurityTaskSet::new(vec![sec(1, 150), sec(2, 300)]);
+        assert_eq!(
+            secs.max_periods(),
+            vec![Duration::from_ms(150), Duration::from_ms(300)]
+        );
+    }
+}

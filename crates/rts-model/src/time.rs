@@ -1,0 +1,475 @@
+//! Integer-tick time base.
+//!
+//! The paper assumes that "all events in the system happen with the precision
+//! of integer clock ticks". Every temporal quantity in this workspace is
+//! therefore an exact integer number of ticks; the schedulability analysis
+//! never touches floating point. Two newtypes keep instants and lengths
+//! apart ([C-NEWTYPE]):
+//!
+//! * [`Duration`] — a length of time (WCET, period, deadline, response time,
+//!   window size). Closed under addition and scalar multiplication.
+//! * [`Instant`] — a point on the simulator's timeline. `Instant + Duration`
+//!   yields an `Instant`; `Instant - Instant` yields a `Duration`.
+//!
+//! The default resolution used by the workload generators and the rover model
+//! is [`TICKS_PER_MS`] = 10 ticks per millisecond (100 µs per tick), which is
+//! ample for the paper's millisecond-scale parameters while keeping
+//! fixed-point iterations short.
+//!
+//! # Examples
+//!
+//! ```
+//! use rts_model::time::{Duration, Instant};
+//!
+//! let period = Duration::from_ms(500);
+//! let wcet = Duration::from_ms(240);
+//! assert!(wcet < period);
+//!
+//! let release = Instant::ZERO + period;
+//! let finish = release + wcet;
+//! assert_eq!(finish - release, wcet);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Clock ticks per millisecond used by the convenience constructors
+/// ([`Duration::from_ms`], [`Instant::from_ms`]).
+///
+/// One tick is 100 µs. The analysis itself is resolution-agnostic; this
+/// constant only fixes the scale of the generated workloads.
+pub const TICKS_PER_MS: u64 = 10;
+
+/// A non-negative length of time measured in integer clock ticks.
+///
+/// `Duration` is the unit of every per-task temporal parameter (WCET,
+/// period, deadline) and of every quantity computed by the analysis
+/// (workload, interference, response time).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// The largest representable duration. Used as an "unbounded" sentinel
+    /// by searches that cap response times.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration of exactly `ticks` clock ticks.
+    ///
+    /// ```
+    /// use rts_model::time::Duration;
+    /// assert_eq!(Duration::from_ticks(7).as_ticks(), 7);
+    /// ```
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Creates a duration of `ms` milliseconds at the workspace resolution
+    /// of [`TICKS_PER_MS`] ticks per millisecond.
+    ///
+    /// ```
+    /// use rts_model::time::{Duration, TICKS_PER_MS};
+    /// assert_eq!(Duration::from_ms(3).as_ticks(), 3 * TICKS_PER_MS);
+    /// ```
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * TICKS_PER_MS)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this duration in (possibly fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / TICKS_PER_MS as f64
+    }
+
+    /// Returns `true` if this duration is zero ticks long.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(t) => Some(Duration(t)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(t) => Some(Duration(t)),
+            None => None,
+        }
+    }
+
+    /// Subtraction clamped at zero: `max(self - rhs, 0)`.
+    ///
+    /// The carry-in workload bound of the paper (Eq. 4) uses exactly this
+    /// `max(x - x̄, 0)` form.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition (clamps at [`Duration::MAX`]).
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// `self / other` as an exact ratio, e.g. a utilization `C/T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn ratio(self, other: Duration) -> f64 {
+        assert!(!other.is_zero(), "ratio denominator must be non-zero");
+        self.0 as f64 / other.0 as f64
+    }
+
+    /// Number of whole `other`-sized intervals contained in `self`
+    /// (`⌊self / other⌋`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn div_floor(self, other: Duration) -> u64 {
+        assert!(!other.is_zero(), "division by zero duration");
+        self.0 / other.0
+    }
+
+    /// `⌈self / other⌉`, the number of release instants of a period-`other`
+    /// task in a half-open window of length `self` started at a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn div_ceil(self, other: Duration) -> u64 {
+        assert!(!other.is_zero(), "division by zero duration");
+        self.0.div_ceil(other.0)
+    }
+
+    /// Midpoint `⌊(self + other) / 2⌋`, overflow-safe. Used by the
+    /// logarithmic period search (paper Algorithm 2, line 4).
+    #[must_use]
+    pub const fn midpoint(self, other: Duration) -> Duration {
+        Duration(self.0 / 2 + other.0 / 2 + (self.0 % 2 + other.0 % 2) / 2)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("duration addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(
+            self.0
+                .checked_mul(rhs)
+                .expect("duration multiplication overflowed"),
+        )
+    }
+}
+
+impl Mul<Duration> for u64 {
+    type Output = Duration;
+    fn mul(self, rhs: Duration) -> Duration {
+        rhs * self
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % TICKS_PER_MS == 0 {
+            write!(f, "{}ms", self.0 / TICKS_PER_MS)
+        } else {
+            write!(f, "{}t", self.0)
+        }
+    }
+}
+
+/// A point on the simulation timeline, measured in integer clock ticks from
+/// the system start (`Instant::ZERO`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// System start of time.
+    pub const ZERO: Instant = Instant(0);
+
+    /// The far future; useful as a sentinel for "no next event".
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// Creates an instant `ticks` clock ticks after system start.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Instant(ticks)
+    }
+
+    /// Creates an instant `ms` milliseconds after system start.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        Instant(ms * TICKS_PER_MS)
+    }
+
+    /// Ticks elapsed since system start.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds elapsed since system start (possibly fractional).
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / TICKS_PER_MS as f64
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be after `self`"),
+        )
+    }
+
+    /// Checked version of [`Instant::since`]; `None` if `earlier > self`.
+    #[must_use]
+    pub const fn checked_since(self, earlier: Instant) -> Option<Duration> {
+        match self.0.checked_sub(earlier.0) {
+            Some(t) => Some(Duration(t)),
+            None => None,
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(
+            self.0
+                .checked_add(rhs.as_ticks())
+                .expect("instant addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(
+            self.0
+                .checked_sub(rhs.as_ticks())
+                .expect("instant subtraction underflowed"),
+        )
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}t", self.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_constructor_uses_workspace_resolution() {
+        assert_eq!(Duration::from_ms(1).as_ticks(), TICKS_PER_MS);
+        assert_eq!(Duration::from_ms(500).as_ms(), 500.0);
+    }
+
+    #[test]
+    fn duration_arithmetic_roundtrips() {
+        let a = Duration::from_ticks(30);
+        let b = Duration::from_ticks(12);
+        assert_eq!((a + b).as_ticks(), 42);
+        assert_eq!((a - b).as_ticks(), 18);
+        assert_eq!((a * 3).as_ticks(), 90);
+        assert_eq!((3 * a).as_ticks(), 90);
+        assert_eq!((a / 4).as_ticks(), 7);
+    }
+
+    #[test]
+    fn floor_and_ceil_division() {
+        let x = Duration::from_ticks(10);
+        let t = Duration::from_ticks(4);
+        assert_eq!(x.div_floor(t), 2);
+        assert_eq!(x.div_ceil(t), 3);
+        assert_eq!((x % t).as_ticks(), 2);
+        let exact = Duration::from_ticks(8);
+        assert_eq!(exact.div_floor(t), 2);
+        assert_eq!(exact.div_ceil(t), 2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let small = Duration::from_ticks(3);
+        let big = Duration::from_ticks(5);
+        assert_eq!(small.saturating_sub(big), Duration::ZERO);
+        assert_eq!(big.saturating_sub(small).as_ticks(), 2);
+    }
+
+    #[test]
+    fn midpoint_is_overflow_safe_and_floored() {
+        let a = Duration::from_ticks(u64::MAX - 1);
+        let b = Duration::from_ticks(u64::MAX - 3);
+        assert_eq!(a.midpoint(b).as_ticks(), u64::MAX - 2);
+        let c = Duration::from_ticks(3);
+        let d = Duration::from_ticks(4);
+        assert_eq!(c.midpoint(d).as_ticks(), 3);
+    }
+
+    #[test]
+    fn instant_duration_interplay() {
+        let t0 = Instant::from_ticks(100);
+        let d = Duration::from_ticks(50);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_ticks(), 150);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.since(t0), d);
+        assert_eq!(t0.checked_since(t1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn duration_sub_underflow_panics() {
+        let _ = Duration::from_ticks(1) - Duration::from_ticks(2);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [1u64, 2, 3]
+            .iter()
+            .map(|&t| Duration::from_ticks(t))
+            .sum();
+        assert_eq!(total.as_ticks(), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_ms(5).to_string(), "5ms");
+        assert_eq!(Duration::from_ticks(7).to_string(), "7t");
+        assert_eq!(format!("{:?}", Duration::from_ticks(7)), "7t");
+        assert_eq!(Instant::from_ticks(9).to_string(), "@9t");
+    }
+
+    #[test]
+    fn ratio_computes_utilization() {
+        let c = Duration::from_ms(240);
+        let t = Duration::from_ms(500);
+        assert!((c.ratio(t) - 0.48).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! Partitioned allocation heuristics with exact RTA feasibility.
+//!
+//! Assigns rate-monotonic RT tasks to the cores of a multicore platform
+//! using classic bin-packing heuristics — first-fit, best-fit, worst-fit —
+//! where "fits" means *every* task on the candidate core (including tasks
+//! of lower priority than the newcomer) still passes the exact
+//! uniprocessor response-time test (paper Eq. 1).
+//!
+//! The HYDRA-C paper's Table 3 uses **best-fit** allocation for RT tasks;
+//! the other heuristics are provided for design-space exploration and for
+//! the ablation benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use rts_model::prelude::*;
+//! use rts_partition::{partition_rt_tasks, FitHeuristic, SortOrder};
+//!
+//! let platform = Platform::dual_core();
+//! let tasks = RtTaskSet::new_rate_monotonic(vec![
+//!     RtTask::new(Duration::from_ms(30), Duration::from_ms(100))?,
+//!     RtTask::new(Duration::from_ms(60), Duration::from_ms(100))?,
+//!     RtTask::new(Duration::from_ms(80), Duration::from_ms(200))?,
+//! ]);
+//! let partition = partition_rt_tasks(
+//!     platform,
+//!     &tasks,
+//!     FitHeuristic::BestFit,
+//!     SortOrder::DecreasingUtilization,
+//! )?;
+//! assert_eq!(partition.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use rts_analysis::uniproc::{self, HpTask};
+use rts_model::taskset::RtTaskSet;
+use rts_model::time::Duration;
+use rts_model::{CoreId, Partition, Platform};
+
+/// Bin-packing heuristic used to pick among the feasible cores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FitHeuristic {
+    /// Lowest-index feasible core.
+    FirstFit,
+    /// Feasible core with the highest current utilization (pack tight).
+    /// This is the paper's Table 3 choice for RT tasks.
+    #[default]
+    BestFit,
+    /// Feasible core with the lowest current utilization (spread load).
+    WorstFit,
+}
+
+/// Order in which tasks are offered to the heuristic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SortOrder {
+    /// Priority (index) order, i.e. rate-monotonic for an RM-sorted set.
+    AsGiven,
+    /// Decreasing utilization — the classic `*-fit decreasing` variant
+    /// that improves packing quality.
+    #[default]
+    DecreasingUtilization,
+}
+
+/// Error returned when a task cannot be placed on any core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PartitionError {
+    task: usize,
+}
+
+impl PartitionError {
+    /// Index (in the original task set) of the task that fit nowhere.
+    #[must_use]
+    pub fn task(&self) -> usize {
+        self.task
+    }
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} fits on no core under the Eq. 1 response-time test",
+            self.task
+        )
+    }
+}
+
+impl Error for PartitionError {}
+
+/// One core's current contents during allocation.
+#[derive(Clone, Debug, Default)]
+struct CoreState {
+    /// Indices (into the task set) of the tasks assigned so far.
+    tasks: Vec<usize>,
+    utilization: f64,
+}
+
+/// Returns `true` if the priority-ordered `(C, T, D)` triples are all
+/// schedulable on one core under fixed-priority preemptive scheduling.
+fn core_feasible(entries: &[(Duration, Duration, Duration)]) -> bool {
+    let mut hp: Vec<HpTask> = Vec::with_capacity(entries.len());
+    for &(wcet, period, deadline) in entries {
+        if uniproc::response_time(wcet, &hp, deadline).is_none() {
+            return false;
+        }
+        hp.push(HpTask::new(wcet, period));
+    }
+    true
+}
+
+/// Checks whether adding task `candidate` to the core currently holding
+/// `assigned` (indices into `tasks`, any order) keeps every task on the
+/// core schedulable. Priority order is index order in `tasks`.
+fn fits_on_core(tasks: &RtTaskSet, assigned: &[usize], candidate: usize) -> bool {
+    let mut indices: Vec<usize> = assigned.to_vec();
+    indices.push(candidate);
+    indices.sort_unstable(); // index order == priority order
+    let entries: Vec<(Duration, Duration, Duration)> = indices
+        .iter()
+        .map(|&i| (tasks[i].wcet(), tasks[i].period(), tasks[i].deadline()))
+        .collect();
+    core_feasible(&entries)
+}
+
+/// Partitions `tasks` onto `platform` with the given heuristic and
+/// ordering. The returned [`Partition`] is index-aligned with `tasks`
+/// (i.e. entry `i` is the core of `tasks[i]`, regardless of `order`).
+///
+/// # Errors
+///
+/// Returns [`PartitionError`] naming the first task (in allocation order)
+/// that fits on no core.
+pub fn partition_rt_tasks(
+    platform: Platform,
+    tasks: &RtTaskSet,
+    heuristic: FitHeuristic,
+    order: SortOrder,
+) -> Result<Partition, PartitionError> {
+    let mut order_indices: Vec<usize> = (0..tasks.len()).collect();
+    if order == SortOrder::DecreasingUtilization {
+        order_indices.sort_by(|&a, &b| {
+            tasks[b]
+                .utilization()
+                .partial_cmp(&tasks[a].utilization())
+                .expect("utilizations are finite")
+                .then(a.cmp(&b))
+        });
+    }
+
+    let mut cores: Vec<CoreState> = (0..platform.num_cores())
+        .map(|_| CoreState::default())
+        .collect();
+    let mut assignment: Vec<Option<CoreId>> = vec![None; tasks.len()];
+
+    for &task_idx in &order_indices {
+        let feasible = platform
+            .cores()
+            .filter(|c| fits_on_core(tasks, &cores[c.index()].tasks, task_idx));
+        let chosen = match heuristic {
+            FitHeuristic::FirstFit => feasible.min_by_key(|c| c.index()),
+            FitHeuristic::BestFit => feasible.min_by(|a, b| {
+                cores[b.index()]
+                    .utilization
+                    .partial_cmp(&cores[a.index()].utilization)
+                    .expect("utilizations are finite")
+                    .then(a.index().cmp(&b.index()))
+            }),
+            FitHeuristic::WorstFit => feasible.min_by(|a, b| {
+                cores[a.index()]
+                    .utilization
+                    .partial_cmp(&cores[b.index()].utilization)
+                    .expect("utilizations are finite")
+                    .then(a.index().cmp(&b.index()))
+            }),
+        };
+        let core = chosen.ok_or(PartitionError { task: task_idx })?;
+        cores[core.index()].tasks.push(task_idx);
+        cores[core.index()].utilization += tasks[task_idx].utilization();
+        assignment[task_idx] = Some(core);
+    }
+
+    let assignment: Vec<CoreId> = assignment
+        .into_iter()
+        .map(|c| c.expect("every task was assigned"))
+        .collect();
+    Ok(Partition::new(platform, assignment).expect("assignment uses validated cores"))
+}
+
+/// Verifies that an existing partition keeps every RT task schedulable
+/// (paper Eq. 1) — useful for externally supplied partitions like the
+/// rover's `taskset`-style manual pinning.
+#[must_use]
+pub fn partition_is_feasible(platform: Platform, tasks: &RtTaskSet, partition: &Partition) -> bool {
+    if partition.len() != tasks.len() {
+        return false;
+    }
+    platform.cores().all(|core| {
+        let indices = partition.tasks_on(core);
+        let entries: Vec<(Duration, Duration, Duration)> = indices
+            .iter()
+            .map(|&i| (tasks[i].wcet(), tasks[i].period(), tasks[i].deadline()))
+            .collect();
+        core_feasible(&entries)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::task::RtTask;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rt(c: u64, t: u64) -> RtTask {
+        RtTask::new(ms(c), ms(t)).unwrap()
+    }
+
+    #[test]
+    fn single_task_goes_to_core_zero() {
+        let tasks = RtTaskSet::new_rate_monotonic(vec![rt(1, 10)]);
+        let p = partition_rt_tasks(
+            Platform::dual_core(),
+            &tasks,
+            FitHeuristic::FirstFit,
+            SortOrder::AsGiven,
+        )
+        .unwrap();
+        assert_eq!(p.core_of(0), CoreId::new(0));
+    }
+
+    #[test]
+    fn worst_fit_spreads_best_fit_packs() {
+        // Two light tasks fit together on one core.
+        let tasks = RtTaskSet::new_rate_monotonic(vec![rt(10, 100), rt(20, 200)]);
+        let platform = Platform::dual_core();
+        let bf = partition_rt_tasks(platform, &tasks, FitHeuristic::BestFit, SortOrder::AsGiven)
+            .unwrap();
+        assert_eq!(bf.core_of(0), bf.core_of(1), "best-fit packs onto one core");
+        let wf = partition_rt_tasks(platform, &tasks, FitHeuristic::WorstFit, SortOrder::AsGiven)
+            .unwrap();
+        assert_ne!(wf.core_of(0), wf.core_of(1), "worst-fit spreads across cores");
+    }
+
+    #[test]
+    fn infeasible_set_reports_task() {
+        // Three 60%-utilization tasks cannot share two cores.
+        let tasks = RtTaskSet::new_rate_monotonic(vec![rt(60, 100), rt(60, 100), rt(60, 100)]);
+        let err = partition_rt_tasks(
+            Platform::dual_core(),
+            &tasks,
+            FitHeuristic::BestFit,
+            SortOrder::AsGiven,
+        )
+        .unwrap_err();
+        assert_eq!(err.task(), 2);
+        assert!(err.to_string().contains("task 2"));
+    }
+
+    #[test]
+    fn rta_feasibility_is_stricter_than_utilization() {
+        // τ2 (C=11, T=20) behind τ1 (C=5, T=10) would have R2 > 20, so the
+        // exact test forces the tasks apart even though two cores exist.
+        let tasks = RtTaskSet::new_rate_monotonic(vec![rt(5, 10), rt(11, 20)]);
+        let p = partition_rt_tasks(
+            Platform::dual_core(),
+            &tasks,
+            FitHeuristic::BestFit,
+            SortOrder::AsGiven,
+        )
+        .unwrap();
+        assert_ne!(p.core_of(0), p.core_of(1), "RTA must separate the tasks");
+    }
+
+    #[test]
+    fn exact_rta_admits_full_utilization_pairs() {
+        // (C=5, T=10) + (C=10, T=20): R2 = 20 = D2 — schedulable, so
+        // best-fit keeps them together despite U = 1.0.
+        let tasks = RtTaskSet::new_rate_monotonic(vec![rt(5, 10), rt(10, 20)]);
+        let p = partition_rt_tasks(
+            Platform::dual_core(),
+            &tasks,
+            FitHeuristic::BestFit,
+            SortOrder::AsGiven,
+        )
+        .unwrap();
+        assert_eq!(p.core_of(0), p.core_of(1));
+    }
+
+    #[test]
+    fn decreasing_utilization_changes_allocation_order_not_indexing() {
+        let tasks = RtTaskSet::new_rate_monotonic(vec![
+            rt(10, 100), // U = 0.1, highest priority
+            rt(90, 180), // U = 0.5
+        ]);
+        let p = partition_rt_tasks(
+            Platform::dual_core(),
+            &tasks,
+            FitHeuristic::FirstFit,
+            SortOrder::DecreasingUtilization,
+        )
+        .unwrap();
+        // The heavy task was allocated first (to core 0); the light task
+        // still fits there too; indexing stays aligned with the task set.
+        assert_eq!(p.core_of(1), CoreId::new(0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn partition_feasibility_check_agrees() {
+        let tasks = RtTaskSet::new_rate_monotonic(vec![rt(5, 10), rt(11, 20)]);
+        let platform = Platform::dual_core();
+        let good = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        assert!(partition_is_feasible(platform, &tasks, &good));
+        let bad = Partition::new(platform, vec![CoreId::new(0), CoreId::new(0)]).unwrap();
+        assert!(!partition_is_feasible(platform, &tasks, &bad));
+    }
+
+    #[test]
+    fn empty_taskset_partitions_trivially() {
+        let tasks = RtTaskSet::default();
+        let p = partition_rt_tasks(
+            Platform::dual_core(),
+            &tasks,
+            FitHeuristic::BestFit,
+            SortOrder::DecreasingUtilization,
+        )
+        .unwrap();
+        assert!(p.is_empty());
+    }
+}

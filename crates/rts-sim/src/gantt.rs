@@ -1,0 +1,216 @@
+//! ASCII Gantt rendering of execution traces.
+//!
+//! Renders a [`Trace`] as one row per core, mirroring the paper's Fig. 1
+//! schedule illustrations — handy for examples, debugging dispatch
+//! decisions, and the `fig1_schedule` regeneration binary.
+
+use rts_model::time::{Duration, Instant};
+use rts_model::CoreId;
+
+use crate::task::TaskId;
+use crate::trace::Trace;
+
+/// Options for [`render`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GanttOptions {
+    /// Render window start.
+    pub from: Instant,
+    /// Render window end (exclusive).
+    pub to: Instant,
+    /// Simulated time per output character cell.
+    pub ticks_per_cell: u64,
+}
+
+impl GanttOptions {
+    /// A window `[0, to)` at a resolution that fits ~`width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is zero or `width` is zero.
+    #[must_use]
+    pub fn fit(to: Duration, width: usize) -> Self {
+        assert!(!to.is_zero(), "window must be non-empty");
+        assert!(width > 0, "width must be positive");
+        GanttOptions {
+            from: Instant::ZERO,
+            to: Instant::ZERO + to,
+            ticks_per_cell: (to.as_ticks() / width as u64).max(1),
+        }
+    }
+}
+
+/// Glyph for task `t`: `A`–`Z`, then `a`–`z`, then `#`.
+fn glyph(task: TaskId) -> char {
+    const UPPER: usize = 26;
+    match task.0 {
+        i if i < UPPER => (b'A' + i as u8) as char,
+        i if i < 2 * UPPER => (b'a' + (i - UPPER) as u8) as char,
+        _ => '#',
+    }
+}
+
+/// Renders the trace as one line per core (plus a legend and an axis).
+///
+/// Within each character cell the task that executed the most ticks on
+/// that core wins; idle cells print `.`.
+///
+/// # Examples
+///
+/// ```
+/// use rts_model::time::Duration;
+/// use rts_model::Platform;
+/// use rts_sim::engine::{SimConfig, Simulation};
+/// use rts_sim::gantt::{render, GanttOptions};
+/// use rts_sim::task::{Affinity, TaskSpec};
+///
+/// let t = Duration::from_ticks;
+/// let sim = Simulation::new(
+///     Platform::uniprocessor(),
+///     vec![TaskSpec::new("a", t(2), t(4), 0, Affinity::Pinned(0.into()))],
+/// );
+/// let out = sim.run(&SimConfig::new(t(8)).with_trace());
+/// let art = render(out.trace.as_ref().unwrap(), 1, &GanttOptions::fit(t(8), 8));
+/// assert!(art.contains("core0 |AA..AA.."));
+/// ```
+#[must_use]
+pub fn render(trace: &Trace, num_cores: usize, options: &GanttOptions) -> String {
+    let from = options.from.as_ticks();
+    let to = options.to.as_ticks();
+    assert!(to > from, "render window must be non-empty");
+    let cell = options.ticks_per_cell.max(1);
+    let width = ((to - from).div_ceil(cell)) as usize;
+
+    // Per core, per cell: (task, ticks executed) accumulation.
+    let mut cells: Vec<Vec<Option<(TaskId, u64)>>> = vec![vec![None; width]; num_cores];
+    let mut seen_tasks: Vec<TaskId> = Vec::new();
+    for s in trace.slices() {
+        let core = s.core.index();
+        if core >= num_cores {
+            continue;
+        }
+        let (s0, s1) = (s.start.as_ticks().max(from), s.end.as_ticks().min(to));
+        if s0 >= s1 {
+            continue;
+        }
+        if !seen_tasks.contains(&s.task) {
+            seen_tasks.push(s.task);
+        }
+        let mut t = s0;
+        while t < s1 {
+            let idx = ((t - from) / cell) as usize;
+            let cell_end = from + (idx as u64 + 1) * cell;
+            let run = s1.min(cell_end) - t;
+            let slot = &mut cells[core][idx];
+            match slot {
+                Some((task, ticks)) if *task == s.task => *ticks += run,
+                Some((_, ticks)) if *ticks < run => *slot = Some((s.task, run)),
+                Some(_) => {}
+                None => *slot = Some((s.task, run)),
+            }
+            t += run;
+        }
+    }
+
+    let mut out = String::new();
+    for (core, row) in cells.iter().enumerate() {
+        out.push_str(&format!("{} |", CoreId::new(core)));
+        for slot in row {
+            out.push(match slot {
+                Some((task, _)) => glyph(*task),
+                None => '.',
+            });
+        }
+        out.push('\n');
+    }
+    // Axis: tick marks every 10 cells.
+    out.push_str("      ");
+    for i in 0..width {
+        out.push(if i % 10 == 0 { '+' } else { '-' });
+    }
+    out.push('\n');
+    // Legend.
+    seen_tasks.sort_unstable();
+    let legend: Vec<String> = seen_tasks
+        .iter()
+        .map(|&t| format!("{}={}", glyph(t), t))
+        .collect();
+    out.push_str(&format!(
+        "legend: {} ('.' idle, 1 cell = {} ticks)\n",
+        legend.join(" "),
+        cell
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use crate::task::{Affinity, TaskSpec};
+    use rts_model::Platform;
+
+    fn t(v: u64) -> Duration {
+        Duration::from_ticks(v)
+    }
+
+    #[test]
+    fn renders_the_fig1_shape() {
+        // Two pinned RT tasks + one migrating security task: the security
+        // glyph must appear on both cores (it migrates).
+        let sim = Simulation::new(
+            Platform::dual_core(),
+            vec![
+                TaskSpec::new("rt0", t(5), t(10), 0, Affinity::Pinned(0.into())),
+                TaskSpec::new("rt1", t(5), t(10), 1, Affinity::Pinned(1.into())).with_offset(t(5)),
+                TaskSpec::new("sec", t(13), t(20), 2, Affinity::Migrating),
+            ],
+        );
+        let out = sim.run(&SimConfig::new(t(20)).with_trace());
+        let art = render(out.trace.as_ref().unwrap(), 2, &GanttOptions::fit(t(20), 20));
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("core0 |"));
+        assert!(lines[1].starts_with("core1 |"));
+        assert!(lines[0].contains('C') && lines[1].contains('C'), "{art}");
+        assert!(art.contains("legend:"));
+    }
+
+    #[test]
+    fn idle_cells_are_dots() {
+        let sim = Simulation::new(
+            Platform::uniprocessor(),
+            vec![TaskSpec::new("a", t(1), t(10), 0, Affinity::Pinned(0.into()))],
+        );
+        let out = sim.run(&SimConfig::new(t(10)).with_trace());
+        let art = render(out.trace.as_ref().unwrap(), 1, &GanttOptions::fit(t(10), 10));
+        assert!(art.contains("A........."), "{art}");
+    }
+
+    #[test]
+    fn coarse_cells_pick_the_dominant_task() {
+        // 4-tick cells: a 3-tick job beats a 1-tick job inside one cell.
+        let sim = Simulation::new(
+            Platform::uniprocessor(),
+            vec![
+                TaskSpec::new("short", t(1), t(8), 0, Affinity::Pinned(0.into())),
+                TaskSpec::new("long", t(3), t(8), 1, Affinity::Pinned(0.into())),
+            ],
+        );
+        let out = sim.run(&SimConfig::new(t(8)).with_trace());
+        let opts = GanttOptions {
+            from: Instant::ZERO,
+            to: Instant::from_ticks(8),
+            ticks_per_cell: 4,
+        };
+        let art = render(out.trace.as_ref().unwrap(), 1, &opts);
+        // Cell 0 holds A(1 tick) then B(3 ticks): B dominates.
+        assert!(art.contains("core0 |B."), "{art}");
+    }
+
+    #[test]
+    fn glyphs_extend_past_z() {
+        assert_eq!(glyph(TaskId(0)), 'A');
+        assert_eq!(glyph(TaskId(25)), 'Z');
+        assert_eq!(glyph(TaskId(26)), 'a');
+        assert_eq!(glyph(TaskId(60)), '#');
+    }
+}

@@ -1,0 +1,159 @@
+//! Scheduling metrics: response times, deadline misses, context switches,
+//! migrations, core busy time.
+
+use rts_model::time::Duration;
+
+/// Per-task statistics accumulated over one simulation run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TaskMetrics {
+    /// Jobs released.
+    pub released: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs that missed their absolute deadline.
+    pub deadline_misses: u64,
+    /// Largest observed response time.
+    pub max_response_time: Duration,
+    /// Sum of response times (for averaging).
+    pub total_response_time: Duration,
+}
+
+impl TaskMetrics {
+    /// Mean observed response time, or `None` before any completion.
+    #[must_use]
+    pub fn avg_response_time(&self) -> Option<Duration> {
+        if self.completed == 0 {
+            None
+        } else {
+            Some(self.total_response_time / self.completed)
+        }
+    }
+}
+
+/// System-wide statistics for one simulation run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Metrics {
+    /// Per-task metrics, index-aligned with the task spec vector.
+    pub tasks: Vec<TaskMetrics>,
+    /// Times a core switched to running a different job than before
+    /// (idle → job transitions included, as `perf` counts scheduler
+    /// switches; idle periods themselves are not).
+    pub context_switches: u64,
+    /// Times a job resumed on a different core than it last ran on.
+    pub migrations: u64,
+    /// Per-core busy time.
+    pub busy_time: Vec<Duration>,
+    /// Length of the simulated window.
+    pub horizon: Duration,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for `num_tasks` tasks on `num_cores` cores.
+    #[must_use]
+    pub fn new(num_tasks: usize, num_cores: usize) -> Self {
+        Metrics {
+            tasks: vec![TaskMetrics::default(); num_tasks],
+            context_switches: 0,
+            migrations: 0,
+            busy_time: vec![Duration::ZERO; num_cores],
+            horizon: Duration::ZERO,
+        }
+    }
+
+    /// Total deadline misses across all tasks.
+    #[must_use]
+    pub fn total_deadline_misses(&self) -> u64 {
+        self.tasks.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// Fraction of the available core time that was busy, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.horizon.is_zero() || self.busy_time.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_time.iter().map(|d| d.as_ticks() as f64).sum();
+        busy / (self.horizon.as_ticks() as f64 * self.busy_time.len() as f64)
+    }
+
+    /// Renders a per-task summary table (label, releases, completions,
+    /// misses, max/avg response in ms), one row per task in `labels`
+    /// order — the simulation report the CLI and examples print.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` does not match the task count.
+    #[must_use]
+    pub fn per_task_report(&self, labels: &[&str]) -> String {
+        assert_eq!(labels.len(), self.tasks.len(), "one label per task");
+        let mut out = String::from(
+            "task              released completed misses   max R (ms)   avg R (ms)\n",
+        );
+        for (label, t) in labels.iter().zip(&self.tasks) {
+            let avg = t
+                .avg_response_time()
+                .map_or_else(|| "-".to_string(), |d| format!("{:.1}", d.as_ms()));
+            out.push_str(&format!(
+                "{label:<17} {:>8} {:>9} {:>6} {:>12.1} {:>12}\n",
+                t.released,
+                t.completed,
+                t.deadline_misses,
+                t.max_response_time.as_ms(),
+                avg,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_response_time_requires_completions() {
+        let mut m = TaskMetrics::default();
+        assert_eq!(m.avg_response_time(), None);
+        m.completed = 2;
+        m.total_response_time = Duration::from_ticks(10);
+        assert_eq!(m.avg_response_time(), Some(Duration::from_ticks(5)));
+    }
+
+    #[test]
+    fn utilization_normalizes_by_cores_and_horizon() {
+        let mut m = Metrics::new(1, 2);
+        m.horizon = Duration::from_ticks(100);
+        m.busy_time = vec![Duration::from_ticks(50), Duration::from_ticks(100)];
+        assert!((m.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_task_report_formats_rows() {
+        let mut m = Metrics::new(2, 1);
+        m.tasks[0].released = 3;
+        m.tasks[0].completed = 3;
+        m.tasks[0].max_response_time = Duration::from_ms(12);
+        m.tasks[0].total_response_time = Duration::from_ms(30);
+        let report = m.per_task_report(&["nav", "sec"]);
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("nav"));
+        assert!(lines[1].contains("10.0"), "{report}");
+        assert!(lines[2].contains('-'), "no completions yet: {report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per task")]
+    fn per_task_report_checks_labels() {
+        let m = Metrics::new(2, 1);
+        let _ = m.per_task_report(&["only-one"]);
+    }
+
+    #[test]
+    fn zeroed_state() {
+        let m = Metrics::new(3, 2);
+        assert_eq!(m.tasks.len(), 3);
+        assert_eq!(m.total_deadline_misses(), 0);
+        assert_eq!(m.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Building simulator task sets from the analysis-side system model.
+//!
+//! Converts an [`rts_model::System`] plus a selected period vector into
+//! the [`TaskSpec`]s of one of the paper's three runtime policies:
+//! HYDRA-C (security tasks migrate), HYDRA/HYDRA-TMax (security tasks
+//! pinned to the cores chosen by the allocator), and GLOBAL (everything
+//! migrates).
+//!
+//! Priority bands follow the paper: RT tasks occupy priorities
+//! `0..N_R` in rate-monotonic order; security tasks occupy
+//! `N_R..N_R+N_S` in their designer-given order — always strictly below
+//! every RT task.
+
+use rts_model::time::Duration;
+use rts_model::{CoreId, System};
+
+use crate::task::{Affinity, TaskSpec};
+
+/// Runtime placement policy for the security tasks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SecurityPlacement<'a> {
+    /// Semi-partitioned: security tasks migrate freely (HYDRA-C).
+    Migrating,
+    /// Statically pinned to the given cores, index-aligned with the
+    /// security task set (HYDRA, HYDRA-TMax).
+    Pinned(&'a [CoreId]),
+    /// Global scheduling: the RT tasks migrate too (GLOBAL-TMax).
+    GlobalAll,
+}
+
+/// Builds the simulator task specs for `system` with the security tasks
+/// running at `periods` under the given placement.
+///
+/// The returned vector lists RT tasks first (indices `0..N_R`), then
+/// security tasks (indices `N_R..N_R+N_S`) — callers needing the
+/// simulator [`crate::task::TaskId`] of security task `s` use `N_R + s`.
+///
+/// # Panics
+///
+/// Panics if `periods` is not index-aligned with the security task set,
+/// or if a `Pinned` placement has the wrong length.
+#[must_use]
+pub fn system_specs(
+    system: &System,
+    periods: &[Duration],
+    placement: SecurityPlacement<'_>,
+) -> Vec<TaskSpec> {
+    let rt = system.rt_tasks();
+    let sec = system.security_tasks();
+    assert_eq!(
+        periods.len(),
+        sec.len(),
+        "one period per security task required"
+    );
+    if let SecurityPlacement::Pinned(cores) = placement {
+        assert_eq!(
+            cores.len(),
+            sec.len(),
+            "one core per security task required"
+        );
+    }
+
+    let mut specs = Vec::with_capacity(rt.len() + sec.len());
+    for (i, task) in rt.iter().enumerate() {
+        let affinity = match placement {
+            SecurityPlacement::GlobalAll => Affinity::Migrating,
+            _ => Affinity::Pinned(system.partition().core_of(i)),
+        };
+        let label = task
+            .label()
+            .map_or_else(|| format!("rt{i}"), str::to_owned);
+        specs.push(
+            TaskSpec::new(label, task.wcet(), task.period(), i as u32, affinity)
+                .with_deadline(task.deadline()),
+        );
+    }
+    for (s, task) in sec.iter().enumerate() {
+        let affinity = match placement {
+            SecurityPlacement::Migrating | SecurityPlacement::GlobalAll => Affinity::Migrating,
+            SecurityPlacement::Pinned(cores) => Affinity::Pinned(cores[s]),
+        };
+        let label = task
+            .label()
+            .map_or_else(|| format!("sec{s}"), str::to_owned);
+        specs.push(TaskSpec::new(
+            label,
+            task.wcet(),
+            periods[s],
+            (rt.len() + s) as u32,
+            affinity,
+        ));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::{
+        Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
+    };
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn system() -> System {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(240), ms(500)).unwrap().labeled("navigation"),
+            RtTask::new(ms(1120), ms(5000)).unwrap().labeled("camera"),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap().labeled("tripwire"),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap().labeled("kmod"),
+        ]);
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    #[test]
+    fn migrating_placement_band_structure() {
+        let sys = system();
+        let specs = system_specs(
+            &sys,
+            &[ms(7582), ms(2783)],
+            SecurityPlacement::Migrating,
+        );
+        assert_eq!(specs.len(), 4);
+        // RT tasks pinned per the partition, priorities 0..2.
+        assert_eq!(specs[0].affinity, Affinity::Pinned(CoreId::new(0)));
+        assert_eq!(specs[1].affinity, Affinity::Pinned(CoreId::new(1)));
+        assert!(specs[0].priority < specs[2].priority);
+        // Security tasks migrate at band N_R.., with the given periods.
+        assert_eq!(specs[2].affinity, Affinity::Migrating);
+        assert_eq!(specs[2].period, ms(7582));
+        assert_eq!(specs[3].period, ms(2783));
+        assert_eq!(specs[2].label, "tripwire");
+    }
+
+    #[test]
+    fn pinned_placement_uses_given_cores() {
+        let sys = system();
+        let cores = [CoreId::new(1), CoreId::new(0)];
+        let specs = system_specs(
+            &sys,
+            &[ms(7582), ms(463)],
+            SecurityPlacement::Pinned(&cores),
+        );
+        assert_eq!(specs[2].affinity, Affinity::Pinned(CoreId::new(1)));
+        assert_eq!(specs[3].affinity, Affinity::Pinned(CoreId::new(0)));
+    }
+
+    #[test]
+    fn global_placement_unpins_everything() {
+        let sys = system();
+        let specs = system_specs(
+            &sys,
+            &[ms(10_000), ms(10_000)],
+            SecurityPlacement::GlobalAll,
+        );
+        assert!(specs.iter().all(|s| s.affinity == Affinity::Migrating));
+    }
+
+    #[test]
+    #[should_panic(expected = "one period per security task")]
+    fn wrong_period_count_panics() {
+        let sys = system();
+        let _ = system_specs(&sys, &[ms(100)], SecurityPlacement::Migrating);
+    }
+}

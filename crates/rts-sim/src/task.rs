@@ -1,0 +1,210 @@
+//! Task descriptions consumed by the simulator.
+
+use std::fmt;
+
+use rts_model::time::Duration;
+use rts_model::CoreId;
+
+/// Where a task's jobs may execute.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Affinity {
+    /// Statically bound to one core (the partitioned RT tasks, and the
+    /// security tasks under the HYDRA baseline).
+    Pinned(CoreId),
+    /// Free to run — and migrate mid-job — on any core (the security
+    /// tasks under HYDRA-C, and everything under GLOBAL scheduling).
+    Migrating,
+}
+
+/// When jobs arrive relative to the previous release.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ArrivalModel {
+    /// Strictly periodic: release `k` happens at `offset + k·T`.
+    #[default]
+    Periodic,
+    /// Sporadic: consecutive releases are separated by `T` plus a
+    /// uniformly random extra delay in `[0, max_delay]` — the paper's
+    /// task model ("minimum inter-arrival time") exercised at runtime.
+    Sporadic {
+        /// Largest extra inter-arrival gap.
+        max_delay: Duration,
+    },
+}
+
+/// How much execution each job actually demands.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DemandModel {
+    /// Every job runs for exactly the WCET (the analysis' stance).
+    #[default]
+    Wcet,
+    /// Jobs demand a uniformly random amount in `[min, WCET]` — typical
+    /// real executions below the worst case.
+    Uniform {
+        /// Smallest per-job demand.
+        min: Duration,
+    },
+    /// Fault injection: every `nth` job (1-based) demands `demand`
+    /// instead of the WCET, possibly *exceeding* it — used to verify that
+    /// overruns surface as deadline misses instead of silent corruption.
+    OverrunEvery {
+        /// Overrun period in jobs (the `nth`, `2·nth`, … jobs overrun).
+        nth: u64,
+        /// The overrunning demand.
+        demand: Duration,
+    },
+}
+
+/// One periodic/sporadic task as the simulator sees it.
+///
+/// Priorities are numeric with **smaller = higher**; ties are broken by
+/// earlier release, then task index, so the schedule is deterministic
+/// (randomized arrival/demand models draw from the seeded RNG in
+/// [`crate::engine::SimConfig`], so runs stay reproducible).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TaskSpec {
+    /// Worst-case execution demand per job.
+    pub wcet: Duration,
+    /// Inter-release separation (minimum, under sporadic arrivals).
+    pub period: Duration,
+    /// Relative deadline (≤ period).
+    pub deadline: Duration,
+    /// Release of the first job.
+    pub offset: Duration,
+    /// Scheduling priority; smaller is higher.
+    pub priority: u32,
+    /// Core binding.
+    pub affinity: Affinity,
+    /// Arrival process.
+    pub arrival: ArrivalModel,
+    /// Per-job execution demand process.
+    pub demand: DemandModel,
+    /// Human-readable name for traces and reports.
+    pub label: String,
+}
+
+impl TaskSpec {
+    /// Creates a periodic task with an implicit deadline, zero offset and
+    /// the given priority/affinity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcet` is zero or exceeds `period`.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        wcet: Duration,
+        period: Duration,
+        priority: u32,
+        affinity: Affinity,
+    ) -> Self {
+        assert!(!wcet.is_zero(), "job execution demand must be positive");
+        assert!(wcet <= period, "WCET must not exceed the period");
+        TaskSpec {
+            wcet,
+            period,
+            deadline: period,
+            offset: Duration::ZERO,
+            priority,
+            affinity,
+            arrival: ArrivalModel::Periodic,
+            demand: DemandModel::Wcet,
+            label: label.into(),
+        }
+    }
+
+    /// Sets a constrained deadline (`D ≤ T`), returning the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` exceeds the period or is below the WCET.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        assert!(deadline <= self.period, "deadline must be constrained");
+        assert!(deadline >= self.wcet, "deadline must fit the WCET");
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the first-release offset, returning the spec.
+    #[must_use]
+    pub fn with_offset(mut self, offset: Duration) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Makes the task sporadic with up to `max_delay` extra inter-arrival
+    /// gap, returning the spec.
+    #[must_use]
+    pub fn sporadic(mut self, max_delay: Duration) -> Self {
+        self.arrival = ArrivalModel::Sporadic { max_delay };
+        self
+    }
+
+    /// Sets the per-job demand model, returning the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform` minimum exceeds the WCET or is zero.
+    #[must_use]
+    pub fn with_demand(mut self, demand: DemandModel) -> Self {
+        if let DemandModel::Uniform { min } = demand {
+            assert!(!min.is_zero(), "minimum demand must be positive");
+            assert!(min <= self.wcet, "minimum demand must not exceed the WCET");
+        }
+        self.demand = demand;
+        self
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(C={}, T={}, prio={}, {:?})",
+            self.label, self.wcet, self.period, self.priority, self.affinity
+        )
+    }
+}
+
+/// Identifier of a task inside one simulation: the index into the spec
+/// vector handed to the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn implicit_deadline_defaults() {
+        let t = TaskSpec::new("nav", ms(240), ms(500), 0, Affinity::Pinned(CoreId::new(0)));
+        assert_eq!(t.deadline, ms(500));
+        assert_eq!(t.offset, Duration::ZERO);
+        assert!(t.to_string().contains("nav"));
+    }
+
+    #[test]
+    #[should_panic(expected = "WCET must not exceed")]
+    fn wcet_above_period_rejected() {
+        let _ = TaskSpec::new("x", ms(10), ms(5), 0, Affinity::Migrating);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let t = TaskSpec::new("s", ms(2), ms(10), 3, Affinity::Migrating)
+            .with_deadline(ms(8))
+            .with_offset(ms(1));
+        assert_eq!(t.deadline, ms(8));
+        assert_eq!(t.offset, ms(1));
+    }
+}

@@ -1,0 +1,159 @@
+//! Execution traces: who ran where, when.
+
+use rts_model::time::{Duration, Instant};
+use rts_model::CoreId;
+
+use crate::task::TaskId;
+
+/// One maximal interval during which a single job ran uninterrupted on a
+/// single core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Slice {
+    /// The task that executed.
+    pub task: TaskId,
+    /// The job's sequence number (0-based per task).
+    pub job: u64,
+    /// The core it ran on.
+    pub core: CoreId,
+    /// Slice start (inclusive).
+    pub start: Instant,
+    /// Slice end (exclusive).
+    pub end: Instant,
+}
+
+impl Slice {
+    /// Length of the slice.
+    #[must_use]
+    pub fn len(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Returns `true` for a degenerate zero-length slice (never emitted by
+    /// the simulator, but callers constructing slices may check).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A chronological record of execution slices.
+///
+/// Slices are reported in order of their *end* time, each slice is
+/// non-empty, and two slices never overlap on one core — the integration
+/// tests assert these invariants against the engine.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    slices: Vec<Slice>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a slice.
+    pub fn push(&mut self, slice: Slice) {
+        self.slices.push(slice);
+    }
+
+    /// All slices in emission order.
+    #[must_use]
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Number of recorded slices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Iterates over the slices of one task, in order.
+    pub fn of_task(&self, task: TaskId) -> impl Iterator<Item = &Slice> {
+        self.slices.iter().filter(move |s| s.task == task)
+    }
+
+    /// Total execution time of one task across the trace.
+    #[must_use]
+    pub fn execution_time(&self, task: TaskId) -> Duration {
+        self.of_task(task).map(Slice::len).sum()
+    }
+
+    /// Serializes the trace as CSV (`task,job,core,start_ticks,end_ticks`)
+    /// for external plotting tools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "task,job,core,start_ticks,end_ticks")?;
+        for s in &self.slices {
+            writeln!(
+                writer,
+                "{},{},{},{},{}",
+                s.task.0,
+                s.job,
+                s.core.index(),
+                s.start.as_ticks(),
+                s.end.as_ticks()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(task: usize, core: usize, start: u64, end: u64) -> Slice {
+        Slice {
+            task: TaskId(task),
+            job: 0,
+            core: CoreId::new(core),
+            start: Instant::from_ticks(start),
+            end: Instant::from_ticks(end),
+        }
+    }
+
+    #[test]
+    fn slice_length() {
+        let s = slice(0, 0, 10, 25);
+        assert_eq!(s.len(), Duration::from_ticks(15));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn csv_export_round_trips() {
+        let mut tr = Trace::new();
+        tr.push(slice(0, 0, 0, 10));
+        tr.push(slice(1, 1, 10, 15));
+        let mut buf = Vec::new();
+        tr.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "task,job,core,start_ticks,end_ticks");
+        assert_eq!(lines[1], "0,0,0,0,10");
+        assert_eq!(lines[2], "1,0,1,10,15");
+    }
+
+    #[test]
+    fn per_task_filtering_and_totals() {
+        let mut tr = Trace::new();
+        tr.push(slice(0, 0, 0, 10));
+        tr.push(slice(1, 1, 0, 5));
+        tr.push(slice(0, 1, 12, 20));
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.of_task(TaskId(0)).count(), 2);
+        assert_eq!(tr.execution_time(TaskId(0)), Duration::from_ticks(18));
+        assert_eq!(tr.execution_time(TaskId(1)), Duration::from_ticks(5));
+    }
+}

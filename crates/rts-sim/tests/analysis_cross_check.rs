@@ -1,0 +1,122 @@
+//! Cross-validation: the simulator never observes a response time above
+//! the analysis' worst-case bound on systems the analysis admits — the
+//! fundamental soundness relationship between the two substrates.
+
+use proptest::prelude::*;
+use rts_analysis::sched_check::SecurityRta;
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::prelude::*;
+use rts_sim::{SecurityPlacement, SimConfig, Simulation};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+/// A small random system: 1–4 RT tasks over 1–2 cores, 1–3 security
+/// tasks, everything in tens-of-ticks scale so hyperperiods stay short.
+fn small_system() -> impl Strategy<Value = (System, Vec<Duration>)> {
+    let rt_task = (1u64..=4, 1u64..=4).prop_map(|(num, denom)| {
+        // Period from a small divisor-friendly set; WCET a fraction.
+        let period = [10u64, 20, 40, 50][(num as usize + denom as usize) % 4];
+        let wcet = (period * num / 10).max(1);
+        (wcet, period)
+    });
+    let sec_task = (1u64..=3).prop_map(|c| (c * 2, 400u64));
+    (
+        1usize..=2,
+        proptest::collection::vec(rt_task, 1..4),
+        proptest::collection::vec(sec_task, 1..3),
+    )
+        .prop_filter_map("RT partition must be feasible", |(m, rts, secs)| {
+            let platform = Platform::new(m).ok()?;
+            let rt = RtTaskSet::new_rate_monotonic(
+                rts.iter()
+                    .map(|&(c, t)| RtTask::new(ms(c), ms(t)).unwrap())
+                    .collect(),
+            );
+            // Round-robin partition; keep only Eq. 1-feasible systems.
+            let partition = Partition::new(
+                platform,
+                (0..rt.len()).map(|i| CoreId::new(i % m)).collect(),
+            )
+            .ok()?;
+            let sec = SecurityTaskSet::new(
+                secs.iter()
+                    .map(|&(c, t)| SecurityTask::new(ms(c), ms(t)).unwrap())
+                    .collect(),
+            );
+            let periods = sec.max_periods();
+            let system = System::new(platform, rt, partition, sec).ok()?;
+            rts_analysis::rt_schedulable(&system).then_some((system, periods))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulated_response_times_never_exceed_wcrt_bound((system, periods) in small_system()) {
+        let rta = SecurityRta::new(&system, CarryInStrategy::Exhaustive);
+        // Only schedulable systems carry a guarantee.
+        let Ok(bounds) = rta.response_times(&periods) else { return Ok(()) };
+
+        let specs = rts_sim::system_specs(&system, &periods, SecurityPlacement::Migrating);
+        let sim = Simulation::new(system.platform(), specs);
+        // Simulate several hyperperiod multiples (synchronous release is
+        // the critical instant for the RT interference).
+        let out = sim.run(&SimConfig::new(ms(4000)));
+
+        let n_rt = system.rt_tasks().len();
+        for (s, &bound) in bounds.iter().enumerate() {
+            let observed = out.metrics.tasks[n_rt + s].max_response_time;
+            prop_assert!(
+                observed <= bound,
+                "security task {s}: simulated {observed:?} > analysed bound {bound:?}"
+            );
+        }
+        // An admitted system shows no deadline misses in simulation.
+        prop_assert_eq!(out.metrics.total_deadline_misses(), 0);
+    }
+
+    #[test]
+    fn sporadic_arrivals_stay_within_the_periodic_bounds((system, periods) in small_system(), seed in 0u64..1000) {
+        // The analysis assumes *minimum* inter-arrival times; stretching
+        // arrivals sporadically can only reduce interference, so the
+        // WCRT bounds derived for the periodic case must still hold.
+        let rta = SecurityRta::new(&system, CarryInStrategy::Exhaustive);
+        let Ok(bounds) = rta.response_times(&periods) else { return Ok(()) };
+        let mut specs = rts_sim::system_specs(&system, &periods, SecurityPlacement::Migrating);
+        for spec in &mut specs {
+            *spec = spec.clone().sporadic(spec.period / 2);
+        }
+        let out = Simulation::new(system.platform(), specs)
+            .run(&SimConfig::new(ms(3000)).with_seed(seed));
+        let n_rt = system.rt_tasks().len();
+        for (s, &bound) in bounds.iter().enumerate() {
+            let observed = out.metrics.tasks[n_rt + s].max_response_time;
+            prop_assert!(
+                observed <= bound,
+                "sporadic task {s}: simulated {observed:?} > bound {bound:?}"
+            );
+        }
+        prop_assert_eq!(out.metrics.total_deadline_misses(), 0);
+    }
+
+    #[test]
+    fn rt_tasks_unaffected_by_security_load((system, periods) in small_system()) {
+        // The core legacy-compatibility claim: adding security tasks at
+        // the lowest priorities leaves RT response times untouched.
+        let with = rts_sim::system_specs(&system, &periods, SecurityPlacement::Migrating);
+        let without: Vec<_> = with[..system.rt_tasks().len()].to_vec();
+        let a = Simulation::new(system.platform(), with).run(&SimConfig::new(ms(2000)));
+        let b = Simulation::new(system.platform(), without).run(&SimConfig::new(ms(2000)));
+        for i in 0..system.rt_tasks().len() {
+            prop_assert_eq!(
+                a.metrics.tasks[i].max_response_time,
+                b.metrics.tasks[i].max_response_time,
+                "RT task {} perturbed by security integration", i
+            );
+            prop_assert_eq!(a.metrics.tasks[i].deadline_misses, 0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Log-uniform period sampling (paper Table 3: "Period distribution —
+//! Log-uniform").
+//!
+//! Real-world period spectra span orders of magnitude; sampling
+//! `T = exp(U[ln a, ln b])` gives every decade equal probability mass,
+//! which is the accepted practice for synthetic RT workloads (Emberson et
+//! al., WATERS 2010).
+
+use rand::Rng;
+use rts_model::time::Duration;
+
+/// Draws a period log-uniformly from `[lo_ms, hi_ms]` milliseconds,
+/// rounded to a whole millisecond (the paper works at millisecond
+/// granularity) and clamped back into the range after rounding.
+///
+/// # Panics
+///
+/// Panics if `lo_ms` is zero or `lo_ms > hi_ms`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rts_taskgen::periods::log_uniform_period;
+/// use rts_model::time::Duration;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let t = log_uniform_period(10, 1000, &mut rng);
+/// assert!(t >= Duration::from_ms(10) && t <= Duration::from_ms(1000));
+/// ```
+#[must_use]
+pub fn log_uniform_period<R: Rng + ?Sized>(lo_ms: u64, hi_ms: u64, rng: &mut R) -> Duration {
+    assert!(lo_ms > 0, "periods must be positive");
+    assert!(lo_ms <= hi_ms, "period range must be non-empty");
+    if lo_ms == hi_ms {
+        return Duration::from_ms(lo_ms);
+    }
+    let ln_lo = (lo_ms as f64).ln();
+    let ln_hi = (hi_ms as f64).ln();
+    let sample = (rng.gen_range(ln_lo..ln_hi)).exp();
+    let ms = (sample.round() as u64).clamp(lo_ms, hi_ms);
+    Duration::from_ms(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let t = log_uniform_period(10, 1000, &mut rng);
+            assert!(t >= Duration::from_ms(10));
+            assert!(t <= Duration::from_ms(1000));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_returns_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(log_uniform_period(50, 50, &mut rng), Duration::from_ms(50));
+    }
+
+    #[test]
+    fn log_uniformity_puts_half_the_mass_at_the_geometric_mean() {
+        // For [10, 1000] the geometric mean is 100: about half the samples
+        // should fall below it (they would not under a linear uniform).
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let below = (0..n)
+            .filter(|_| log_uniform_period(10, 1000, &mut rng) < Duration::from_ms(100))
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "fraction below geometric mean was {frac}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = log_uniform_period(100, 10, &mut rng);
+    }
+}

@@ -1,0 +1,314 @@
+//! The paper's Table 3 workload generator.
+//!
+//! | Parameter | Value |
+//! |---|---|
+//! | Processor cores `M` | {2, 4} |
+//! | Number of RT tasks `N_R` | `[3M, 10M]` |
+//! | Number of security tasks `N_S` | `[2M, 5M]` |
+//! | Period distribution | log-uniform |
+//! | RT task period `T_r` | `[10, 1000]` ms |
+//! | Maximum security period `T^max_s` | `[1500, 3000]` ms |
+//! | Security utilization | ≥ 30 % of the RT share (we use exactly 30 % of the total) |
+//! | Base utilization groups | 10: `[(0.01 + 0.1i)·M, (0.1 + 0.1i)·M]` |
+//! | Tasksets per group | 250 |
+//! | Per-task utilizations | Randfixedsum |
+//!
+//! The generator produces an *unpartitioned* workload
+//! ([`GeneratedWorkload`]); RT-task placement (Table 3's "best-fit") is a
+//! separate concern handled by the `rts-partition` crate, mirroring the
+//! paper's pipeline where "we only considered the schedulable tasksets".
+
+use rand::Rng;
+use rts_model::platform::Platform;
+use rts_model::task::{RtTask, SecurityTask};
+use rts_model::taskset::{RtTaskSet, SecurityTaskSet};
+use rts_model::time::Duration;
+
+use crate::periods::log_uniform_period;
+use crate::randfixedsum::randfixedsum;
+
+/// Number of base-utilization groups in the paper's sweep.
+pub const NUM_GROUPS: usize = 10;
+
+/// Tasksets generated per group per core-count in the paper.
+pub const TASKSETS_PER_GROUP: usize = 250;
+
+/// One of the paper's ten normalized-utilization buckets.
+///
+/// Group `i` covers total utilizations
+/// `[(0.01 + 0.1·i)·M, (0.1 + 0.1·i)·M]`, i.e. normalized utilization
+/// `U/M` of roughly `(0.1·i, 0.1·(i+1)]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct UtilizationGroup(usize);
+
+impl UtilizationGroup {
+    /// Creates the group with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 10`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index < NUM_GROUPS, "the paper defines groups 0..10");
+        UtilizationGroup(index)
+    }
+
+    /// All ten groups in order.
+    pub fn all() -> impl Iterator<Item = UtilizationGroup> {
+        (0..NUM_GROUPS).map(UtilizationGroup)
+    }
+
+    /// The group index `i`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Total-utilization range `[(0.01 + 0.1i)·M, (0.1 + 0.1i)·M]` for an
+    /// `M`-core platform.
+    #[must_use]
+    pub fn utilization_range(self, num_cores: usize) -> (f64, f64) {
+        let m = num_cores as f64;
+        let i = self.0 as f64;
+        ((0.01 + 0.1 * i) * m, (0.1 + 0.1 * i) * m)
+    }
+
+    /// Normalized label as printed on the paper's x-axes, e.g. `[0.2,0.3]`.
+    #[must_use]
+    pub fn label(self) -> String {
+        let i = self.0 as f64;
+        format!("[{:.1},{:.1}]", 0.1 * i, 0.1 * (i + 1.0))
+    }
+}
+
+/// Configuration for the Table 3 generator. [`Table3Config::for_cores`]
+/// reproduces the paper's numbers exactly; the fields are public so the
+/// design-space exploration benches can deviate deliberately.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Table3Config {
+    /// Number of identical cores `M`.
+    pub num_cores: usize,
+    /// Inclusive range for the number of RT tasks.
+    pub rt_count: (usize, usize),
+    /// Inclusive range for the number of security tasks.
+    pub sec_count: (usize, usize),
+    /// Inclusive RT-period range in milliseconds.
+    pub rt_period_ms: (u64, u64),
+    /// Inclusive security maximum-period range in milliseconds.
+    pub sec_t_max_ms: (u64, u64),
+    /// Fraction of the total utilization given to security tasks
+    /// (paper: "at least 30 % of the RT tasks" — we use exactly 0.3).
+    pub security_share: f64,
+}
+
+impl Table3Config {
+    /// The paper's configuration for an `M`-core platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    #[must_use]
+    pub fn for_cores(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "platform needs at least one core");
+        Table3Config {
+            num_cores,
+            rt_count: (3 * num_cores, 10 * num_cores),
+            sec_count: (2 * num_cores, 5 * num_cores),
+            rt_period_ms: (10, 1000),
+            sec_t_max_ms: (1500, 3000),
+            security_share: 0.30,
+        }
+    }
+
+    /// The platform this configuration targets.
+    #[must_use]
+    pub fn platform(&self) -> Platform {
+        Platform::new(self.num_cores).expect("validated in constructor")
+    }
+}
+
+/// An unpartitioned synthetic workload: the raw material for one taskset
+/// of the paper's design-space exploration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GeneratedWorkload {
+    /// The target platform.
+    pub platform: Platform,
+    /// RT tasks in rate-monotonic order.
+    pub rt_tasks: RtTaskSet,
+    /// Security tasks in priority order (shorter `T^max` = higher
+    /// priority; the paper leaves the designer priority order open, we fix
+    /// a deterministic monotone rule).
+    pub security_tasks: SecurityTaskSet,
+    /// The total utilization the generator aimed for (`U` in the paper:
+    /// RT at true periods + security at maximum periods).
+    pub target_utilization: f64,
+}
+
+impl GeneratedWorkload {
+    /// Achieved minimum utilization `Σ C_r/T_r + Σ C_s/T^max_s` (deviates
+    /// slightly from [`GeneratedWorkload::target_utilization`] due to
+    /// integer rounding of WCETs).
+    #[must_use]
+    pub fn achieved_utilization(&self) -> f64 {
+        self.rt_tasks.total_utilization() + self.security_tasks.min_total_utilization()
+    }
+
+    /// Achieved utilization normalized by the core count (`U/M`).
+    #[must_use]
+    pub fn normalized_utilization(&self) -> f64 {
+        self.achieved_utilization() / self.platform.num_cores() as f64
+    }
+}
+
+/// Draws one Table 3 workload for the given utilization group.
+///
+/// Per-task utilizations come from [`randfixedsum`], periods from
+/// [`log_uniform_period`]; WCETs are rounded to whole ticks and clamped to
+/// at least one tick and at most the period (so the resulting tasks are
+/// always well-formed).
+pub fn generate_workload<R: Rng + ?Sized>(
+    config: &Table3Config,
+    group: UtilizationGroup,
+    rng: &mut R,
+) -> GeneratedWorkload {
+    let (u_lo, u_hi) = group.utilization_range(config.num_cores);
+    let u_total = rng.gen_range(u_lo..=u_hi);
+    let u_sec = u_total * config.security_share;
+    let u_rt = u_total - u_sec;
+
+    let n_rt = rng.gen_range(config.rt_count.0..=config.rt_count.1);
+    let n_sec = rng.gen_range(config.sec_count.0..=config.sec_count.1);
+
+    // RT tasks: utilization vector + log-uniform periods.
+    let rt_utils = randfixedsum(n_rt, u_rt.min(n_rt as f64), rng);
+    let rt_tasks: Vec<RtTask> = rt_utils
+        .iter()
+        .map(|&u| {
+            let period = log_uniform_period(config.rt_period_ms.0, config.rt_period_ms.1, rng);
+            let wcet_ticks = ((u * period.as_ticks() as f64).round() as u64)
+                .clamp(1, period.as_ticks());
+            RtTask::new(Duration::from_ticks(wcet_ticks), period)
+                .expect("clamped WCET is always valid")
+        })
+        .collect();
+
+    // Security tasks: utilization vector at T^max + log-uniform T^max.
+    let sec_utils = randfixedsum(n_sec, u_sec.min(n_sec as f64), rng);
+    let mut sec_tasks: Vec<SecurityTask> = sec_utils
+        .iter()
+        .map(|&u| {
+            let t_max = log_uniform_period(config.sec_t_max_ms.0, config.sec_t_max_ms.1, rng);
+            let wcet_ticks =
+                ((u * t_max.as_ticks() as f64).round() as u64).clamp(1, t_max.as_ticks());
+            SecurityTask::new(Duration::from_ticks(wcet_ticks), t_max)
+                .expect("clamped WCET is always valid")
+        })
+        .collect();
+    // Deterministic designer priorities: monotone in T^max (then WCET).
+    sec_tasks.sort_by(|a, b| a.t_max().cmp(&b.t_max()).then(a.wcet().cmp(&b.wcet())));
+
+    GeneratedWorkload {
+        platform: config.platform(),
+        rt_tasks: RtTaskSet::new_rate_monotonic(rt_tasks),
+        security_tasks: SecurityTaskSet::new(sec_tasks),
+        target_utilization: u_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_ranges_match_paper() {
+        let g0 = UtilizationGroup::new(0);
+        assert_eq!(g0.utilization_range(2), (0.02, 0.2));
+        let g9 = UtilizationGroup::new(9);
+        let (lo, hi) = g9.utilization_range(4);
+        assert!((lo - 3.64).abs() < 1e-12);
+        assert!((hi - 4.0).abs() < 1e-12);
+        assert_eq!(g0.label(), "[0.0,0.1]");
+        assert_eq!(g9.label(), "[0.9,1.0]");
+        assert_eq!(UtilizationGroup::all().count(), NUM_GROUPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups 0..10")]
+    fn group_index_out_of_range_panics() {
+        let _ = UtilizationGroup::new(10);
+    }
+
+    #[test]
+    fn config_defaults_match_table3() {
+        let c = Table3Config::for_cores(4);
+        assert_eq!(c.rt_count, (12, 40));
+        assert_eq!(c.sec_count, (8, 20));
+        assert_eq!(c.rt_period_ms, (10, 1000));
+        assert_eq!(c.sec_t_max_ms, (1500, 3000));
+        assert!((c.security_share - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_counts_and_ranges_respect_config() {
+        let config = Table3Config::for_cores(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        for gi in 0..NUM_GROUPS {
+            let w = generate_workload(&config, UtilizationGroup::new(gi), &mut rng);
+            assert!(w.rt_tasks.len() >= 6 && w.rt_tasks.len() <= 20);
+            assert!(w.security_tasks.len() >= 4 && w.security_tasks.len() <= 10);
+            for t in w.rt_tasks.iter() {
+                assert!(t.period() >= Duration::from_ms(10));
+                assert!(t.period() <= Duration::from_ms(1000));
+                assert!(t.wcet() <= t.period());
+            }
+            for s in w.security_tasks.iter() {
+                assert!(s.t_max() >= Duration::from_ms(1500));
+                assert!(s.t_max() <= Duration::from_ms(3000));
+            }
+        }
+    }
+
+    #[test]
+    fn achieved_utilization_tracks_target() {
+        let config = Table3Config::for_cores(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for gi in [0, 4, 9] {
+            let w = generate_workload(&config, UtilizationGroup::new(gi), &mut rng);
+            let err = (w.achieved_utilization() - w.target_utilization).abs();
+            // Integer rounding perturbs each task by < 1 tick/period.
+            assert!(err < 0.05, "group {gi}: |{}| too large", err);
+            let (lo, hi) = UtilizationGroup::new(gi).utilization_range(4);
+            assert!(w.target_utilization >= lo && w.target_utilization <= hi);
+        }
+    }
+
+    #[test]
+    fn security_share_is_thirty_percent() {
+        let config = Table3Config::for_cores(2);
+        let mut rng = StdRng::seed_from_u64(23);
+        let w = generate_workload(&config, UtilizationGroup::new(6), &mut rng);
+        let sec = w.security_tasks.min_total_utilization();
+        let share = sec / w.achieved_utilization();
+        assert!((share - 0.3).abs() < 0.02, "security share was {share}");
+    }
+
+    #[test]
+    fn security_priorities_are_t_max_monotone() {
+        let config = Table3Config::for_cores(4);
+        let mut rng = StdRng::seed_from_u64(31);
+        let w = generate_workload(&config, UtilizationGroup::new(5), &mut rng);
+        let t_maxes: Vec<_> = w.security_tasks.iter().map(|s| s.t_max()).collect();
+        assert!(t_maxes.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = Table3Config::for_cores(2);
+        let g = UtilizationGroup::new(3);
+        let a = generate_workload(&config, g, &mut StdRng::seed_from_u64(99));
+        let b = generate_workload(&config, g, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

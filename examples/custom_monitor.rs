@@ -1,0 +1,84 @@
+//! Integrating *your own* monitors: a quad-core industrial controller
+//! with an AIDE-style filesystem checker, a Snort-style packet monitor
+//! and a perf-counter anomaly detector (the paper's Table 1 classes),
+//! then verifying the selected periods in simulation and catching a live
+//! file tampering with the integrity substrate.
+//!
+//! Run with: `cargo run --release --example custom_monitor`
+
+use hydra_c::analysis::CarryInStrategy;
+use hydra_c::hydra::{assemble_system, select_periods};
+use hydra_c::ids::detection::ScanModel;
+use hydra_c::ids::filesystem::ObjectStore;
+use hydra_c::ids::tripwire::BaselineDb;
+use hydra_c::model::prelude::*;
+use hydra_c::partition::FitHeuristic;
+use hydra_c::sim::{SecurityPlacement, SimConfig, Simulation, TaskId};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A quad-core controller with six RT control loops.
+    let platform = Platform::new(4)?;
+    let ms = Duration::from_ms;
+    let rt = RtTaskSet::new_rate_monotonic(vec![
+        RtTask::new(ms(5), ms(20))?.labeled("axis-x"),
+        RtTask::new(ms(5), ms(20))?.labeled("axis-y"),
+        RtTask::new(ms(12), ms(50))?.labeled("plc-scan"),
+        RtTask::new(ms(30), ms(150))?.labeled("vision"),
+        RtTask::new(ms(40), ms(400))?.labeled("telemetry"),
+        RtTask::new(ms(90), ms(1000))?.labeled("logging"),
+    ]);
+    // Three monitors from the paper's Table 1 catalog.
+    let sec = SecurityTaskSet::new(vec![
+        SecurityTask::new(ms(80), ms(2000))?.labeled("pkt-monitor"),
+        SecurityTask::new(ms(150), ms(3000))?.labeled("hw-counters"),
+        SecurityTask::new(ms(900), ms(8000))?.labeled("aide-fs-check"),
+    ]);
+
+    // Partition the RT tasks (best-fit, Table 3 style) and select periods.
+    let system = assemble_system(platform, rt, sec, FitHeuristic::BestFit)?;
+    let selection = select_periods(&system, CarryInStrategy::TopDiff)?;
+    println!("selected monitoring periods:");
+    for (i, task) in system.security_tasks().iter().enumerate() {
+        println!(
+            "  {:<14} T* = {:>6.0} ms  (bound {:>6.0} ms, WCRT {:>6.0} ms)",
+            task.label().unwrap_or("sec"),
+            selection.periods[i].as_ms(),
+            task.t_max().as_ms(),
+            selection.response_times[i].as_ms(),
+        );
+    }
+
+    // Verify in simulation: 2 minutes, no deadline misses, and measure
+    // how often the filesystem checker actually completes a sweep.
+    let specs = hydra_c::sim::system_specs(
+        &system,
+        selection.periods.as_slice(),
+        SecurityPlacement::Migrating,
+    );
+    let sim = Simulation::new(platform, specs);
+    let out = sim.run(&SimConfig::new(ms(120_000)).with_trace());
+    assert_eq!(out.metrics.total_deadline_misses(), 0);
+    let fs_task = TaskId(system.rt_tasks().len() + 2); // aide-fs-check
+    let sweeps = out.metrics.tasks[fs_task.0].completed;
+    println!("\nsimulated 120 s: {sweeps} filesystem sweeps, 0 deadline misses");
+
+    // Live end-to-end detection: tamper one object, find it via the trace.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut store = ObjectStore::synthetic(32, 256, &mut rng);
+    let baseline = BaselineDb::init(&store);
+    let victim = 17;
+    store.tamper(victim, &mut rng);
+    assert_eq!(baseline.check_all(&store), vec![victim]);
+    let model = ScanModel::new(fs_task, 32, ms(900));
+    let attack_at = Instant::from_ms(13_370);
+    let trace = out.trace.expect("trace enabled");
+    match model.detection_latency(&trace, victim, attack_at) {
+        Some(latency) => println!(
+            "tampering of object {victim} at t=13.37 s detected after {:.0} ms",
+            latency.as_ms()
+        ),
+        None => println!("not detected within the horizon (should not happen)"),
+    }
+    Ok(())
+}

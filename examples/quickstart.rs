@@ -1,0 +1,56 @@
+//! Quickstart: integrate security monitoring into a legacy dual-core
+//! system and let HYDRA-C pick the monitoring periods.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hydra_c::analysis::CarryInStrategy;
+use hydra_c::hydra::{select_periods, Scheme};
+use hydra_c::model::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the legacy system: the paper's rover. Two RT tasks,
+    //    already partitioned (navigation on core 0, camera on core 1).
+    let platform = Platform::dual_core();
+    let rt = RtTaskSet::new_rate_monotonic(vec![
+        RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?.labeled("navigation"),
+        RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?.labeled("camera"),
+    ]);
+    let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)])?;
+
+    // 2. Add the security tasks to integrate: Tripwire and a
+    //    kernel-module checker. Only the WCET and the loosest acceptable
+    //    period (T^max) are needed.
+    let sec = SecurityTaskSet::new(vec![
+        SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?
+            .labeled("tripwire"),
+        SecurityTask::new(Duration::from_ms(223), Duration::from_ms(10_000))?
+            .labeled("kmod-checker"),
+    ]);
+    let system = System::new(platform, rt, partition, sec)?;
+    println!("system: {system}");
+
+    // 3. Run Algorithm 1: minimum feasible period per security task.
+    let selection = select_periods(&system, CarryInStrategy::Exhaustive)?;
+    println!("\n{:<14} {:>12} {:>12} {:>12}", "task", "T^max (ms)", "T* (ms)", "WCRT (ms)");
+    for (i, task) in system.security_tasks().iter().enumerate() {
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0}",
+            task.label().unwrap_or("sec"),
+            task.t_max().as_ms(),
+            selection.periods[i].as_ms(),
+            selection.response_times[i].as_ms(),
+        );
+    }
+
+    // 4. Compare the four schemes' admission verdicts.
+    println!("\nscheme admission:");
+    for scheme in Scheme::all() {
+        let outcome = scheme.evaluate(&system, CarryInStrategy::Exhaustive);
+        println!(
+            "  {:<12} {}",
+            scheme.label(),
+            if outcome.schedulable() { "schedulable" } else { "rejected" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! The rover intrusion-detection demo (paper §5.1 / Fig. 5): inject a
+//! file-tampering shellcode and a rootkit at random instants and watch
+//! how fast each integration scheme detects them.
+//!
+//! Run with: `cargo run --release --example rover_ids [trials]`
+
+use hydra_c::ids::rover::{run_trial, to_cycles, RoverConfiguration, RoverScheme};
+use hydra_c::model::Duration;
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!("rover intrusion-detection, {trials} trials per scheme\n");
+    let mut means = Vec::new();
+    for scheme in [RoverScheme::HydraC, RoverScheme::Hydra] {
+        let config = RoverConfiguration::select(scheme);
+        println!(
+            "{}: periods {:?} ms, placement {}",
+            scheme.label(),
+            config.periods.iter().map(|p| p.as_ms()).collect::<Vec<_>>(),
+            if config.assignment.is_some() { "pinned" } else { "migrating" },
+        );
+        let mut file_ms = 0.0;
+        let mut rootkit_ms = 0.0;
+        let mut cs = 0u64;
+        for seed in 0..trials {
+            let o = run_trial(&config, seed);
+            file_ms += o.file_detection.as_ms();
+            rootkit_ms += o.rootkit_detection.as_ms();
+            cs += o.context_switches;
+        }
+        let (file_ms, rootkit_ms) = (file_ms / trials as f64, rootkit_ms / trials as f64);
+        let mean = (file_ms + rootkit_ms) / 2.0;
+        println!(
+            "  file-tamper detection : {file_ms:8.0} ms  ({:.2e} cycles @700 MHz)",
+            to_cycles(Duration::from_ms(file_ms as u64)) as f64
+        );
+        println!("  rootkit detection     : {rootkit_ms:8.0} ms");
+        println!("  mean detection        : {mean:8.0} ms");
+        println!("  context switches/45 s : {:8.1}\n", cs as f64 / trials as f64);
+        means.push(mean);
+    }
+    let faster = (means[1] - means[0]) / means[1] * 100.0;
+    println!("HYDRA-C detects {faster:+.1}% faster than HYDRA under each scheme's own periods");
+    println!("(paper, hardware, undisclosed periods: +19.05%)");
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the HYDRA-C reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that the examples and
+//! integration tests (and downstream users who want the whole stack) can
+//! depend on a single crate:
+//!
+//! * [`model`] — task / time / platform model ([`rts_model`]);
+//! * [`analysis`] — response-time & schedulability analysis
+//!   ([`rts_analysis`]);
+//! * [`partition`] — partitioned allocation heuristics ([`rts_partition`]);
+//! * [`taskgen`] — synthetic workload generation ([`rts_taskgen`]);
+//! * [`sim`] — event-driven scheduler simulator ([`rts_sim`]);
+//! * [`ids`] — intrusion-detection substrate ([`ids_sim`]);
+//! * [`hydra`] — the paper's contribution: period adaptation and the four
+//!   evaluated schemes ([`hydra_core`]).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through; the short
+//! version:
+//!
+//! ```
+//! use hydra_c::model::prelude::*;
+//!
+//! let tripwire = SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?;
+//! assert_eq!(tripwire.t_max(), Duration::from_ms(10_000));
+//! # Ok::<(), hydra_c::model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hydra_core as hydra;
+pub use ids_sim as ids;
+pub use rts_analysis as analysis;
+pub use rts_model as model;
+pub use rts_partition as partition;
+pub use rts_sim as sim;
+pub use rts_taskgen as taskgen;
