@@ -38,8 +38,13 @@ fn bench_table3(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(3);
                 b.iter(|| {
                     let w = generate_workload(config, UtilizationGroup::new(4), &mut rng);
-                    assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
-                        .ok()
+                    assemble_system(
+                        w.platform,
+                        w.rt_tasks,
+                        w.security_tasks,
+                        FitHeuristic::BestFit,
+                    )
+                    .ok()
                 });
             },
         );

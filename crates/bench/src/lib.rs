@@ -30,9 +30,12 @@ pub fn sample_system(cores: usize, group: usize, seed: u64) -> System {
     let mut rng = StdRng::seed_from_u64(seed);
     loop {
         let w = generate_workload(&config, UtilizationGroup::new(group), &mut rng);
-        if let Ok(sys) =
-            assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
-        {
+        if let Ok(sys) = assemble_system(
+            w.platform,
+            w.rt_tasks,
+            w.security_tasks,
+            FitHeuristic::BestFit,
+        ) {
             return sys;
         }
     }

@@ -42,6 +42,8 @@ mod tests {
     fn messages_name_the_failing_task() {
         let e = SelectionError::SecurityUnschedulable { task: 3 };
         assert!(e.to_string().contains("task 3"));
-        assert!(SelectionError::RtUnschedulable.to_string().contains("Eq. 1"));
+        assert!(SelectionError::RtUnschedulable
+            .to_string()
+            .contains("Eq. 1"));
     }
 }

@@ -211,7 +211,11 @@ mod tests {
             .response_times(sel.periods.as_slice())
             .expect("selected vector must be schedulable");
         for (i, &ri) in r.iter().enumerate() {
-            assert!(ri <= sel.periods[i], "task {i}: R={ri:?} > T={:?}", sel.periods[i]);
+            assert!(
+                ri <= sel.periods[i],
+                "task {i}: R={ri:?} > T={:?}",
+                sel.periods[i]
+            );
         }
     }
 

@@ -60,9 +60,7 @@ pub fn global_tmax_select(
             })
         }
         Err(i) if i < rt.len() => Err(SelectionError::RtUnschedulable),
-        Err(i) => Err(SelectionError::SecurityUnschedulable {
-            task: i - rt.len(),
-        }),
+        Err(i) => Err(SelectionError::SecurityUnschedulable { task: i - rt.len() }),
     }
 }
 

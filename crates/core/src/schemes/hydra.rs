@@ -98,8 +98,11 @@ impl<'a> CoreAlloc<'a> {
     /// their `T^max`). Returns the feasible plan or `None`.
     fn optimize_core(&self, core: CoreId, candidate: usize) -> Option<CorePlan> {
         let sec = self.system.security_tasks();
-        let mut member_ids: Vec<usize> =
-            self.plans[core.index()].tasks.iter().map(|&(s, _, _)| s).collect();
+        let mut member_ids: Vec<usize> = self.plans[core.index()]
+            .tasks
+            .iter()
+            .map(|&(s, _, _)| s)
+            .collect();
         member_ids.push(candidate);
         member_ids.sort_unstable(); // global priority order
 
@@ -335,9 +338,7 @@ pub fn hydra_tmax_select(system: &System) -> Result<PartitionedSelection, Select
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rts_model::{
-        Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
-    };
+    use rts_model::{Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet};
 
     fn ms(v: u64) -> Duration {
         Duration::from_ms(v)

@@ -67,12 +67,8 @@ impl Scheme {
     #[must_use]
     pub fn evaluate(self, system: &System, strategy: CarryInStrategy) -> SchemeOutcome {
         let result: Result<(PeriodVector, Option<Vec<CoreId>>), SelectionError> = match self {
-            Scheme::HydraC => {
-                select_periods(system, strategy).map(|sel| (sel.periods, None))
-            }
-            Scheme::Hydra => {
-                hydra_select(system).map(|sel| (sel.periods, Some(sel.assignment)))
-            }
+            Scheme::HydraC => select_periods(system, strategy).map(|sel| (sel.periods, None)),
+            Scheme::Hydra => hydra_select(system).map(|sel| (sel.periods, Some(sel.assignment))),
             Scheme::HydraTMax => {
                 hydra_tmax_select(system).map(|sel| (sel.periods, Some(sel.assignment)))
             }
@@ -136,9 +132,7 @@ impl SchemeOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rts_model::{
-        Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
-    };
+    use rts_model::{Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet};
 
     fn ms(v: u64) -> Duration {
         Duration::from_ms(v)

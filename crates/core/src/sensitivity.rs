@@ -43,11 +43,7 @@ fn admitted(system: &System, strategy: CarryInStrategy) -> bool {
 }
 
 /// Rebuilds `system` with transformed task sets.
-fn rebuild(
-    system: &System,
-    rt: RtTaskSet,
-    sec: SecurityTaskSet,
-) -> Option<System> {
+fn rebuild(system: &System, rt: RtTaskSet, sec: SecurityTaskSet) -> Option<System> {
     System::new(system.platform(), rt, system.partition().clone(), sec).ok()
 }
 
@@ -59,7 +55,11 @@ fn with_scaled_security(system: &System, k: u64) -> Option<System> {
         .iter()
         .map(|t| SecurityTask::new(scale(t.wcet(), k), t.t_max()).ok())
         .collect();
-    rebuild(system, system.rt_tasks().clone(), SecurityTaskSet::new(sec?))
+    rebuild(
+        system,
+        system.rt_tasks().clone(),
+        SecurityTaskSet::new(sec?),
+    )
 }
 
 /// `system` with all RT WCETs scaled by `k`/1000; `None` if a scaled
@@ -71,11 +71,7 @@ fn with_scaled_rt(system: &System, k: u64) -> Option<System> {
         .map(|t| RtTask::with_deadline(scale(t.wcet(), k), t.period(), t.deadline()).ok())
         .collect();
     // Keep the existing priority order (already RM; scaling preserves it).
-    rebuild(
-        system,
-        RtTaskSet::new(rt?),
-        system.security_tasks().clone(),
-    )
+    rebuild(system, RtTaskSet::new(rt?), system.security_tasks().clone())
 }
 
 /// Largest `k` in `[lo, hi]` (per mille) with `feasible(k)`, assuming
@@ -109,8 +105,7 @@ fn max_feasible_permille(lo: u64, hi: u64, mut feasible: impl FnMut(u64) -> bool
 #[must_use]
 pub fn security_wcet_margin(system: &System, strategy: CarryInStrategy) -> Option<f64> {
     let k = max_feasible_permille(PER_MILLE, MAX_SCALE, |k| {
-        with_scaled_security(system, k)
-            .is_some_and(|sys| admitted(&sys, strategy))
+        with_scaled_security(system, k).is_some_and(|sys| admitted(&sys, strategy))
     })?;
     Some(k as f64 / PER_MILLE as f64)
 }
@@ -192,7 +187,7 @@ mod tests {
         assert!(sec_margin >= 1.0, "admitted system has margin >= 1");
         assert!(sec_margin < 2.0, "tripwire is heavy; margin below 2x");
         let rt_margin = rt_wcet_margin(&sys, CarryInStrategy::Exhaustive).unwrap();
-        assert!(rt_margin >= 1.0 && rt_margin < 2.1, "got {rt_margin}");
+        assert!((1.0..2.1).contains(&rt_margin), "got {rt_margin}");
     }
 
     #[test]

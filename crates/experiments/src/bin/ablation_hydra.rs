@@ -41,9 +41,12 @@ fn main() {
         let mut produced = 0;
         while produced < per_group {
             let w = generate_workload(&config, group, &mut rng);
-            let Ok(sys) =
-                assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
-            else {
+            let Ok(sys) = assemble_system(
+                w.platform,
+                w.rt_tasks,
+                w.security_tasks,
+                FitHeuristic::BestFit,
+            ) else {
                 continue;
             };
             produced += 1;

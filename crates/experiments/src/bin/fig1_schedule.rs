@@ -28,15 +28,21 @@ fn main() {
     println!("Schedule (with security task): C migrates to whichever core is idle");
     let mut with_sec = rt.clone();
     with_sec.push(TaskSpec::new("sec", t(7), t(20), 2, Affinity::Migrating));
-    let integrated = Simulation::new(Platform::dual_core(), with_sec)
-        .run(&SimConfig::new(horizon).with_trace());
+    let integrated =
+        Simulation::new(Platform::dual_core(), with_sec).run(&SimConfig::new(horizon).with_trace());
     println!("{}", render(integrated.trace.as_ref().unwrap(), 2, &opts));
 
     println!("Schedule (pinned security task): the same task bound to core 0 (HYDRA)");
     let mut pinned = rt;
-    pinned.push(TaskSpec::new("sec", t(7), t(20), 2, Affinity::Pinned(0.into())));
-    let pinned_run = Simulation::new(Platform::dual_core(), pinned)
-        .run(&SimConfig::new(horizon).with_trace());
+    pinned.push(TaskSpec::new(
+        "sec",
+        t(7),
+        t(20),
+        2,
+        Affinity::Pinned(0.into()),
+    ));
+    let pinned_run =
+        Simulation::new(Platform::dual_core(), pinned).run(&SimConfig::new(horizon).with_trace());
     println!("{}", render(pinned_run.trace.as_ref().unwrap(), 2, &opts));
 
     let m = integrated.metrics.tasks[2].max_response_time;

@@ -41,8 +41,8 @@ fn main() {
                 format!("{:.1}", a.migrations.mean),
             ]);
         }
-        let faster = percent_faster(agg[0].detection_ms.mean, agg[1].detection_ms.mean)
-            .unwrap_or(f64::NAN);
+        let faster =
+            percent_faster(agg[0].detection_ms.mean, agg[1].detection_ms.mean).unwrap_or(f64::NAN);
         let cs_ratio = agg[0].context_switches.mean / agg[1].context_switches.mean.max(1.0);
         println!(
             "[{}] HYDRA-C detects {:+.2}% faster; context-switch ratio {:.2}x (paper: +19.05%, 1.75x)",

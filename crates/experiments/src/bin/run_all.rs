@@ -42,7 +42,13 @@ fn main() {
     // ---- Fig. 5 ---------------------------------------------------------
     println!("==== Fig. 5: rover detection time & context switches ({trials} trials) ====");
     let mut f5 = TextTable::new(vec![
-        "protocol", "scheme", "detect mean (ms)", "file (ms)", "rootkit (ms)", "CS/45s", "migr",
+        "protocol",
+        "scheme",
+        "detect mean (ms)",
+        "file (ms)",
+        "rootkit (ms)",
+        "CS/45s",
+        "migr",
     ]);
     for protocol in PeriodProtocol::all() {
         let agg = run_fig5(protocol, trials);
@@ -72,10 +78,20 @@ fn main() {
     // ---- Figs. 6, 7a, 7b (one sweep per core count) ---------------------
     let mut f6 = TextTable::new(vec!["cores", "group", "n", "distance"]);
     let mut f7a = TextTable::new(vec![
-        "cores", "group", "HYDRA-C", "HYDRA", "GLOBAL-TMax", "HYDRA-TMax",
+        "cores",
+        "group",
+        "HYDRA-C",
+        "HYDRA",
+        "GLOBAL-TMax",
+        "HYDRA-TMax",
     ]);
     let mut f7b = TextTable::new(vec![
-        "cores", "group", "vs HYDRA (n)", "vs HYDRA", "vs TMax (n)", "vs TMax",
+        "cores",
+        "group",
+        "vs HYDRA (n)",
+        "vs HYDRA",
+        "vs TMax (n)",
+        "vs TMax",
     ]);
     for cores in [2usize, 4] {
         eprint!("sweep M={cores} ({per_group}/group): ");
@@ -120,5 +136,9 @@ fn main() {
     let _ = f7a.write_csv(&results_dir().join("fig7a_acceptance.csv"));
     let _ = f7b.write_csv(&results_dir().join("fig7b_period_distance.csv"));
 
-    println!("all artifacts regenerated in {:?}; CSVs in {}/", started.elapsed(), results_dir().display());
+    println!(
+        "all artifacts regenerated in {:?}; CSVs in {}/",
+        started.elapsed(),
+        results_dir().display()
+    );
 }

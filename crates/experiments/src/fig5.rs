@@ -15,9 +15,7 @@
 //! 1.75× context switches) without disclosing the deployed periods;
 //! EXPERIMENTS.md discusses how each protocol maps onto that claim.
 
-use ids_sim::rover::{
-    run_trial, RoverConfiguration, RoverScheme, TrialOutcome,
-};
+use ids_sim::rover::{run_trial, RoverConfiguration, RoverScheme, TrialOutcome};
 use rts_model::time::Duration;
 
 use crate::stats::Summary;
@@ -119,7 +117,12 @@ mod tests {
 
     #[test]
     fn equal_period_protocol_shows_the_paper_shape() {
-        let agg = run_fig5(PeriodProtocol::EqualPeriods, 10);
+        // 20 trials: the equal-period detection advantage is a few
+        // percent (T/2 dominates both schemes' latency, only the
+        // response-time tail differs), so 10 paired draws sit inside
+        // sampling noise. The seed sequence is fixed, making the
+        // aggregate below a deterministic regression value (+6.0%).
+        let agg = run_fig5(PeriodProtocol::EqualPeriods, 20);
         let (hc, h) = (&agg[0], &agg[1]);
         assert_eq!(hc.scheme, RoverScheme::HydraC);
         assert_eq!(h.scheme, RoverScheme::Hydra);

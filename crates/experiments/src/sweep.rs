@@ -173,9 +173,12 @@ pub fn run_sweep(config: &SweepConfig, mut progress: impl FnMut(usize)) -> Sweep
             attempts_left -= 1;
             let w = generate_workload(&table3, group, &mut rng);
             let norm_util = w.normalized_utilization();
-            let Ok(system) =
-                assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
-            else {
+            let Ok(system) = assemble_system(
+                w.platform,
+                w.rt_tasks,
+                w.security_tasks,
+                FitHeuristic::BestFit,
+            ) else {
                 continue; // trivially unschedulable: regenerate
             };
             let t_max = PeriodVector::at_max(system.security_tasks());
@@ -254,10 +257,7 @@ mod tests {
             // Not a theorem (the analyses are incomparable in corner
             // cases), but holds on every sampled group of this seed and
             // matches the paper's figure.
-            assert!(
-                hc + 1e-9 >= h,
-                "group {g}: HYDRA-C {hc}% < HYDRA {h}%"
-            );
+            assert!(hc + 1e-9 >= h, "group {g}: HYDRA-C {hc}% < HYDRA {h}%");
         }
     }
 

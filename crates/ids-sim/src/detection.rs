@@ -174,9 +174,7 @@ mod tests {
             Platform::uniprocessor(),
             vec![TaskSpec::new("scan", t(10), t(20), 0, Affinity::Migrating)],
         );
-        sim.run(&SimConfig::new(t(100)).with_trace())
-            .trace
-            .unwrap()
+        sim.run(&SimConfig::new(t(100)).with_trace()).trace.unwrap()
     }
 
     #[test]

@@ -54,8 +54,7 @@ impl CounterProfile {
                 *v += (x - m) * (x - m);
             }
         }
-        let std_dev =
-            var.map(|v| (v / (n - 1.0)).sqrt().max(f64::EPSILON));
+        let std_dev = var.map(|v| (v / (n - 1.0)).sqrt().max(f64::EPSILON));
         CounterProfile { mean, std_dev }
     }
 

@@ -222,7 +222,12 @@ mod tests {
         let profile = ExpectedProfile::capture(&reg);
         reg.patch_text(1, b"\x90\x90jmp hook");
         let findings = profile.check_all(&reg);
-        assert_eq!(findings, vec![ModuleFinding::Tampered { name: "mod_001".into() }]);
+        assert_eq!(
+            findings,
+            vec![ModuleFinding::Tampered {
+                name: "mod_001".into()
+            }]
+        );
     }
 
     #[test]
@@ -243,6 +248,8 @@ mod tests {
         hidden.load(reg.module(0).clone());
         hidden.load(reg.module(2).clone());
         let findings = profile.check_all(&hidden);
-        assert!(findings.contains(&ModuleFinding::Missing { name: "mod_001".into() }));
+        assert!(findings.contains(&ModuleFinding::Missing {
+            name: "mod_001".into()
+        }));
     }
 }

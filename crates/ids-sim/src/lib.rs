@@ -46,7 +46,7 @@ pub use attack::{Attack, AttackKind};
 pub use detection::ScanModel;
 pub use filesystem::ObjectStore;
 pub use kmod::{ExpectedProfile, ModuleRegistry};
-pub use rover::{run_trial, RoverConfiguration, RoverScheme, TrialOutcome};
 pub use netmon::PacketMonitor;
 pub use reactive::{ModalMonitor, MonitorMode};
+pub use rover::{run_trial, RoverConfiguration, RoverScheme, TrialOutcome};
 pub use tripwire::BaselineDb;

@@ -53,8 +53,14 @@ pub fn table2_rows() -> Vec<(&'static str, &'static str)> {
             "Boot parameters",
             "maxcpus=2, force_turbo=1, arm_freq=700, arm_freq_min=700",
         ),
-        ("WCET measurement", "ARM cycle counter registers (simulated tick clock)"),
-        ("Task partition", "Linux taskset (simulated pinned affinity)"),
+        (
+            "WCET measurement",
+            "ARM cycle counter registers (simulated tick clock)",
+        ),
+        (
+            "Task partition",
+            "Linux taskset (simulated pinned affinity)",
+        ),
     ]
 }
 
@@ -132,11 +138,9 @@ impl RoverConfiguration {
         let system = rover_system();
         match scheme {
             RoverScheme::HydraC => {
-                let sel = hydra_core::select_periods(
-                    &system,
-                    rts_analysis::CarryInStrategy::Exhaustive,
-                )
-                .expect("the rover task set is schedulable under HYDRA-C");
+                let sel =
+                    hydra_core::select_periods(&system, rts_analysis::CarryInStrategy::Exhaustive)
+                        .expect("the rover task set is schedulable under HYDRA-C");
                 RoverConfiguration {
                     scheme,
                     periods: sel.periods.as_slice().to_vec(),

@@ -15,7 +15,13 @@ fn t(v: u64) -> Duration {
 fn solo_trace(wcet: u64, period: u64, horizon: u64) -> rts_sim::Trace {
     let sim = Simulation::new(
         Platform::uniprocessor(),
-        vec![TaskSpec::new("scan", t(wcet), t(period), 0, Affinity::Migrating)],
+        vec![TaskSpec::new(
+            "scan",
+            t(wcet),
+            t(period),
+            0,
+            Affinity::Migrating,
+        )],
     );
     sim.run(&SimConfig::new(t(horizon)).with_trace())
         .trace

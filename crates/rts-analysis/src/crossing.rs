@@ -261,7 +261,7 @@ pub(crate) fn min_crossing_topdiff(
                 diffs.push((dv, pc.slope as i64 - pn.slope as i64));
             }
         }
-        diffs.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        diffs.sort_unstable_by_key(|&(dv, _)| std::cmp::Reverse(dv));
         for &(dv, ds) in diffs.iter().take(take) {
             omega += dv;
             sigma += ds;
@@ -290,7 +290,10 @@ mod tests {
     #[test]
     fn nc_piece_matches_closed_form() {
         // C = 3, T = 10.
-        let c = Curve::Nc { wcet: 3, period: 10 };
+        let c = Curve::Nc {
+            wcet: 3,
+            period: 10,
+        };
         let p = c.piece(0);
         assert_eq!((p.value, p.slope, p.next_bp), (0, 1, 3));
         let p = c.piece(2);
@@ -325,7 +328,10 @@ mod tests {
 
     #[test]
     fn capped_piece_tracks_the_cap() {
-        let c = Curve::Nc { wcet: 9, period: 10 };
+        let c = Curve::Nc {
+            wcet: 9,
+            period: 10,
+        };
         // cs = 2, x = 5: W = 5, cap = 4 → capped, slope 1; the curve flat
         // region starts at 9 and the catch-up is irrelevant while slope=1.
         let p = c.capped_piece(5, 2);
@@ -368,7 +374,9 @@ mod tests {
                     Curve::Group {
                         tasks: vec![(2, 4), (1, 7)],
                     },
-                    Curve::Group { tasks: vec![(3, 9)] },
+                    Curve::Group {
+                        tasks: vec![(3, 9)],
+                    },
                 ],
                 2,
                 2,
@@ -381,7 +389,9 @@ mod tests {
                         period: 11,
                         x_bar: 6,
                     },
-                    Curve::Group { tasks: vec![(4, 9)] },
+                    Curve::Group {
+                        tasks: vec![(4, 9)],
+                    },
                 ],
                 2,
                 3,

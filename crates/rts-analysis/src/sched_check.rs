@@ -181,8 +181,7 @@ mod tests {
             RtTask::new(ms(240), ms(500)).unwrap(),
             RtTask::new(ms(1120), ms(5000)).unwrap(),
         ]);
-        let partition =
-            Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
         let sec = SecurityTaskSet::new(vec![
             SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
             SecurityTask::new(ms(223), ms(10_000)).unwrap(),
@@ -237,8 +236,7 @@ mod tests {
             RtTask::new(ms(6), ms(10)).unwrap(),
             RtTask::new(ms(5), ms(10)).unwrap(),
         ]);
-        let partition =
-            Partition::new(platform, vec![CoreId::new(0), CoreId::new(0)]).unwrap();
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(0)]).unwrap();
         let sys = System::new(platform, rt, partition, SecurityTaskSet::default()).unwrap();
         assert_eq!(rt_response_times(&sys), None);
         assert!(!rt_schedulable(&sys));

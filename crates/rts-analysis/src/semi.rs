@@ -211,7 +211,10 @@ impl Environment {
         limit: Duration,
         strategy: CarryInStrategy,
     ) -> Option<Duration> {
-        assert!(!wcet.is_zero(), "task under analysis must have positive WCET");
+        assert!(
+            !wcet.is_zero(),
+            "task under analysis must have positive WCET"
+        );
         let m = self.num_cores() as u64;
         let cs = wcet.as_ticks();
         let lim = limit.as_ticks();
@@ -383,8 +386,14 @@ mod tests {
         // The rover configuration that makes the naive orbit crawl one
         // tick at a time for ~30k iterations: nearly saturated caps.
         let mut env = Environment::new(2);
-        env.pin(0, HpTask::new(Duration::from_ms(240), Duration::from_ms(500)));
-        env.pin(1, HpTask::new(Duration::from_ms(1120), Duration::from_ms(5000)));
+        env.pin(
+            0,
+            HpTask::new(Duration::from_ms(240), Duration::from_ms(500)),
+        );
+        env.pin(
+            1,
+            HpTask::new(Duration::from_ms(1120), Duration::from_ms(5000)),
+        );
         let fast = env.response_time(
             Duration::from_ms(5342),
             Duration::from_ms(10_000),
@@ -430,7 +439,10 @@ mod tests {
         // x = 20; any limit below that reports unschedulable.
         let mut env = Environment::new(1);
         env.pin(0, HpTask::new(t(9), t(10)));
-        assert_eq!(env.response_time(t(2), t(15), CarryInStrategy::TopDiff), None);
+        assert_eq!(
+            env.response_time(t(2), t(15), CarryInStrategy::TopDiff),
+            None
+        );
         assert_eq!(
             env.response_time(t(2), t(50), CarryInStrategy::TopDiff),
             Some(t(20))

@@ -55,7 +55,10 @@ impl HpTask {
 /// ```
 #[must_use]
 pub fn response_time(wcet: Duration, hp: &[HpTask], limit: Duration) -> Option<Duration> {
-    assert!(!wcet.is_zero(), "task under analysis must have positive WCET");
+    assert!(
+        !wcet.is_zero(),
+        "task under analysis must have positive WCET"
+    );
     let mut x = wcet + hp.iter().map(|h| h.wcet).sum::<Duration>();
     loop {
         if x > limit {

@@ -88,7 +88,10 @@ pub fn carry_in(
     response_time: Duration,
     window: Duration,
 ) -> Duration {
-    assert!(!wcet.is_zero(), "carry-in workload requires a positive WCET");
+    assert!(
+        !wcet.is_zero(),
+        "carry-in workload requires a positive WCET"
+    );
     assert!(
         response_time <= period,
         "carry-in bound assumes the task meets its implicit deadline (R <= T)"

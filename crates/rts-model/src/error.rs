@@ -92,7 +92,10 @@ impl fmt::Display for ModelError {
             ),
             ModelError::NoCores => write!(f, "platform must have at least one core"),
             ModelError::CoreOutOfRange { core, num_cores } => {
-                write!(f, "core index {core} out of range for {num_cores}-core platform")
+                write!(
+                    f,
+                    "core index {core} out of range for {num_cores}-core platform"
+                )
             }
             ModelError::PartitionLengthMismatch {
                 partition_len,
@@ -108,7 +111,11 @@ impl fmt::Display for ModelError {
                 f,
                 "period vector has {periods_len} entries but there are {task_count} security tasks"
             ),
-            ModelError::PeriodOutOfBounds { task, period, t_max } => write!(
+            ModelError::PeriodOutOfBounds {
+                task,
+                period,
+                t_max,
+            } => write!(
                 f,
                 "period {period} for security task {task} lies outside its admissible range \
                  (max {t_max})"
@@ -132,7 +139,7 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("10ms"));
         assert!(msg.contains("5ms"));
-        assert!(msg.starts_with(char::is_uppercase) == false || msg.starts_with("WCET"));
+        assert!(!msg.starts_with(char::is_uppercase) || msg.starts_with("WCET"));
     }
 
     #[test]

@@ -180,7 +180,10 @@ impl PeriodVector {
             other.len(),
             "period vectors must have equal length"
         );
-        self.periods.iter().zip(&other.periods).all(|(&a, &b)| a <= b)
+        self.periods
+            .iter()
+            .zip(&other.periods)
+            .all(|(&a, &b)| a <= b)
     }
 }
 

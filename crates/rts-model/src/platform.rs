@@ -235,7 +235,12 @@ mod tests {
         let p = Platform::dual_core();
         let part = Partition::new(
             p,
-            vec![CoreId::new(0), CoreId::new(1), CoreId::new(0), CoreId::new(1)],
+            vec![
+                CoreId::new(0),
+                CoreId::new(1),
+                CoreId::new(0),
+                CoreId::new(1),
+            ],
         )
         .unwrap();
         assert_eq!(part.tasks_on(CoreId::new(0)), vec![0, 2]);

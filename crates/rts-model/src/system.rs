@@ -176,11 +176,14 @@ mod tests {
             RtTask::new(ms(240), ms(500)).unwrap().labeled("navigation"),
             RtTask::new(ms(1120), ms(5000)).unwrap().labeled("camera"),
         ]);
-        let partition =
-            Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
         let sec = SecurityTaskSet::new(vec![
-            SecurityTask::new(ms(5342), ms(10_000)).unwrap().labeled("tripwire"),
-            SecurityTask::new(ms(223), ms(10_000)).unwrap().labeled("kmod-checker"),
+            SecurityTask::new(ms(5342), ms(10_000))
+                .unwrap()
+                .labeled("tripwire"),
+            SecurityTask::new(ms(223), ms(10_000))
+                .unwrap()
+                .labeled("kmod-checker"),
         ]);
         System::new(platform, rt, partition, sec).unwrap()
     }
@@ -198,8 +201,7 @@ mod tests {
     fn partition_length_must_match() {
         let platform = Platform::dual_core();
         let rt = RtTaskSet::new(vec![RtTask::new(ms(1), ms(10)).unwrap()]);
-        let partition =
-            Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
         let sec = SecurityTaskSet::default();
         let err = System::new(platform, rt, partition, sec).unwrap_err();
         assert!(matches!(err, ModelError::PartitionLengthMismatch { .. }));

@@ -128,7 +128,11 @@ impl fmt::Display for RtTask {
                 "{l}(C={}, T={}, D={})",
                 self.wcet, self.period, self.deadline
             ),
-            None => write!(f, "rt(C={}, T={}, D={})", self.wcet, self.period, self.deadline),
+            None => write!(
+                f,
+                "rt(C={}, T={}, D={})",
+                self.wcet, self.period, self.deadline
+            ),
         }
     }
 }
@@ -257,7 +261,10 @@ mod tests {
 
     #[test]
     fn rt_task_rejects_zero_wcet() {
-        assert_eq!(RtTask::new(Duration::ZERO, ms(10)), Err(ModelError::ZeroWcet));
+        assert_eq!(
+            RtTask::new(Duration::ZERO, ms(10)),
+            Err(ModelError::ZeroWcet)
+        );
     }
 
     #[test]
@@ -283,7 +290,9 @@ mod tests {
         let t = RtTask::new(ms(1), ms(10)).unwrap().labeled("camera");
         assert_eq!(t.label(), Some("camera"));
         assert!(t.to_string().starts_with("camera("));
-        let s = SecurityTask::new(ms(1), ms(10)).unwrap().labeled("tripwire");
+        let s = SecurityTask::new(ms(1), ms(10))
+            .unwrap()
+            .labeled("tripwire");
         assert_eq!(s.label(), Some("tripwire"));
     }
 

@@ -451,10 +451,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&t| Duration::from_ticks(t))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&t| Duration::from_ticks(t)).sum();
         assert_eq!(total.as_ticks(), 6);
     }
 

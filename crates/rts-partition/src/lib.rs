@@ -246,7 +246,11 @@ mod tests {
         assert_eq!(bf.core_of(0), bf.core_of(1), "best-fit packs onto one core");
         let wf = partition_rt_tasks(platform, &tasks, FitHeuristic::WorstFit, SortOrder::AsGiven)
             .unwrap();
-        assert_ne!(wf.core_of(0), wf.core_of(1), "worst-fit spreads across cores");
+        assert_ne!(
+            wf.core_of(0),
+            wf.core_of(1),
+            "worst-fit spreads across cores"
+        );
     }
 
     #[test]

@@ -154,8 +154,11 @@ impl Simulation {
         let mut trace = config.record_trace.then(Trace::new);
 
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut next_release: Vec<Instant> =
-            self.specs.iter().map(|s| Instant::ZERO + s.offset).collect();
+        let mut next_release: Vec<Instant> = self
+            .specs
+            .iter()
+            .map(|s| Instant::ZERO + s.offset)
+            .collect();
         let mut active: Vec<Job> = Vec::new();
         // Job identity of the last occupant of each core (persists across
         // idle gaps so that resuming the same job is not a switch).
@@ -181,9 +184,7 @@ impl Simulation {
                         ArrivalModel::Periodic => spec.period,
                         ArrivalModel::Sporadic { max_delay } => {
                             spec.period
-                                + Duration::from_ticks(
-                                    rng.gen_range(0..=max_delay.as_ticks()),
-                                )
+                                + Duration::from_ticks(rng.gen_range(0..=max_delay.as_ticks()))
                         }
                     };
                     next_release[task] = release + gap;
@@ -490,7 +491,9 @@ mod tests {
         assert_ne!(a.metrics.tasks[0].released, 0);
         // Different seeds almost surely diverge in release counts or
         // response sums; allow equality of counts but not of everything.
-        assert!(a.metrics != c.metrics || a.metrics.tasks[0].released == c.metrics.tasks[0].released);
+        assert!(
+            a.metrics != c.metrics || a.metrics.tasks[0].released == c.metrics.tasks[0].released
+        );
     }
 
     #[test]
@@ -513,8 +516,12 @@ mod tests {
         // Every 5th job demands 12 > D = 10: exactly those jobs miss.
         let sim = Simulation::new(
             Platform::uniprocessor(),
-            vec![TaskSpec::new("o", t(3), t(10), 0, pinned(0))
-                .with_demand(DemandModel::OverrunEvery { nth: 5, demand: t(12) })],
+            vec![TaskSpec::new("o", t(3), t(10), 0, pinned(0)).with_demand(
+                DemandModel::OverrunEvery {
+                    nth: 5,
+                    demand: t(12),
+                },
+            )],
         );
         let out = sim.run(&SimConfig::new(t(510)));
         // 51 jobs released; seq 4, 9, …, 49 overrun (10 jobs). Each

@@ -166,7 +166,11 @@ mod tests {
             ],
         );
         let out = sim.run(&SimConfig::new(t(20)).with_trace());
-        let art = render(out.trace.as_ref().unwrap(), 2, &GanttOptions::fit(t(20), 20));
+        let art = render(
+            out.trace.as_ref().unwrap(),
+            2,
+            &GanttOptions::fit(t(20), 20),
+        );
         let lines: Vec<&str> = art.lines().collect();
         assert!(lines[0].starts_with("core0 |"));
         assert!(lines[1].starts_with("core1 |"));
@@ -178,10 +182,20 @@ mod tests {
     fn idle_cells_are_dots() {
         let sim = Simulation::new(
             Platform::uniprocessor(),
-            vec![TaskSpec::new("a", t(1), t(10), 0, Affinity::Pinned(0.into()))],
+            vec![TaskSpec::new(
+                "a",
+                t(1),
+                t(10),
+                0,
+                Affinity::Pinned(0.into()),
+            )],
         );
         let out = sim.run(&SimConfig::new(t(10)).with_trace());
-        let art = render(out.trace.as_ref().unwrap(), 1, &GanttOptions::fit(t(10), 10));
+        let art = render(
+            out.trace.as_ref().unwrap(),
+            1,
+            &GanttOptions::fit(t(10), 10),
+        );
         assert!(art.contains("A........."), "{art}");
     }
 

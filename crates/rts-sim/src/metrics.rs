@@ -86,9 +86,8 @@ impl Metrics {
     #[must_use]
     pub fn per_task_report(&self, labels: &[&str]) -> String {
         assert_eq!(labels.len(), self.tasks.len(), "one label per task");
-        let mut out = String::from(
-            "task              released completed misses   max R (ms)   avg R (ms)\n",
-        );
+        let mut out =
+            String::from("task              released completed misses   max R (ms)   avg R (ms)\n");
         for (label, t) in labels.iter().zip(&self.tasks) {
             let avg = t
                 .avg_response_time()

@@ -66,9 +66,7 @@ pub fn system_specs(
             SecurityPlacement::GlobalAll => Affinity::Migrating,
             _ => Affinity::Pinned(system.partition().core_of(i)),
         };
-        let label = task
-            .label()
-            .map_or_else(|| format!("rt{i}"), str::to_owned);
+        let label = task.label().map_or_else(|| format!("rt{i}"), str::to_owned);
         specs.push(
             TaskSpec::new(label, task.wcet(), task.period(), i as u32, affinity)
                 .with_deadline(task.deadline()),
@@ -96,9 +94,7 @@ pub fn system_specs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rts_model::{
-        Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
-    };
+    use rts_model::{Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet};
 
     fn ms(v: u64) -> Duration {
         Duration::from_ms(v)
@@ -112,8 +108,12 @@ mod tests {
         ]);
         let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
         let sec = SecurityTaskSet::new(vec![
-            SecurityTask::new(ms(5342), ms(10_000)).unwrap().labeled("tripwire"),
-            SecurityTask::new(ms(223), ms(10_000)).unwrap().labeled("kmod"),
+            SecurityTask::new(ms(5342), ms(10_000))
+                .unwrap()
+                .labeled("tripwire"),
+            SecurityTask::new(ms(223), ms(10_000))
+                .unwrap()
+                .labeled("kmod"),
         ]);
         System::new(platform, rt, partition, sec).unwrap()
     }
@@ -121,11 +121,7 @@ mod tests {
     #[test]
     fn migrating_placement_band_structure() {
         let sys = system();
-        let specs = system_specs(
-            &sys,
-            &[ms(7582), ms(2783)],
-            SecurityPlacement::Migrating,
-        );
+        let specs = system_specs(&sys, &[ms(7582), ms(2783)], SecurityPlacement::Migrating);
         assert_eq!(specs.len(), 4);
         // RT tasks pinned per the partition, priorities 0..2.
         assert_eq!(specs[0].affinity, Affinity::Pinned(CoreId::new(0)));

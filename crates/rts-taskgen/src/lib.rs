@@ -31,9 +31,9 @@ pub mod table3;
 pub mod uunifast;
 
 pub use periods::log_uniform_period;
-pub use uunifast::{uunifast, uunifast_discard};
 pub use randfixedsum::randfixedsum as randfixedsum_vec;
 pub use table3::{
     generate_workload, GeneratedWorkload, Table3Config, UtilizationGroup, NUM_GROUPS,
     TASKSETS_PER_GROUP,
 };
+pub use uunifast::{uunifast, uunifast_discard};

@@ -185,8 +185,8 @@ pub fn generate_workload<R: Rng + ?Sized>(
         .iter()
         .map(|&u| {
             let period = log_uniform_period(config.rt_period_ms.0, config.rt_period_ms.1, rng);
-            let wcet_ticks = ((u * period.as_ticks() as f64).round() as u64)
-                .clamp(1, period.as_ticks());
+            let wcet_ticks =
+                ((u * period.as_ticks() as f64).round() as u64).clamp(1, period.as_ticks());
             RtTask::new(Duration::from_ticks(wcet_ticks), period)
                 .expect("clamped WCET is always valid")
         })

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example design_space [per_group]`
 
-use hydra_c::hydra::{assemble_system, Scheme};
 use hydra_c::analysis::CarryInStrategy;
+use hydra_c::hydra::{assemble_system, Scheme};
 use hydra_c::model::PeriodVector;
 use hydra_c::partition::FitHeuristic;
 use hydra_c::taskgen::table3::{generate_workload, Table3Config, UtilizationGroup, NUM_GROUPS};
@@ -30,9 +30,12 @@ fn main() {
         let mut produced = 0;
         while produced < per_group {
             let w = generate_workload(&config, group, &mut rng);
-            let Ok(system) =
-                assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
-            else {
+            let Ok(system) = assemble_system(
+                w.platform,
+                w.rt_tasks,
+                w.security_tasks,
+                FitHeuristic::BestFit,
+            ) else {
                 continue; // RT part unpartitionable: discard, as the paper does
             };
             produced += 1;
@@ -63,5 +66,7 @@ fn main() {
             mean_dist
         );
     }
-    println!("\n(distance = ‖T^max − T*‖/‖T^max‖ for HYDRA-C-admitted sets; larger = faster monitoring)");
+    println!(
+        "\n(distance = ‖T^max − T*‖/‖T^max‖ for HYDRA-C-admitted sets; larger = faster monitoring)"
+    );
 }

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    kernel-module checker. Only the WCET and the loosest acceptable
     //    period (T^max) are needed.
     let sec = SecurityTaskSet::new(vec![
-        SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?
-            .labeled("tripwire"),
+        SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?.labeled("tripwire"),
         SecurityTask::new(Duration::from_ms(223), Duration::from_ms(10_000))?
             .labeled("kmod-checker"),
     ]);
@@ -31,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run Algorithm 1: minimum feasible period per security task.
     let selection = select_periods(&system, CarryInStrategy::Exhaustive)?;
-    println!("\n{:<14} {:>12} {:>12} {:>12}", "task", "T^max (ms)", "T* (ms)", "WCRT (ms)");
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>12}",
+        "task", "T^max (ms)", "T* (ms)", "WCRT (ms)"
+    );
     for (i, task) in system.security_tasks().iter().enumerate() {
         println!(
             "{:<14} {:>12.0} {:>12.0} {:>12.0}",
@@ -49,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<12} {}",
             scheme.label(),
-            if outcome.schedulable() { "schedulable" } else { "rejected" }
+            if outcome.schedulable() {
+                "schedulable"
+            } else {
+                "rejected"
+            }
         );
     }
     Ok(())

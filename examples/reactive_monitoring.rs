@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SweepOutcome::Findings(findings.len())
         };
         let mode = monitor.observe(outcome);
-        println!("sweep {sweep}: {:?} findings -> next mode {mode:?}", findings.len());
+        println!(
+            "sweep {sweep}: {:?} findings -> next mode {mode:?}",
+            findings.len()
+        );
         if sweep == 1 {
             registry.load(KernelModule::new("simple_rootkit", b"hook read()".to_vec()));
             println!("        (rootkit loaded between sweeps)");
@@ -67,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SecurityPlacement::Migrating,
     );
     specs[0] = specs[0].clone().sporadic(ms(100));
-    specs[2] = specs[2].clone().with_demand(DemandModel::Uniform { min: ms(120) });
+    specs[2] = specs[2]
+        .clone()
+        .with_demand(DemandModel::Uniform { min: ms(120) });
     let out = Simulation::new(platform, specs).run(&SimConfig::new(ms(60_000)).with_seed(7));
     println!(
         "robustness run (sporadic nav, variable monitor demand): {} misses in 60 s",

@@ -21,7 +21,11 @@ fn main() {
             "{}: periods {:?} ms, placement {}",
             scheme.label(),
             config.periods.iter().map(|p| p.as_ms()).collect::<Vec<_>>(),
-            if config.assignment.is_some() { "pinned" } else { "migrating" },
+            if config.assignment.is_some() {
+                "pinned"
+            } else {
+                "migrating"
+            },
         );
         let mut file_ms = 0.0;
         let mut rootkit_ms = 0.0;
@@ -40,7 +44,10 @@ fn main() {
         );
         println!("  rootkit detection     : {rootkit_ms:8.0} ms");
         println!("  mean detection        : {mean:8.0} ms");
-        println!("  context switches/45 s : {:8.1}\n", cs as f64 / trials as f64);
+        println!(
+            "  context switches/45 s : {:8.1}\n",
+            cs as f64 / trials as f64
+        );
         means.push(mean);
     }
     let faster = (means[1] - means[0]) / means[1] * 100.0;

@@ -26,8 +26,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use hydra_c::analysis::CarryInStrategy;
-use hydra_c::hydra::{select_periods, Scheme};
 use hydra_c::hydra::sensitivity::{rt_wcet_margin, security_wcet_margin};
+use hydra_c::hydra::{select_periods, Scheme};
 use hydra_c::model::prelude::*;
 use hydra_c::partition::{partition_rt_tasks, FitHeuristic, SortOrder};
 use hydra_c::sim::{SecurityPlacement, SimConfig, Simulation};
@@ -133,8 +133,13 @@ fn assemble(spec: &Spec) -> Result<System, String> {
     // Pins are by name; everything else is best-fit around them. For
     // simplicity: if *any* pin is given, all tasks must be pinned.
     let partition = if spec.pins.is_empty() {
-        partition_rt_tasks(platform, &rt, FitHeuristic::BestFit, SortOrder::DecreasingUtilization)
-            .map_err(|e| format!("RT partitioning failed: {e}"))?
+        partition_rt_tasks(
+            platform,
+            &rt,
+            FitHeuristic::BestFit,
+            SortOrder::DecreasingUtilization,
+        )
+        .map_err(|e| format!("RT partitioning failed: {e}"))?
     } else {
         let assignment: Result<Vec<CoreId>, String> = rt
             .iter()
@@ -202,7 +207,11 @@ fn analyze(path: &str, strategy: CarryInStrategy, simulate_s: Option<u64>) -> Ex
             .iter()
             .map(|&i| system.rt_tasks()[i].label().unwrap_or("rt").to_owned())
             .collect();
-        println!("  {core}: {} (U = {:.3})", names.join(", "), system.rt_utilization_on(core));
+        println!(
+            "  {core}: {} (U = {:.3})",
+            names.join(", "),
+            system.rt_utilization_on(core)
+        );
     }
 
     match select_periods(&system, strategy) {

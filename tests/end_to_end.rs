@@ -15,9 +15,12 @@ fn sample_system(cores: usize, group: usize, seed: u64) -> System {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     loop {
         let w = generate_workload(&config, UtilizationGroup::new(group), &mut rng);
-        if let Ok(sys) =
-            assemble_system(w.platform, w.rt_tasks, w.security_tasks, FitHeuristic::BestFit)
-        {
+        if let Ok(sys) = assemble_system(
+            w.platform,
+            w.rt_tasks,
+            w.security_tasks,
+            FitHeuristic::BestFit,
+        ) {
             return sys;
         }
     }
@@ -28,7 +31,9 @@ fn admitted_period_vectors_are_always_schedulable_and_bounded() {
     for (cores, group, seed) in [(2, 2, 1), (2, 5, 2), (4, 3, 3), (4, 6, 4)] {
         let sys = sample_system(cores, group, seed);
         let outcome = Scheme::HydraC.evaluate(&sys, CarryInStrategy::TopDiff);
-        let Some(periods) = outcome.periods else { continue };
+        let Some(periods) = outcome.periods else {
+            continue;
+        };
         // Bounds: C_s ≤ T*_s ≤ T^max_s.
         for (i, task) in sys.security_tasks().iter().enumerate() {
             assert!(periods[i] >= task.wcet());
@@ -51,7 +56,9 @@ fn simulation_confirms_every_admitted_scheme() {
     let horizon = SimConfig::new(Duration::from_ms(30_000));
     for scheme in Scheme::all() {
         let outcome = scheme.evaluate(&sys, CarryInStrategy::TopDiff);
-        let Some(periods) = outcome.periods else { continue };
+        let Some(periods) = outcome.periods else {
+            continue;
+        };
         let placement = match (&outcome.assignment, scheme) {
             (Some(cores), _) => SecurityPlacement::Pinned(cores),
             (None, Scheme::GlobalTMax) => SecurityPlacement::GlobalAll,
@@ -121,8 +128,8 @@ fn global_scheme_ignores_partitions_but_respects_deadlines() {
         assert!(specs
             .iter()
             .all(|s| s.affinity == hydra_c::sim::Affinity::Migrating));
-        let out = Simulation::new(sys.platform(), specs)
-            .run(&SimConfig::new(Duration::from_ms(20_000)));
+        let out =
+            Simulation::new(sys.platform(), specs).run(&SimConfig::new(Duration::from_ms(20_000)));
         assert_eq!(out.metrics.total_deadline_misses(), 0);
     }
 }

@@ -34,7 +34,9 @@ fn all_four_schemes_admit_the_rover_taskset() {
     let sys = rover_system();
     for scheme in Scheme::all() {
         assert!(
-            scheme.evaluate(&sys, CarryInStrategy::Exhaustive).schedulable(),
+            scheme
+                .evaluate(&sys, CarryInStrategy::Exhaustive)
+                .schedulable(),
             "{scheme} rejected the rover"
         );
     }
@@ -46,13 +48,10 @@ fn selected_periods_hold_up_in_simulation() {
     // periods in the simulator for two minutes; nothing misses.
     let sys = rover_system();
     let sel = select_periods(&sys, CarryInStrategy::Exhaustive).unwrap();
-    let specs = hydra_c::sim::system_specs(
-        &sys,
-        sel.periods.as_slice(),
-        SecurityPlacement::Migrating,
-    );
-    let out = Simulation::new(sys.platform(), specs)
-        .run(&SimConfig::new(Duration::from_ms(120_000)));
+    let specs =
+        hydra_c::sim::system_specs(&sys, sel.periods.as_slice(), SecurityPlacement::Migrating);
+    let out =
+        Simulation::new(sys.platform(), specs).run(&SimConfig::new(Duration::from_ms(120_000)));
     assert_eq!(out.metrics.total_deadline_misses(), 0);
     // Observed response times respect the analysis bounds.
     for (s, &bound) in sel.response_times.iter().enumerate() {

@@ -1,0 +1,5 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-3a07917211fd9859.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/criterion-3a07917211fd9859: src/lib.rs
+
+src/lib.rs:

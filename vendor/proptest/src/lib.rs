@@ -1,0 +1,511 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace's
+//! property tests link against this reduced re-implementation. Supported
+//! surface (exactly what the test suites use):
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_filter_map`, implemented for integer ranges and tuples;
+//! * [`collection::vec`] with `Range`/`RangeInclusive` size bounds;
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) over
+//!   functions whose arguments are `pattern in strategy` pairs;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning
+//!   [`test_runner::TestCaseError`] from the generated test-case closure.
+//!
+//! Differences from real proptest, by design: no shrinking (a failing
+//! case reports the values by Debug but is not minimised), a fixed
+//! deterministic per-test seed (FNV of the test name) instead of a
+//! persisted failure file, and rejection sampling capped at
+//! `1024 × cases` attempts.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Configuration and failure plumbing for the [`crate::proptest!`] runner.
+
+    use std::fmt;
+
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::{Rng, SeedableRng};
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert!`-style failure with a rendered message.
+        Fail(String),
+        /// Explicit rejection (`prop_assume!`-style); re-drawn, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject<S: Into<String>>(message: S) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result type of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use crate::test_runner::{Rng, TestRng};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates random values of `Self::Value`.
+    ///
+    /// `new_value` returns `None` when the draw was rejected by a filter;
+    /// the runner re-draws (up to its attempt cap) rather than failing.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F, U>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                source: self,
+                f,
+                _marker: PhantomData,
+            }
+        }
+
+        fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, f }
+        }
+
+        fn prop_filter_map<U, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F, U>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                source: self,
+                f,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F, U> {
+        source: S,
+        f: F,
+        _marker: PhantomData<fn() -> U>,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F, U>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<U> {
+            self.source.new_value(rng).map(&self.f)
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.source.new_value(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter_map`].
+    #[derive(Clone)]
+    pub struct FilterMap<S, F, U> {
+        source: S,
+        f: F,
+        _marker: PhantomData<fn() -> U>,
+    }
+
+    impl<S, F, U> Strategy for FilterMap<S, F, U>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<U> {
+            self.source.new_value(rng).and_then(&self.f)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> Option<$ty> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn new_value(&self, rng: &mut TestRng) -> Option<$ty> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.new_value(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Rng, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs the test-name-seeded deterministic RNG for a `proptest!` block.
+/// Internal — used by the macro expansion.
+#[doc(hidden)]
+pub fn __fnv_seed(name: &str) -> u64 {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    seed
+}
+
+/// Draw-and-check loop behind [`proptest!`]. Internal — a free function so
+/// the macro's case closure gets its argument type from `S::Value`.
+#[doc(hidden)]
+pub fn __run<S, C>(name: &str, config: &test_runner::ProptestConfig, strategy: &S, case: C)
+where
+    S: strategy::Strategy,
+    C: Fn(S::Value) -> test_runner::TestCaseResult,
+{
+    use test_runner::{SeedableRng, TestCaseError, TestRng};
+
+    let mut rng = TestRng::seed_from_u64(__fnv_seed(name));
+    let mut accepted: u32 = 0;
+    let mut attempts: u64 = 0;
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > u64::from(config.cases).saturating_mul(1024).max(4096) {
+            panic!(
+                "proptest '{name}': gave up after {attempts} draws \
+                 ({accepted} accepted of {} wanted)",
+                config.cases
+            );
+        }
+        let Some(value) = strategy::Strategy::new_value(strategy, &mut rng) else {
+            continue;
+        };
+        accepted += 1;
+        match case(value) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => accepted -= 1,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{name}' failed at case {accepted}: {message}");
+            }
+        }
+    }
+}
+
+/// Defines property tests. Each function argument is `pattern in strategy`;
+/// the body may use `prop_assert!` et al. and `return Ok(())` for an early
+/// successful exit.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __strategy = ($($strategy,)+);
+            $crate::__run(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($pat,)+)| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// [`test_runner::TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1u64..=10, 0usize..3), c in 5u32..6) {
+            prop_assert!((1..=10).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert_eq!(c, 5);
+        }
+
+        #[test]
+        fn map_filter_vec(
+            v in crate::collection::vec((1u64..=4).prop_map(|x| x * 2), 1..5),
+            w in (0u64..100).prop_filter("even only", |x| x % 2 == 0),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for x in &v {
+                prop_assert!(*x % 2 == 0 && *x <= 8);
+            }
+            prop_assert_eq!(w % 2, 0, "w was {}", w);
+        }
+
+        #[test]
+        fn filter_map_strategy(
+            x in (0u64..50).prop_filter_map("multiple of 3", |x| (x % 3 == 0).then_some(x)),
+        ) {
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(x % 3, 0);
+        }
+    }
+
+    #[test]
+    fn impl_strategy_in_signature() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{SeedableRng, TestRng};
+
+        fn pair() -> impl Strategy<Value = (u64, u64)> {
+            (1u64..=30, 1u64..=8).prop_map(|(p, f)| (p * 4, f))
+        }
+
+        let mut rng = TestRng::seed_from_u64(1);
+        let (p, f) = pair().new_value(&mut rng).unwrap();
+        assert!(p % 4 == 0 && (1..=8).contains(&f));
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-2271c851a3f564f2.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-2271c851a3f564f2.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-2271c851a3f564f2.rmeta: src/lib.rs
+
+src/lib.rs:

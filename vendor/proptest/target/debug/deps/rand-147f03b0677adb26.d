@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/rand-147f03b0677adb26.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-147f03b0677adb26.rlib: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-147f03b0677adb26.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

@@ -1,0 +1,294 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace pins exactly one `rand` "version" — this crate — via
+//! `[workspace.dependencies]`. It implements the slice of the 0.8 API the
+//! workspace actually uses:
+//!
+//! * [`Rng::gen_range`] over integer and float `Range` / `RangeInclusive`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`], a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (the same construction `rand` uses for small seeds).
+//!
+//! Determinism contract: for a given seed the output stream is stable
+//! across platforms and releases — benchmark fixtures and property tests
+//! rely on `StdRng::seed_from_u64(s)` reproducing the same workload
+//! forever. Do not change the generator without re-pinning every
+//! seed-derived constant in the workspace.
+
+#![forbid(unsafe_code)]
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics when the range is empty, like `rand` 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples from the `Standard` distribution (`rng.gen::<f64>()` et al.).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_with(self);
+    }
+}
+
+/// Buffer types that [`Rng::fill`] can populate.
+pub trait Fill {
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for chunk in self.chunks_mut(8) {
+            let word = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl Fill for [u64] {
+    fn fill_with<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for v in self {
+            *v = rng.next_u64();
+        }
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod distributions {
+    //! The minimal distribution machinery behind `gen` / `gen_range`.
+
+    use crate::RngCore;
+
+    /// Types samplable from a distribution `D`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The `Standard` distribution: full integer domains, `[0, 1)` floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+        use core::ops::{Range, RangeInclusive};
+
+        /// Ranges that can be sampled from directly (`rng.gen_range(a..b)`).
+        pub trait SampleRange<T> {
+            /// Samples one value; panics if the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_int_range {
+            ($($ty:ty),*) => {$(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                        let v = sample_below(rng, span as u128);
+                        ((self.start as i128) + v as i128) as $ty
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let v = sample_below(rng, span);
+                        ((lo as i128) + v as i128) as $ty
+                    }
+                }
+            )*};
+        }
+
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        /// Uniform value in `[0, span)` (`span == 0` means the full 2^64..
+        /// domain, which only arises for `u64::MIN..=u64::MAX`).
+        fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+            if span == 0 || span > u64::MAX as u128 {
+                return rng.next_u64() as u128;
+            }
+            let span64 = span as u64;
+            // Widening-multiply rejection sampling (Lemire); unbiased.
+            // Reject when the low 64 bits of the product fall below
+            // 2^64 mod span, so every output bucket keeps exactly
+            // ⌊2^64/span⌋ accepted draws.
+            let threshold = (u64::MAX - span64 + 1) % span64;
+            loop {
+                let m = u128::from(rng.next_u64()) * u128::from(span64);
+                if m as u64 >= threshold {
+                    return m >> 64;
+                }
+            }
+        }
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + unit_f64(rng) * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + unit_f64(rng) * (hi - lo)
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+        fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (SplitMix64-seeded).
+    ///
+    /// Not cryptographically secure — a stand-in for `rand::rngs::StdRng`
+    /// good enough for workload generation and simulation jitter.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5i64..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unsized_rng_usable_through_generic_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0usize..=3)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(draw(&mut rng) <= 3);
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-2c988ac403ee13cb.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-2c988ac403ee13cb.rlib: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-2c988ac403ee13cb.rmeta: src/lib.rs
+
+src/lib.rs:
