@@ -1,0 +1,75 @@
+//! Scaling of Algorithm 1 (HYDRA-C period selection) along the two axes
+//! that dominate the design-space sweeps: the number of security tasks
+//! (the cascade depth × binary-search width) and the carry-in strategy
+//! (polynomial TopDiff vs exponential Exhaustive).
+//!
+//! Systems are built synthetically so the security task count is exact —
+//! the Table 3 generator draws it randomly, which would blur the axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::period_selection::select_periods;
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::time::Duration;
+use rts_model::{
+    CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet, System,
+};
+
+/// A dual-core system with two RT tasks and `n` security monitors whose
+/// WCETs stagger deterministically; total load stays admissible so the
+/// full Algorithm 1 (not an early rejection) is what gets measured.
+fn synthetic_system(n_security: usize) -> System {
+    let ms = Duration::from_ms;
+    let platform = Platform::dual_core();
+    let rt = RtTaskSet::new_rate_monotonic(vec![
+        RtTask::new(ms(120), ms(500)).unwrap(),
+        RtTask::new(ms(800), ms(5000)).unwrap(),
+    ]);
+    let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+    let sec = SecurityTaskSet::new(
+        (0..n_security)
+            .map(|i| {
+                let wcet = ms(40 + 37 * i as u64);
+                let t_max = ms(8000 + 1500 * i as u64);
+                SecurityTask::new(wcet, t_max).unwrap()
+            })
+            .collect(),
+    );
+    System::new(platform, rt, partition, sec).unwrap()
+}
+
+/// Algorithm 1 cost vs the number of security tasks (TopDiff, the sweep
+/// configuration).
+fn bench_vs_task_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("period_selection_vs_task_count");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 12] {
+        let sys = synthetic_system(n);
+        assert!(
+            select_periods(&sys, CarryInStrategy::TopDiff).is_ok(),
+            "fixture with {n} security tasks must be admissible"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| select_periods(sys, CarryInStrategy::TopDiff));
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 1 cost per carry-in strategy at a fixed task count.
+fn bench_vs_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("period_selection_vs_strategy");
+    group.sample_size(10);
+    let sys = synthetic_system(6);
+    for (label, strategy) in [
+        ("topdiff", CarryInStrategy::TopDiff),
+        ("exhaustive", CarryInStrategy::Exhaustive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sys, |b, sys| {
+            b.iter(|| select_periods(sys, strategy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_task_count, bench_vs_strategy);
+criterion_main!(benches);

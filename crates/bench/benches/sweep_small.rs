@@ -1,0 +1,28 @@
+//! A reduced design-space sweep (2 cores, 2 tasksets/group, all four
+//! schemes) as one benchmark unit — the end-to-end cost the `fig6`/
+//! `fig7a`/`fig7b` experiments pay per task-set batch, including
+//! generation, RT partitioning and every admission test. Run sequentially
+//! (`jobs = 1`) so the number measures the analysis hot path, not the
+//! machine's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_experiments::{run_sweep, SweepConfig};
+
+fn bench_sweep_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_small");
+    group.sample_size(10);
+    for cores in [2usize, 4] {
+        let config = SweepConfig::new(cores, 2).with_jobs(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("M{cores}")),
+            &config,
+            |b, config| {
+                b.iter(|| run_sweep(config, |_| ()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_small);
+criterion_main!(benches);

@@ -56,31 +56,46 @@ fn base_environment(system: &System) -> Environment {
     env
 }
 
-/// Computes `R_j` for every security task `j ≥ start` given:
+/// Computes `R_j` for every security task `j ≥ start` into `out` given:
 /// `env` already contains RT interference plus migrating entries for
 /// tasks `0..start` (with their final periods), and `periods[j]` holds the
 /// current period (and response-time limit) of each remaining task.
 ///
-/// Returns the response times of tasks `start..` or the index of the
-/// first unschedulable task.
+/// `floors[j]` warm-starts each Eq. 7 fixed point; it must lower-bound
+/// `R_j` under the current configuration (see
+/// [`Environment::response_time_with_floor`] for the soundness argument —
+/// here the floors are response times previously computed under
+/// componentwise *longer* periods, which can only have shrunk the
+/// interference).
+///
+/// The cascade pushes one migrating entry per computed task onto `env`
+/// and does **not** roll them back (on error the entries up to the failed
+/// task remain): callers snapshot `env.migrating_len()` beforehand and
+/// [`Environment::truncate_migrating`] afterwards, which is what lets one
+/// environment serve every probe of the binary search instead of being
+/// cloned per candidate.
+///
+/// Returns `Err(j)` with the index of the first unschedulable task.
 fn cascade_response_times(
     system: &System,
-    mut env: Environment,
+    env: &mut Environment,
     start: usize,
     periods: &[Duration],
+    floors: &[Duration],
     strategy: CarryInStrategy,
-) -> Result<Vec<Duration>, usize> {
+    out: &mut Vec<Duration>,
+) -> Result<(), usize> {
     let sec = system.security_tasks();
-    let mut result = Vec::with_capacity(sec.len() - start);
+    out.clear();
     for j in start..sec.len() {
         let task = &sec[j];
         let r = env
-            .response_time(task.wcet(), periods[j], strategy)
+            .response_time_with_floor(task.wcet(), floors[j], periods[j], strategy)
             .ok_or(j)?;
-        result.push(r);
+        out.push(r);
         env.add_migrating(MigratingHp::new(task.wcet(), periods[j], r));
     }
-    Ok(result)
+    Ok(())
 }
 
 /// Algorithm 1: selects the minimum feasible period for every security
@@ -126,37 +141,79 @@ pub fn select_periods(
         return Err(SelectionError::RtUnschedulable);
     }
     let sec = system.security_tasks();
-    let base_env = base_environment(system);
     let mut periods: Vec<Duration> = sec.max_periods();
 
+    // `env` is THE environment of the whole run: RT interference plus the
+    // already-final higher-priority migrating tasks. Probes push candidate
+    // entries onto it and roll them back via `truncate_migrating` — no
+    // per-probe clone of the cascade.
+    let mut env = base_environment(system);
+
+    // `floors[j]` is a sound warm start for `R_j`: every configuration the
+    // algorithm evaluates from here on has componentwise smaller-or-equal
+    // periods than the one the floor was computed under, so interference
+    // only grows and the true fixed point can only sit higher.
+    let mut floors: Vec<Duration> = sec.iter().map(|t| t.wcet()).collect();
+
     // Lines 1–4: all periods at T^max; any failure is final.
-    let initial = cascade_response_times(system, base_env.clone(), 0, &periods, strategy)
-        .map_err(|task| SelectionError::SecurityUnschedulable { task })?;
-    let mut response_times = initial;
+    let mut response_times = Vec::with_capacity(sec.len());
+    cascade_response_times(
+        system,
+        &mut env,
+        0,
+        &periods,
+        &floors,
+        strategy,
+        &mut response_times,
+    )
+    .map_err(|task| SelectionError::SecurityUnschedulable { task })?;
+    env.truncate_migrating(0);
+    floors.copy_from_slice(&response_times);
 
     // Lines 5–9: optimize one task at a time, high to low priority.
-    // `env` accumulates the already-final higher-priority tasks.
-    let mut env = base_env;
+    let mut scratch: Vec<Duration> = Vec::with_capacity(sec.len());
+    let mut feasible_buf: Vec<Duration> = Vec::new();
     for s in 0..sec.len() {
         let r_s = response_times[s];
         let t_max = sec[s].t_max();
         // R_s depends only on higher-priority tasks, so it is already
         // final; the candidate range is [R_s, T^max_s] (Algorithm 2).
+        // Memoize the most recent feasible probe: the binary search's last
+        // feasible evaluation is the selected period, so its cascade
+        // doubles as the line-8 refresh.
+        let mut feasible_candidate: Option<Duration> = None;
         let best = min_feasible_period(r_s, t_max, |candidate| {
-            let mut probe_env = env.clone();
-            probe_env.add_migrating(MigratingHp::new(sec[s].wcet(), candidate, r_s));
-            let mut probe_periods = periods.clone();
-            probe_periods[s] = candidate;
-            cascade_response_times(system, probe_env, s + 1, &probe_periods, strategy).is_ok()
+            env.add_migrating(MigratingHp::new(sec[s].wcet(), candidate, r_s));
+            periods[s] = candidate;
+            let ok = cascade_response_times(
+                system,
+                &mut env,
+                s + 1,
+                &periods,
+                &floors,
+                strategy,
+                &mut scratch,
+            )
+            .is_ok();
+            env.truncate_migrating(s);
+            if ok {
+                feasible_candidate = Some(candidate);
+                std::mem::swap(&mut scratch, &mut feasible_buf);
+            }
+            ok
         })
         .expect("T^max_s is feasible: the initial full-vector check passed");
         periods[s] = best;
         env.add_migrating(MigratingHp::new(sec[s].wcet(), best, r_s));
-        // Line 8: refresh the lower-priority response times under T*_s.
-        let lower = cascade_response_times(system, env.clone(), s + 1, &periods, strategy)
-            .expect("the selected period was verified feasible");
+        // Line 8: `min_feasible_period` moves its incumbent exactly on
+        // feasible probes, so the last feasible probe IS `best` and its
+        // memoized cascade is the refresh — nothing to recompute.
+        debug_assert_eq!(feasible_candidate, Some(best));
         response_times.truncate(s + 1);
-        response_times.extend(lower);
+        response_times.extend_from_slice(&feasible_buf);
+        // The refreshed values were computed under the widest periods any
+        // later configuration will ever use again — tighten the floors.
+        floors[s + 1..].copy_from_slice(&feasible_buf);
     }
 
     Ok(PeriodSelection {
@@ -273,6 +330,114 @@ mod tests {
             response_times: vec![ms(5), ms(6)],
         };
         assert_eq!(sel.objective(), ms(30));
+    }
+
+    /// The seed implementation of Algorithm 1: clones the environment and
+    /// the period vector on every probe and solves every fixed point cold.
+    /// Kept as the parity reference for the optimized `select_periods`
+    /// (shared environment, rollback probing, warm-started cascades,
+    /// memoized refresh) — both must agree exactly, error cases included.
+    fn reference_select_periods(
+        system: &System,
+        strategy: CarryInStrategy,
+    ) -> Result<PeriodSelection, SelectionError> {
+        fn cascade(
+            system: &System,
+            mut env: Environment,
+            start: usize,
+            periods: &[Duration],
+            strategy: CarryInStrategy,
+        ) -> Result<Vec<Duration>, usize> {
+            let sec = system.security_tasks();
+            let mut result = Vec::with_capacity(sec.len() - start);
+            for j in start..sec.len() {
+                let task = &sec[j];
+                let r = env
+                    .response_time(task.wcet(), periods[j], strategy)
+                    .ok_or(j)?;
+                result.push(r);
+                env.add_migrating(MigratingHp::new(task.wcet(), periods[j], r));
+            }
+            Ok(result)
+        }
+        if !rts_analysis::rt_schedulable(system) {
+            return Err(SelectionError::RtUnschedulable);
+        }
+        let sec = system.security_tasks();
+        let base_env = base_environment(system);
+        let mut periods: Vec<Duration> = sec.max_periods();
+        let mut response_times = cascade(system, base_env.clone(), 0, &periods, strategy)
+            .map_err(|task| SelectionError::SecurityUnschedulable { task })?;
+        let mut env = base_env;
+        for s in 0..sec.len() {
+            let r_s = response_times[s];
+            let best = min_feasible_period(r_s, sec[s].t_max(), |candidate| {
+                let mut probe_env = env.clone();
+                probe_env.add_migrating(MigratingHp::new(sec[s].wcet(), candidate, r_s));
+                let mut probe_periods = periods.clone();
+                probe_periods[s] = candidate;
+                cascade(system, probe_env, s + 1, &probe_periods, strategy).is_ok()
+            })
+            .expect("T^max_s is feasible");
+            periods[s] = best;
+            env.add_migrating(MigratingHp::new(sec[s].wcet(), best, r_s));
+            let lower = cascade(system, env.clone(), s + 1, &periods, strategy)
+                .expect("selected period was verified feasible");
+            response_times.truncate(s + 1);
+            response_times.extend(lower);
+        }
+        Ok(PeriodSelection {
+            periods: PeriodVector::from_raw(periods),
+            response_times,
+        })
+    }
+
+    #[test]
+    fn optimized_selection_matches_reference_implementation() {
+        let mut systems = vec![rover()];
+        // A handful of synthetic multi-task configurations around the
+        // schedulability boundary, including rejecting ones.
+        for (rt_ms, sec_ms) in [
+            (
+                vec![(100, 400), (300, 1000)],
+                vec![(50, 5000), (80, 4000), (200, 8000)],
+            ),
+            (
+                vec![(240, 500), (1120, 5000)],
+                vec![(700, 9000), (223, 10_000), (90, 2000)],
+            ),
+            (
+                vec![(450, 1000), (450, 1000)],
+                vec![(400, 3000), (400, 3000), (400, 3000)],
+            ),
+            (vec![(900, 1000), (50, 500)], vec![(600, 2000), (10, 900)]),
+        ] {
+            let platform = Platform::dual_core();
+            let rt = RtTaskSet::new_rate_monotonic(
+                rt_ms
+                    .iter()
+                    .map(|&(c, t)| RtTask::new(ms(c), ms(t)).unwrap())
+                    .collect(),
+            );
+            let assignment = (0..rt_ms.len()).map(|i| CoreId::new(i % 2)).collect();
+            let partition = Partition::new(platform, assignment).unwrap();
+            let sec = SecurityTaskSet::new(
+                sec_ms
+                    .iter()
+                    .map(|&(c, t)| SecurityTask::new(ms(c), ms(t)).unwrap())
+                    .collect(),
+            );
+            systems.push(System::new(platform, rt, partition, sec).unwrap());
+        }
+        for system in &systems {
+            for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+                assert_eq!(
+                    select_periods(system, strategy),
+                    reference_select_periods(system, strategy),
+                    "{strategy:?}"
+                );
+            }
+        }
     }
 
     #[test]

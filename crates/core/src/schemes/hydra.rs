@@ -52,24 +52,31 @@ struct CoreAlloc<'a> {
     system: &'a System,
     /// Current plan per core.
     plans: Vec<CorePlan>,
+    /// The RT load pinned to each core, collected once at construction —
+    /// every candidate placement of every security task re-reads it, so
+    /// rebuilding it per probe was pure waste.
+    rt_hp: Vec<Vec<HpTask>>,
 }
 
 impl<'a> CoreAlloc<'a> {
     fn new(system: &'a System) -> Self {
+        let rt = system.rt_tasks();
+        let rt_hp = system
+            .platform()
+            .cores()
+            .map(|core| {
+                system
+                    .rt_tasks_on(core)
+                    .into_iter()
+                    .map(|i| HpTask::new(rt[i].wcet(), rt[i].period()))
+                    .collect()
+            })
+            .collect();
         CoreAlloc {
             system,
             plans: vec![CorePlan { tasks: Vec::new() }; system.num_cores()],
+            rt_hp,
         }
-    }
-
-    /// The RT load pinned to `core`.
-    fn rt_hp(&self, core: CoreId) -> Vec<HpTask> {
-        let rt = self.system.rt_tasks();
-        self.system
-            .rt_tasks_on(core)
-            .into_iter()
-            .map(|i| HpTask::new(rt[i].wcet(), rt[i].period()))
-            .collect()
     }
 
     /// Response times of the security tasks `members` (priority order,
@@ -81,7 +88,9 @@ impl<'a> CoreAlloc<'a> {
         members: &[(usize, Duration)],
     ) -> Option<Vec<Duration>> {
         let sec = self.system.security_tasks();
-        let mut hp = self.rt_hp(core);
+        let rt_hp = &self.rt_hp[core.index()];
+        let mut hp = Vec::with_capacity(rt_hp.len() + members.len());
+        hp.extend_from_slice(rt_hp);
         let mut result = Vec::with_capacity(members.len());
         for &(s, period) in members {
             let r = uniproc::response_time(sec[s].wcet(), &hp, period)?;

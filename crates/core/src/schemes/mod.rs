@@ -35,15 +35,47 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Number of schemes (`Scheme::all().len()`).
+    pub const COUNT: usize = 4;
+
     /// All four schemes in the paper's Fig. 7a legend order.
     #[must_use]
-    pub const fn all() -> [Scheme; 4] {
+    pub const fn all() -> [Scheme; Scheme::COUNT] {
         [
             Scheme::HydraC,
             Scheme::Hydra,
             Scheme::GlobalTMax,
             Scheme::HydraTMax,
         ]
+    }
+
+    /// Stable position of the scheme in [`Scheme::all`] — the index for
+    /// per-scheme arrays (sweep records, figure columns), constant-time
+    /// instead of a linear `position` search.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Scheme::HydraC => 0,
+            Scheme::Hydra => 1,
+            Scheme::GlobalTMax => 2,
+            Scheme::HydraTMax => 3,
+        }
+    }
+
+    /// Inverse of [`Scheme::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Scheme::COUNT`.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Scheme {
+        match index {
+            0 => Scheme::HydraC,
+            1 => Scheme::Hydra,
+            2 => Scheme::GlobalTMax,
+            3 => Scheme::HydraTMax,
+            _ => panic!("scheme index out of range"),
+        }
     }
 
     /// The label used in the paper's figures.
@@ -206,6 +238,15 @@ mod tests {
             .evaluate(&sys, CarryInStrategy::Exhaustive)
             .assignment
             .is_none());
+    }
+
+    #[test]
+    fn index_roundtrips_in_legend_order() {
+        for (i, scheme) in Scheme::all().into_iter().enumerate() {
+            assert_eq!(scheme.index(), i);
+            assert_eq!(Scheme::from_index(i), scheme);
+        }
+        assert_eq!(Scheme::all().len(), Scheme::COUNT);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Timed benchmark of the Fig. 7a design-space sweep, emitting a
+//! machine-readable `results/BENCH_sweep.json` so the hot path's
+//! performance trajectory is tracked across PRs.
+//!
+//! Usage: `bench_report [--cores M] [--per-group N] [--jobs N]
+//!                      [--baseline-secs S] [--budget-secs S]`
+//!
+//! Defaults match the acceptance configuration this repo benchmarks
+//! against: 2 cores, 25 tasksets/group, 4 jobs. Only that canonical
+//! configuration rewrites the tracked `results/BENCH_sweep.json`;
+//! reduced runs report to stdout only. `--baseline-secs` records
+//! a reference wall time (e.g. the pre-optimization sequential run) and
+//! adds the resulting speedup to the report. `--budget-secs` turns the
+//! run into a smoke test: the process exits non-zero if the sweep takes
+//! longer — CI uses this to catch hot-path regressions.
+
+use hydra_core::schemes::Scheme;
+use hydra_experiments::{arg_f64, results_dir, run_sweep, SweepConfig};
+use rts_taskgen::table3::{NUM_GROUPS, TASKSETS_PER_GROUP};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cores = hydra_experiments::arg_usize(&args, "--cores", 2, 2);
+    let per_group = hydra_experiments::arg_usize(&args, "--per-group", 25, TASKSETS_PER_GROUP);
+    let jobs = hydra_experiments::arg_usize(&args, "--jobs", 4, 4);
+    let baseline_secs = arg_f64(&args, "--baseline-secs");
+    let budget_secs = arg_f64(&args, "--budget-secs");
+
+    let config = SweepConfig::new(cores, per_group).with_jobs(jobs);
+    eprint!("bench sweep M={cores} ({per_group}/group, {jobs} jobs): ");
+    let started = std::time::Instant::now();
+    let sweep = run_sweep(&config, |g| eprint!("{g} "));
+    let wall_secs = started.elapsed().as_secs_f64();
+    eprintln!("done");
+
+    let records = sweep.records.len();
+    assert_eq!(
+        records,
+        NUM_GROUPS * per_group,
+        "sweep lost records (some slots exhausted their regeneration \
+         budget) — the benchmark population is no longer comparable"
+    );
+    let tasksets_per_sec = records as f64 / wall_secs;
+    let accepted_hydra_c: usize = sweep
+        .records
+        .iter()
+        .filter(|r| r.accepted(Scheme::HydraC))
+        .count();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"fig7a_sweep\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"tasksets_per_group\": {per_group},\n"));
+    json.push_str(&format!("  \"groups\": {NUM_GROUPS},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", config.seed));
+    json.push_str(&format!("  \"records\": {records},\n"));
+    json.push_str(&format!("  \"accepted_hydra_c\": {accepted_hydra_c},\n"));
+    json.push_str(&format!("  \"wall_secs\": {wall_secs:.4},\n"));
+    json.push_str(&format!("  \"tasksets_per_sec\": {tasksets_per_sec:.2}"));
+    if let Some(base) = baseline_secs {
+        json.push_str(&format!(",\n  \"baseline_sequential_secs\": {base:.4}"));
+        json.push_str(&format!(
+            ",\n  \"speedup_vs_baseline\": {:.2}",
+            base / wall_secs
+        ));
+    }
+    json.push_str("\n}\n");
+
+    // Only the canonical configuration updates the tracked trajectory
+    // file — a reduced smoke run (CI) or an ad-hoc sweep must not
+    // overwrite the PR-over-PR record with incomparable numbers.
+    let canonical = cores == 2 && per_group == 25 && jobs == 4;
+    if canonical {
+        let dir = results_dir();
+        let path = dir.join("BENCH_sweep.json");
+        let written = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json));
+        match written {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("non-canonical configuration: results/BENCH_sweep.json left untouched");
+    }
+    print!("{json}");
+
+    if let Some(budget) = budget_secs {
+        assert!(
+            wall_secs <= budget,
+            "sweep took {wall_secs:.2}s, over the {budget:.2}s budget — hot-path regression"
+        );
+        println!("within budget ({wall_secs:.2}s <= {budget:.2}s)");
+    }
+}

@@ -2,16 +2,17 @@
 //! HYDRA-C, HYDRA, GLOBAL-TMax and HYDRA-TMax on 2- and 4-core
 //! platforms.
 //!
-//! Usage: `fig7a_acceptance [--per-group N] [--full]`
-//! (default 50; `--full` = the paper's 250).
+//! Usage: `fig7a_acceptance [--per-group N] [--jobs N] [--full]`
+//! (default 50 tasksets/group, all cores; `--full` = the paper's 250).
 
 use hydra_core::schemes::Scheme;
-use hydra_experiments::{results_dir, run_sweep, SweepConfig, TextTable};
+use hydra_experiments::{default_jobs, results_dir, run_sweep, SweepConfig, TextTable};
 use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let per_group = hydra_experiments::arg_usize(&args, "--per-group", 50, TASKSETS_PER_GROUP);
+    let jobs = hydra_experiments::arg_usize(&args, "--jobs", default_jobs(), default_jobs());
 
     println!("Fig. 7a — acceptance ratio (%) ({per_group} tasksets/group)\n");
     let mut table = TextTable::new(vec![
@@ -24,7 +25,7 @@ fn main() {
     ]);
     for cores in [2usize, 4] {
         eprint!("sweep M={cores}: ");
-        let sweep = run_sweep(&SweepConfig::new(cores, per_group), |g| {
+        let sweep = run_sweep(&SweepConfig::new(cores, per_group).with_jobs(jobs), |g| {
             eprint!("{g} ");
         });
         eprintln!();

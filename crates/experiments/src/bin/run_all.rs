@@ -1,13 +1,14 @@
 //! Regenerates every table and figure of the paper in one run, writing
 //! text output to stdout and CSVs to `results/`.
 //!
-//! Usage: `run_all [--per-group N] [--trials N] [--full]`
-//! (defaults: 50 tasksets/group, 35 rover trials; `--full` uses the
-//! paper's 250 tasksets/group).
+//! Usage: `run_all [--per-group N] [--trials N] [--jobs N] [--full]`
+//! (defaults: 50 tasksets/group, 35 rover trials, sweeps on all cores;
+//! `--full` uses the paper's 250 tasksets/group).
 
 use hydra_core::schemes::Scheme;
 use hydra_experiments::{
-    percent_faster, results_dir, run_fig5, run_sweep, PeriodProtocol, SweepConfig, TextTable,
+    default_jobs, percent_faster, results_dir, run_fig5, run_sweep, PeriodProtocol, SweepConfig,
+    TextTable,
 };
 use ids_sim::catalog::SecurityTaskClass;
 use ids_sim::rover::table2_rows;
@@ -16,6 +17,7 @@ use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let per_group = hydra_experiments::arg_usize(&args, "--per-group", 50, TASKSETS_PER_GROUP);
+    let jobs = hydra_experiments::arg_usize(&args, "--jobs", default_jobs(), default_jobs());
     let trials = hydra_experiments::arg_usize(&args, "--trials", 35, 35) as u64;
     let started = std::time::Instant::now();
 
@@ -95,7 +97,9 @@ fn main() {
     ]);
     for cores in [2usize, 4] {
         eprint!("sweep M={cores} ({per_group}/group): ");
-        let sweep = run_sweep(&SweepConfig::new(cores, per_group), |g| eprint!("{g} "));
+        let sweep = run_sweep(&SweepConfig::new(cores, per_group).with_jobs(jobs), |g| {
+            eprint!("{g} ");
+        });
         eprintln!("done");
         for g in 0..NUM_GROUPS {
             let label = UtilizationGroup::new(g).label();

@@ -25,25 +25,48 @@ pub mod sweep;
 pub use fig5::{run_fig5, PeriodProtocol, SchemeAggregate};
 pub use report::{results_dir, TextTable};
 pub use stats::{percent_faster, Summary};
-pub use sweep::{run_sweep, SweepConfig, SweepResult};
+pub use sweep::{default_jobs, run_sweep, SweepConfig, SweepResult};
 
 /// Parses `--flag N` style arguments with a default, plus `--full`
-/// overrides. Tiny on purpose — no CLI dependency.
+/// overrides. An explicit `--flag N` always wins over `--full`, so e.g.
+/// `--full --jobs 2` caps the worker count while still running the
+/// paper-scale sweep. Tiny on purpose — no CLI dependency.
 #[must_use]
 pub fn arg_usize(args: &[String], flag: &str, default: usize, full_value: usize) -> usize {
-    if args.iter().any(|a| a == "--full") {
-        return full_value;
-    }
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+        .unwrap_or(if args.iter().any(|a| a == "--full") {
+            full_value
+        } else {
+            default
+        })
+}
+
+/// Parses an optional `--flag X` floating-point argument.
+#[must_use]
+pub fn arg_f64(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn float_arg_parsing() {
+        let args: Vec<String> = ["--baseline-secs", "5.56"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_f64(&args, "--baseline-secs"), Some(5.56));
+        assert_eq!(arg_f64(&args, "--missing"), None);
+        assert_eq!(arg_f64(&[], "--baseline-secs"), None);
+    }
 
     #[test]
     fn arg_parsing() {
@@ -53,5 +76,12 @@ mod tests {
         let full: Vec<String> = vec!["--full".into()];
         assert_eq!(arg_usize(&full, "--per-group", 50, 250), 250);
         assert_eq!(arg_usize(&[], "--per-group", 50, 250), 50);
+        // An explicit value beats --full (e.g. `--full --jobs 2`).
+        let both: Vec<String> = ["--full", "--jobs", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&both, "--jobs", 8, 8), 2);
+        assert_eq!(arg_usize(&both, "--per-group", 50, 250), 250);
     }
 }

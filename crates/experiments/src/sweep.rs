@@ -5,6 +5,16 @@
 //! partitioned (the paper "only considered the schedulable tasksets"),
 //! and evaluates all four schemes, retaining the admitted period vectors
 //! for the distance metrics.
+//!
+//! The sweep is embarrassingly parallel and seeded per *slot*: each of
+//! the `NUM_GROUPS × tasksets_per_group` task sets derives its own child
+//! RNG from `(seed, group, index)` via a SplitMix64 mix, so slot `i` of
+//! group `g` draws the same workload no matter which worker evaluates it
+//! — the records are **bit-identical for every [`SweepConfig::jobs`]
+//! value**, including the sequential `jobs = 1` path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +27,11 @@ use hydra_core::assemble::assemble_system;
 use hydra_core::schemes::Scheme;
 
 use crate::stats::Summary;
+
+/// How many RT-infeasible draws one slot may discard before giving up
+/// (the paper regenerates until schedulable; the cap keeps a pathological
+/// configuration from looping forever).
+const MAX_ATTEMPTS_PER_SLOT: usize = 200;
 
 /// Sweep parameters.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -31,6 +46,10 @@ pub struct SweepConfig {
     /// [`CarryInStrategy::TopDiff`]; `Exhaustive` is exponential in the
     /// number of security tasks and reserved for small cross-checks.
     pub strategy: CarryInStrategy,
+    /// Worker threads evaluating task sets. Results are bit-identical for
+    /// every value (per-slot seeding); this only trades wall-clock time
+    /// for cores. Defaults to the machine's available parallelism.
+    pub jobs: usize,
 }
 
 impl SweepConfig {
@@ -43,8 +62,34 @@ impl SweepConfig {
             tasksets_per_group,
             seed: 0xB0B5 + cores as u64,
             strategy: CarryInStrategy::TopDiff,
+            jobs: default_jobs(),
         }
     }
+
+    /// Overrides the worker-thread count (the `--jobs` knob).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// SplitMix64 finalizer over `(seed, group, index)` — decorrelates the
+/// per-slot child RNG streams from each other and from the parent seed.
+fn slot_seed(seed: u64, group: usize, index: usize) -> u64 {
+    let tag = ((group as u64) << 32) | index as u64;
+    let mut z = seed
+        .wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Results for one generated task set.
@@ -57,19 +102,16 @@ pub struct TasksetRecord {
     /// The designer bounds `T^max`.
     pub t_max: PeriodVector,
     /// Admitted period vector per scheme (same order as
-    /// [`Scheme::all`]), `None` when rejected.
-    pub periods: [Option<PeriodVector>; 4],
+    /// [`Scheme::all`], indexed by [`Scheme::index`]), `None` when
+    /// rejected.
+    pub periods: [Option<PeriodVector>; Scheme::COUNT],
 }
 
 impl TasksetRecord {
     /// The admitted period vector of `scheme`, if any.
     #[must_use]
     pub fn periods_of(&self, scheme: Scheme) -> Option<&PeriodVector> {
-        let idx = Scheme::all()
-            .iter()
-            .position(|&s| s == scheme)
-            .expect("scheme is in Scheme::all()");
-        self.periods[idx].as_ref()
+        self.periods[scheme.index()].as_ref()
     }
 
     /// Whether `scheme` admitted the task set.
@@ -157,47 +199,110 @@ impl SweepResult {
     }
 }
 
-/// Runs the sweep. Progress is reported via `progress` once per group
-/// (pass `|_| ()` to silence it).
+/// Generates and evaluates one slot's task set: draws from the slot's own
+/// child RNG until the RT part is partitionable (up to
+/// [`MAX_ATTEMPTS_PER_SLOT`] tries), then runs all four schemes.
+fn run_slot(config: &SweepConfig, table3: &Table3Config, slot: Slot) -> Option<TasksetRecord> {
+    let mut rng = StdRng::seed_from_u64(slot_seed(config.seed, slot.group, slot.index));
+    let group = UtilizationGroup::new(slot.group);
+    for _ in 0..MAX_ATTEMPTS_PER_SLOT {
+        let w = generate_workload(table3, group, &mut rng);
+        let norm_util = w.normalized_utilization();
+        let Ok(system) = assemble_system(
+            w.platform,
+            w.rt_tasks,
+            w.security_tasks,
+            FitHeuristic::BestFit,
+        ) else {
+            continue; // trivially unschedulable: regenerate
+        };
+        let t_max = PeriodVector::at_max(system.security_tasks());
+        let mut periods: [Option<PeriodVector>; Scheme::COUNT] = [None, None, None, None];
+        for (i, slot) in periods.iter_mut().enumerate() {
+            *slot = Scheme::from_index(i)
+                .evaluate(&system, config.strategy)
+                .periods;
+        }
+        return Some(TasksetRecord {
+            group: slot.group,
+            norm_util,
+            t_max,
+            periods,
+        });
+    }
+    None
+}
+
+/// One unit of sweep work: task set `index` of utilization group `group`.
+#[derive(Clone, Copy)]
+struct Slot {
+    group: usize,
+    index: usize,
+}
+
+impl Slot {
+    fn from_linear(linear: usize, per_group: usize) -> Self {
+        Slot {
+            group: linear / per_group,
+            index: linear % per_group,
+        }
+    }
+}
+
+/// Runs the sweep on [`SweepConfig::jobs`] worker threads. Progress is
+/// reported via `progress` once per completed utilization group (pass
+/// `|_| ()` to silence it); with multiple jobs the completion order may
+/// differ from the group order, but the returned records never do.
 pub fn run_sweep(config: &SweepConfig, mut progress: impl FnMut(usize)) -> SweepResult {
     let table3 = Table3Config::for_cores(config.cores);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut records = Vec::with_capacity(config.tasksets_per_group * NUM_GROUPS);
-    for group in UtilizationGroup::all() {
-        progress(group.index());
-        let mut produced = 0;
-        // The paper discards RT-infeasible draws; cap the retries so a
-        // pathological configuration cannot loop forever.
-        let mut attempts_left = config.tasksets_per_group * 200;
-        while produced < config.tasksets_per_group && attempts_left > 0 {
-            attempts_left -= 1;
-            let w = generate_workload(&table3, group, &mut rng);
-            let norm_util = w.normalized_utilization();
-            let Ok(system) = assemble_system(
-                w.platform,
-                w.rt_tasks,
-                w.security_tasks,
-                FitHeuristic::BestFit,
-            ) else {
-                continue; // trivially unschedulable: regenerate
-            };
-            let t_max = PeriodVector::at_max(system.security_tasks());
-            let mut periods: [Option<PeriodVector>; 4] = [None, None, None, None];
-            for (i, scheme) in Scheme::all().into_iter().enumerate() {
-                periods[i] = scheme.evaluate(&system, config.strategy).periods;
+    let per_group = config.tasksets_per_group;
+    let total = NUM_GROUPS * per_group;
+    let jobs = config.jobs.clamp(1, total.max(1));
+    let mut slots: Vec<Option<TasksetRecord>> = Vec::with_capacity(total);
+    if jobs <= 1 {
+        for linear in 0..total {
+            let slot = Slot::from_linear(linear, per_group);
+            slots.push(run_slot(config, &table3, slot));
+            if slot.index + 1 == per_group {
+                progress(slot.group);
             }
-            records.push(TasksetRecord {
-                group: group.index(),
-                norm_util,
-                t_max,
-                periods,
-            });
-            produced += 1;
         }
+    } else {
+        slots.resize_with(total, || None);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Option<TasksetRecord>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                let table3 = &table3;
+                scope.spawn(move || loop {
+                    let linear = next.fetch_add(1, Ordering::Relaxed);
+                    if linear >= total {
+                        break;
+                    }
+                    let record = run_slot(config, table3, Slot::from_linear(linear, per_group));
+                    if tx.send((linear, record)).is_err() {
+                        break; // collector gone — nothing left to do
+                    }
+                });
+            }
+            drop(tx);
+            // Collect on the caller's thread so `progress` needs no Sync.
+            let mut open = [per_group; NUM_GROUPS];
+            for (linear, record) in rx {
+                let group = linear / per_group;
+                slots[linear] = record;
+                open[group] -= 1;
+                if open[group] == 0 {
+                    progress(group);
+                }
+            }
+        });
     }
     SweepResult {
         config: *config,
-        records,
+        records: slots.into_iter().flatten().collect(),
     }
 }
 
@@ -207,6 +312,27 @@ mod tests {
 
     fn tiny_sweep() -> SweepResult {
         run_sweep(&SweepConfig::new(2, 3), |_| ())
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let sequential = run_sweep(&SweepConfig::new(2, 3).with_jobs(1), |_| ());
+        for jobs in [2, 4, 7] {
+            let parallel = run_sweep(&SweepConfig::new(2, 3).with_jobs(jobs), |_| ());
+            assert_eq!(
+                sequential.records, parallel.records,
+                "jobs={jobs} must reproduce the sequential records bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_group_exactly_once() {
+        for jobs in [1, 3] {
+            let mut seen = vec![0usize; NUM_GROUPS];
+            let _ = run_sweep(&SweepConfig::new(2, 2).with_jobs(jobs), |g| seen[g] += 1);
+            assert_eq!(seen, vec![1; NUM_GROUPS], "jobs={jobs}");
+        }
     }
 
     #[test]

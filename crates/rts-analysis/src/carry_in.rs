@@ -103,6 +103,83 @@ impl Iterator for CombinationsUpTo {
     }
 }
 
+/// In-place walker over all subsets of `{0, …, n−1}` of size *exactly*
+/// `k`, in lexicographic order.
+///
+/// Unlike [`CombinationsUpTo`] (which yields an owned `Vec<usize>` per
+/// subset), this walker advances a single index buffer and lends it out,
+/// so the exponential Eq. 8 enumeration performs no per-subset heap
+/// allocation. The Eq. 8 maximization visits sizes `k_max, …, 1, 0` in
+/// decreasing order so large carry-in sets — which usually dominate the
+/// maximum — establish the incumbent early for the branch-and-bound prune
+/// (see [`crate::semi::CarryInStrategy::Exhaustive`]).
+///
+/// # Examples
+///
+/// ```
+/// use rts_analysis::carry_in::SizedCombinations;
+///
+/// let mut walker = SizedCombinations::new(4, 2);
+/// let mut seen = Vec::new();
+/// while let Some(combo) = walker.next() {
+///     seen.push(combo.to_vec());
+/// }
+/// assert_eq!(seen.len(), 6); // C(4, 2)
+/// assert_eq!(seen[0], vec![0, 1]);
+/// assert_eq!(seen[5], vec![2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SizedCombinations {
+    n: usize,
+    k: usize,
+    current: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl SizedCombinations {
+    /// Creates the walker for size-`k` subsets of `{0, …, n−1}`. Yields
+    /// nothing if `k > n`; yields exactly the empty subset if `k == 0`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        SizedCombinations {
+            n,
+            k,
+            current: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
+    }
+
+    /// Advances to the next subset and lends it out; `None` when
+    /// exhausted. (Not an [`Iterator`]: the borrow is tied to `self`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.current);
+        }
+        // Find the rightmost index that can still move right.
+        let k = self.k;
+        let mut i = k;
+        while i > 0 {
+            i -= 1;
+            if self.current[i] < self.n - (k - i) {
+                self.current[i] += 1;
+                for j in i + 1..k {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                return Some(&self.current);
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +225,27 @@ mod tests {
         assert_eq!(CombinationsUpTo::count_total(4, 4), 16);
         let actual = CombinationsUpTo::new(6, 3).count();
         assert_eq!(actual as u128, CombinationsUpTo::count_total(6, 3));
+    }
+
+    #[test]
+    fn sized_walker_matches_owned_iterator() {
+        for n in 0..=7usize {
+            for k in 0..=n + 1 {
+                let owned: Vec<Vec<usize>> = CombinationsUpTo::new(n, k.min(n))
+                    .filter(|s| s.len() == k)
+                    .collect();
+                let mut walker = SizedCombinations::new(n, k);
+                let mut lent = Vec::new();
+                while let Some(combo) = walker.next() {
+                    lent.push(combo.to_vec());
+                }
+                if k > n {
+                    assert!(lent.is_empty(), "n={n} k={k}");
+                } else {
+                    assert_eq!(lent, owned, "n={n} k={k}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -181,40 +181,119 @@ impl Curve {
     }
 }
 
-/// Smallest `x ∈ [cs, limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`, where
-/// `Ω` is the sum of the capped curves — i.e. the least fixed point of
-/// Eq. 7 for a fixed carry-in assignment. `None` if it exceeds `limit`.
-pub(crate) fn min_crossing(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Option<u64> {
+/// Core segment walk shared by the fixed-assignment solvers: finds the
+/// smallest `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
+/// where `total(x)` evaluates the summed capped interference `Ω` as one
+/// [`Piece`]. Because the walk never jumps past a point satisfying the
+/// crossing condition (the in-segment closed form under-approximates the
+/// first crossing, and segment boundaries are never skipped), the result
+/// is exactly the least crossing at or above `start`.
+fn walk_crossing(
+    m: u64,
+    cs: u64,
+    start: u64,
+    limit: u64,
+    mut total: impl FnMut(u64) -> Piece,
+) -> Option<u64> {
     debug_assert!(m >= 1 && cs >= 1);
-    let mut x = cs;
+    let mut x = start.max(cs);
     loop {
         if x > limit {
             return None;
         }
-        let mut omega: u64 = 0;
-        let mut sigma: u64 = 0;
-        let mut next_bp: u64 = INF;
-        for curve in curves {
-            let p = curve.capped_piece(x, cs);
-            omega += p.value;
-            sigma += p.slope;
-            next_bp = next_bp.min(p.next_bp);
-        }
+        let p = total(x);
         let rhs = m * (x - cs) + (m - 1);
-        if omega <= rhs {
+        if p.value <= rhs {
             return Some(x);
         }
         // Inside the current affine segment, solve Ω + σδ ≤ m(x+δ−cs)+m−1.
-        let step = if sigma < m {
-            let need = omega - rhs; // > 0 here
-            let delta = need.div_ceil(m - sigma);
-            (x + delta).min(next_bp)
+        let step = if p.slope < m {
+            let need = p.value - rhs; // > 0 here
+            let delta = need.div_ceil(m - p.slope);
+            (x + delta).min(p.next_bp)
         } else {
-            next_bp
+            p.next_bp
         };
         debug_assert!(step > x, "solver must make progress");
         x = step;
     }
+}
+
+/// Smallest `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
+/// — i.e. the least fixed point of Eq. 7 for a fixed carry-in assignment;
+/// `None` if it exceeds `limit`. `Ω` sums the capped `groups` curves plus,
+/// for migrating task `i`, `pairs[i].1` (carry-in) when `is_ci[i]` and
+/// `pairs[i].0` (non-carry-in) otherwise. Selecting curves through the
+/// mask keeps the Eq. 8 enumeration allocation-free — no per-assignment
+/// curve vector is ever materialized.
+///
+/// `start` is a warm start: it must be a sound lower bound on the least
+/// crossing (e.g. the least crossing of a pointwise-smaller interference
+/// function, or simply `cs`), otherwise crossings below it are missed.
+pub(crate) fn min_crossing_masked(
+    groups: &[Curve],
+    pairs: &[(Curve, Curve)],
+    is_ci: &[bool],
+    m: u64,
+    cs: u64,
+    start: u64,
+    limit: u64,
+) -> Option<u64> {
+    debug_assert_eq!(pairs.len(), is_ci.len());
+    walk_crossing(m, cs, start, limit, |x| {
+        let mut total = Piece {
+            value: 0,
+            slope: 0,
+            next_bp: INF,
+        };
+        for curve in masked_curves(groups, pairs, is_ci) {
+            let p = curve.capped_piece(x, cs);
+            total.value += p.value;
+            total.slope += p.slope;
+            total.next_bp = total.next_bp.min(p.next_bp);
+        }
+        total
+    })
+}
+
+/// The curves one masked carry-in assignment sums into `Ω`: every pinned
+/// group plus, per migrating task, the CI curve where the mask is set and
+/// the NC curve otherwise. Single source of truth for the walk and the
+/// prune predicate — they must select identically or the prune would
+/// guard the wrong function.
+fn masked_curves<'a>(
+    groups: &'a [Curve],
+    pairs: &'a [(Curve, Curve)],
+    is_ci: &'a [bool],
+) -> impl Iterator<Item = &'a Curve> {
+    groups.iter().chain(
+        pairs
+            .iter()
+            .zip(is_ci)
+            .map(|((nc, ci), &carry)| if carry { ci } else { nc }),
+    )
+}
+
+/// Exact single-point test of the Eq. 7 crossing condition for a masked
+/// carry-in assignment: does `Ω(x) ≤ m·(x − cs) + (m − 1)` hold at `x`?
+///
+/// Used as the incumbent prune of the exhaustive Eq. 8 maximization: if
+/// the condition holds at the current incumbent `worst`, the assignment's
+/// least crossing is `≤ worst` and cannot raise the maximum, so the full
+/// segment walk for it can be skipped without changing the result.
+pub(crate) fn crossing_holds_at(
+    groups: &[Curve],
+    pairs: &[(Curve, Curve)],
+    is_ci: &[bool],
+    m: u64,
+    cs: u64,
+    x: u64,
+) -> bool {
+    debug_assert!(x >= cs);
+    let omega: u64 = masked_curves(groups, pairs, is_ci)
+        .map(|curve| curve.capped_piece(x, cs).value)
+        .sum();
+    omega <= m * (x - cs) + (m - 1)
 }
 
 /// Smallest validated crossing for the top-difference interference bound
@@ -224,18 +303,21 @@ pub(crate) fn min_crossing(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Opt
 /// task; `groups` the pinned per-core groups. Candidates predicted from
 /// the current selection's slopes are always re-validated by exact
 /// evaluation, so the returned point genuinely satisfies the crossing
-/// condition (soundness does not depend on the prediction).
+/// condition (soundness does not depend on the prediction). `start` warm
+/// starts the walk; it must be a sound lower bound on the least crossing
+/// (pass `cs` when none is known).
 pub(crate) fn min_crossing_topdiff(
     groups: &[Curve],
     pairs: &[(Curve, Curve)],
     m: u64,
     cs: u64,
+    start: u64,
     limit: u64,
 ) -> Option<u64> {
     debug_assert!(m >= 1 && cs >= 1);
     let take = (m - 1) as usize;
     let mut diffs: Vec<(i64, i64)> = Vec::with_capacity(pairs.len());
-    let mut x = cs;
+    let mut x = start.max(cs);
     loop {
         if x > limit {
             return None;
@@ -411,7 +493,7 @@ mod tests {
             (vec![], 3, 7),
         ];
         for (curves, m, cs) in cases {
-            let fast = min_crossing(&curves, m, cs, 100_000);
+            let fast = min_crossing_masked(&curves, &[], &[], m, cs, cs, 100_000);
             let naive = naive_crossing(&curves, m, cs, 100_000);
             assert_eq!(fast, naive, "curves {curves:?} m={m} cs={cs}");
         }
@@ -430,7 +512,7 @@ mod tests {
             },
         ];
         let cs = 10_684;
-        let fast = min_crossing(&curves, 2, cs, 1_000_000);
+        let fast = min_crossing_masked(&curves, &[], &[], 2, cs, cs, 1_000_000);
         let naive = naive_crossing(&curves, 2, cs, 1_000_000);
         assert_eq!(fast, naive);
         assert!(fast.is_some());
@@ -441,7 +523,10 @@ mod tests {
         let curves = vec![Curve::Group {
             tasks: vec![(10, 10)],
         }];
-        assert_eq!(min_crossing(&curves, 1, 1, 50_000), None);
+        assert_eq!(
+            min_crossing_masked(&curves, &[], &[], 1, 1, 1, 50_000),
+            None
+        );
     }
 
     #[test]
@@ -455,8 +540,16 @@ mod tests {
                 x_bar: 1,
             },
         )];
-        let td = min_crossing_topdiff(&[], &pairs, 1, 3, 10_000);
-        let nc_only = min_crossing(&[Curve::Nc { wcet: 2, period: 6 }], 1, 3, 10_000);
+        let td = min_crossing_topdiff(&[], &pairs, 1, 3, 3, 10_000);
+        let nc_only = min_crossing_masked(
+            &[Curve::Nc { wcet: 2, period: 6 }],
+            &[],
+            &[],
+            1,
+            3,
+            3,
+            10_000,
+        );
         assert_eq!(td, nc_only);
     }
 }

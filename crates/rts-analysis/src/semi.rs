@@ -22,11 +22,38 @@
 //! The same machinery covers **global** fixed-priority scheduling (the
 //! paper's GLOBAL-TMax baseline): leave the pinned groups empty and make
 //! every higher-priority task migrating.
+//!
+//! # Performance invariants
+//!
+//! [`Environment`] caches every workload curve eagerly: `pin` folds the
+//! task into its core's Eq. 2/3 group curve, `add_migrating` stores the
+//! task's Eq. 2/4 `(NC, CI)` pair, and `truncate_migrating` rolls
+//! migrating tasks back — so [`Environment::response_time`] touches no
+//! heap state beyond a per-call carry-in mask. None of this changes the
+//! computed values: curves are pure functions of the registered tasks,
+//! and the solvers read the cache exactly where they previously rebuilt
+//! it.
+//!
+//! Two further exact optimizations serve the period-selection hot loop:
+//!
+//! * **Warm starts** ([`Environment::response_time_with_floor`]): Eqs.
+//!   2–5 are pointwise monotone in the higher-priority demand (shrinking
+//!   any period, or adding a task, never lowers interference at any
+//!   window length), so a response time computed under weaker
+//!   interference lower-bounds the current one and the Eq. 7 walk may
+//!   begin there instead of at `C_s`.
+//! * **Incumbent pruning** (Exhaustive): an Eq. 8 assignment whose
+//!   crossing condition already holds at the incumbent maximum has its
+//!   least fixed point at or below that incumbent and is skipped after a
+//!   single evaluation; assignments are visited in decreasing carry-in
+//!   cardinality so the incumbent peaks early. The surviving walks are
+//!   unchanged, hence the maximum — and every returned `Duration` — is
+//!   identical to the literal enumeration.
 
 use rts_model::time::Duration;
 
-use crate::carry_in::CombinationsUpTo;
-use crate::crossing::{min_crossing, min_crossing_topdiff, Curve};
+use crate::carry_in::SizedCombinations;
+use crate::crossing::{crossing_holds_at, min_crossing_masked, min_crossing_topdiff, Curve};
 use crate::uniproc::HpTask;
 
 /// A higher-priority *migrating* task as seen by the analysis: its WCET,
@@ -87,6 +114,15 @@ impl MigratingHp {
 /// The complete higher-priority environment of one migrating task under
 /// analysis: pinned tasks grouped per core plus migrating tasks.
 ///
+/// The workload curves consumed by the fixed-point solvers (the per-core
+/// Eq. 2/3 group curves and each migrating task's Eq. 2/4 pair) are
+/// materialized *eagerly* as tasks are registered and kept in sync by
+/// [`Environment::pin`], [`Environment::add_migrating`] and
+/// [`Environment::truncate_migrating`] — the only mutators — so
+/// [`Environment::response_time`] never rebuilds workload state. This is
+/// what makes one environment cheaply reusable across the thousands of
+/// fixed points a period-selection run solves.
+///
 /// # Examples
 ///
 /// ```
@@ -102,11 +138,28 @@ impl MigratingHp {
 /// let r = env.response_time(t(4), t(100), CarryInStrategy::Exhaustive);
 /// assert!(r.is_some());
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Environment {
     per_core_pinned: Vec<Vec<HpTask>>,
     migrating: Vec<MigratingHp>,
+    /// Cached Eq. 2/3 curve per *non-empty* core, maintained by `pin`.
+    group_curves: Vec<Curve>,
+    /// Core index → slot in `group_curves` (`None` for empty cores).
+    core_slot: Vec<Option<usize>>,
+    /// Cached `(NC, CI)` curve pair per migrating task, index-aligned
+    /// with `migrating`; maintained by `add_migrating`.
+    pairs: Vec<(Curve, Curve)>,
 }
+
+/// Equality is defined over the registered tasks only — the cached curves
+/// are a pure function of them.
+impl PartialEq for Environment {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_core_pinned == other.per_core_pinned && self.migrating == other.migrating
+    }
+}
+
+impl Eq for Environment {}
 
 /// How the Eq. 8 maximization over carry-in assignments is carried out.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -139,6 +192,9 @@ impl Environment {
         Environment {
             per_core_pinned: vec![Vec::new(); num_cores],
             migrating: Vec::new(),
+            group_curves: Vec::new(),
+            core_slot: vec![None; num_cores],
+            pairs: Vec::new(),
         }
     }
 
@@ -148,19 +204,53 @@ impl Environment {
         self.per_core_pinned.len()
     }
 
-    /// Adds a pinned higher-priority task to `core`.
+    /// Adds a pinned higher-priority task to `core`, updating the cached
+    /// per-core group curve in place.
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
     pub fn pin(&mut self, core: usize, task: HpTask) -> &mut Self {
         self.per_core_pinned[core].push(task);
+        let entry = (task.wcet.as_ticks(), task.period.as_ticks());
+        match self.core_slot[core] {
+            Some(slot) => {
+                let Curve::Group { tasks } = &mut self.group_curves[slot] else {
+                    unreachable!("core slots always point at group curves");
+                };
+                tasks.push(entry);
+            }
+            None => {
+                self.core_slot[core] = Some(self.group_curves.len());
+                self.group_curves.push(Curve::Group { tasks: vec![entry] });
+            }
+        }
         self
     }
 
-    /// Adds a higher-priority migrating task.
+    /// Adds a higher-priority migrating task, caching its Eq. 2/4 curve
+    /// pair.
     pub fn add_migrating(&mut self, task: MigratingHp) -> &mut Self {
+        self.pairs.push((task.nc_curve(), task.ci_curve()));
         self.migrating.push(task);
+        self
+    }
+
+    /// Number of registered migrating tasks.
+    #[must_use]
+    pub fn migrating_len(&self) -> usize {
+        self.migrating.len()
+    }
+
+    /// Drops every migrating task beyond the first `len`, keeping the
+    /// pinned environment intact. Together with [`Environment::add_migrating`]
+    /// this lets period-selection probe loops push candidate tasks onto
+    /// one shared environment and roll them back, instead of cloning the
+    /// whole cascade per probe. A `len` beyond the current count is a
+    /// no-op.
+    pub fn truncate_migrating(&mut self, len: usize) -> &mut Self {
+        self.migrating.truncate(len);
+        self.pairs.truncate(len);
         self
     }
 
@@ -180,21 +270,6 @@ impl Environment {
         &self.per_core_pinned[core]
     }
 
-    /// The pinned per-core workload curves (empty cores contribute
-    /// nothing and are skipped).
-    fn group_curves(&self) -> Vec<Curve> {
-        self.per_core_pinned
-            .iter()
-            .filter(|tasks| !tasks.is_empty())
-            .map(|tasks| Curve::Group {
-                tasks: tasks
-                    .iter()
-                    .map(|t| (t.wcet.as_ticks(), t.period.as_ticks()))
-                    .collect(),
-            })
-            .collect()
-    }
-
     /// Worst-case response time of a migrating task with WCET `wcet`
     /// against this environment (paper Eqs. 6–8).
     ///
@@ -211,44 +286,100 @@ impl Environment {
         limit: Duration,
         strategy: CarryInStrategy,
     ) -> Option<Duration> {
+        self.response_time_with_floor(wcet, wcet, limit, strategy)
+    }
+
+    /// [`Environment::response_time`] with a warm start: the Eq. 7 fixed
+    /// points are solved from `floor` upward instead of from `wcet`.
+    ///
+    /// `floor` must be a *sound lower bound* on the response time being
+    /// computed — e.g. a response time previously obtained for the same
+    /// task under pointwise smaller interference (longer higher-priority
+    /// periods, fewer higher-priority tasks). Interference monotonicity
+    /// then guarantees the true least fixed point lies at or above
+    /// `floor`, so the warm-started walk returns exactly the same value
+    /// as the cold one while skipping the segments below `floor`.
+    /// Passing `floor = wcet` (or anything smaller) reproduces
+    /// [`Environment::response_time`] verbatim.
+    ///
+    /// Only the [`CarryInStrategy::TopDiff`] solver consumes the hint:
+    /// its interference bound is one monotone function whose least
+    /// crossing the floor provably under-approximates. Under
+    /// [`CarryInStrategy::Exhaustive`] the floor bounds the Eq. 8
+    /// *maximum*, not each individual assignment's fixed point, so the
+    /// per-assignment walks ignore it (warm-starting them could skip an
+    /// assignment's true crossing and corrupt the maximum); Exhaustive
+    /// relies on the incumbent prune instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcet` is zero.
+    #[must_use]
+    pub fn response_time_with_floor(
+        &self,
+        wcet: Duration,
+        floor: Duration,
+        limit: Duration,
+        strategy: CarryInStrategy,
+    ) -> Option<Duration> {
         assert!(
             !wcet.is_zero(),
             "task under analysis must have positive WCET"
         );
         let m = self.num_cores() as u64;
         let cs = wcet.as_ticks();
+        let start = floor.as_ticks().max(cs);
         let lim = limit.as_ticks();
-        let groups = self.group_curves();
         match strategy {
             CarryInStrategy::TopDiff => {
-                let pairs: Vec<(Curve, Curve)> = self
-                    .migrating
-                    .iter()
-                    .map(|t| (t.nc_curve(), t.ci_curve()))
-                    .collect();
-                min_crossing_topdiff(&groups, &pairs, m, cs, lim).map(Duration::from_ticks)
+                min_crossing_topdiff(&self.group_curves, &self.pairs, m, cs, start, lim)
+                    .map(Duration::from_ticks)
             }
             CarryInStrategy::Exhaustive => {
                 let n = self.migrating.len();
                 let k_max = self.num_cores().saturating_sub(1).min(n);
-                let mut worst = 0u64;
-                let mut curves: Vec<Curve> = Vec::with_capacity(groups.len() + n);
-                for combo in CombinationsUpTo::new(n, k_max) {
-                    curves.clear();
-                    curves.extend(groups.iter().cloned());
-                    let mut is_ci = vec![false; n];
-                    for &i in &combo {
-                        is_ci[i] = true;
+                let mut is_ci = vec![false; n];
+                // The all-non-carry-in assignment seeds the incumbent.
+                let mut worst =
+                    min_crossing_masked(&self.group_curves, &self.pairs, &is_ci, m, cs, cs, lim)?;
+                // Decreasing cardinality: large carry-in sets usually
+                // dominate Eq. 8, so the incumbent grows early and the
+                // single-point prune below kills most of the remaining
+                // assignments without a fixed-point walk.
+                for k in (1..=k_max).rev() {
+                    let mut combos = SizedCombinations::new(n, k);
+                    while let Some(combo) = combos.next() {
+                        for &i in combo {
+                            is_ci[i] = true;
+                        }
+                        // Incumbent prune: if the crossing condition
+                        // already holds at `worst`, this assignment's
+                        // least fixed point is ≤ worst and cannot raise
+                        // the Eq. 8 maximum — skip its solve entirely.
+                        // (Exact: the maximum is unchanged either way.)
+                        // The converse does NOT hold — the condition is
+                        // not upward-closed in x (Ω segments can outpace
+                        // the m-sloped rhs), so a failure at `worst` says
+                        // nothing about crossings below it and the
+                        // surviving walk must start from `cs`, not from
+                        // the incumbent.
+                        if !crossing_holds_at(&self.group_curves, &self.pairs, &is_ci, m, cs, worst)
+                        {
+                            let r = min_crossing_masked(
+                                &self.group_curves,
+                                &self.pairs,
+                                &is_ci,
+                                m,
+                                cs,
+                                cs,
+                                lim,
+                            )?;
+                            worst = worst.max(r);
+                        }
+                        for &i in combo {
+                            is_ci[i] = false;
+                        }
                     }
-                    for (i, task) in self.migrating.iter().enumerate() {
-                        curves.push(if is_ci[i] {
-                            task.ci_curve()
-                        } else {
-                            task.nc_curve()
-                        });
-                    }
-                    let r = min_crossing(&curves, m, cs, lim)?;
-                    worst = worst.max(r);
                 }
                 Some(Duration::from_ticks(worst))
             }
@@ -259,6 +390,7 @@ impl Environment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::carry_in::CombinationsUpTo;
     use crate::interference::cap;
     use crate::uniproc;
     use crate::workload::{carry_in, non_carry_in};

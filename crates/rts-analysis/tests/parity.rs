@@ -1,0 +1,262 @@
+//! Parity regression battery: the optimized analysis core (cached
+//! curves, allocation-free masked solving, incumbent-pruned Eq. 8
+//! enumeration, warm-started fixed points) must return *identical*
+//! `Duration`s to the seed semantics — the textbook Eq. 6–8 iteration —
+//! on a seeded population of random environments, for both
+//! [`CarryInStrategy`] variants. Any divergence means accuracy was
+//! traded for speed, which this repo forbids.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rts_analysis::carry_in::CombinationsUpTo;
+use rts_analysis::interference::cap;
+use rts_analysis::semi::{CarryInStrategy, Environment, MigratingHp};
+use rts_analysis::uniproc::HpTask;
+use rts_analysis::workload::{carry_in, non_carry_in};
+use rts_model::time::Duration;
+
+fn t(v: u64) -> Duration {
+    Duration::from_ticks(v)
+}
+
+/// One random analysis scenario.
+struct Scenario {
+    num_cores: usize,
+    pinned: Vec<Vec<HpTask>>,
+    migrating: Vec<MigratingHp>,
+    wcet: Duration,
+    limit: Duration,
+}
+
+impl Scenario {
+    fn random(rng: &mut StdRng) -> Self {
+        let num_cores = rng.gen_range(1usize..=4);
+        let pinned: Vec<Vec<HpTask>> = (0..num_cores)
+            .map(|_| {
+                (0..rng.gen_range(0usize..=3))
+                    .map(|_| {
+                        let period = rng.gen_range(5u64..=60);
+                        let wcet = rng.gen_range(1u64..=period.min(25));
+                        HpTask::new(t(wcet), t(period))
+                    })
+                    .collect()
+            })
+            .collect();
+        // Any R ≤ T is a semantically valid carry-in input (the analysis
+        // does not require R to be a fixed point of anything), so random
+        // response times exercise the x̄ offsets far more broadly than
+        // honestly computed ones would.
+        let migrating: Vec<MigratingHp> = (0..rng.gen_range(0usize..=4))
+            .map(|_| {
+                let period = rng.gen_range(8u64..=80);
+                let wcet = rng.gen_range(1u64..=period.min(20));
+                let response = rng.gen_range(wcet..=period);
+                MigratingHp::new(t(wcet), t(period), t(response))
+            })
+            .collect();
+        Scenario {
+            num_cores,
+            pinned,
+            migrating,
+            wcet: t(rng.gen_range(1u64..=25)),
+            limit: t(rng.gen_range(20u64..=2500)),
+        }
+    }
+
+    fn environment(&self) -> Environment {
+        let mut env = Environment::new(self.num_cores);
+        for (core, tasks) in self.pinned.iter().enumerate() {
+            for &task in tasks {
+                env.pin(core, task);
+            }
+        }
+        for &task in &self.migrating {
+            env.add_migrating(task);
+        }
+        env
+    }
+
+    /// Textbook Eq. 6/7 orbit for a fixed carry-in mask — the seed
+    /// reference semantics, deliberately naive.
+    fn naive_fixed(&self, mask: &[bool]) -> Option<Duration> {
+        let m = self.num_cores as u64;
+        let mut x = self.wcet;
+        loop {
+            if x > self.limit {
+                return None;
+            }
+            let rt_part: Duration = self
+                .pinned
+                .iter()
+                .map(|core_tasks| {
+                    let w: Duration = core_tasks
+                        .iter()
+                        .map(|task| non_carry_in(task.wcet, task.period, x))
+                        .sum();
+                    cap(w, x, self.wcet)
+                })
+                .sum();
+            let sec_part: Duration = self
+                .migrating
+                .iter()
+                .zip(mask)
+                .map(|(task, &ci)| {
+                    let w = if ci {
+                        carry_in(task.wcet, task.period, task.response_time, x)
+                    } else {
+                        non_carry_in(task.wcet, task.period, x)
+                    };
+                    cap(w, x, self.wcet)
+                })
+                .sum();
+            let next = (rt_part + sec_part) / m + self.wcet;
+            if next <= x {
+                return Some(x);
+            }
+            x = next;
+        }
+    }
+
+    /// Eq. 8 by brute force: the maximum of the naive orbit over every
+    /// admissible carry-in assignment.
+    fn naive_exhaustive(&self) -> Option<Duration> {
+        let n = self.migrating.len();
+        let k_max = self.num_cores.saturating_sub(1).min(n);
+        let mut worst = Duration::ZERO;
+        for combo in CombinationsUpTo::new(n, k_max) {
+            let mut mask = vec![false; n];
+            for &i in &combo {
+                mask[i] = true;
+            }
+            worst = worst.max(self.naive_fixed(&mask)?);
+        }
+        Some(worst)
+    }
+
+    /// Textbook orbit of the Guan-style top-difference bound: at every
+    /// point charge each migrating task its non-carry-in interference
+    /// plus the `M − 1` largest positive `I^CI − I^NC` differences.
+    fn naive_topdiff(&self) -> Option<Duration> {
+        let m = self.num_cores as u64;
+        let take = self.num_cores - 1;
+        let mut x = self.wcet;
+        loop {
+            if x > self.limit {
+                return None;
+            }
+            let rt_part: Duration = self
+                .pinned
+                .iter()
+                .map(|core_tasks| {
+                    let w: Duration = core_tasks
+                        .iter()
+                        .map(|task| non_carry_in(task.wcet, task.period, x))
+                        .sum();
+                    cap(w, x, self.wcet)
+                })
+                .sum();
+            let mut nc_sum = Duration::ZERO;
+            let mut diffs: Vec<Duration> = Vec::new();
+            for task in &self.migrating {
+                let nc = cap(non_carry_in(task.wcet, task.period, x), x, self.wcet);
+                let ci = cap(
+                    carry_in(task.wcet, task.period, task.response_time, x),
+                    x,
+                    self.wcet,
+                );
+                nc_sum += nc;
+                if ci > nc {
+                    diffs.push(ci - nc);
+                }
+            }
+            diffs.sort_unstable_by(|a, b| b.cmp(a));
+            let diff_sum: Duration = diffs.into_iter().take(take).sum();
+            let next = (rt_part + nc_sum + diff_sum) / m + self.wcet;
+            if next <= x {
+                return Some(x);
+            }
+            x = next;
+        }
+    }
+}
+
+#[test]
+fn exhaustive_matches_seed_semantics_on_random_battery() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for trial in 0..200 {
+        let scenario = Scenario::random(&mut rng);
+        let env = scenario.environment();
+        let fast = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::Exhaustive);
+        let naive = scenario.naive_exhaustive();
+        assert_eq!(
+            fast, naive,
+            "trial {trial}: Exhaustive diverged (M={}, {} pinned cores, {} migrating, C={:?}, L={:?})",
+            scenario.num_cores,
+            scenario.pinned.len(),
+            scenario.migrating.len(),
+            scenario.wcet,
+            scenario.limit
+        );
+    }
+}
+
+#[test]
+fn topdiff_matches_seed_semantics_on_random_battery() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for trial in 0..200 {
+        let scenario = Scenario::random(&mut rng);
+        let env = scenario.environment();
+        let fast = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::TopDiff);
+        let naive = scenario.naive_topdiff();
+        assert_eq!(fast, naive, "trial {trial}: TopDiff diverged");
+    }
+}
+
+#[test]
+fn warm_started_fixed_points_change_nothing() {
+    // A floor at or below the true response time must reproduce it
+    // exactly — including the extreme floor equal to the answer itself.
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for _ in 0..100 {
+        let scenario = Scenario::random(&mut rng);
+        let env = scenario.environment();
+        for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+            let cold = env.response_time(scenario.wcet, scenario.limit, strategy);
+            if let Some(r) = cold {
+                for floor in [
+                    scenario.wcet,
+                    t(scenario.wcet.as_ticks() + (r - scenario.wcet).as_ticks() / 2),
+                    r,
+                ] {
+                    let warm = env.response_time_with_floor(
+                        scenario.wcet,
+                        floor,
+                        scenario.limit,
+                        strategy,
+                    );
+                    assert_eq!(warm, Some(r), "floor {floor:?} perturbed the result");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncate_migrating_restores_prior_results() {
+    // A probe push + rollback must leave the environment answering
+    // exactly as before — the invariant the period-selection loop's
+    // clone-free probing rests on.
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for _ in 0..100 {
+        let scenario = Scenario::random(&mut rng);
+        let mut env = scenario.environment();
+        let before = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::TopDiff);
+        let len = env.migrating_len();
+        env.add_migrating(MigratingHp::new(t(3), t(40), t(11)));
+        env.add_migrating(MigratingHp::new(t(1), t(9), t(2)));
+        env.truncate_migrating(len);
+        assert_eq!(env, scenario.environment());
+        let after = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::TopDiff);
+        assert_eq!(before, after);
+    }
+}
