@@ -1,0 +1,416 @@
+//! Incremental re-selection: Algorithm 1 as a *query*, not a batch job.
+//!
+//! An online admission service re-runs period selection every time a
+//! tenant's security workload changes — a monitor arrives or departs, a
+//! WCET is re-profiled, a reactive monitor escalates or calms down. Two
+//! observations make that cheap without giving up one bit of exactness:
+//!
+//! 1. **The RT side is immutable per tenant.** The legacy RT tasks and
+//!    their partition never change at runtime (that is the paper's
+//!    framing: security is integrated *around* a frozen legacy system).
+//!    So the RT interference environment ([`rt_environment`]) and the
+//!    Eq. 1 precondition are computed once and reused for every request
+//!    via [`select_periods_with_env`].
+//! 2. **Security configurations recur.** A reactive monitor oscillates
+//!    between Passive and Active; each flip re-visits a configuration
+//!    that was already admitted before. Memoizing selection outcomes by a
+//!    *fingerprint* of the security configuration turns the steady-state
+//!    mode churn into constant-time lookups, with full Algorithm 1 runs
+//!    only on genuinely new configurations.
+//!
+//! # The parity guarantee
+//!
+//! Every answer an [`IncrementalSelector`] produces is **bit-identical**
+//! to a from-scratch [`select_periods`](crate::select_periods) run on the
+//! equivalent [`System`]. This is a guarantee by construction, not by
+//! testing alone:
+//!
+//! * cache misses execute the *same* code path a fresh run would
+//!   (`select_periods_with_env` over an environment equal to a freshly
+//!   built one — [`Environment`] equality is defined over the registered
+//!   tasks, and selection runs leave the environment migrating-free);
+//! * cache hits return a stored miss result verbatim;
+//! * the memo key is the **exact** configuration — every `(C_s, T^max_s)`
+//!   tick pair in priority order ([`SecFingerprint`]) — so two
+//!   configurations collide only if they are equal, in which case
+//!   Algorithm 1 is a pure function of the key.
+//!
+//! The `rts-adapt` crate's seeded parity battery asserts this end to end
+//! for both carry-in strategies.
+
+use std::collections::HashMap;
+
+use rts_analysis::semi::{CarryInStrategy, Environment};
+use rts_model::{SecurityTaskSet, System};
+
+use crate::error::SelectionError;
+use crate::period_selection::{rt_environment, select_periods_with_env, PeriodSelection};
+
+/// The exact identity of a security configuration: the `(C_s, T^max_s)`
+/// tick pairs in priority order.
+///
+/// This is the memo key of [`IncrementalSelector`]. Because it carries
+/// the full configuration (not a lossy hash), distinct configurations can
+/// never alias a cache entry; [`SecFingerprint::digest`] additionally
+/// offers a 64-bit FNV-1a digest for wire protocols and logs, where a
+/// compact correlation token is wanted and collisions are harmless.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SecFingerprint(Vec<(u64, u64)>);
+
+impl SecFingerprint {
+    /// Fingerprints `sec` (WCET and `T^max` ticks per task, in priority
+    /// order).
+    #[must_use]
+    pub fn of(sec: &SecurityTaskSet) -> Self {
+        SecFingerprint(
+            sec.iter()
+                .map(|t| (t.wcet().as_ticks(), t.t_max().as_ticks()))
+                .collect(),
+        )
+    }
+
+    /// Number of security tasks in the fingerprinted configuration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the configuration is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// 64-bit FNV-1a digest of the configuration — a compact, stable
+    /// correlation token (for responses and logs; the memo itself is
+    /// keyed by the exact configuration, never by this digest).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &(c, t) in &self.0 {
+            for byte in c.to_le_bytes().into_iter().chain(t.to_le_bytes()) {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+}
+
+/// Per-tenant memo size bound: at this many distinct configurations the
+/// memo is flushed before the next insert, keeping a long-running
+/// service's memory bounded no matter how many fresh fingerprints a
+/// WCET-re-profiling stream mints (≈ a few hundred bytes per entry, so
+/// ~1 MiB worst case per tenant).
+const MEMO_CAPACITY: usize = 4096;
+
+/// Cache statistics of one [`IncrementalSelector`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemoStats {
+    /// Requests answered from the memo.
+    pub hits: u64,
+    /// Requests that ran Algorithm 1.
+    pub misses: u64,
+    /// Distinct configurations currently cached.
+    pub entries: usize,
+    /// Times the memo hit [`MEMO_CAPACITY`] and was flushed.
+    pub flushes: u64,
+}
+
+impl MemoStats {
+    /// Fraction of requests answered from the memo, in `[0, 1]`
+    /// (`0` before any request).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A per-tenant Algorithm 1 query engine: fixed RT side, memoized
+/// selection over changing security task sets.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_core::incremental::IncrementalSelector;
+/// use hydra_core::select_periods;
+/// use rts_analysis::semi::CarryInStrategy;
+/// use rts_model::prelude::*;
+///
+/// let platform = Platform::dual_core();
+/// let rt = RtTaskSet::new_rate_monotonic(vec![
+///     RtTask::new(Duration::from_ms(240), Duration::from_ms(500))?,
+///     RtTask::new(Duration::from_ms(1120), Duration::from_ms(5000))?,
+/// ]);
+/// let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)])?;
+/// let sec = SecurityTaskSet::new(vec![
+///     SecurityTask::new(Duration::from_ms(5342), Duration::from_ms(10_000))?,
+/// ]);
+/// let system = System::new(platform, rt, partition, sec.clone())?;
+///
+/// let mut selector = IncrementalSelector::new(&system, CarryInStrategy::Exhaustive);
+/// let incremental = selector.select(&sec)?;
+/// let from_scratch = select_periods(&system, CarryInStrategy::Exhaustive)?;
+/// assert_eq!(incremental, from_scratch); // the parity guarantee
+/// assert_eq!(selector.stats().misses, 1);
+/// let again = selector.select(&sec)?;    // memo hit, same answer
+/// assert_eq!(again, from_scratch);
+/// assert_eq!(selector.stats().hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalSelector {
+    env: Environment,
+    rt_ok: bool,
+    strategy: CarryInStrategy,
+    memo: HashMap<SecFingerprint, Result<PeriodSelection, SelectionError>>,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl IncrementalSelector {
+    /// Builds the selector for `system`'s platform, RT tasks and
+    /// partition (its security task set is irrelevant here — pass each
+    /// configuration to [`IncrementalSelector::select`]). The RT
+    /// environment and the Eq. 1 precondition are evaluated once, now.
+    #[must_use]
+    pub fn new(system: &System, strategy: CarryInStrategy) -> Self {
+        IncrementalSelector {
+            env: rt_environment(system),
+            rt_ok: rts_analysis::rt_schedulable(system),
+            strategy,
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Whether the frozen RT side passed Eq. 1. When `false`, every
+    /// [`IncrementalSelector::select`] call reports
+    /// [`SelectionError::RtUnschedulable`], exactly like
+    /// [`select_periods`](crate::select_periods) would.
+    #[must_use]
+    pub fn rt_schedulable(&self) -> bool {
+        self.rt_ok
+    }
+
+    /// The carry-in strategy every selection runs under.
+    #[must_use]
+    pub fn strategy(&self) -> CarryInStrategy {
+        self.strategy
+    }
+
+    /// Algorithm 1 for `sec` against the tenant's RT side — memoized,
+    /// with the module-level parity guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`select_periods`](crate::select_periods) errors for
+    /// the equivalent system (rejections are memoized too: re-asking
+    /// about a known-infeasible configuration is also a cache hit).
+    pub fn select(&mut self, sec: &SecurityTaskSet) -> Result<PeriodSelection, SelectionError> {
+        if !self.rt_ok {
+            return Err(SelectionError::RtUnschedulable);
+        }
+        let fingerprint = SecFingerprint::of(sec);
+        if let Some(cached) = self.memo.get(&fingerprint) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let result = select_periods_with_env(sec, &mut self.env, self.strategy);
+        // Bound the memo: a long-running tenant whose WCETs are
+        // re-profiled forever mints unboundedly many fingerprints, and an
+        // unbounded map would grow the service's memory without limit.
+        // Flushing wholesale is correct (entries are pure functions of
+        // the key) and the steady-state working set — the mode hypercube
+        // of the current monitor table — re-warms within a few misses.
+        if self.memo.len() >= MEMO_CAPACITY {
+            self.memo.clear();
+            self.flushes += 1;
+        }
+        self.memo.insert(fingerprint, result.clone());
+        result
+    }
+
+    /// Memo statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.memo.len(),
+            flushes: self.flushes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select_periods;
+    use rts_model::time::Duration;
+    use rts_model::{
+        CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTask, SecurityTaskSet,
+    };
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover() -> System {
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(240), ms(500)).unwrap(),
+            RtTask::new(ms(1120), ms(5000)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+        ]);
+        System::new(platform, rt, partition, sec).unwrap()
+    }
+
+    fn with_security(base: &System, sec: SecurityTaskSet) -> System {
+        System::new(
+            base.platform(),
+            base.rt_tasks().clone(),
+            base.partition().clone(),
+            sec,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_from_scratch_across_reconfigurations() {
+        let base = rover();
+        for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+            let mut selector = IncrementalSelector::new(&base, strategy);
+            let configs = [
+                vec![(5342, 10_000), (223, 10_000)],
+                vec![(223, 10_000)],
+                vec![(5342, 10_000), (223, 10_000), (90, 2000)],
+                vec![(5342, 10_000), (223, 10_000)], // revisit: memo hit
+            ];
+            for (i, cfg) in configs.iter().enumerate() {
+                let sec = SecurityTaskSet::new(
+                    cfg.iter()
+                        .map(|&(c, t)| SecurityTask::new(ms(c), ms(t)).unwrap())
+                        .collect(),
+                );
+                let incremental = selector.select(&sec);
+                let scratch = select_periods(&with_security(&base, sec), strategy);
+                assert_eq!(incremental, scratch, "config {i}, {strategy:?}");
+            }
+            let stats = selector.stats();
+            assert_eq!((stats.hits, stats.misses), (1, 3), "{strategy:?}");
+            assert_eq!(stats.entries, 3);
+        }
+    }
+
+    #[test]
+    fn rejections_are_memoized_and_exact() {
+        let base = rover();
+        let mut selector = IncrementalSelector::new(&base, CarryInStrategy::TopDiff);
+        // Oversubscribed: the second task cannot fit.
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+            SecurityTask::new(ms(9000), ms(10_000)).unwrap(),
+        ]);
+        let expected = select_periods(&with_security(&base, sec.clone()), CarryInStrategy::TopDiff);
+        assert!(expected.is_err());
+        assert_eq!(selector.select(&sec), expected);
+        assert_eq!(selector.select(&sec), expected);
+        let stats = selector.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A rejection leaves the environment clean: a feasible config
+        // still gets the from-scratch answer afterwards.
+        let ok = SecurityTaskSet::new(vec![SecurityTask::new(ms(223), ms(10_000)).unwrap()]);
+        assert_eq!(
+            selector.select(&ok),
+            select_periods(&with_security(&base, ok.clone()), CarryInStrategy::TopDiff)
+        );
+    }
+
+    #[test]
+    fn rt_infeasible_tenant_always_rejects() {
+        let platform = Platform::uniprocessor();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(6), ms(10)).unwrap(),
+            RtTask::new(ms(5), ms(10)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(0)]).unwrap();
+        let sys = System::new(platform, rt, partition, SecurityTaskSet::default()).unwrap();
+        let mut selector = IncrementalSelector::new(&sys, CarryInStrategy::TopDiff);
+        assert!(!selector.rt_schedulable());
+        let sec = SecurityTaskSet::new(vec![SecurityTask::new(ms(1), ms(100)).unwrap()]);
+        assert_eq!(selector.select(&sec), Err(SelectionError::RtUnschedulable));
+        assert_eq!(selector.stats().misses, 0, "no Algorithm 1 run needed");
+    }
+
+    #[test]
+    fn fingerprint_is_exact_and_digest_is_stable() {
+        let a = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(10), ms(100)).unwrap(),
+            SecurityTask::new(ms(20), ms(200)).unwrap(),
+        ]);
+        // Same multiset, different priority order: different config.
+        let b = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(20), ms(200)).unwrap(),
+            SecurityTask::new(ms(10), ms(100)).unwrap(),
+        ]);
+        let fa = SecFingerprint::of(&a);
+        let fb = SecFingerprint::of(&b);
+        assert_ne!(fa, fb);
+        assert_eq!(fa, SecFingerprint::of(&a));
+        assert_eq!(fa.digest(), SecFingerprint::of(&a).digest());
+        assert_ne!(fa.digest(), fb.digest());
+        assert_eq!(fa.len(), 2);
+        assert!(!fa.is_empty());
+        assert!(SecFingerprint::of(&SecurityTaskSet::default()).is_empty());
+    }
+
+    #[test]
+    fn memo_is_bounded_by_capacity_flushes() {
+        let base = rover();
+        let mut selector = IncrementalSelector::new(&base, CarryInStrategy::TopDiff);
+        // A WCET-re-profiling stream: every configuration is fresh, so
+        // without the flush the memo would reach 2 × MEMO_CAPACITY.
+        for wcet_ticks in 1..=(2 * MEMO_CAPACITY as u64) {
+            let sec = SecurityTaskSet::new(vec![SecurityTask::new(
+                Duration::from_ticks(wcet_ticks),
+                ms(10_000),
+            )
+            .unwrap()]);
+            let incremental = selector.select(&sec);
+            // Spot-check parity across a flush boundary.
+            if wcet_ticks % 1024 == 0 {
+                assert_eq!(
+                    incremental,
+                    select_periods(&with_security(&base, sec), CarryInStrategy::TopDiff)
+                );
+            }
+        }
+        let stats = selector.stats();
+        assert!(stats.entries <= MEMO_CAPACITY);
+        assert_eq!(stats.flushes, 1, "2×capacity distinct configs flush once");
+        assert_eq!(stats.misses, 2 * MEMO_CAPACITY as u64);
+    }
+
+    #[test]
+    fn empty_configuration_is_trivially_admitted() {
+        let mut selector = IncrementalSelector::new(&rover(), CarryInStrategy::Exhaustive);
+        let sel = selector.select(&SecurityTaskSet::default()).unwrap();
+        assert!(sel.periods.is_empty());
+        assert!(sel.response_times.is_empty());
+    }
+}

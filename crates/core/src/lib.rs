@@ -12,6 +12,8 @@
 //!
 //! * [`period_selection`] — the paper's Algorithm 1;
 //! * [`feasible_period`] — the paper's Algorithm 2 (logarithmic search);
+//! * [`incremental`] — Algorithm 1 as a memoized *query* over changing
+//!   security task sets (the `rts-adapt` service's engine room);
 //! * [`schemes`] — HYDRA-C plus the three baselines the paper evaluates
 //!   against (HYDRA, HYDRA-TMax, GLOBAL-TMax);
 //! * [`assemble`] — workload → partitioned [`rts_model::System`] glue.
@@ -48,6 +50,7 @@
 pub mod assemble;
 pub mod error;
 pub mod feasible_period;
+pub mod incremental;
 pub mod period_selection;
 pub mod schemes;
 pub mod sensitivity;
@@ -56,6 +59,7 @@ pub mod sensitivity;
 pub mod prelude {
     pub use crate::assemble::assemble_system;
     pub use crate::error::SelectionError;
+    pub use crate::incremental::{IncrementalSelector, MemoStats, SecFingerprint};
     pub use crate::period_selection::{select_periods, PeriodSelection};
     pub use crate::schemes::{Scheme, SchemeOutcome};
     pub use rts_analysis::semi::CarryInStrategy;
@@ -63,6 +67,9 @@ pub mod prelude {
 
 pub use assemble::assemble_system;
 pub use error::SelectionError;
-pub use period_selection::{select_periods, PeriodSelection};
+pub use incremental::{IncrementalSelector, MemoStats, SecFingerprint};
+pub use period_selection::{
+    rt_environment, select_periods, select_periods_with_env, PeriodSelection,
+};
 pub use schemes::{Scheme, SchemeOutcome};
 pub use sensitivity::{rt_wcet_margin, security_task_slack, security_wcet_margin};

@@ -19,7 +19,7 @@
 use rts_analysis::semi::{CarryInStrategy, Environment, MigratingHp};
 use rts_analysis::uniproc::HpTask;
 use rts_model::time::Duration;
-use rts_model::{PeriodVector, System};
+use rts_model::{PeriodVector, SecurityTaskSet, System};
 
 use crate::error::SelectionError;
 use crate::feasible_period::min_feasible_period;
@@ -44,8 +44,17 @@ impl PeriodSelection {
 }
 
 /// The RT-task interference environment of `system`, shared by every
-/// response-time computation below.
-fn base_environment(system: &System) -> Environment {
+/// response-time computation below: one pinned group per core holding the
+/// partitioned RT tasks, no migrating entries.
+///
+/// Building this is the only part of a selection run that reads the RT
+/// side of the system. Long-running callers (the `rts-adapt` admission
+/// service) therefore build it **once** per tenant and pass it to
+/// [`select_periods_with_env`] for every subsequent security
+/// reconfiguration, instead of paying the reconstruction per request —
+/// see [`crate::incremental::IncrementalSelector`].
+#[must_use]
+pub fn rt_environment(system: &System) -> Environment {
     let mut env = Environment::new(system.num_cores());
     for core in system.platform().cores() {
         for idx in system.rt_tasks_on(core) {
@@ -77,7 +86,7 @@ fn base_environment(system: &System) -> Environment {
 ///
 /// Returns `Err(j)` with the index of the first unschedulable task.
 fn cascade_response_times(
-    system: &System,
+    sec: &SecurityTaskSet,
     env: &mut Environment,
     start: usize,
     periods: &[Duration],
@@ -85,7 +94,6 @@ fn cascade_response_times(
     strategy: CarryInStrategy,
     out: &mut Vec<Duration>,
 ) -> Result<(), usize> {
-    let sec = system.security_tasks();
     out.clear();
     for j in start..sec.len() {
         let task = &sec[j];
@@ -140,14 +148,46 @@ pub fn select_periods(
     if !rts_analysis::rt_schedulable(system) {
         return Err(SelectionError::RtUnschedulable);
     }
-    let sec = system.security_tasks();
+    let mut env = rt_environment(system);
+    select_periods_with_env(system.security_tasks(), &mut env, strategy)
+}
+
+/// Algorithm 1 against a prebuilt RT interference environment.
+///
+/// `env` must hold exactly the pinned RT interference of the system under
+/// adaptation (as built by [`rt_environment`]) and no migrating entries;
+/// the function pushes and rolls back its own migrating entries and
+/// leaves `env` migrating-free again on **every** exit path, so one
+/// environment serves an arbitrary sequence of selection runs against
+/// changing security task sets. The Eq. 1 RT-schedulability precondition
+/// is the caller's responsibility — [`select_periods`] checks it per
+/// call, [`crate::incremental::IncrementalSelector`] once per tenant.
+///
+/// Semantically this *is* `select_periods` (the wrapper delegates here):
+/// for any `sec` equal to `system.security_tasks()` and `env` freshly
+/// built by [`rt_environment`], the two return identical results.
+///
+/// # Errors
+///
+/// [`SelectionError::SecurityUnschedulable`] as for [`select_periods`]
+/// (the RT precondition is assumed, so `RtUnschedulable` is never
+/// reported here).
+pub fn select_periods_with_env(
+    sec: &SecurityTaskSet,
+    env: &mut Environment,
+    strategy: CarryInStrategy,
+) -> Result<PeriodSelection, SelectionError> {
+    debug_assert_eq!(
+        env.migrating_len(),
+        0,
+        "the RT environment must be migrating-free between selection runs"
+    );
     let mut periods: Vec<Duration> = sec.max_periods();
 
     // `env` is THE environment of the whole run: RT interference plus the
     // already-final higher-priority migrating tasks. Probes push candidate
     // entries onto it and roll them back via `truncate_migrating` — no
     // per-probe clone of the cascade.
-    let mut env = base_environment(system);
 
     // `floors[j]` is a sound warm start for `R_j`: every configuration the
     // algorithm evaluates from here on has componentwise smaller-or-equal
@@ -157,17 +197,17 @@ pub fn select_periods(
 
     // Lines 1–4: all periods at T^max; any failure is final.
     let mut response_times = Vec::with_capacity(sec.len());
-    cascade_response_times(
-        system,
-        &mut env,
+    let initial = cascade_response_times(
+        sec,
+        env,
         0,
         &periods,
         &floors,
         strategy,
         &mut response_times,
-    )
-    .map_err(|task| SelectionError::SecurityUnschedulable { task })?;
+    );
     env.truncate_migrating(0);
+    initial.map_err(|task| SelectionError::SecurityUnschedulable { task })?;
     floors.copy_from_slice(&response_times);
 
     // Lines 5–9: optimize one task at a time, high to low priority.
@@ -185,16 +225,9 @@ pub fn select_periods(
         let best = min_feasible_period(r_s, t_max, |candidate| {
             env.add_migrating(MigratingHp::new(sec[s].wcet(), candidate, r_s));
             periods[s] = candidate;
-            let ok = cascade_response_times(
-                system,
-                &mut env,
-                s + 1,
-                &periods,
-                &floors,
-                strategy,
-                &mut scratch,
-            )
-            .is_ok();
+            let ok =
+                cascade_response_times(sec, env, s + 1, &periods, &floors, strategy, &mut scratch)
+                    .is_ok();
             env.truncate_migrating(s);
             if ok {
                 feasible_candidate = Some(candidate);
@@ -216,6 +249,8 @@ pub fn select_periods(
         floors[s + 1..].copy_from_slice(&feasible_buf);
     }
 
+    // Leave the environment migrating-free for the next run against it.
+    env.truncate_migrating(0);
     Ok(PeriodSelection {
         periods: PeriodVector::from_raw(periods),
         response_times,
@@ -364,7 +399,7 @@ mod tests {
             return Err(SelectionError::RtUnschedulable);
         }
         let sec = system.security_tasks();
-        let base_env = base_environment(system);
+        let base_env = rt_environment(system);
         let mut periods: Vec<Duration> = sec.max_periods();
         let mut response_times = cascade(system, base_env.clone(), 0, &periods, strategy)
             .map_err(|task| SelectionError::SecurityUnschedulable { task })?;

@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig5_rover [--trials N] [--full]` (default 35, = paper).
 
-use hydra_experiments::{percent_faster, results_dir, run_fig5, PeriodProtocol, TextTable};
+use hydra_experiments::{percent_faster, run_fig5, PeriodProtocol, TextTable};
 use ids_sim::rover::to_cycles;
 use rts_model::time::Duration;
 
@@ -53,10 +53,5 @@ fn main() {
     }
     println!();
     println!("{}", table.render());
-    let path = results_dir().join("fig5_rover.csv");
-    if let Err(e) = table.write_csv(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    hydra_experiments::write_figure_csv(&table, "fig5_rover.csv", trials == 35);
 }

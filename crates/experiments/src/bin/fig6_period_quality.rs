@@ -5,7 +5,7 @@
 //! Usage: `fig6_period_quality [--per-group N] [--jobs N] [--full]`
 //! (default 50 tasksets/group, all cores; `--full` = the paper's 250).
 
-use hydra_experiments::{default_jobs, results_dir, run_sweep, SweepConfig, TextTable};
+use hydra_experiments::{default_jobs, run_sweep, SweepConfig, TextTable};
 use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
 
 fn main() {
@@ -44,10 +44,5 @@ fn main() {
          decreases toward 0 as U/M → 1 — security tasks can run much more often\n\
          than the designer bound when the system is lightly loaded."
     );
-    let path = results_dir().join("fig6_period_quality.csv");
-    if let Err(e) = table.write_csv(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    hydra_experiments::write_figure_csv(&table, "fig6_period_quality.csv", per_group == 50);
 }

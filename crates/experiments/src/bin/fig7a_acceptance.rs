@@ -6,7 +6,7 @@
 //! (default 50 tasksets/group, all cores; `--full` = the paper's 250).
 
 use hydra_core::schemes::Scheme;
-use hydra_experiments::{default_jobs, results_dir, run_sweep, SweepConfig, TextTable};
+use hydra_experiments::{default_jobs, run_sweep, SweepConfig, TextTable};
 use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
 
 fn main() {
@@ -46,10 +46,5 @@ fn main() {
          HYDRA-C dominates HYDRA for U/M > 0.2 and dominates GLOBAL-TMax\n\
          throughout; HYDRA-TMax matches HYDRA-C until U/M ≈ 0.7, then drops."
     );
-    let path = results_dir().join("fig7a_acceptance.csv");
-    if let Err(e) = table.write_csv(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    hydra_experiments::write_figure_csv(&table, "fig7a_acceptance.csv", per_group == 50);
 }

@@ -5,7 +5,7 @@
 //! Usage: `fig7b_period_distance [--per-group N] [--jobs N] [--full]`
 //! (default 50 tasksets/group, all cores; `--full` = the paper's 250).
 
-use hydra_experiments::{default_jobs, results_dir, run_sweep, SweepConfig, TextTable};
+use hydra_experiments::{default_jobs, run_sweep, SweepConfig, TextTable};
 use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
 
 fn main() {
@@ -48,10 +48,5 @@ fn main() {
          the distance to HYDRA peaks at low-to-medium utilization and the two\n\
          schemes converge (distance → small, fewer common points) at high load."
     );
-    let path = results_dir().join("fig7b_period_distance.csv");
-    if let Err(e) = table.write_csv(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    hydra_experiments::write_figure_csv(&table, "fig7b_period_distance.csv", per_group == 50);
 }

@@ -1,0 +1,117 @@
+//! Load benchmark of the `rts-adapt` admission service, emitting a
+//! machine-readable `results/BENCH_service.json` so the serving path's
+//! performance trajectory is tracked across PRs.
+//!
+//! Usage: `service_bench [--requests N] [--tenants N] [--shards N]
+//!                       [--batch N] [--seed S] [--budget-secs S]`
+//!
+//! Defaults are the tracked configuration: 100 000 requests over 64
+//! Table 3 tenants, 4 shards, 512-request batches. Only that canonical
+//! configuration rewrites `results/BENCH_service.json`; reduced runs
+//! (the CI `service-smoke` job) report to stdout only. The run fails
+//! hard if any request is lost or answered with a protocol error, and —
+//! with `--budget-secs` — if the stream takes longer than the budget.
+
+use hydra_experiments::{arg_f64, arg_usize, results_dir, run_service_load, ServiceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The tracked configuration is defined in exactly one place
+    // (`ServiceConfig::new`); flag defaults and the canonical check both
+    // derive from it so they can never silently diverge.
+    let canonical = ServiceConfig::new(100_000);
+    let requests = arg_usize(&args, "--requests", canonical.requests, canonical.requests);
+    let tenants = arg_usize(&args, "--tenants", canonical.tenants, canonical.tenants);
+    let shards = arg_usize(&args, "--shards", canonical.shards, canonical.shards);
+    let batch = arg_usize(&args, "--batch", canonical.batch, canonical.batch);
+    let seed = arg_usize(
+        &args,
+        "--seed",
+        canonical.seed as usize,
+        canonical.seed as usize,
+    ) as u64;
+    let budget_secs = arg_f64(&args, "--budget-secs");
+
+    let config = ServiceConfig {
+        tenants,
+        requests,
+        shards,
+        batch,
+        seed,
+    };
+    eprintln!(
+        "service bench: {requests} requests, {tenants} tenants, {shards} shards, batch {batch}"
+    );
+    let report = run_service_load(&config);
+
+    // The benchmark population must be exact: every request answered,
+    // none with a usage error (the generator reconciles slots precisely).
+    assert_eq!(
+        report.responses(),
+        requests as u64,
+        "the engine lost requests — the benchmark population is no longer comparable"
+    );
+    assert_eq!(
+        report.errors, 0,
+        "usage errors in the stream — generator/engine slot reconciliation broke"
+    );
+
+    let throughput = report.throughput_rps();
+    let p50 = report.percentile_us(0.50);
+    let p95 = report.percentile_us(0.95);
+    let p99 = report.percentile_us(0.99);
+    let hits = report.memo_hits();
+    let misses = report.memo_misses();
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"adapt_service\",\n");
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"tenants\": {tenants},\n"));
+    json.push_str(&format!("  \"shards\": {shards},\n"));
+    json.push_str(&format!("  \"batch\": {batch},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"accepted\": {},\n", report.accepted));
+    json.push_str(&format!("  \"rejected\": {},\n", report.rejected));
+    json.push_str(&format!("  \"wall_secs\": {:.4},\n", report.wall_secs));
+    json.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
+    json.push_str(&format!("  \"p50_us\": {p50:.1},\n"));
+    json.push_str(&format!("  \"p95_us\": {p95:.1},\n"));
+    json.push_str(&format!("  \"p99_us\": {p99:.1},\n"));
+    json.push_str(&format!("  \"memo_hits\": {hits},\n"));
+    json.push_str(&format!("  \"memo_misses\": {misses},\n"));
+    json.push_str(&format!("  \"memo_hit_rate\": {hit_rate:.4}\n"));
+    json.push_str("}\n");
+
+    // Only the canonical configuration updates the tracked trajectory
+    // file — a reduced smoke run (CI) must not overwrite the PR-over-PR
+    // record with incomparable numbers.
+    if config == canonical {
+        let dir = results_dir();
+        let path = dir.join("BENCH_service.json");
+        let written = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json));
+        match written {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("non-canonical configuration: results/BENCH_service.json left untouched");
+    }
+    print!("{json}");
+
+    if let Some(budget) = budget_secs {
+        assert!(
+            report.wall_secs <= budget,
+            "stream took {:.2}s, over the {budget:.2}s budget — serving-path regression",
+            report.wall_secs
+        );
+        println!("within budget ({:.2}s <= {budget:.2}s)", report.wall_secs);
+    }
+}

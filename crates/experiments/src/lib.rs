@@ -19,11 +19,13 @@
 
 pub mod fig5;
 pub mod report;
+pub mod service;
 pub mod stats;
 pub mod sweep;
 
 pub use fig5::{run_fig5, PeriodProtocol, SchemeAggregate};
-pub use report::{results_dir, TextTable};
+pub use report::{results_dir, write_figure_csv, TextTable};
+pub use service::{run_service_load, ServiceConfig, ServiceReport};
 pub use stats::{percent_faster, Summary};
 pub use sweep::{default_jobs, run_sweep, SweepConfig, SweepResult};
 

@@ -91,6 +91,27 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
+/// Writes a figure table to its tracked `results/` CSV — but only when
+/// the run used the figure's canonical (default) sample size. The CSVs
+/// are tracked in git as bit-reproducible records; a `--quick` or
+/// reduced run must not clobber them with incomparable rows (the same
+/// rule `bench_report` and `service_bench` apply to their JSON files).
+pub fn write_figure_csv(table: &TextTable, filename: &str, canonical: bool) {
+    let path = results_dir().join(filename);
+    if !canonical {
+        println!(
+            "non-canonical configuration: tracked {} left untouched \
+             (only the default sample size updates it)",
+            path.display()
+        );
+        return;
+    }
+    match table.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,525 @@
+//! The `rts-adapt` load harness: a synthetic multi-tenant fleet plus a
+//! seeded admission/adaptation request stream.
+//!
+//! Tenants are Table 3 workloads (2 cores, moderate utilization) whose
+//! security tasks become *reactive* monitors; the stream then mixes the
+//! four delta kinds with mode switches dominating — the steady state of
+//! a monitoring fleet — driven through the real
+//! [`ids_sim::reactive::ModalMonitor`] state machines, so escalations
+//! and de-escalations arrive exactly as a live detection substrate would
+//! emit them. Every request's latency is measured from batch submission
+//! to response arrival; the populations (accepted / rejected / errors)
+//! are deterministic per seed and identical for every shard count, which
+//! is what the benchmark and the CI smoke job assert.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ids_sim::reactive::{ModalMonitor, SweepOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rts_adapt::engine::{Request, Response, RtSpec};
+use rts_adapt::shard::{ShardReport, ShardedEngine};
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::delta::{DeltaEvent, MonitorSpec};
+use rts_model::time::Duration;
+use rts_model::System;
+use rts_partition::FitHeuristic;
+use rts_taskgen::table3::{generate_workload, Table3Config, UtilizationGroup};
+
+use hydra_core::assemble::assemble_system;
+
+/// Load-harness parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServiceConfig {
+    /// Number of tenant systems.
+    pub tenants: usize,
+    /// Total adaptation requests to stream (beyond registration).
+    pub requests: usize,
+    /// Worker shards of the engine pool.
+    pub shards: usize,
+    /// Requests per submitted batch.
+    pub batch: usize,
+    /// RNG seed; the verdict populations are deterministic per seed.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// The tracked benchmark configuration at `requests` total requests:
+    /// 64 tenants, 4 shards, 512-request batches, fixed seed.
+    #[must_use]
+    pub fn new(requests: usize) -> Self {
+        ServiceConfig {
+            tenants: 64,
+            requests,
+            shards: 4,
+            batch: 512,
+            seed: 0xADA0,
+            // The strategy is fixed to TopDiff (the sweep default) so the
+            // tracked numbers stay comparable across PRs.
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// The configuration that ran.
+    pub config: ServiceConfig,
+    /// Wall time of the streaming phase (registration excluded).
+    pub wall_secs: f64,
+    /// Per-request latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<f64>,
+    /// Requests answered `accept`.
+    pub accepted: u64,
+    /// Requests answered `reject`.
+    pub rejected: u64,
+    /// Requests answered `error` (must be zero for a healthy run).
+    pub errors: u64,
+    /// Per-shard worker reports (tenant counts, memo statistics).
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServiceReport {
+    /// Responses received during the streaming phase.
+    #[must_use]
+    pub fn responses(&self) -> u64 {
+        self.accepted + self.rejected + self.errors
+    }
+
+    /// Requests per second over the streaming phase.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_secs == 0.0 {
+            0.0
+        } else {
+            self.latencies_us.len() as f64 / self.wall_secs
+        }
+    }
+
+    /// Latency percentile (`q` in `(0, 1]`), in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no latencies were recorded or `q` is out of range.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+        assert!(!self.latencies_us.is_empty(), "no latencies recorded");
+        let n = self.latencies_us.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_us[rank - 1]
+    }
+
+    /// Aggregated memo hits across all shards.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.memo.hits).sum()
+    }
+
+    /// Aggregated memo misses across all shards.
+    #[must_use]
+    pub fn memo_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.memo.misses).sum()
+    }
+}
+
+/// Per-monitor generator state: the admission spec the engine holds for
+/// the slot, plus the reactive state machine that drives its mode flips.
+struct MonitorSlot {
+    spec: MonitorSpec,
+    machine: ModalMonitor,
+}
+
+/// Generator-side view of one tenant.
+struct TenantSim {
+    id: u64,
+    monitors: Vec<MonitorSlot>,
+    /// A structural event (arrival/departure) is in flight this batch —
+    /// no further events for the tenant until it reconciles, so slot
+    /// indices can never race ahead of the engine's table.
+    locked: bool,
+}
+
+/// What reconciliation must do when a response arrives.
+enum Pending {
+    Arrival {
+        tenant: usize,
+        spec: MonitorSpec,
+    },
+    Departure {
+        tenant: usize,
+        slot: usize,
+    },
+    WcetUpdate {
+        tenant: usize,
+        slot: usize,
+        spec: MonitorSpec,
+    },
+    Other,
+}
+
+/// Caps on a tenant's monitor table. Small tables keep each tenant's
+/// mode hypercube (2^k configurations) warm in the selection memo, which
+/// is the steady state the benchmark is about.
+const MIN_MONITORS: usize = 1;
+const MAX_MONITORS: usize = 5;
+
+/// Synthesizes one tenant (2 cores, cycling through moderate utilization
+/// groups), re-drawing until the RT side is partitionable — the sweep's
+/// regeneration rule. The generator is Table 3 with deliberately smaller
+/// task counts (the config's fields are public for exactly this kind of
+/// deviation): a *service* tenant is one embedded system, not a
+/// design-space stress sample.
+fn synthesize_tenant(index: usize, rng: &mut StdRng) -> (System, Vec<MonitorSpec>) {
+    let table3 = Table3Config {
+        rt_count: (4, 10),
+        sec_count: (2, 4),
+        ..Table3Config::for_cores(2)
+    };
+    // Spread the fleet over light, moderate and heavy tenants (U/M up to
+    // ~0.7): the heavy third is where simultaneous escalations genuinely
+    // reject, so the stream exercises both verdicts.
+    let group = UtilizationGroup::new(2 + 2 * (index % 3));
+    loop {
+        let w = generate_workload(&table3, group, rng);
+        let Ok(system) = assemble_system(
+            w.platform,
+            w.rt_tasks,
+            w.security_tasks,
+            FitHeuristic::BestFit,
+        ) else {
+            continue;
+        };
+        let specs: Vec<MonitorSpec> = system
+            .security_tasks()
+            .iter()
+            .map(|task| {
+                // Passive = half the drawn WCET; active = up to 2× (the
+                // deep sweep), capped so the spec stays valid — heavy
+                // enough that simultaneous escalations can genuinely
+                // reject at the upper utilization groups.
+                let drawn = task.wcet().as_ticks();
+                let passive = (drawn / 2).max(1);
+                let active = (drawn * 2).clamp(passive, task.t_max().as_ticks() / 2);
+                MonitorSpec::modal(
+                    Duration::from_ticks(passive),
+                    Duration::from_ticks(active.max(passive)),
+                    task.t_max(),
+                )
+                .expect("0 < C/2 <= active <= T^max by construction")
+            })
+            .collect();
+        return (system, specs);
+    }
+}
+
+/// The registration request for a synthesized tenant.
+fn register_request(id: u64, system: &System) -> Request {
+    let rt = system
+        .rt_tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, task)| RtSpec {
+            wcet: task.wcet(),
+            period: task.period(),
+            core: system.partition().core_of(i).index(),
+        })
+        .collect();
+    Request::Register {
+        tenant: id,
+        cores: system.num_cores(),
+        rt,
+    }
+}
+
+/// Forces the slot's reactive machine through sweeps until it emits a
+/// transition: findings escalate a passive monitor immediately; clean
+/// sweeps calm an active one within its `calm_after` streak.
+fn next_mode_event(slot: usize, machine: &mut ModalMonitor) -> DeltaEvent {
+    loop {
+        let outcome = match machine.mode() {
+            rts_model::MonitorMode::Passive => SweepOutcome::Findings(1),
+            rts_model::MonitorMode::Active => SweepOutcome::Clean,
+        };
+        if let Some(event) = machine.observe_delta(slot, outcome) {
+            return event;
+        }
+    }
+}
+
+/// A fresh monitor for a runtime arrival: small-ish passive sweep, an
+/// active sweep up to 12× heavier, `T^max` in the Table 3 band.
+fn random_arrival_spec(rng: &mut StdRng) -> MonitorSpec {
+    let t_max = Duration::from_ms(rng.gen_range(1500..=3000u64));
+    let passive_ticks = rng.gen_range(10..=t_max.as_ticks() / 40);
+    let active_ticks =
+        rng.gen_range(passive_ticks..=(passive_ticks * 12).min(t_max.as_ticks() / 2));
+    MonitorSpec::modal(
+        Duration::from_ticks(passive_ticks),
+        Duration::from_ticks(active_ticks),
+        t_max,
+    )
+    .expect("drawn within the invariants")
+}
+
+/// Runs the load: registers the fleet, streams `config.requests`
+/// adaptation requests in batches, measures per-request latency.
+///
+/// # Panics
+///
+/// Panics if the engine ever loses a request (every submitted request
+/// must be answered exactly once) or a registration fails — both would
+/// invalidate the benchmark populations.
+#[must_use]
+pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, config.shards);
+
+    // ---- Fleet setup (untimed): register + initial arrivals. ----
+    let mut tenants: Vec<TenantSim> = Vec::with_capacity(config.tenants);
+    for index in 0..config.tenants {
+        let id = 1 + index as u64;
+        let (system, specs) = synthesize_tenant(index, &mut rng);
+        let answers = pool.process(vec![register_request(id, &system)]);
+        assert!(
+            answers[0].is_admitted(),
+            "tenant {id} registration failed: {:?} (assemble_system guarantees Eq. 1)",
+            answers[0]
+        );
+        let mut sim = TenantSim {
+            id,
+            monitors: Vec::new(),
+            locked: false,
+        };
+        for (slot, spec) in specs.into_iter().enumerate() {
+            let answers = pool.process(vec![Request::Delta {
+                tenant: id,
+                event: DeltaEvent::Arrival { monitor: spec },
+            }]);
+            // A rejected initial arrival is simply not part of the fleet.
+            if answers[0].is_admitted() {
+                sim.monitors.push(MonitorSlot {
+                    spec,
+                    machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
+                });
+            }
+        }
+        if sim.monitors.is_empty() {
+            // Guarantee at least one monitor per tenant so slot events
+            // always have a target.
+            let tiny = MonitorSpec::fixed(Duration::from_ticks(10), Duration::from_ms(3000))
+                .expect("valid by construction");
+            let answers = pool.process(vec![Request::Delta {
+                tenant: id,
+                event: DeltaEvent::Arrival { monitor: tiny },
+            }]);
+            assert!(answers[0].is_admitted(), "a 1 ms monitor must fit");
+            sim.monitors.push(MonitorSlot {
+                spec: tiny,
+                machine: ModalMonitor::from_spec(tiny, 1),
+            });
+        }
+        tenants.push(sim);
+    }
+
+    // ---- The timed stream. ----
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(config.requests);
+    let (mut accepted, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+    let mut remaining = config.requests;
+    let started = Instant::now();
+    while remaining > 0 {
+        let round = remaining.min(config.batch.max(1));
+        let mut batch: Vec<(u64, Request)> = Vec::with_capacity(round);
+        let mut pending: HashMap<u64, Pending> = HashMap::with_capacity(round);
+        let mut seq = 0u64;
+        let mut locked_count = 0usize;
+        while batch.len() < round {
+            let tenant_index = rng.gen_range(0..tenants.len());
+            if tenants[tenant_index].locked {
+                continue; // structural event in flight; pick another tenant
+            }
+            // Locking the last unlocked tenant would livelock the batch
+            // builder, so structural events require a spare tenant; the
+            // fallback is always a mode switch (tables never go empty —
+            // MIN_MONITORS is maintained below).
+            let can_lock = locked_count + 1 < tenants.len();
+            let sim = &mut tenants[tenant_index];
+            debug_assert!(!sim.monitors.is_empty());
+            let roll = rng.gen_range(0..100u32);
+            let (event, action) = if (94..96).contains(&roll) {
+                // WCET re-profiling within the slot's T^max.
+                let slot = rng.gen_range(0..sim.monitors.len());
+                let t_max = sim.monitors[slot].spec.t_max();
+                let passive = rng.gen_range(10..=t_max.as_ticks() / 40);
+                let active = rng.gen_range(passive..=(passive * 8).min(t_max.as_ticks() / 3));
+                let spec = MonitorSpec::modal(
+                    Duration::from_ticks(passive),
+                    Duration::from_ticks(active),
+                    t_max,
+                )
+                .expect("within invariants");
+                (
+                    DeltaEvent::WcetUpdate {
+                        slot,
+                        passive_wcet: spec.passive_wcet(),
+                        active_wcet: spec.active_wcet(),
+                    },
+                    Pending::WcetUpdate {
+                        tenant: tenant_index,
+                        slot,
+                        spec,
+                    },
+                )
+            } else if (96..98).contains(&roll) && sim.monitors.len() < MAX_MONITORS && can_lock {
+                let spec = random_arrival_spec(&mut rng);
+                sim.locked = true;
+                locked_count += 1;
+                (
+                    DeltaEvent::Arrival { monitor: spec },
+                    Pending::Arrival {
+                        tenant: tenant_index,
+                        spec,
+                    },
+                )
+            } else if roll >= 98 && sim.monitors.len() > MIN_MONITORS && can_lock {
+                let slot = rng.gen_range(0..sim.monitors.len());
+                sim.locked = true;
+                locked_count += 1;
+                (
+                    DeltaEvent::Departure { slot },
+                    Pending::Departure {
+                        tenant: tenant_index,
+                        slot,
+                    },
+                )
+            } else {
+                // Mode switch from the reactive machine — the dominant
+                // case (~94 %) and the fallback for everything else.
+                let slot = rng.gen_range(0..sim.monitors.len());
+                let event = next_mode_event(slot, &mut sim.monitors[slot].machine);
+                (event, Pending::Other)
+            };
+            pending.insert(seq, action);
+            batch.push((
+                seq,
+                Request::Delta {
+                    tenant: sim.id,
+                    event,
+                },
+            ));
+            seq += 1;
+        }
+
+        let submitted_at = Instant::now();
+        pool.submit_batch(batch);
+        while let Some((answer_seq, response)) = pool.recv() {
+            latencies_ns.push(submitted_at.elapsed().as_nanos() as u64);
+            let verdict_accepted = match &response {
+                Response::Admitted(_) => {
+                    accepted += 1;
+                    true
+                }
+                Response::Rejected { .. } => {
+                    rejected += 1;
+                    false
+                }
+                Response::Error { .. } => {
+                    errors += 1;
+                    false
+                }
+            };
+            // Reconcile the generator's table with the engine's verdict.
+            match pending
+                .remove(&answer_seq)
+                .expect("every response matches a submitted request")
+            {
+                Pending::Arrival { tenant, spec } => {
+                    let sim = &mut tenants[tenant];
+                    if verdict_accepted {
+                        let slot = sim.monitors.len();
+                        sim.monitors.push(MonitorSlot {
+                            spec,
+                            machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
+                        });
+                    }
+                    sim.locked = false;
+                }
+                Pending::Departure { tenant, slot } => {
+                    let sim = &mut tenants[tenant];
+                    assert!(verdict_accepted, "a valid departure is always admitted");
+                    sim.monitors.remove(slot);
+                    sim.locked = false;
+                }
+                Pending::WcetUpdate { tenant, slot, spec } => {
+                    if verdict_accepted {
+                        tenants[tenant].monitors[slot].spec = spec;
+                    }
+                }
+                Pending::Other => {}
+            }
+        }
+        remaining -= round;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let shards = pool.shutdown();
+    let mut latencies_us: Vec<f64> = latencies_ns
+        .into_iter()
+        .map(|ns| ns as f64 / 1000.0)
+        .collect();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    ServiceReport {
+        config: *config,
+        wall_secs,
+        latencies_us,
+        accepted,
+        rejected,
+        errors,
+        shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServiceConfig {
+        ServiceConfig {
+            tenants: 4,
+            requests: 300,
+            shards: 2,
+            batch: 64,
+            seed: 0xADA0,
+        }
+    }
+
+    #[test]
+    fn every_request_is_answered_and_none_error() {
+        let report = run_service_load(&tiny());
+        assert_eq!(report.responses(), 300);
+        assert_eq!(report.latencies_us.len(), 300);
+        assert_eq!(report.errors, 0, "the generator never sends bad slots");
+        assert!(report.accepted > 0);
+        assert!(report.throughput_rps() > 0.0);
+        // Percentiles are ordered and drawn from the sorted population.
+        let p50 = report.percentile_us(0.50);
+        let p95 = report.percentile_us(0.95);
+        let p99 = report.percentile_us(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(report.percentile_us(1.0) >= p99);
+        // Mode churn dominates, so the memo must be doing real work.
+        assert!(report.memo_hits() > 0);
+    }
+
+    #[test]
+    fn verdict_populations_are_shard_invariant() {
+        let base = run_service_load(&tiny());
+        for shards in [1, 3] {
+            let run = run_service_load(&ServiceConfig { shards, ..tiny() });
+            assert_eq!(run.accepted, base.accepted, "shards={shards}");
+            assert_eq!(run.rejected, base.rejected, "shards={shards}");
+            assert_eq!(run.errors, 0);
+        }
+    }
+}

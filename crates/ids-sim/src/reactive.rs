@@ -9,24 +9,35 @@
 //! * **Active** — escalated sweep, WCET `C_a ≥ C_p`.
 //!
 //! Escalation happens on any finding; the monitor de-escalates after a
-//! configurable number of consecutive clean active sweeps. For
-//! *admission* the designer integrates the monitor at its active WCET
-//! ([`ModalMonitor::conservative_task`]) — sound for any mode sequence,
-//! at the price the paper's future-work section would want to optimize.
+//! configurable number of consecutive clean active sweeps.
+//!
+//! # Two integration stances
+//!
+//! *Design-time (conservative):* integrate the monitor once at its
+//! **active** WCET ([`ModalMonitor::conservative_task`]) — sound for any
+//! mode sequence, but the common passive case then pays for the rare
+//! active one with a longer admitted period, i.e. less frequent
+//! monitoring.
+//!
+//! *Runtime (mode-aware):* re-run admission at every mode switch with the
+//! WCET of the mode actually entered ([`ModalMonitor::admission_task`]),
+//! as the `rts-adapt` service does. The monitor reports its transitions
+//! as [`DeltaEvent::ModeChange`] values
+//! ([`ModalMonitor::observe_delta`]), the service re-selects periods for
+//! the new WCET vector and commits the configuration only if Algorithm 1
+//! admits it — see `rts-adapt`'s crate docs for why that preserves
+//! schedulability where the conservative stance merely over-provisions.
+//!
+//! The admission-relevant shape of a monitor (per-mode WCETs and
+//! `T^max`) is the model-level [`MonitorSpec`]; this type adds the mode
+//! *state machine* on top.
 
+use rts_model::delta::{DeltaEvent, MonitorSpec};
 use rts_model::task::SecurityTask;
 use rts_model::time::Duration;
 use rts_model::ModelError;
 
-/// The two monitoring depths.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
-pub enum MonitorMode {
-    /// Routine checking (`a₀`).
-    #[default]
-    Passive,
-    /// Escalated checking (`a₀ + a₁`).
-    Active,
-}
+pub use rts_model::delta::MonitorMode;
 
 /// Result of one sweep, as fed back by the detection substrate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,12 +49,11 @@ pub enum SweepOutcome {
     Findings(usize),
 }
 
-/// A two-mode reactive monitor.
+/// A two-mode reactive monitor: a [`MonitorSpec`] plus the escalation
+/// state machine.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ModalMonitor {
-    passive_wcet: Duration,
-    active_wcet: Duration,
-    t_max: Duration,
+    spec: MonitorSpec,
     calm_after: u32,
     mode: MonitorMode,
     clean_streak: u32,
@@ -51,7 +61,7 @@ pub struct ModalMonitor {
 }
 
 impl ModalMonitor {
-    /// Creates a reactive monitor.
+    /// Creates a reactive monitor, starting in [`MonitorMode::Passive`].
     ///
     /// `calm_after` is the number of consecutive clean *active* sweeps
     /// after which the monitor returns to passive mode.
@@ -59,37 +69,37 @@ impl ModalMonitor {
     /// # Errors
     ///
     /// Returns a [`ModelError`] if the WCETs are zero, the active WCET is
-    /// below the passive one, or the active WCET exceeds `t_max`.
+    /// below the passive one, or the active WCET exceeds `t_max` (the
+    /// [`MonitorSpec`] invariants).
     pub fn new(
         passive_wcet: Duration,
         active_wcet: Duration,
         t_max: Duration,
         calm_after: u32,
     ) -> Result<Self, ModelError> {
-        if passive_wcet.is_zero() || active_wcet.is_zero() {
-            return Err(ModelError::ZeroWcet);
-        }
-        if active_wcet < passive_wcet {
-            return Err(ModelError::WcetExceedsDeadline {
-                wcet: passive_wcet,
-                deadline: active_wcet,
-            });
-        }
-        if active_wcet > t_max {
-            return Err(ModelError::WcetExceedsMaxPeriod {
-                wcet: active_wcet,
-                t_max,
-            });
-        }
-        Ok(ModalMonitor {
-            passive_wcet,
-            active_wcet,
-            t_max,
+        Ok(ModalMonitor::from_spec(
+            MonitorSpec::modal(passive_wcet, active_wcet, t_max)?,
+            calm_after,
+        ))
+    }
+
+    /// Wraps an already-validated [`MonitorSpec`] in a fresh (passive)
+    /// state machine.
+    #[must_use]
+    pub fn from_spec(spec: MonitorSpec, calm_after: u32) -> Self {
+        ModalMonitor {
+            spec,
             calm_after,
             mode: MonitorMode::Passive,
             clean_streak: 0,
             escalations: 0,
-        })
+        }
+    }
+
+    /// The monitor's admission-relevant parameters.
+    #[must_use]
+    pub fn spec(&self) -> MonitorSpec {
+        self.spec
     }
 
     /// The current mode.
@@ -101,10 +111,7 @@ impl ModalMonitor {
     /// WCET of the *next* sweep, given the current mode.
     #[must_use]
     pub fn current_wcet(&self) -> Duration {
-        match self.mode {
-            MonitorMode::Passive => self.passive_wcet,
-            MonitorMode::Active => self.active_wcet,
-        }
+        self.spec.wcet_in(self.mode)
     }
 
     /// Number of passive→active escalations so far.
@@ -137,16 +144,35 @@ impl ModalMonitor {
         self.mode
     }
 
+    /// Feeds one sweep outcome and, when it flips the mode, returns the
+    /// [`DeltaEvent::ModeChange`] to forward to the adaptation service
+    /// for monitor slot `slot` — the wire between the detection substrate
+    /// and online re-admission. Returns `None` when the mode is
+    /// unchanged (no re-selection needed).
+    pub fn observe_delta(&mut self, slot: usize, outcome: SweepOutcome) -> Option<DeltaEvent> {
+        let before = self.mode;
+        let after = self.observe(outcome);
+        (after != before).then_some(DeltaEvent::ModeChange { slot, mode: after })
+    }
+
     /// The task to hand to the admission analysis: the monitor at its
     /// **active** WCET. Sound for every mode sequence, since the active
-    /// sweep upper-bounds the passive one.
+    /// sweep upper-bounds the passive one — the *design-time* stance (see
+    /// the module docs for the runtime alternative).
     ///
     /// # Errors
     ///
     /// Propagates [`ModelError`] (cannot occur for a validly constructed
     /// monitor).
     pub fn conservative_task(&self) -> Result<SecurityTask, ModelError> {
-        SecurityTask::new(self.active_wcet, self.t_max)
+        Ok(self.spec.task_in(MonitorMode::Active))
+    }
+
+    /// The task to hand to the admission analysis under *mode-aware*
+    /// re-admission: the monitor at its **current** mode's WCET.
+    #[must_use]
+    pub fn admission_task(&self) -> SecurityTask {
+        self.spec.task_in(self.mode)
     }
 }
 
@@ -199,6 +225,41 @@ mod tests {
     }
 
     #[test]
+    fn admission_task_follows_the_mode() {
+        let mut m = monitor();
+        assert_eq!(m.admission_task().wcet(), ms(100));
+        m.observe(SweepOutcome::Findings(1));
+        assert_eq!(m.admission_task().wcet(), ms(350));
+        assert_eq!(m.admission_task().t_max(), ms(5000));
+    }
+
+    #[test]
+    fn observe_delta_fires_only_on_transitions() {
+        let mut m = monitor();
+        // Clean sweeps in passive mode: no event.
+        assert_eq!(m.observe_delta(3, SweepOutcome::Clean), None);
+        // Finding: escalation event for the given slot.
+        assert_eq!(
+            m.observe_delta(3, SweepOutcome::Findings(1)),
+            Some(DeltaEvent::ModeChange {
+                slot: 3,
+                mode: MonitorMode::Active
+            })
+        );
+        // Active + finding: still active, no event.
+        assert_eq!(m.observe_delta(3, SweepOutcome::Findings(2)), None);
+        // Two clean active sweeps: the second one de-escalates.
+        assert_eq!(m.observe_delta(3, SweepOutcome::Clean), None);
+        assert_eq!(
+            m.observe_delta(3, SweepOutcome::Clean),
+            Some(DeltaEvent::ModeChange {
+                slot: 3,
+                mode: MonitorMode::Passive
+            })
+        );
+    }
+
+    #[test]
     fn validation_rejects_inverted_wcets() {
         assert!(ModalMonitor::new(ms(400), ms(350), ms(5000), 1).is_err());
         assert!(ModalMonitor::new(ms(100), ms(6000), ms(5000), 1).is_err());
@@ -212,5 +273,15 @@ mod tests {
             assert_eq!(m.observe(SweepOutcome::Clean), MonitorMode::Passive);
         }
         assert_eq!(m.escalations(), 0);
+    }
+
+    #[test]
+    fn spec_roundtrips() {
+        let m = monitor();
+        let again = ModalMonitor::from_spec(m.spec(), 2);
+        assert_eq!(m, again);
+        assert_eq!(m.spec().passive_wcet(), ms(100));
+        assert_eq!(m.spec().active_wcet(), ms(350));
+        assert_eq!(m.spec().t_max(), ms(5000));
     }
 }

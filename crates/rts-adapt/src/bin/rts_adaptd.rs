@@ -1,0 +1,70 @@
+//! `rts_adaptd` — the admission & period-adaptation daemon.
+//!
+//! Usage:
+//!
+//! ```sh
+//! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive] [--tcp ADDR]
+//! ```
+//!
+//! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
+//! (one JSON request per line, one JSON response per line — see
+//! `rts_adapt::proto`); with `--tcp ADDR` it binds the address and
+//! serves connections sequentially, keeping tenant state across them.
+
+use std::io::{self, BufReader};
+
+use rts_adapt::server::{serve, serve_tcp};
+use rts_adapt::shard::ShardedEngine;
+use rts_analysis::semi::CarryInStrategy;
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shards = arg_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let batch = arg_value(&args, "--batch")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256usize);
+    let strategy = match arg_value(&args, "--strategy") {
+        None | Some("topdiff") => CarryInStrategy::TopDiff,
+        Some("exhaustive") => CarryInStrategy::Exhaustive,
+        Some(other) => {
+            eprintln!("unknown strategy {other:?} (use topdiff or exhaustive)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut engine = ShardedEngine::new(strategy, shards);
+    let result = match arg_value(&args, "--tcp") {
+        Some(addr) => serve_tcp(&mut engine, addr, batch),
+        None => {
+            let stdin = io::stdin().lock();
+            let stdout = io::stdout().lock();
+            serve(&mut engine, BufReader::new(stdin), stdout, batch).map(|summary| {
+                eprintln!(
+                    "rts_adaptd: {} requests, {} parse errors",
+                    summary.requests, summary.parse_errors
+                );
+            })
+        }
+    };
+    let reports = engine.shutdown();
+    let handled: u64 = reports.iter().map(|r| r.handled).sum();
+    let hits: u64 = reports.iter().map(|r| r.memo.hits).sum();
+    let misses: u64 = reports.iter().map(|r| r.memo.misses).sum();
+    eprintln!(
+        "rts_adaptd: {} shards handled {handled} requests ({hits} memo hits, {misses} misses)",
+        reports.len()
+    );
+    if let Err(e) = result {
+        eprintln!("rts_adaptd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,448 @@
+//! The protocol-agnostic request/response surface and the
+//! single-threaded admission engine.
+//!
+//! [`AdaptEngine`] owns a map of tenants and answers three request
+//! kinds: `Register` (freeze a tenant's legacy RT system), `Delta`
+//! (apply one [`DeltaEvent`] transactionally) and `Query` (read the
+//! committed configuration). One engine instance is single-threaded by
+//! design — the scale-out story is *sharding* ([`crate::shard`]), not
+//! locking: tenants are independent, so hashing them across engine
+//! instances preserves exact per-tenant semantics with zero
+//! synchronization on the hot path.
+
+use std::collections::HashMap;
+
+use hydra_core::incremental::MemoStats;
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::delta::DeltaEvent;
+use rts_model::time::Duration;
+use rts_model::{CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTaskSet, System};
+
+use crate::tenant::{ApplyError, TenantState};
+
+/// One legacy RT task as it crosses the registration boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RtSpec {
+    /// Worst-case execution time.
+    pub wcet: Duration,
+    /// Period (implicit deadline).
+    pub period: Duration,
+    /// Core the task is pinned to.
+    pub core: usize,
+}
+
+/// One request to the admission service.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Freeze (or replace) tenant `tenant`'s legacy RT system. The RT
+    /// tasks are ordered rate-monotonically by the engine (the paper's
+    /// priority assumption); the per-task core pinning travels with each
+    /// task through the sort.
+    Register {
+        /// Tenant identifier.
+        tenant: u64,
+        /// Core count `M` of the tenant's platform.
+        cores: usize,
+        /// The partitioned RT tasks.
+        rt: Vec<RtSpec>,
+    },
+    /// Apply one delta event to `tenant`'s security workload.
+    Delta {
+        /// Tenant identifier.
+        tenant: u64,
+        /// The event.
+        event: DeltaEvent,
+    },
+    /// Read `tenant`'s committed configuration without changing it.
+    Query {
+        /// Tenant identifier.
+        tenant: u64,
+    },
+}
+
+impl Request {
+    /// The tenant the request addresses (the sharding key).
+    #[must_use]
+    pub fn tenant(&self) -> u64 {
+        match *self {
+            Request::Register { tenant, .. }
+            | Request::Delta { tenant, .. }
+            | Request::Query { tenant } => tenant,
+        }
+    }
+}
+
+/// A successful answer: the committed (possibly refreshed) configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Admitted {
+    /// The tenant.
+    pub tenant: u64,
+    /// Admitted periods, index-aligned with the tenant's monitor table.
+    pub periods: Vec<Duration>,
+    /// Worst-case response times under those periods.
+    pub response_times: Vec<Duration>,
+    /// Digest of the admitted security configuration.
+    pub fingerprint: u64,
+    /// Whether the answer came from the selection memo (always `false`
+    /// for `Register`, always `true` for `Query`).
+    pub cached: bool,
+}
+
+/// One answer from the admission service.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// The request's target configuration is (still) admitted.
+    Admitted(Admitted),
+    /// The delta (or registration) was *rejected by the analysis*; for
+    /// deltas the previously committed configuration remains in force.
+    Rejected {
+        /// The tenant.
+        tenant: u64,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// The request itself was unusable (unknown tenant, bad slot,
+    /// invalid parameters) — nothing was analysed.
+    Error {
+        /// The tenant (0 when the request never parsed far enough).
+        tenant: u64,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl Response {
+    /// Whether this is an [`Response::Admitted`] answer.
+    #[must_use]
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Response::Admitted(_))
+    }
+
+    /// The tenant the response concerns.
+    #[must_use]
+    pub fn tenant(&self) -> u64 {
+        match *self {
+            Response::Admitted(Admitted { tenant, .. })
+            | Response::Rejected { tenant, .. }
+            | Response::Error { tenant, .. } => tenant,
+        }
+    }
+}
+
+/// The single-threaded multi-tenant admission engine.
+#[derive(Debug)]
+pub struct AdaptEngine {
+    strategy: CarryInStrategy,
+    tenants: HashMap<u64, TenantState>,
+}
+
+impl AdaptEngine {
+    /// Creates an empty engine; every tenant's analyses run under
+    /// `strategy`.
+    #[must_use]
+    pub fn new(strategy: CarryInStrategy) -> Self {
+        AdaptEngine {
+            strategy,
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Number of registered tenants.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Aggregated memo statistics over all tenants.
+    #[must_use]
+    pub fn memo_stats(&self) -> MemoStats {
+        let mut total = MemoStats::default();
+        for t in self.tenants.values() {
+            let s = t.memo_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+            total.flushes += s.flushes;
+        }
+        total
+    }
+
+    /// Read-only access to a tenant's state (for validation harnesses).
+    #[must_use]
+    pub fn tenant(&self, tenant: u64) -> Option<&TenantState> {
+        self.tenants.get(&tenant)
+    }
+
+    /// Answers one request.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Register { tenant, cores, rt } => self.register(*tenant, *cores, rt),
+            Request::Delta { tenant, event } => self.delta(*tenant, event),
+            Request::Query { tenant } => self.query(*tenant),
+        }
+    }
+
+    fn register(&mut self, tenant: u64, cores: usize, rt: &[RtSpec]) -> Response {
+        let system = match build_rt_system(cores, rt) {
+            Ok(s) => s,
+            Err(reason) => return Response::Error { tenant, reason },
+        };
+        match TenantState::new(&system, self.strategy) {
+            Ok(state) => {
+                let fingerprint = state.admitted_fingerprint();
+                self.tenants.insert(tenant, state);
+                Response::Admitted(Admitted {
+                    tenant,
+                    periods: Vec::new(),
+                    response_times: Vec::new(),
+                    fingerprint,
+                    cached: false,
+                })
+            }
+            Err(e) => Response::Rejected {
+                tenant,
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    fn delta(&mut self, tenant: u64, event: &DeltaEvent) -> Response {
+        let Some(state) = self.tenants.get_mut(&tenant) else {
+            return unknown_tenant(tenant);
+        };
+        match state.apply(event) {
+            Ok(out) => Response::Admitted(Admitted {
+                tenant,
+                periods: out.selection.periods.as_slice().to_vec(),
+                response_times: out.selection.response_times.clone(),
+                fingerprint: out.fingerprint,
+                cached: out.cached,
+            }),
+            Err(ApplyError::Rejected(e)) => Response::Rejected {
+                tenant,
+                reason: e.to_string(),
+            },
+            Err(usage @ (ApplyError::BadSlot { .. } | ApplyError::Invalid(_))) => Response::Error {
+                tenant,
+                reason: usage.to_string(),
+            },
+        }
+    }
+
+    fn query(&self, tenant: u64) -> Response {
+        let Some(state) = self.tenants.get(&tenant) else {
+            return unknown_tenant(tenant);
+        };
+        let sel = state.admitted();
+        Response::Admitted(Admitted {
+            tenant,
+            periods: sel.periods.as_slice().to_vec(),
+            response_times: sel.response_times.clone(),
+            fingerprint: state.admitted_fingerprint(),
+            cached: true,
+        })
+    }
+}
+
+fn unknown_tenant(tenant: u64) -> Response {
+    Response::Error {
+        tenant,
+        reason: format!("unknown tenant {tenant} (register it first)"),
+    }
+}
+
+/// Builds the frozen RT [`System`] a registration describes: RM-sorts the
+/// `(task, core)` pairs together, validates tasks, platform and
+/// partition.
+fn build_rt_system(cores: usize, rt: &[RtSpec]) -> Result<System, String> {
+    let platform = Platform::new(cores).map_err(|e| e.to_string())?;
+    let mut specs = rt.to_vec();
+    // Rate-monotonic order with the same tie-breaks as
+    // `RtTaskSet::new_rate_monotonic`, keeping each task's core pinned.
+    specs.sort_by(|a, b| a.period.cmp(&b.period).then_with(|| a.wcet.cmp(&b.wcet)));
+    let mut tasks = Vec::with_capacity(specs.len());
+    let mut assignment = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        tasks.push(RtTask::new(spec.wcet, spec.period).map_err(|e| e.to_string())?);
+        assignment.push(CoreId::new(spec.core));
+    }
+    let partition = Partition::new(platform, assignment).map_err(|e| e.to_string())?;
+    System::new(
+        platform,
+        RtTaskSet::new(tasks),
+        partition,
+        SecurityTaskSet::default(),
+    )
+    .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_model::delta::{MonitorMode, MonitorSpec};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover_register(tenant: u64) -> Request {
+        Request::Register {
+            tenant,
+            cores: 2,
+            rt: vec![
+                RtSpec {
+                    wcet: ms(1120),
+                    period: ms(5000),
+                    core: 1,
+                },
+                RtSpec {
+                    wcet: ms(240),
+                    period: ms(500),
+                    core: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn register_then_integrate_matches_the_paper() {
+        let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        assert!(engine.handle(&rover_register(7)).is_admitted());
+        assert_eq!(engine.tenant_count(), 1);
+        let tripwire = MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap();
+        let kmod = MonitorSpec::fixed(ms(223), ms(10_000)).unwrap();
+        engine.handle(&Request::Delta {
+            tenant: 7,
+            event: DeltaEvent::Arrival { monitor: tripwire },
+        });
+        let out = engine.handle(&Request::Delta {
+            tenant: 7,
+            event: DeltaEvent::Arrival { monitor: kmod },
+        });
+        let Response::Admitted(a) = out else {
+            panic!("expected admission, got {out:?}");
+        };
+        assert_eq!(a.periods, vec![ms(7582), ms(2783)]);
+        // Query reads the same configuration back.
+        let q = engine.handle(&Request::Query { tenant: 7 });
+        let Response::Admitted(qa) = q else { panic!() };
+        assert_eq!(qa.periods, a.periods);
+        assert_eq!(qa.fingerprint, a.fingerprint);
+        assert!(qa.cached);
+    }
+
+    #[test]
+    fn registration_sorts_rate_monotonically_with_cores_attached() {
+        // The register above lists the camera task first; RM order must
+        // put navigation (500 ms) on core 0 first — visible through the
+        // admitted response times of a probe monitor.
+        let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        engine.handle(&rover_register(1));
+        let out = engine.handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::Arrival {
+                monitor: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+            },
+        });
+        let Response::Admitted(a) = out else { panic!() };
+        // Tripwire's binding constraint is the camera core: R = 7582 ms.
+        assert_eq!(a.response_times, vec![ms(7582)]);
+    }
+
+    #[test]
+    fn unknown_tenant_and_bad_requests_are_errors() {
+        let mut engine = AdaptEngine::new(CarryInStrategy::TopDiff);
+        let out = engine.handle(&Request::Query { tenant: 9 });
+        assert!(matches!(out, Response::Error { tenant: 9, .. }));
+        // Core index out of range at registration.
+        let out = engine.handle(&Request::Register {
+            tenant: 9,
+            cores: 1,
+            rt: vec![RtSpec {
+                wcet: ms(1),
+                period: ms(10),
+                core: 5,
+            }],
+        });
+        assert!(matches!(out, Response::Error { .. }));
+        assert_eq!(engine.tenant_count(), 0);
+    }
+
+    #[test]
+    fn rt_infeasible_registration_is_rejected_not_registered() {
+        let mut engine = AdaptEngine::new(CarryInStrategy::TopDiff);
+        let out = engine.handle(&Request::Register {
+            tenant: 3,
+            cores: 1,
+            rt: vec![
+                RtSpec {
+                    wcet: ms(6),
+                    period: ms(10),
+                    core: 0,
+                },
+                RtSpec {
+                    wcet: ms(5),
+                    period: ms(10),
+                    core: 0,
+                },
+            ],
+        });
+        assert!(matches!(out, Response::Rejected { tenant: 3, .. }));
+        assert_eq!(engine.tenant_count(), 0);
+    }
+
+    #[test]
+    fn rejected_delta_keeps_previous_configuration_queryable() {
+        let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        engine.handle(&rover_register(1));
+        engine.handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::Arrival {
+                monitor: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+            },
+        });
+        let before = engine.handle(&Request::Query { tenant: 1 });
+        let out = engine.handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::Arrival {
+                monitor: MonitorSpec::fixed(ms(9000), ms(10_000)).unwrap(),
+            },
+        });
+        assert!(matches!(out, Response::Rejected { .. }));
+        let after = engine.handle(&Request::Query { tenant: 1 });
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mode_switches_report_memo_hits() {
+        let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        engine.handle(&rover_register(1));
+        engine.handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::Arrival {
+                monitor: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap(),
+            },
+        });
+        for (i, mode) in [
+            MonitorMode::Active,
+            MonitorMode::Passive,
+            MonitorMode::Active,
+            MonitorMode::Passive,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let out = engine.handle(&Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::ModeChange { slot: 0, mode },
+            });
+            let Response::Admitted(a) = out else { panic!() };
+            // Switch 0 (first escalation) runs Algorithm 1; every later
+            // switch re-visits a memoized configuration (the passive one
+            // was cached by the arrival itself).
+            assert_eq!(a.cached, i >= 1, "switch {i}");
+        }
+        let stats = engine.memo_stats();
+        assert_eq!(stats.hits, 3);
+    }
+}

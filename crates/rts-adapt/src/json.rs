@@ -1,0 +1,391 @@
+//! A dependency-free JSON subset for the line protocol.
+//!
+//! The build environment is offline (no `serde`), and the protocol needs
+//! only flat objects, arrays, numbers, strings and booleans — so this is
+//! a small, strict recursive-descent parser plus an escaping writer,
+//! in the spirit of the repo's other hand-rolled JSON emitters
+//! (`bench_report`). Numbers are parsed as `f64`, which is exact for
+//! every quantity the protocol carries (tick counts are far below 2⁵³).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys: last wins on lookup).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object (`None` for non-objects and missing
+    /// keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(v) if v.is_finite() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional parts).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        (v >= 0.0 && v.fract() == 0.0 && v <= 2f64.powi(53)).then_some(v as u64)
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap — the protocol needs 3; this guards the stack.
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogates are not paired here — the
+                            // protocol never emits them; reject rather
+                            // than mis-decode.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "surrogate \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", char::from(other))),
+                    }
+                }
+                Some(byte) if byte < 0x20 => return Err("control byte in string".into()),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this is
+                    // always on a char boundary).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("slicing on char boundaries"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+/// Appends `text` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_escaped(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_protocol_shaped_objects() {
+        let line = r#"{"op":"register","tenant":3,"cores":2,"rt":[{"wcet_ms":240,"period_ms":500,"core":0}]}"#;
+        let v = parse(line).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("register"));
+        assert_eq!(v.get("tenant").and_then(Json::as_u64), Some(3));
+        let rt = v.get("rt").and_then(Json::as_array).unwrap();
+        assert_eq!(rt[0].get("wcet_ms").and_then(Json::as_f64), Some(240.0));
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_nesting() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-12.5e1").unwrap(), Json::Num(-125.0));
+        assert_eq!(
+            parse(r#"[1, [2, []], {"a": false}]"#).unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0), Json::Arr(vec![])]),
+                Json::Obj(vec![("a".into(), Json::Bool(false))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41}"));
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+        assert_eq!(parse(&out).unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "nan",
+            "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v = parse("\"héllo ✓\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo ✓"));
+    }
+
+    #[test]
+    fn u64_conversion_rejects_fractions_and_negatives() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-7").unwrap().as_u64(), None);
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn depth_limit_guards_the_stack() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! The line-delimited wire protocol: one JSON object per line in, one
+//! per line out.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"register","tenant":1,"cores":2,"rt":[{"wcet_ms":240,"period_ms":500,"core":0}]}
+//! {"op":"arrival","tenant":1,"passive_ms":100,"active_ms":350,"t_max_ms":5000}
+//! {"op":"departure","tenant":1,"slot":0}
+//! {"op":"wcet_update","tenant":1,"slot":0,"passive_ms":120,"active_ms":400}
+//! {"op":"mode","tenant":1,"slot":0,"mode":"active"}
+//! {"op":"query","tenant":1}
+//! ```
+//!
+//! `active_ms` may be omitted on `arrival` for a single-mode monitor.
+//! Durations are milliseconds (fractions allowed down to the 100 µs tick
+//! resolution).
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"seq":0,"tenant":1,"verdict":"accept","cached":false,
+//!  "fingerprint":"f00dcafe00000000","periods_ms":[7582],"response_times_ms":[7582]}
+//! {"seq":1,"tenant":1,"verdict":"reject","reason":"security task 1 cannot ..."}
+//! {"seq":2,"tenant":9,"verdict":"error","reason":"unknown tenant 9 (register it first)"}
+//! ```
+//!
+//! `seq` echoes the request's position in the input stream, so clients
+//! may pipeline: responses to *different tenants* can arrive out of
+//! submission order, while each tenant's own answers stay ordered (see
+//! [`crate::shard`]).
+
+use std::fmt::Write as _;
+
+use rts_model::delta::{DeltaEvent, MonitorMode, MonitorSpec};
+use rts_model::time::{Duration, TICKS_PER_MS};
+
+use crate::engine::{Admitted, Request, Response, RtSpec};
+use crate::json::{self, Json};
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem (syntax, missing
+/// field, out-of-range value). The caller turns it into a
+/// `verdict:"error"` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line)?;
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"op\"")?;
+    let tenant = field_u64(&value, "tenant")?;
+    match op {
+        "register" => {
+            let cores = field_u64(&value, "cores")? as usize;
+            let rt_items = value
+                .get("rt")
+                .and_then(Json::as_array)
+                .ok_or("missing array field \"rt\"")?;
+            let mut rt = Vec::with_capacity(rt_items.len());
+            for (i, item) in rt_items.iter().enumerate() {
+                rt.push(RtSpec {
+                    wcet: field_duration(item, "wcet_ms").map_err(|e| format!("rt[{i}]: {e}"))?,
+                    period: field_duration(item, "period_ms")
+                        .map_err(|e| format!("rt[{i}]: {e}"))?,
+                    core: item
+                        .get("core")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("rt[{i}]: missing integer field \"core\""))?
+                        as usize,
+                });
+            }
+            Ok(Request::Register { tenant, cores, rt })
+        }
+        "arrival" => {
+            let passive = field_duration(&value, "passive_ms")?;
+            let active = match value.get("active_ms") {
+                Some(_) => field_duration(&value, "active_ms")?,
+                None => passive,
+            };
+            let t_max = field_duration(&value, "t_max_ms")?;
+            let monitor = MonitorSpec::modal(passive, active, t_max).map_err(|e| e.to_string())?;
+            Ok(Request::Delta {
+                tenant,
+                event: DeltaEvent::Arrival { monitor },
+            })
+        }
+        "departure" => Ok(Request::Delta {
+            tenant,
+            event: DeltaEvent::Departure {
+                slot: field_u64(&value, "slot")? as usize,
+            },
+        }),
+        "wcet_update" => Ok(Request::Delta {
+            tenant,
+            event: DeltaEvent::WcetUpdate {
+                slot: field_u64(&value, "slot")? as usize,
+                passive_wcet: field_duration(&value, "passive_ms")?,
+                active_wcet: field_duration(&value, "active_ms")?,
+            },
+        }),
+        "mode" => {
+            let mode = match value.get("mode").and_then(Json::as_str) {
+                Some("passive") => MonitorMode::Passive,
+                Some("active") => MonitorMode::Active,
+                Some(other) => return Err(format!("unknown mode \"{other}\"")),
+                None => return Err("missing string field \"mode\"".into()),
+            };
+            Ok(Request::Delta {
+                tenant,
+                event: DeltaEvent::ModeChange {
+                    slot: field_u64(&value, "slot")? as usize,
+                    mode,
+                },
+            })
+        }
+        "query" => Ok(Request::Query { tenant }),
+        other => Err(format!("unknown op \"{other}\"")),
+    }
+}
+
+fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing non-negative integer field \"{key}\""))
+}
+
+/// A `*_ms` field to ticks: milliseconds at the workspace resolution,
+/// rounded to the nearest tick.
+fn field_duration(value: &Json, key: &str) -> Result<Duration, String> {
+    let ms = value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field \"{key}\""))?;
+    if !(0.0..=1e15).contains(&ms) {
+        return Err(format!("field \"{key}\" out of range"));
+    }
+    Ok(Duration::from_ticks(
+        (ms * TICKS_PER_MS as f64).round() as u64
+    ))
+}
+
+/// Renders one response line (no trailing newline).
+#[must_use]
+pub fn render_response(seq: u64, response: &Response) -> String {
+    let mut out = String::with_capacity(96);
+    match response {
+        Response::Admitted(Admitted {
+            tenant,
+            periods,
+            response_times,
+            fingerprint,
+            cached,
+        }) => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"accept\",\"cached\":{cached},\
+                 \"fingerprint\":\"{fingerprint:016x}\",\"periods_ms\":"
+            );
+            write_ms_array(&mut out, periods);
+            out.push_str(",\"response_times_ms\":");
+            write_ms_array(&mut out, response_times);
+            out.push('}');
+        }
+        Response::Rejected { tenant, reason } => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"reject\",\"reason\":"
+            );
+            json::write_escaped(&mut out, reason);
+            out.push('}');
+        }
+        Response::Error { tenant, reason } => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"error\",\"reason\":"
+            );
+            json::write_escaped(&mut out, reason);
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn write_ms_array(out: &mut String, durations: &[Duration]) {
+    out.push('[');
+    for (i, d) in durations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Ticks are tenths of a millisecond: emit an exact decimal.
+        let ticks = d.as_ticks();
+        if ticks % TICKS_PER_MS == 0 {
+            let _ = write!(out, "{}", ticks / TICKS_PER_MS);
+        } else {
+            let _ = write!(out, "{}.{}", ticks / TICKS_PER_MS, ticks % TICKS_PER_MS);
+        }
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn parses_every_op() {
+        let reg = parse_request(
+            r#"{"op":"register","tenant":1,"cores":2,"rt":[{"wcet_ms":240,"period_ms":500,"core":0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            reg,
+            Request::Register {
+                tenant: 1,
+                cores: 2,
+                rt: vec![RtSpec {
+                    wcet: ms(240),
+                    period: ms(500),
+                    core: 0
+                }],
+            }
+        );
+        let arr = parse_request(
+            r#"{"op":"arrival","tenant":1,"passive_ms":100,"active_ms":350,"t_max_ms":5000}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            arr,
+            Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::Arrival {
+                    monitor: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap()
+                }
+            }
+        );
+        // Single-mode arrival: active defaults to passive.
+        let fixed =
+            parse_request(r#"{"op":"arrival","tenant":1,"passive_ms":223,"t_max_ms":10000}"#)
+                .unwrap();
+        assert_eq!(
+            fixed,
+            Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::Arrival {
+                    monitor: MonitorSpec::fixed(ms(223), ms(10_000)).unwrap()
+                }
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"departure","tenant":1,"slot":2}"#).unwrap(),
+            Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::Departure { slot: 2 }
+            }
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"op":"wcet_update","tenant":1,"slot":0,"passive_ms":120,"active_ms":400}"#
+            )
+            .unwrap(),
+            Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::WcetUpdate {
+                    slot: 0,
+                    passive_wcet: ms(120),
+                    active_wcet: ms(400),
+                }
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"mode","tenant":1,"slot":0,"mode":"active"}"#).unwrap(),
+            Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::ModeChange {
+                    slot: 0,
+                    mode: MonitorMode::Active
+                }
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"query","tenant":6}"#).unwrap(),
+            Request::Query { tenant: 6 }
+        );
+    }
+
+    #[test]
+    fn fractional_milliseconds_round_to_ticks() {
+        let req =
+            parse_request(r#"{"op":"arrival","tenant":1,"passive_ms":0.15,"t_max_ms":10.24}"#)
+                .unwrap();
+        let Request::Delta {
+            event: DeltaEvent::Arrival { monitor },
+            ..
+        } = req
+        else {
+            panic!()
+        };
+        assert_eq!(monitor.passive_wcet(), Duration::from_ticks(2)); // 0.15 ms -> 1.5 -> 2 ticks
+        assert_eq!(monitor.t_max(), Duration::from_ticks(102));
+    }
+
+    #[test]
+    fn bad_requests_report_the_field() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"query"}"#)
+            .unwrap_err()
+            .contains("tenant"));
+        assert!(parse_request(r#"{"op":"warp","tenant":1}"#)
+            .unwrap_err()
+            .contains("warp"));
+        assert!(parse_request(r#"{"op":"mode","tenant":1,"slot":0,"mode":"calm"}"#).is_err());
+        assert!(
+            parse_request(r#"{"op":"register","tenant":1,"cores":2,"rt":[{"period_ms":5}]}"#)
+                .unwrap_err()
+                .contains("rt[0]")
+        );
+        // Invalid monitor shape caught at parse time.
+        assert!(parse_request(
+            r#"{"op":"arrival","tenant":1,"passive_ms":400,"active_ms":100,"t_max_ms":5000}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn responses_render_as_single_json_lines() {
+        let admitted = Response::Admitted(Admitted {
+            tenant: 1,
+            periods: vec![ms(7582), Duration::from_ticks(27_835)],
+            response_times: vec![ms(7582), Duration::from_ticks(27_835)],
+            fingerprint: 0xf00d_cafe,
+            cached: true,
+        });
+        let line = render_response(3, &admitted);
+        assert_eq!(
+            line,
+            "{\"seq\":3,\"tenant\":1,\"verdict\":\"accept\",\"cached\":true,\
+             \"fingerprint\":\"00000000f00dcafe\",\"periods_ms\":[7582,2783.5],\
+             \"response_times_ms\":[7582,2783.5]}"
+        );
+        // The line must itself parse as JSON.
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("verdict").and_then(Json::as_str), Some("accept"));
+        let rejected = render_response(
+            4,
+            &Response::Rejected {
+                tenant: 2,
+                reason: "a \"quoted\" reason".into(),
+            },
+        );
+        let parsed = crate::json::parse(&rejected).unwrap();
+        assert_eq!(
+            parsed.get("reason").and_then(Json::as_str),
+            Some("a \"quoted\" reason")
+        );
+        assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(4));
+    }
+}

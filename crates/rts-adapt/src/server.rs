@@ -1,0 +1,277 @@
+//! Stream front ends: line-delimited JSON over stdin/stdout or TCP.
+//!
+//! [`serve`] pumps one request stream through a [`ShardedEngine`]:
+//! lines are read greedily (up to the batch cap, but never *waiting* for
+//! a full batch — whatever is already buffered is dispatched, so an
+//! interactive client gets per-line answers while a pipelined client
+//! gets batched throughput), submitted as one batch, and the answers are
+//! written back ordered by sequence number.
+//!
+//! [`serve_tcp`] accepts connections sequentially and runs [`serve`] on
+//! each — tenant state persists across connections (the engine outlives
+//! them). One connection is served at a time; concurrency lives in the
+//! shard pool behind the protocol, not in the accept loop.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+
+use crate::proto;
+use crate::shard::ShardedEngine;
+
+/// Totals of one [`serve`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServeSummary {
+    /// Lines read (requests attempted).
+    pub requests: u64,
+    /// Responses written (equals `requests`; every line is answered).
+    pub responses: u64,
+    /// Responses with `verdict:"error"` due to unparsable lines.
+    pub parse_errors: u64,
+}
+
+/// Serves `input` until EOF, writing one response line per request line.
+///
+/// `batch` caps how many lines are dispatched per round (≥ 1). Lines
+/// beyond the first are only consumed while they are already buffered,
+/// so interactive use is never stalled waiting for a batch to fill.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `input`/`output`. Protocol errors never
+/// abort the stream — they are answered with `verdict:"error"` lines.
+pub fn serve<R: Read, W: Write>(
+    engine: &mut ShardedEngine,
+    input: BufReader<R>,
+    mut output: W,
+    batch: usize,
+) -> io::Result<ServeSummary> {
+    let batch = batch.max(1);
+    let mut input = input;
+    let mut summary = ServeSummary::default();
+    let mut seq: u64 = 0;
+    let mut line = Vec::new();
+    let mut round: Vec<(u64, Result<Vec<u8>, String>)> = Vec::with_capacity(batch);
+    loop {
+        // Blocking read of the round's first line; EOF ends the stream.
+        let Some(first) = read_bounded_line(&mut input, &mut line)? else {
+            return Ok(summary);
+        };
+        round.push((seq, first.map(|()| std::mem::take(&mut line))));
+        seq += 1;
+        // Greedily take already-buffered complete lines, up to the cap.
+        while round.len() < batch && input.buffer().contains(&b'\n') {
+            let Some(next) = read_bounded_line(&mut input, &mut line)? else {
+                break;
+            };
+            round.push((seq, next.map(|()| std::mem::take(&mut line))));
+            seq += 1;
+        }
+
+        summary.requests += round.len() as u64;
+        let mut answers: Vec<(u64, String)> = Vec::with_capacity(round.len());
+        let mut submitted: Vec<(u64, crate::engine::Request)> = Vec::with_capacity(round.len());
+        for (line_seq, text) in round.drain(..) {
+            let parsed = text.and_then(|bytes| {
+                let text = std::str::from_utf8(&bytes).map_err(|_| "invalid UTF-8".to_string())?;
+                proto::parse_request(text.trim())
+            });
+            match parsed {
+                Ok(request) => submitted.push((line_seq, request)),
+                Err(reason) => {
+                    summary.parse_errors += 1;
+                    answers.push((
+                        line_seq,
+                        proto::render_response(
+                            line_seq,
+                            &crate::engine::Response::Error { tenant: 0, reason },
+                        ),
+                    ));
+                }
+            }
+        }
+        engine.submit_batch(submitted);
+        for (answer_seq, response) in engine.drain() {
+            answers.push((answer_seq, proto::render_response(answer_seq, &response)));
+        }
+        answers.sort_by_key(|&(s, _)| s);
+        for (_, rendered) in &answers {
+            output.write_all(rendered.as_bytes())?;
+            output.write_all(b"\n")?;
+        }
+        output.flush()?;
+        summary.responses += answers.len() as u64;
+    }
+}
+
+/// Hard cap on one request line — far above any legitimate request
+/// (even a thousand-task registration is a few tens of KiB), and the
+/// bound that keeps a newline-less client from growing the daemon's
+/// memory without limit.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Reads one newline-terminated line into `buf`, bounded by
+/// [`MAX_LINE_BYTES`]. Returns `None` at EOF; `Some(Ok(()))` with the
+/// line (newline included) in `buf`; `Some(Err(reason))` for an
+/// oversized line, whose remaining bytes have been consumed and
+/// discarded so the stream stays line-synchronized.
+fn read_bounded_line<R: Read>(
+    input: &mut BufReader<R>,
+    buf: &mut Vec<u8>,
+) -> io::Result<Option<Result<(), String>>> {
+    buf.clear();
+    let mut oversized = false;
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            // EOF: a partial unterminated line still counts as a line.
+            return Ok(match (buf.is_empty(), oversized) {
+                (true, false) => None,
+                (_, false) => Some(Ok(())),
+                (_, true) => Some(Err(oversized_reason())),
+            });
+        }
+        if let Some(newline) = available.iter().position(|&b| b == b'\n') {
+            if !oversized {
+                buf.extend_from_slice(&available[..=newline]);
+            }
+            input.consume(newline + 1);
+            return Ok(Some(if oversized {
+                Err(oversized_reason())
+            } else {
+                Ok(())
+            }));
+        }
+        let len = available.len();
+        if !oversized {
+            if buf.len() + len > MAX_LINE_BYTES {
+                oversized = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(available);
+            }
+        }
+        input.consume(len);
+    }
+}
+
+fn oversized_reason() -> String {
+    format!("request line exceeds {MAX_LINE_BYTES} bytes")
+}
+
+/// Binds `addr` and serves connections sequentially, forever.
+///
+/// # Errors
+///
+/// Returns the bind error; per-connection I/O errors are logged to
+/// stderr and the loop moves on to the next connection.
+pub fn serve_tcp(engine: &mut ShardedEngine, addr: &str, batch: usize) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("rts-adaptd listening on {}", listener.local_addr()?);
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        eprintln!("serving {peer}");
+        let reader = match stream.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(e) => {
+                eprintln!("clone failed for {peer}: {e}");
+                continue;
+            }
+        };
+        match serve(engine, reader, stream, batch) {
+            Ok(summary) => eprintln!(
+                "{peer} done: {} requests, {} parse errors",
+                summary.requests, summary.parse_errors
+            ),
+            Err(e) => eprintln!("{peer} aborted: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_analysis::semi::CarryInStrategy;
+
+    fn run_lines(input: &str, batch: usize) -> (ServeSummary, Vec<String>) {
+        let mut engine = ShardedEngine::new(CarryInStrategy::Exhaustive, 2);
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve(
+            &mut engine,
+            BufReader::new(input.as_bytes()),
+            &mut out,
+            batch,
+        )
+        .unwrap();
+        let _ = engine.shutdown();
+        let text = String::from_utf8(out).unwrap();
+        (summary, text.lines().map(str::to_owned).collect())
+    }
+
+    const SESSION: &str = "\
+{\"op\":\"register\",\"tenant\":1,\"cores\":2,\"rt\":[{\"wcet_ms\":240,\"period_ms\":500,\"core\":0},{\"wcet_ms\":1120,\"period_ms\":5000,\"core\":1}]}
+{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}
+{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":223,\"t_max_ms\":10000}
+not json at all
+{\"op\":\"query\",\"tenant\":1}
+";
+
+    #[test]
+    fn serves_a_session_in_order_for_any_batch_cap() {
+        let reference = run_lines(SESSION, 1);
+        assert_eq!(reference.0.requests, 5);
+        assert_eq!(reference.0.responses, 5);
+        assert_eq!(reference.0.parse_errors, 1);
+        // The rover's admitted periods appear in the final query line.
+        assert!(reference.1[4].contains("\"periods_ms\":[7582,2783]"));
+        assert!(reference.1[3].contains("\"verdict\":\"error\""));
+        for batch in [2, 64] {
+            let run = run_lines(SESSION, batch);
+            assert_eq!(run.1, reference.1, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn every_line_gets_a_seq_aligned_answer() {
+        let (_, lines) = run_lines(SESSION, 8);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i},")), "line {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_input_serves_nothing() {
+        let (summary, lines) = run_lines("", 4);
+        assert_eq!(summary, ServeSummary::default());
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_buffering_them() {
+        // A 3 MiB newline-less prefix must not be accumulated: it is
+        // answered with a bounded error line and the stream stays
+        // line-synchronized for the request that follows.
+        let mut input = "x".repeat(3 * MAX_LINE_BYTES);
+        input.push('\n');
+        input.push_str("{\"op\":\"query\",\"tenant\":5}\n");
+        let (summary, lines) = run_lines(&input, 4);
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.parse_errors, 1);
+        assert!(lines[0].contains("exceeds"), "{}", lines[0]);
+        // The follow-up request parsed fine (unknown tenant, but the
+        // protocol understood it — proof the stream re-synchronized).
+        assert!(lines[1].contains("unknown tenant 5"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn unterminated_final_line_is_still_served() {
+        let (summary, lines) = run_lines("{\"op\":\"query\",\"tenant\":9}", 4);
+        assert_eq!(summary.requests, 1);
+        assert!(lines[0].contains("unknown tenant 9"));
+    }
+}

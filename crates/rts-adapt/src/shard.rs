@@ -1,0 +1,321 @@
+//! The scale-out layer: tenants hashed onto a pool of worker shards.
+//!
+//! Tenants are fully independent (separate RT systems, separate monitor
+//! tables, separate memos), so the service scales by *partitioning*
+//! rather than locking: each worker thread owns one
+//! [`AdaptEngine`](crate::engine::AdaptEngine) and exclusively serves the
+//! tenants that hash onto it. Requests travel in **batches** (one
+//! channel message per shard per submitted batch) to amortize channel
+//! overhead at high request rates; responses stream back individually,
+//! tagged with the caller's sequence number.
+//!
+//! # Ordering and determinism
+//!
+//! A tenant's requests are answered in submission order: the tenant maps
+//! to exactly one shard, the shard channel is FIFO, and the worker is
+//! single-threaded. Because tenants are independent, the *answers* are
+//! bit-identical for every shard count — only interleaving across
+//! tenants varies — which is what lets the load harness assert exact
+//! verdict populations regardless of `--shards`.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use hydra_core::incremental::MemoStats;
+use rts_analysis::semi::CarryInStrategy;
+
+use crate::engine::{AdaptEngine, Request, Response};
+
+/// One request travelling through the pool, tagged with the caller's
+/// sequence number.
+type Envelope = (u64, Request);
+
+/// What one worker reports when the pool shuts down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests the shard handled.
+    pub handled: u64,
+    /// Tenants registered on the shard.
+    pub tenants: usize,
+    /// Aggregated selection-memo statistics of those tenants.
+    pub memo: MemoStats,
+}
+
+/// A pool of [`AdaptEngine`] workers with tenant-hash dispatch.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    senders: Vec<Sender<Vec<Envelope>>>,
+    results: Receiver<(u64, Response)>,
+    reports: Receiver<ShardReport>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: usize,
+    scratch: Vec<Vec<Envelope>>,
+}
+
+impl ShardedEngine {
+    /// Spawns `shards` worker threads (at least one), each owning an
+    /// [`AdaptEngine`] running under `strategy`.
+    #[must_use]
+    pub fn new(strategy: CarryInStrategy, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let (results_tx, results) = mpsc::channel();
+        let (reports_tx, reports) = mpsc::channel();
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<Vec<Envelope>>();
+            senders.push(tx);
+            let results_tx = results_tx.clone();
+            let reports_tx = reports_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut engine = AdaptEngine::new(strategy);
+                let mut handled = 0u64;
+                for batch in rx {
+                    for (seq, request) in batch {
+                        let response = engine.handle(&request);
+                        handled += 1;
+                        if results_tx.send((seq, response)).is_err() {
+                            return; // collector gone — stop quietly
+                        }
+                    }
+                }
+                let _ = reports_tx.send(ShardReport {
+                    shard,
+                    handled,
+                    tenants: engine.tenant_count(),
+                    memo: engine.memo_stats(),
+                });
+            }));
+        }
+        ShardedEngine {
+            senders,
+            results,
+            reports,
+            workers,
+            in_flight: 0,
+            scratch: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a tenant is served by (SplitMix64 of the tenant id,
+    /// reduced modulo the shard count).
+    #[must_use]
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        let mut z = tenant.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % self.senders.len()
+    }
+
+    /// Responses submitted but not yet received.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Submits a batch: requests are split by tenant hash and forwarded
+    /// with one channel message per involved shard, preserving the given
+    /// order within each shard (hence per tenant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread has died (its channel is closed) —
+    /// workers only exit on shutdown, so this indicates a bug, and
+    /// continuing would silently drop requests.
+    pub fn submit_batch(&mut self, batch: Vec<Envelope>) {
+        self.in_flight += batch.len();
+        for envelope in batch {
+            let shard = self.shard_of(envelope.1.tenant());
+            self.scratch[shard].push(envelope);
+        }
+        for (shard, bucket) in self.scratch.iter_mut().enumerate() {
+            if !bucket.is_empty() {
+                self.senders[shard]
+                    .send(std::mem::take(bucket))
+                    .expect("shard worker died with requests outstanding");
+            }
+        }
+    }
+
+    /// Receives one response, blocking while any are in flight. Returns
+    /// `None` once nothing is in flight.
+    pub fn recv(&mut self) -> Option<(u64, Response)> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let answer = self
+            .results
+            .recv()
+            .expect("shard workers died with requests outstanding");
+        self.in_flight -= 1;
+        Some(answer)
+    }
+
+    /// Receives every outstanding response.
+    pub fn drain(&mut self) -> Vec<(u64, Response)> {
+        let mut out = Vec::with_capacity(self.in_flight);
+        while let Some(answer) = self.recv() {
+            out.push(answer);
+        }
+        out
+    }
+
+    /// Convenience: submits `requests` as one batch and returns the
+    /// responses in request order.
+    pub fn process(&mut self, requests: Vec<Request>) -> Vec<Response> {
+        let n = requests.len();
+        self.submit_batch(
+            requests
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (i as u64, r))
+                .collect(),
+        );
+        let mut slots: Vec<Option<Response>> = vec![None; n];
+        for (seq, response) in self.drain() {
+            slots[seq as usize] = Some(response);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every submitted request is answered exactly once"))
+            .collect()
+    }
+
+    /// Shuts the pool down: waits for all outstanding responses, stops
+    /// the workers and returns their per-shard reports (ordered by shard
+    /// index).
+    #[must_use]
+    pub fn shutdown(mut self) -> Vec<ShardReport> {
+        let _ = self.drain();
+        self.senders.clear(); // closes the request channels
+        for worker in self.workers.drain(..) {
+            worker.join().expect("shard worker panicked");
+        }
+        let mut reports: Vec<ShardReport> = self.reports.try_iter().collect();
+        reports.sort_by_key(|r| r.shard);
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RtSpec;
+    use rts_model::delta::{DeltaEvent, MonitorMode, MonitorSpec};
+    use rts_model::time::Duration;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn rover_requests(tenant: u64) -> Vec<Request> {
+        vec![
+            Request::Register {
+                tenant,
+                cores: 2,
+                rt: vec![
+                    RtSpec {
+                        wcet: ms(240),
+                        period: ms(500),
+                        core: 0,
+                    },
+                    RtSpec {
+                        wcet: ms(1120),
+                        period: ms(5000),
+                        core: 1,
+                    },
+                ],
+            },
+            Request::Delta {
+                tenant,
+                event: DeltaEvent::Arrival {
+                    monitor: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+                },
+            },
+            Request::Delta {
+                tenant,
+                event: DeltaEvent::Arrival {
+                    monitor: MonitorSpec::fixed(ms(223), ms(10_000)).unwrap(),
+                },
+            },
+        ]
+    }
+
+    /// The same mixed-tenant workload answered identically for every
+    /// shard count — the sharding layer must be semantically invisible.
+    #[test]
+    fn answers_are_identical_for_every_shard_count() {
+        let workload: Vec<Request> = (0..6).flat_map(rover_requests).collect();
+        let reference: Vec<Response> = {
+            let mut engine = AdaptEngine::new(CarryInStrategy::TopDiff);
+            workload.iter().map(|r| engine.handle(r)).collect()
+        };
+        for shards in [1, 2, 5] {
+            let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, shards);
+            let answers = pool.process(workload.clone());
+            assert_eq!(answers, reference, "shards={shards}");
+            let reports = pool.shutdown();
+            assert_eq!(reports.len(), shards);
+            let handled: u64 = reports.iter().map(|r| r.handled).sum();
+            assert_eq!(handled, workload.len() as u64);
+            let tenants: usize = reports.iter().map(|r| r.tenants).sum();
+            assert_eq!(tenants, 6);
+        }
+    }
+
+    #[test]
+    fn per_tenant_order_is_preserved_across_batches() {
+        let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, 3);
+        let setup = rover_requests(42);
+        let _ = pool.process(setup);
+        // Escalate, calm, escalate: final state must be Active.
+        for mode in [
+            MonitorMode::Active,
+            MonitorMode::Passive,
+            MonitorMode::Active,
+        ] {
+            let out = pool.process(vec![Request::Delta {
+                tenant: 42,
+                event: DeltaEvent::ModeChange { slot: 1, mode },
+            }]);
+            assert!(out[0].is_admitted());
+        }
+        let q = pool.process(vec![Request::Query { tenant: 42 }]);
+        let Response::Admitted(_) = &q[0] else {
+            panic!()
+        };
+        let reports = pool.shutdown();
+        // 3 setup requests + 3 mode switches + 1 query.
+        assert_eq!(reports.iter().map(|r| r.handled).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let pool = ShardedEngine::new(CarryInStrategy::TopDiff, 4);
+        for tenant in 0..100 {
+            let s = pool.shard_of(tenant);
+            assert!(s < 4);
+            assert_eq!(s, pool.shard_of(tenant));
+        }
+        // The hash actually spreads tenants around.
+        let hit: std::collections::HashSet<usize> = (0..100).map(|t| pool.shard_of(t)).collect();
+        assert_eq!(hit.len(), 4);
+        let _ = pool.shutdown();
+    }
+
+    #[test]
+    fn recv_returns_none_when_idle() {
+        let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, 2);
+        assert_eq!(pool.in_flight(), 0);
+        assert!(pool.recv().is_none());
+        let _ = pool.shutdown();
+    }
+}

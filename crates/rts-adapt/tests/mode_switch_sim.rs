@@ -1,0 +1,201 @@
+//! Runtime validation of online mode switching: every configuration the
+//! adaptation engine admits for a reactive-monitor scenario is simulated
+//! (synchronous release, the analysis' critical instant) and must run
+//! without a single deadline miss.
+//!
+//! The scenario is the paper's rover carrying a reactive kernel-module
+//! checker (`ids_sim::reactive::ModalMonitor`) beside the fixed Tripwire
+//! sweep: clean sweeps, an escalation when findings appear, and a
+//! de-escalation after the configured clean streak — each transition
+//! driving a `DeltaEvent::ModeChange` through the engine, exactly the
+//! wiring a live deployment would use.
+
+use ids_sim::reactive::{ModalMonitor, SweepOutcome};
+use rts_adapt::engine::{AdaptEngine, Request, Response, RtSpec};
+use rts_adapt::prelude::*;
+use rts_model::prelude::*;
+use rts_model::time::Duration;
+use rts_sim::modes::{simulate_phases, ModePhase};
+use rts_sim::scenario::{system_specs, SecurityPlacement};
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+/// The rover's frozen RT side, as both a registration request and the
+/// `System` the simulator scenario builder wants.
+fn rover_rt() -> (Vec<RtSpec>, System) {
+    let rt_specs = vec![
+        RtSpec {
+            wcet: ms(240),
+            period: ms(500),
+            core: 0,
+        },
+        RtSpec {
+            wcet: ms(1120),
+            period: ms(5000),
+            core: 1,
+        },
+    ];
+    let platform = Platform::dual_core();
+    let rt = RtTaskSet::new_rate_monotonic(vec![
+        RtTask::new(ms(240), ms(500)).unwrap().labeled("navigation"),
+        RtTask::new(ms(1120), ms(5000)).unwrap().labeled("camera"),
+    ]);
+    let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+    let system = System::new(platform, rt, partition, SecurityTaskSet::default()).unwrap();
+    (rt_specs, system)
+}
+
+/// The security task set the engine admitted, reconstructed from the
+/// monitor table it reports through (spec, mode) — used to rebuild the
+/// simulator specs for each admitted configuration.
+fn admitted_phase(
+    base: &System,
+    engine: &AdaptEngine,
+    tenant: u64,
+    label: &str,
+    horizon: Duration,
+) -> ModePhase {
+    let state = engine.tenant(tenant).expect("tenant registered");
+    let sec = state.admission_task_set();
+    let system = System::new(
+        base.platform(),
+        base.rt_tasks().clone(),
+        base.partition().clone(),
+        sec,
+    )
+    .unwrap();
+    let periods = state.admitted().periods.as_slice();
+    ModePhase::new(
+        label,
+        system_specs(&system, periods, SecurityPlacement::Migrating),
+        horizon,
+    )
+}
+
+#[test]
+fn adapted_periods_survive_a_full_escalation_cycle() {
+    let (rt_specs, base) = rover_rt();
+    let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+    assert!(engine
+        .handle(&Request::Register {
+            tenant: 1,
+            cores: 2,
+            rt: rt_specs,
+        })
+        .is_admitted());
+
+    // Tripwire (fixed) + a reactive kmod checker, both integrated online.
+    let tripwire = MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap();
+    let mut kmod = ModalMonitor::new(ms(223), ms(800), ms(10_000), 2).unwrap();
+    for monitor in [tripwire, kmod.spec()] {
+        assert!(engine
+            .handle(&Request::Delta {
+                tenant: 1,
+                event: DeltaEvent::Arrival { monitor },
+            })
+            .is_admitted());
+    }
+
+    // Drive the reactive state machine through a full cycle: clean,
+    // findings (escalate), clean, clean (calm down). Each transition is
+    // forwarded to the engine; each admitted configuration becomes a
+    // simulation phase of 60 simulated seconds.
+    let horizon = Duration::from_ms(60_000);
+    let mut phases = vec![admitted_phase(&base, &engine, 1, "passive", horizon)];
+    let mut periods_seen = vec![engine.tenant(1).unwrap().admitted().periods.clone()];
+    let sweeps = [
+        ("clean", SweepOutcome::Clean),
+        ("findings", SweepOutcome::Findings(2)),
+        ("clean-1", SweepOutcome::Clean),
+        ("clean-2", SweepOutcome::Clean),
+    ];
+    for (label, outcome) in sweeps {
+        // The kmod checker is slot 1 (Tripwire arrived first).
+        let Some(event) = kmod.observe_delta(1, outcome) else {
+            continue;
+        };
+        let response = engine.handle(&Request::Delta { tenant: 1, event });
+        let Response::Admitted(_) = &response else {
+            panic!("mode switch must be admitted on the rover: {response:?}");
+        };
+        phases.push(admitted_phase(&base, &engine, 1, label, horizon));
+        periods_seen.push(engine.tenant(1).unwrap().admitted().periods.clone());
+    }
+
+    // One escalation + one de-escalation → passive, active, passive.
+    assert_eq!(phases.len(), 3);
+    assert_eq!(
+        periods_seen[0], periods_seen[2],
+        "de-escalation must restore the passive configuration exactly"
+    );
+    assert!(
+        periods_seen[1].as_slice()[1] > periods_seen[0].as_slice()[1],
+        "the active sweep needs a longer admitted period"
+    );
+
+    // Every admitted configuration must run miss-free from its critical
+    // instant — the runtime witness that re-selection at mode switches
+    // preserves every deadline.
+    let outcomes = simulate_phases(base.platform(), &phases, 0xADA9);
+    for outcome in &outcomes {
+        assert!(
+            outcome.clean(),
+            "phase {} missed {} deadlines",
+            outcome.label,
+            outcome.metrics.total_deadline_misses()
+        );
+        // The phases genuinely exercised the system.
+        assert!(outcome.metrics.tasks.iter().all(|t| t.released > 0));
+    }
+}
+
+#[test]
+fn rejected_escalation_keeps_running_the_admitted_passive_config() {
+    // A monitor whose active sweep cannot fit beside Tripwire: the
+    // escalation is refused, and the *still-running* configuration —
+    // the passive one the engine reports — remains miss-free.
+    let (rt_specs, base) = rover_rt();
+    let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+    engine.handle(&Request::Register {
+        tenant: 1,
+        cores: 2,
+        rt: rt_specs,
+    });
+    engine.handle(&Request::Delta {
+        tenant: 1,
+        event: DeltaEvent::Arrival {
+            monitor: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+        },
+    });
+    let greedy = MonitorSpec::modal(ms(223), ms(9500), ms(10_000)).unwrap();
+    assert!(engine
+        .handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::Arrival { monitor: greedy },
+        })
+        .is_admitted());
+    let passive_periods = engine.tenant(1).unwrap().admitted().periods.clone();
+
+    let response = engine.handle(&Request::Delta {
+        tenant: 1,
+        event: DeltaEvent::ModeChange {
+            slot: 1,
+            mode: MonitorMode::Active,
+        },
+    });
+    assert!(
+        matches!(response, Response::Rejected { .. }),
+        "the 9.5 s active sweep cannot be admitted: {response:?}"
+    );
+    assert_eq!(
+        engine.tenant(1).unwrap().admitted().periods,
+        passive_periods,
+        "rejection must not disturb the committed configuration"
+    );
+
+    let phase = admitted_phase(&base, &engine, 1, "passive", Duration::from_ms(60_000));
+    let outcomes = simulate_phases(base.platform(), &[phase], 1);
+    assert!(outcomes[0].clean());
+}

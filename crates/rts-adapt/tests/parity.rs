@@ -1,0 +1,304 @@
+//! The incremental-vs-from-scratch parity battery.
+//!
+//! The `rts-adapt` acceptance bar: **every** answer the adaptation
+//! engine produces — verdict, periods and response times — must be
+//! bit-identical to a fresh, design-time Algorithm 1 run
+//! (`hydra_core::select_periods`) on the equivalent frozen system, for
+//! both carry-in strategies. The battery drives seeded random delta
+//! streams (arrivals, departures, WCET updates, mode flips — including
+//! rejected events) against several tenants and shadows the engine with
+//! an independent model of the monitor table, so the from-scratch
+//! reference is reconstructed without peeking at the engine's state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rts_adapt::engine::{AdaptEngine, Admitted, Request, Response, RtSpec};
+use rts_adapt::prelude::*;
+use rts_model::prelude::*;
+use rts_model::time::Duration;
+
+fn t(v: u64) -> Duration {
+    Duration::from_ticks(v)
+}
+
+/// An independent shadow of one tenant: the frozen RT side plus the
+/// monitor table the engine *should* hold after the accepted prefix of
+/// the delta stream.
+struct Shadow {
+    platform: Platform,
+    rt: RtTaskSet,
+    partition: Partition,
+    monitors: Vec<(MonitorSpec, MonitorMode)>,
+}
+
+impl Shadow {
+    /// The equivalent design-time system for the current table.
+    fn system(&self) -> System {
+        let sec: SecurityTaskSet = self
+            .monitors
+            .iter()
+            .map(|&(spec, mode)| spec.task_in(mode))
+            .collect();
+        System::new(self.platform, self.rt.clone(), self.partition.clone(), sec).unwrap()
+    }
+
+    /// Applies an event the engine reported as accepted.
+    fn commit(&mut self, event: &DeltaEvent) {
+        match *event {
+            DeltaEvent::Arrival { monitor } => {
+                self.monitors.push((monitor, MonitorMode::Passive));
+            }
+            DeltaEvent::Departure { slot } => {
+                self.monitors.remove(slot);
+            }
+            DeltaEvent::WcetUpdate {
+                slot,
+                passive_wcet,
+                active_wcet,
+            } => {
+                let t_max = self.monitors[slot].0.t_max();
+                self.monitors[slot].0 =
+                    MonitorSpec::modal(passive_wcet, active_wcet, t_max).unwrap();
+            }
+            DeltaEvent::ModeChange { slot, mode } => {
+                self.monitors[slot].1 = mode;
+            }
+        }
+    }
+}
+
+/// Draws a random tenant: 1–3 cores, 2–5 RT tasks at moderate load.
+fn random_tenant(rng: &mut StdRng) -> (Vec<RtSpec>, Shadow, usize) {
+    loop {
+        let cores = rng.gen_range(1..=3usize);
+        let n_rt = rng.gen_range(2..=5usize);
+        let mut specs = Vec::with_capacity(n_rt);
+        for _ in 0..n_rt {
+            let period = t(rng.gen_range(50..=400u64) * 10);
+            let util = rng.gen_range(0.05..=0.35f64);
+            let wcet = t(((period.as_ticks() as f64 * util) as u64).max(1));
+            specs.push(RtSpec {
+                wcet,
+                period,
+                core: rng.gen_range(0..cores),
+            });
+        }
+        let platform = Platform::new(cores).unwrap();
+        let mut sorted = specs.clone();
+        sorted.sort_by(|a, b| a.period.cmp(&b.period).then_with(|| a.wcet.cmp(&b.wcet)));
+        let rt = RtTaskSet::new(
+            sorted
+                .iter()
+                .map(|s| RtTask::new(s.wcet, s.period).unwrap())
+                .collect(),
+        );
+        let partition = Partition::new(
+            platform,
+            sorted.iter().map(|s| CoreId::new(s.core)).collect(),
+        )
+        .unwrap();
+        let shadow = Shadow {
+            platform,
+            rt,
+            partition,
+            monitors: Vec::new(),
+        };
+        // Only RT-schedulable tenants register successfully; redraw others
+        // (the registration-rejection path has its own dedicated test).
+        if rts_analysis::rt_schedulable(&shadow.system()) {
+            return (specs, shadow, cores);
+        }
+    }
+}
+
+/// Draws a random monitor spec sized for the tenant's spare capacity —
+/// deliberately wide enough that some arrivals and escalations REJECT.
+fn random_monitor(rng: &mut StdRng) -> MonitorSpec {
+    let t_max = t(rng.gen_range(800..=4000u64) * 10);
+    let passive = t(rng.gen_range(1..=(t_max.as_ticks() / 12)).max(1));
+    let active_cap = t_max.as_ticks() / 2;
+    let active = t(rng.gen_range(passive.as_ticks()..=active_cap.max(passive.as_ticks())));
+    MonitorSpec::modal(passive, active, t_max).unwrap()
+}
+
+/// One random, *valid-by-construction* delta for the current table size
+/// (slot indices always in range; the verdict is still up to analysis).
+fn random_event(rng: &mut StdRng, monitors: &[(MonitorSpec, MonitorMode)]) -> DeltaEvent {
+    let roll = rng.gen_range(0..100u32);
+    if monitors.is_empty() || roll < 25 {
+        DeltaEvent::Arrival {
+            monitor: random_monitor(rng),
+        }
+    } else if roll < 40 {
+        let slot = rng.gen_range(0..monitors.len());
+        let t_max = monitors[slot].0.t_max();
+        let passive = t(rng.gen_range(1..=(t_max.as_ticks() / 10)).max(1));
+        let active = t(rng.gen_range(passive.as_ticks()..=t_max.as_ticks() / 2));
+        DeltaEvent::WcetUpdate {
+            slot,
+            passive_wcet: passive,
+            active_wcet: active,
+        }
+    } else if roll < 50 && monitors.len() > 1 {
+        DeltaEvent::Departure {
+            slot: rng.gen_range(0..monitors.len()),
+        }
+    } else {
+        let slot = rng.gen_range(0..monitors.len());
+        DeltaEvent::ModeChange {
+            slot,
+            mode: monitors[slot].1.flipped(),
+        }
+    }
+}
+
+/// The battery core: `deltas` random events against one tenant, every
+/// answer compared against the from-scratch reference. Returns the
+/// `(accepted, rejected)` verdict counts so callers can assert the
+/// streams exercised both outcomes.
+fn run_battery(strategy: CarryInStrategy, seed: u64, deltas: usize) -> (usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (rt_specs, mut shadow, cores) = random_tenant(&mut rng);
+    let mut engine = AdaptEngine::new(strategy);
+    let reg = engine.handle(&Request::Register {
+        tenant: seed,
+        cores,
+        rt: rt_specs,
+    });
+    assert!(
+        reg.is_admitted(),
+        "tenant was drawn RT-schedulable: {reg:?}"
+    );
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for step in 0..deltas {
+        let event = random_event(&mut rng, &shadow.monitors);
+        let response = engine.handle(&Request::Delta {
+            tenant: seed,
+            event,
+        });
+
+        // The from-scratch reference for the POST-event configuration.
+        let mut probe = Shadow {
+            platform: shadow.platform,
+            rt: shadow.rt.clone(),
+            partition: shadow.partition.clone(),
+            monitors: shadow.monitors.clone(),
+        };
+        probe.commit(&event);
+        let reference = hydra_core::select_periods(&probe.system(), strategy);
+
+        match (&response, &reference) {
+            (
+                Response::Admitted(Admitted {
+                    periods,
+                    response_times,
+                    ..
+                }),
+                Ok(selection),
+            ) => {
+                assert_eq!(
+                    periods,
+                    selection.periods.as_slice(),
+                    "seed {seed} step {step} ({strategy:?}): periods diverge on {event:?}"
+                );
+                assert_eq!(
+                    response_times, &selection.response_times,
+                    "seed {seed} step {step} ({strategy:?}): response times diverge"
+                );
+                shadow.commit(&event);
+                accepted += 1;
+            }
+            (Response::Rejected { reason, .. }, Err(e)) => {
+                assert_eq!(
+                    reason,
+                    &e.to_string(),
+                    "seed {seed} step {step} ({strategy:?}): rejection reasons diverge"
+                );
+                rejected += 1;
+            }
+            (got, want) => panic!(
+                "seed {seed} step {step} ({strategy:?}): verdict mismatch on {event:?}\n\
+                 engine:    {got:?}\nreference: {want:?}"
+            ),
+        }
+
+        // The committed configuration must also match from scratch (the
+        // engine may only be running something Algorithm 1 admits).
+        let committed = engine.handle(&Request::Query { tenant: seed });
+        let Response::Admitted(q) = committed else {
+            panic!("query failed")
+        };
+        let current = hydra_core::select_periods(&shadow.system(), strategy)
+            .expect("the committed configuration is admitted by construction");
+        assert_eq!(q.periods, current.periods.as_slice());
+    }
+
+    assert!(accepted > 0, "seed {seed}: no event was ever accepted");
+    (accepted, rejected)
+}
+
+#[test]
+fn incremental_parity_topdiff() {
+    let mut rejected = 0;
+    for seed in [1u64, 2, 3, 4, 5, 6] {
+        rejected += run_battery(CarryInStrategy::TopDiff, seed, 60).1;
+    }
+    // The battery must genuinely exercise the rejection path; a silent
+    // collapse of the workload into all-accepts fails loudly.
+    assert!(rejected > 0, "no TopDiff stream ever rejected an event");
+}
+
+#[test]
+fn incremental_parity_exhaustive() {
+    // Exhaustive is exponential in the monitor count; fewer, shorter
+    // streams keep the battery fast while covering the same paths.
+    let mut rejected = 0;
+    for seed in [7u64, 8, 9, 10] {
+        rejected += run_battery(CarryInStrategy::Exhaustive, seed, 35).1;
+    }
+    assert!(rejected > 0, "no Exhaustive stream ever rejected an event");
+}
+
+/// Memoized answers must stay exact under heavy revisiting: flip one
+/// monitor's mode many times and compare every single answer.
+#[test]
+fn oscillation_stays_exact_for_both_strategies() {
+    for strategy in [CarryInStrategy::TopDiff, CarryInStrategy::Exhaustive] {
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let (rt_specs, mut shadow, cores) = random_tenant(&mut rng);
+        let mut engine = AdaptEngine::new(strategy);
+        engine.handle(&Request::Register {
+            tenant: 1,
+            cores,
+            rt: rt_specs,
+        });
+        // One modest modal monitor that both modes admit.
+        let spec = MonitorSpec::modal(t(40), t(80), t(20_000)).unwrap();
+        let arrival = DeltaEvent::Arrival { monitor: spec };
+        assert!(engine
+            .handle(&Request::Delta {
+                tenant: 1,
+                event: arrival,
+            })
+            .is_admitted());
+        shadow.commit(&arrival);
+        for flip in 0..20 {
+            let mode = shadow.monitors[0].1.flipped();
+            let event = DeltaEvent::ModeChange { slot: 0, mode };
+            let response = engine.handle(&Request::Delta { tenant: 1, event });
+            shadow.commit(&event);
+            let reference = hydra_core::select_periods(&shadow.system(), strategy).unwrap();
+            let Response::Admitted(a) = response else {
+                panic!("flip {flip} rejected under {strategy:?}")
+            };
+            assert_eq!(a.periods, reference.periods.as_slice(), "flip {flip}");
+            assert_eq!(a.response_times, reference.response_times, "flip {flip}");
+            // Flip 0 (first escalation) runs Algorithm 1; every later
+            // flip re-visits a memoized configuration (the passive one
+            // was cached when the arrival was admitted).
+            assert_eq!(a.cached, flip >= 1, "flip {flip}");
+        }
+    }
+}

@@ -152,32 +152,83 @@ impl Curve {
     /// Eqs. 3/5 — reporting the capped value, right-slope and the next
     /// point where the *capped* term's slope may change.
     pub(crate) fn capped_piece(&self, x: u64, cs: u64) -> Piece {
-        debug_assert!(x >= cs);
-        let cap = x - cs + 1;
-        let p = self.piece(x);
-        if p.value < cap {
-            p
-        } else if p.value == cap {
-            Piece {
-                value: cap,
-                slope: p.slope.min(1),
-                next_bp: p.next_bp,
-            }
-        } else {
-            // Cap binds: the term follows x − cs + 1 (slope 1). If the
-            // curve is momentarily flat the cap catches up after
-            // (value − cap) ticks — that is a slope-change point too.
-            let catch_up = if p.slope == 0 {
-                x + (p.value - cap)
-            } else {
-                INF
-            };
-            Piece {
-                value: cap,
-                slope: 1,
-                next_bp: p.next_bp.min(catch_up),
-            }
+        cap_piece(self.piece(x), x, cs)
+    }
+}
+
+/// Applies the Eq. 3/5 interference cap `min(W, x − cs + 1)` to an
+/// uncapped piece evaluated at `x` — the single source of the capping
+/// rules, shared by [`Curve::capped_piece`] and the memoized
+/// [`SegmentCache`].
+fn cap_piece(p: Piece, x: u64, cs: u64) -> Piece {
+    debug_assert!(x >= cs);
+    let cap = x - cs + 1;
+    if p.value < cap {
+        p
+    } else if p.value == cap {
+        Piece {
+            value: cap,
+            slope: p.slope.min(1),
+            next_bp: p.next_bp,
         }
+    } else {
+        // Cap binds: the term follows x − cs + 1 (slope 1). If the
+        // curve is momentarily flat the cap catches up after
+        // (value − cap) ticks — that is a slope-change point too.
+        let catch_up = if p.slope == 0 {
+            x + (p.value - cap)
+        } else {
+            INF
+        };
+        Piece {
+            value: cap,
+            slope: 1,
+            next_bp: p.next_bp.min(catch_up),
+        }
+    }
+}
+
+/// Memoized curve evaluation for a monotone walk: remembers the affine
+/// segment the last query landed in and answers every query below its
+/// breakpoint by extrapolation (`value + slope·δ` — exact, since the
+/// curve *is* affine there), re-walking the underlying curve only when a
+/// breakpoint is crossed. For [`Curve::Group`] this turns the per-probe
+/// cost from O(tasks) into O(1) between breakpoints; queries must be
+/// non-decreasing in `x`.
+struct SegmentCache<'a> {
+    curve: &'a Curve,
+    /// Where `piece` was (re)computed.
+    at: u64,
+    piece: Piece,
+}
+
+impl<'a> SegmentCache<'a> {
+    fn new(curve: &'a Curve, x: u64) -> Self {
+        SegmentCache {
+            curve,
+            at: x,
+            piece: curve.piece(x),
+        }
+    }
+
+    /// The uncapped piece at `x` (exactly [`Curve::piece`]`(x)`).
+    fn uncapped(&mut self, x: u64) -> Piece {
+        debug_assert!(x >= self.at, "walks query non-decreasing points");
+        if x >= self.piece.next_bp {
+            self.at = x;
+            self.piece = self.curve.piece(x);
+            return self.piece;
+        }
+        Piece {
+            value: self.piece.value + self.piece.slope * (x - self.at),
+            slope: self.piece.slope,
+            next_bp: self.piece.next_bp,
+        }
+    }
+
+    /// The capped piece at `x` (exactly [`Curve::capped_piece`]`(x, cs)`).
+    fn capped(&mut self, x: u64, cs: u64) -> Piece {
+        cap_piece(self.uncapped(x), x, cs)
     }
 }
 
@@ -316,8 +367,24 @@ pub(crate) fn min_crossing_topdiff(
 ) -> Option<u64> {
     debug_assert!(m >= 1 && cs >= 1);
     let take = (m - 1) as usize;
-    let mut diffs: Vec<(i64, i64)> = Vec::with_capacity(pairs.len());
     let mut x = start.max(cs);
+    // Per-curve segment memos: each curve is re-walked only when the
+    // probe crosses one of its breakpoints; every other probe costs one
+    // extrapolation. With `take == 0` (one core) the carry-in curves
+    // never contribute to Ω, so they are not evaluated at all.
+    let mut group_cache: Vec<SegmentCache<'_>> =
+        groups.iter().map(|g| SegmentCache::new(g, x)).collect();
+    let mut pair_cache: Vec<(SegmentCache<'_>, Option<SegmentCache<'_>>)> = pairs
+        .iter()
+        .map(|(nc, ci)| {
+            (
+                SegmentCache::new(nc, x),
+                (take > 0).then(|| SegmentCache::new(ci, x)),
+            )
+        })
+        .collect();
+    // Scratch for the `take ≥ 2` top-k selection; unused otherwise.
+    let mut diffs: Vec<(i64, i64)> = Vec::with_capacity(if take >= 2 { pairs.len() } else { 0 });
     loop {
         if x > limit {
             return None;
@@ -325,28 +392,51 @@ pub(crate) fn min_crossing_topdiff(
         let mut omega: i64 = 0;
         let mut sigma: i64 = 0;
         let mut next_bp: u64 = INF;
-        for g in groups {
-            let p = g.capped_piece(x, cs);
+        for g in &mut group_cache {
+            let p = g.capped(x, cs);
             omega += p.value as i64;
             sigma += p.slope as i64;
             next_bp = next_bp.min(p.next_bp);
         }
         diffs.clear();
-        for (nc, ci) in pairs {
-            let pn = nc.capped_piece(x, cs);
-            let pc = ci.capped_piece(x, cs);
+        // Only the m − 1 largest positive differences I^CI − I^NC enter
+        // Ω (Guan's bound); their *sum* is what matters, so a top-k
+        // selection replaces a full sort — `take == 1` (the two-core
+        // sweeps and GLOBAL-TMax's usual shape) is a plain max scan.
+        let mut best: Option<(i64, i64)> = None;
+        for (nc, ci) in &mut pair_cache {
+            let pn = nc.capped(x, cs);
             omega += pn.value as i64;
             sigma += pn.slope as i64;
-            next_bp = next_bp.min(pn.next_bp).min(pc.next_bp);
+            next_bp = next_bp.min(pn.next_bp);
+            let Some(ci) = ci else { continue };
+            let pc = ci.capped(x, cs);
+            next_bp = next_bp.min(pc.next_bp);
             let dv = pc.value as i64 - pn.value as i64;
             if dv > 0 {
-                diffs.push((dv, pc.slope as i64 - pn.slope as i64));
+                let ds = pc.slope as i64 - pn.slope as i64;
+                if take == 1 {
+                    if best.map_or(true, |(bv, _)| dv > bv) {
+                        best = Some((dv, ds));
+                    }
+                } else {
+                    diffs.push((dv, ds));
+                }
             }
         }
-        diffs.sort_unstable_by_key(|&(dv, _)| std::cmp::Reverse(dv));
-        for &(dv, ds) in diffs.iter().take(take) {
-            omega += dv;
-            sigma += ds;
+        if take == 1 {
+            if let Some((dv, ds)) = best {
+                omega += dv;
+                sigma += ds;
+            }
+        } else if take >= 2 {
+            if diffs.len() > take {
+                diffs.select_nth_unstable_by_key(take - 1, |&(dv, _)| std::cmp::Reverse(dv));
+            }
+            for &(dv, ds) in diffs.iter().take(take) {
+                omega += dv;
+                sigma += ds;
+            }
         }
         let rhs = (m * (x - cs) + (m - 1)) as i64;
         if omega <= rhs {
@@ -527,6 +617,128 @@ mod tests {
             min_crossing_masked(&curves, &[], &[], 1, 1, 1, 50_000),
             None
         );
+    }
+
+    /// The pre-optimization top-difference walk, kept verbatim as the
+    /// parity reference for the memoized/top-k solver: fresh curve
+    /// evaluation at every probe, full sort of the differences.
+    fn reference_topdiff(
+        groups: &[Curve],
+        pairs: &[(Curve, Curve)],
+        m: u64,
+        cs: u64,
+        start: u64,
+        limit: u64,
+    ) -> Option<u64> {
+        let take = (m - 1) as usize;
+        let mut diffs: Vec<(i64, i64)> = Vec::with_capacity(pairs.len());
+        let mut x = start.max(cs);
+        loop {
+            if x > limit {
+                return None;
+            }
+            let mut omega: i64 = 0;
+            let mut sigma: i64 = 0;
+            let mut next_bp: u64 = INF;
+            for g in groups {
+                let p = g.capped_piece(x, cs);
+                omega += p.value as i64;
+                sigma += p.slope as i64;
+                next_bp = next_bp.min(p.next_bp);
+            }
+            diffs.clear();
+            for (nc, ci) in pairs {
+                let pn = nc.capped_piece(x, cs);
+                let pc = ci.capped_piece(x, cs);
+                omega += pn.value as i64;
+                sigma += pn.slope as i64;
+                next_bp = next_bp.min(pn.next_bp).min(pc.next_bp);
+                let dv = pc.value as i64 - pn.value as i64;
+                if dv > 0 {
+                    diffs.push((dv, pc.slope as i64 - pn.slope as i64));
+                }
+            }
+            diffs.sort_unstable_by_key(|&(dv, _)| std::cmp::Reverse(dv));
+            for &(dv, ds) in diffs.iter().take(take) {
+                omega += dv;
+                sigma += ds;
+            }
+            let rhs = (m * (x - cs) + (m - 1)) as i64;
+            if omega <= rhs {
+                return Some(x);
+            }
+            let step = if sigma < m as i64 {
+                let need = omega - rhs;
+                let denom = m as i64 - sigma;
+                let delta = ((need + denom - 1) / denom) as u64;
+                (x + delta.max(1)).min(next_bp)
+            } else {
+                next_bp
+            };
+            x = step;
+        }
+    }
+
+    /// Deterministic xorshift for the parity sweep below (no rand dep in
+    /// this crate).
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut z = self.0;
+            z ^= z << 13;
+            z ^= z >> 7;
+            z ^= z << 17;
+            self.0 = z;
+            z
+        }
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next() % (hi - lo + 1)
+        }
+    }
+
+    #[test]
+    fn memoized_topdiff_matches_the_presort_reference() {
+        let mut rng = XorShift(0x5EED_CAFE);
+        for case in 0..300 {
+            let m = rng.range(1, 4);
+            let n_groups = rng.range(0, 3) as usize;
+            let groups: Vec<Curve> = (0..n_groups)
+                .map(|_| {
+                    let tasks = (0..rng.range(1, 3))
+                        .map(|_| {
+                            let period = rng.range(4, 60);
+                            (rng.range(1, period.min(20)), period)
+                        })
+                        .collect();
+                    Curve::Group { tasks }
+                })
+                .collect();
+            let n_pairs = rng.range(0, 5) as usize;
+            let pairs: Vec<(Curve, Curve)> = (0..n_pairs)
+                .map(|_| {
+                    let period = rng.range(5, 80);
+                    let wcet = rng.range(1, period.min(25));
+                    let response = rng.range(wcet, period);
+                    let x_bar = (wcet - 1) + (period - response);
+                    (
+                        Curve::Nc { wcet, period },
+                        Curve::Ci {
+                            wcet,
+                            period,
+                            x_bar,
+                        },
+                    )
+                })
+                .collect();
+            let cs = rng.range(1, 10);
+            let start = cs + rng.range(0, 5);
+            let fast = min_crossing_topdiff(&groups, &pairs, m, cs, start, 200_000);
+            let reference = reference_topdiff(&groups, &pairs, m, cs, start, 200_000);
+            assert_eq!(
+                fast, reference,
+                "case {case}: m={m} cs={cs} start={start} groups={groups:?} pairs={pairs:?}"
+            );
+        }
     }
 
     #[test]

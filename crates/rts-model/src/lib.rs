@@ -15,7 +15,10 @@
 //! * [`periods`] — [`periods::PeriodVector`] plus the Euclidean distance
 //!   metrics of the paper's Figs. 6/7b;
 //! * [`system`] — the assembled [`system::System`] (platform + partitioned
-//!   RT tasks + migrating security tasks).
+//!   RT tasks + migrating security tasks);
+//! * [`delta`] — the online-adaptation vocabulary: [`delta::MonitorMode`],
+//!   [`delta::MonitorSpec`] (per-mode WCETs), and the [`delta::DeltaEvent`]
+//!   stream consumed by the `rts-adapt` admission service.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod error;
 pub mod periods;
 pub mod platform;
@@ -54,6 +58,7 @@ pub mod time;
 
 /// Convenient glob-import of the most common types.
 pub mod prelude {
+    pub use crate::delta::{DeltaEvent, MonitorMode, MonitorSpec};
     pub use crate::error::ModelError;
     pub use crate::periods::PeriodVector;
     pub use crate::platform::{CoreId, Partition, Platform};
@@ -63,6 +68,7 @@ pub mod prelude {
     pub use crate::time::{Duration, Instant, TICKS_PER_MS};
 }
 
+pub use delta::{DeltaEvent, MonitorMode, MonitorSpec};
 pub use error::ModelError;
 pub use periods::PeriodVector;
 pub use platform::{CoreId, Partition, Platform};

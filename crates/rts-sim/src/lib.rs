@@ -13,7 +13,10 @@
 //! * [`metrics`] — response times, deadline misses, context switches
 //!   (what the paper measured with `perf`, Fig. 5b), migrations;
 //! * [`scenario`] — converting an [`rts_model::System`] + period vector
-//!   into the HYDRA-C / HYDRA / GLOBAL runtime policies.
+//!   into the HYDRA-C / HYDRA / GLOBAL runtime policies;
+//! * [`modes`] — multi-phase runs validating the `rts-adapt` service's
+//!   runtime mode switches (one synchronous-release simulation per
+//!   admitted configuration).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 pub mod engine;
 pub mod gantt;
 pub mod metrics;
+pub mod modes;
 pub mod scenario;
 pub mod task;
 pub mod trace;
@@ -48,6 +52,7 @@ pub mod trace;
 pub use engine::{SimConfig, SimResult, Simulation};
 pub use gantt::{render as render_gantt, GanttOptions};
 pub use metrics::{Metrics, TaskMetrics};
+pub use modes::{simulate_phases, ModePhase, PhaseOutcome};
 pub use scenario::{system_specs, SecurityPlacement};
 pub use task::{Affinity, ArrivalModel, DemandModel, TaskId, TaskSpec};
 pub use trace::{Slice, Trace};

@@ -12,7 +12,9 @@
 //! * [`sim`] — event-driven scheduler simulator ([`rts_sim`]);
 //! * [`ids`] — intrusion-detection substrate ([`ids_sim`]);
 //! * [`hydra`] — the paper's contribution: period adaptation and the four
-//!   evaluated schemes ([`hydra_core`]).
+//!   evaluated schemes ([`hydra_core`]);
+//! * [`adapt`] — the online admission & period-adaptation service
+//!   ([`rts_adapt`]).
 //!
 //! # Quickstart
 //!
@@ -31,6 +33,7 @@
 
 pub use hydra_core as hydra;
 pub use ids_sim as ids;
+pub use rts_adapt as adapt;
 pub use rts_analysis as analysis;
 pub use rts_model as model;
 pub use rts_partition as partition;
