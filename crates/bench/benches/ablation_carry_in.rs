@@ -29,7 +29,7 @@ fn bench_carry_in(c: &mut Criterion) {
     group.sample_size(20);
     for cores in [2usize, 4] {
         for migrating in [4usize, 8, 12] {
-            let env = build_env(cores, migrating);
+            let mut env = build_env(cores, migrating);
             // Print tightness once per configuration.
             let ex = env.response_time(ms(50), ms(60_000), CarryInStrategy::Exhaustive);
             let td = env.response_time(ms(50), ms(60_000), CarryInStrategy::TopDiff);
@@ -42,6 +42,7 @@ fn bench_carry_in(c: &mut Criterion) {
                     BenchmarkId::new(label, format!("M{cores}_n{migrating}")),
                     &env,
                     |b, env| {
+                        let mut env = env.clone();
                         b.iter(|| env.response_time(ms(50), ms(60_000), strategy));
                     },
                 );

@@ -226,7 +226,19 @@ impl IncrementalSelector {
             return cached.clone();
         }
         self.misses += 1;
-        let result = select_periods_with_env(sec, &mut self.env, self.strategy);
+        // Unwind safety for the long-lived environment: a panic inside
+        // selection (analysis assertion, arithmetic overflow) would leak
+        // the cascade's migrating entries into `self.env`, silently
+        // inflating interference for every later selection on this
+        // tenant. Restore the migrating-free invariant before re-raising
+        // so a caller that contains the panic keeps a correct engine.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            select_periods_with_env(sec, &mut self.env, self.strategy)
+        }))
+        .unwrap_or_else(|payload| {
+            self.env.truncate_migrating(0);
+            std::panic::resume_unwind(payload);
+        });
         // Bound the memo: a long-running tenant whose WCETs are
         // re-profiled forever mints unboundedly many fingerprints, and an
         // unbounded map would grow the service's memory without limit.

@@ -213,6 +213,7 @@ pub fn select_periods_with_env(
     // Lines 5–9: optimize one task at a time, high to low priority.
     let mut scratch: Vec<Duration> = Vec::with_capacity(sec.len());
     let mut feasible_buf: Vec<Duration> = Vec::new();
+    let mut probe_floors: Vec<Duration> = Vec::with_capacity(sec.len());
     for s in 0..sec.len() {
         let r_s = response_times[s];
         let t_max = sec[s].t_max();
@@ -221,17 +222,36 @@ pub fn select_periods_with_env(
         // Memoize the most recent feasible probe: the binary search's last
         // feasible evaluation is the selected period, so its cascade
         // doubles as the line-8 refresh.
+        //
+        // `probe_floors` tightens the warm starts *inside* the search:
+        // after a feasible probe at candidate `c`, every later probe uses
+        // a candidate `< c` (the search continues strictly below its
+        // incumbent), i.e. runs under componentwise smaller-or-equal
+        // periods and therefore pointwise larger-or-equal interference —
+        // so the response times just computed under `c` are sound floors
+        // for the remaining probes, and they can only be tighter than the
+        // entry floors.
+        probe_floors.clear();
+        probe_floors.extend_from_slice(&floors);
         let mut feasible_candidate: Option<Duration> = None;
         let best = min_feasible_period(r_s, t_max, |candidate| {
             env.add_migrating(MigratingHp::new(sec[s].wcet(), candidate, r_s));
             periods[s] = candidate;
-            let ok =
-                cascade_response_times(sec, env, s + 1, &periods, &floors, strategy, &mut scratch)
-                    .is_ok();
+            let ok = cascade_response_times(
+                sec,
+                env,
+                s + 1,
+                &periods,
+                &probe_floors,
+                strategy,
+                &mut scratch,
+            )
+            .is_ok();
             env.truncate_migrating(s);
             if ok {
                 feasible_candidate = Some(candidate);
                 std::mem::swap(&mut scratch, &mut feasible_buf);
+                probe_floors[s + 1..].copy_from_slice(&feasible_buf);
             }
             ok
         })

@@ -2,16 +2,23 @@
 //! HYDRA-C period vector and the maximum-period vector, per utilization
 //! group, for 2- and 4-core platforms.
 //!
-//! Usage: `fig6_period_quality [--per-group N] [--jobs N] [--full]`
+//! Usage: `fig6_period_quality [--per-group N] [--jobs N] [--full] [--fresh]`
 //! (default 50 tasksets/group, all cores; `--full` = the paper's 250).
+//!
+//! A thin reader over the sweep-record store: the sweep runs only when
+//! `results/sweep_records/` has no records for the configuration (or
+//! `--fresh` forces a recompute); otherwise the figure regenerates from
+//! the persisted population in milliseconds, bit-identically.
 
-use hydra_experiments::{default_jobs, run_sweep, SweepConfig, TextTable};
+use hydra_experiments::{arg_present, default_jobs, SweepConfig, SweepStore, TextTable};
 use rts_taskgen::table3::{UtilizationGroup, NUM_GROUPS, TASKSETS_PER_GROUP};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let per_group = hydra_experiments::arg_usize(&args, "--per-group", 50, TASKSETS_PER_GROUP);
     let jobs = hydra_experiments::arg_usize(&args, "--jobs", default_jobs(), default_jobs());
+    let fresh = arg_present(&args, "--fresh");
+    let store = SweepStore::tracked();
 
     println!("Fig. 6 — distance from maximum periods ({per_group} tasksets/group)\n");
     let mut table = TextTable::new(vec![
@@ -22,11 +29,8 @@ fn main() {
         "distance ci95",
     ]);
     for cores in [2usize, 4] {
-        eprint!("sweep M={cores}: ");
-        let sweep = run_sweep(&SweepConfig::new(cores, per_group).with_jobs(jobs), |g| {
-            eprint!("{g} ");
-        });
-        eprintln!();
+        let sweep =
+            store.sweep_for_figure(&SweepConfig::new(cores, per_group).with_jobs(jobs), fresh);
         for g in 0..NUM_GROUPS {
             let s = sweep.fig6_distance(g);
             table.row(vec![

@@ -1,14 +1,19 @@
 //! Regenerates every table and figure of the paper in one run, writing
 //! text output to stdout and CSVs to `results/`.
 //!
-//! Usage: `run_all [--per-group N] [--trials N] [--jobs N] [--full]`
+//! Usage: `run_all [--per-group N] [--trials N] [--jobs N] [--full] [--fresh]`
 //! (defaults: 50 tasksets/group, 35 rover trials, sweeps on all cores;
 //! `--full` uses the paper's 250 tasksets/group).
+//!
+//! The Figs. 6/7a/7b section is a thin reader over the sweep-record
+//! store (`results/sweep_records/`): one persisted sweep per core count
+//! serves all three figures, and repeat runs skip the sweeps entirely
+//! unless `--fresh` forces a recompute.
 
 use hydra_core::schemes::Scheme;
 use hydra_experiments::{
-    default_jobs, percent_faster, results_dir, run_fig5, run_sweep, PeriodProtocol, SweepConfig,
-    TextTable,
+    arg_present, default_jobs, percent_faster, results_dir, run_fig5, PeriodProtocol, SweepConfig,
+    SweepStore, TextTable,
 };
 use ids_sim::catalog::SecurityTaskClass;
 use ids_sim::rover::table2_rows;
@@ -19,6 +24,8 @@ fn main() {
     let per_group = hydra_experiments::arg_usize(&args, "--per-group", 50, TASKSETS_PER_GROUP);
     let jobs = hydra_experiments::arg_usize(&args, "--jobs", default_jobs(), default_jobs());
     let trials = hydra_experiments::arg_usize(&args, "--trials", 35, 35) as u64;
+    let fresh = arg_present(&args, "--fresh");
+    let store = SweepStore::tracked();
     let started = std::time::Instant::now();
 
     // ---- Tables ---------------------------------------------------------
@@ -95,11 +102,8 @@ fn main() {
         "vs TMax",
     ]);
     for cores in [2usize, 4] {
-        eprint!("sweep M={cores} ({per_group}/group): ");
-        let sweep = run_sweep(&SweepConfig::new(cores, per_group).with_jobs(jobs), |g| {
-            eprint!("{g} ");
-        });
-        eprintln!("done");
+        let sweep =
+            store.sweep_for_figure(&SweepConfig::new(cores, per_group).with_jobs(jobs), fresh);
         for g in 0..NUM_GROUPS {
             let label = UtilizationGroup::new(g).label();
             let d = sweep.fig6_distance(g);

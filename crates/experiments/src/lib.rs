@@ -21,12 +21,14 @@ pub mod fig5;
 pub mod report;
 pub mod service;
 pub mod stats;
+pub mod store;
 pub mod sweep;
 
 pub use fig5::{run_fig5, PeriodProtocol, SchemeAggregate};
 pub use report::{results_dir, write_figure_csv, TextTable};
 pub use service::{run_service_load, ServiceConfig, ServiceReport};
 pub use stats::{percent_faster, Summary};
+pub use store::{SweepStore, SCHEMA_VERSION};
 pub use sweep::{default_jobs, run_sweep, SweepConfig, SweepResult};
 
 /// Parses `--flag N` style arguments with a default, plus `--full`
@@ -53,6 +55,12 @@ pub fn arg_f64(args: &[String], flag: &str) -> Option<f64> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// Whether a bare `--flag` switch is present.
+#[must_use]
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 #[cfg(test)]

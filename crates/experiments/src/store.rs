@@ -1,0 +1,370 @@
+//! The persisted sweep-record store: run a design-space sweep once, read
+//! it back for every figure.
+//!
+//! Figs. 6, 7a and 7b are different *projections of the same record
+//! population* — one [`SweepResult`] per `(cores, per-group)` sweep
+//! configuration. Before this store existed, each standalone figure bin
+//! (and `run_all`) re-ran an identical multi-second sweep from scratch.
+//! Now [`run_sweep`]'s full per-slot record population (scheme × group ×
+//! taskset verdicts, admitted period vectors, `T^max` vectors, achieved
+//! utilizations) is serialized to `results/sweep_records/`, keyed by
+//! `(schema version, cores, tasksets-per-group, seed, strategy)`, and the
+//! figure bins **load-or-compute**: a tracked record file regenerates any
+//! figure CSV in milliseconds, bit-identically to a direct run.
+//!
+//! # Format
+//!
+//! One text file per configuration (`sweep_v1_c2_n25_s45239_topdiff.tsv`):
+//! two `#` header lines carrying the key and record count, then one
+//! tab-separated line per record:
+//!
+//! ```text
+//! <group> <norm_util as f64 bits, hex> <t_max ticks, comma-sep> <scheme₀> … <scheme₃>
+//! ```
+//!
+//! A scheme cell is `-` for a rejected task set or `+` followed by the
+//! admitted period ticks (comma-separated), in [`Scheme::index`] order.
+//! Utilizations travel as raw `f64` bits so the round trip is exact; all
+//! durations are integer ticks. Any mismatch — key, record count, field
+//! shape — makes [`SweepStore::load`] return `None` and the caller falls
+//! back to computing (never to a partially parsed population). The scheme
+//! column order is part of the schema: reordering [`Scheme::all`] (or
+//! changing record semantics any other way) requires bumping
+//! [`SCHEMA_VERSION`] so stale files are ignored rather than misread.
+
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::time::Duration;
+use rts_model::PeriodVector;
+
+use hydra_core::schemes::Scheme;
+
+use crate::report::results_dir;
+use crate::sweep::{run_sweep, SweepConfig, SweepResult, TasksetRecord};
+
+/// Version tag of the on-disk record schema. Bump on any change to the
+/// line format, the scheme column order, or record semantics.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A directory of persisted sweep-record files.
+#[derive(Clone, Debug)]
+pub struct SweepStore {
+    dir: PathBuf,
+}
+
+impl SweepStore {
+    /// The tracked store under `results/sweep_records/`.
+    #[must_use]
+    pub fn tracked() -> Self {
+        SweepStore {
+            dir: results_dir().join("sweep_records"),
+        }
+    }
+
+    /// A store rooted at `dir` (tests use temporary directories).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        SweepStore { dir: dir.into() }
+    }
+
+    /// The file a configuration's records live in.
+    #[must_use]
+    pub fn path_for(&self, config: &SweepConfig) -> PathBuf {
+        self.dir.join(format!(
+            "sweep_v{SCHEMA_VERSION}_c{}_n{}_s{}_{}.tsv",
+            config.cores,
+            config.tasksets_per_group,
+            config.seed,
+            strategy_tag(config.strategy),
+        ))
+    }
+
+    /// Serializes `result`'s full record population to the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (the store directory is created on demand).
+    pub fn save(&self, result: &SweepResult) -> io::Result<PathBuf> {
+        let path = self.path_for(&result.config);
+        std::fs::create_dir_all(&self.dir)?;
+        let mut out = String::with_capacity(64 * result.records.len() + 128);
+        out.push_str(&format!("# hydra-c sweep records v{SCHEMA_VERSION}\n"));
+        out.push_str(&format!(
+            "# cores={} per_group={} seed={} strategy={} records={}\n",
+            result.config.cores,
+            result.config.tasksets_per_group,
+            result.config.seed,
+            strategy_tag(result.config.strategy),
+            result.records.len(),
+        ));
+        for record in &result.records {
+            out.push_str(&record.group.to_string());
+            out.push('\t');
+            out.push_str(&format!("{:016x}", record.norm_util.to_bits()));
+            out.push('\t');
+            push_ticks(&mut out, record.t_max.iter());
+            for periods in &record.periods {
+                out.push('\t');
+                match periods {
+                    None => out.push('-'),
+                    Some(p) => {
+                        out.push('+');
+                        push_ticks(&mut out, p.iter());
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        // Write-then-rename so a crashed run never leaves a truncated
+        // file that shadows the configuration.
+        let tmp = path.with_extension("tsv.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads the record population persisted for `config`, or `None` if
+    /// no file exists, the key does not match, or the file fails to parse
+    /// exactly. The returned result carries `config` verbatim (`jobs` is
+    /// an execution detail, not part of the key).
+    #[must_use]
+    pub fn load(&self, config: &SweepConfig) -> Option<SweepResult> {
+        let text = std::fs::read_to_string(self.path_for(config)).ok()?;
+        parse_records(&text, config)
+    }
+
+    /// Loads `config`'s records from the store, or runs the sweep and
+    /// persists it. Returns the result and whether it came from the store
+    /// (`progress` only fires on a compute). A failure to *persist* a
+    /// fresh result is reported on stderr but does not fail the sweep.
+    pub fn load_or_run(
+        &self,
+        config: &SweepConfig,
+        progress: impl FnMut(usize),
+    ) -> (SweepResult, bool) {
+        if let Some(result) = self.load(config) {
+            return (result, true);
+        }
+        let result = run_sweep(config, progress);
+        if let Err(e) = self.save(&result) {
+            eprintln!(
+                "warning: could not persist sweep records to {}: {e}",
+                self.path_for(config).display()
+            );
+        }
+        (result, false)
+    }
+}
+
+impl SweepStore {
+    /// The figure bins' shared entry point: load-or-compute `config`'s
+    /// records with a stderr progress banner. `fresh` forces a recompute
+    /// and refreshes the persisted records (use after changing anything
+    /// that legitimately alters the population — the schema version
+    /// guards format changes, not solver changes, which are pinned by the
+    /// parity batteries instead).
+    pub fn sweep_for_figure(&self, config: &SweepConfig, fresh: bool) -> SweepResult {
+        eprint!(
+            "sweep M={} ({}/group): ",
+            config.cores, config.tasksets_per_group
+        );
+        if fresh {
+            let result = run_sweep(config, |g| eprint!("{g} "));
+            match self.save(&result) {
+                Ok(path) => eprintln!("done (records refreshed at {})", path.display()),
+                Err(e) => eprintln!("done (warning: records not persisted: {e})"),
+            }
+            return result;
+        }
+        let (result, from_store) = self.load_or_run(config, |g| eprint!("{g} "));
+        if from_store {
+            eprintln!(
+                "loaded {} records from {}",
+                result.records.len(),
+                self.path_for(config).display()
+            );
+        } else {
+            eprintln!("done (records persisted)");
+        }
+        result
+    }
+}
+
+fn strategy_tag(strategy: CarryInStrategy) -> &'static str {
+    match strategy {
+        CarryInStrategy::TopDiff => "topdiff",
+        CarryInStrategy::Exhaustive => "exhaustive",
+    }
+}
+
+fn push_ticks<'a>(out: &mut String, ticks: impl Iterator<Item = &'a Duration>) {
+    for (i, d) in ticks.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.as_ticks().to_string());
+    }
+}
+
+fn parse_ticks(field: &str) -> Option<PeriodVector> {
+    let mut periods = Vec::new();
+    for part in field.split(',') {
+        periods.push(Duration::from_ticks(part.parse().ok()?));
+    }
+    Some(PeriodVector::from_raw(periods))
+}
+
+fn parse_records(text: &str, config: &SweepConfig) -> Option<SweepResult> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("# hydra-c sweep records v{SCHEMA_VERSION}") {
+        return None;
+    }
+    let header = lines.next()?;
+    let expected_key = format!(
+        "# cores={} per_group={} seed={} strategy={} records=",
+        config.cores,
+        config.tasksets_per_group,
+        config.seed,
+        strategy_tag(config.strategy),
+    );
+    let count: usize = header.strip_prefix(expected_key.as_str())?.parse().ok()?;
+    let mut records = Vec::with_capacity(count);
+    for line in lines {
+        let mut fields = line.split('\t');
+        let group: usize = fields.next()?.parse().ok()?;
+        let util_bits = u64::from_str_radix(fields.next()?, 16).ok()?;
+        let t_max = parse_ticks(fields.next()?)?;
+        let mut periods: [Option<PeriodVector>; Scheme::COUNT] = [None, None, None, None];
+        for slot in &mut periods {
+            let cell = fields.next()?;
+            *slot = match cell.strip_prefix('+') {
+                Some(ticks) => Some(parse_ticks(ticks)?),
+                None if cell == "-" => None,
+                None => return None,
+            };
+        }
+        if fields.next().is_some() {
+            return None; // trailing fields: not our schema
+        }
+        records.push(TasksetRecord {
+            group,
+            norm_util: f64::from_bits(util_bits),
+            t_max,
+            periods,
+        });
+    }
+    if records.len() != count {
+        return None;
+    }
+    Some(SweepResult {
+        config: *config,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SweepStore {
+        let dir =
+            std::env::temp_dir().join(format!("hydra_sweep_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SweepStore::at(dir)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let store = temp_store("round_trip");
+        let config = SweepConfig::new(2, 2);
+        let result = run_sweep(&config, |_| ());
+        let path = store.save(&result).unwrap();
+        assert!(path.exists());
+        let loaded = store.load(&config).expect("fresh save must load");
+        assert_eq!(
+            loaded, result,
+            "round trip must be exact (f64 bits included)"
+        );
+        // Saving the loaded population reproduces the file byte-for-byte.
+        let bytes = std::fs::read(&path).unwrap();
+        store.save(&loaded).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        let _ = std::fs::remove_dir_all(store.dir);
+    }
+
+    #[test]
+    fn key_mismatches_and_corruption_miss() {
+        let store = temp_store("mismatch");
+        let config = SweepConfig::new(2, 2);
+        let result = run_sweep(&config, |_| ());
+        store.save(&result).unwrap();
+        // Different per-group, core count or strategy: different key.
+        assert!(store.load(&SweepConfig::new(2, 3)).is_none());
+        assert!(store.load(&SweepConfig::new(4, 2)).is_none());
+        let mut exhaustive = config;
+        exhaustive.strategy = CarryInStrategy::Exhaustive;
+        assert!(store.load(&exhaustive).is_none());
+        // Jobs are not part of the key.
+        assert!(store.load(&config.with_jobs(7)).is_some());
+        // A truncated file must not load.
+        let path = store.path_for(&config);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        assert!(store.load(&config).is_none());
+        let _ = std::fs::remove_dir_all(store.dir);
+    }
+
+    #[test]
+    fn load_or_run_computes_then_hits() {
+        let store = temp_store("load_or_run");
+        let config = SweepConfig::new(2, 1);
+        let mut groups_seen = 0;
+        let (fresh, from_store) = store.load_or_run(&config, |_| groups_seen += 1);
+        assert!(!from_store);
+        assert!(groups_seen > 0, "compute path must report progress");
+        let (cached, from_store) = store.load_or_run(&config, |_| panic!("must not recompute"));
+        assert!(from_store);
+        assert_eq!(cached, fresh, "store hit must be bit-identical");
+        let _ = std::fs::remove_dir_all(store.dir);
+    }
+
+    #[test]
+    fn figure_projections_agree_between_store_and_direct_run() {
+        // The acceptance property in miniature: every figure statistic
+        // derived from a loaded population equals the direct run's.
+        let store = temp_store("projections");
+        let config = SweepConfig::new(2, 3);
+        let direct = run_sweep(&config, |_| ());
+        store.save(&direct).unwrap();
+        let loaded = store.load(&config).unwrap();
+        for g in 0..rts_taskgen::table3::NUM_GROUPS {
+            for scheme in Scheme::all() {
+                assert_eq!(
+                    direct.acceptance_ratio(scheme, g).to_bits(),
+                    loaded.acceptance_ratio(scheme, g).to_bits(),
+                    "fig7a cell ({scheme}, {g})"
+                );
+            }
+            assert_eq!(
+                direct.fig6_distance(g).mean.to_bits(),
+                loaded.fig6_distance(g).mean.to_bits()
+            );
+            assert_eq!(
+                direct.fig7b_vs_hydra(g).mean.to_bits(),
+                loaded.fig7b_vs_hydra(g).mean.to_bits()
+            );
+            assert_eq!(
+                direct.fig7b_vs_tmax(g).mean.to_bits(),
+                loaded.fig7b_vs_tmax(g).mean.to_bits()
+            );
+        }
+        let _ = std::fs::remove_dir_all(store.dir);
+    }
+}

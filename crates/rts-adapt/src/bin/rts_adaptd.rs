@@ -3,17 +3,24 @@
 //! Usage:
 //!
 //! ```sh
-//! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive] [--tcp ADDR]
+//! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
+//!            [--tcp ADDR] [--max-conns N] [--journal DIR]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
 //! (one JSON request per line, one JSON response per line — see
 //! `rts_adapt::proto`); with `--tcp ADDR` it binds the address and
-//! serves connections sequentially, keeping tenant state across them.
+//! serves up to `--max-conns` connections concurrently (default 64),
+//! keeping tenant state shared across all of them. With `--journal DIR`
+//! every registration and accepted delta is appended to a per-tenant
+//! event log under `DIR`, and existing journals are **replayed on
+//! startup** — a restarted daemon answers for every previously
+//! journaled tenant without re-registration (see `rts_adapt::journal`).
 
 use std::io::{self, BufReader};
 
-use rts_adapt::server::{serve, serve_tcp};
+use rts_adapt::journal::JournalDir;
+use rts_adapt::server::{serve, serve_tcp, shared};
 use rts_adapt::shard::ShardedEngine;
 use rts_analysis::semi::CarryInStrategy;
 
@@ -41,9 +48,26 @@ fn main() {
         }
     };
 
-    let mut engine = ShardedEngine::new(strategy, shards);
+    let max_conns = arg_value(&args, "--max-conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64usize);
+
+    let mut engine = match arg_value(&args, "--journal") {
+        Some(dir) => ShardedEngine::with_journal(strategy, shards, JournalDir::at(dir)),
+        None => ShardedEngine::new(strategy, shards),
+    };
     let result = match arg_value(&args, "--tcp") {
-        Some(addr) => serve_tcp(&mut engine, addr, batch),
+        Some(addr) => {
+            // The accept loop only returns on a bind/accept failure; the
+            // shared engine is torn down with the process.
+            let engine = shared(engine);
+            let result = serve_tcp(&engine, addr, batch, max_conns);
+            if let Err(e) = result {
+                eprintln!("rts_adaptd: {e}");
+                std::process::exit(1);
+            }
+            unreachable!("serve_tcp only returns on error");
+        }
         None => {
             let stdin = io::stdin().lock();
             let stdout = io::stdout().lock();

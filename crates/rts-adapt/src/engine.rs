@@ -18,6 +18,7 @@ use rts_model::delta::DeltaEvent;
 use rts_model::time::Duration;
 use rts_model::{CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTaskSet, System};
 
+use crate::journal::JournalDir;
 use crate::tenant::{ApplyError, TenantState};
 
 /// One legacy RT task as it crosses the registration boundary.
@@ -134,6 +135,11 @@ impl Response {
 pub struct AdaptEngine {
     strategy: CarryInStrategy,
     tenants: HashMap<u64, TenantState>,
+    /// Optional event-log persistence: registrations and *accepted*
+    /// deltas are appended per tenant (see [`crate::journal`]). Journal
+    /// I/O failures are reported on stderr but never change an admission
+    /// verdict — the journal is a durability channel, not a gatekeeper.
+    journal: Option<JournalDir>,
 }
 
 impl AdaptEngine {
@@ -144,7 +150,48 @@ impl AdaptEngine {
         AdaptEngine {
             strategy,
             tenants: HashMap::new(),
+            journal: None,
         }
+    }
+
+    /// Like [`AdaptEngine::new`], with per-tenant event-log persistence
+    /// under `journal`. Existing journals are *not* replayed here — call
+    /// [`AdaptEngine::recover_journaled`] for boot-time recovery (the
+    /// sharded daemon does).
+    #[must_use]
+    pub fn with_journal(strategy: CarryInStrategy, journal: JournalDir) -> Self {
+        AdaptEngine {
+            strategy,
+            tenants: HashMap::new(),
+            journal: Some(journal),
+        }
+    }
+
+    /// Boot-time recovery: replays every journaled tenant accepted by
+    /// `filter` (the sharded pool passes its tenant-hash predicate so
+    /// each tenant is restored on exactly one shard) and installs the
+    /// rebuilt states. Returns `(restored, failed)`; a tenant whose
+    /// journal fails to replay is reported on stderr and skipped — its
+    /// file is left untouched for inspection, and a later
+    /// re-registration truncates it.
+    pub fn recover_journaled(&mut self, filter: impl Fn(u64) -> bool) -> (usize, usize) {
+        let Some(journal) = self.journal.clone() else {
+            return (0, 0);
+        };
+        let (mut restored, mut failed) = (0, 0);
+        for tenant in journal.tenants().into_iter().filter(|&t| filter(t)) {
+            match journal.replay_tenant(tenant, self.strategy) {
+                Ok(state) => {
+                    self.tenants.insert(tenant, state);
+                    restored += 1;
+                }
+                Err(e) => {
+                    eprintln!("journal: tenant {tenant} not recovered: {e}");
+                    failed += 1;
+                }
+            }
+        }
+        (restored, failed)
     }
 
     /// Number of registered tenants.
@@ -191,6 +238,12 @@ impl AdaptEngine {
             Ok(state) => {
                 let fingerprint = state.admitted_fingerprint();
                 self.tenants.insert(tenant, state);
+                if let Some(journal) = &self.journal {
+                    if let Err(e) = journal.begin_tenant(tenant, cores, rt) {
+                        eprintln!("journal: could not begin tenant {tenant}: {e}");
+                        poison_after_failed_write(journal, tenant);
+                    }
+                }
                 Response::Admitted(Admitted {
                     tenant,
                     periods: Vec::new(),
@@ -211,13 +264,21 @@ impl AdaptEngine {
             return unknown_tenant(tenant);
         };
         match state.apply(event) {
-            Ok(out) => Response::Admitted(Admitted {
-                tenant,
-                periods: out.selection.periods.as_slice().to_vec(),
-                response_times: out.selection.response_times.clone(),
-                fingerprint: out.fingerprint,
-                cached: out.cached,
-            }),
+            Ok(out) => {
+                if let Some(journal) = &self.journal {
+                    if let Err(e) = journal.append_event(tenant, event) {
+                        eprintln!("journal: could not append for tenant {tenant}: {e}");
+                        poison_after_failed_write(journal, tenant);
+                    }
+                }
+                Response::Admitted(Admitted {
+                    tenant,
+                    periods: out.selection.periods.as_slice().to_vec(),
+                    response_times: out.selection.response_times.clone(),
+                    fingerprint: out.fingerprint,
+                    cached: out.cached,
+                })
+            }
             Err(ApplyError::Rejected(e)) => Response::Rejected {
                 tenant,
                 reason: e.to_string(),
@@ -244,6 +305,19 @@ impl AdaptEngine {
     }
 }
 
+/// After a failed journal write the tenant's on-disk history is
+/// incomplete; leaving it readable would let a restart replay it to a
+/// *different* committed state than the live one. Poisoning makes
+/// recovery fail loudly instead (see [`JournalDir::poison_tenant`]).
+fn poison_after_failed_write(journal: &JournalDir, tenant: u64) {
+    if let Err(e) = journal.poison_tenant(tenant) {
+        eprintln!(
+            "journal: could not poison tenant {tenant}'s incomplete journal: {e} — \
+             a restart may recover a DIVERGENT state for this tenant"
+        );
+    }
+}
+
 fn unknown_tenant(tenant: u64) -> Response {
     Response::Error {
         tenant,
@@ -253,8 +327,9 @@ fn unknown_tenant(tenant: u64) -> Response {
 
 /// Builds the frozen RT [`System`] a registration describes: RM-sorts the
 /// `(task, core)` pairs together, validates tasks, platform and
-/// partition.
-fn build_rt_system(cores: usize, rt: &[RtSpec]) -> Result<System, String> {
+/// partition. Shared with [`crate::journal`]'s replay, which must freeze
+/// a replayed tenant exactly the way registration did.
+pub(crate) fn build_rt_system(cores: usize, rt: &[RtSpec]) -> Result<System, String> {
     let platform = Platform::new(cores).map_err(|e| e.to_string())?;
     let mut specs = rt.to_vec();
     // Rate-monotonic order with the same tie-breaks as

@@ -1,0 +1,496 @@
+//! Per-tenant event-log persistence and replay.
+//!
+//! The admission service's durable state is tiny and append-only: a
+//! tenant is fully determined by its frozen registration (platform +
+//! partitioned RT tasks) and the sequence of **accepted** [`DeltaEvent`]s
+//! — rejected deltas never change the committed configuration, so they
+//! are not logged. This module writes that history as one line-JSON file
+//! per tenant (`tenant_<id>.jsonl`, via the crate's own [`crate::json`]
+//! codec) and rebuilds a [`TenantState`] from it.
+//!
+//! # Why replay is exact
+//!
+//! [`replay`] re-applies the accepted events, in order, through the very
+//! same [`TenantState::apply`] the live service used. Admission is a
+//! pure function of (frozen RT system, committed monitor table, event),
+//! and the committed table after `k` accepted events depends only on the
+//! first `k` accepted events — so every replayed event is re-admitted
+//! with the same verdict and the same selected periods, and the replayed
+//! state's monitor table, committed period selection and configuration
+//! fingerprint are **bit-identical** to the live tenant's (the
+//! `journal_replay` integration test pins this on a seeded mixed
+//! accept/reject stream). Memo statistics are *not* part of that
+//! guarantee: the live engine may have analysed rejected configurations
+//! the journal deliberately forgets.
+//!
+//! A journal is only trustworthy if it is *complete*: a file missing one
+//! accepted event would still replay cleanly — to the wrong state. The
+//! engine therefore [`poison`](JournalDir::poison_tenant)s a tenant's
+//! journal the moment a write for it fails, renaming the partial history
+//! out of recovery's sight; a restart then reports the tenant as not
+//! recovered (loud, actionable) instead of serving a silently divergent
+//! configuration.
+//!
+//! All durations are serialized as integer **ticks** (not the wire
+//! protocol's fractional milliseconds), so the round trip involves no
+//! floating-point rounding at all.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::delta::{DeltaEvent, MonitorMode, MonitorSpec};
+use rts_model::time::Duration;
+
+use crate::engine::{build_rt_system, RtSpec};
+use crate::json::{self, Json};
+use crate::tenant::TenantState;
+
+/// Renders one accepted event as a journal line (no trailing newline).
+#[must_use]
+pub fn render_event(event: &DeltaEvent) -> String {
+    match *event {
+        DeltaEvent::Arrival { monitor } => format!(
+            "{{\"event\":\"arrival\",\"passive_ticks\":{},\"active_ticks\":{},\"t_max_ticks\":{}}}",
+            monitor.passive_wcet().as_ticks(),
+            monitor.active_wcet().as_ticks(),
+            monitor.t_max().as_ticks(),
+        ),
+        DeltaEvent::Departure { slot } => {
+            format!("{{\"event\":\"departure\",\"slot\":{slot}}}")
+        }
+        DeltaEvent::WcetUpdate {
+            slot,
+            passive_wcet,
+            active_wcet,
+        } => format!(
+            "{{\"event\":\"wcet_update\",\"slot\":{slot},\"passive_ticks\":{},\"active_ticks\":{}}}",
+            passive_wcet.as_ticks(),
+            active_wcet.as_ticks(),
+        ),
+        DeltaEvent::ModeChange { slot, mode } => format!(
+            "{{\"event\":\"mode\",\"slot\":{slot},\"mode\":\"{}\"}}",
+            match mode {
+                MonitorMode::Passive => "passive",
+                MonitorMode::Active => "active",
+            }
+        ),
+    }
+}
+
+fn field_ticks(value: &Json, key: &str) -> Result<Duration, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .map(Duration::from_ticks)
+        .ok_or_else(|| format!("missing tick field \"{key}\""))
+}
+
+fn field_usize(value: &Json, key: &str) -> Result<usize, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("missing integer field \"{key}\""))
+}
+
+/// Parses one journal event line.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema problem.
+pub fn parse_event(line: &str) -> Result<DeltaEvent, String> {
+    let value = json::parse(line)?;
+    match value.get("event").and_then(Json::as_str) {
+        Some("arrival") => {
+            let monitor = MonitorSpec::modal(
+                field_ticks(&value, "passive_ticks")?,
+                field_ticks(&value, "active_ticks")?,
+                field_ticks(&value, "t_max_ticks")?,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(DeltaEvent::Arrival { monitor })
+        }
+        Some("departure") => Ok(DeltaEvent::Departure {
+            slot: field_usize(&value, "slot")?,
+        }),
+        Some("wcet_update") => Ok(DeltaEvent::WcetUpdate {
+            slot: field_usize(&value, "slot")?,
+            passive_wcet: field_ticks(&value, "passive_ticks")?,
+            active_wcet: field_ticks(&value, "active_ticks")?,
+        }),
+        Some("mode") => Ok(DeltaEvent::ModeChange {
+            slot: field_usize(&value, "slot")?,
+            mode: match value.get("mode").and_then(Json::as_str) {
+                Some("passive") => MonitorMode::Passive,
+                Some("active") => MonitorMode::Active,
+                other => return Err(format!("unknown mode {other:?}")),
+            },
+        }),
+        other => Err(format!("unknown event {other:?}")),
+    }
+}
+
+fn render_registration(cores: usize, rt: &[RtSpec]) -> String {
+    let mut out = format!("{{\"event\":\"register\",\"cores\":{cores},\"rt\":[");
+    for (i, spec) in rt.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"wcet_ticks\":{},\"period_ticks\":{},\"core\":{}}}",
+            spec.wcet.as_ticks(),
+            spec.period.as_ticks(),
+            spec.core,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn parse_registration(line: &str) -> Result<(usize, Vec<RtSpec>), String> {
+    let value = json::parse(line)?;
+    if value.get("event").and_then(Json::as_str) != Some("register") {
+        return Err("journal must start with a register line".into());
+    }
+    let cores = field_usize(&value, "cores")?;
+    let items = value
+        .get("rt")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"rt\"")?;
+    let mut rt = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        rt.push(RtSpec {
+            wcet: field_ticks(item, "wcet_ticks").map_err(|e| format!("rt[{i}]: {e}"))?,
+            period: field_ticks(item, "period_ticks").map_err(|e| format!("rt[{i}]: {e}"))?,
+            core: field_usize(item, "core").map_err(|e| format!("rt[{i}]: {e}"))?,
+        });
+    }
+    Ok((cores, rt))
+}
+
+/// A directory of per-tenant journals.
+#[derive(Clone, Debug)]
+pub struct JournalDir {
+    dir: PathBuf,
+}
+
+/// Everything a tenant journal records: the frozen registration and the
+/// accepted event history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TenantHistory {
+    /// Core count `M` of the tenant's platform.
+    pub cores: usize,
+    /// The partitioned RT tasks, as registered.
+    pub rt: Vec<RtSpec>,
+    /// Every accepted delta, in commit order.
+    pub events: Vec<DeltaEvent>,
+}
+
+/// Why a journal could not be replayed.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The journal file could not be read.
+    Io(io::Error),
+    /// A line failed to parse, or the file shape is wrong.
+    Malformed(String),
+    /// A journaled event was rejected on re-application — the journal
+    /// does not match the code that replays it (e.g. a strategy
+    /// mismatch, or a hand-edited file).
+    Diverged {
+        /// Index of the failing event within the journal.
+        event: usize,
+        /// The rejection/usage error text.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "journal I/O error: {e}"),
+            ReplayError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
+            ReplayError::Diverged { event, reason } => {
+                write!(f, "journal diverged at event {event}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<io::Error> for ReplayError {
+    fn from(e: io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+impl JournalDir {
+    /// A journal rooted at `dir` (created on first write).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        JournalDir { dir: dir.into() }
+    }
+
+    /// The journal file of one tenant.
+    #[must_use]
+    pub fn path_for(&self, tenant: u64) -> PathBuf {
+        self.dir.join(format!("tenant_{tenant}.jsonl"))
+    }
+
+    /// Starts (or restarts) a tenant's journal with its registration
+    /// line. A re-registration truncates: the old history described a
+    /// tenant that no longer exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn begin_tenant(&self, tenant: u64, cores: usize, rt: &[RtSpec]) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut f = std::fs::File::create(self.path_for(tenant))?;
+        f.write_all(render_registration(cores, rt).as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()
+    }
+
+    /// Appends one accepted event to a tenant's journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; [`io::ErrorKind::NotFound`] means the
+    /// tenant was never journaled (no registration line), since the
+    /// append deliberately does not create files.
+    pub fn append_event(&self, tenant: u64, event: &DeltaEvent) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path_for(tenant))?;
+        f.write_all(render_event(event).as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()
+    }
+
+    /// The tenants with a journal file in this directory, ascending. An
+    /// absent directory is an empty (not an erroneous) journal.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<u64> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut tenants: Vec<u64> = entries
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name();
+                let name = name.to_str()?;
+                name.strip_prefix("tenant_")?
+                    .strip_suffix(".jsonl")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        tenants.sort_unstable();
+        tenants
+    }
+
+    /// Poisons a tenant's journal after a failed write: the file is
+    /// renamed to `tenant_<id>.jsonl.corrupt`, so boot-time recovery
+    /// reports the tenant as *absent* (and the operator finds the
+    /// partial history preserved for inspection) instead of silently
+    /// replaying a history with a hole in it — a journal that dropped
+    /// one accepted event would otherwise replay cleanly to a *different*
+    /// committed state, violating the bit-identical guarantee. Idempotent
+    /// and best-effort: if even the rename fails there is nothing
+    /// durable left to do, and the error says so.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the rename error (missing files are fine — the tenant
+    /// is already unrecoverable, which is the goal).
+    pub fn poison_tenant(&self, tenant: u64) -> io::Result<()> {
+        let path = self.path_for(tenant);
+        match std::fs::rename(&path, path.with_extension("jsonl.corrupt")) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads a tenant's full recorded history.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Io`] / [`ReplayError::Malformed`].
+    pub fn load_tenant(&self, tenant: u64) -> Result<TenantHistory, ReplayError> {
+        load_history(&self.path_for(tenant))
+    }
+
+    /// Rebuilds a tenant's state from its journal — bit-identical
+    /// committed configuration (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReplayError`]; `Diverged` if a recorded event is no longer
+    /// admitted under `strategy`.
+    pub fn replay_tenant(
+        &self,
+        tenant: u64,
+        strategy: CarryInStrategy,
+    ) -> Result<TenantState, ReplayError> {
+        let history = self.load_tenant(tenant)?;
+        replay(&history, strategy)
+    }
+}
+
+/// Parses a journal file into its registration and event history.
+fn load_history(path: &Path) -> Result<TenantHistory, ReplayError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| ReplayError::Malformed("empty journal".into()))?;
+    let (cores, rt) = parse_registration(first).map_err(ReplayError::Malformed)?;
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        events.push(
+            parse_event(line).map_err(|e| ReplayError::Malformed(format!("event {i}: {e}")))?,
+        );
+    }
+    Ok(TenantHistory { cores, rt, events })
+}
+
+/// Rebuilds a [`TenantState`] by re-admitting a recorded history under
+/// `strategy`.
+///
+/// # Errors
+///
+/// [`ReplayError::Malformed`] if the registration itself is invalid or
+/// RT-unschedulable; [`ReplayError::Diverged`] if any recorded event is
+/// rejected on re-application.
+pub fn replay(
+    history: &TenantHistory,
+    strategy: CarryInStrategy,
+) -> Result<TenantState, ReplayError> {
+    let system = build_rt_system(history.cores, &history.rt).map_err(ReplayError::Malformed)?;
+    let mut state = TenantState::new(&system, strategy)
+        .map_err(|e| ReplayError::Malformed(format!("registration not admissible: {e}")))?;
+    for (i, event) in history.events.iter().enumerate() {
+        state.apply(event).map_err(|e| ReplayError::Diverged {
+            event: i,
+            reason: e.to_string(),
+        })?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn event_lines_round_trip() {
+        let events = [
+            DeltaEvent::Arrival {
+                monitor: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap(),
+            },
+            DeltaEvent::Arrival {
+                monitor: MonitorSpec::fixed(Duration::from_ticks(2231), ms(10_000)).unwrap(),
+            },
+            DeltaEvent::Departure { slot: 3 },
+            DeltaEvent::WcetUpdate {
+                slot: 0,
+                passive_wcet: Duration::from_ticks(1),
+                active_wcet: Duration::from_ticks(7),
+            },
+            DeltaEvent::ModeChange {
+                slot: 2,
+                mode: MonitorMode::Active,
+            },
+            DeltaEvent::ModeChange {
+                slot: 0,
+                mode: MonitorMode::Passive,
+            },
+        ];
+        for event in events {
+            let line = render_event(&event);
+            assert_eq!(parse_event(&line), Ok(event), "{line}");
+            // Journal lines are themselves valid JSON documents.
+            assert!(crate::json::parse(&line).is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_event_lines_are_rejected() {
+        for bad in [
+            "not json",
+            "{}",
+            "{\"event\":\"warp\"}",
+            "{\"event\":\"departure\"}",
+            "{\"event\":\"mode\",\"slot\":0,\"mode\":\"calm\"}",
+            // active < passive: invalid monitor shape.
+            "{\"event\":\"arrival\",\"passive_ticks\":5,\"active_ticks\":2,\"t_max_ticks\":100}",
+        ] {
+            assert!(parse_event(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn registration_round_trips_and_guards_the_first_line() {
+        let rt = vec![
+            RtSpec {
+                wcet: ms(240),
+                period: ms(500),
+                core: 0,
+            },
+            RtSpec {
+                wcet: ms(1120),
+                period: ms(5000),
+                core: 1,
+            },
+        ];
+        let line = render_registration(2, &rt);
+        assert_eq!(parse_registration(&line), Ok((2, rt)));
+        assert!(parse_registration("{\"event\":\"departure\",\"slot\":0}").is_err());
+    }
+
+    #[test]
+    fn poisoned_journals_disappear_from_recovery_but_stay_on_disk() {
+        let dir = JournalDir::at(
+            std::env::temp_dir().join(format!("hydra_journal_poison_{}", std::process::id())),
+        );
+        let rt = [RtSpec {
+            wcet: ms(10),
+            period: ms(100),
+            core: 0,
+        }];
+        dir.begin_tenant(5, 1, &rt).unwrap();
+        dir.append_event(5, &DeltaEvent::Departure { slot: 0 })
+            .unwrap();
+        assert_eq!(dir.tenants(), vec![5]);
+        dir.poison_tenant(5).unwrap();
+        // Recovery no longer sees the tenant, replay fails loudly, and
+        // the partial history survives for inspection.
+        assert!(dir.tenants().is_empty());
+        assert!(matches!(
+            dir.load_tenant(5),
+            Err(ReplayError::Io(e)) if e.kind() == io::ErrorKind::NotFound
+        ));
+        assert!(dir.path_for(5).with_extension("jsonl.corrupt").exists());
+        // Idempotent: poisoning an absent journal is fine.
+        dir.poison_tenant(5).unwrap();
+        dir.poison_tenant(99).unwrap();
+        let _ = std::fs::remove_dir_all(dir.dir);
+    }
+
+    #[test]
+    fn append_without_registration_is_refused() {
+        let dir = JournalDir::at(
+            std::env::temp_dir().join(format!("hydra_journal_noreg_{}", std::process::id())),
+        );
+        let err = dir
+            .append_event(7, &DeltaEvent::Departure { slot: 0 })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -20,7 +20,12 @@
 //!   worker shards with request batching and per-tenant FIFO ordering;
 //! * [`json`] / [`proto`] — a dependency-free JSON subset and the
 //!   line-delimited wire protocol;
-//! * [`server`] — the stdin and TCP front ends (the `rts_adaptd` binary).
+//! * [`server`] — the stdin and TCP front ends (the `rts_adaptd`
+//!   binary); TCP connections are served concurrently by bounded
+//!   threads over one shared engine;
+//! * [`journal`] — per-tenant event-log persistence: registrations and
+//!   accepted deltas appended as line JSON, with a replay entry point
+//!   that rebuilds tenant state bit-identically.
 //!
 //! # Why mode-aware re-admission is sound
 //!
@@ -104,6 +109,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;
@@ -120,5 +126,7 @@ pub mod prelude {
 }
 
 pub use engine::{AdaptEngine, Admitted, Request, Response, RtSpec};
+pub use journal::{replay, JournalDir, ReplayError, TenantHistory};
+pub use server::{serve, serve_shared, serve_tcp, shared, SharedEngine};
 pub use shard::ShardedEngine;
 pub use tenant::{ApplyError, TenantState};

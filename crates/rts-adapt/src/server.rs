@@ -7,16 +7,34 @@
 //! gets batched throughput), submitted as one batch, and the answers are
 //! written back ordered by sequence number.
 //!
-//! [`serve_tcp`] accepts connections sequentially and runs [`serve`] on
-//! each — tenant state persists across connections (the engine outlives
-//! them). One connection is served at a time; concurrency lives in the
-//! shard pool behind the protocol, not in the accept loop.
+//! [`serve_tcp`] accepts connections **concurrently**: each accepted
+//! connection gets its own bounded service thread over one shared
+//! engine ([`SharedEngine`], a mutex around the sharded pool), so an
+//! idle or slow client never blocks another client's requests. The lock
+//! is held only per dispatch round — submit one batch, drain its
+//! answers — never across blocking reads, and tenant state persists
+//! across connections (the engine outlives them). Connections beyond
+//! the cap are refused with a protocol error line instead of queueing
+//! unboundedly.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use crate::engine::{Request, Response};
 use crate::proto;
 use crate::shard::ShardedEngine;
+
+/// The sharded engine behind a lock, shared by every live connection of
+/// a TCP front end. Cloning shares the same engine.
+pub type SharedEngine = Arc<Mutex<ShardedEngine>>;
+
+/// Wraps an engine for concurrent TCP serving.
+#[must_use]
+pub fn shared(engine: ShardedEngine) -> SharedEngine {
+    Arc::new(Mutex::new(engine))
+}
 
 /// Totals of one [`serve`] run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -41,6 +59,58 @@ pub struct ServeSummary {
 /// abort the stream — they are answered with `verdict:"error"` lines.
 pub fn serve<R: Read, W: Write>(
     engine: &mut ShardedEngine,
+    input: BufReader<R>,
+    output: W,
+    batch: usize,
+) -> io::Result<ServeSummary> {
+    serve_with(
+        |round| {
+            engine.submit_batch(round);
+            engine.drain()
+        },
+        input,
+        output,
+        batch,
+    )
+}
+
+/// [`serve`] over a [`SharedEngine`]: identical semantics, but the
+/// engine lock is taken once per dispatch round — submit plus drain —
+/// and released before the next blocking read, so concurrent
+/// connections interleave at round granularity while each tenant's
+/// answers stay ordered (the shard layer's guarantee).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `input`/`output`, exactly like [`serve`].
+///
+/// # Panics
+///
+/// Panics if the engine mutex is poisoned (a service thread panicked
+/// mid-round — unrecoverable for the pool).
+pub fn serve_shared<R: Read, W: Write>(
+    engine: &SharedEngine,
+    input: BufReader<R>,
+    output: W,
+    batch: usize,
+) -> io::Result<ServeSummary> {
+    serve_with(
+        |round| {
+            let mut engine = engine.lock().expect("engine mutex poisoned");
+            engine.submit_batch(round);
+            engine.drain()
+        },
+        input,
+        output,
+        batch,
+    )
+}
+
+/// The shared stream pump: reads rounds of lines, hands parsed requests
+/// to `dispatch` (which must answer every submitted request exactly
+/// once), and writes seq-ordered responses.
+fn serve_with<R: Read, W: Write>(
+    mut dispatch: impl FnMut(Vec<(u64, Request)>) -> Vec<(u64, Response)>,
     input: BufReader<R>,
     mut output: W,
     batch: usize,
@@ -69,7 +139,7 @@ pub fn serve<R: Read, W: Write>(
 
         summary.requests += round.len() as u64;
         let mut answers: Vec<(u64, String)> = Vec::with_capacity(round.len());
-        let mut submitted: Vec<(u64, crate::engine::Request)> = Vec::with_capacity(round.len());
+        let mut submitted: Vec<(u64, Request)> = Vec::with_capacity(round.len());
         for (line_seq, text) in round.drain(..) {
             let parsed = text.and_then(|bytes| {
                 let text = std::str::from_utf8(&bytes).map_err(|_| "invalid UTF-8".to_string())?;
@@ -81,16 +151,12 @@ pub fn serve<R: Read, W: Write>(
                     summary.parse_errors += 1;
                     answers.push((
                         line_seq,
-                        proto::render_response(
-                            line_seq,
-                            &crate::engine::Response::Error { tenant: 0, reason },
-                        ),
+                        proto::render_response(line_seq, &Response::Error { tenant: 0, reason }),
                     ));
                 }
             }
         }
-        engine.submit_batch(submitted);
-        for (answer_seq, response) in engine.drain() {
+        for (answer_seq, response) in dispatch(submitted) {
             answers.push((answer_seq, proto::render_response(answer_seq, &response)));
         }
         answers.sort_by_key(|&(s, _)| s);
@@ -158,15 +224,54 @@ fn oversized_reason() -> String {
     format!("request line exceeds {MAX_LINE_BYTES} bytes")
 }
 
-/// Binds `addr` and serves connections sequentially, forever.
+/// Decrements the live-connection count when a service thread exits —
+/// on any path, including panics.
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Binds `addr` and serves connections concurrently, forever: each
+/// accepted connection runs on its own thread over the shared engine,
+/// up to `max_conns` simultaneous connections. A connection beyond the
+/// cap is answered with a single `verdict:"error"` line and closed
+/// (bounded threads, bounded memory — a pileup degrades loudly instead
+/// of queueing silently).
 ///
 /// # Errors
 ///
 /// Returns the bind error; per-connection I/O errors are logged to
-/// stderr and the loop moves on to the next connection.
-pub fn serve_tcp(engine: &mut ShardedEngine, addr: &str, batch: usize) -> io::Result<()> {
+/// stderr by the connection threads.
+pub fn serve_tcp(
+    engine: &SharedEngine,
+    addr: &str,
+    batch: usize,
+    max_conns: usize,
+) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("rts-adaptd listening on {}", listener.local_addr()?);
+    serve_listener(engine, &listener, batch, max_conns)
+}
+
+/// The accept loop behind [`serve_tcp`], taking an already-bound
+/// listener (tests bind to an ephemeral port and pass it in). Runs
+/// forever; only `listener.accept` errors are reported (and skipped).
+///
+/// # Errors
+///
+/// Never returns `Ok` — the loop only ends if accepting becomes
+/// impossible; transient accept errors are logged and skipped.
+pub fn serve_listener(
+    engine: &SharedEngine,
+    listener: &TcpListener,
+    batch: usize,
+    max_conns: usize,
+) -> io::Result<()> {
+    let max_conns = max_conns.max(1);
+    let live = Arc::new(AtomicUsize::new(0));
     loop {
         let (stream, peer) = match listener.accept() {
             Ok(conn) => conn,
@@ -175,21 +280,56 @@ pub fn serve_tcp(engine: &mut ShardedEngine, addr: &str, batch: usize) -> io::Re
                 continue;
             }
         };
-        eprintln!("serving {peer}");
-        let reader = match stream.try_clone() {
-            Ok(clone) => BufReader::new(clone),
-            Err(e) => {
-                eprintln!("clone failed for {peer}: {e}");
-                continue;
-            }
-        };
-        match serve(engine, reader, stream, batch) {
-            Ok(summary) => eprintln!(
-                "{peer} done: {} requests, {} parse errors",
-                summary.requests, summary.parse_errors
-            ),
-            Err(e) => eprintln!("{peer} aborted: {e}"),
+        // Claim a slot; back out if the cap is reached.
+        if live.fetch_add(1, Ordering::AcqRel) >= max_conns {
+            live.fetch_sub(1, Ordering::AcqRel);
+            refuse_connection(stream, peer, max_conns);
+            continue;
         }
+        let slot = ConnectionSlot(Arc::clone(&live));
+        let engine = Arc::clone(engine);
+        std::thread::spawn(move || {
+            let _slot = slot;
+            serve_connection(&engine, stream, peer, batch);
+        });
+    }
+}
+
+/// Answers one over-cap connection with a bounded error line.
+fn refuse_connection(mut stream: TcpStream, peer: std::net::SocketAddr, max_conns: usize) {
+    let line = proto::render_response(
+        0,
+        &Response::Error {
+            tenant: 0,
+            reason: format!("server at its connection cap ({max_conns}); retry later"),
+        },
+    );
+    eprintln!("{peer} refused: connection cap {max_conns} reached");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// One connection's service loop (runs on its own thread).
+fn serve_connection(
+    engine: &SharedEngine,
+    stream: TcpStream,
+    peer: std::net::SocketAddr,
+    batch: usize,
+) {
+    eprintln!("serving {peer}");
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            eprintln!("clone failed for {peer}: {e}");
+            return;
+        }
+    };
+    match serve_shared(engine, reader, stream, batch) {
+        Ok(summary) => eprintln!(
+            "{peer} done: {} requests, {} parse errors",
+            summary.requests, summary.parse_errors
+        ),
+        Err(e) => eprintln!("{peer} aborted: {e}"),
     }
 }
 
@@ -273,5 +413,112 @@ not json at all
         let (summary, lines) = run_lines("{\"op\":\"query\",\"tenant\":9}", 4);
         assert_eq!(summary.requests, 1);
         assert!(lines[0].contains("unknown tenant 9"));
+    }
+
+    /// Binds an ephemeral port and serves it on a background thread.
+    fn spawn_server(shards: usize, max_conns: usize) -> std::net::SocketAddr {
+        let engine = shared(ShardedEngine::new(CarryInStrategy::TopDiff, shards));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let _ = serve_listener(&engine, &listener, 8, max_conns);
+        });
+        addr
+    }
+
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: std::net::SocketAddr) -> Self {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { stream, reader }
+        }
+
+        fn send(&mut self, line: &str) {
+            self.try_send(line).unwrap();
+        }
+
+        /// Like `send`, but surfaces the error — a refused connection
+        /// may already be closed when the client writes.
+        fn try_send(&mut self, line: &str) -> std::io::Result<()> {
+            self.stream.write_all(line.as_bytes())?;
+            self.stream.write_all(b"\n")
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "server closed the connection");
+            line.trim_end().to_string()
+        }
+    }
+
+    #[test]
+    fn simultaneous_clients_are_served_over_one_shared_engine() {
+        let addr = spawn_server(2, 4);
+        // Client A connects first and goes idle without sending a byte.
+        let mut a = Client::connect(addr);
+        // Client B is accepted and fully served while A sits idle — a
+        // sequential accept loop would park B behind A forever.
+        let mut b = Client::connect(addr);
+        b.send(
+            "{\"op\":\"register\",\"tenant\":1,\"cores\":2,\"rt\":[\
+             {\"wcet_ms\":240,\"period_ms\":500,\"core\":0},\
+             {\"wcet_ms\":1120,\"period_ms\":5000,\"core\":1}]}",
+        );
+        assert!(b.recv().contains("\"verdict\":\"accept\""));
+        b.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}");
+        assert!(b.recv().contains("\"periods_ms\":[7582]"));
+        // A — open since before B's requests — sees the tenant B
+        // registered: one engine serves every connection.
+        a.send("{\"op\":\"query\",\"tenant\":1}");
+        assert!(a.recv().contains("\"periods_ms\":[7582]"));
+        // And both can keep interleaving.
+        b.send("{\"op\":\"query\",\"tenant\":1}");
+        a.send("{\"op\":\"query\",\"tenant\":1}");
+        assert!(b.recv().contains("\"verdict\":\"accept\""));
+        assert!(a.recv().contains("\"verdict\":\"accept\""));
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_are_refused_then_admitted_again() {
+        let addr = spawn_server(1, 1);
+        // A round trip guarantees A's service thread holds the one slot.
+        let mut a = Client::connect(addr);
+        a.send("{\"op\":\"query\",\"tenant\":9}");
+        assert!(a.recv().contains("unknown tenant 9"));
+        // B exceeds the cap: refused with a protocol error line.
+        let mut b = Client::connect(addr);
+        assert!(b.recv().contains("connection cap"), "expected refusal");
+        // Closing A frees the slot (its thread exits on EOF); a new
+        // client is admitted again. The release races the next accept,
+        // so poll briefly.
+        drop(a);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let mut c = Client::connect(addr);
+            // The write races the refusal: a refused socket may already
+            // be closed, which is just another "try again" signal.
+            let line = match c.try_send("{\"op\":\"query\",\"tenant\":9}") {
+                Ok(()) => c.recv(),
+                Err(_) => "connection cap".to_string(),
+            };
+            if line.contains("unknown tenant 9") {
+                break; // served again
+            }
+            assert!(line.contains("connection cap"), "unexpected: {line}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slot was never released"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
     }
 }

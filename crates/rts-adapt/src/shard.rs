@@ -25,10 +25,21 @@ use hydra_core::incremental::MemoStats;
 use rts_analysis::semi::CarryInStrategy;
 
 use crate::engine::{AdaptEngine, Request, Response};
+use crate::journal::JournalDir;
 
 /// One request travelling through the pool, tagged with the caller's
 /// sequence number.
 type Envelope = (u64, Request);
+
+/// The tenant-hash dispatch function (SplitMix64 of the tenant id,
+/// reduced modulo the shard count) — shared by live dispatch and
+/// boot-time journal recovery, which must agree on tenant placement.
+fn shard_index(tenant: u64, shards: usize) -> usize {
+    let mut z = tenant.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % shards
+}
 
 /// What one worker reports when the pool shuts down.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +70,21 @@ impl ShardedEngine {
     /// [`AdaptEngine`] running under `strategy`.
     #[must_use]
     pub fn new(strategy: CarryInStrategy, shards: usize) -> Self {
+        Self::spawn(strategy, shards, None)
+    }
+
+    /// Like [`ShardedEngine::new`], with per-tenant event-log
+    /// persistence under `journal`. A tenant hashes to exactly one
+    /// shard, so each journal file has a single writer. Existing
+    /// journals are replayed on startup: each worker restores the
+    /// tenants that hash onto it, so a restarted daemon answers for
+    /// every previously journaled tenant without re-registration.
+    #[must_use]
+    pub fn with_journal(strategy: CarryInStrategy, shards: usize, journal: JournalDir) -> Self {
+        Self::spawn(strategy, shards, Some(journal))
+    }
+
+    fn spawn(strategy: CarryInStrategy, shards: usize, journal: Option<JournalDir>) -> Self {
         let shards = shards.max(1);
         let (results_tx, results) = mpsc::channel();
         let (reports_tx, reports) = mpsc::channel();
@@ -69,12 +95,42 @@ impl ShardedEngine {
             senders.push(tx);
             let results_tx = results_tx.clone();
             let reports_tx = reports_tx.clone();
+            let journal = journal.clone();
             workers.push(std::thread::spawn(move || {
-                let mut engine = AdaptEngine::new(strategy);
+                let mut engine = match journal {
+                    Some(journal) => {
+                        let mut engine = AdaptEngine::with_journal(strategy, journal);
+                        let (restored, failed) =
+                            engine.recover_journaled(|t| shard_index(t, shards) == shard);
+                        if restored + failed > 0 {
+                            eprintln!(
+                                "shard {shard}: recovered {restored} journaled tenants \
+                                 ({failed} failed)"
+                            );
+                        }
+                        engine
+                    }
+                    None => AdaptEngine::new(strategy),
+                };
                 let mut handled = 0u64;
                 for batch in rx {
                     for (seq, request) in batch {
-                        let response = engine.handle(&request);
+                        // Contain per-request panics: the tenant table
+                        // is transactional (it commits only on success)
+                        // and the selector restores its environment's
+                        // migrating-free invariant on unwind
+                        // (hydra_core::incremental), so answering an
+                        // error and serving on keeps the pool healthy —
+                        // a dead worker would instead wedge every
+                        // drain() forever.
+                        let response =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                engine.handle(&request)
+                            }))
+                            .unwrap_or_else(|_| Response::Error {
+                                tenant: request.tenant(),
+                                reason: "internal error while handling the request".into(),
+                            });
                         handled += 1;
                         if results_tx.send((seq, response)).is_err() {
                             return; // collector gone — stop quietly
@@ -105,14 +161,10 @@ impl ShardedEngine {
         self.senders.len()
     }
 
-    /// The shard a tenant is served by (SplitMix64 of the tenant id,
-    /// reduced modulo the shard count).
+    /// The shard a tenant is served by.
     #[must_use]
     pub fn shard_of(&self, tenant: u64) -> usize {
-        let mut z = tenant.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) as usize % self.senders.len()
+        shard_index(tenant, self.senders.len())
     }
 
     /// Responses submitted but not yet received.

@@ -1,274 +1,30 @@
-//! Exact minimal-crossing solver for the Eq. 7 fixed point.
+//! The two Eq. 7/8 crossing solvers, built on the shared segment engine.
 //!
-//! The naive iteration `x ← ⌊Ω(x)/M⌋ + C_s` can crawl one tick at a time
-//! whenever the per-group interference caps `x − C_s + 1` bind on `M` or
-//! more groups (then `f(x) = x + 1` until some cap unbinds) — at 100 µs
-//! ticks that is tens of thousands of iterations per response time, far
-//! too slow for a 2×2500-taskset design-space sweep.
+//! Everything geometric lives in [`crate::segments`]: the workload curves,
+//! the Eq. 3/5 cap, the per-curve segment memo and the generic
+//! [`walk_crossing`](crate::segments::walk_crossing) jump loop. This
+//! module only decides *what `Ω` sums*:
 //!
-//! This module exploits the fact that every capped interference term is a
-//! *piecewise-affine, nondecreasing* function of the window length `x`
-//! with integer slopes: between breakpoints (task release boundaries,
-//! WCET saturation points, cap catch-up points) the total interference
-//! `Ω(x)` is exactly affine, so the smallest `x` with
-//! `Ω(x) ≤ M·(x − C_s) + (M − 1)`  (⇔ `⌊Ω(x)/M⌋ + C_s ≤ x`)
-//! inside a segment has a closed form. The solver walks segment to
-//! segment and returns the *same* minimal crossing the naive iteration
-//! would find (the naive map is monotone for a fixed carry-in assignment,
-//! so its limit is the least crossing) at a cost proportional to the
-//! number of breakpoints instead of ticks.
+//! * [`min_crossing_masked`] — one fixed carry-in assignment (the
+//!   Exhaustive Eq. 8 enumeration solves one of these per assignment):
+//!   every pinned group plus, per migrating task, the CI or NC curve the
+//!   mask selects. The summed function is exactly piecewise affine, so the
+//!   walk is exact with no caveats.
+//! * [`min_crossing_topdiff`] — the Guan-style top-difference bound:
+//!   `Ω(x) = Σ I^NC + Σ top_{m−1} max(I^CI − I^NC, 0)`. The carry-in
+//!   *selection* may switch inside a segment; the walk extrapolates the
+//!   current selection, which under-approximates the pointwise maximum —
+//!   precisely the under-approximation invariant the segment engine's
+//!   jumps are sound for (see the `segments` module docs). Every accepted
+//!   point is validated by exact evaluation.
 //!
-//! For the top-difference (Guan-style) bound the carry-in selection may
-//! switch *inside* a segment; the solver then uses the current selection's
-//! slopes as a prediction but always re-validates candidates by exact
-//! evaluation, so the result remains a sound bound (and coincides with
-//! the naive iteration in all but pathological cases).
+//! Both solvers walk through caller-provided segment-memo buffers (group
+//! [`SegmentState`]s plus one [`PairWalker`] per migrating task), so the
+//! per-probe cost of a group curve is O(1) between breakpoints and the
+//! hot paths perform no heap allocation — the buffers live in
+//! [`crate::semi::Environment`] and are re-seeded per walk.
 
-/// Sentinel for "no further breakpoint".
-const INF: u64 = u64::MAX;
-
-/// A piecewise-affine nondecreasing workload curve, in raw ticks.
-#[derive(Clone, Debug)]
-pub(crate) enum Curve {
-    /// Eq. 2 synchronous (non-carry-in) workload of one task.
-    Nc {
-        /// WCET in ticks.
-        wcet: u64,
-        /// Period in ticks.
-        period: u64,
-    },
-    /// Eq. 4 carry-in workload of one task; `x_bar = C − 1 + T − R`.
-    Ci {
-        /// WCET in ticks.
-        wcet: u64,
-        /// Period in ticks.
-        period: u64,
-        /// The busy-period extension offset `x̄`.
-        x_bar: u64,
-    },
-    /// A per-core pinned group: the *sum* of Eq. 2 curves, capped as one.
-    Group {
-        /// `(wcet, period)` of each pinned task, in ticks.
-        tasks: Vec<(u64, u64)>,
-    },
-}
-
-/// Value, right-slope and next slope-change point (strictly greater than
-/// the evaluation point) of a curve segment.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) struct Piece {
-    pub value: u64,
-    pub slope: u64,
-    pub next_bp: u64,
-}
-
-fn nc_piece(wcet: u64, period: u64, x: u64) -> Piece {
-    debug_assert!(wcet >= 1 && wcet <= period);
-    let q = x / period;
-    let r = x % period;
-    if r < wcet {
-        Piece {
-            value: q * wcet + r,
-            slope: 1,
-            next_bp: x + (wcet - r),
-        }
-    } else {
-        Piece {
-            value: (q + 1) * wcet,
-            slope: 0,
-            next_bp: x + (period - r),
-        }
-    }
-}
-
-fn ci_piece(wcet: u64, period: u64, x_bar: u64, x: u64) -> Piece {
-    // Body: the synchronous curve shifted right by x̄ (zero before it).
-    let body = if x < x_bar {
-        Piece {
-            value: 0,
-            slope: 0,
-            next_bp: x_bar,
-        }
-    } else {
-        let p = nc_piece(wcet, period, x - x_bar);
-        Piece {
-            value: p.value,
-            slope: p.slope,
-            next_bp: p.next_bp.saturating_add(x_bar),
-        }
-    };
-    // Head: the carried-in job contributes min(x, C − 1).
-    let head_cap = wcet - 1;
-    let head = if x < head_cap {
-        Piece {
-            value: x,
-            slope: 1,
-            next_bp: head_cap,
-        }
-    } else {
-        Piece {
-            value: head_cap,
-            slope: 0,
-            next_bp: INF,
-        }
-    };
-    Piece {
-        value: body.value + head.value,
-        slope: body.slope + head.slope,
-        next_bp: body.next_bp.min(head.next_bp),
-    }
-}
-
-impl Curve {
-    /// Evaluates the (uncapped) curve at `x`.
-    pub(crate) fn piece(&self, x: u64) -> Piece {
-        match self {
-            Curve::Nc { wcet, period } => nc_piece(*wcet, *period, x),
-            Curve::Ci {
-                wcet,
-                period,
-                x_bar,
-            } => ci_piece(*wcet, *period, *x_bar, x),
-            Curve::Group { tasks } => {
-                let mut value = 0;
-                let mut slope = 0;
-                let mut next_bp = INF;
-                for &(c, t) in tasks {
-                    let p = nc_piece(c, t, x);
-                    value += p.value;
-                    slope += p.slope;
-                    next_bp = next_bp.min(p.next_bp);
-                }
-                Piece {
-                    value,
-                    slope,
-                    next_bp,
-                }
-            }
-        }
-    }
-
-    /// Evaluates `min(curve, x − cs + 1)` — the interference term of
-    /// Eqs. 3/5 — reporting the capped value, right-slope and the next
-    /// point where the *capped* term's slope may change.
-    pub(crate) fn capped_piece(&self, x: u64, cs: u64) -> Piece {
-        cap_piece(self.piece(x), x, cs)
-    }
-}
-
-/// Applies the Eq. 3/5 interference cap `min(W, x − cs + 1)` to an
-/// uncapped piece evaluated at `x` — the single source of the capping
-/// rules, shared by [`Curve::capped_piece`] and the memoized
-/// [`SegmentCache`].
-fn cap_piece(p: Piece, x: u64, cs: u64) -> Piece {
-    debug_assert!(x >= cs);
-    let cap = x - cs + 1;
-    if p.value < cap {
-        p
-    } else if p.value == cap {
-        Piece {
-            value: cap,
-            slope: p.slope.min(1),
-            next_bp: p.next_bp,
-        }
-    } else {
-        // Cap binds: the term follows x − cs + 1 (slope 1). If the
-        // curve is momentarily flat the cap catches up after
-        // (value − cap) ticks — that is a slope-change point too.
-        let catch_up = if p.slope == 0 {
-            x + (p.value - cap)
-        } else {
-            INF
-        };
-        Piece {
-            value: cap,
-            slope: 1,
-            next_bp: p.next_bp.min(catch_up),
-        }
-    }
-}
-
-/// Memoized curve evaluation for a monotone walk: remembers the affine
-/// segment the last query landed in and answers every query below its
-/// breakpoint by extrapolation (`value + slope·δ` — exact, since the
-/// curve *is* affine there), re-walking the underlying curve only when a
-/// breakpoint is crossed. For [`Curve::Group`] this turns the per-probe
-/// cost from O(tasks) into O(1) between breakpoints; queries must be
-/// non-decreasing in `x`.
-struct SegmentCache<'a> {
-    curve: &'a Curve,
-    /// Where `piece` was (re)computed.
-    at: u64,
-    piece: Piece,
-}
-
-impl<'a> SegmentCache<'a> {
-    fn new(curve: &'a Curve, x: u64) -> Self {
-        SegmentCache {
-            curve,
-            at: x,
-            piece: curve.piece(x),
-        }
-    }
-
-    /// The uncapped piece at `x` (exactly [`Curve::piece`]`(x)`).
-    fn uncapped(&mut self, x: u64) -> Piece {
-        debug_assert!(x >= self.at, "walks query non-decreasing points");
-        if x >= self.piece.next_bp {
-            self.at = x;
-            self.piece = self.curve.piece(x);
-            return self.piece;
-        }
-        Piece {
-            value: self.piece.value + self.piece.slope * (x - self.at),
-            slope: self.piece.slope,
-            next_bp: self.piece.next_bp,
-        }
-    }
-
-    /// The capped piece at `x` (exactly [`Curve::capped_piece`]`(x, cs)`).
-    fn capped(&mut self, x: u64, cs: u64) -> Piece {
-        cap_piece(self.uncapped(x), x, cs)
-    }
-}
-
-/// Core segment walk shared by the fixed-assignment solvers: finds the
-/// smallest `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
-/// where `total(x)` evaluates the summed capped interference `Ω` as one
-/// [`Piece`]. Because the walk never jumps past a point satisfying the
-/// crossing condition (the in-segment closed form under-approximates the
-/// first crossing, and segment boundaries are never skipped), the result
-/// is exactly the least crossing at or above `start`.
-fn walk_crossing(
-    m: u64,
-    cs: u64,
-    start: u64,
-    limit: u64,
-    mut total: impl FnMut(u64) -> Piece,
-) -> Option<u64> {
-    debug_assert!(m >= 1 && cs >= 1);
-    let mut x = start.max(cs);
-    loop {
-        if x > limit {
-            return None;
-        }
-        let p = total(x);
-        let rhs = m * (x - cs) + (m - 1);
-        if p.value <= rhs {
-            return Some(x);
-        }
-        // Inside the current affine segment, solve Ω + σδ ≤ m(x+δ−cs)+m−1.
-        let step = if p.slope < m {
-            let need = p.value - rhs; // > 0 here
-            let delta = need.div_ceil(m - p.slope);
-            (x + delta).min(p.next_bp)
-        } else {
-            p.next_bp
-        };
-        debug_assert!(step > x, "solver must make progress");
-        x = step;
-    }
-}
+use crate::segments::{walk_crossing, Curve, PairWalker, Piece, SegmentState, NO_BREAKPOINT};
 
 /// Smallest `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
 /// — i.e. the least fixed point of Eq. 7 for a fixed carry-in assignment;
@@ -276,11 +32,13 @@ fn walk_crossing(
 /// for migrating task `i`, `pairs[i].1` (carry-in) when `is_ci[i]` and
 /// `pairs[i].0` (non-carry-in) otherwise. Selecting curves through the
 /// mask keeps the Eq. 8 enumeration allocation-free — no per-assignment
-/// curve vector is ever materialized.
+/// curve vector is ever materialized, and the segment memos in `states` /
+/// `walkers` (cleared and re-seeded here) are reused across assignments.
 ///
 /// `start` is a warm start: it must be a sound lower bound on the least
 /// crossing (e.g. the least crossing of a pointwise-smaller interference
 /// function, or simply `cs`), otherwise crossings below it are missed.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn min_crossing_masked(
     groups: &[Curve],
     pairs: &[(Curve, Curve)],
@@ -289,16 +47,36 @@ pub(crate) fn min_crossing_masked(
     cs: u64,
     start: u64,
     limit: u64,
+    states: &mut Vec<SegmentState>,
+    walkers: &mut Vec<PairWalker>,
 ) -> Option<u64> {
     debug_assert_eq!(pairs.len(), is_ci.len());
-    walk_crossing(m, cs, start, limit, |x| {
+    let x0 = start.max(cs);
+    states.clear();
+    states.extend(groups.iter().map(|g| SegmentState::seed(g, x0)));
+    walkers.clear();
+    walkers.extend(
+        pairs
+            .iter()
+            .zip(is_ci)
+            .map(|(pair, &carry)| PairWalker::seed(pair, x0, carry)),
+    );
+    let states: &mut [SegmentState] = states;
+    let walkers: &mut [PairWalker] = walkers;
+    walk_crossing(m, cs, x0, limit, |x| {
         let mut total = Piece {
             value: 0,
             slope: 0,
-            next_bp: INF,
+            next_bp: NO_BREAKPOINT,
         };
-        for curve in masked_curves(groups, pairs, is_ci) {
-            let p = curve.capped_piece(x, cs);
+        for (state, curve) in states.iter_mut().zip(groups) {
+            let p = state.capped(curve, x, cs);
+            total.value += p.value;
+            total.slope += p.slope;
+            total.next_bp = total.next_bp.min(p.next_bp);
+        }
+        for (walker, &carry) in walkers.iter_mut().zip(is_ci) {
+            let p = walker.masked_capped(carry, x, cs);
             total.value += p.value;
             total.slope += p.slope;
             total.next_bp = total.next_bp.min(p.next_bp);
@@ -356,7 +134,11 @@ pub(crate) fn crossing_holds_at(
 /// evaluation, so the returned point genuinely satisfies the crossing
 /// condition (soundness does not depend on the prediction). `start` warm
 /// starts the walk; it must be a sound lower bound on the least crossing
-/// (pass `cs` when none is known).
+/// (pass `cs` when none is known). `states`, `walkers` and `diffs` are
+/// reusable scratch buffers (cleared here); with `take == 0` (one core)
+/// the carry-in curves never contribute to `Ω`, so they are neither
+/// seeded nor evaluated.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn min_crossing_topdiff(
     groups: &[Curve],
     pairs: &[(Curve, Curve)],
@@ -364,37 +146,38 @@ pub(crate) fn min_crossing_topdiff(
     cs: u64,
     start: u64,
     limit: u64,
+    states: &mut Vec<SegmentState>,
+    walkers: &mut Vec<PairWalker>,
+    diffs: &mut Vec<(i64, i64)>,
 ) -> Option<u64> {
     debug_assert!(m >= 1 && cs >= 1);
     let take = (m - 1) as usize;
-    let mut x = start.max(cs);
-    // Per-curve segment memos: each curve is re-walked only when the
+    let x0 = start.max(cs);
+    // Segment memos: one state per group curve, one self-contained
+    // walker per migrating pair. Each curve is re-walked only when the
     // probe crosses one of its breakpoints; every other probe costs one
-    // extrapolation. With `take == 0` (one core) the carry-in curves
-    // never contribute to Ω, so they are not evaluated at all.
-    let mut group_cache: Vec<SegmentCache<'_>> =
-        groups.iter().map(|g| SegmentCache::new(g, x)).collect();
-    let mut pair_cache: Vec<(SegmentCache<'_>, Option<SegmentCache<'_>>)> = pairs
-        .iter()
-        .map(|(nc, ci)| {
-            (
-                SegmentCache::new(nc, x),
-                (take > 0).then(|| SegmentCache::new(ci, x)),
-            )
-        })
-        .collect();
-    // Scratch for the `take ≥ 2` top-k selection; unused otherwise.
-    let mut diffs: Vec<(i64, i64)> = Vec::with_capacity(if take >= 2 { pairs.len() } else { 0 });
+    // extrapolation.
+    states.clear();
+    states.extend(groups.iter().map(|g| SegmentState::seed(g, x0)));
+    walkers.clear();
+    walkers.extend(
+        pairs
+            .iter()
+            .map(|pair| PairWalker::seed(pair, x0, take > 0)),
+    );
+    let group_states: &mut [SegmentState] = states;
+    let walkers: &mut [PairWalker] = walkers;
+    let mut x = x0;
     loop {
         if x > limit {
             return None;
         }
-        let mut omega: i64 = 0;
+        let mut omega: u64 = 0;
         let mut sigma: i64 = 0;
-        let mut next_bp: u64 = INF;
-        for g in &mut group_cache {
-            let p = g.capped(x, cs);
-            omega += p.value as i64;
+        let mut next_bp: u64 = NO_BREAKPOINT;
+        for (state, curve) in group_states.iter_mut().zip(groups) {
+            let p = state.capped(curve, x, cs);
+            omega += p.value;
             sigma += p.slope as i64;
             next_bp = next_bp.min(p.next_bp);
         }
@@ -404,13 +187,15 @@ pub(crate) fn min_crossing_topdiff(
         // selection replaces a full sort — `take == 1` (the two-core
         // sweeps and GLOBAL-TMax's usual shape) is a plain max scan.
         let mut best: Option<(i64, i64)> = None;
-        for (nc, ci) in &mut pair_cache {
-            let pn = nc.capped(x, cs);
-            omega += pn.value as i64;
+        for walker in walkers.iter_mut() {
+            let pn = walker.nc_capped(x, cs);
+            omega += pn.value;
             sigma += pn.slope as i64;
             next_bp = next_bp.min(pn.next_bp);
-            let Some(ci) = ci else { continue };
-            let pc = ci.capped(x, cs);
+            if take == 0 {
+                continue;
+            }
+            let pc = walker.ci_capped(x, cs);
             next_bp = next_bp.min(pc.next_bp);
             let dv = pc.value as i64 - pn.value as i64;
             if dv > 0 {
@@ -426,7 +211,7 @@ pub(crate) fn min_crossing_topdiff(
         }
         if take == 1 {
             if let Some((dv, ds)) = best {
-                omega += dv;
+                omega += dv as u64;
                 sigma += ds;
             }
         } else if take >= 2 {
@@ -434,19 +219,27 @@ pub(crate) fn min_crossing_topdiff(
                 diffs.select_nth_unstable_by_key(take - 1, |&(dv, _)| std::cmp::Reverse(dv));
             }
             for &(dv, ds) in diffs.iter().take(take) {
-                omega += dv;
+                omega += dv as u64;
                 sigma += ds;
             }
         }
-        let rhs = (m * (x - cs) + (m - 1)) as i64;
+        // The *selected* total is a sum of capped nondecreasing terms
+        // (each selected pair contributes its CI slope, the rest their NC
+        // slopes), so the combined slope is nonnegative even though the
+        // per-pair differences are not. This loop is [`walk_crossing`]
+        // with the Ω summation fused in — the same condition, the same
+        // in-segment closed form, kept inline because this is the single
+        // hottest loop of the design-space sweep.
+        debug_assert!(sigma >= 0, "summed interference slope is nonnegative");
+        let rhs = m * (x - cs) + (m - 1);
         if omega <= rhs {
             return Some(x);
         }
-        let step = if sigma < m as i64 {
+        let slope = sigma as u64;
+        let step = if slope < m {
             let need = omega - rhs; // > 0 here
-            let denom = m as i64 - sigma; // > 0 here
-            let delta = ((need + denom - 1) / denom) as u64;
-            (x + delta.max(1)).min(next_bp)
+            let delta = need.div_ceil(m - slope);
+            (x + delta).min(next_bp)
         } else {
             next_bp
         };
@@ -459,164 +252,53 @@ pub(crate) fn min_crossing_topdiff(
 mod tests {
     use super::*;
 
-    #[test]
-    fn nc_piece_matches_closed_form() {
-        // C = 3, T = 10.
-        let c = Curve::Nc {
-            wcet: 3,
-            period: 10,
-        };
-        let p = c.piece(0);
-        assert_eq!((p.value, p.slope, p.next_bp), (0, 1, 3));
-        let p = c.piece(2);
-        assert_eq!((p.value, p.slope, p.next_bp), (2, 1, 3));
-        let p = c.piece(3);
-        assert_eq!((p.value, p.slope, p.next_bp), (3, 0, 10));
-        let p = c.piece(10);
-        assert_eq!((p.value, p.slope, p.next_bp), (3, 1, 13));
-        // x = 25: ⌊25/10⌋·3 + min(5, 3) = 9, in a flat segment.
-        let p = c.piece(25);
-        assert_eq!((p.value, p.slope), (9, 0));
+    #[allow(clippy::too_many_arguments)]
+    fn masked(
+        groups: &[Curve],
+        pairs: &[(Curve, Curve)],
+        is_ci: &[bool],
+        m: u64,
+        cs: u64,
+        start: u64,
+        limit: u64,
+    ) -> Option<u64> {
+        let mut states = Vec::new();
+        let mut walkers = Vec::new();
+        min_crossing_masked(
+            groups,
+            pairs,
+            is_ci,
+            m,
+            cs,
+            start,
+            limit,
+            &mut states,
+            &mut walkers,
+        )
     }
 
-    #[test]
-    fn ci_piece_combines_head_and_body() {
-        // C = 3, T = 10, x̄ = 4.
-        let c = Curve::Ci {
-            wcet: 3,
-            period: 10,
-            x_bar: 4,
-        };
-        // x = 1: head contributes 1 (slope 1 until 2), body 0 until 4.
-        let p = c.piece(1);
-        assert_eq!((p.value, p.slope, p.next_bp), (1, 1, 2));
-        // x = 2: head saturated at C−1 = 2; body still 0.
-        let p = c.piece(2);
-        assert_eq!((p.value, p.slope, p.next_bp), (2, 0, 4));
-        // x = 6: body = nc(2) = 2; total 4.
-        let p = c.piece(6);
-        assert_eq!((p.value, p.slope, p.next_bp), (4, 1, 7));
-    }
-
-    #[test]
-    fn capped_piece_tracks_the_cap() {
-        let c = Curve::Nc {
-            wcet: 9,
-            period: 10,
-        };
-        // cs = 2, x = 5: W = 5, cap = 4 → capped, slope 1; the curve flat
-        // region starts at 9 and the catch-up is irrelevant while slope=1.
-        let p = c.capped_piece(5, 2);
-        assert_eq!((p.value, p.slope), (4, 1));
-        // x = 9: W = 9 (flat), cap = 8; catch-up at 9 + (9−8) = 10.
-        let p = c.capped_piece(9, 2);
-        assert_eq!((p.value, p.slope, p.next_bp), (8, 1, 10));
-        // x = 12: W = 11 (slope 1 again at r=2<9), cap = 11: equal.
-        let p = c.capped_piece(12, 2);
-        assert_eq!((p.value, p.slope), (11, 1));
-    }
-
-    /// Reference: the naive Eq. 7 orbit (known-correct, possibly slow).
-    fn naive_crossing(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Option<u64> {
-        let mut x = cs;
-        loop {
-            if x > limit {
-                return None;
-            }
-            let omega: u64 = curves
-                .iter()
-                .map(|c| {
-                    let cap = x - cs + 1;
-                    c.piece(x).value.min(cap)
-                })
-                .sum();
-            let next = omega / m + cs;
-            if next <= x {
-                return Some(x);
-            }
-            x = next;
-        }
-    }
-
-    #[test]
-    fn solver_matches_naive_orbit_on_dense_grid() {
-        let cases: Vec<(Vec<Curve>, u64, u64)> = vec![
-            (
-                vec![
-                    Curve::Group {
-                        tasks: vec![(2, 4), (1, 7)],
-                    },
-                    Curve::Group {
-                        tasks: vec![(3, 9)],
-                    },
-                ],
-                2,
-                2,
-            ),
-            (
-                vec![
-                    Curve::Nc { wcet: 2, period: 5 },
-                    Curve::Ci {
-                        wcet: 3,
-                        period: 11,
-                        x_bar: 6,
-                    },
-                    Curve::Group {
-                        tasks: vec![(4, 9)],
-                    },
-                ],
-                2,
-                3,
-            ),
-            (
-                vec![
-                    Curve::Group {
-                        tasks: vec![(9, 10)],
-                    },
-                    Curve::Group {
-                        tasks: vec![(9, 10)],
-                    },
-                ],
-                2,
-                5,
-            ),
-            (vec![], 3, 7),
-        ];
-        for (curves, m, cs) in cases {
-            let fast = min_crossing_masked(&curves, &[], &[], m, cs, cs, 100_000);
-            let naive = naive_crossing(&curves, m, cs, 100_000);
-            assert_eq!(fast, naive, "curves {curves:?} m={m} cs={cs}");
-        }
-    }
-
-    #[test]
-    fn crawl_case_terminates_quickly_and_exactly() {
-        // The rover's Tripwire situation scaled down: two nearly saturated
-        // cores force a long cap-bound crawl in the naive orbit.
-        let curves = vec![
-            Curve::Group {
-                tasks: vec![(480, 1000)],
-            },
-            Curve::Group {
-                tasks: vec![(2240, 10_000)],
-            },
-        ];
-        let cs = 10_684;
-        let fast = min_crossing_masked(&curves, &[], &[], 2, cs, cs, 1_000_000);
-        let naive = naive_crossing(&curves, 2, cs, 1_000_000);
-        assert_eq!(fast, naive);
-        assert!(fast.is_some());
-    }
-
-    #[test]
-    fn unschedulable_returns_none() {
-        let curves = vec![Curve::Group {
-            tasks: vec![(10, 10)],
-        }];
-        assert_eq!(
-            min_crossing_masked(&curves, &[], &[], 1, 1, 1, 50_000),
-            None
-        );
+    fn topdiff(
+        groups: &[Curve],
+        pairs: &[(Curve, Curve)],
+        m: u64,
+        cs: u64,
+        start: u64,
+        limit: u64,
+    ) -> Option<u64> {
+        let mut states = Vec::new();
+        let mut walkers = Vec::new();
+        let mut diffs = Vec::new();
+        min_crossing_topdiff(
+            groups,
+            pairs,
+            m,
+            cs,
+            start,
+            limit,
+            &mut states,
+            &mut walkers,
+            &mut diffs,
+        )
     }
 
     /// The pre-optimization top-difference walk, kept verbatim as the
@@ -639,7 +321,7 @@ mod tests {
             }
             let mut omega: i64 = 0;
             let mut sigma: i64 = 0;
-            let mut next_bp: u64 = INF;
+            let mut next_bp: u64 = NO_BREAKPOINT;
             for g in groups {
                 let p = g.capped_piece(x, cs);
                 omega += p.value as i64;
@@ -732,7 +414,7 @@ mod tests {
                 .collect();
             let cs = rng.range(1, 10);
             let start = cs + rng.range(0, 5);
-            let fast = min_crossing_topdiff(&groups, &pairs, m, cs, start, 200_000);
+            let fast = topdiff(&groups, &pairs, m, cs, start, 200_000);
             let reference = reference_topdiff(&groups, &pairs, m, cs, start, 200_000);
             assert_eq!(
                 fast, reference,
@@ -752,8 +434,8 @@ mod tests {
                 x_bar: 1,
             },
         )];
-        let td = min_crossing_topdiff(&[], &pairs, 1, 3, 3, 10_000);
-        let nc_only = min_crossing_masked(
+        let td = topdiff(&[], &pairs, 1, 3, 3, 10_000);
+        let nc_only = masked(
             &[Curve::Nc { wcet: 2, period: 6 }],
             &[],
             &[],
@@ -763,5 +445,90 @@ mod tests {
             10_000,
         );
         assert_eq!(td, nc_only);
+    }
+
+    #[test]
+    fn masked_walk_selects_through_the_mask() {
+        // One pair; the CI curve is strictly heavier early on, so the
+        // masked crossing with carry-in must be at or past the NC one.
+        let pairs = vec![(
+            Curve::Nc { wcet: 3, period: 9 },
+            Curve::Ci {
+                wcet: 3,
+                period: 9,
+                x_bar: 4,
+            },
+        )];
+        let groups = vec![Curve::Group {
+            tasks: vec![(2, 5)],
+        }];
+        let nc = masked(&groups, &pairs, &[false], 2, 2, 2, 10_000).unwrap();
+        let ci = masked(&groups, &pairs, &[true], 2, 2, 2, 10_000).unwrap();
+        assert!(ci >= nc);
+        assert!(crossing_holds_at(&groups, &pairs, &[true], 2, 2, ci));
+        assert!(crossing_holds_at(&groups, &pairs, &[false], 2, 2, nc));
+    }
+
+    #[test]
+    fn scratch_reuse_across_walks_is_invisible() {
+        // The same buffers driven through walks of different shapes must
+        // answer exactly like fresh buffers each time.
+        let groups = vec![Curve::Group {
+            tasks: vec![(2, 4), (1, 7)],
+        }];
+        let pairs = vec![
+            (
+                Curve::Nc { wcet: 2, period: 8 },
+                Curve::Ci {
+                    wcet: 2,
+                    period: 8,
+                    x_bar: 3,
+                },
+            ),
+            (
+                Curve::Nc { wcet: 1, period: 6 },
+                Curve::Ci {
+                    wcet: 1,
+                    period: 6,
+                    x_bar: 2,
+                },
+            ),
+        ];
+        let mut states = Vec::new();
+        let mut walkers = Vec::new();
+        let mut diffs = Vec::new();
+        for (mask, m, cs) in [
+            (vec![false, false], 2, 2),
+            (vec![true, false], 2, 2),
+            (vec![false, true], 3, 1),
+            (vec![true, true], 3, 4),
+        ] {
+            let reused = min_crossing_masked(
+                &groups,
+                &pairs,
+                &mask,
+                m,
+                cs,
+                cs,
+                50_000,
+                &mut states,
+                &mut walkers,
+            );
+            let fresh = masked(&groups, &pairs, &mask, m, cs, cs, 50_000);
+            assert_eq!(reused, fresh, "mask {mask:?}");
+            let reused_td = min_crossing_topdiff(
+                &groups,
+                &pairs,
+                m,
+                cs,
+                cs,
+                50_000,
+                &mut states,
+                &mut walkers,
+                &mut diffs,
+            );
+            let fresh_td = topdiff(&groups, &pairs, m, cs, cs, 50_000);
+            assert_eq!(reused_td, fresh_td, "topdiff m={m} cs={cs}");
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! | Eq. 4 — carry-in workload bound | [`workload::carry_in`] |
 //! | Lemma 2 — at most `M − 1` carry-in tasks | [`carry_in::CombinationsUpTo`] |
 //! | Eq. 6, 7 — total interference & fixed point | [`semi::Environment`] |
+//! | Eq. 7 — the shared affine-segment crossing engine | [`segments`] |
 //! | Eq. 8 — maximization over carry-in assignments | [`semi::CarryInStrategy`] |
 //! | whole-system checks over [`rts_model::System`] | [`sched_check`] |
 //! | GLOBAL-TMax baseline (all tasks migrate) | [`global`] |
@@ -43,6 +44,7 @@ pub(crate) mod crossing;
 pub mod global;
 pub mod interference;
 pub mod sched_check;
+pub mod segments;
 pub mod semi;
 pub mod uniproc;
 pub mod workload;

@@ -1,0 +1,651 @@
+//! The shared affine-segment engine behind every fixed-point solver.
+//!
+//! Both Eq. 7 solvers ([`crate::semi::CarryInStrategy::Exhaustive`]'s
+//! per-assignment walks and the Guan-style top-difference bound), and the
+//! GLOBAL-TMax analysis built on them, reduce to the same computational
+//! problem: find the least `x` with `Ω(x) ≤ M·(x − C_s) + (M − 1)`, where
+//! `Ω` sums capped workload curves that are *piecewise affine and
+//! nondecreasing* with integer slopes. This module owns that problem:
+//!
+//! * [`Curve`] — the Eq. 2/3/4 workload curves in raw ticks;
+//! * [`Piece`] — one affine segment: value, right-slope and the next
+//!   breakpoint;
+//! * [`cap_piece`] — the Eq. 3/5 interference cap `min(W, x − C_s + 1)`
+//!   applied to a segment (the single source of the capping rules);
+//! * [`SegmentState`] — a per-curve memo for monotone walks: answers
+//!   queries inside the remembered segment by exact extrapolation and
+//!   re-walks the curve only when a breakpoint is crossed;
+//! * [`walk_crossing`] — the crossing walk itself, generic over how `Ω`
+//!   is summed.
+//!
+//! # The invariants every solver relies on
+//!
+//! [`walk_crossing`] jumps from evaluation point to evaluation point
+//! using a closed form inside the current segment, so its exactness rests
+//! on three properties of the `total` closure it is given (and, through
+//! it, of [`Piece`] and [`SegmentState`]):
+//!
+//! 1. **Exactness at the query point.** `total(x).value` is exactly
+//!    `Ω(x)`. The walk's termination test (`Ω(x) ≤ rhs(x)`) is therefore
+//!    always a *ground-truth* evaluation — predictions below are only
+//!    ever used to pick the next point to look at, never to accept one.
+//! 2. **Under-approximation up to the breakpoint.** For every
+//!    `y ∈ [x, total(x).next_bp)`,
+//!    `Ω(y) ≥ total(x).value + total(x).slope · (y − x)`.
+//!    For a fixed set of curves this holds with equality (each curve *is*
+//!    affine there and caps are tracked as slope changes); for the
+//!    top-difference bound, whose carry-in *selection* may switch inside
+//!    a segment, the extrapolation of the current selection is a pointwise
+//!    lower bound on the maximum over selections. Either way the predicted
+//!    first crossing can only lie at or *before* the true one, so jumping
+//!    to it never skips a solution.
+//! 3. **Boundaries are never skipped.** `total(x).next_bp` is strictly
+//!    greater than `x` and at most the first point where property 2 could
+//!    stop holding (a curve breakpoint, a cap engaging or catching up, or
+//!    a point where a different carry-in selection could take over — the
+//!    last is covered because selection switches require some curve pair's
+//!    difference to change slope, which is itself a breakpoint of one of
+//!    the curves). The walk caps every jump at `next_bp`, so it evaluates
+//!    ground truth at or before every such boundary.
+//!
+//! [`SegmentState`] adds a fourth, caller-side obligation: **queries must
+//! be non-decreasing in `x`** within one walk. The memo extrapolates from
+//! the last segment it computed; a backward query would extrapolate from
+//! a segment the point is not in. (Walks that restart — e.g. each Eq. 8
+//! carry-in assignment — must [`SegmentState::seed`] fresh states.)
+
+/// Sentinel for "no further breakpoint".
+pub const NO_BREAKPOINT: u64 = u64::MAX;
+
+/// A piecewise-affine nondecreasing workload curve, in raw ticks.
+#[derive(Clone, Debug)]
+pub enum Curve {
+    /// Eq. 2 synchronous (non-carry-in) workload of one task.
+    Nc {
+        /// WCET in ticks.
+        wcet: u64,
+        /// Period in ticks.
+        period: u64,
+    },
+    /// Eq. 4 carry-in workload of one task; `x_bar = C − 1 + T − R`.
+    Ci {
+        /// WCET in ticks.
+        wcet: u64,
+        /// Period in ticks.
+        period: u64,
+        /// The busy-period extension offset `x̄`.
+        x_bar: u64,
+    },
+    /// A per-core pinned group: the *sum* of Eq. 2 curves, capped as one.
+    Group {
+        /// `(wcet, period)` of each pinned task, in ticks.
+        tasks: Vec<(u64, u64)>,
+    },
+}
+
+/// Value, right-slope and next slope-change point (strictly greater than
+/// the evaluation point) of a curve segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Piece {
+    /// The curve's value at the evaluation point.
+    pub value: u64,
+    /// The curve's right-slope there (an integer: curves are unions of
+    /// slope-0 and slope-1 task segments).
+    pub slope: u64,
+    /// The next point (strictly greater) where the slope may change;
+    /// [`NO_BREAKPOINT`] if the segment extends forever.
+    pub next_bp: u64,
+}
+
+#[inline]
+fn nc_piece(wcet: u64, period: u64, x: u64) -> Piece {
+    debug_assert!(wcet >= 1 && wcet <= period);
+    let q = x / period;
+    let r = x % period;
+    if r < wcet {
+        Piece {
+            value: q * wcet + r,
+            slope: 1,
+            next_bp: x + (wcet - r),
+        }
+    } else {
+        Piece {
+            value: (q + 1) * wcet,
+            slope: 0,
+            next_bp: x + (period - r),
+        }
+    }
+}
+
+#[inline]
+fn ci_piece(wcet: u64, period: u64, x_bar: u64, x: u64) -> Piece {
+    // Body: the synchronous curve shifted right by x̄ (zero before it).
+    let body = if x < x_bar {
+        Piece {
+            value: 0,
+            slope: 0,
+            next_bp: x_bar,
+        }
+    } else {
+        let p = nc_piece(wcet, period, x - x_bar);
+        Piece {
+            value: p.value,
+            slope: p.slope,
+            next_bp: p.next_bp.saturating_add(x_bar),
+        }
+    };
+    // Head: the carried-in job contributes min(x, C − 1).
+    let head_cap = wcet - 1;
+    let head = if x < head_cap {
+        Piece {
+            value: x,
+            slope: 1,
+            next_bp: head_cap,
+        }
+    } else {
+        Piece {
+            value: head_cap,
+            slope: 0,
+            next_bp: NO_BREAKPOINT,
+        }
+    };
+    Piece {
+        value: body.value + head.value,
+        slope: body.slope + head.slope,
+        next_bp: body.next_bp.min(head.next_bp),
+    }
+}
+
+impl Curve {
+    /// Evaluates the (uncapped) curve at `x`.
+    #[must_use]
+    #[inline]
+    pub fn piece(&self, x: u64) -> Piece {
+        match self {
+            Curve::Nc { wcet, period } => nc_piece(*wcet, *period, x),
+            Curve::Ci {
+                wcet,
+                period,
+                x_bar,
+            } => ci_piece(*wcet, *period, *x_bar, x),
+            Curve::Group { tasks } => {
+                let mut value = 0;
+                let mut slope = 0;
+                let mut next_bp = NO_BREAKPOINT;
+                for &(c, t) in tasks {
+                    let p = nc_piece(c, t, x);
+                    value += p.value;
+                    slope += p.slope;
+                    next_bp = next_bp.min(p.next_bp);
+                }
+                Piece {
+                    value,
+                    slope,
+                    next_bp,
+                }
+            }
+        }
+    }
+
+    /// Evaluates `min(curve, x − cs + 1)` — the interference term of
+    /// Eqs. 3/5 — reporting the capped value, right-slope and the next
+    /// point where the *capped* term's slope may change.
+    #[must_use]
+    pub fn capped_piece(&self, x: u64, cs: u64) -> Piece {
+        cap_piece(self.piece(x), x, cs)
+    }
+}
+
+/// Applies the Eq. 3/5 interference cap `min(W, x − cs + 1)` to an
+/// uncapped piece evaluated at `x` — the single source of the capping
+/// rules, shared by [`Curve::capped_piece`] and the memoized
+/// [`SegmentState`].
+#[must_use]
+#[inline]
+pub fn cap_piece(p: Piece, x: u64, cs: u64) -> Piece {
+    debug_assert!(x >= cs);
+    let cap = x - cs + 1;
+    if p.value < cap {
+        p
+    } else if p.value == cap {
+        Piece {
+            value: cap,
+            slope: p.slope.min(1),
+            next_bp: p.next_bp,
+        }
+    } else {
+        // Cap binds: the term follows x − cs + 1 (slope 1). If the
+        // curve is momentarily flat the cap catches up after
+        // (value − cap) ticks — that is a slope-change point too.
+        let catch_up = if p.slope == 0 {
+            x + (p.value - cap)
+        } else {
+            NO_BREAKPOINT
+        };
+        Piece {
+            value: cap,
+            slope: 1,
+            next_bp: p.next_bp.min(catch_up),
+        }
+    }
+}
+
+/// Memoized curve evaluation for one monotone walk: remembers the affine
+/// segment the last query landed in and answers every query below its
+/// breakpoint by extrapolation (`value + slope·δ` — exact, since the
+/// curve *is* affine there), re-walking the underlying curve only when a
+/// breakpoint is crossed. For [`Curve::Group`] this turns the per-probe
+/// cost from O(tasks) into O(1) between breakpoints.
+///
+/// The state is plain data (no borrow of the curve), so a solver can keep
+/// a reusable buffer of states alive across walks and [`seed`] them anew
+/// per walk — the hot paths never heap-allocate. The caller must pass the
+/// *same* curve to every query of one seeded state, with non-decreasing
+/// `x` (see the module docs).
+///
+/// [`seed`]: SegmentState::seed
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentState {
+    /// Where `piece` was (re)computed.
+    at: u64,
+    piece: Piece,
+}
+
+impl SegmentState {
+    /// Starts a walk over `curve` at `x`.
+    #[must_use]
+    pub fn seed(curve: &Curve, x: u64) -> Self {
+        SegmentState {
+            at: x,
+            piece: curve.piece(x),
+        }
+    }
+
+    /// The single copy of the memo rule: answer from the remembered
+    /// segment by extrapolation, or cross the breakpoint and re-walk via
+    /// `recompute`. Every public query — [`SegmentState::uncapped`] and
+    /// both [`PairWalker`] sides — goes through here, so the module-doc
+    /// invariants live in exactly one place.
+    #[inline]
+    fn advance(&mut self, x: u64, recompute: impl FnOnce(u64) -> Piece) -> Piece {
+        debug_assert!(x >= self.at, "walks query non-decreasing points");
+        if x >= self.piece.next_bp {
+            self.at = x;
+            self.piece = recompute(x);
+            return self.piece;
+        }
+        Piece {
+            value: self.piece.value + self.piece.slope * (x - self.at),
+            slope: self.piece.slope,
+            next_bp: self.piece.next_bp,
+        }
+    }
+
+    /// The uncapped piece at `x` (exactly [`Curve::piece`]`(x)`).
+    #[inline]
+    pub fn uncapped(&mut self, curve: &Curve, x: u64) -> Piece {
+        self.advance(x, |x| curve.piece(x))
+    }
+
+    /// The capped piece at `x` (exactly [`Curve::capped_piece`]`(x, cs)`).
+    #[inline]
+    pub fn capped(&mut self, curve: &Curve, x: u64, cs: u64) -> Piece {
+        cap_piece(self.uncapped(curve, x), x, cs)
+    }
+}
+
+/// A self-contained walker over one migrating task's Eq. 2/4 curve pair.
+///
+/// The two curves of a pair share their task parameters (`C`, `T`, and
+/// the CI offset `x̄`), so embedding them here makes the walker one
+/// contiguous element: the solvers' hottest loop streams a single slice
+/// of walkers instead of zipping separate state and curve arrays. The
+/// memoization semantics are exactly two [`SegmentState`]s — queries must
+/// be non-decreasing per walk, and [`PairWalker::seed`] restarts both.
+#[derive(Clone, Copy, Debug)]
+pub struct PairWalker {
+    wcet: u64,
+    period: u64,
+    x_bar: u64,
+    nc: SegmentState,
+    ci: SegmentState,
+}
+
+impl PairWalker {
+    /// Seeds a walker for the pair `(NC, CI)` at `x`. When `with_ci` is
+    /// false the CI side is never evaluated (one-core walks, or an Eq. 8
+    /// assignment that selects the NC side) and its seed is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not an `(Nc, Ci)` pair (in every build), or
+    /// — debug builds only — if the two curves' task parameters differ.
+    #[must_use]
+    pub fn seed(pair: &(Curve, Curve), x: u64, with_ci: bool) -> Self {
+        let (Curve::Nc { wcet, period }, Curve::Ci { x_bar, .. }) = (&pair.0, &pair.1) else {
+            unreachable!("migrating-task pairs are always (Nc, Ci) curves");
+        };
+        debug_assert!(matches!(
+            pair.1,
+            Curve::Ci { wcet: w, period: p, .. } if w == *wcet && p == *period
+        ));
+        let nc = SegmentState {
+            at: x,
+            piece: nc_piece(*wcet, *period, x),
+        };
+        let ci = if with_ci {
+            SegmentState {
+                at: x,
+                piece: ci_piece(*wcet, *period, *x_bar, x),
+            }
+        } else {
+            nc
+        };
+        PairWalker {
+            wcet: *wcet,
+            period: *period,
+            x_bar: *x_bar,
+            nc,
+            ci,
+        }
+    }
+
+    /// The capped Eq. 2 (non-carry-in) piece at `x`.
+    #[inline]
+    pub fn nc_capped(&mut self, x: u64, cs: u64) -> Piece {
+        let (wcet, period) = (self.wcet, self.period);
+        let p = self.nc.advance(x, |x| nc_piece(wcet, period, x));
+        cap_piece(p, x, cs)
+    }
+
+    /// The capped Eq. 4 (carry-in) piece at `x`. Only valid when the
+    /// walker was seeded with `with_ci = true`.
+    #[inline]
+    pub fn ci_capped(&mut self, x: u64, cs: u64) -> Piece {
+        let (wcet, period, x_bar) = (self.wcet, self.period, self.x_bar);
+        let p = self.ci.advance(x, |x| ci_piece(wcet, period, x_bar, x));
+        cap_piece(p, x, cs)
+    }
+
+    /// The capped piece of the side `carry` selects (the Eq. 8 mask bit).
+    #[inline]
+    pub fn masked_capped(&mut self, carry: bool, x: u64, cs: u64) -> Piece {
+        if carry {
+            self.ci_capped(x, cs)
+        } else {
+            self.nc_capped(x, cs)
+        }
+    }
+}
+
+/// The crossing walk every solver shares: finds the smallest
+/// `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
+/// (⇔ `⌊Ω(x)/m⌋ + cs ≤ x`, the Eq. 7 fixed-point condition), where
+/// `total(x)` evaluates the summed interference `Ω` as one [`Piece`].
+///
+/// Inside the current segment the walk solves
+/// `Ω + σ·δ ≤ m·(x + δ − cs) + m − 1` for the jump `δ` in closed form
+/// (when `σ < m`; otherwise it jumps to the segment boundary). By the
+/// module-level invariants the jump target never lies beyond the true
+/// first crossing and boundaries are never skipped, so the returned point
+/// is exactly the least `x ≥ max(cs, start)` satisfying the condition —
+/// the same answer the tick-by-tick textbook iteration reaches, at a cost
+/// proportional to the number of segment boundaries instead of ticks.
+///
+/// `start` is a warm start: it must be a sound lower bound on the least
+/// crossing (e.g. the least crossing of a pointwise-smaller interference
+/// function, or simply `cs`), otherwise crossings below it are missed.
+/// Returns `None` if the least crossing exceeds `limit`.
+#[inline]
+pub fn walk_crossing(
+    m: u64,
+    cs: u64,
+    start: u64,
+    limit: u64,
+    mut total: impl FnMut(u64) -> Piece,
+) -> Option<u64> {
+    debug_assert!(m >= 1 && cs >= 1);
+    let mut x = start.max(cs);
+    loop {
+        if x > limit {
+            return None;
+        }
+        let p = total(x);
+        let rhs = m * (x - cs) + (m - 1);
+        if p.value <= rhs {
+            return Some(x);
+        }
+        // Inside the current affine segment, solve Ω + σδ ≤ m(x+δ−cs)+m−1.
+        let step = if p.slope < m {
+            let need = p.value - rhs; // > 0 here
+            let delta = need.div_ceil(m - p.slope);
+            (x + delta).min(p.next_bp)
+        } else {
+            p.next_bp
+        };
+        debug_assert!(step > x, "solver must make progress");
+        x = step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nc_piece_matches_closed_form() {
+        // C = 3, T = 10.
+        let c = Curve::Nc {
+            wcet: 3,
+            period: 10,
+        };
+        let p = c.piece(0);
+        assert_eq!((p.value, p.slope, p.next_bp), (0, 1, 3));
+        let p = c.piece(2);
+        assert_eq!((p.value, p.slope, p.next_bp), (2, 1, 3));
+        let p = c.piece(3);
+        assert_eq!((p.value, p.slope, p.next_bp), (3, 0, 10));
+        let p = c.piece(10);
+        assert_eq!((p.value, p.slope, p.next_bp), (3, 1, 13));
+        // x = 25: ⌊25/10⌋·3 + min(5, 3) = 9, in a flat segment.
+        let p = c.piece(25);
+        assert_eq!((p.value, p.slope), (9, 0));
+    }
+
+    #[test]
+    fn ci_piece_combines_head_and_body() {
+        // C = 3, T = 10, x̄ = 4.
+        let c = Curve::Ci {
+            wcet: 3,
+            period: 10,
+            x_bar: 4,
+        };
+        // x = 1: head contributes 1 (slope 1 until 2), body 0 until 4.
+        let p = c.piece(1);
+        assert_eq!((p.value, p.slope, p.next_bp), (1, 1, 2));
+        // x = 2: head saturated at C−1 = 2; body still 0.
+        let p = c.piece(2);
+        assert_eq!((p.value, p.slope, p.next_bp), (2, 0, 4));
+        // x = 6: body = nc(2) = 2; total 4.
+        let p = c.piece(6);
+        assert_eq!((p.value, p.slope, p.next_bp), (4, 1, 7));
+    }
+
+    #[test]
+    fn capped_piece_tracks_the_cap() {
+        let c = Curve::Nc {
+            wcet: 9,
+            period: 10,
+        };
+        // cs = 2, x = 5: W = 5, cap = 4 → capped, slope 1; the curve flat
+        // region starts at 9 and the catch-up is irrelevant while slope=1.
+        let p = c.capped_piece(5, 2);
+        assert_eq!((p.value, p.slope), (4, 1));
+        // x = 9: W = 9 (flat), cap = 8; catch-up at 9 + (9−8) = 10.
+        let p = c.capped_piece(9, 2);
+        assert_eq!((p.value, p.slope, p.next_bp), (8, 1, 10));
+        // x = 12: W = 11 (slope 1 again at r=2<9), cap = 11: equal.
+        let p = c.capped_piece(12, 2);
+        assert_eq!((p.value, p.slope), (11, 1));
+    }
+
+    /// A seeded state must answer exactly like fresh evaluation along any
+    /// non-decreasing query sequence — extrapolation included.
+    #[test]
+    fn segment_state_matches_fresh_evaluation() {
+        let curves = [
+            Curve::Nc { wcet: 3, period: 7 },
+            Curve::Ci {
+                wcet: 4,
+                period: 11,
+                x_bar: 5,
+            },
+            Curve::Group {
+                tasks: vec![(2, 5), (3, 9), (1, 4)],
+            },
+        ];
+        for curve in &curves {
+            let mut state = SegmentState::seed(curve, 0);
+            let mut x = 0u64;
+            // A dense-ish monotone query schedule with repeats.
+            for step in [0u64, 1, 1, 0, 2, 3, 1, 0, 5, 7, 0, 11, 1, 23] {
+                x += step;
+                assert_eq!(state.uncapped(curve, x), curve.piece(x), "x={x}");
+            }
+            // Capped flavor, fresh state (queries restart).
+            let cs = 2;
+            let mut state = SegmentState::seed(curve, cs);
+            let mut x = cs;
+            for step in [0u64, 1, 3, 0, 8, 2, 17] {
+                x += step;
+                assert_eq!(
+                    state.capped(curve, x, cs),
+                    curve.capped_piece(x, cs),
+                    "x={x}"
+                );
+            }
+        }
+    }
+
+    /// Reference: the naive Eq. 7 orbit (known-correct, possibly slow).
+    fn naive_crossing(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Option<u64> {
+        let mut x = cs;
+        loop {
+            if x > limit {
+                return None;
+            }
+            let omega: u64 = curves
+                .iter()
+                .map(|c| {
+                    let cap = x - cs + 1;
+                    c.piece(x).value.min(cap)
+                })
+                .sum();
+            let next = omega / m + cs;
+            if next <= x {
+                return Some(x);
+            }
+            x = next;
+        }
+    }
+
+    fn summed_walk(curves: &[Curve], m: u64, cs: u64, limit: u64) -> Option<u64> {
+        let start = cs;
+        let mut states: Vec<SegmentState> = curves
+            .iter()
+            .map(|c| SegmentState::seed(c, start))
+            .collect();
+        walk_crossing(m, cs, start, limit, |x| {
+            let mut total = Piece {
+                value: 0,
+                slope: 0,
+                next_bp: NO_BREAKPOINT,
+            };
+            for (state, curve) in states.iter_mut().zip(curves) {
+                let p = state.capped(curve, x, cs);
+                total.value += p.value;
+                total.slope += p.slope;
+                total.next_bp = total.next_bp.min(p.next_bp);
+            }
+            total
+        })
+    }
+
+    #[test]
+    fn walk_matches_naive_orbit_on_assorted_curve_sets() {
+        let cases: Vec<(Vec<Curve>, u64, u64)> = vec![
+            (
+                vec![
+                    Curve::Group {
+                        tasks: vec![(2, 4), (1, 7)],
+                    },
+                    Curve::Group {
+                        tasks: vec![(3, 9)],
+                    },
+                ],
+                2,
+                2,
+            ),
+            (
+                vec![
+                    Curve::Nc { wcet: 2, period: 5 },
+                    Curve::Ci {
+                        wcet: 3,
+                        period: 11,
+                        x_bar: 6,
+                    },
+                    Curve::Group {
+                        tasks: vec![(4, 9)],
+                    },
+                ],
+                2,
+                3,
+            ),
+            (
+                vec![
+                    Curve::Group {
+                        tasks: vec![(9, 10)],
+                    },
+                    Curve::Group {
+                        tasks: vec![(9, 10)],
+                    },
+                ],
+                2,
+                5,
+            ),
+            (vec![], 3, 7),
+        ];
+        for (curves, m, cs) in cases {
+            let fast = summed_walk(&curves, m, cs, 100_000);
+            let naive = naive_crossing(&curves, m, cs, 100_000);
+            assert_eq!(fast, naive, "curves {curves:?} m={m} cs={cs}");
+        }
+    }
+
+    #[test]
+    fn crawl_case_terminates_quickly_and_exactly() {
+        // The rover's Tripwire situation scaled down: two nearly saturated
+        // cores force a long cap-bound crawl in the naive orbit.
+        let curves = vec![
+            Curve::Group {
+                tasks: vec![(480, 1000)],
+            },
+            Curve::Group {
+                tasks: vec![(2240, 10_000)],
+            },
+        ];
+        let cs = 10_684;
+        let fast = summed_walk(&curves, 2, cs, 1_000_000);
+        let naive = naive_crossing(&curves, 2, cs, 1_000_000);
+        assert_eq!(fast, naive);
+        assert!(fast.is_some());
+    }
+
+    #[test]
+    fn unschedulable_returns_none() {
+        let curves = vec![Curve::Group {
+            tasks: vec![(10, 10)],
+        }];
+        assert_eq!(summed_walk(&curves, 1, 1, 50_000), None);
+    }
+}

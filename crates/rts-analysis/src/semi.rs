@@ -16,8 +16,9 @@
 //! `x = ⌊Ω_s(x)/M⌋ + C_s`, maximized over the admissible carry-in
 //! assignments (Eq. 8). Two strategies implement that maximization — see
 //! [`CarryInStrategy`]. The fixed points themselves are found by the
-//! segment-walking solver in [`crate::crossing`], which returns the same
-//! least crossing as the textbook iteration at a fraction of the cost.
+//! solvers in `crate::crossing`, both built on the shared affine-segment
+//! engine of [`crate::segments`], which returns the same least crossing
+//! as the textbook iteration at a fraction of the cost.
 //!
 //! The same machinery covers **global** fixed-priority scheduling (the
 //! paper's GLOBAL-TMax baseline): leave the pinned groups empty and make
@@ -28,11 +29,14 @@
 //! [`Environment`] caches every workload curve eagerly: `pin` folds the
 //! task into its core's Eq. 2/3 group curve, `add_migrating` stores the
 //! task's Eq. 2/4 `(NC, CI)` pair, and `truncate_migrating` rolls
-//! migrating tasks back — so [`Environment::response_time`] touches no
-//! heap state beyond a per-call carry-in mask. None of this changes the
-//! computed values: curves are pure functions of the registered tasks,
-//! and the solvers read the cache exactly where they previously rebuilt
-//! it.
+//! migrating tasks back. It also owns the reusable segment-walk scratch
+//! (the per-curve [`crate::segments::SegmentState`] memos, the top-k
+//! difference buffer and the Eq. 8 carry-in mask), which is why
+//! [`Environment::response_time`] takes `&mut self`: a solve re-seeds and
+//! advances those memos but performs **no heap allocation**. None of this
+//! changes the computed values: curves are pure functions of the
+//! registered tasks, the scratch never outlives one walk, and the solvers
+//! read the cache exactly where they previously rebuilt it.
 //!
 //! Two further exact optimizations serve the period-selection hot loop:
 //!
@@ -53,7 +57,8 @@
 use rts_model::time::Duration;
 
 use crate::carry_in::SizedCombinations;
-use crate::crossing::{crossing_holds_at, min_crossing_masked, min_crossing_topdiff, Curve};
+use crate::crossing::{crossing_holds_at, min_crossing_masked, min_crossing_topdiff};
+use crate::segments::{Curve, PairWalker, SegmentState};
 use crate::uniproc::HpTask;
 
 /// A higher-priority *migrating* task as seen by the analysis: its WCET,
@@ -149,6 +154,24 @@ pub struct Environment {
     /// Cached `(NC, CI)` curve pair per migrating task, index-aligned
     /// with `migrating`; maintained by `add_migrating`.
     pairs: Vec<(Curve, Curve)>,
+    /// Reusable solver scratch (segment memos, top-k buffer, Eq. 8 mask).
+    /// Never semantically meaningful between calls — excluded from `Eq`.
+    scratch: WalkScratch,
+}
+
+/// The buffers one Eq. 7/8 solve walks through, owned by the environment
+/// so the hot paths allocate nothing. Contents are transient per walk.
+#[derive(Clone, Debug, Default)]
+struct WalkScratch {
+    /// Per-group-curve segment memos, re-seeded at the start of every
+    /// walk.
+    states: Vec<SegmentState>,
+    /// Per-migrating-pair walkers, re-seeded at the start of every walk.
+    walkers: Vec<PairWalker>,
+    /// Top-k selection buffer of the top-difference solver.
+    diffs: Vec<(i64, i64)>,
+    /// Carry-in mask of the Eq. 8 enumeration.
+    mask: Vec<bool>,
 }
 
 /// Equality is defined over the registered tasks only — the cached curves
@@ -195,6 +218,7 @@ impl Environment {
             group_curves: Vec::new(),
             core_slot: vec![None; num_cores],
             pairs: Vec::new(),
+            scratch: WalkScratch::default(),
         }
     }
 
@@ -281,7 +305,7 @@ impl Environment {
     /// Panics if `wcet` is zero.
     #[must_use]
     pub fn response_time(
-        &self,
+        &mut self,
         wcet: Duration,
         limit: Duration,
         strategy: CarryInStrategy,
@@ -316,7 +340,7 @@ impl Environment {
     /// Panics if `wcet` is zero.
     #[must_use]
     pub fn response_time_with_floor(
-        &self,
+        &mut self,
         wcet: Duration,
         floor: Duration,
         limit: Duration,
@@ -330,18 +354,27 @@ impl Environment {
         let cs = wcet.as_ticks();
         let start = floor.as_ticks().max(cs);
         let lim = limit.as_ticks();
+        let n = self.migrating.len();
+        let k_max = self.num_cores().saturating_sub(1).min(n);
+        let groups = &self.group_curves;
+        let pairs = &self.pairs;
+        let WalkScratch {
+            states,
+            walkers,
+            diffs,
+            mask,
+        } = &mut self.scratch;
         match strategy {
             CarryInStrategy::TopDiff => {
-                min_crossing_topdiff(&self.group_curves, &self.pairs, m, cs, start, lim)
+                min_crossing_topdiff(groups, pairs, m, cs, start, lim, states, walkers, diffs)
                     .map(Duration::from_ticks)
             }
             CarryInStrategy::Exhaustive => {
-                let n = self.migrating.len();
-                let k_max = self.num_cores().saturating_sub(1).min(n);
-                let mut is_ci = vec![false; n];
+                mask.clear();
+                mask.resize(n, false);
                 // The all-non-carry-in assignment seeds the incumbent.
                 let mut worst =
-                    min_crossing_masked(&self.group_curves, &self.pairs, &is_ci, m, cs, cs, lim)?;
+                    min_crossing_masked(groups, pairs, mask, m, cs, cs, lim, states, walkers)?;
                 // Decreasing cardinality: large carry-in sets usually
                 // dominate Eq. 8, so the incumbent grows early and the
                 // single-point prune below kills most of the remaining
@@ -350,7 +383,7 @@ impl Environment {
                     let mut combos = SizedCombinations::new(n, k);
                     while let Some(combo) = combos.next() {
                         for &i in combo {
-                            is_ci[i] = true;
+                            mask[i] = true;
                         }
                         // Incumbent prune: if the crossing condition
                         // already holds at `worst`, this assignment's
@@ -363,21 +396,14 @@ impl Environment {
                         // nothing about crossings below it and the
                         // surviving walk must start from `cs`, not from
                         // the incumbent.
-                        if !crossing_holds_at(&self.group_curves, &self.pairs, &is_ci, m, cs, worst)
-                        {
+                        if !crossing_holds_at(groups, pairs, mask, m, cs, worst) {
                             let r = min_crossing_masked(
-                                &self.group_curves,
-                                &self.pairs,
-                                &is_ci,
-                                m,
-                                cs,
-                                cs,
-                                lim,
+                                groups, pairs, mask, m, cs, cs, lim, states, walkers,
                             )?;
                             worst = worst.max(r);
                         }
                         for &i in combo {
-                            is_ci[i] = false;
+                            mask[i] = false;
                         }
                     }
                 }
@@ -478,7 +504,7 @@ mod tests {
 
     #[test]
     fn empty_environment_r_equals_c() {
-        let env = Environment::new(4);
+        let mut env = Environment::new(4);
         assert_eq!(
             env.response_time(t(9), t(100), CarryInStrategy::Exhaustive),
             Some(t(9))

@@ -185,7 +185,7 @@ fn exhaustive_matches_seed_semantics_on_random_battery() {
     let mut rng = StdRng::seed_from_u64(0x5EED_0001);
     for trial in 0..200 {
         let scenario = Scenario::random(&mut rng);
-        let env = scenario.environment();
+        let mut env = scenario.environment();
         let fast = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::Exhaustive);
         let naive = scenario.naive_exhaustive();
         assert_eq!(
@@ -205,10 +205,132 @@ fn topdiff_matches_seed_semantics_on_random_battery() {
     let mut rng = StdRng::seed_from_u64(0x5EED_0002);
     for trial in 0..200 {
         let scenario = Scenario::random(&mut rng);
-        let env = scenario.environment();
+        let mut env = scenario.environment();
         let fast = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::TopDiff);
         let naive = scenario.naive_topdiff();
         assert_eq!(fast, naive, "trial {trial}: TopDiff diverged");
+    }
+}
+
+/// The cross-strategy battery the segment-engine refactor is pinned by:
+/// on 320 seeded scenarios, *both* rebuilt solvers must equal their seed
+/// point-iteration semantics **within the same case**, the top-difference
+/// bound must dominate the exhaustive maximization, and the two
+/// strategies must coincide exactly wherever they are definitionally the
+/// same function (one core, or no migrating tasks — then Eq. 8 has a
+/// single assignment and the top-diff sum has no differences to add).
+#[test]
+fn cross_strategy_battery_pins_both_solvers_to_seed_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0005);
+    let mut coincidence_cases = 0;
+    for trial in 0..320 {
+        let scenario = Scenario::random(&mut rng);
+        let mut env = scenario.environment();
+        let ex = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::Exhaustive);
+        let td = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::TopDiff);
+        assert_eq!(
+            ex,
+            scenario.naive_exhaustive(),
+            "trial {trial}: Exhaustive diverged from the seed iteration"
+        );
+        assert_eq!(
+            td,
+            scenario.naive_topdiff(),
+            "trial {trial}: TopDiff diverged from the seed iteration"
+        );
+        match (ex, td) {
+            (Some(ex), Some(td)) => assert!(
+                td >= ex,
+                "trial {trial}: top-diff bound {td:?} below exhaustive {ex:?}"
+            ),
+            (None, Some(td)) => {
+                panic!("trial {trial}: exhaustive unschedulable but top-diff admitted {td:?}")
+            }
+            _ => {}
+        }
+        if scenario.num_cores == 1 || scenario.migrating.is_empty() {
+            coincidence_cases += 1;
+            assert_eq!(ex, td, "trial {trial}: strategies must coincide");
+        }
+    }
+    assert!(
+        coincidence_cases >= 20,
+        "battery must include coincidence cases (got {coincidence_cases})"
+    );
+}
+
+/// A directed scenario whose top-difference *selection* switches strictly
+/// inside an affine segment — the exact situation where the memoized
+/// walk's extrapolation is only a lower bound and candidate re-validation
+/// carries the proof. With `M = 2` the bound charges the single largest
+/// difference `I^CI − I^NC`:
+///
+/// * task A (C=20, T=1000, R=1000): both curves flat around the region of
+///   interest — its difference is the constant 19;
+/// * task C (C=30, T=100, R=100): for `x ∈ [30, 59)` the NC curve is
+///   flat at 30 while the CI curve rises as `x`, so its difference is
+///   `x − 30`, crossing A's constant 19 at `x = 49` — strictly between
+///   every curve breakpoint in the region (checked below, not assumed).
+#[test]
+fn selection_switch_inside_a_segment_stays_exact() {
+    use rts_analysis::segments::Curve;
+
+    let mk_scenario = |wcet: u64| Scenario {
+        num_cores: 2,
+        pinned: vec![vec![], vec![]],
+        migrating: vec![
+            MigratingHp::new(t(20), t(1000), t(1000)),
+            MigratingHp::new(t(30), t(100), t(100)),
+        ],
+        wcet: t(wcet),
+        limit: t(100_000),
+    };
+
+    // Establish the premise: the selected (maximal) difference switches
+    // from task A to task C at x = 49/50, and no curve of either task
+    // has a breakpoint in (48, 50] — the switch is inside a segment.
+    let curves = [
+        Curve::Nc {
+            wcet: 20,
+            period: 1000,
+        },
+        Curve::Ci {
+            wcet: 20,
+            period: 1000,
+            x_bar: 19,
+        },
+        Curve::Nc {
+            wcet: 30,
+            period: 100,
+        },
+        Curve::Ci {
+            wcet: 30,
+            period: 100,
+            x_bar: 29,
+        },
+    ];
+    let diff = |i: usize, x: u64| {
+        curves[2 * i + 1].piece(x).value as i64 - curves[2 * i].piece(x).value as i64
+    };
+    assert!(diff(0, 48) > diff(1, 48), "A selected before the switch");
+    assert!(diff(1, 50) > diff(0, 50), "C selected after the switch");
+    for curve in &curves {
+        let p = curve.piece(48);
+        assert!(
+            p.next_bp > 50,
+            "premise violated: a breakpoint interrupts the switch segment"
+        );
+    }
+
+    // Across analyzed WCETs the crossing lands before, on and after the
+    // switch point; every answer must equal the seed iteration exactly.
+    for wcet in 1..=40 {
+        let scenario = mk_scenario(wcet);
+        let mut env = scenario.environment();
+        let td = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::TopDiff);
+        assert_eq!(td, scenario.naive_topdiff(), "wcet {wcet}");
+        let ex = env.response_time(scenario.wcet, scenario.limit, CarryInStrategy::Exhaustive);
+        assert_eq!(ex, scenario.naive_exhaustive(), "wcet {wcet}");
     }
 }
 
@@ -219,7 +341,7 @@ fn warm_started_fixed_points_change_nothing() {
     let mut rng = StdRng::seed_from_u64(0x5EED_0003);
     for _ in 0..100 {
         let scenario = Scenario::random(&mut rng);
-        let env = scenario.environment();
+        let mut env = scenario.environment();
         for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
             let cold = env.response_time(scenario.wcet, scenario.limit, strategy);
             if let Some(r) = cold {
