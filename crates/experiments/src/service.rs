@@ -428,6 +428,9 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
                     errors += 1;
                     false
                 }
+                Response::Exported { .. } | Response::Evicted { .. } => {
+                    unreachable!("the load harness issues no export/evict requests")
+                }
             };
             // Reconcile the generator's table with the engine's verdict.
             match pending

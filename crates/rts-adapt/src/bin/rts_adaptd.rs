@@ -5,6 +5,7 @@
 //! ```sh
 //! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
 //!            [--tcp ADDR] [--max-conns N] [--journal DIR]
+//!            [--compact-every N]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
@@ -14,8 +15,14 @@
 //! keeping tenant state shared across all of them. With `--journal DIR`
 //! every registration and accepted delta is appended to a per-tenant
 //! event log under `DIR`, and existing journals are **replayed on
-//! startup** — a restarted daemon answers for every previously
-//! journaled tenant without re-registration (see `rts_adapt::journal`).
+//! startup** (snapshot restore, then the tail) in both stdin and TCP
+//! modes — a restarted daemon answers for every previously journaled
+//! tenant without re-registration (see `rts_adapt::journal`). A
+//! tenant's journal is automatically compacted to a registration +
+//! snapshot pair once its tail reaches `--compact-every` accepted
+//! deltas (default 512; `0` disables compaction). The `export` /
+//! `import` / `evict` protocol verbs hand a tenant off between two
+//! daemons (see the README's Operations section for the runbook).
 
 use std::io::{self, BufReader};
 
@@ -52,8 +59,16 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(64usize);
 
+    let compact_every = arg_value(&args, "--compact-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512usize);
+
     let mut engine = match arg_value(&args, "--journal") {
-        Some(dir) => ShardedEngine::with_journal(strategy, shards, JournalDir::at(dir)),
+        Some(dir) => ShardedEngine::with_journal(
+            strategy,
+            shards,
+            JournalDir::at(dir).with_compaction(compact_every),
+        ),
         None => ShardedEngine::new(strategy, shards),
     };
     let result = match arg_value(&args, "--tcp") {

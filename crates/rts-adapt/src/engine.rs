@@ -1,14 +1,19 @@
 //! The protocol-agnostic request/response surface and the
 //! single-threaded admission engine.
 //!
-//! [`AdaptEngine`] owns a map of tenants and answers three request
-//! kinds: `Register` (freeze a tenant's legacy RT system), `Delta`
-//! (apply one [`DeltaEvent`] transactionally) and `Query` (read the
-//! committed configuration). One engine instance is single-threaded by
-//! design — the scale-out story is *sharding* ([`crate::shard`]), not
-//! locking: tenants are independent, so hashing them across engine
-//! instances preserves exact per-tenant semantics with zero
-//! synchronization on the hot path.
+//! [`AdaptEngine`] owns a map of tenants and answers six request kinds:
+//! `Register` (freeze a tenant's legacy RT system), `Delta` (apply one
+//! [`DeltaEvent`] transactionally), `Query` (read the committed
+//! configuration), plus the hand-off trio — `Export` (emit the tenant's
+//! portable state as a [`TenantHistory`]), `Import` (re-admit and
+//! install such a state) and `Evict` (drop the tenant and retire its
+//! journal). One engine instance is single-threaded by design — the
+//! scale-out story is *sharding* ([`crate::shard`]), not locking:
+//! tenants are independent, so hashing them across engine instances
+//! preserves exact per-tenant semantics with zero synchronization on the
+//! hot path; the hand-off verbs travel the same tenant-hashed dispatch
+//! path as everything else, so they compose with the worker pool for
+//! free.
 
 use std::collections::HashMap;
 
@@ -18,7 +23,7 @@ use rts_model::delta::DeltaEvent;
 use rts_model::time::Duration;
 use rts_model::{CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTaskSet, System};
 
-use crate::journal::JournalDir;
+use crate::journal::{self, JournalDir, ReplayError, TenantHistory, TenantSnapshot};
 use crate::tenant::{ApplyError, TenantState};
 
 /// One legacy RT task as it crosses the registration boundary.
@@ -59,6 +64,33 @@ pub enum Request {
         /// Tenant identifier.
         tenant: u64,
     },
+    /// Emit `tenant`'s portable state — registration plus a snapshot of
+    /// the committed configuration — for hand-off to another daemon.
+    /// Read-only: the tenant keeps serving here until evicted.
+    Export {
+        /// Tenant identifier.
+        tenant: u64,
+    },
+    /// Install a tenant from a hand-off payload (an [`Export`]'s output,
+    /// or a journal file converted to the single-object history form —
+    /// see [`crate::journal`]). The history is **re-admitted**, not
+    /// trusted: snapshot restore and tail replay run the full analysis,
+    /// and a history that no longer admits is rejected. Replaces any
+    /// existing tenant with the same id, like `Register`.
+    ///
+    /// [`Export`]: Request::Export
+    Import {
+        /// Tenant identifier.
+        tenant: u64,
+        /// The portable state to install.
+        history: TenantHistory,
+    },
+    /// Drop `tenant` from the engine and retire its journal, so a
+    /// restart does not resurrect it — the drain side of a hand-off.
+    Evict {
+        /// Tenant identifier.
+        tenant: u64,
+    },
 }
 
 impl Request {
@@ -68,7 +100,10 @@ impl Request {
         match *self {
             Request::Register { tenant, .. }
             | Request::Delta { tenant, .. }
-            | Request::Query { tenant } => tenant,
+            | Request::Query { tenant }
+            | Request::Export { tenant }
+            | Request::Import { tenant, .. }
+            | Request::Evict { tenant } => tenant,
         }
     }
 }
@@ -110,6 +145,23 @@ pub enum Response {
         /// What went wrong.
         reason: String,
     },
+    /// An [`Request::Export`]'s payload: the tenant's portable state.
+    Exported {
+        /// The tenant.
+        tenant: u64,
+        /// Registration plus a snapshot of the committed configuration
+        /// (the tail is empty — an export is always compacted).
+        history: TenantHistory,
+    },
+    /// An [`Request::Evict`] completed: the tenant no longer lives here.
+    Evicted {
+        /// The tenant.
+        tenant: u64,
+        /// Digest of the configuration that was committed at eviction —
+        /// the operator cross-checks it against the importing daemon's
+        /// answer.
+        fingerprint: u64,
+    },
 }
 
 impl Response {
@@ -125,20 +177,37 @@ impl Response {
         match *self {
             Response::Admitted(Admitted { tenant, .. })
             | Response::Rejected { tenant, .. }
-            | Response::Error { tenant, .. } => tenant,
+            | Response::Error { tenant, .. }
+            | Response::Exported { tenant, .. }
+            | Response::Evicted { tenant, .. } => tenant,
         }
     }
+}
+
+/// One resident tenant: its frozen registration (kept for snapshots and
+/// exports, which must reproduce the register line exactly), the live
+/// state, and the journal-tail bookkeeping behind automatic compaction.
+#[derive(Debug)]
+struct TenantSlot {
+    cores: usize,
+    rt: Vec<RtSpec>,
+    state: TenantState,
+    /// Accepted deltas appended to the journal since its last snapshot
+    /// (equals the on-disk tail length while the journal is healthy).
+    tail_len: usize,
 }
 
 /// The single-threaded multi-tenant admission engine.
 #[derive(Debug)]
 pub struct AdaptEngine {
     strategy: CarryInStrategy,
-    tenants: HashMap<u64, TenantState>,
+    tenants: HashMap<u64, TenantSlot>,
     /// Optional event-log persistence: registrations and *accepted*
     /// deltas are appended per tenant (see [`crate::journal`]). Journal
     /// I/O failures are reported on stderr but never change an admission
     /// verdict — the journal is a durability channel, not a gatekeeper.
+    /// The journal's compaction policy ([`JournalDir::compact_every`])
+    /// is enforced here, off the no-journal hot path.
     journal: Option<JournalDir>,
 }
 
@@ -180,9 +249,12 @@ impl AdaptEngine {
         };
         let (mut restored, mut failed) = (0, 0);
         for tenant in journal.tenants().into_iter().filter(|&t| filter(t)) {
-            match journal.replay_tenant(tenant, self.strategy) {
-                Ok(state) => {
-                    self.tenants.insert(tenant, state);
+            let replayed = journal
+                .load_tenant(tenant)
+                .and_then(|history| replay_slot(&history, self.strategy));
+            match replayed {
+                Ok(slot) => {
+                    self.tenants.insert(tenant, slot);
                     restored += 1;
                 }
                 Err(e) => {
@@ -205,7 +277,7 @@ impl AdaptEngine {
     pub fn memo_stats(&self) -> MemoStats {
         let mut total = MemoStats::default();
         for t in self.tenants.values() {
-            let s = t.memo_stats();
+            let s = t.state.memo_stats();
             total.hits += s.hits;
             total.misses += s.misses;
             total.entries += s.entries;
@@ -217,7 +289,7 @@ impl AdaptEngine {
     /// Read-only access to a tenant's state (for validation harnesses).
     #[must_use]
     pub fn tenant(&self, tenant: u64) -> Option<&TenantState> {
-        self.tenants.get(&tenant)
+        self.tenants.get(&tenant).map(|slot| &slot.state)
     }
 
     /// Answers one request.
@@ -226,6 +298,9 @@ impl AdaptEngine {
             Request::Register { tenant, cores, rt } => self.register(*tenant, *cores, rt),
             Request::Delta { tenant, event } => self.delta(*tenant, event),
             Request::Query { tenant } => self.query(*tenant),
+            Request::Export { tenant } => self.export(*tenant),
+            Request::Import { tenant, history } => self.import(*tenant, history),
+            Request::Evict { tenant } => self.evict(*tenant),
         }
     }
 
@@ -237,7 +312,15 @@ impl AdaptEngine {
         match TenantState::new(&system, self.strategy) {
             Ok(state) => {
                 let fingerprint = state.admitted_fingerprint();
-                self.tenants.insert(tenant, state);
+                self.tenants.insert(
+                    tenant,
+                    TenantSlot {
+                        cores,
+                        rt: rt.to_vec(),
+                        state,
+                        tail_len: 0,
+                    },
+                );
                 if let Some(journal) = &self.journal {
                     if let Err(e) = journal.begin_tenant(tenant, cores, rt) {
                         eprintln!("journal: could not begin tenant {tenant}: {e}");
@@ -260,15 +343,28 @@ impl AdaptEngine {
     }
 
     fn delta(&mut self, tenant: u64, event: &DeltaEvent) -> Response {
-        let Some(state) = self.tenants.get_mut(&tenant) else {
+        let Some(slot) = self.tenants.get_mut(&tenant) else {
             return unknown_tenant(tenant);
         };
-        match state.apply(event) {
+        match slot.state.apply(event) {
             Ok(out) => {
                 if let Some(journal) = &self.journal {
-                    if let Err(e) = journal.append_event(tenant, event) {
-                        eprintln!("journal: could not append for tenant {tenant}: {e}");
-                        poison_after_failed_write(journal, tenant);
+                    match journal.append_event(tenant, event) {
+                        Ok(()) => {
+                            slot.tail_len += 1;
+                            if journal
+                                .compact_every()
+                                .is_some_and(|every| slot.tail_len >= every)
+                            {
+                                // Failure is logged and poisoned inside;
+                                // the verdict already stands.
+                                let _ = compact_slot(journal, tenant, slot);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("journal: could not append for tenant {tenant}: {e}");
+                            poison_after_failed_write(journal, tenant);
+                        }
                     }
                 }
                 Response::Admitted(Admitted {
@@ -291,17 +387,166 @@ impl AdaptEngine {
     }
 
     fn query(&self, tenant: u64) -> Response {
-        let Some(state) = self.tenants.get(&tenant) else {
+        let Some(slot) = self.tenants.get(&tenant) else {
             return unknown_tenant(tenant);
         };
-        let sel = state.admitted();
+        let sel = slot.state.admitted();
         Response::Admitted(Admitted {
             tenant,
             periods: sel.periods.as_slice().to_vec(),
             response_times: sel.response_times.clone(),
-            fingerprint: state.admitted_fingerprint(),
+            fingerprint: slot.state.admitted_fingerprint(),
             cached: true,
         })
+    }
+
+    fn export(&self, tenant: u64) -> Response {
+        let Some(slot) = self.tenants.get(&tenant) else {
+            return unknown_tenant(tenant);
+        };
+        Response::Exported {
+            tenant,
+            history: TenantHistory {
+                cores: slot.cores,
+                rt: slot.rt.clone(),
+                snapshot: Some(TenantSnapshot::of(&slot.state)),
+                events: Vec::new(),
+            },
+        }
+    }
+
+    fn import(&mut self, tenant: u64, history: &TenantHistory) -> Response {
+        let mut slot = match replay_slot(history, self.strategy) {
+            Ok(slot) => slot,
+            // The payload's configuration does not admit here — an
+            // analysis verdict, like a rejected registration.
+            Err(e @ (ReplayError::SnapshotDiverged { .. } | ReplayError::Diverged { .. })) => {
+                return Response::Rejected {
+                    tenant,
+                    reason: e.to_string(),
+                }
+            }
+            // The payload itself is unusable.
+            Err(e) => {
+                return Response::Error {
+                    tenant,
+                    reason: e.to_string(),
+                }
+            }
+        };
+        let sel = slot.state.admitted();
+        let response = Response::Admitted(Admitted {
+            tenant,
+            periods: sel.periods.as_slice().to_vec(),
+            response_times: sel.response_times.clone(),
+            fingerprint: slot.state.admitted_fingerprint(),
+            cached: false,
+        });
+        if let Some(journal) = &self.journal {
+            // The imported tenant's journal starts compacted: one
+            // registration + one snapshot of the re-admitted state. A
+            // failure is logged and poisoned inside compact_slot — like
+            // any journal write, it never changes the admission answer.
+            let _ = compact_slot(journal, tenant, &mut slot);
+        }
+        self.tenants.insert(tenant, slot);
+        response
+    }
+
+    fn evict(&mut self, tenant: u64) -> Response {
+        let Some(slot) = self.tenants.get(&tenant) else {
+            return unknown_tenant(tenant);
+        };
+        let fingerprint = slot.state.admitted_fingerprint();
+        if let Some(journal) = &self.journal {
+            if let Err(retire) = journal.retire_tenant(tenant) {
+                // The file could not be moved aside; poison it so a
+                // restart cannot resurrect the handed-off tenant. If
+                // even that fails, the eviction is *refused*: answering
+                // "evicted" while the journal can still replay the
+                // tenant would invite split-brain after a restart of
+                // this daemon (the importer serves the tenant too).
+                eprintln!("journal: could not retire evicted tenant {tenant}: {retire}");
+                if let Err(poison) = journal.poison_tenant(tenant) {
+                    return Response::Error {
+                        tenant,
+                        reason: format!(
+                            "eviction refused: the tenant's journal could be neither \
+                             retired ({retire}) nor poisoned ({poison}); a restart \
+                             would resurrect the tenant here"
+                        ),
+                    };
+                }
+            }
+        }
+        self.tenants.remove(&tenant);
+        Response::Evicted {
+            tenant,
+            fingerprint,
+        }
+    }
+
+    /// Forces a snapshot compaction of one tenant's journal, regardless
+    /// of the automatic policy (operators and tests cut the tail at
+    /// arbitrary points). Returns whether a snapshot was written —
+    /// `false` when the engine has no journal or no such tenant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error after poisoning the tenant's journal
+    /// (the on-disk state is unknown, exactly like a failed append).
+    pub fn compact_tenant(&mut self, tenant: u64) -> std::io::Result<bool> {
+        let Some(journal) = self.journal.clone() else {
+            return Ok(false);
+        };
+        let Some(slot) = self.tenants.get_mut(&tenant) else {
+            return Ok(false);
+        };
+        compact_slot(&journal, tenant, slot).map(|()| true)
+    }
+}
+
+/// Rebuilds a resident slot from a history (journal recovery and
+/// import share this path): replay, then keep the registration for
+/// future snapshots/exports. The tail length continues from the
+/// on-disk tail so the compaction policy keeps counting correctly
+/// across restarts.
+fn replay_slot(
+    history: &TenantHistory,
+    strategy: CarryInStrategy,
+) -> Result<TenantSlot, ReplayError> {
+    let state = journal::replay(history, strategy)?;
+    Ok(TenantSlot {
+        cores: history.cores,
+        rt: history.rt.clone(),
+        state,
+        tail_len: history.events.len(),
+    })
+}
+
+/// One snapshot-compaction step — the single place the engine rewrites
+/// a journal as registration + snapshot (automatic policy, manual
+/// compaction and import all go through here). On success the slot's
+/// tail counter resets to match the now-empty on-disk tail; on failure
+/// the journal is poisoned (the rename either happened or it did not —
+/// recovery must not guess) and the error is returned for callers that
+/// surface it.
+fn compact_slot(journal: &JournalDir, tenant: u64, slot: &mut TenantSlot) -> std::io::Result<()> {
+    match journal.snapshot_tenant(
+        tenant,
+        slot.cores,
+        &slot.rt,
+        &TenantSnapshot::of(&slot.state),
+    ) {
+        Ok(()) => {
+            slot.tail_len = 0;
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("journal: could not snapshot tenant {tenant}: {e}");
+            poison_after_failed_write(journal, tenant);
+            Err(e)
+        }
     }
 }
 
@@ -486,6 +731,156 @@ mod tests {
         assert!(matches!(out, Response::Rejected { .. }));
         let after = engine.handle(&Request::Query { tenant: 1 });
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn export_import_moves_a_tenant_bit_identically() {
+        let mut a = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        a.handle(&rover_register(7));
+        a.handle(&Request::Delta {
+            tenant: 7,
+            event: DeltaEvent::Arrival {
+                monitor: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap(),
+            },
+        });
+        a.handle(&Request::Delta {
+            tenant: 7,
+            event: DeltaEvent::ModeChange {
+                slot: 0,
+                mode: MonitorMode::Active,
+            },
+        });
+        let before = a.handle(&Request::Query { tenant: 7 });
+        let Response::Exported { tenant: 7, history } = a.handle(&Request::Export { tenant: 7 })
+        else {
+            panic!("export must answer with the portable state");
+        };
+        assert!(history.snapshot.is_some());
+        assert!(history.events.is_empty(), "exports are compacted");
+        // Import on a fresh engine: the re-admitted state answers
+        // queries identically (periods, response times, fingerprint).
+        let mut b = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        let imported = b.handle(&Request::Import { tenant: 7, history });
+        assert!(imported.is_admitted());
+        let after = b.handle(&Request::Query { tenant: 7 });
+        assert_eq!(before, after);
+        assert_eq!(
+            a.tenant(7).unwrap().monitors(),
+            b.tenant(7).unwrap().monitors()
+        );
+        assert_eq!(
+            a.tenant(7).unwrap().admitted(),
+            b.tenant(7).unwrap().admitted()
+        );
+        // Evicting on A reports the same fingerprint the import
+        // produced, and the tenant is gone afterwards.
+        let Response::Evicted {
+            tenant: 7,
+            fingerprint,
+        } = a.handle(&Request::Evict { tenant: 7 })
+        else {
+            panic!("evict must confirm");
+        };
+        assert_eq!(fingerprint, b.tenant(7).unwrap().admitted_fingerprint());
+        assert!(matches!(
+            a.handle(&Request::Query { tenant: 7 }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            a.handle(&Request::Evict { tenant: 7 }),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn import_of_an_inadmissible_history_is_rejected_and_installs_nothing() {
+        use crate::journal::{TenantHistory, TenantSnapshot};
+        use crate::tenant::MonitorEntry;
+        let mut engine = AdaptEngine::new(CarryInStrategy::Exhaustive);
+        // A snapshot claiming a 9-second monitor beside Tripwire cannot
+        // re-admit on the rover.
+        let heavy = TenantHistory {
+            cores: 2,
+            rt: vec![
+                RtSpec {
+                    wcet: ms(240),
+                    period: ms(500),
+                    core: 0,
+                },
+                RtSpec {
+                    wcet: ms(1120),
+                    period: ms(5000),
+                    core: 1,
+                },
+            ],
+            snapshot: Some(TenantSnapshot {
+                monitors: vec![
+                    MonitorEntry {
+                        spec: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+                        mode: MonitorMode::Passive,
+                    },
+                    MonitorEntry {
+                        spec: MonitorSpec::fixed(ms(9000), ms(10_000)).unwrap(),
+                        mode: MonitorMode::Passive,
+                    },
+                ],
+                // Value irrelevant: restore rejects before the check.
+                fingerprint: 0,
+            }),
+            events: Vec::new(),
+        };
+        assert!(matches!(
+            engine.handle(&Request::Import {
+                tenant: 4,
+                history: heavy
+            }),
+            Response::Rejected { tenant: 4, .. }
+        ));
+        assert_eq!(engine.tenant_count(), 0);
+    }
+
+    #[test]
+    fn automatic_compaction_keeps_the_tail_bounded_and_state_recoverable() {
+        let dir = std::env::temp_dir().join(format!("hydra_engine_compact_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = JournalDir::at(&dir).with_compaction(2);
+        let mut engine = AdaptEngine::with_journal(CarryInStrategy::Exhaustive, journal.clone());
+        engine.handle(&rover_register(1));
+        let modal = MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap();
+        engine.handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::Arrival { monitor: modal },
+        });
+        // One accepted delta: tail of 1, below the threshold.
+        let history = journal.load_tenant(1).unwrap();
+        assert!(history.snapshot.is_none());
+        assert_eq!(history.events.len(), 1);
+        // Second accepted delta trips the policy: snapshot, empty tail.
+        engine.handle(&Request::Delta {
+            tenant: 1,
+            event: DeltaEvent::ModeChange {
+                slot: 0,
+                mode: MonitorMode::Active,
+            },
+        });
+        let history = journal.load_tenant(1).unwrap();
+        let snapshot = history.snapshot.as_ref().expect("compacted");
+        assert!(history.events.is_empty());
+        assert_eq!(snapshot.monitors.len(), 1);
+        assert_eq!(snapshot.monitors[0].mode, MonitorMode::Active);
+        // The compacted journal replays to the live state.
+        let replayed = journal
+            .replay_tenant(1, CarryInStrategy::Exhaustive)
+            .unwrap();
+        assert_eq!(replayed.admitted(), engine.tenant(1).unwrap().admitted());
+        assert_eq!(
+            replayed.admitted_fingerprint(),
+            engine.tenant(1).unwrap().admitted_fingerprint()
+        );
+        // Manual compaction works at any point, including right after.
+        assert!(engine.compact_tenant(1).unwrap());
+        assert!(!engine.compact_tenant(99).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,35 +1,69 @@
-//! Per-tenant event-log persistence and replay.
+//! Per-tenant event-log persistence: append-only deltas, snapshot
+//! compaction, replay, and the portable hand-off payload.
 //!
-//! The admission service's durable state is tiny and append-only: a
-//! tenant is fully determined by its frozen registration (platform +
-//! partitioned RT tasks) and the sequence of **accepted** [`DeltaEvent`]s
-//! — rejected deltas never change the committed configuration, so they
-//! are not logged. This module writes that history as one line-JSON file
-//! per tenant (`tenant_<id>.jsonl`, via the crate's own [`crate::json`]
+//! The admission service's durable state is tiny: a tenant is fully
+//! determined by its frozen registration (platform + partitioned RT
+//! tasks) and the sequence of **accepted** [`DeltaEvent`]s — rejected
+//! deltas never change the committed configuration, so they are not
+//! logged. This module writes that history as one line-JSON file per
+//! tenant (`tenant_<id>.jsonl`, via the crate's own [`crate::json`]
 //! codec) and rebuilds a [`TenantState`] from it.
+//!
+//! # File format
+//!
+//! ```text
+//! line 1            {"event":"register","cores":M,"rt":[...]}
+//! line 2 (optional) {"event":"snapshot","fingerprint":"…","monitors":[...]}
+//! lines 3+          one accepted delta per line (the *tail*)
+//! ```
+//!
+//! The snapshot line is what keeps journals from growing without bound:
+//! [`JournalDir::snapshot_tenant`] atomically replaces the file with a
+//! registration + snapshot pair (write-then-rename), truncating the
+//! delta log beneath it. A journal written before snapshots existed —
+//! registration followed directly by deltas — is still a valid journal
+//! and recovers tail-only (backward compatibility is pinned by the
+//! `journal_props` battery).
 //!
 //! # Why replay is exact
 //!
-//! [`replay`] re-applies the accepted events, in order, through the very
-//! same [`TenantState::apply`] the live service used. Admission is a
-//! pure function of (frozen RT system, committed monitor table, event),
-//! and the committed table after `k` accepted events depends only on the
-//! first `k` accepted events — so every replayed event is re-admitted
-//! with the same verdict and the same selected periods, and the replayed
-//! state's monitor table, committed period selection and configuration
-//! fingerprint are **bit-identical** to the live tenant's (the
-//! `journal_replay` integration test pins this on a seeded mixed
-//! accept/reject stream). Memo statistics are *not* part of that
-//! guarantee: the live engine may have analysed rejected configurations
-//! the journal deliberately forgets.
+//! [`replay`] rebuilds the snapshot's configuration through
+//! [`TenantState::restore`] — one full Algorithm 1 admission of the
+//! snapshotted monitor table — then re-applies the tail, in order,
+//! through the very same [`TenantState::apply`] the live service used.
+//! Admission is a pure function of (frozen RT system, committed monitor
+//! table, event), so every replayed step re-admits with the same verdict
+//! and the same selected periods, and the replayed state's monitor
+//! table, committed period selection (periods *and* response times) and
+//! configuration fingerprint are **bit-identical** to the live tenant's,
+//! wherever the snapshot was cut (the `journal_props` property battery
+//! pins all three equivalences: snapshot+tail ≡ full log ≡ live). Memo
+//! statistics are *not* part of that guarantee: the live engine may have
+//! analysed rejected configurations the journal deliberately forgets.
+//!
+//! Nothing is *trusted* from a snapshot beyond the configuration itself:
+//! restore re-verifies it through the analysis, and the recorded
+//! fingerprint must match the restored one — so recovery and hand-off
+//! never install a configuration the analysis has not re-admitted.
 //!
 //! A journal is only trustworthy if it is *complete*: a file missing one
 //! accepted event would still replay cleanly — to the wrong state. The
 //! engine therefore [`poison`](JournalDir::poison_tenant)s a tenant's
-//! journal the moment a write for it fails, renaming the partial history
-//! out of recovery's sight; a restart then reports the tenant as not
-//! recovered (loud, actionable) instead of serving a silently divergent
-//! configuration.
+//! journal the moment a write for it fails (including a failed snapshot
+//! rewrite), renaming the partial history out of recovery's sight; a
+//! restart then reports the tenant as not recovered (loud, actionable)
+//! instead of serving a silently divergent configuration.
+//!
+//! # Hand-off
+//!
+//! [`TenantHistory`] doubles as the hand-off payload between daemons:
+//! [`render_history`]/[`parse_history`] give it a single-object JSON
+//! form carried by the protocol's `export`/`import` verbs (see
+//! [`crate::proto`]). An export is a compacted history (snapshot, empty
+//! tail); import accepts any snapshot+tail shape and replays it, so a
+//! journal file's content can be handed off too — convert it with
+//! [`JournalDir::load_tenant`] + [`render_history`] (pasting the
+//! multi-line file itself is refused, not silently truncated).
 //!
 //! All durations are serialized as integer **ticks** (not the wire
 //! protocol's fractional milliseconds), so the round trip involves no
@@ -44,7 +78,14 @@ use rts_model::time::Duration;
 
 use crate::engine::{build_rt_system, RtSpec};
 use crate::json::{self, Json};
-use crate::tenant::TenantState;
+use crate::tenant::{MonitorEntry, TenantState};
+
+fn mode_str(mode: MonitorMode) -> &'static str {
+    match mode {
+        MonitorMode::Passive => "passive",
+        MonitorMode::Active => "active",
+    }
+}
 
 /// Renders one accepted event as a journal line (no trailing newline).
 #[must_use]
@@ -70,10 +111,7 @@ pub fn render_event(event: &DeltaEvent) -> String {
         ),
         DeltaEvent::ModeChange { slot, mode } => format!(
             "{{\"event\":\"mode\",\"slot\":{slot},\"mode\":\"{}\"}}",
-            match mode {
-                MonitorMode::Passive => "passive",
-                MonitorMode::Active => "active",
-            }
+            mode_str(mode)
         ),
     }
 }
@@ -94,45 +132,58 @@ fn field_usize(value: &Json, key: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("missing integer field \"{key}\""))
 }
 
+fn field_mode(value: &Json, key: &str) -> Result<MonitorMode, String> {
+    match value.get(key).and_then(Json::as_str) {
+        Some("passive") => Ok(MonitorMode::Passive),
+        Some("active") => Ok(MonitorMode::Active),
+        other => Err(format!("unknown mode {other:?}")),
+    }
+}
+
 /// Parses one journal event line.
 ///
 /// # Errors
 ///
 /// A description of the first syntax or schema problem.
 pub fn parse_event(line: &str) -> Result<DeltaEvent, String> {
-    let value = json::parse(line)?;
+    event_from_value(&json::parse(line)?)
+}
+
+/// Parses one journal event from its already-parsed JSON object (also
+/// the element shape of a [`TenantHistory`]'s `events` array).
+///
+/// # Errors
+///
+/// A description of the first schema problem.
+pub fn event_from_value(value: &Json) -> Result<DeltaEvent, String> {
     match value.get("event").and_then(Json::as_str) {
         Some("arrival") => {
             let monitor = MonitorSpec::modal(
-                field_ticks(&value, "passive_ticks")?,
-                field_ticks(&value, "active_ticks")?,
-                field_ticks(&value, "t_max_ticks")?,
+                field_ticks(value, "passive_ticks")?,
+                field_ticks(value, "active_ticks")?,
+                field_ticks(value, "t_max_ticks")?,
             )
             .map_err(|e| e.to_string())?;
             Ok(DeltaEvent::Arrival { monitor })
         }
         Some("departure") => Ok(DeltaEvent::Departure {
-            slot: field_usize(&value, "slot")?,
+            slot: field_usize(value, "slot")?,
         }),
         Some("wcet_update") => Ok(DeltaEvent::WcetUpdate {
-            slot: field_usize(&value, "slot")?,
-            passive_wcet: field_ticks(&value, "passive_ticks")?,
-            active_wcet: field_ticks(&value, "active_ticks")?,
+            slot: field_usize(value, "slot")?,
+            passive_wcet: field_ticks(value, "passive_ticks")?,
+            active_wcet: field_ticks(value, "active_ticks")?,
         }),
         Some("mode") => Ok(DeltaEvent::ModeChange {
-            slot: field_usize(&value, "slot")?,
-            mode: match value.get("mode").and_then(Json::as_str) {
-                Some("passive") => MonitorMode::Passive,
-                Some("active") => MonitorMode::Active,
-                other => return Err(format!("unknown mode {other:?}")),
-            },
+            slot: field_usize(value, "slot")?,
+            mode: field_mode(value, "mode")?,
         }),
         other => Err(format!("unknown event {other:?}")),
     }
 }
 
-fn render_registration(cores: usize, rt: &[RtSpec]) -> String {
-    let mut out = format!("{{\"event\":\"register\",\"cores\":{cores},\"rt\":[");
+fn render_rt_array(out: &mut String, rt: &[RtSpec]) {
+    out.push('[');
     for (i, spec) in rt.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -144,16 +195,17 @@ fn render_registration(cores: usize, rt: &[RtSpec]) -> String {
             spec.core,
         ));
     }
-    out.push_str("]}");
+    out.push(']');
+}
+
+fn render_registration(cores: usize, rt: &[RtSpec]) -> String {
+    let mut out = format!("{{\"event\":\"register\",\"cores\":{cores},\"rt\":");
+    render_rt_array(&mut out, rt);
+    out.push('}');
     out
 }
 
-fn parse_registration(line: &str) -> Result<(usize, Vec<RtSpec>), String> {
-    let value = json::parse(line)?;
-    if value.get("event").and_then(Json::as_str) != Some("register") {
-        return Err("journal must start with a register line".into());
-    }
-    let cores = field_usize(&value, "cores")?;
+fn parse_rt_array(value: &Json) -> Result<Vec<RtSpec>, String> {
     let items = value
         .get("rt")
         .and_then(Json::as_array)
@@ -166,25 +218,184 @@ fn parse_registration(line: &str) -> Result<(usize, Vec<RtSpec>), String> {
             core: field_usize(item, "core").map_err(|e| format!("rt[{i}]: {e}"))?,
         });
     }
-    Ok((cores, rt))
+    Ok(rt)
 }
 
-/// A directory of per-tenant journals.
-#[derive(Clone, Debug)]
-pub struct JournalDir {
-    dir: PathBuf,
+fn parse_registration(line: &str) -> Result<(usize, Vec<RtSpec>), String> {
+    let value = json::parse(line)?;
+    if value.get("event").and_then(Json::as_str) != Some("register") {
+        return Err("journal must start with a register line".into());
+    }
+    Ok((field_usize(&value, "cores")?, parse_rt_array(&value)?))
 }
 
-/// Everything a tenant journal records: the frozen registration and the
-/// accepted event history.
+/// A snapshot of a tenant's full admitted state: the monitor table
+/// (specs and current modes) plus the committed configuration's
+/// fingerprint as an integrity cross-check. Periods and response times
+/// are deliberately *not* recorded — restore re-derives them through the
+/// analysis, so a snapshot can never smuggle in an unverified
+/// configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TenantSnapshot {
+    /// The monitor table at the snapshot instant (priority order).
+    pub monitors: Vec<MonitorEntry>,
+    /// Digest of the committed configuration at the snapshot instant;
+    /// replay verifies the restored state reproduces it.
+    pub fingerprint: u64,
+}
+
+impl TenantSnapshot {
+    /// Captures a live tenant's state.
+    #[must_use]
+    pub fn of(state: &TenantState) -> Self {
+        TenantSnapshot {
+            monitors: state.monitors().to_vec(),
+            fingerprint: state.admitted_fingerprint(),
+        }
+    }
+}
+
+/// Renders a snapshot as its journal line (no trailing newline).
+#[must_use]
+pub fn render_snapshot(snapshot: &TenantSnapshot) -> String {
+    let mut out = format!(
+        "{{\"event\":\"snapshot\",\"fingerprint\":\"{:016x}\",\"monitors\":[",
+        snapshot.fingerprint
+    );
+    for (i, entry) in snapshot.monitors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"passive_ticks\":{},\"active_ticks\":{},\"t_max_ticks\":{},\"mode\":\"{}\"}}",
+            entry.spec.passive_wcet().as_ticks(),
+            entry.spec.active_wcet().as_ticks(),
+            entry.spec.t_max().as_ticks(),
+            mode_str(entry.mode),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a snapshot from its JSON object form (the journal line or the
+/// embedded `snapshot` member of a [`TenantHistory`] payload).
+///
+/// # Errors
+///
+/// A description of the first schema problem.
+pub fn snapshot_from_value(value: &Json) -> Result<TenantSnapshot, String> {
+    let fingerprint = value
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"fingerprint\"")
+        .and_then(|s| u64::from_str_radix(s, 16).map_err(|_| "fingerprint is not a hex integer"))?;
+    let items = value
+        .get("monitors")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"monitors\"")?;
+    let mut monitors = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let spec = MonitorSpec::modal(
+            field_ticks(item, "passive_ticks").map_err(|e| format!("monitors[{i}]: {e}"))?,
+            field_ticks(item, "active_ticks").map_err(|e| format!("monitors[{i}]: {e}"))?,
+            field_ticks(item, "t_max_ticks").map_err(|e| format!("monitors[{i}]: {e}"))?,
+        )
+        .map_err(|e| format!("monitors[{i}]: {e}"))?;
+        monitors.push(MonitorEntry {
+            spec,
+            mode: field_mode(item, "mode").map_err(|e| format!("monitors[{i}]: {e}"))?,
+        });
+    }
+    Ok(TenantSnapshot {
+        monitors,
+        fingerprint,
+    })
+}
+
+/// Everything a tenant journal records: the frozen registration, an
+/// optional snapshot, and the accepted tail beneath it. Also the
+/// portable hand-off payload (see [`render_history`]).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TenantHistory {
     /// Core count `M` of the tenant's platform.
     pub cores: usize,
     /// The partitioned RT tasks, as registered.
     pub rt: Vec<RtSpec>,
-    /// Every accepted delta, in commit order.
+    /// The compaction snapshot, if the journal has one. `None` is the
+    /// pre-snapshot format: the whole accepted history lives in
+    /// `events`.
+    pub snapshot: Option<TenantSnapshot>,
+    /// Accepted deltas since the snapshot (or since registration, when
+    /// there is no snapshot), in commit order.
     pub events: Vec<DeltaEvent>,
+}
+
+/// Renders a history as one JSON object — the `export`/`import` wire
+/// payload. Durations are integer ticks, exactly as in the journal
+/// files, so hand-off involves no floating-point rounding.
+#[must_use]
+pub fn render_history(history: &TenantHistory) -> String {
+    let mut out = format!("{{\"cores\":{},\"rt\":", history.cores);
+    render_rt_array(&mut out, &history.rt);
+    if let Some(snapshot) = &history.snapshot {
+        out.push_str(",\"snapshot\":");
+        out.push_str(&render_snapshot(snapshot));
+    }
+    out.push_str(",\"events\":[");
+    for (i, event) in history.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_event(event));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a history from its single-object JSON form (the inverse of
+/// [`render_history`]; the `snapshot` member is optional, `events` may
+/// be absent for an empty tail).
+///
+/// # Errors
+///
+/// A description of the first schema problem.
+pub fn parse_history(value: &Json) -> Result<TenantHistory, String> {
+    // A history payload never carries an "event" key — that is the shape
+    // of a single journal *line*. An operator pasting a journal file's
+    // registration line here would otherwise import an empty tenant
+    // silently (the snapshot/tail lines of the file having been lost to
+    // line splitting); refuse with a pointer at the mistake instead.
+    if value.get("event").is_some() {
+        return Err(
+            "this is a journal line, not a hand-off payload — export the tenant \
+             (or convert the journal file) to get the single-object form"
+                .into(),
+        );
+    }
+    let cores = field_usize(value, "cores")?;
+    let rt = parse_rt_array(value)?;
+    let snapshot = match value.get("snapshot") {
+        Some(v) => Some(snapshot_from_value(v).map_err(|e| format!("snapshot: {e}"))?),
+        None => None,
+    };
+    let mut events = Vec::new();
+    if let Some(tail) = value.get("events") {
+        // Only an *absent* key means an empty tail — a present
+        // non-array "events" is a mangled payload, and silently
+        // dropping its deltas would install a divergent state.
+        let items = tail.as_array().ok_or("field \"events\" must be an array")?;
+        events.reserve(items.len());
+        for (i, item) in items.iter().enumerate() {
+            events.push(event_from_value(item).map_err(|e| format!("events[{i}]: {e}"))?);
+        }
+    }
+    Ok(TenantHistory {
+        cores,
+        rt,
+        snapshot,
+        events,
+    })
 }
 
 /// Why a journal could not be replayed.
@@ -192,13 +403,20 @@ pub struct TenantHistory {
 pub enum ReplayError {
     /// The journal file could not be read.
     Io(io::Error),
-    /// A line failed to parse, or the file shape is wrong.
+    /// A line failed to parse, or the file shape is wrong (including a
+    /// snapshot whose recorded fingerprint does not match its own
+    /// configuration).
     Malformed(String),
-    /// A journaled event was rejected on re-application — the journal
+    /// The snapshot's configuration was not re-admitted — the journal
     /// does not match the code that replays it (e.g. a strategy
     /// mismatch, or a hand-edited file).
+    SnapshotDiverged {
+        /// The rejection reason.
+        reason: String,
+    },
+    /// A journaled tail event was rejected on re-application.
     Diverged {
-        /// Index of the failing event within the journal.
+        /// Index of the failing event within the journal's tail.
         event: usize,
         /// The rejection/usage error text.
         reason: String,
@@ -210,6 +428,9 @@ impl std::fmt::Display for ReplayError {
         match self {
             ReplayError::Io(e) => write!(f, "journal I/O error: {e}"),
             ReplayError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
+            ReplayError::SnapshotDiverged { reason } => {
+                write!(f, "journal snapshot diverged: {reason}")
+            }
             ReplayError::Diverged { event, reason } => {
                 write!(f, "journal diverged at event {event}: {reason}")
             }
@@ -225,11 +446,39 @@ impl From<io::Error> for ReplayError {
     }
 }
 
+/// A directory of per-tenant journals, with an optional automatic
+/// compaction policy that the owning engine consults.
+#[derive(Clone, Debug)]
+pub struct JournalDir {
+    dir: PathBuf,
+    compact_every: Option<usize>,
+}
+
 impl JournalDir {
-    /// A journal rooted at `dir` (created on first write).
+    /// A journal rooted at `dir` (created on first write), without
+    /// automatic compaction.
     #[must_use]
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        JournalDir { dir: dir.into() }
+        JournalDir {
+            dir: dir.into(),
+            compact_every: None,
+        }
+    }
+
+    /// Sets the automatic compaction policy: the engine snapshots a
+    /// tenant's journal once its tail reaches `every` accepted deltas
+    /// (`0` disables). The policy travels with the directory handle, so
+    /// it reaches every shard worker without extra plumbing.
+    #[must_use]
+    pub fn with_compaction(mut self, every: usize) -> Self {
+        self.compact_every = (every > 0).then_some(every);
+        self
+    }
+
+    /// The automatic compaction threshold, if enabled.
+    #[must_use]
+    pub fn compact_every(&self) -> Option<usize> {
+        self.compact_every
     }
 
     /// The journal file of one tenant.
@@ -269,6 +518,36 @@ impl JournalDir {
         f.sync_all()
     }
 
+    /// Compacts (or initializes) a tenant's journal to a registration +
+    /// snapshot pair, truncating any delta tail beneath it. The new file
+    /// is written beside the old one and atomically renamed into place,
+    /// so a crash mid-snapshot leaves the previous journal intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors — the caller must treat a failure exactly
+    /// like a failed append (poison: the on-disk state is unknown).
+    pub fn snapshot_tenant(
+        &self,
+        tenant: u64,
+        cores: usize,
+        rt: &[RtSpec],
+        snapshot: &TenantSnapshot,
+    ) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(tenant);
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(render_registration(cores, rt).as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(render_snapshot(snapshot).as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
     /// The tenants with a journal file in this directory, ascending. An
     /// absent directory is an empty (not an erroneous) journal.
     #[must_use]
@@ -305,8 +584,26 @@ impl JournalDir {
     /// Propagates the rename error (missing files are fine — the tenant
     /// is already unrecoverable, which is the goal).
     pub fn poison_tenant(&self, tenant: u64) -> io::Result<()> {
+        self.rename_aside(tenant, "jsonl.corrupt")
+    }
+
+    /// Retires a tenant's journal after an eviction (hand-off drain):
+    /// the file is renamed to `tenant_<id>.jsonl.retired` so a restart
+    /// does not resurrect a tenant that now lives on another daemon,
+    /// while the final history stays on disk for the operator. A later
+    /// retirement of the same tenant overwrites the previous one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the rename error (missing files are fine — an
+    /// unjournaled tenant has nothing to retire).
+    pub fn retire_tenant(&self, tenant: u64) -> io::Result<()> {
+        self.rename_aside(tenant, "jsonl.retired")
+    }
+
+    fn rename_aside(&self, tenant: u64, extension: &str) -> io::Result<()> {
         let path = self.path_for(tenant);
-        match std::fs::rename(&path, path.with_extension("jsonl.corrupt")) {
+        match std::fs::rename(&path, path.with_extension(extension)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
@@ -322,13 +619,14 @@ impl JournalDir {
         load_history(&self.path_for(tenant))
     }
 
-    /// Rebuilds a tenant's state from its journal — bit-identical
-    /// committed configuration (see the module docs).
+    /// Rebuilds a tenant's state from its journal — snapshot restore (if
+    /// present) followed by the tail, bit-identical committed
+    /// configuration (see the module docs).
     ///
     /// # Errors
     ///
-    /// Any [`ReplayError`]; `Diverged` if a recorded event is no longer
-    /// admitted under `strategy`.
+    /// Any [`ReplayError`]; `SnapshotDiverged`/`Diverged` if a recorded
+    /// state is no longer admitted under `strategy`.
     pub fn replay_tenant(
         &self,
         tenant: u64,
@@ -339,7 +637,8 @@ impl JournalDir {
     }
 }
 
-/// Parses a journal file into its registration and event history.
+/// Parses a journal file into its registration, optional snapshot, and
+/// event tail.
 fn load_history(path: &Path) -> Result<TenantHistory, ReplayError> {
     let text = std::fs::read_to_string(path)?;
     let mut lines = text.lines();
@@ -347,30 +646,74 @@ fn load_history(path: &Path) -> Result<TenantHistory, ReplayError> {
         .next()
         .ok_or_else(|| ReplayError::Malformed("empty journal".into()))?;
     let (cores, rt) = parse_registration(first).map_err(ReplayError::Malformed)?;
+    let mut snapshot = None;
     let mut events = Vec::new();
     for (i, line) in lines.enumerate() {
-        events.push(
-            parse_event(line).map_err(|e| ReplayError::Malformed(format!("event {i}: {e}")))?,
-        );
+        let value = json::parse(line)
+            .map_err(|e| ReplayError::Malformed(format!("line {}: {e}", i + 2)))?;
+        if value.get("event").and_then(Json::as_str) == Some("snapshot") {
+            if i != 0 {
+                return Err(ReplayError::Malformed(
+                    "snapshot must directly follow the registration".into(),
+                ));
+            }
+            snapshot = Some(
+                snapshot_from_value(&value)
+                    .map_err(|e| ReplayError::Malformed(format!("snapshot: {e}")))?,
+            );
+        } else {
+            events.push(
+                event_from_value(&value)
+                    .map_err(|e| ReplayError::Malformed(format!("event {}: {e}", events.len())))?,
+            );
+        }
     }
-    Ok(TenantHistory { cores, rt, events })
+    Ok(TenantHistory {
+        cores,
+        rt,
+        snapshot,
+        events,
+    })
 }
 
-/// Rebuilds a [`TenantState`] by re-admitting a recorded history under
-/// `strategy`.
+/// Rebuilds a [`TenantState`] by restoring the snapshot (when present)
+/// and re-admitting the recorded tail under `strategy`.
 ///
 /// # Errors
 ///
 /// [`ReplayError::Malformed`] if the registration itself is invalid or
-/// RT-unschedulable; [`ReplayError::Diverged`] if any recorded event is
-/// rejected on re-application.
+/// RT-unschedulable, or if the snapshot's recorded fingerprint does not
+/// match its own configuration; [`ReplayError::SnapshotDiverged`] /
+/// [`ReplayError::Diverged`] if a recorded state is rejected on
+/// re-application.
 pub fn replay(
     history: &TenantHistory,
     strategy: CarryInStrategy,
 ) -> Result<TenantState, ReplayError> {
     let system = build_rt_system(history.cores, &history.rt).map_err(ReplayError::Malformed)?;
-    let mut state = TenantState::new(&system, strategy)
-        .map_err(|e| ReplayError::Malformed(format!("registration not admissible: {e}")))?;
+    let mut state = match &history.snapshot {
+        Some(snapshot) => {
+            let state = TenantState::restore(&system, strategy, snapshot.monitors.clone())
+                .map_err(|e| match e {
+                    hydra_core::SelectionError::RtUnschedulable => {
+                        ReplayError::Malformed("registration not admissible".into())
+                    }
+                    other => ReplayError::SnapshotDiverged {
+                        reason: other.to_string(),
+                    },
+                })?;
+            if state.admitted_fingerprint() != snapshot.fingerprint {
+                return Err(ReplayError::Malformed(format!(
+                    "snapshot fingerprint {:016x} does not match its configuration's {:016x}",
+                    snapshot.fingerprint,
+                    state.admitted_fingerprint(),
+                )));
+            }
+            state
+        }
+        None => TenantState::new(&system, strategy)
+            .map_err(|e| ReplayError::Malformed(format!("registration not admissible: {e}")))?,
+    };
     for (i, event) in history.events.iter().enumerate() {
         state.apply(event).map_err(|e| ReplayError::Diverged {
             event: i,
@@ -386,6 +729,21 @@ mod tests {
 
     fn ms(v: u64) -> Duration {
         Duration::from_ms(v)
+    }
+
+    fn rover_rt() -> Vec<RtSpec> {
+        vec![
+            RtSpec {
+                wcet: ms(240),
+                period: ms(500),
+                core: 0,
+            },
+            RtSpec {
+                wcet: ms(1120),
+                period: ms(5000),
+                core: 1,
+            },
+        ]
     }
 
     #[test]
@@ -437,21 +795,216 @@ mod tests {
 
     #[test]
     fn registration_round_trips_and_guards_the_first_line() {
-        let rt = vec![
-            RtSpec {
-                wcet: ms(240),
-                period: ms(500),
-                core: 0,
-            },
-            RtSpec {
-                wcet: ms(1120),
-                period: ms(5000),
-                core: 1,
-            },
-        ];
+        let rt = rover_rt();
         let line = render_registration(2, &rt);
         assert_eq!(parse_registration(&line), Ok((2, rt)));
         assert!(parse_registration("{\"event\":\"departure\",\"slot\":0}").is_err());
+    }
+
+    #[test]
+    fn snapshot_lines_round_trip() {
+        let snapshot = TenantSnapshot {
+            monitors: vec![
+                MonitorEntry {
+                    spec: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap(),
+                    mode: MonitorMode::Active,
+                },
+                MonitorEntry {
+                    spec: MonitorSpec::fixed(Duration::from_ticks(2231), ms(10_000)).unwrap(),
+                    mode: MonitorMode::Passive,
+                },
+            ],
+            fingerprint: 0xdead_beef_0123_4567,
+        };
+        let line = render_snapshot(&snapshot);
+        let parsed = snapshot_from_value(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, snapshot);
+        // Empty table snapshots round trip too.
+        let empty = TenantSnapshot {
+            monitors: Vec::new(),
+            fingerprint: 7,
+        };
+        let parsed = snapshot_from_value(&json::parse(&render_snapshot(&empty)).unwrap()).unwrap();
+        assert_eq!(parsed, empty);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        for bad in [
+            "{\"event\":\"snapshot\"}",
+            "{\"event\":\"snapshot\",\"fingerprint\":12,\"monitors\":[]}",
+            "{\"event\":\"snapshot\",\"fingerprint\":\"zz\",\"monitors\":[]}",
+            "{\"event\":\"snapshot\",\"fingerprint\":\"0f\",\"monitors\":[{}]}",
+            // active < passive inside a snapshot entry.
+            "{\"event\":\"snapshot\",\"fingerprint\":\"0f\",\"monitors\":[\
+             {\"passive_ticks\":5,\"active_ticks\":2,\"t_max_ticks\":9,\"mode\":\"passive\"}]}",
+        ] {
+            assert!(
+                snapshot_from_value(&json::parse(bad).unwrap()).is_err(),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn history_payload_round_trips() {
+        let history = TenantHistory {
+            cores: 2,
+            rt: rover_rt(),
+            snapshot: Some(TenantSnapshot {
+                monitors: vec![MonitorEntry {
+                    spec: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap(),
+                    mode: MonitorMode::Passive,
+                }],
+                fingerprint: 42,
+            }),
+            events: vec![
+                DeltaEvent::ModeChange {
+                    slot: 0,
+                    mode: MonitorMode::Active,
+                },
+                DeltaEvent::Departure { slot: 0 },
+            ],
+        };
+        let text = render_history(&history);
+        let parsed = parse_history(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, history);
+        // Snapshot-less (PR 4 shape) histories round trip too.
+        let plain = TenantHistory {
+            snapshot: None,
+            ..history
+        };
+        let parsed = parse_history(&json::parse(&render_history(&plain)).unwrap()).unwrap();
+        assert_eq!(parsed, plain);
+    }
+
+    #[test]
+    fn a_journal_line_is_not_a_history_payload() {
+        // Pasting a journal file's registration line where the hand-off
+        // payload belongs must be refused, not imported as an empty
+        // tenant.
+        let line = render_registration(2, &rover_rt());
+        assert!(parse_history(&json::parse(&line).unwrap())
+            .unwrap_err()
+            .contains("journal line"));
+    }
+
+    #[test]
+    fn history_with_a_non_array_tail_is_rejected_not_truncated() {
+        // A present-but-mangled "events" must fail the parse: silently
+        // treating it as an empty tail would install a state missing
+        // every tail delta. Only an absent key means "no tail".
+        let mangled = "{\"cores\":2,\"rt\":[],\"events\":\"oops\"}";
+        assert!(parse_history(&json::parse(mangled).unwrap())
+            .unwrap_err()
+            .contains("events"));
+        let absent = "{\"cores\":2,\"rt\":[]}";
+        assert!(parse_history(&json::parse(absent).unwrap())
+            .unwrap()
+            .events
+            .is_empty());
+    }
+
+    #[test]
+    fn snapshot_rewrite_truncates_the_tail() {
+        let dir = JournalDir::at(
+            std::env::temp_dir().join(format!("hydra_journal_snap_{}", std::process::id())),
+        );
+        let _ = std::fs::remove_dir_all(&dir.dir);
+        let rt = rover_rt();
+        dir.begin_tenant(3, 2, &rt).unwrap();
+        let arrival = DeltaEvent::Arrival {
+            monitor: MonitorSpec::fixed(ms(223), ms(10_000)).unwrap(),
+        };
+        dir.append_event(3, &arrival).unwrap();
+        dir.append_event(
+            3,
+            &DeltaEvent::ModeChange {
+                slot: 0,
+                mode: MonitorMode::Active,
+            },
+        )
+        .unwrap();
+        assert_eq!(dir.load_tenant(3).unwrap().events.len(), 2);
+        let snapshot = TenantSnapshot {
+            monitors: vec![MonitorEntry {
+                spec: MonitorSpec::fixed(ms(223), ms(10_000)).unwrap(),
+                mode: MonitorMode::Active,
+            }],
+            // The real fingerprint is computed by the engine; any value
+            // round-trips through the file layer.
+            fingerprint: 0xabc,
+        };
+        dir.snapshot_tenant(3, 2, &rt, &snapshot).unwrap();
+        let history = dir.load_tenant(3).unwrap();
+        assert_eq!(history.snapshot.as_ref(), Some(&snapshot));
+        assert!(history.events.is_empty(), "tail must be truncated");
+        assert_eq!(history.rt, rt);
+        // Appends keep working beneath the snapshot.
+        dir.append_event(3, &arrival).unwrap();
+        let history = dir.load_tenant(3).unwrap();
+        assert_eq!(history.events, vec![arrival]);
+        assert!(history.snapshot.is_some());
+        // No temp file left behind.
+        assert!(!dir.path_for(3).with_extension("jsonl.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir.dir);
+    }
+
+    #[test]
+    fn snapshot_must_directly_follow_registration() {
+        let dir =
+            std::env::temp_dir().join(format!("hydra_journal_snappos_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = JournalDir::at(&dir);
+        let path = journal.path_for(1);
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}\n{}\n",
+                render_registration(2, &rover_rt()),
+                render_event(&DeltaEvent::Arrival {
+                    monitor: MonitorSpec::fixed(ms(223), ms(10_000)).unwrap(),
+                }),
+                render_snapshot(&TenantSnapshot {
+                    monitors: Vec::new(),
+                    fingerprint: 0,
+                }),
+            ),
+        )
+        .unwrap();
+        assert!(matches!(
+            journal.load_tenant(1),
+            Err(ReplayError::Malformed(msg)) if msg.contains("snapshot")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_fingerprint_mismatch_is_malformed() {
+        let history = TenantHistory {
+            cores: 2,
+            rt: rover_rt(),
+            snapshot: Some(TenantSnapshot {
+                monitors: Vec::new(),
+                fingerprint: 0x1234, // not the empty config's digest
+            }),
+            events: Vec::new(),
+        };
+        assert!(matches!(
+            replay(&history, CarryInStrategy::TopDiff),
+            Err(ReplayError::Malformed(msg)) if msg.contains("fingerprint")
+        ));
+    }
+
+    #[test]
+    fn compaction_policy_travels_with_the_handle() {
+        let dir = JournalDir::at("/tmp/never-created");
+        assert_eq!(dir.compact_every(), None);
+        let dir = dir.with_compaction(16);
+        assert_eq!(dir.compact_every(), Some(16));
+        assert_eq!(dir.clone().compact_every(), Some(16));
+        assert_eq!(dir.with_compaction(0).compact_every(), None);
     }
 
     #[test]
@@ -480,6 +1033,29 @@ mod tests {
         // Idempotent: poisoning an absent journal is fine.
         dir.poison_tenant(5).unwrap();
         dir.poison_tenant(99).unwrap();
+        let _ = std::fs::remove_dir_all(dir.dir);
+    }
+
+    #[test]
+    fn retired_journals_disappear_from_recovery_but_stay_on_disk() {
+        let dir = JournalDir::at(
+            std::env::temp_dir().join(format!("hydra_journal_retire_{}", std::process::id())),
+        );
+        let rt = [RtSpec {
+            wcet: ms(10),
+            period: ms(100),
+            core: 0,
+        }];
+        dir.begin_tenant(6, 1, &rt).unwrap();
+        dir.retire_tenant(6).unwrap();
+        assert!(dir.tenants().is_empty());
+        assert!(dir.path_for(6).with_extension("jsonl.retired").exists());
+        // A re-registered-then-retired tenant overwrites the archive.
+        dir.begin_tenant(6, 1, &rt).unwrap();
+        dir.retire_tenant(6).unwrap();
+        assert!(dir.tenants().is_empty());
+        // Retiring an absent journal is fine.
+        dir.retire_tenant(42).unwrap();
         let _ = std::fs::remove_dir_all(dir.dir);
     }
 

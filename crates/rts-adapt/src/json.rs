@@ -287,6 +287,63 @@ impl Parser<'_> {
     }
 }
 
+/// Renders a [`Json`] value back to its compact text form. Integral
+/// numbers (within the codec's exact-`f64` range) are written without a
+/// fractional part, so tick counts survive a parse→render round trip
+/// byte-identically — which is what lets hand-off tooling re-emit a
+/// parsed `export` payload as an `import` line without re-encoding.
+#[must_use]
+pub fn render(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+/// Appends a [`Json`] value's compact text form to `out` (see [`render`]).
+pub fn write_value(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(v) => {
+            if !v.is_finite() {
+                // The parser can produce Num(inf) from an overflowing
+                // literal like 1e999 (the accessors reject it, but the
+                // tree holds it); Display would write "inf", which no
+                // JSON parser accepts. Emit null — the standard
+                // stringify behavior — so render output always reparses.
+                out.push_str("null");
+            } else if v.fract() == 0.0 && v.abs() <= 2f64.powi(53) {
+                let _ = write!(out, "{}", *v as i64);
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Appends `text` to `out` as a JSON string literal (quoted, escaped).
 pub fn write_escaped(out: &mut String, text: &str) {
     out.push('"');
@@ -375,6 +432,34 @@ mod tests {
         assert_eq!(parse("7.5").unwrap().as_u64(), None);
         assert_eq!(parse("-7").unwrap().as_u64(), None);
         assert_eq!(Json::Str("7".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn render_round_trips_protocol_documents() {
+        for text in [
+            "null",
+            "true",
+            "[1,[2,[]],{\"a\":false}]",
+            "{\"op\":\"register\",\"tenant\":3,\"cores\":2,\
+             \"rt\":[{\"wcet_ticks\":2400,\"period_ticks\":5000,\"core\":0}]}",
+            "{\"fingerprint\":\"00f0dcafe0000000\",\"periods_ms\":[7582,2783.5]}",
+            "{\"reason\":\"a \\\"quoted\\\" reason\\n\"}",
+        ] {
+            let value = parse(text).unwrap();
+            assert_eq!(render(&value), text, "render must invert parse");
+            assert_eq!(parse(&render(&value)).unwrap(), value);
+        }
+        // Large-but-exact tick counts stay integral.
+        assert_eq!(
+            render(&parse("900000000000000").unwrap()),
+            "900000000000000"
+        );
+        // An overflowing literal parses to Num(inf); render must still
+        // emit valid JSON (null, the standard stringify behavior), so
+        // render output always reparses.
+        let overflow = parse("[1e999,2]").unwrap();
+        assert_eq!(render(&overflow), "[null,2]");
+        assert!(parse(&render(&overflow)).is_ok());
     }
 
     #[test]

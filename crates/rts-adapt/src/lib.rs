@@ -24,8 +24,14 @@
 //!   binary); TCP connections are served concurrently by bounded
 //!   threads over one shared engine;
 //! * [`journal`] — per-tenant event-log persistence: registrations and
-//!   accepted deltas appended as line JSON, with a replay entry point
-//!   that rebuilds tenant state bit-identically.
+//!   accepted deltas appended as line JSON, snapshot compaction that
+//!   truncates the delta tail (write-then-rename, automatic via
+//!   `--compact-every`), and a replay entry point that rebuilds tenant
+//!   state bit-identically — snapshot restore re-runs Algorithm 1, so
+//!   recovery never installs an unverified configuration. The same
+//!   history shape is the hand-off payload behind the protocol's
+//!   `export`/`import`/`evict` verbs, which move a tenant between two
+//!   daemons with bit-identical subsequent answers.
 //!
 //! # Why mode-aware re-admission is sound
 //!
@@ -126,7 +132,7 @@ pub mod prelude {
 }
 
 pub use engine::{AdaptEngine, Admitted, Request, Response, RtSpec};
-pub use journal::{replay, JournalDir, ReplayError, TenantHistory};
+pub use journal::{replay, JournalDir, ReplayError, TenantHistory, TenantSnapshot};
 pub use server::{serve, serve_shared, serve_tcp, shared, SharedEngine};
 pub use shard::ShardedEngine;
-pub use tenant::{ApplyError, TenantState};
+pub use tenant::{ApplyError, MonitorEntry, TenantState};

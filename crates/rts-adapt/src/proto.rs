@@ -10,11 +10,16 @@
 //! {"op":"wcet_update","tenant":1,"slot":0,"passive_ms":120,"active_ms":400}
 //! {"op":"mode","tenant":1,"slot":0,"mode":"active"}
 //! {"op":"query","tenant":1}
+//! {"op":"export","tenant":1}
+//! {"op":"import","tenant":1,"journal":{"cores":2,"rt":[...],"snapshot":{...},"events":[...]}}
+//! {"op":"evict","tenant":1}
 //! ```
 //!
 //! `active_ms` may be omitted on `arrival` for a single-mode monitor.
 //! Durations are milliseconds (fractions allowed down to the 100 µs tick
-//! resolution).
+//! resolution) — except inside `import`'s `journal` payload, which uses
+//! the journal's integer-tick encoding (see [`crate::journal`]) so a
+//! hand-off round trip involves no floating-point rounding at all.
 //!
 //! ## Responses
 //!
@@ -23,7 +28,14 @@
 //!  "fingerprint":"f00dcafe00000000","periods_ms":[7582],"response_times_ms":[7582]}
 //! {"seq":1,"tenant":1,"verdict":"reject","reason":"security task 1 cannot ..."}
 //! {"seq":2,"tenant":9,"verdict":"error","reason":"unknown tenant 9 (register it first)"}
+//! {"seq":3,"tenant":1,"verdict":"export","fingerprint":"…","journal":{...}}
+//! {"seq":4,"tenant":1,"verdict":"evicted","fingerprint":"…"}
 //! ```
+//!
+//! An `export` response's `journal` value is exactly what `import`
+//! accepts on another daemon — the hand-off runbook is: `export` on A,
+//! feed `{"op":"import","tenant":N,"journal":<that value>}` to B, then
+//! `evict` on A (see the README's Operations section).
 //!
 //! `seq` echoes the request's position in the input stream, so clients
 //! may pipeline: responses to *different tenants* can arrive out of
@@ -36,6 +48,7 @@ use rts_model::delta::{DeltaEvent, MonitorMode, MonitorSpec};
 use rts_model::time::{Duration, TICKS_PER_MS};
 
 use crate::engine::{Admitted, Request, Response, RtSpec};
+use crate::journal;
 use crate::json::{self, Json};
 
 /// Parses one request line.
@@ -117,6 +130,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "query" => Ok(Request::Query { tenant }),
+        "export" => Ok(Request::Export { tenant }),
+        "import" => {
+            let payload = value.get("journal").ok_or("missing field \"journal\"")?;
+            let history = journal::parse_history(payload).map_err(|e| format!("journal: {e}"))?;
+            Ok(Request::Import { tenant, history })
+        }
+        "evict" => Ok(Request::Evict { tenant }),
         other => Err(format!("unknown op \"{other}\"")),
     }
 }
@@ -180,6 +200,28 @@ pub fn render_response(seq: u64, response: &Response) -> String {
             );
             json::write_escaped(&mut out, reason);
             out.push('}');
+        }
+        Response::Exported { tenant, history } => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"export\""
+            );
+            if let Some(snapshot) = &history.snapshot {
+                let _ = write!(out, ",\"fingerprint\":\"{:016x}\"", snapshot.fingerprint);
+            }
+            out.push_str(",\"journal\":");
+            out.push_str(&journal::render_history(history));
+            out.push('}');
+        }
+        Response::Evicted {
+            tenant,
+            fingerprint,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"evicted\",\
+                 \"fingerprint\":\"{fingerprint:016x}\"}}"
+            );
         }
     }
     out

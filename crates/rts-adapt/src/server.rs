@@ -15,7 +15,10 @@
 //! answers — never across blocking reads, and tenant state persists
 //! across connections (the engine outlives them). Connections beyond
 //! the cap are refused with a protocol error line instead of queueing
-//! unboundedly.
+//! unboundedly. The hand-off verbs (`export`/`import`/`evict`) need no
+//! special casing here: they are ordinary requests on the same
+//! line-in/line-out cycle, subject to the same size bound and the same
+//! per-tenant ordering.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -170,9 +173,12 @@ fn serve_with<R: Read, W: Write>(
 }
 
 /// Hard cap on one request line — far above any legitimate request
-/// (even a thousand-task registration is a few tens of KiB), and the
-/// bound that keeps a newline-less client from growing the daemon's
-/// memory without limit.
+/// (even a thousand-task registration is a few tens of KiB, and an
+/// `import` payload for a thousand-monitor tenant stays under 100 KiB),
+/// and the bound that keeps a newline-less client from growing the
+/// daemon's memory without limit. An oversized line — hand-off payloads
+/// included — is answered with a bounded error and the stream stays
+/// line-synchronized (the `proto_torture` suite pins this).
 const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Reads one newline-terminated line into `buf`, bounded by

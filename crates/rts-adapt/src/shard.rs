@@ -17,6 +17,14 @@
 //! bit-identical for every shard count — only interleaving across
 //! tenants varies — which is what lets the load harness assert exact
 //! verdict populations regardless of `--shards`.
+//!
+//! The hand-off verbs (`Export`/`Import`/`Evict`, see
+//! [`crate::engine`]) need no special plumbing here: they are ordinary
+//! requests, so they ride the same tenant-hashed FIFO as the deltas
+//! around them — an export observes exactly the state after every
+//! earlier delta of its tenant, and an import lands on the tenant's
+//! hash-assigned shard, where boot-time journal recovery would also
+//! place it.
 
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -347,6 +355,78 @@ mod tests {
         let reports = pool.shutdown();
         // 3 setup requests + 3 mode switches + 1 query.
         assert_eq!(reports.iter().map(|r| r.handled).sum::<u64>(), 7);
+    }
+
+    /// Hand-off composes with the worker pool: tenants exported from one
+    /// pool and imported into another (with a different shard count)
+    /// answer bit-identically, and the drained pool forgets them. The
+    /// verbs travel the ordinary dispatch path, so the export sees
+    /// exactly the state after the deltas submitted before it.
+    #[test]
+    fn export_import_across_pools_with_different_shard_counts() {
+        let mut a = ShardedEngine::new(CarryInStrategy::TopDiff, 3);
+        let tenants = [11u64, 12, 13];
+        for &t in &tenants {
+            let answers = a.process(rover_requests(t));
+            assert!(answers.iter().all(Response::is_admitted));
+        }
+        let before: Vec<Response> = a.process(
+            tenants
+                .iter()
+                .map(|&t| Request::Query { tenant: t })
+                .collect(),
+        );
+        // Export all three in one batch (mixed with a query, to show the
+        // verbs interleave with normal traffic).
+        let mut round: Vec<Request> = tenants
+            .iter()
+            .map(|&t| Request::Export { tenant: t })
+            .collect();
+        round.push(Request::Query { tenant: 11 });
+        let exported = a.process(round);
+        let mut b = ShardedEngine::new(CarryInStrategy::TopDiff, 2);
+        let imports: Vec<Request> = exported[..3]
+            .iter()
+            .map(|r| {
+                let Response::Exported { tenant, history } = r else {
+                    panic!("expected export, got {r:?}");
+                };
+                Request::Import {
+                    tenant: *tenant,
+                    history: history.clone(),
+                }
+            })
+            .collect();
+        assert!(b.process(imports).iter().all(Response::is_admitted));
+        let after: Vec<Response> = b.process(
+            tenants
+                .iter()
+                .map(|&t| Request::Query { tenant: t })
+                .collect(),
+        );
+        assert_eq!(before, after, "imported tenants must answer identically");
+        // Drain side: evict on A; the tenants are gone there, alive on B.
+        let evictions = a.process(
+            tenants
+                .iter()
+                .map(|&t| Request::Evict { tenant: t })
+                .collect(),
+        );
+        for (r, &t) in evictions.iter().zip(&tenants) {
+            assert!(
+                matches!(r, Response::Evicted { tenant, .. } if *tenant == t),
+                "{r:?}"
+            );
+        }
+        for &t in &tenants {
+            assert!(matches!(
+                a.process(vec![Request::Query { tenant: t }])[0],
+                Response::Error { .. }
+            ));
+            assert!(b.process(vec![Request::Query { tenant: t }])[0].is_admitted());
+        }
+        let _ = a.shutdown();
+        let _ = b.shutdown();
     }
 
     #[test]

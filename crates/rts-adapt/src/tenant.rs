@@ -115,6 +115,43 @@ impl TenantState {
         })
     }
 
+    /// Rebuilds a tenant directly at a snapshotted monitor table, in one
+    /// admission: the full table's configuration is re-selected through
+    /// Algorithm 1 and committed. Because period selection is a pure
+    /// function of (frozen RT system, security configuration, strategy),
+    /// the restored state's committed selection — periods *and* response
+    /// times — and fingerprint are bit-identical to the live tenant the
+    /// snapshot was taken from. Nothing is trusted from the snapshot
+    /// beyond the configuration itself: the restore re-verifies it (the
+    /// service's "no configuration ever runs unverified" invariant holds
+    /// across recovery and hand-off too).
+    ///
+    /// # Errors
+    ///
+    /// [`SelectionError::RtUnschedulable`] if the frozen RT side fails
+    /// Eq. 1; any other [`SelectionError`] if the snapshot's
+    /// configuration does not re-admit (a strategy mismatch or a
+    /// corrupted snapshot — the caller reports divergence).
+    pub fn restore(
+        system: &System,
+        strategy: CarryInStrategy,
+        monitors: Vec<MonitorEntry>,
+    ) -> Result<Self, SelectionError> {
+        let mut selector = IncrementalSelector::new(system, strategy);
+        if !selector.rt_schedulable() {
+            return Err(SelectionError::RtUnschedulable);
+        }
+        let sec: SecurityTaskSet = monitors.iter().map(MonitorEntry::admission_task).collect();
+        let admitted = selector.select(&sec)?;
+        let fingerprint = SecFingerprint::of(&sec).digest();
+        Ok(TenantState {
+            selector,
+            monitors,
+            admitted,
+            admitted_fingerprint: fingerprint,
+        })
+    }
+
     /// The monitor table (priority order).
     #[must_use]
     pub fn monitors(&self) -> &[MonitorEntry] {
@@ -396,6 +433,56 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ApplyError::Invalid(_)));
         assert_eq!(t.monitors()[0].spec.passive_wcet(), ms(10));
+    }
+
+    #[test]
+    fn restore_reproduces_a_live_table_bit_identically() {
+        // Build up a table through deltas, then restore it in one shot:
+        // the committed selection (periods and response times) and
+        // fingerprint must match — the snapshot-recovery guarantee.
+        let mut live = tenant();
+        live.apply(&DeltaEvent::Arrival {
+            monitor: MonitorSpec::modal(ms(100), ms(350), ms(5000)).unwrap(),
+        })
+        .unwrap();
+        live.apply(&DeltaEvent::Arrival {
+            monitor: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+        })
+        .unwrap();
+        live.apply(&DeltaEvent::ModeChange {
+            slot: 0,
+            mode: MonitorMode::Active,
+        })
+        .unwrap();
+        let restored = TenantState::restore(
+            &rover(),
+            CarryInStrategy::Exhaustive,
+            live.monitors().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.monitors(), live.monitors());
+        assert_eq!(restored.admitted(), live.admitted());
+        assert_eq!(restored.admitted_fingerprint(), live.admitted_fingerprint());
+    }
+
+    #[test]
+    fn restore_refuses_an_unschedulable_table() {
+        // Two monitors that cannot coexist on the rover: restore
+        // re-verifies and rejects rather than trusting the snapshot.
+        let table = vec![
+            MonitorEntry {
+                spec: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),
+                mode: MonitorMode::Passive,
+            },
+            MonitorEntry {
+                spec: MonitorSpec::fixed(ms(9000), ms(10_000)).unwrap(),
+                mode: MonitorMode::Passive,
+            },
+        ];
+        assert!(matches!(
+            TenantState::restore(&rover(), CarryInStrategy::Exhaustive, table),
+            Err(SelectionError::SecurityUnschedulable { .. })
+        ));
     }
 
     #[test]

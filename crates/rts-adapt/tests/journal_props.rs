@@ -1,0 +1,170 @@
+//! The journal property battery: for arbitrary seeded streams of
+//! accepted/rejected/errored deltas, across both carry-in strategies
+//! and multiple shard counts, with a compaction cut at an arbitrary
+//! point (including "before anything" and "never"), pin that
+//!
+//! (a) snapshot+tail replay ≡ full-log replay ≡ live state — monitor
+//!     table, committed selection (periods *and* response times) and
+//!     configuration fingerprint all bit-identical;
+//! (b) compaction at any cut point is invisible: the on-disk journal
+//!     replays to the same state whether or not (and wherever) it was
+//!     compacted;
+//! (c) export→import on a fresh engine is bit-identical, both for the
+//!     engine's compacted export payload and for the raw on-disk
+//!     snapshot+tail shape, and the payload survives its wire encoding
+//!     byte-exactly.
+//!
+//! The vendored proptest has no shrinking, so every draw is kept small
+//! enough to diagnose from the reported values alone.
+
+mod common;
+
+use common::{random_event, register_rover, rover_rt, TempDir};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rts_adapt::journal::{self, JournalDir, TenantHistory};
+use rts_adapt::{AdaptEngine, Request, Response, ShardedEngine};
+use rts_analysis::semi::CarryInStrategy;
+use rts_model::delta::DeltaEvent;
+use rts_model::time::Duration;
+
+/// A tenant's observable committed state — everything the bit-identical
+/// guarantee covers (memo statistics are deliberately excluded).
+#[derive(Clone, PartialEq, Debug)]
+struct Observed {
+    monitors: Vec<rts_adapt::MonitorEntry>,
+    periods: Vec<Duration>,
+    response_times: Vec<Duration>,
+    fingerprint: u64,
+}
+
+impl Observed {
+    fn of(state: &rts_adapt::TenantState) -> Self {
+        Observed {
+            monitors: state.monitors().to_vec(),
+            periods: state.admitted().periods.as_slice().to_vec(),
+            response_times: state.admitted().response_times.clone(),
+            fingerprint: state.admitted_fingerprint(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn snapshot_tail_fulllog_live_and_handoff_all_agree(
+        seed in 0u64..(1 << 32),
+        len in 12usize..=32,
+        cut in 0usize..=36, // > len means "never compacted"
+        strategy_pick in 0usize..2,
+        shards in 1usize..=5,
+    ) {
+        let strategy =
+            [CarryInStrategy::TopDiff, CarryInStrategy::Exhaustive][strategy_pick];
+        let dir = TempDir::new("journal_props");
+        let journal = JournalDir::at(dir.path());
+        let mut engine = AdaptEngine::with_journal(strategy, journal.clone());
+        let tenants = [1u64, 2];
+        for &t in &tenants {
+            prop_assert!(engine.handle(&register_rover(t)).is_admitted());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepted: Vec<(u64, DeltaEvent)> = Vec::new();
+        for i in 0..len {
+            if i == cut {
+                for &t in &tenants {
+                    engine.compact_tenant(t).unwrap();
+                }
+            }
+            let tenant = tenants[rng.gen_range(0..tenants.len())];
+            let event = random_event(&mut rng);
+            if let Response::Admitted(_) = engine.handle(&Request::Delta { tenant, event }) {
+                accepted.push((tenant, event));
+            }
+        }
+
+        let mut live_by_tenant = Vec::new();
+        for &t in &tenants {
+            let live = Observed::of(engine.tenant(t).unwrap());
+
+            // (a)/(b): the on-disk journal — snapshot+tail if the cut
+            // fell inside the stream, plain log otherwise — replays to
+            // the live state.
+            let disk = journal.load_tenant(t).unwrap();
+            prop_assert_eq!(
+                disk.snapshot.is_some(),
+                cut < len,
+                "cut {} of stream {} must decide the on-disk shape", cut, len
+            );
+            let replayed = journal.replay_tenant(t, strategy).unwrap();
+            prop_assert_eq!(&Observed::of(&replayed), &live, "disk replay, tenant {}", t);
+
+            // (a): a full log of every accepted event — the
+            // never-compacted history, rebuilt from the live responses —
+            // replays to the same state.
+            let full = TenantHistory {
+                cores: 2,
+                rt: rover_rt(),
+                snapshot: None,
+                events: accepted
+                    .iter()
+                    .filter(|(tenant, _)| *tenant == t)
+                    .map(|(_, e)| *e)
+                    .collect(),
+            };
+            let full_state = journal::replay(&full, strategy).unwrap();
+            prop_assert_eq!(&Observed::of(&full_state), &live, "full-log replay, tenant {}", t);
+
+            // (c): export → wire round trip → import on a fresh engine.
+            let Response::Exported { history, .. } =
+                engine.handle(&Request::Export { tenant: t })
+            else {
+                return Err(TestCaseError::fail("export must answer"));
+            };
+            let wire = journal::render_history(&history);
+            let reparsed =
+                journal::parse_history(&rts_adapt::json::parse(&wire).unwrap()).unwrap();
+            prop_assert_eq!(&reparsed, &history, "wire round trip, tenant {}", t);
+            let mut fresh = AdaptEngine::new(strategy);
+            prop_assert!(
+                fresh.handle(&Request::Import { tenant: t, history }).is_admitted(),
+                "import must re-admit tenant {}", t
+            );
+            prop_assert_eq!(&Observed::of(fresh.tenant(t).unwrap()), &live,
+                "imported state, tenant {}", t);
+
+            // (c) again for the raw on-disk snapshot+tail shape: import
+            // accepts a journal's content directly, not just exports.
+            let mut fresh = AdaptEngine::new(strategy);
+            prop_assert!(
+                fresh.handle(&Request::Import { tenant: t, history: disk }).is_admitted(),
+                "on-disk history must import, tenant {}", t
+            );
+            prop_assert_eq!(&Observed::of(fresh.tenant(t).unwrap()), &live,
+                "state imported from disk shape, tenant {}", t);
+
+            live_by_tenant.push((t, live));
+        }
+
+        // Boot-time recovery composes with the shard-hashed pool: a
+        // sharded daemon restarted over the same journal directory
+        // answers for every tenant identically, at this shard count.
+        let mut revived = ShardedEngine::with_journal(strategy, shards, journal.clone());
+        for (t, live) in &live_by_tenant {
+            let out = revived.process(vec![Request::Query { tenant: *t }]);
+            let Response::Admitted(a) = &out[0] else {
+                return Err(TestCaseError::fail(format!(
+                    "tenant {t} not recovered with {shards} shards: {out:?}"
+                )));
+            };
+            prop_assert_eq!(&a.periods, &live.periods, "recovered periods, tenant {}", t);
+            prop_assert_eq!(&a.response_times, &live.response_times,
+                "recovered response times, tenant {}", t);
+            prop_assert_eq!(a.fingerprint, live.fingerprint,
+                "recovered fingerprint, tenant {}", t);
+        }
+        let _ = revived.shutdown();
+    }
+}

@@ -5,106 +5,47 @@
 //! seeded stream that mixes accepted deltas, analysis rejections and
 //! usage errors. Rejected events must not appear in the journal at all:
 //! replay applies accepted history only, and every replayed event must
-//! re-admit.
+//! re-admit. (The `journal_props` battery extends this to arbitrary
+//! compaction cut points and hand-off; this file pins the directed
+//! scenarios, including backward compatibility with the pre-snapshot
+//! journal format.)
 
+mod common;
+
+use common::{drive_stream, ms, register_rover, TempDir};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rts_adapt::journal::JournalDir;
 use rts_adapt::{AdaptEngine, Request, Response, RtSpec};
 use rts_analysis::semi::CarryInStrategy;
-use rts_model::delta::{DeltaEvent, MonitorMode, MonitorSpec};
+use rts_model::delta::{DeltaEvent, MonitorSpec};
 use rts_model::time::Duration;
-
-fn ms(v: u64) -> Duration {
-    Duration::from_ms(v)
-}
-
-fn register(tenant: u64) -> Request {
-    Request::Register {
-        tenant,
-        cores: 2,
-        rt: vec![
-            RtSpec {
-                wcet: ms(240),
-                period: ms(500),
-                core: 0,
-            },
-            RtSpec {
-                wcet: ms(1120),
-                period: ms(5000),
-                core: 1,
-            },
-        ],
-    }
-}
-
-/// Draws a random delta, deliberately spanning valid, analysis-rejected
-/// and usage-error shapes.
-fn random_event(rng: &mut StdRng) -> DeltaEvent {
-    match rng.gen_range(0u32..10) {
-        // Arrivals, from trivially admissible to hopeless (rejected).
-        0..=3 => {
-            let t_max = ms(rng.gen_range(2000..=12_000));
-            let passive = Duration::from_ticks(rng.gen_range(1..=t_max.as_ticks() / 2));
-            let active_cap = t_max.as_ticks();
-            let active = Duration::from_ticks(rng.gen_range(passive.as_ticks()..=active_cap));
-            DeltaEvent::Arrival {
-                monitor: MonitorSpec::modal(passive, active, t_max).unwrap(),
-            }
-        }
-        // Departures, sometimes out of range (usage error).
-        4 | 5 => DeltaEvent::Departure {
-            slot: rng.gen_range(0..6),
-        },
-        // WCET re-profiles, sometimes invalid or unschedulable.
-        6 | 7 => {
-            let passive = Duration::from_ticks(rng.gen_range(1..=60_000));
-            let active = Duration::from_ticks(rng.gen_range(1..=90_000));
-            DeltaEvent::WcetUpdate {
-                slot: rng.gen_range(0..6),
-                passive_wcet: passive,
-                active_wcet: active,
-            }
-        }
-        // Mode flips, sometimes on empty slots.
-        _ => DeltaEvent::ModeChange {
-            slot: rng.gen_range(0..6),
-            mode: if rng.gen_bool(0.5) {
-                MonitorMode::Active
-            } else {
-                MonitorMode::Passive
-            },
-        },
-    }
-}
 
 #[test]
 fn seeded_stream_replays_bit_identically() {
-    let dir = std::env::temp_dir().join(format!("hydra_journal_replay_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let journal = JournalDir::at(&dir);
+    let dir = TempDir::new("journal_replay");
+    let journal = JournalDir::at(dir.path());
     for strategy in [CarryInStrategy::TopDiff, CarryInStrategy::Exhaustive] {
         let mut engine = AdaptEngine::with_journal(strategy, journal.clone());
         let tenants = [1u64, 2];
         for &t in &tenants {
-            assert!(engine.handle(&register(t)).is_admitted());
+            assert!(engine.handle(&register_rover(t)).is_admitted());
         }
         let mut rng = StdRng::seed_from_u64(0x10C_0FFE);
-        let (mut accepted, mut rejected, mut errored) = (0u32, 0u32, 0u32);
-        for _ in 0..150 {
-            let tenant = tenants[rng.gen_range(0..tenants.len())];
-            let event = random_event(&mut rng);
-            match engine.handle(&Request::Delta { tenant, event }) {
-                Response::Admitted(_) => accepted += 1,
-                Response::Rejected { .. } => rejected += 1,
-                Response::Error { .. } => errored += 1,
-            }
-        }
+        let outcome = drive_stream(&mut rng, &tenants, 150, |r| engine.handle(&r));
         // The stream must genuinely exercise all three outcomes, or the
         // "rejections are not journaled" claim is untested.
-        assert!(accepted >= 20, "only {accepted} accepted");
-        assert!(rejected >= 5, "only {rejected} rejected");
-        assert!(errored >= 5, "only {errored} usage errors");
+        assert!(
+            outcome.accepted.len() >= 20,
+            "only {} accepted",
+            outcome.accepted.len()
+        );
+        assert!(outcome.rejected >= 5, "only {} rejected", outcome.rejected);
+        assert!(
+            outcome.errored >= 5,
+            "only {} usage errors",
+            outcome.errored
+        );
 
         for &t in &tenants {
             let live = engine.tenant(t).expect("registered tenant");
@@ -118,11 +59,12 @@ fn seeded_stream_replays_bit_identically() {
                 live.admitted_fingerprint(),
                 "tenant {t} fingerprint"
             );
-            // The journal length equals the accepted count for the
-            // tenant: one register line + one line per accepted delta.
+            // The journal records exactly the accepted events for the
+            // tenant, in commit order, beneath the registration.
             let history = journal.load_tenant(t).unwrap();
             assert_eq!(history.cores, 2);
             assert_eq!(history.rt.len(), 2);
+            assert_eq!(history.events, outcome.accepted_for(t), "tenant {t} tail");
         }
         // A replay under the *other* strategy is allowed to diverge (a
         // borderline event may no longer be admitted) but must never
@@ -139,12 +81,12 @@ fn seeded_stream_replays_bit_identically() {
                     state.monitors().len(),
                     engine.tenant(t).unwrap().monitors().len()
                 ),
-                Err(rts_adapt::ReplayError::Diverged { .. }) => {}
+                Err(rts_adapt::ReplayError::Diverged { .. })
+                | Err(rts_adapt::ReplayError::SnapshotDiverged { .. }) => {}
                 Err(e) => panic!("unexpected replay failure: {e}"),
             }
         }
     }
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A restarted sharded daemon recovers every journaled tenant on boot:
@@ -154,15 +96,14 @@ fn seeded_stream_replays_bit_identically() {
 #[test]
 fn sharded_restart_recovers_journaled_tenants() {
     use rts_adapt::ShardedEngine;
-    let dir = std::env::temp_dir().join(format!("hydra_journal_restart_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let journal = JournalDir::at(&dir);
+    let dir = TempDir::new("journal_restart");
+    let journal = JournalDir::at(dir.path());
     // First life: register three tenants and commit monitors.
     let mut first = ShardedEngine::with_journal(CarryInStrategy::TopDiff, 2, journal.clone());
     let mut expected = Vec::new();
     for t in [1u64, 2, 3] {
         let answers = first.process(vec![
-            register(t),
+            register_rover(t),
             Request::Delta {
                 tenant: t,
                 event: DeltaEvent::Arrival {
@@ -198,16 +139,62 @@ fn sharded_restart_recovers_journaled_tenants() {
         }
         let _ = revived.shutdown();
     }
-    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal directory written by the pre-snapshot format — a
+/// registration line followed directly by delta lines, no snapshot —
+/// still recovers, tail-only. The raw lines below are byte-for-byte
+/// what PR 4's journal wrote for the rover + Tripwire + kmod-checker
+/// session; this test must keep passing without touching them.
+#[test]
+fn pre_snapshot_format_journals_still_recover() {
+    let dir = TempDir::new("journal_compat");
+    let journal = JournalDir::at(dir.path());
+    std::fs::write(
+        journal.path_for(7),
+        "{\"event\":\"register\",\"cores\":2,\"rt\":[\
+         {\"wcet_ticks\":2400,\"period_ticks\":5000,\"core\":0},\
+         {\"wcet_ticks\":11200,\"period_ticks\":50000,\"core\":1}]}\n\
+         {\"event\":\"arrival\",\"passive_ticks\":53420,\"active_ticks\":53420,\"t_max_ticks\":100000}\n\
+         {\"event\":\"arrival\",\"passive_ticks\":2230,\"active_ticks\":2230,\"t_max_ticks\":100000}\n",
+    )
+    .unwrap();
+    let history = journal.load_tenant(7).unwrap();
+    assert!(history.snapshot.is_none(), "old format has no snapshot");
+    assert_eq!(history.events.len(), 2);
+    let state = journal
+        .replay_tenant(7, CarryInStrategy::Exhaustive)
+        .unwrap();
+    // The paper's rover values — recovery runs the real analysis.
+    assert_eq!(state.admitted().periods[0], ms(7582));
+    assert_eq!(state.admitted().periods[1], ms(2783));
+    // An engine recovering the old-format journal serves it, and the
+    // compaction counter continues from the on-disk tail: with a
+    // threshold of 3 the next accepted delta triggers a snapshot.
+    let mut engine = AdaptEngine::with_journal(
+        CarryInStrategy::Exhaustive,
+        journal.clone().with_compaction(3),
+    );
+    assert_eq!(engine.recover_journaled(|_| true), (1, 0));
+    let out = engine.handle(&Request::Delta {
+        tenant: 7,
+        event: DeltaEvent::Departure { slot: 1 },
+    });
+    assert!(out.is_admitted());
+    let compacted = journal.load_tenant(7).unwrap();
+    assert!(
+        compacted.snapshot.is_some(),
+        "tail of 3 must have been compacted"
+    );
+    assert!(compacted.events.is_empty());
 }
 
 #[test]
 fn re_registration_truncates_history() {
-    let dir = std::env::temp_dir().join(format!("hydra_journal_rereg_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let journal = JournalDir::at(&dir);
+    let dir = TempDir::new("journal_rereg");
+    let journal = JournalDir::at(dir.path());
     let mut engine = AdaptEngine::with_journal(CarryInStrategy::TopDiff, journal.clone());
-    engine.handle(&register(9));
+    engine.handle(&register_rover(9));
     engine.handle(&Request::Delta {
         tenant: 9,
         event: DeltaEvent::Arrival {
@@ -216,12 +203,11 @@ fn re_registration_truncates_history() {
     });
     assert_eq!(journal.load_tenant(9).unwrap().events.len(), 1);
     // Re-registering resets the tenant — and its journal.
-    engine.handle(&register(9));
+    engine.handle(&register_rover(9));
     let history = journal.load_tenant(9).unwrap();
     assert!(history.events.is_empty(), "old history must be truncated");
     let replayed = journal.replay_tenant(9, CarryInStrategy::TopDiff).unwrap();
     assert!(replayed.monitors().is_empty());
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Replay also works through the replay-from-history entry point with a
@@ -244,6 +230,7 @@ fn replay_from_in_memory_history_matches_apply() {
                 core: 1,
             },
         ],
+        snapshot: None,
         events: vec![
             DeltaEvent::Arrival {
                 monitor: MonitorSpec::fixed(ms(5342), ms(10_000)).unwrap(),

@@ -1,0 +1,297 @@
+//! Protocol torture: malformed, truncated, adversarial and oversized
+//! line-JSON — plus mid-request disconnects — against both serving
+//! fronts. The service contract under attack is simple: **every line
+//! gets a polite `verdict:"error"`/`"reject"` answer, nothing panics,
+//! no worker wedges, and the stream stays line-synchronized** so a
+//! well-formed request after the garbage is still served. The
+//! Export/Import/Evict verbs get the same treatment as the PR 4 ops —
+//! including payloads that parse but must not install anything.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use common::{retry, TempDir};
+use rts_adapt::journal::JournalDir;
+use rts_adapt::server::{serve, serve_listener, shared, ServeSummary};
+use rts_adapt::ShardedEngine;
+use rts_analysis::semi::CarryInStrategy;
+
+/// Serves `input` on a fresh 2-shard engine and returns the summary and
+/// response lines. The engine shuts down cleanly afterwards — a wedged
+/// worker would hang right here, failing the test by timeout.
+fn run_lines(input: &str) -> (ServeSummary, Vec<String>) {
+    let mut engine = ShardedEngine::new(CarryInStrategy::TopDiff, 2);
+    let mut out: Vec<u8> = Vec::new();
+    let summary = serve(&mut engine, BufReader::new(input.as_bytes()), &mut out, 8).unwrap();
+    let _ = engine.shutdown();
+    let text = String::from_utf8(out).unwrap();
+    (summary, text.lines().map(str::to_owned).collect())
+}
+
+const REGISTER: &str = "{\"op\":\"register\",\"tenant\":1,\"cores\":2,\"rt\":[\
+     {\"wcet_ms\":240,\"period_ms\":500,\"core\":0},\
+     {\"wcet_ms\":1120,\"period_ms\":5000,\"core\":1}]}";
+
+/// Every adversarial line is answered with an error, and the
+/// well-formed request that follows each one still succeeds.
+#[test]
+fn malformed_lines_get_polite_errors_and_never_desync_the_stream() {
+    let garbage: Vec<String> = vec![
+        // Syntax-level garbage.
+        "not json at all".into(),
+        "{".into(),
+        "\u{1}\u{2}\u{3}".into(),
+        "[1,2,".into(),
+        "\"just a string\"".into(),
+        "{\"op\":\"query\",\"tenant\":1}{\"op\":\"query\",\"tenant\":1}".into(),
+        // Nesting bomb (the codec's depth cap must answer, not recurse).
+        format!("{}1{}", "[".repeat(400), "]".repeat(400)),
+        // Schema-level garbage.
+        "{}".into(),
+        "{\"op\":\"warp\",\"tenant\":1}".into(),
+        "{\"op\":\"query\"}".into(),
+        "{\"op\":\"query\",\"tenant\":-3}".into(),
+        "{\"op\":\"query\",\"tenant\":1.5}".into(),
+        "{\"op\":\"query\",\"tenant\":1e300}".into(),
+        "{\"op\":\"register\",\"tenant\":1,\"cores\":2,\"rt\":7}".into(),
+        "{\"op\":\"register\",\"tenant\":1,\"cores\":2,\"rt\":[{\"core\":0}]}".into(),
+        "{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":-5,\"t_max_ms\":100}".into(),
+        "{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":400,\"active_ms\":100,\"t_max_ms\":5000}"
+            .into(),
+        "{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":1e99,\"t_max_ms\":1e99}".into(),
+        "{\"op\":\"mode\",\"tenant\":1,\"slot\":0,\"mode\":\"calm\"}".into(),
+        // Export/Import/Evict-specific garbage.
+        "{\"op\":\"export\"}".into(),
+        "{\"op\":\"import\",\"tenant\":1}".into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":42}".into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":{}}".into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":{\"rt\":[]}}".into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":{\"cores\":0,\"rt\":[]}}".into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":{\"cores\":2,\"rt\":[],\
+          \"snapshot\":{\"fingerprint\":\"xyz\",\"monitors\":[]}}}"
+            .into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":{\"cores\":2,\"rt\":[],\
+          \"snapshot\":{\"fingerprint\":\"0\",\"monitors\":[{\"passive_ticks\":9,\
+          \"active_ticks\":3,\"t_max_ticks\":10,\"mode\":\"passive\"}]}}}"
+            .into(),
+        "{\"op\":\"import\",\"tenant\":1,\"journal\":{\"cores\":2,\"rt\":[],\
+          \"events\":[{\"event\":\"warp\"}]}}"
+            .into(),
+        "{\"op\":\"evict\",\"tenant\":99}".into(),
+        "{\"op\":\"export\",\"tenant\":99}".into(),
+    ];
+    let mut input = String::new();
+    for line in &garbage {
+        input.push_str(line);
+        input.push('\n');
+        // A probe request between every garbage line: the stream must
+        // stay synchronized and the engine must keep answering.
+        input.push_str("{\"op\":\"query\",\"tenant\":42}\n");
+    }
+    let (summary, lines) = run_lines(&input);
+    assert_eq!(summary.requests, 2 * garbage.len() as u64);
+    assert_eq!(summary.responses, summary.requests);
+    for (i, pair) in lines.chunks(2).enumerate() {
+        assert!(
+            pair[0].contains("\"verdict\":\"error\""),
+            "garbage line {i} must be an error: {}",
+            pair[0]
+        );
+        assert!(
+            pair[1].contains("unknown tenant 42"),
+            "probe after garbage line {i} must still parse: {}",
+            pair[1]
+        );
+    }
+}
+
+/// An import whose payload parses but whose configuration cannot be
+/// admitted is *rejected* (an analysis verdict, not a protocol error),
+/// and installs nothing. A mismatched fingerprint is an error. Either
+/// way the engine keeps serving.
+#[test]
+fn inadmissible_or_mismatched_imports_install_nothing() {
+    let heavy_import = "{\"op\":\"import\",\"tenant\":5,\"journal\":{\"cores\":2,\"rt\":[\
+         {\"wcet_ticks\":2400,\"period_ticks\":5000,\"core\":0},\
+         {\"wcet_ticks\":11200,\"period_ticks\":50000,\"core\":1}],\
+         \"snapshot\":{\"fingerprint\":\"0\",\"monitors\":[\
+         {\"passive_ticks\":53420,\"active_ticks\":53420,\"t_max_ticks\":100000,\"mode\":\"passive\"},\
+         {\"passive_ticks\":90000,\"active_ticks\":90000,\"t_max_ticks\":100000,\"mode\":\"passive\"}]}}}";
+    // Same rover, one admissible monitor — but the recorded fingerprint
+    // does not match the configuration.
+    let bad_fingerprint = "{\"op\":\"import\",\"tenant\":5,\"journal\":{\"cores\":2,\"rt\":[\
+         {\"wcet_ticks\":2400,\"period_ticks\":5000,\"core\":0},\
+         {\"wcet_ticks\":11200,\"period_ticks\":50000,\"core\":1}],\
+         \"snapshot\":{\"fingerprint\":\"1234\",\"monitors\":[\
+         {\"passive_ticks\":2230,\"active_ticks\":2230,\"t_max_ticks\":100000,\"mode\":\"passive\"}]}}}";
+    // A history whose tail no longer re-admits (the second identical
+    // heavyweight arrival must be refused) diverges on import.
+    let diverging_tail = "{\"op\":\"import\",\"tenant\":5,\"journal\":{\"cores\":2,\"rt\":[\
+         {\"wcet_ticks\":2400,\"period_ticks\":5000,\"core\":0},\
+         {\"wcet_ticks\":11200,\"period_ticks\":50000,\"core\":1}],\
+         \"events\":[\
+         {\"event\":\"arrival\",\"passive_ticks\":53420,\"active_ticks\":53420,\"t_max_ticks\":100000},\
+         {\"event\":\"arrival\",\"passive_ticks\":90000,\"active_ticks\":90000,\"t_max_ticks\":100000}]}}";
+    let input = format!(
+        "{heavy_import}\n{bad_fingerprint}\n{diverging_tail}\n{}\n",
+        "{\"op\":\"query\",\"tenant\":5}"
+    );
+    let (summary, lines) = run_lines(&input);
+    assert_eq!(summary.requests, 4);
+    assert!(
+        lines[0].contains("\"verdict\":\"reject\""),
+        "inadmissible import is an analysis verdict: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"verdict\":\"error\"") && lines[1].contains("fingerprint"),
+        "fingerprint mismatch is a payload error: {}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"verdict\":\"reject\""),
+        "diverging tail is an analysis verdict: {}",
+        lines[2]
+    );
+    assert!(
+        lines[3].contains("unknown tenant 5"),
+        "none of the imports may have installed anything: {}",
+        lines[3]
+    );
+}
+
+/// Binds an ephemeral port and serves it on a background thread over a
+/// journaled engine (the journal exercises the recovery-adjacent code
+/// paths under torture too).
+fn spawn_server(dir: &TempDir, max_conns: usize) -> std::net::SocketAddr {
+    let engine = shared(ShardedEngine::with_journal(
+        CarryInStrategy::TopDiff,
+        2,
+        JournalDir::at(dir.path()).with_compaction(2),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_listener(&engine, &listener, 8, max_conns);
+    });
+    addr
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "server closed the connection");
+        line.trim_end().to_string()
+    }
+}
+
+/// Clients that disconnect mid-request — after a partial line, after an
+/// oversized flood, or right after connecting — never take the server
+/// down: the next client is served in full, including hand-off verbs.
+#[test]
+fn mid_request_disconnects_leave_the_server_serving() {
+    let dir = TempDir::new("torture_tcp");
+    let addr = spawn_server(&dir, 8);
+
+    // Disconnect after half a request line (no newline).
+    {
+        let mut c = Client::connect(addr);
+        c.stream
+            .write_all(b"{\"op\":\"register\",\"tenant\":1,\"cor")
+            .unwrap();
+        // Dropped here: the serving thread sees EOF mid-line.
+    }
+    // Disconnect mid-flood: several MiB without a newline, then gone.
+    {
+        let mut c = Client::connect(addr);
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..3 {
+            if c.stream.write_all(&chunk).is_err() {
+                break; // server may already have dropped us — fine
+            }
+        }
+    }
+    // Disconnect without sending anything.
+    drop(Client::connect(addr));
+
+    // A full session still works — register, delta, export, evict —
+    // with bounded retries in case an earlier slot is still being
+    // released.
+    let mut c = retry("a served connection after the disconnect storm", || {
+        let mut c = Client::connect(addr);
+        c.send("{\"op\":\"query\",\"tenant\":7}");
+        let line = c.recv();
+        line.contains("unknown tenant 7").then_some(c)
+    });
+    c.send(REGISTER.replace("\"tenant\":1", "\"tenant\":7").as_str());
+    assert!(c.recv().contains("\"verdict\":\"accept\""));
+    c.send("{\"op\":\"arrival\",\"tenant\":7,\"passive_ms\":5342,\"t_max_ms\":10000}");
+    assert!(c.recv().contains("\"periods_ms\":[7582]"));
+    c.send("{\"op\":\"export\",\"tenant\":7}");
+    let export = c.recv();
+    assert!(
+        export.contains("\"verdict\":\"export\"") && export.contains("\"journal\":"),
+        "{export}"
+    );
+    c.send("{\"op\":\"evict\",\"tenant\":7}");
+    assert!(c.recv().contains("\"verdict\":\"evicted\""), "evict failed");
+    c.send("{\"op\":\"query\",\"tenant\":7}");
+    assert!(c.recv().contains("unknown tenant 7"));
+}
+
+/// An oversized request line (beyond the 1 MiB bound) is answered with
+/// a bounded error and the connection stays usable — including when the
+/// oversized line *is* an otherwise well-formed import payload.
+#[test]
+fn oversized_import_payloads_are_bounded_politely() {
+    let dir = TempDir::new("torture_oversize");
+    let addr = spawn_server(&dir, 8);
+    let mut c = Client::connect(addr);
+    // A syntactically valid import line, inflated beyond the bound by a
+    // giant monitors array.
+    let mut line = String::from(
+        "{\"op\":\"import\",\"tenant\":3,\"journal\":{\"cores\":1,\
+         \"rt\":[{\"wcet_ticks\":1,\"period_ticks\":10,\"core\":0}],\
+         \"snapshot\":{\"fingerprint\":\"0\",\"monitors\":[",
+    );
+    let entry =
+        "{\"passive_ticks\":1,\"active_ticks\":1,\"t_max_ticks\":1000,\"mode\":\"passive\"},";
+    // Three times the 1 MiB line bound: decisively oversized, whatever
+    // the reader's chunking.
+    while line.len() <= 3 * (1 << 20) {
+        line.push_str(entry);
+    }
+    line.pop(); // the trailing comma
+    line.push_str("]}}}");
+    c.send(&line);
+    let answer = c.recv();
+    assert!(
+        answer.contains("\"verdict\":\"error\"") && answer.contains("exceeds"),
+        "{answer}"
+    );
+    // Stream re-synchronized; nothing was installed.
+    c.send("{\"op\":\"query\",\"tenant\":3}");
+    assert!(c.recv().contains("unknown tenant 3"));
+}
