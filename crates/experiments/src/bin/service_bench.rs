@@ -3,7 +3,8 @@
 //! performance trajectory is tracked across PRs.
 //!
 //! Usage: `service_bench [--requests N] [--tenants N] [--shards N]
-//!                       [--batch N] [--seed S] [--budget-secs S]`
+//!                       [--batch N] [--seed S] [--budget-secs S]
+//!                       [--conns LIST]`
 //!
 //! Defaults are the tracked configuration: 100 000 requests over 64
 //! Table 3 tenants, 4 shards, 512-request batches. Only that canonical
@@ -11,8 +12,21 @@
 //! (the CI `service-smoke` job) report to stdout only. The run fails
 //! hard if any request is lost or answered with a protocol error, and —
 //! with `--budget-secs` — if the stream takes longer than the budget.
+//!
+//! `--conns 1,64,1024` adds the **connection axis**: the same seeded
+//! workload is recorded once and replayed over real TCP against the
+//! event-driven reactor front end at each listed connection count
+//! (per-tenant connection affinity; surplus connections held idle).
+//! Every replay must reproduce the recorded verdict populations
+//! *exactly* — the determinism oracle — or the run fails hard. The
+//! canonical run also records the workload's single-threaded solver
+//! floor, the honest upper bound any serving layer can reach on one
+//! core.
 
-use hydra_experiments::{arg_f64, arg_usize, results_dir, run_service_load, ServiceConfig};
+use hydra_experiments::{
+    arg_f64, arg_usize, record_workload, results_dir, run_reactor_load, run_service_load,
+    ServiceConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +45,16 @@ fn main() {
         canonical.seed as usize,
     ) as u64;
     let budget_secs = arg_f64(&args, "--budget-secs");
+    let conns_axis: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--conns")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|v| v.parse().expect("--conns takes a comma-separated list"))
+                .collect()
+        })
+        .unwrap_or_default();
 
     let config = ServiceConfig {
         tenants,
@@ -68,6 +92,58 @@ fn main() {
         hits as f64 / (hits + misses) as f64
     };
 
+    // ---- Connection axis: the recorded workload replayed over real
+    // TCP against the reactor front end. Populations must reproduce
+    // the recorded run's exactly at every fan-out, or nothing here is
+    // comparable to anything.
+    let mut reactor_json = String::new();
+    if !conns_axis.is_empty() {
+        eprintln!("recording the workload once for the TCP replays...");
+        let recorded = record_workload(&config);
+        assert_eq!(
+            recorded.accepted, report.accepted,
+            "recorded and in-process populations diverged — generator determinism broke"
+        );
+        assert_eq!(recorded.rejected, report.rejected);
+        let floor = requests as f64 / recorded.solve_secs;
+        reactor_json.push_str(&format!(
+            ",\n  \"solver_floor_rps\": {floor:.1},\n  \"reactor\": ["
+        ));
+        for (i, &conns) in conns_axis.iter().enumerate() {
+            eprintln!("reactor replay: {conns} connections...");
+            let replay = run_reactor_load(&recorded, conns);
+            assert_eq!(
+                replay.errors, 0,
+                "conns={conns}: protocol errors in the replay"
+            );
+            assert_eq!(
+                replay.accepted, recorded.accepted,
+                "conns={conns}: accepted population diverged"
+            );
+            assert_eq!(
+                replay.rejected, recorded.rejected,
+                "conns={conns}: rejected population diverged"
+            );
+            if i > 0 {
+                reactor_json.push(',');
+            }
+            reactor_json.push_str(&format!(
+                "\n    {{\"conns\":{conns},\"window\":{},\"wall_secs\":{:.4},\
+                 \"throughput_rps\":{:.1},\"p50_us\":{:.1},\"p95_us\":{:.1},\
+                 \"p99_us\":{:.1},\"accepted\":{},\"rejected\":{}}}",
+                replay.window,
+                replay.wall_secs,
+                replay.throughput_rps(),
+                replay.percentile_us(0.50),
+                replay.percentile_us(0.95),
+                replay.percentile_us(0.99),
+                replay.accepted,
+                replay.rejected,
+            ));
+        }
+        reactor_json.push_str("\n  ]");
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"adapt_service\",\n");
     json.push_str(&format!("  \"requests\": {requests},\n"));
@@ -84,7 +160,9 @@ fn main() {
     json.push_str(&format!("  \"p99_us\": {p99:.1},\n"));
     json.push_str(&format!("  \"memo_hits\": {hits},\n"));
     json.push_str(&format!("  \"memo_misses\": {misses},\n"));
-    json.push_str(&format!("  \"memo_hit_rate\": {hit_rate:.4}\n"));
+    json.push_str(&format!(
+        "  \"memo_hit_rate\": {hit_rate:.4}{reactor_json}\n"
+    ));
     json.push_str("}\n");
 
     // Only the canonical configuration updates the tracked trajectory

@@ -26,7 +26,10 @@ pub mod sweep;
 
 pub use fig5::{run_fig5, PeriodProtocol, SchemeAggregate};
 pub use report::{results_dir, write_figure_csv, TextTable};
-pub use service::{run_service_load, ServiceConfig, ServiceReport};
+pub use service::{
+    record_workload, run_reactor_load, run_service_load, ReactorLoadReport, RecordedWorkload,
+    ServiceConfig, ServiceReport,
+};
 pub use stats::{percent_faster, Summary};
 pub use store::{SweepStore, SCHEMA_VERSION};
 pub use sweep::{default_jobs, run_sweep, SweepConfig, SweepResult};

@@ -12,13 +12,18 @@
 //! are deterministic per seed and identical for every shard count, which
 //! is what the benchmark and the CI smoke job assert.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use ids_sim::reactive::{ModalMonitor, SweepOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rts_adapt::engine::{Request, Response, RtSpec};
+use rts_adapt::engine::{AdaptEngine, Request, Response, RtSpec};
+use rts_adapt::proto::render_request;
+use rts_adapt::reactor::{serve_reactor, ReactorOptions, Shutdown};
 use rts_adapt::shard::{ShardReport, ShardedEngine};
 use rts_analysis::semi::CarryInStrategy;
 use rts_model::delta::{DeltaEvent, MonitorSpec};
@@ -104,11 +109,7 @@ impl ServiceReport {
     /// Panics if no latencies were recorded or `q` is out of range.
     #[must_use]
     pub fn percentile_us(&self, q: f64) -> f64 {
-        assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
-        assert!(!self.latencies_us.is_empty(), "no latencies recorded");
-        let n = self.latencies_us.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.latencies_us[rank - 1]
+        percentile(&self.latencies_us, q)
     }
 
     /// Aggregated memo hits across all shards.
@@ -122,6 +123,16 @@ impl ServiceReport {
     pub fn memo_misses(&self) -> u64 {
         self.shards.iter().map(|s| s.memo.misses).sum()
     }
+}
+
+/// Percentile of an ascending-sorted latency population (`q` in
+/// `(0, 1]`), in microseconds.
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+    assert!(!sorted_us.is_empty(), "no latencies recorded");
+    let n = sorted_us.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted_us[rank - 1]
 }
 
 /// Per-monitor generator state: the admission spec the engine holds for
@@ -263,96 +274,112 @@ fn random_arrival_spec(rng: &mut StdRng) -> MonitorSpec {
     .expect("drawn within the invariants")
 }
 
-/// Runs the load: registers the fleet, streams `config.requests`
-/// adaptation requests in batches, measures per-request latency.
-///
-/// # Panics
-///
-/// Panics if the engine ever loses a request (every submitted request
-/// must be answered exactly once) or a registration fails — both would
-/// invalidate the benchmark populations.
-#[must_use]
-pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, config.shards);
+/// The seeded request generator behind both the in-process load and the
+/// recorded (reactor/TCP) workload: fleet state, batch-windowed draws,
+/// verdict reconciliation. Both consumers must consume the RNG
+/// identically, so the draw and reconcile steps live here exactly once —
+/// this is what keeps the recorded stream's verdict populations
+/// byte-identical to the in-process benchmark's for the same seed.
+struct StreamGenerator {
+    rng: StdRng,
+    tenants: Vec<TenantSim>,
+}
 
-    // ---- Fleet setup (untimed): register + initial arrivals. ----
-    let mut tenants: Vec<TenantSim> = Vec::with_capacity(config.tenants);
-    for index in 0..config.tenants {
-        let id = 1 + index as u64;
-        let (system, specs) = synthesize_tenant(index, &mut rng);
-        let answers = pool.process(vec![register_request(id, &system)]);
-        assert!(
-            answers[0].is_admitted(),
-            "tenant {id} registration failed: {:?} (assemble_system guarantees Eq. 1)",
-            answers[0]
-        );
-        let mut sim = TenantSim {
-            id,
-            monitors: Vec::new(),
-            locked: false,
+impl StreamGenerator {
+    /// Runs the untimed fleet setup through `handle` (registrations plus
+    /// initial arrivals), recording every issued request in `setup`.
+    fn setup(
+        config: &ServiceConfig,
+        mut handle: impl FnMut(Request) -> Response,
+        setup: &mut Vec<Request>,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tenants: Vec<TenantSim> = Vec::with_capacity(config.tenants);
+        let mut issue = |req: Request, handle: &mut dyn FnMut(Request) -> Response| {
+            setup.push(req.clone());
+            handle(req)
         };
-        for (slot, spec) in specs.into_iter().enumerate() {
-            let answers = pool.process(vec![Request::Delta {
-                tenant: id,
-                event: DeltaEvent::Arrival { monitor: spec },
-            }]);
-            // A rejected initial arrival is simply not part of the fleet.
-            if answers[0].is_admitted() {
+        for index in 0..config.tenants {
+            let id = 1 + index as u64;
+            let (system, specs) = synthesize_tenant(index, &mut rng);
+            let answer = issue(register_request(id, &system), &mut handle);
+            assert!(
+                answer.is_admitted(),
+                "tenant {id} registration failed: {answer:?} (assemble_system guarantees Eq. 1)"
+            );
+            let mut sim = TenantSim {
+                id,
+                monitors: Vec::new(),
+                locked: false,
+            };
+            for (slot, spec) in specs.into_iter().enumerate() {
+                let answer = issue(
+                    Request::Delta {
+                        tenant: id,
+                        event: DeltaEvent::Arrival { monitor: spec },
+                    },
+                    &mut handle,
+                );
+                // A rejected initial arrival is simply not part of the fleet.
+                if answer.is_admitted() {
+                    sim.monitors.push(MonitorSlot {
+                        spec,
+                        machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
+                    });
+                }
+            }
+            if sim.monitors.is_empty() {
+                // Guarantee at least one monitor per tenant so slot events
+                // always have a target.
+                let tiny = MonitorSpec::fixed(Duration::from_ticks(10), Duration::from_ms(3000))
+                    .expect("valid by construction");
+                let answer = issue(
+                    Request::Delta {
+                        tenant: id,
+                        event: DeltaEvent::Arrival { monitor: tiny },
+                    },
+                    &mut handle,
+                );
+                assert!(answer.is_admitted(), "a 1 ms monitor must fit");
                 sim.monitors.push(MonitorSlot {
-                    spec,
-                    machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
+                    spec: tiny,
+                    machine: ModalMonitor::from_spec(tiny, 1),
                 });
             }
+            tenants.push(sim);
         }
-        if sim.monitors.is_empty() {
-            // Guarantee at least one monitor per tenant so slot events
-            // always have a target.
-            let tiny = MonitorSpec::fixed(Duration::from_ticks(10), Duration::from_ms(3000))
-                .expect("valid by construction");
-            let answers = pool.process(vec![Request::Delta {
-                tenant: id,
-                event: DeltaEvent::Arrival { monitor: tiny },
-            }]);
-            assert!(answers[0].is_admitted(), "a 1 ms monitor must fit");
-            sim.monitors.push(MonitorSlot {
-                spec: tiny,
-                machine: ModalMonitor::from_spec(tiny, 1),
-            });
-        }
-        tenants.push(sim);
+        StreamGenerator { rng, tenants }
     }
 
-    // ---- The timed stream. ----
-    let mut latencies_ns: Vec<u64> = Vec::with_capacity(config.requests);
-    let (mut accepted, mut rejected, mut errors) = (0u64, 0u64, 0u64);
-    let mut remaining = config.requests;
-    let started = Instant::now();
-    while remaining > 0 {
-        let round = remaining.min(config.batch.max(1));
+    /// Draws one batch of `round` requests. A tenant with a structural
+    /// event in flight is locked until the verdict reconciles, so slot
+    /// indices can never race ahead of the engine's table.
+    fn draw_round(&mut self, round: usize) -> (Vec<(u64, Request)>, HashMap<u64, Pending>) {
         let mut batch: Vec<(u64, Request)> = Vec::with_capacity(round);
         let mut pending: HashMap<u64, Pending> = HashMap::with_capacity(round);
         let mut seq = 0u64;
         let mut locked_count = 0usize;
         while batch.len() < round {
-            let tenant_index = rng.gen_range(0..tenants.len());
-            if tenants[tenant_index].locked {
+            let tenant_index = self.rng.gen_range(0..self.tenants.len());
+            if self.tenants[tenant_index].locked {
                 continue; // structural event in flight; pick another tenant
             }
             // Locking the last unlocked tenant would livelock the batch
             // builder, so structural events require a spare tenant; the
             // fallback is always a mode switch (tables never go empty —
             // MIN_MONITORS is maintained below).
-            let can_lock = locked_count + 1 < tenants.len();
-            let sim = &mut tenants[tenant_index];
+            let can_lock = locked_count + 1 < self.tenants.len();
+            let sim = &mut self.tenants[tenant_index];
             debug_assert!(!sim.monitors.is_empty());
-            let roll = rng.gen_range(0..100u32);
+            let roll = self.rng.gen_range(0..100u32);
             let (event, action) = if (94..96).contains(&roll) {
                 // WCET re-profiling within the slot's T^max.
-                let slot = rng.gen_range(0..sim.monitors.len());
+                let slot = self.rng.gen_range(0..sim.monitors.len());
                 let t_max = sim.monitors[slot].spec.t_max();
-                let passive = rng.gen_range(10..=t_max.as_ticks() / 40);
-                let active = rng.gen_range(passive..=(passive * 8).min(t_max.as_ticks() / 3));
+                let passive = self.rng.gen_range(10..=t_max.as_ticks() / 40);
+                let active = self
+                    .rng
+                    .gen_range(passive..=(passive * 8).min(t_max.as_ticks() / 3));
                 let spec = MonitorSpec::modal(
                     Duration::from_ticks(passive),
                     Duration::from_ticks(active),
@@ -372,7 +399,7 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
                     },
                 )
             } else if (96..98).contains(&roll) && sim.monitors.len() < MAX_MONITORS && can_lock {
-                let spec = random_arrival_spec(&mut rng);
+                let spec = random_arrival_spec(&mut self.rng);
                 sim.locked = true;
                 locked_count += 1;
                 (
@@ -383,7 +410,7 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
                     },
                 )
             } else if roll >= 98 && sim.monitors.len() > MIN_MONITORS && can_lock {
-                let slot = rng.gen_range(0..sim.monitors.len());
+                let slot = self.rng.gen_range(0..sim.monitors.len());
                 sim.locked = true;
                 locked_count += 1;
                 (
@@ -396,7 +423,7 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
             } else {
                 // Mode switch from the reactive machine — the dominant
                 // case (~94 %) and the fallback for everything else.
-                let slot = rng.gen_range(0..sim.monitors.len());
+                let slot = self.rng.gen_range(0..sim.monitors.len());
                 let event = next_mode_event(slot, &mut sim.monitors[slot].machine);
                 (event, Pending::Other)
             };
@@ -410,7 +437,152 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
             ));
             seq += 1;
         }
+        (batch, pending)
+    }
 
+    /// Reconciles one verdict with the generator's tables. RNG-free and
+    /// per-tenant independent, so reconciliation order across tenants
+    /// does not affect the drawn stream.
+    fn reconcile(&mut self, action: Pending, verdict_accepted: bool) {
+        match action {
+            Pending::Arrival { tenant, spec } => {
+                let sim = &mut self.tenants[tenant];
+                if verdict_accepted {
+                    let slot = sim.monitors.len();
+                    sim.monitors.push(MonitorSlot {
+                        spec,
+                        machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
+                    });
+                }
+                sim.locked = false;
+            }
+            Pending::Departure { tenant, slot } => {
+                let sim = &mut self.tenants[tenant];
+                assert!(verdict_accepted, "a valid departure is always admitted");
+                sim.monitors.remove(slot);
+                sim.locked = false;
+            }
+            Pending::WcetUpdate { tenant, slot, spec } => {
+                if verdict_accepted {
+                    self.tenants[tenant].monitors[slot].spec = spec;
+                }
+            }
+            Pending::Other => {}
+        }
+    }
+}
+
+/// A pre-recorded service workload: the setup requests (registrations
+/// plus initial arrivals, untimed), the adaptation stream in submission
+/// order, and the exact verdict populations the stream produces.
+/// Because tenants are fully independent and each tenant's events are in
+/// stream order, replaying this stream — through any engine, any shard
+/// count, any connection fan-out that preserves per-tenant order —
+/// reproduces the populations bit-identically. This is what lets the
+/// reactor benchmark drive real TCP connections while still asserting
+/// the exact populations of the in-process baseline.
+#[derive(Clone, Debug)]
+pub struct RecordedWorkload {
+    /// The configuration that was recorded.
+    pub config: ServiceConfig,
+    /// Fleet setup requests, in issue order.
+    pub setup: Vec<Request>,
+    /// The adaptation stream, in submission order.
+    pub stream: Vec<Request>,
+    /// Stream requests answered `accept` on the recording run.
+    pub accepted: u64,
+    /// Stream requests answered `reject` on the recording run.
+    pub rejected: u64,
+    /// Seconds the recording engine spent inside `handle` for the
+    /// stream — the single-threaded solver floor of this workload.
+    pub solve_secs: f64,
+}
+
+/// Records the seeded workload by driving the generator against one
+/// inline [`AdaptEngine`]. The RNG consumption is identical to
+/// [`run_service_load`]'s (same batch-windowed draws, same
+/// reconciliation effects), so the recorded stream and its populations
+/// match the in-process benchmark exactly for the same config.
+///
+/// # Panics
+///
+/// Panics if a registration fails or the stream produces a usage error —
+/// both would invalidate the benchmark populations.
+#[must_use]
+pub fn record_workload(config: &ServiceConfig) -> RecordedWorkload {
+    let mut engine = AdaptEngine::new(CarryInStrategy::TopDiff);
+    let mut setup = Vec::new();
+    let mut generator = StreamGenerator::setup(config, |req| engine.handle(&req), &mut setup);
+    let mut stream: Vec<Request> = Vec::with_capacity(config.requests);
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    let mut solve = std::time::Duration::ZERO;
+    let mut remaining = config.requests;
+    while remaining > 0 {
+        let round = remaining.min(config.batch.max(1));
+        let (batch, mut pending) = generator.draw_round(round);
+        for (seq, request) in batch {
+            let solved_at = Instant::now();
+            let response = engine.handle(&request);
+            solve += solved_at.elapsed();
+            let verdict_accepted = match &response {
+                Response::Admitted(_) => {
+                    accepted += 1;
+                    true
+                }
+                Response::Rejected { .. } => {
+                    rejected += 1;
+                    false
+                }
+                other => panic!("recording run hit a non-verdict answer: {other:?}"),
+            };
+            let action = pending.remove(&seq).expect("every request was drawn");
+            generator.reconcile(action, verdict_accepted);
+            stream.push(request);
+        }
+        remaining -= round;
+    }
+    RecordedWorkload {
+        config: *config,
+        setup,
+        stream,
+        accepted,
+        rejected,
+        solve_secs: solve.as_secs_f64(),
+    }
+}
+
+/// Runs the load: registers the fleet, streams `config.requests`
+/// adaptation requests in batches, measures per-request latency.
+///
+/// # Panics
+///
+/// Panics if the engine ever loses a request (every submitted request
+/// must be answered exactly once) or a registration fails — both would
+/// invalidate the benchmark populations.
+#[must_use]
+pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
+    let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, config.shards);
+
+    // ---- Fleet setup (untimed): register + initial arrivals. ----
+    let mut setup = Vec::new();
+    let mut generator = StreamGenerator::setup(
+        config,
+        |req| {
+            pool.process(vec![req])
+                .pop()
+                .expect("one answer per request")
+        },
+        &mut setup,
+    );
+
+    // ---- The timed stream. ----
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(config.requests);
+    let (mut accepted, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+    let mut remaining = config.requests;
+    let started = Instant::now();
+    while remaining > 0 {
+        let round = remaining.min(config.batch.max(1));
+        let (batch, mut pending) = generator.draw_round(round);
         let submitted_at = Instant::now();
         pool.submit_batch(batch);
         while let Some((answer_seq, response)) = pool.recv() {
@@ -433,34 +605,10 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
                 }
             };
             // Reconcile the generator's table with the engine's verdict.
-            match pending
+            let action = pending
                 .remove(&answer_seq)
-                .expect("every response matches a submitted request")
-            {
-                Pending::Arrival { tenant, spec } => {
-                    let sim = &mut tenants[tenant];
-                    if verdict_accepted {
-                        let slot = sim.monitors.len();
-                        sim.monitors.push(MonitorSlot {
-                            spec,
-                            machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
-                        });
-                    }
-                    sim.locked = false;
-                }
-                Pending::Departure { tenant, slot } => {
-                    let sim = &mut tenants[tenant];
-                    assert!(verdict_accepted, "a valid departure is always admitted");
-                    sim.monitors.remove(slot);
-                    sim.locked = false;
-                }
-                Pending::WcetUpdate { tenant, slot, spec } => {
-                    if verdict_accepted {
-                        tenants[tenant].monitors[slot].spec = spec;
-                    }
-                }
-                Pending::Other => {}
-            }
+                .expect("every response matches a submitted request");
+            generator.reconcile(action, verdict_accepted);
         }
         remaining -= round;
     }
@@ -480,6 +628,249 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
         rejected,
         errors,
         shards,
+    }
+}
+
+/// Outcome of one reactor (TCP) replay at a fixed connection count.
+#[derive(Clone, Debug)]
+pub struct ReactorLoadReport {
+    /// Connections opened against the reactor (idle ones included when
+    /// there are more connections than tenants).
+    pub conns: usize,
+    /// Pipelining window per connection during the timed stream.
+    pub window: usize,
+    /// Wall time of the timed stream (setup excluded).
+    pub wall_secs: f64,
+    /// Client-side send→receive latencies in microseconds, sorted.
+    pub latencies_us: Vec<f64>,
+    /// Stream requests answered `accept`.
+    pub accepted: u64,
+    /// Stream requests answered `reject`.
+    pub rejected: u64,
+    /// Stream requests answered anything else (must be zero).
+    pub errors: u64,
+}
+
+impl ReactorLoadReport {
+    /// Responses received during the timed stream.
+    #[must_use]
+    pub fn responses(&self) -> u64 {
+        self.accepted + self.rejected + self.errors
+    }
+
+    /// Requests per second over the timed stream.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_secs == 0.0 {
+            0.0
+        } else {
+            self.latencies_us.len() as f64 / self.wall_secs
+        }
+    }
+
+    /// Latency percentile (`q` in `(0, 1]`), in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no latencies were recorded or `q` is out of range.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        percentile(&self.latencies_us, q)
+    }
+}
+
+/// The tenant a request addresses (every protocol request names one).
+fn tenant_of(request: &Request) -> u64 {
+    match request {
+        Request::Register { tenant, .. }
+        | Request::Delta { tenant, .. }
+        | Request::Query { tenant }
+        | Request::Export { tenant }
+        | Request::Import { tenant, .. }
+        | Request::Evict { tenant } => *tenant,
+    }
+}
+
+#[derive(Default)]
+struct ClientTotals {
+    latencies_us: Vec<f64>,
+    accepted: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// Windowed pipelining over one connection: at most `window` requests
+/// outstanding, so neither side's backlog can deadlock the replay. In
+/// the timed phase every response's send→receive latency is recorded;
+/// in the untimed setup phase error verdicts are fatal (the recorded
+/// setup never errors).
+fn pump(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    lines: &[String],
+    window: usize,
+    timed: bool,
+    totals: &mut ClientTotals,
+) {
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut stamps: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut line = String::new();
+    while received < lines.len() {
+        while sent < lines.len() && sent - received < window {
+            writer
+                .write_all(lines[sent].as_bytes())
+                .expect("request write");
+            writer.write_all(b"\n").expect("request write");
+            if timed {
+                stamps.push_back(Instant::now());
+            }
+            sent += 1;
+        }
+        line.clear();
+        let n = reader.read_line(&mut line).expect("response read");
+        assert!(n > 0, "reactor closed the connection mid-replay");
+        if timed {
+            let stamp = stamps.pop_front().expect("a stamp per response");
+            totals
+                .latencies_us
+                .push(stamp.elapsed().as_nanos() as f64 / 1000.0);
+            if line.contains("\"verdict\":\"accept\"") {
+                totals.accepted += 1;
+            } else if line.contains("\"verdict\":\"reject\"") {
+                totals.rejected += 1;
+            } else {
+                totals.errors += 1;
+            }
+        } else {
+            assert!(
+                !line.contains("\"verdict\":\"error\""),
+                "setup request errored over TCP: {line}"
+            );
+        }
+        received += 1;
+    }
+}
+
+/// One client connection of the reactor replay: untimed setup, a
+/// barrier, the timed stream, a barrier (idle connections — empty
+/// scripts — just hold their slot open across the timed phase).
+fn drive_connection(
+    addr: SocketAddr,
+    setup: Vec<String>,
+    stream: Vec<String>,
+    window: usize,
+    start: &Barrier,
+    finish: &Barrier,
+) -> ClientTotals {
+    let sock = TcpStream::connect(addr).expect("connect to the reactor");
+    sock.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone the stream"));
+    let mut writer = sock;
+    let mut totals = ClientTotals::default();
+    pump(
+        &mut writer,
+        &mut reader,
+        &setup,
+        window.max(16),
+        false,
+        &mut totals,
+    );
+    start.wait();
+    pump(&mut writer, &mut reader, &stream, window, true, &mut totals);
+    finish.wait();
+    totals
+}
+
+/// Replays a recorded workload against a live [`serve_reactor`] over
+/// real TCP with `conns` connections. Tenants are assigned to
+/// connections with per-tenant affinity (a tenant's requests all ride
+/// one connection, in stream order), which is the only ordering the
+/// verdict populations need — so `accepted`/`rejected` must equal the
+/// recorded run's exactly, at every connection count. When `conns`
+/// exceeds the tenant count, the surplus connections are opened and
+/// held idle across the timed phase: the connection axis then also
+/// measures the reactor's slot-table overhead, not just parallelism.
+///
+/// The per-connection pipelining window is scaled so roughly 64
+/// requests are outstanding across the whole replay regardless of the
+/// connection count, keeping the shard queues saturated without
+/// letting queueing dominate the client-side latencies.
+///
+/// # Panics
+///
+/// Panics on connection failures, on a reactor error, or if the replay
+/// loses a request.
+#[must_use]
+pub fn run_reactor_load(workload: &RecordedWorkload, conns: usize) -> ReactorLoadReport {
+    assert!(conns >= 1, "at least one connection");
+    let active = conns.min(workload.config.tenants.max(1));
+    let window = (64 / active).max(1);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("listener address");
+    let shutdown = Shutdown::new();
+    let server = {
+        let shutdown = Arc::clone(&shutdown);
+        let mut options = ReactorOptions::new(CarryInStrategy::TopDiff, workload.config.shards);
+        options.max_conns = conns + 8;
+        std::thread::spawn(move || serve_reactor(listener, &options, &shutdown))
+    };
+
+    // Tenant ids start at 1; affinity keeps a tenant's setup and stream
+    // on one connection, in order.
+    let conn_of = |tenant: u64| ((tenant - 1) as usize) % active;
+    let mut setup: Vec<Vec<String>> = vec![Vec::new(); conns];
+    for request in &workload.setup {
+        setup[conn_of(tenant_of(request))].push(render_request(request));
+    }
+    let mut stream: Vec<Vec<String>> = vec![Vec::new(); conns];
+    for request in &workload.stream {
+        stream[conn_of(tenant_of(request))].push(render_request(request));
+    }
+
+    let start = Arc::new(Barrier::new(conns + 1));
+    let finish = Arc::new(Barrier::new(conns + 1));
+    let clients: Vec<_> = setup
+        .into_iter()
+        .zip(stream)
+        .map(|(setup, stream)| {
+            let start = Arc::clone(&start);
+            let finish = Arc::clone(&finish);
+            std::thread::spawn(move || {
+                drive_connection(addr, setup, stream, window, &start, &finish)
+            })
+        })
+        .collect();
+
+    start.wait();
+    let started = Instant::now();
+    finish.wait();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut totals = ClientTotals::default();
+    for client in clients {
+        let t = client.join().expect("client thread");
+        totals.latencies_us.extend(t.latencies_us);
+        totals.accepted += t.accepted;
+        totals.rejected += t.rejected;
+        totals.errors += t.errors;
+    }
+    shutdown.request();
+    server
+        .join()
+        .expect("reactor thread")
+        .expect("reactor run failed");
+    totals
+        .latencies_us
+        .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    ReactorLoadReport {
+        conns,
+        window,
+        wall_secs,
+        latencies_us: totals.latencies_us,
+        accepted: totals.accepted,
+        rejected: totals.rejected,
+        errors: totals.errors,
     }
 }
 
@@ -523,6 +914,23 @@ mod tests {
             assert_eq!(run.accepted, base.accepted, "shards={shards}");
             assert_eq!(run.rejected, base.rejected, "shards={shards}");
             assert_eq!(run.errors, 0);
+        }
+    }
+
+    /// The TCP replay reproduces the recorded populations exactly at
+    /// every point of the connection axis — including more connections
+    /// than tenants (the surplus held idle).
+    #[test]
+    fn reactor_replay_reproduces_recorded_populations_at_any_fan_out() {
+        let recorded = record_workload(&tiny());
+        assert_eq!(recorded.stream.len(), 300);
+        for conns in [1, 3, 7] {
+            let replay = run_reactor_load(&recorded, conns);
+            assert_eq!(replay.responses(), 300, "conns={conns}");
+            assert_eq!(replay.errors, 0, "conns={conns}");
+            assert_eq!(replay.accepted, recorded.accepted, "conns={conns}");
+            assert_eq!(replay.rejected, recorded.rejected, "conns={conns}");
+            assert!(replay.percentile_us(0.5) > 0.0);
         }
     }
 }

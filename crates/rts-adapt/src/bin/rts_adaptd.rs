@@ -4,31 +4,48 @@
 //!
 //! ```sh
 //! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
-//!            [--tcp ADDR] [--max-conns N] [--journal DIR]
+//!            [--tcp ADDR] [--threaded] [--max-conns N] [--journal DIR]
 //!            [--compact-every N]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
 //! (one JSON request per line, one JSON response per line — see
 //! `rts_adapt::proto`); with `--tcp ADDR` it binds the address and
-//! serves up to `--max-conns` connections concurrently (default 64),
-//! keeping tenant state shared across all of them. With `--journal DIR`
-//! every registration and accepted delta is appended to a per-tenant
-//! event log under `DIR`, and existing journals are **replayed on
-//! startup** (snapshot restore, then the tail) in both stdin and TCP
-//! modes — a restarted daemon answers for every previously journaled
-//! tenant without re-registration (see `rts_adapt::journal`). A
-//! tenant's journal is automatically compacted to a registration +
-//! snapshot pair once its tail reaches `--compact-every` accepted
-//! deltas (default 512; `0` disables compaction). The `export` /
-//! `import` / `evict` protocol verbs hand a tenant off between two
-//! daemons (see the README's Operations section for the runbook).
+//! serves up to `--max-conns` connections (default 64) through the
+//! event-driven reactor (`rts_adapt::reactor`): one epoll thread, one
+//! engine shard pool, no per-connection threads. `--threaded` selects
+//! the legacy thread-per-connection front end instead (kept for parity
+//! testing; it serves until the process is killed). `--batch` bounds
+//! request batching in the stdin and threaded modes; the reactor
+//! batches by readiness instead.
+//!
+//! **Graceful shutdown**: in stdin mode, EOF ends the serve loop; in
+//! reactor mode, a watcher thread waits for stdin EOF (Ctrl-D, or the
+//! supervisor closing the pipe) and asks the reactor to drain — the
+//! listener closes, already-connected clients are served until quiet,
+//! and the shard workers are joined. Both paths fsync journal appends
+//! as they happen, so an orderly stop loses no accepted delta.
+//!
+//! With `--journal DIR` every registration and accepted delta is
+//! appended to a per-tenant event log under `DIR`, and existing
+//! journals are **replayed on startup** (snapshot restore, then the
+//! tail) in every mode — a restarted daemon answers for every
+//! previously journaled tenant without re-registration (see
+//! `rts_adapt::journal`). A tenant's journal is automatically compacted
+//! to a registration + snapshot pair once its tail reaches
+//! `--compact-every` accepted deltas (default 512; `0` disables
+//! compaction). The `export` / `import` / `evict` protocol verbs hand a
+//! tenant off between two daemons (see the README's Operations section
+//! for the runbook).
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read};
+use std::net::TcpListener;
+use std::sync::Arc;
 
 use rts_adapt::journal::JournalDir;
+use rts_adapt::reactor::{serve_reactor, ReactorOptions, Shutdown};
 use rts_adapt::server::{serve, serve_tcp, shared};
-use rts_adapt::shard::ShardedEngine;
+use rts_adapt::shard::{ShardReport, ShardedEngine};
 use rts_analysis::semi::CarryInStrategy;
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -36,6 +53,21 @@ fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn report_shards(reports: &[ShardReport]) {
+    let handled: u64 = reports.iter().map(|r| r.handled).sum();
+    let hits: u64 = reports.iter().map(|r| r.memo.hits).sum();
+    let misses: u64 = reports.iter().map(|r| r.memo.misses).sum();
+    eprintln!(
+        "rts_adaptd: {} shards handled {handled} requests ({hits} memo hits, {misses} misses)",
+        reports.len()
+    );
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("rts_adaptd: {e}");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -63,47 +95,75 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(512usize);
 
-    let mut engine = match arg_value(&args, "--journal") {
-        Some(dir) => ShardedEngine::with_journal(
-            strategy,
-            shards,
-            JournalDir::at(dir).with_compaction(compact_every),
-        ),
-        None => ShardedEngine::new(strategy, shards),
-    };
-    let result = match arg_value(&args, "--tcp") {
+    let journal =
+        arg_value(&args, "--journal").map(|dir| JournalDir::at(dir).with_compaction(compact_every));
+    let threaded = args.iter().any(|a| a == "--threaded");
+
+    match arg_value(&args, "--tcp") {
+        Some(addr) if !threaded => {
+            // Event-driven front end: the reactor owns its shard pool
+            // (the completion waker is installed at construction).
+            let listener = TcpListener::bind(addr).unwrap_or_else(|e| fail(e));
+            let mut options = ReactorOptions::new(strategy, shards);
+            options.journal = journal;
+            options.max_conns = max_conns;
+            let shutdown = Shutdown::new();
+            let watcher = Arc::clone(&shutdown);
+            // Stdin EOF (Ctrl-D, or the supervisor closing the pipe)
+            // requests the drain; any bytes before EOF are discarded.
+            std::thread::spawn(move || {
+                let mut sink = [0u8; 4096];
+                let mut stdin = io::stdin().lock();
+                loop {
+                    match stdin.read(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                watcher.request();
+            });
+            let summary = serve_reactor(listener, &options, &shutdown).unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "rts_adaptd: {} requests ({} parse errors), {} connections accepted, {} refused",
+                summary.requests,
+                summary.parse_errors,
+                summary.accepted_conns,
+                summary.refused_conns
+            );
+            report_shards(&summary.reports);
+        }
         Some(addr) => {
-            // The accept loop only returns on a bind/accept failure; the
-            // shared engine is torn down with the process.
+            // Legacy thread-per-connection front end, kept for parity
+            // testing; serves until the process is killed.
+            let engine = match journal {
+                Some(journal) => ShardedEngine::with_journal(strategy, shards, journal),
+                None => ShardedEngine::new(strategy, shards),
+            };
             let engine = shared(engine);
-            let result = serve_tcp(&engine, addr, batch, max_conns);
-            if let Err(e) = result {
-                eprintln!("rts_adaptd: {e}");
-                std::process::exit(1);
+            if let Err(e) = serve_tcp(&engine, addr, batch, max_conns) {
+                fail(e);
             }
             unreachable!("serve_tcp only returns on error");
         }
         None => {
+            let mut engine = match journal {
+                Some(journal) => ShardedEngine::with_journal(strategy, shards, journal),
+                None => ShardedEngine::new(strategy, shards),
+            };
             let stdin = io::stdin().lock();
             let stdout = io::stdout().lock();
-            serve(&mut engine, BufReader::new(stdin), stdout, batch).map(|summary| {
-                eprintln!(
-                    "rts_adaptd: {} requests, {} parse errors",
-                    summary.requests, summary.parse_errors
-                );
-            })
+            let result = serve(&mut engine, BufReader::new(stdin), stdout, batch);
+            let reports = engine.shutdown();
+            match result {
+                Ok(summary) => {
+                    eprintln!(
+                        "rts_adaptd: {} requests, {} parse errors",
+                        summary.requests, summary.parse_errors
+                    );
+                    report_shards(&reports);
+                }
+                Err(e) => fail(e),
+            }
         }
-    };
-    let reports = engine.shutdown();
-    let handled: u64 = reports.iter().map(|r| r.handled).sum();
-    let hits: u64 = reports.iter().map(|r| r.memo.hits).sum();
-    let misses: u64 = reports.iter().map(|r| r.memo.misses).sum();
-    eprintln!(
-        "rts_adaptd: {} shards handled {handled} requests ({hits} memo hits, {misses} misses)",
-        reports.len()
-    );
-    if let Err(e) = result {
-        eprintln!("rts_adaptd: {e}");
-        std::process::exit(1);
     }
 }

@@ -118,6 +118,7 @@ pub mod engine;
 pub mod journal;
 pub mod json;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod shard;
 pub mod tenant;
@@ -133,6 +134,7 @@ pub mod prelude {
 
 pub use engine::{AdaptEngine, Admitted, Request, Response, RtSpec};
 pub use journal::{replay, JournalDir, ReplayError, TenantHistory, TenantSnapshot};
+pub use reactor::{serve_reactor, ReactorOptions, ReactorSummary, Shutdown};
 pub use server::{serve, serve_shared, serve_tcp, shared, SharedEngine};
 pub use shard::ShardedEngine;
 pub use tenant::{ApplyError, MonitorEntry, TenantState};

@@ -50,24 +50,57 @@ use rts_model::time::{Duration, TICKS_PER_MS};
 use crate::engine::{Admitted, Request, Response, RtSpec};
 use crate::journal;
 use crate::json::{self, Json};
+use crate::shard::ShardSnapshot;
 
-/// Parses one request line.
+/// One parsed protocol line: either a request for the engine, or a verb
+/// the *serving layer* answers itself (`stats` needs per-shard queue
+/// depths and connection gauges no single engine worker can see).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// An ordinary engine request, dispatched to the tenant's shard.
+    Engine(Request),
+    /// `{"op":"stats"}` — answered immediately by the front end with
+    /// [`render_stats`], never entering a shard queue.
+    Stats,
+}
+
+/// Parses one protocol line into a [`Command`].
 ///
 /// # Errors
 ///
 /// A human-readable description of the first problem (syntax, missing
 /// field, out-of-range value). The caller turns it into a
 /// `verdict:"error"` response.
-pub fn parse_request(line: &str) -> Result<Request, String> {
+pub fn parse_command(line: &str) -> Result<Command, String> {
     let value = json::parse(line)?;
     let op = value
         .get("op")
         .and_then(Json::as_str)
         .ok_or("missing string field \"op\"")?;
-    let tenant = field_u64(&value, "tenant")?;
+    if op == "stats" {
+        return Ok(Command::Stats);
+    }
+    parse_engine_request(&value, op).map(Command::Engine)
+}
+
+/// Parses one request line for the engine. `stats` — a serving-layer
+/// verb — is rejected here; front ends use [`parse_command`].
+///
+/// # Errors
+///
+/// As for [`parse_command`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    match parse_command(line)? {
+        Command::Engine(request) => Ok(request),
+        Command::Stats => Err("\"stats\" is answered by the serving layer, not the engine".into()),
+    }
+}
+
+fn parse_engine_request(value: &Json, op: &str) -> Result<Request, String> {
+    let tenant = field_u64(value, "tenant")?;
     match op {
         "register" => {
-            let cores = field_u64(&value, "cores")? as usize;
+            let cores = field_u64(value, "cores")? as usize;
             let rt_items = value
                 .get("rt")
                 .and_then(Json::as_array)
@@ -88,12 +121,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Register { tenant, cores, rt })
         }
         "arrival" => {
-            let passive = field_duration(&value, "passive_ms")?;
+            let passive = field_duration(value, "passive_ms")?;
             let active = match value.get("active_ms") {
-                Some(_) => field_duration(&value, "active_ms")?,
+                Some(_) => field_duration(value, "active_ms")?,
                 None => passive,
             };
-            let t_max = field_duration(&value, "t_max_ms")?;
+            let t_max = field_duration(value, "t_max_ms")?;
             let monitor = MonitorSpec::modal(passive, active, t_max).map_err(|e| e.to_string())?;
             Ok(Request::Delta {
                 tenant,
@@ -103,15 +136,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "departure" => Ok(Request::Delta {
             tenant,
             event: DeltaEvent::Departure {
-                slot: field_u64(&value, "slot")? as usize,
+                slot: field_u64(value, "slot")? as usize,
             },
         }),
         "wcet_update" => Ok(Request::Delta {
             tenant,
             event: DeltaEvent::WcetUpdate {
-                slot: field_u64(&value, "slot")? as usize,
-                passive_wcet: field_duration(&value, "passive_ms")?,
-                active_wcet: field_duration(&value, "active_ms")?,
+                slot: field_u64(value, "slot")? as usize,
+                passive_wcet: field_duration(value, "passive_ms")?,
+                active_wcet: field_duration(value, "active_ms")?,
             },
         }),
         "mode" => {
@@ -124,7 +157,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Delta {
                 tenant,
                 event: DeltaEvent::ModeChange {
-                    slot: field_u64(&value, "slot")? as usize,
+                    slot: field_u64(value, "slot")? as usize,
                     mode,
                 },
             })
@@ -227,19 +260,156 @@ pub fn render_response(seq: u64, response: &Response) -> String {
     out
 }
 
+/// Connection gauges of a TCP front end, as reported by the `stats`
+/// verb. The stdin front end reports zeros (it has no connections).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ConnStats {
+    /// Connections currently being served.
+    pub live: usize,
+    /// Connections refused over the cap since startup.
+    pub refused: u64,
+    /// The `--max-conns` cap (0 when no cap applies).
+    pub max: usize,
+}
+
+/// Renders the answer to the `stats` verb: connection gauges plus one
+/// entry per shard (queue depth, handled count, memo statistics, tenant
+/// count), as a single JSON line (no trailing newline).
+#[must_use]
+pub fn render_stats(seq: u64, shards: &[ShardSnapshot], conns: ConnStats) -> String {
+    let mut out = String::with_capacity(128 + 96 * shards.len());
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"verdict\":\"stats\",\"conns\":{{\"live\":{},\"refused\":{},\
+         \"max\":{}}},\"shards\":[",
+        conns.live, conns.refused, conns.max
+    );
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"queue_depth\":{},\"handled\":{},\"memo_hits\":{},\
+             \"memo_misses\":{},\"memo_hit_rate\":{:.4},\"tenants\":{}}}",
+            s.shard,
+            s.queue_depth,
+            s.handled,
+            s.memo_hits,
+            s.memo_misses,
+            s.memo_hit_rate(),
+            s.tenants
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one request as a protocol line (no trailing newline) — the
+/// inverse of [`parse_request`] for every op, pinned by a round-trip
+/// test. Protocol *clients* use this: the reactor benchmark replays a
+/// recorded workload over real TCP connections with it.
+#[must_use]
+pub fn render_request(request: &Request) -> String {
+    let mut out = String::with_capacity(96);
+    match request {
+        Request::Register { tenant, cores, rt } => {
+            let _ = write!(
+                out,
+                "{{\"op\":\"register\",\"tenant\":{tenant},\"cores\":{cores},\"rt\":["
+            );
+            for (i, spec) in rt.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"wcet_ms\":");
+                write_ms(&mut out, spec.wcet);
+                out.push_str(",\"period_ms\":");
+                write_ms(&mut out, spec.period);
+                let _ = write!(out, ",\"core\":{}}}", spec.core);
+            }
+            out.push_str("]}");
+        }
+        Request::Delta { tenant, event } => match event {
+            DeltaEvent::Arrival { monitor } => {
+                let _ = write!(
+                    out,
+                    "{{\"op\":\"arrival\",\"tenant\":{tenant},\"passive_ms\":"
+                );
+                write_ms(&mut out, monitor.passive_wcet());
+                out.push_str(",\"active_ms\":");
+                write_ms(&mut out, monitor.active_wcet());
+                out.push_str(",\"t_max_ms\":");
+                write_ms(&mut out, monitor.t_max());
+                out.push('}');
+            }
+            DeltaEvent::Departure { slot } => {
+                let _ = write!(
+                    out,
+                    "{{\"op\":\"departure\",\"tenant\":{tenant},\"slot\":{slot}}}"
+                );
+            }
+            DeltaEvent::WcetUpdate {
+                slot,
+                passive_wcet,
+                active_wcet,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"op\":\"wcet_update\",\"tenant\":{tenant},\"slot\":{slot},\"passive_ms\":"
+                );
+                write_ms(&mut out, *passive_wcet);
+                out.push_str(",\"active_ms\":");
+                write_ms(&mut out, *active_wcet);
+                out.push('}');
+            }
+            DeltaEvent::ModeChange { slot, mode } => {
+                let mode = match mode {
+                    MonitorMode::Passive => "passive",
+                    MonitorMode::Active => "active",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"op\":\"mode\",\"tenant\":{tenant},\"slot\":{slot},\"mode\":\"{mode}\"}}"
+                );
+            }
+        },
+        Request::Query { tenant } => {
+            let _ = write!(out, "{{\"op\":\"query\",\"tenant\":{tenant}}}");
+        }
+        Request::Export { tenant } => {
+            let _ = write!(out, "{{\"op\":\"export\",\"tenant\":{tenant}}}");
+        }
+        Request::Import { tenant, history } => {
+            let _ = write!(out, "{{\"op\":\"import\",\"tenant\":{tenant},\"journal\":");
+            out.push_str(&journal::render_history(history));
+            out.push('}');
+        }
+        Request::Evict { tenant } => {
+            let _ = write!(out, "{{\"op\":\"evict\",\"tenant\":{tenant}}}");
+        }
+    }
+    out
+}
+
+/// One duration as an exact decimal `*_ms` value (ticks are tenths of
+/// a millisecond), so a render→parse round trip loses nothing.
+fn write_ms(out: &mut String, d: Duration) {
+    let ticks = d.as_ticks();
+    if ticks % TICKS_PER_MS == 0 {
+        let _ = write!(out, "{}", ticks / TICKS_PER_MS);
+    } else {
+        let _ = write!(out, "{}.{}", ticks / TICKS_PER_MS, ticks % TICKS_PER_MS);
+    }
+}
+
 fn write_ms_array(out: &mut String, durations: &[Duration]) {
     out.push('[');
     for (i, d) in durations.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        // Ticks are tenths of a millisecond: emit an exact decimal.
-        let ticks = d.as_ticks();
-        if ticks % TICKS_PER_MS == 0 {
-            let _ = write!(out, "{}", ticks / TICKS_PER_MS);
-        } else {
-            let _ = write!(out, "{}.{}", ticks / TICKS_PER_MS, ticks % TICKS_PER_MS);
-        }
+        write_ms(out, *d);
     }
     out.push(']');
 }
@@ -373,6 +543,73 @@ mod tests {
     }
 
     #[test]
+    fn stats_is_a_serving_layer_command() {
+        assert_eq!(parse_command(r#"{"op":"stats"}"#).unwrap(), Command::Stats);
+        // The engine-request parser refuses it with a pointed reason…
+        assert!(parse_request(r#"{"op":"stats"}"#)
+            .unwrap_err()
+            .contains("serving layer"));
+        // …while ordinary requests round-trip through parse_command.
+        assert_eq!(
+            parse_command(r#"{"op":"query","tenant":6}"#).unwrap(),
+            Command::Engine(Request::Query { tenant: 6 })
+        );
+    }
+
+    #[test]
+    fn stats_renders_as_a_single_json_line() {
+        let shards = vec![
+            ShardSnapshot {
+                shard: 0,
+                queue_depth: 3,
+                handled: 100,
+                memo_hits: 60,
+                memo_misses: 40,
+                tenants: 7,
+            },
+            ShardSnapshot {
+                shard: 1,
+                queue_depth: 0,
+                handled: 50,
+                memo_hits: 0,
+                memo_misses: 0,
+                tenants: 2,
+            },
+        ];
+        let line = render_stats(
+            9,
+            &shards,
+            ConnStats {
+                live: 12,
+                refused: 4,
+                max: 64,
+            },
+        );
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(9));
+        assert_eq!(parsed.get("verdict").and_then(Json::as_str), Some("stats"));
+        let conns = parsed.get("conns").unwrap();
+        assert_eq!(conns.get("live").and_then(Json::as_u64), Some(12));
+        assert_eq!(conns.get("refused").and_then(Json::as_u64), Some(4));
+        assert_eq!(conns.get("max").and_then(Json::as_u64), Some(64));
+        let rendered_shards = parsed.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(rendered_shards.len(), 2);
+        assert_eq!(
+            rendered_shards[0].get("queue_depth").and_then(Json::as_u64),
+            Some(3)
+        );
+        let rate = rendered_shards[0]
+            .get("memo_hit_rate")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((rate - 0.6).abs() < 1e-9, "{rate}");
+        assert_eq!(
+            rendered_shards[1].get("tenants").and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
     fn responses_render_as_single_json_lines() {
         let admitted = Response::Admitted(Admitted {
             tenant: 1,
@@ -404,5 +641,69 @@ mod tests {
             Some("a \"quoted\" reason")
         );
         assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(4));
+    }
+
+    /// `render_request` is the exact inverse of `parse_request`,
+    /// including fractional-millisecond durations.
+    #[test]
+    fn requests_render_and_reparse_identically() {
+        let modal = MonitorSpec::modal(
+            Duration::from_ticks(53_421), // 5342.1 ms: exercises the decimal
+            Duration::from_ticks(60_000),
+            Duration::from_ticks(100_005),
+        )
+        .unwrap();
+        let requests = vec![
+            Request::Register {
+                tenant: 7,
+                cores: 2,
+                rt: vec![
+                    RtSpec {
+                        wcet: ms(240),
+                        period: Duration::from_ticks(5_005),
+                        core: 0,
+                    },
+                    RtSpec {
+                        wcet: ms(1120),
+                        period: ms(5000),
+                        core: 1,
+                    },
+                ],
+            },
+            Request::Delta {
+                tenant: 7,
+                event: DeltaEvent::Arrival { monitor: modal },
+            },
+            Request::Delta {
+                tenant: 7,
+                event: DeltaEvent::Departure { slot: 2 },
+            },
+            Request::Delta {
+                tenant: 7,
+                event: DeltaEvent::WcetUpdate {
+                    slot: 1,
+                    passive_wcet: Duration::from_ticks(1_234),
+                    active_wcet: Duration::from_ticks(4_321),
+                },
+            },
+            Request::Delta {
+                tenant: 7,
+                event: DeltaEvent::ModeChange {
+                    slot: 0,
+                    mode: MonitorMode::Active,
+                },
+            },
+            Request::Query { tenant: 7 },
+            Request::Export { tenant: 7 },
+            Request::Evict { tenant: 7 },
+        ];
+        for request in requests {
+            let line = render_request(&request);
+            assert_eq!(
+                parse_request(&line).unwrap(),
+                request,
+                "round trip failed for {line}"
+            );
+        }
     }
 }

@@ -1,0 +1,954 @@
+//! The event-driven serving core: one epoll reactor thread, lock-free
+//! shard queues, no per-connection threads.
+//!
+//! [`serve_reactor`] replaces the thread-per-connection front end
+//! ([`crate::server::serve_listener`], kept for parity testing) with a
+//! single non-blocking event loop over the vendored `mio` shim:
+//!
+//! * **Accept** — the listener is polled for readiness; connections
+//!   beyond `max_conns` are refused with one protocol error line and
+//!   closed, never queued.
+//! * **Read** — per-connection buffers accumulate bytes until a newline;
+//!   complete lines are parsed and dispatched into the
+//!   [`ShardedEngine`]'s per-shard FIFO queues, tagged with a token that
+//!   packs `(connection slot, per-connection seq)` into the envelope's
+//!   `u64`. No lock is ever taken on the request path — the reactor is
+//!   the queues' single producer, each shard worker its single consumer.
+//! * **Wake** — workers signal finished batches through a poll
+//!   [`Waker`] (an `eventfd`), so responses interrupt the blocked
+//!   reactor immediately instead of riding the next I/O event.
+//! * **Write** — responses are re-ordered per connection by sequence
+//!   number (a connection's answers always arrive in line order, exactly
+//!   like the threaded front end), buffered, and flushed as far as the
+//!   socket allows; write interest is registered only while a backlog
+//!   exists.
+//!
+//! Backpressure is per connection and two-sided: a connection pauses
+//! (drops read interest) while it has [`HIGH_WATER`] requests in flight
+//! or an unflushed write backlog beyond [`WRITE_BACKLOG_HIGH`] bytes,
+//! and resumes below the low-water marks. A slow or dead reader
+//! therefore throttles only itself; the shard queues stay bounded.
+//!
+//! Ordering and determinism are inherited from [`crate::shard`]: a
+//! tenant's requests stay in submission order (they enter one FIFO in
+//! line order and tenants hash to exactly one shard), so verdict
+//! populations are bit-identical to the threaded front end and invariant
+//! to the shard count and the connection fan-out — pinned by the parity
+//! suite in `tests/proto_torture.rs`.
+//!
+//! Graceful shutdown ([`Shutdown::request`], wired to stdin EOF by the
+//! daemon): the reactor closes the listener so nothing new connects,
+//! keeps serving what already-connected clients have sent, and exits
+//! once everything is quiet — nothing in flight, every answer flushed,
+//! no buffered complete line unparsed — bounded by [`DRAIN_GRACE`].
+//! Only then is the pool shut down; journal appends are fsynced as they
+//! happen, so an orderly stop loses no accepted delta.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mio::unix::SourceFd;
+use mio::{Events, Interest, Poll, Registry, Token, Waker};
+use rts_analysis::semi::CarryInStrategy;
+
+use crate::engine::{Request, Response};
+use crate::journal::JournalDir;
+use crate::proto::{self, Command, ConnStats};
+use crate::server::{oversized_reason, refuse_connection, MAX_LINE_BYTES};
+use crate::shard::{ShardReport, ShardedEngine};
+
+/// The listener's poll token.
+const LISTENER: Token = Token(0);
+/// The waker's poll token (worker completions and shutdown requests).
+const WAKER: Token = Token(1);
+/// Connection slot `i` polls as `Token(CONN_BASE + i)`.
+const CONN_BASE: usize = 2;
+
+/// Envelope-token split: the low bits carry the per-connection line
+/// sequence, the high bits the connection slot. 2^40 lines per
+/// connection and 2^24 simultaneous slots are both far beyond reach.
+const SEQ_BITS: u32 = 40;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+/// Hard slot bound implied by the token split.
+const MAX_SLOTS: usize = 1 << (64 - SEQ_BITS);
+
+/// Requests a connection may have in flight before it stops being read.
+const HIGH_WATER: u64 = 1024;
+/// In-flight level at which a paused connection resumes reading.
+const LOW_WATER: u64 = 256;
+/// Unflushed response bytes at which a connection stops being read.
+const WRITE_BACKLOG_HIGH: usize = 1 << 20;
+/// Bytes read from one socket per readiness event before yielding to
+/// other connections (level-triggered polling re-delivers the rest).
+const READ_BUDGET: usize = 1 << 20;
+/// How long a draining reactor waits for in-flight answers to flush.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// Cross-thread shutdown request for a running [`serve_reactor`] loop.
+///
+/// The daemon arms one of these against stdin EOF; tests call
+/// [`Shutdown::request`] directly. Requesting is idempotent and may
+/// happen before the reactor starts (it then drains immediately).
+#[derive(Debug, Default)]
+pub struct Shutdown {
+    requested: AtomicBool,
+    waker: Mutex<Option<Arc<Waker>>>,
+}
+
+impl Shutdown {
+    /// A fresh, un-requested shutdown handle.
+    #[must_use]
+    pub fn new() -> Arc<Shutdown> {
+        Arc::new(Shutdown::default())
+    }
+
+    /// Asks the reactor to drain and exit; returns immediately.
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::Release);
+        let waker = self.waker.lock().expect("shutdown waker lock poisoned");
+        if let Some(waker) = &*waker {
+            let _ = waker.wake();
+        }
+    }
+
+    /// Whether a shutdown has been requested.
+    #[must_use]
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+
+    /// Installs the reactor's waker so a later `request` interrupts the
+    /// poll; re-signals if the request already happened (the race is a
+    /// request arriving between reactor startup and this install).
+    fn install(&self, waker: Arc<Waker>) {
+        *self.waker.lock().expect("shutdown waker lock poisoned") = Some(waker);
+        if self.is_requested() {
+            let guard = self.waker.lock().expect("shutdown waker lock poisoned");
+            if let Some(waker) = &*guard {
+                let _ = waker.wake();
+            }
+        }
+    }
+}
+
+/// Configuration of one [`serve_reactor`] run. The reactor owns its
+/// engine pool (the waker must be installed at construction), so it is
+/// built from this spec rather than passed in.
+#[derive(Clone, Debug)]
+pub struct ReactorOptions {
+    /// Carry-in strategy for every shard's engine.
+    pub strategy: CarryInStrategy,
+    /// Worker shard count (at least one).
+    pub shards: usize,
+    /// Optional per-tenant journal persistence (replayed on startup).
+    pub journal: Option<JournalDir>,
+    /// Simultaneous-connection cap; connections beyond it are refused
+    /// with a protocol error line.
+    pub max_conns: usize,
+}
+
+impl ReactorOptions {
+    /// Options with no journal and the daemon's default connection cap.
+    #[must_use]
+    pub fn new(strategy: CarryInStrategy, shards: usize) -> Self {
+        ReactorOptions {
+            strategy,
+            shards,
+            journal: None,
+            max_conns: 64,
+        }
+    }
+}
+
+/// Totals of one [`serve_reactor`] run.
+#[derive(Debug)]
+pub struct ReactorSummary {
+    /// Protocol lines received (including unparsable ones).
+    pub requests: u64,
+    /// Response lines queued to live connections in order.
+    pub responses: u64,
+    /// Responses with `verdict:"error"` due to unparsable lines.
+    pub parse_errors: u64,
+    /// Connections accepted over the run.
+    pub accepted_conns: u64,
+    /// Connections refused over the cap.
+    pub refused_conns: u64,
+    /// Per-shard reports from the pool shutdown.
+    pub reports: Vec<ShardReport>,
+}
+
+/// One live connection's state in the reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed (partial line at the front).
+    read_buf: Vec<u8>,
+    /// Inside an oversized line: discard until the next newline, then
+    /// answer a bounded error (mirrors the blocking reader's resync).
+    skipping: bool,
+    /// Sequence number of the next line this connection sends.
+    next_seq: u64,
+    /// Sequence number whose answer is written next (per-connection
+    /// answers go out strictly in line order).
+    next_write: u64,
+    /// Rendered answers that arrived ahead of `next_write`.
+    pending: BTreeMap<u64, String>,
+    write_buf: Vec<u8>,
+    /// Flushed prefix of `write_buf`.
+    written: usize,
+    /// Requests dispatched to the pool and not yet answered. The slot
+    /// (and its envelope token) stays reserved until this reaches zero,
+    /// even after the socket dies.
+    in_flight: u64,
+    /// EOF (or fatal read error) seen; no further lines.
+    read_closed: bool,
+    /// Socket unusable; pending answers are dropped, the slot lingers
+    /// only until `in_flight` drains.
+    dead: bool,
+    /// Read interest withdrawn until in-flight/backlog recede.
+    paused: bool,
+    /// Interest currently registered with the poller.
+    interest: Option<Interest>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            skipping: false,
+            next_seq: 0,
+            next_write: 0,
+            pending: BTreeMap::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            in_flight: 0,
+            read_closed: false,
+            dead: false,
+            paused: false,
+            interest: None,
+        }
+    }
+
+    fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
+
+    /// Two-sided pause with hysteresis, so a connection at the
+    /// high-water mark does not flap interest on every single response.
+    fn refresh_pause(&mut self) {
+        if self.paused {
+            if self.in_flight <= LOW_WATER && self.write_backlog() < WRITE_BACKLOG_HIGH / 2 {
+                self.paused = false;
+            }
+        } else if self.in_flight >= HIGH_WATER || self.write_backlog() >= WRITE_BACKLOG_HIGH {
+            self.paused = true;
+        }
+    }
+
+    /// The slot can be released: nothing in flight and either the
+    /// socket is gone or everything was answered and flushed.
+    fn finished(&self) -> bool {
+        self.in_flight == 0
+            && (self.dead
+                || (self.read_closed && self.pending.is_empty() && self.write_backlog() == 0))
+    }
+}
+
+struct Reactor {
+    registry: Registry,
+    pool: ShardedEngine,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    max_conns: usize,
+    draining: bool,
+    requests: u64,
+    responses: u64,
+    parse_errors: u64,
+    accepted_conns: u64,
+    refused_conns: u64,
+}
+
+impl Reactor {
+    fn conn_stats(&self) -> ConnStats {
+        ConnStats {
+            live: self.live,
+            refused: self.refused_conns,
+            max: self.max_conns,
+        }
+    }
+
+    /// Accepts until the listener would block, refusing over the cap.
+    fn accept_ready(&mut self) {
+        while let Some(listener) = &self.listener {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.live >= self.max_conns {
+                        self.refused_conns += 1;
+                        // Best effort on a non-blocking socket: the
+                        // refusal line is one small write into an empty
+                        // send buffer, lost only if the peer is already
+                        // gone.
+                        let _ = stream.set_nonblocking(true);
+                        refuse_connection(stream, self.max_conns);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    self.live += 1;
+                    self.accepted_conns += 1;
+                    let mut conn = Conn::new(stream);
+                    self.update_interest(idx, &mut conn);
+                    self.conns[idx] = Some(conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("accept failed: {e}");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Applies one readiness event to a connection: errors kill it,
+    /// readable drains the socket into the read buffer (bounded by
+    /// [`READ_BUDGET`]; level-triggered polling re-delivers the rest).
+    fn conn_event(&mut self, idx: usize, readable: bool, error: bool) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if error {
+            conn.dead = true;
+            conn.read_closed = true;
+            return;
+        }
+        if !readable || conn.read_closed || conn.paused {
+            return;
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        let mut taken = 0;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    // Oversized floods are discarded by the parser each
+                    // service pass, so the buffer stays bounded by this
+                    // event's read budget plus one partial line.
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    taken += n;
+                    if taken >= READ_BUDGET {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    conn.read_closed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drains every response the workers have finished, re-ordering each
+    /// into its connection's pending map (or dropping it if the
+    /// connection died) and recording the slots that need service.
+    fn route_responses(&mut self, touched: &mut Vec<usize>) {
+        while let Some((packed, response)) = self.pool.try_recv() {
+            let idx = (packed >> SEQ_BITS) as usize;
+            let seq = packed & SEQ_MASK;
+            let conn = self.conns[idx]
+                .as_mut()
+                .expect("slots are reserved while requests are in flight");
+            conn.in_flight -= 1;
+            if !conn.dead {
+                conn.pending
+                    .insert(seq, proto::render_response(seq, &response));
+            }
+            touched.push(idx);
+        }
+    }
+
+    /// Parses complete lines out of `conn`'s read buffer (respecting the
+    /// pause watermarks), answering `stats` and parse errors immediately
+    /// and appending engine requests to `batch`.
+    fn parse_lines(&mut self, idx: usize, conn: &mut Conn, batch: &mut Vec<(u64, Request)>) {
+        debug_assert!(idx < MAX_SLOTS);
+        let mut consumed = 0;
+        loop {
+            conn.refresh_pause();
+            if conn.paused {
+                break;
+            }
+            if conn.skipping {
+                match conn.read_buf[consumed..].iter().position(|&b| b == b'\n') {
+                    Some(rel) => {
+                        consumed += rel + 1;
+                        conn.skipping = false;
+                        self.answer_error(conn, oversized_reason());
+                    }
+                    None => {
+                        // All garbage; drop it and wait for the newline.
+                        conn.read_buf.clear();
+                        consumed = 0;
+                        if conn.read_closed {
+                            // EOF ends the oversized line, like the
+                            // blocking reader's EOF case.
+                            conn.skipping = false;
+                            self.answer_error(conn, oversized_reason());
+                        }
+                        break;
+                    }
+                }
+                continue;
+            }
+            match conn.read_buf[consumed..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    let end = consumed + rel;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    self.requests += 1;
+                    let parsed = std::str::from_utf8(&conn.read_buf[consumed..end])
+                        .map_err(|_| "invalid UTF-8".to_string())
+                        .and_then(|text| proto::parse_command(text.trim()));
+                    consumed = end + 1;
+                    match parsed {
+                        Ok(Command::Stats) => {
+                            let line =
+                                proto::render_stats(seq, &self.pool.snapshots(), self.conn_stats());
+                            conn.pending.insert(seq, line);
+                        }
+                        Ok(Command::Engine(request)) => {
+                            batch.push((((idx as u64) << SEQ_BITS) | seq, request));
+                            conn.in_flight += 1;
+                        }
+                        Err(reason) => {
+                            self.parse_errors += 1;
+                            conn.pending.insert(
+                                seq,
+                                proto::render_response(seq, &Response::Error { tenant: 0, reason }),
+                            );
+                        }
+                    }
+                }
+                None => {
+                    if conn.read_buf.len() - consumed > MAX_LINE_BYTES {
+                        // Newline-less flood: discard and resync, with
+                        // one bounded error once the line finally ends.
+                        conn.skipping = true;
+                        conn.read_buf.clear();
+                        consumed = 0;
+                        continue;
+                    }
+                    if conn.read_closed && conn.read_buf.len() > consumed {
+                        // EOF: a partial unterminated line still counts.
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        self.requests += 1;
+                        let parsed = std::str::from_utf8(&conn.read_buf[consumed..])
+                            .map_err(|_| "invalid UTF-8".to_string())
+                            .and_then(|text| proto::parse_command(text.trim()));
+                        consumed = conn.read_buf.len();
+                        match parsed {
+                            Ok(Command::Stats) => {
+                                let line = proto::render_stats(
+                                    seq,
+                                    &self.pool.snapshots(),
+                                    self.conn_stats(),
+                                );
+                                conn.pending.insert(seq, line);
+                            }
+                            Ok(Command::Engine(request)) => {
+                                batch.push((((idx as u64) << SEQ_BITS) | seq, request));
+                                conn.in_flight += 1;
+                            }
+                            Err(reason) => {
+                                self.parse_errors += 1;
+                                conn.pending.insert(
+                                    seq,
+                                    proto::render_response(
+                                        seq,
+                                        &Response::Error { tenant: 0, reason },
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        conn.read_buf.drain(..consumed.min(conn.read_buf.len()));
+    }
+
+    /// Answers one line with a protocol error (consuming its seq).
+    fn answer_error(&mut self, conn: &mut Conn, reason: String) {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        self.requests += 1;
+        self.parse_errors += 1;
+        conn.pending.insert(
+            seq,
+            proto::render_response(seq, &Response::Error { tenant: 0, reason }),
+        );
+    }
+
+    /// Moves in-order answers into the write buffer and flushes as far
+    /// as the socket allows.
+    fn flush(&mut self, conn: &mut Conn) {
+        while let Some(line) = conn.pending.remove(&conn.next_write) {
+            conn.write_buf.extend_from_slice(line.as_bytes());
+            conn.write_buf.push(b'\n');
+            conn.next_write += 1;
+            self.responses += 1;
+        }
+        while conn.written < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.dead {
+            conn.pending.clear();
+            conn.write_buf.clear();
+            conn.written = 0;
+        } else if conn.written == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.written = 0;
+        } else if conn.written >= 64 * 1024 {
+            // Reclaim the flushed prefix of a long-lived backlog.
+            conn.write_buf.drain(..conn.written);
+            conn.written = 0;
+        }
+    }
+
+    /// Reconciles the registered poll interest with what the connection
+    /// currently needs (read unless closed/paused, write while a
+    /// backlog exists).
+    fn update_interest(&mut self, idx: usize, conn: &mut Conn) {
+        let want_read = !conn.dead && !conn.read_closed && !conn.paused;
+        let want_write = !conn.dead && conn.write_backlog() > 0;
+        let desired = match (want_read, want_write) {
+            (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            (false, false) => None,
+        };
+        if desired == conn.interest {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let mut source = SourceFd(&fd);
+        let token = Token(CONN_BASE + idx);
+        let outcome = match (conn.interest, desired) {
+            (None, Some(interest)) => self.registry.register(&mut source, token, interest),
+            (Some(_), Some(interest)) => self.registry.reregister(&mut source, token, interest),
+            (Some(_), None) => self.registry.deregister(&mut source),
+            (None, None) => Ok(()),
+        };
+        match outcome {
+            Ok(()) => conn.interest = desired,
+            Err(_) => {
+                conn.dead = true;
+                conn.interest = None;
+            }
+        }
+    }
+
+    /// One connection's full service pass: parse what's buffered, flush
+    /// what's answered, reconcile interest, release the slot if done.
+    fn service_conn(&mut self, idx: usize, batch: &mut Vec<(u64, Request)>) {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if !conn.dead {
+            self.parse_lines(idx, &mut conn, batch);
+            self.flush(&mut conn);
+        } else {
+            conn.pending.clear();
+            conn.write_buf.clear();
+            conn.written = 0;
+        }
+        self.update_interest(idx, &mut conn);
+        if conn.finished() {
+            if conn.interest.is_some() {
+                let fd = conn.stream.as_raw_fd();
+                let _ = self.registry.deregister(&mut SourceFd(&fd));
+            }
+            self.live -= 1;
+            self.free.push(idx);
+            // `conn` drops here, closing the socket.
+        } else {
+            self.conns[idx] = Some(conn);
+        }
+    }
+
+    /// Enters drain mode: close the listener so no new connection gets
+    /// in; existing connections keep being served until they go quiet.
+    fn begin_drain(&mut self, touched: &mut Vec<usize>) {
+        // Connections already established in the accept backlog belong
+        // to clients that connected before the stop: admit (or refuse)
+        // them now, because dropping the listener would reset them.
+        self.accept_ready();
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let fd = listener.as_raw_fd();
+            let _ = self.registry.deregister(&mut SourceFd(&fd));
+            // Dropped: the OS refuses further connects outright.
+        }
+        touched.extend((0..self.conns.len()).filter(|&i| self.conns[i].is_some()));
+    }
+
+    /// Every answer owed to a live connection has been flushed.
+    fn all_flushed(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .all(|conn| conn.dead || (conn.pending.is_empty() && conn.write_backlog() == 0))
+    }
+
+    /// No live connection holds a buffered complete line that the
+    /// draining loop still owes an answer to. Unterminated partial
+    /// lines don't count: without EOF there is no way to know whether
+    /// the rest is coming, and the drain cannot wait on a slow sender.
+    fn no_pending_lines(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .all(|conn| conn.dead || !conn.read_buf.contains(&b'\n'))
+    }
+}
+
+/// Runs the event-driven front end on an already-bound listener until
+/// `shutdown` is requested, then drains and returns the run's totals.
+/// See the module docs for the architecture.
+///
+/// # Errors
+///
+/// Fatal poller errors (registration, `epoll_wait`) and listener setup
+/// failures. Per-connection I/O errors only ever kill that connection.
+pub fn serve_reactor(
+    listener: TcpListener,
+    options: &ReactorOptions,
+    shutdown: &Shutdown,
+) -> io::Result<ReactorSummary> {
+    listener.set_nonblocking(true)?;
+    let mut poll = Poll::new()?;
+    let listener_fd = listener.as_raw_fd();
+    poll.registry()
+        .register(&mut SourceFd(&listener_fd), LISTENER, Interest::READABLE)?;
+    let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
+    shutdown.install(Arc::clone(&waker));
+    let notify = Arc::clone(&waker);
+    let pool = ShardedEngine::with_config(
+        options.strategy,
+        options.shards,
+        options.journal.clone(),
+        Some(Arc::new(move || {
+            let _ = notify.wake();
+        })),
+    );
+    let mut reactor = Reactor {
+        registry: poll.registry().try_clone()?,
+        pool,
+        listener: Some(listener),
+        conns: Vec::new(),
+        free: Vec::new(),
+        live: 0,
+        max_conns: options.max_conns.clamp(1, MAX_SLOTS - CONN_BASE),
+        draining: false,
+        requests: 0,
+        responses: 0,
+        parse_errors: 0,
+        accepted_conns: 0,
+        refused_conns: 0,
+    };
+
+    let mut events = Events::with_capacity(1024);
+    let mut touched: Vec<usize> = Vec::new();
+    let mut batch: Vec<(u64, Request)> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if shutdown.is_requested() && !reactor.draining {
+            touched.clear();
+            reactor.begin_drain(&mut touched);
+            drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+            // Serve whatever the clients already sent us, right away.
+            reactor.route_responses(&mut touched);
+            for idx in std::mem::take(&mut touched) {
+                reactor.service_conn(idx, &mut batch);
+            }
+            if !batch.is_empty() {
+                reactor.pool.submit_batch(std::mem::take(&mut batch));
+            }
+        }
+        if reactor.draining && drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        let timeout = reactor.draining.then(|| Duration::from_millis(50));
+        poll.poll(&mut events, timeout)?;
+        let quiet = events.is_empty();
+
+        touched.clear();
+        let mut woken = false;
+        for event in &events {
+            match event.token() {
+                LISTENER => reactor.accept_ready(),
+                WAKER => woken = true,
+                Token(t) => {
+                    let idx = t - CONN_BASE;
+                    reactor.conn_event(idx, event.is_readable(), event.is_error());
+                    touched.push(idx);
+                }
+            }
+        }
+        if woken {
+            // Reset before draining: a wake arriving after the reset is
+            // a fresh edge for a response the drain below will miss.
+            waker.reset();
+        }
+        reactor.route_responses(&mut touched);
+        touched.sort_unstable();
+        touched.dedup();
+        for &idx in &touched {
+            reactor.service_conn(idx, &mut batch);
+        }
+        if !batch.is_empty() {
+            reactor.pool.submit_batch(std::mem::take(&mut batch));
+        }
+        // Draining exit: a whole poll interval passed with no socket
+        // activity, nothing is in flight, every answer is flushed, and
+        // no buffered complete line awaits parsing.
+        if reactor.draining
+            && quiet
+            && reactor.pool.in_flight() == 0
+            && reactor.all_flushed()
+            && reactor.no_pending_lines()
+        {
+            break;
+        }
+    }
+
+    // Teardown: close every socket, then stop the workers.
+    reactor.conns.clear();
+    let reports = reactor.pool.shutdown();
+    Ok(ReactorSummary {
+        requests: reactor.requests,
+        responses: reactor.responses,
+        parse_errors: reactor.parse_errors,
+        accepted_conns: reactor.accepted_conns,
+        refused_conns: reactor.refused_conns,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::SocketAddr;
+
+    fn spawn_reactor(
+        shards: usize,
+        max_conns: usize,
+    ) -> (
+        SocketAddr,
+        Arc<Shutdown>,
+        std::thread::JoinHandle<io::Result<ReactorSummary>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Shutdown::new();
+        let remote = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let mut options = ReactorOptions::new(CarryInStrategy::TopDiff, shards);
+            options.max_conns = max_conns;
+            serve_reactor(listener, &options, &remote)
+        });
+        (addr, shutdown, handle)
+    }
+
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Self {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { stream, reader }
+        }
+
+        fn send(&mut self, line: &str) {
+            self.stream.write_all(line.as_bytes()).unwrap();
+            self.stream.write_all(b"\n").unwrap();
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "server closed the connection");
+            line.trim_end().to_string()
+        }
+    }
+
+    const REGISTER: &str = "{\"op\":\"register\",\"tenant\":1,\"cores\":2,\"rt\":[\
+         {\"wcet_ms\":240,\"period_ms\":500,\"core\":0},\
+         {\"wcet_ms\":1120,\"period_ms\":5000,\"core\":1}]}";
+
+    #[test]
+    fn serves_a_pipelined_session_in_seq_order() {
+        let (addr, shutdown, handle) = spawn_reactor(2, 8);
+        let mut c = Client::connect(addr);
+        // Pipeline everything before reading a single answer.
+        c.send(REGISTER);
+        c.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}");
+        c.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":223,\"t_max_ms\":10000}");
+        c.send("not json at all");
+        c.send("{\"op\":\"query\",\"tenant\":1}");
+        let lines: Vec<String> = (0..5).map(|_| c.recv()).collect();
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i},")), "line {i}: {line}");
+        }
+        assert!(lines[0].contains("\"verdict\":\"accept\""));
+        assert!(lines[3].contains("\"verdict\":\"error\""));
+        assert!(
+            lines[4].contains("\"periods_ms\":[7582,2783]"),
+            "{}",
+            lines[4]
+        );
+        drop(c);
+        shutdown.request();
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.responses, 5);
+        assert_eq!(summary.parse_errors, 1);
+        assert_eq!(summary.accepted_conns, 1);
+        assert_eq!(summary.refused_conns, 0);
+        assert_eq!(summary.reports.len(), 2);
+        assert_eq!(summary.reports.iter().map(|r| r.handled).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn stats_verb_reports_shards_and_connections() {
+        let (addr, shutdown, handle) = spawn_reactor(3, 8);
+        let mut c = Client::connect(addr);
+        c.send(REGISTER);
+        assert!(c.recv().contains("\"verdict\":\"accept\""));
+        c.send("{\"op\":\"stats\"}");
+        let stats = c.recv();
+        assert!(stats.contains("\"verdict\":\"stats\""), "{stats}");
+        assert!(stats.contains("\"live\":1"), "{stats}");
+        assert!(stats.contains("\"max\":8"), "{stats}");
+        assert!(stats.contains("\"refused\":0"), "{stats}");
+        // Three shards, exactly one of which holds the tenant.
+        assert_eq!(stats.matches("\"shard\":").count(), 3, "{stats}");
+        assert!(stats.contains("\"tenants\":1"), "{stats}");
+        assert!(stats.contains("\"handled\":1"), "{stats}");
+        drop(c);
+        shutdown.request();
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.responses, 2);
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_are_refused_then_admitted_again() {
+        let (addr, shutdown, handle) = spawn_reactor(1, 1);
+        let mut a = Client::connect(addr);
+        a.send("{\"op\":\"query\",\"tenant\":9}");
+        assert!(a.recv().contains("unknown tenant 9"));
+        // B exceeds the cap: refused with a protocol error line.
+        let mut b = Client::connect(addr);
+        assert!(b.recv().contains("connection cap"), "expected refusal");
+        // Closing A frees the slot; the release races the next accept,
+        // so retry with a deadline.
+        drop(a);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut c = Client::connect(addr);
+            let line = match c.stream.write_all(b"{\"op\":\"query\",\"tenant\":9}\n") {
+                Ok(()) => c.recv(),
+                Err(_) => "connection cap".to_string(),
+            };
+            if line.contains("unknown tenant 9") {
+                break;
+            }
+            assert!(line.contains("connection cap"), "unexpected: {line}");
+            assert!(Instant::now() < deadline, "slot was never released");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        shutdown.request();
+        let summary = handle.join().unwrap().unwrap();
+        assert!(summary.refused_conns >= 1);
+    }
+
+    /// A shutdown requested while answers are still being computed and
+    /// written loses nothing: every pipelined request is answered before
+    /// the reactor exits.
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        let (addr, shutdown, handle) = spawn_reactor(2, 4);
+        let mut c = Client::connect(addr);
+        c.send(REGISTER);
+        c.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}");
+        let n_flips = 40;
+        for i in 0..n_flips {
+            let mode = if i % 2 == 0 { "active" } else { "passive" };
+            c.send(&format!(
+                "{{\"op\":\"mode\",\"tenant\":1,\"slot\":0,\"mode\":\"{mode}\"}}"
+            ));
+        }
+        // Request the stop while the pipeline is (likely) still in
+        // flight, then read everything the drain owes us.
+        shutdown.request();
+        let mut verdicts = 0;
+        for _ in 0..n_flips + 2 {
+            let line = c.recv();
+            assert!(line.contains("\"verdict\":"), "{line}");
+            verdicts += 1;
+        }
+        assert_eq!(verdicts, n_flips + 2);
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary.requests, n_flips as u64 + 2);
+        assert_eq!(summary.responses, n_flips as u64 + 2);
+    }
+
+    #[test]
+    fn idle_shutdown_returns_immediately_with_reports() {
+        let (_addr, shutdown, handle) = spawn_reactor(2, 4);
+        shutdown.request();
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary.requests, 0);
+        assert_eq!(summary.reports.len(), 2);
+    }
+}

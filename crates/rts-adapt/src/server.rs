@@ -22,11 +22,11 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::engine::{Request, Response};
-use crate::proto;
+use crate::engine::Response;
+use crate::proto::{self, Command, ConnStats};
 use crate::shard::ShardedEngine;
 
 /// The sharded engine behind a lock, shared by every live connection of
@@ -37,6 +37,53 @@ pub type SharedEngine = Arc<Mutex<ShardedEngine>>;
 #[must_use]
 pub fn shared(engine: ShardedEngine) -> SharedEngine {
     Arc::new(Mutex::new(engine))
+}
+
+/// Live connection gauges of the threaded TCP front end, shared between
+/// the accept loop (which maintains them) and every service thread
+/// (which reports them through the `stats` verb).
+#[derive(Debug, Default)]
+pub struct ConnGauges {
+    live: AtomicUsize,
+    refused: AtomicU64,
+    max: AtomicUsize,
+}
+
+impl ConnGauges {
+    fn snapshot(&self) -> ConnStats {
+        ConnStats {
+            live: self.live.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Answers one round of parsed commands over the engine: `stats` is
+/// rendered immediately from the shard snapshots and `conns` gauges;
+/// everything else is submitted as one batch and drained. Shared by the
+/// stdin pump and the threaded TCP path (the reactor has its own
+/// single-threaded equivalent).
+fn dispatch_round(
+    engine: &mut ShardedEngine,
+    conns: ConnStats,
+    round: Vec<(u64, Command)>,
+) -> Vec<(u64, String)> {
+    let mut rendered = Vec::with_capacity(round.len());
+    let mut batch = Vec::new();
+    for (seq, command) in round {
+        match command {
+            Command::Stats => {
+                rendered.push((seq, proto::render_stats(seq, &engine.snapshots(), conns)));
+            }
+            Command::Engine(request) => batch.push((seq, request)),
+        }
+    }
+    engine.submit_batch(batch);
+    for (seq, response) in engine.drain() {
+        rendered.push((seq, proto::render_response(seq, &response)));
+    }
+    rendered
 }
 
 /// Totals of one [`serve`] run.
@@ -67,10 +114,7 @@ pub fn serve<R: Read, W: Write>(
     batch: usize,
 ) -> io::Result<ServeSummary> {
     serve_with(
-        |round| {
-            engine.submit_batch(round);
-            engine.drain()
-        },
+        |round| dispatch_round(engine, ConnStats::default(), round),
         input,
         output,
         batch,
@@ -97,11 +141,23 @@ pub fn serve_shared<R: Read, W: Write>(
     output: W,
     batch: usize,
 ) -> io::Result<ServeSummary> {
+    serve_shared_gauged(engine, None, input, output, batch)
+}
+
+/// [`serve_shared`] with the accept loop's connection gauges wired into
+/// the `stats` verb (standalone `serve_shared` callers report zeros).
+fn serve_shared_gauged<R: Read, W: Write>(
+    engine: &SharedEngine,
+    gauges: Option<&ConnGauges>,
+    input: BufReader<R>,
+    output: W,
+    batch: usize,
+) -> io::Result<ServeSummary> {
     serve_with(
         |round| {
+            let conns = gauges.map(ConnGauges::snapshot).unwrap_or_default();
             let mut engine = engine.lock().expect("engine mutex poisoned");
-            engine.submit_batch(round);
-            engine.drain()
+            dispatch_round(&mut engine, conns, round)
         },
         input,
         output,
@@ -109,11 +165,11 @@ pub fn serve_shared<R: Read, W: Write>(
     )
 }
 
-/// The shared stream pump: reads rounds of lines, hands parsed requests
-/// to `dispatch` (which must answer every submitted request exactly
-/// once), and writes seq-ordered responses.
+/// The shared stream pump: reads rounds of lines, hands parsed commands
+/// to `dispatch` (which must answer every submitted command exactly
+/// once, already rendered), and writes seq-ordered responses.
 fn serve_with<R: Read, W: Write>(
-    mut dispatch: impl FnMut(Vec<(u64, Request)>) -> Vec<(u64, Response)>,
+    mut dispatch: impl FnMut(Vec<(u64, Command)>) -> Vec<(u64, String)>,
     input: BufReader<R>,
     mut output: W,
     batch: usize,
@@ -142,14 +198,14 @@ fn serve_with<R: Read, W: Write>(
 
         summary.requests += round.len() as u64;
         let mut answers: Vec<(u64, String)> = Vec::with_capacity(round.len());
-        let mut submitted: Vec<(u64, Request)> = Vec::with_capacity(round.len());
+        let mut submitted: Vec<(u64, Command)> = Vec::with_capacity(round.len());
         for (line_seq, text) in round.drain(..) {
             let parsed = text.and_then(|bytes| {
                 let text = std::str::from_utf8(&bytes).map_err(|_| "invalid UTF-8".to_string())?;
-                proto::parse_request(text.trim())
+                proto::parse_command(text.trim())
             });
             match parsed {
-                Ok(request) => submitted.push((line_seq, request)),
+                Ok(command) => submitted.push((line_seq, command)),
                 Err(reason) => {
                     summary.parse_errors += 1;
                     answers.push((
@@ -159,9 +215,7 @@ fn serve_with<R: Read, W: Write>(
                 }
             }
         }
-        for (answer_seq, response) in dispatch(submitted) {
-            answers.push((answer_seq, proto::render_response(answer_seq, &response)));
-        }
+        answers.extend(dispatch(submitted));
         answers.sort_by_key(|&(s, _)| s);
         for (_, rendered) in &answers {
             output.write_all(rendered.as_bytes())?;
@@ -179,7 +233,7 @@ fn serve_with<R: Read, W: Write>(
 /// daemon's memory without limit. An oversized line — hand-off payloads
 /// included — is answered with a bounded error and the stream stays
 /// line-synchronized (the `proto_torture` suite pins this).
-const MAX_LINE_BYTES: usize = 1 << 20;
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Reads one newline-terminated line into `buf`, bounded by
 /// [`MAX_LINE_BYTES`]. Returns `None` at EOF; `Some(Ok(()))` with the
@@ -226,17 +280,17 @@ fn read_bounded_line<R: Read>(
     }
 }
 
-fn oversized_reason() -> String {
+pub(crate) fn oversized_reason() -> String {
     format!("request line exceeds {MAX_LINE_BYTES} bytes")
 }
 
 /// Decrements the live-connection count when a service thread exits —
 /// on any path, including panics.
-struct ConnectionSlot(Arc<AtomicUsize>);
+struct ConnectionSlot(Arc<ConnGauges>);
 
 impl Drop for ConnectionSlot {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
+        self.0.live.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -277,7 +331,8 @@ pub fn serve_listener(
     max_conns: usize,
 ) -> io::Result<()> {
     let max_conns = max_conns.max(1);
-    let live = Arc::new(AtomicUsize::new(0));
+    let gauges = Arc::new(ConnGauges::default());
+    gauges.max.store(max_conns, Ordering::Relaxed);
     loop {
         let (stream, peer) = match listener.accept() {
             Ok(conn) => conn,
@@ -287,22 +342,26 @@ pub fn serve_listener(
             }
         };
         // Claim a slot; back out if the cap is reached.
-        if live.fetch_add(1, Ordering::AcqRel) >= max_conns {
-            live.fetch_sub(1, Ordering::AcqRel);
-            refuse_connection(stream, peer, max_conns);
+        if gauges.live.fetch_add(1, Ordering::AcqRel) >= max_conns {
+            gauges.live.fetch_sub(1, Ordering::AcqRel);
+            gauges.refused.fetch_add(1, Ordering::Relaxed);
+            eprintln!("{peer} refused: connection cap {max_conns} reached");
+            refuse_connection(stream, max_conns);
             continue;
         }
-        let slot = ConnectionSlot(Arc::clone(&live));
+        let slot = ConnectionSlot(Arc::clone(&gauges));
         let engine = Arc::clone(engine);
         std::thread::spawn(move || {
+            let gauges = Arc::clone(&slot.0);
             let _slot = slot;
-            serve_connection(&engine, stream, peer, batch);
+            serve_connection(&engine, &gauges, stream, peer, batch);
         });
     }
 }
 
-/// Answers one over-cap connection with a bounded error line.
-fn refuse_connection(mut stream: TcpStream, peer: std::net::SocketAddr, max_conns: usize) {
+/// Answers one over-cap connection with a bounded error line (shared by
+/// the threaded accept loop and the reactor).
+pub(crate) fn refuse_connection(mut stream: TcpStream, max_conns: usize) {
     let line = proto::render_response(
         0,
         &Response::Error {
@@ -310,7 +369,6 @@ fn refuse_connection(mut stream: TcpStream, peer: std::net::SocketAddr, max_conn
             reason: format!("server at its connection cap ({max_conns}); retry later"),
         },
     );
-    eprintln!("{peer} refused: connection cap {max_conns} reached");
     let _ = stream.write_all(line.as_bytes());
     let _ = stream.write_all(b"\n");
 }
@@ -318,6 +376,7 @@ fn refuse_connection(mut stream: TcpStream, peer: std::net::SocketAddr, max_conn
 /// One connection's service loop (runs on its own thread).
 fn serve_connection(
     engine: &SharedEngine,
+    gauges: &ConnGauges,
     stream: TcpStream,
     peer: std::net::SocketAddr,
     batch: usize,
@@ -330,7 +389,7 @@ fn serve_connection(
             return;
         }
     };
-    match serve_shared(engine, reader, stream, batch) {
+    match serve_shared_gauged(engine, Some(gauges), reader, stream, batch) {
         Ok(summary) => eprintln!(
             "{peer} done: {} requests, {} parse errors",
             summary.requests, summary.parse_errors

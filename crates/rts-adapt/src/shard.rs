@@ -26,7 +26,9 @@
 //! hash-assigned shard, where boot-time journal recovery would also
 //! place it.
 
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use hydra_core::incremental::MemoStats;
@@ -38,6 +40,55 @@ use crate::journal::JournalDir;
 /// One request travelling through the pool, tagged with the caller's
 /// sequence number.
 type Envelope = (u64, Request);
+
+/// Called by a worker after it pushes a batch of responses onto the
+/// results channel — the event-driven server installs its poll waker
+/// here so responses interrupt the blocked reactor instead of being
+/// discovered on the next I/O event.
+pub type ResponseNotifier = Arc<dyn Fn() + Send + Sync>;
+
+/// Live per-shard counters, shared between the dispatcher (`submitted`),
+/// the worker (everything else) and any thread serving a `stats` verb.
+/// All loads/stores are relaxed: the numbers are monitoring telemetry,
+/// not synchronization.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    submitted: AtomicU64,
+    handled: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    tenants: AtomicUsize,
+}
+
+/// A point-in-time view of one live shard (the `stats` protocol verb).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests dispatched to the shard and not yet answered.
+    pub queue_depth: u64,
+    /// Requests the shard has answered so far.
+    pub handled: u64,
+    /// Selection-memo hits across the shard's tenants.
+    pub memo_hits: u64,
+    /// Selection-memo misses (full Algorithm 1 runs).
+    pub memo_misses: u64,
+    /// Tenants currently registered on the shard.
+    pub tenants: usize,
+}
+
+impl ShardSnapshot {
+    /// Fraction of selections answered from the memo, in `[0, 1]`.
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
 
 /// The tenant-hash dispatch function (SplitMix64 of the tenant id,
 /// reduced modulo the shard count) — shared by live dispatch and
@@ -71,6 +122,7 @@ pub struct ShardedEngine {
     workers: Vec<JoinHandle<()>>,
     in_flight: usize,
     scratch: Vec<Vec<Envelope>>,
+    counters: Vec<Arc<ShardCounters>>,
 }
 
 impl ShardedEngine {
@@ -78,7 +130,7 @@ impl ShardedEngine {
     /// [`AdaptEngine`] running under `strategy`.
     #[must_use]
     pub fn new(strategy: CarryInStrategy, shards: usize) -> Self {
-        Self::spawn(strategy, shards, None)
+        Self::with_config(strategy, shards, None, None)
     }
 
     /// Like [`ShardedEngine::new`], with per-tenant event-log
@@ -89,13 +141,28 @@ impl ShardedEngine {
     /// every previously journaled tenant without re-registration.
     #[must_use]
     pub fn with_journal(strategy: CarryInStrategy, shards: usize, journal: JournalDir) -> Self {
-        Self::spawn(strategy, shards, Some(journal))
+        Self::with_config(strategy, shards, Some(journal), None)
     }
 
-    fn spawn(strategy: CarryInStrategy, shards: usize, journal: Option<JournalDir>) -> Self {
+    /// The fully general constructor: optional journal persistence plus
+    /// an optional [`ResponseNotifier`] invoked by a worker every time it
+    /// finishes a dispatched batch (i.e. whenever fresh responses are
+    /// available to [`ShardedEngine::try_recv`]). The event-driven
+    /// server installs its poll waker here; `None` reproduces the plain
+    /// blocking pool exactly.
+    #[must_use]
+    pub fn with_config(
+        strategy: CarryInStrategy,
+        shards: usize,
+        journal: Option<JournalDir>,
+        notifier: Option<ResponseNotifier>,
+    ) -> Self {
         let shards = shards.max(1);
         let (results_tx, results) = mpsc::channel();
         let (reports_tx, reports) = mpsc::channel();
+        let counters: Vec<Arc<ShardCounters>> = (0..shards)
+            .map(|_| Arc::new(ShardCounters::default()))
+            .collect();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -104,6 +171,8 @@ impl ShardedEngine {
             let results_tx = results_tx.clone();
             let reports_tx = reports_tx.clone();
             let journal = journal.clone();
+            let notifier = notifier.clone();
+            let counters = Arc::clone(&counters[shard]);
             workers.push(std::thread::spawn(move || {
                 let mut engine = match journal {
                     Some(journal) => {
@@ -144,6 +213,19 @@ impl ShardedEngine {
                             return; // collector gone — stop quietly
                         }
                     }
+                    // Refresh the live telemetry, then wake the reactor
+                    // (order matters only for the freshness of a stats
+                    // answer, not for correctness).
+                    counters.handled.store(handled, Ordering::Relaxed);
+                    let memo = engine.memo_stats();
+                    counters.memo_hits.store(memo.hits, Ordering::Relaxed);
+                    counters.memo_misses.store(memo.misses, Ordering::Relaxed);
+                    counters
+                        .tenants
+                        .store(engine.tenant_count(), Ordering::Relaxed);
+                    if let Some(notify) = &notifier {
+                        notify();
+                    }
                 }
                 let _ = reports_tx.send(ShardReport {
                     shard,
@@ -160,6 +242,7 @@ impl ShardedEngine {
             workers,
             in_flight: 0,
             scratch: (0..shards).map(|_| Vec::new()).collect(),
+            counters,
         }
     }
 
@@ -198,11 +281,57 @@ impl ShardedEngine {
         }
         for (shard, bucket) in self.scratch.iter_mut().enumerate() {
             if !bucket.is_empty() {
+                self.counters[shard]
+                    .submitted
+                    .fetch_add(bucket.len() as u64, Ordering::Relaxed);
                 self.senders[shard]
                     .send(std::mem::take(bucket))
                     .expect("shard worker died with requests outstanding");
             }
         }
+    }
+
+    /// Non-blocking receive: one response if any is ready, `None`
+    /// otherwise (including when nothing is in flight). The event-driven
+    /// server drains this after every waker event.
+    pub fn try_recv(&mut self) -> Option<(u64, Response)> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        match self.results.try_recv() {
+            Ok(answer) => {
+                self.in_flight -= 1;
+                Some(answer)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                panic!("shard workers died with requests outstanding")
+            }
+        }
+    }
+
+    /// Point-in-time telemetry of every live shard (ordered by index):
+    /// queue depths, handled counts, memo statistics, tenant counts.
+    /// Relaxed reads — a snapshot taken mid-batch may lag by up to one
+    /// batch, which is fine for the `stats` verb it feeds.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(shard, c)| {
+                let submitted = c.submitted.load(Ordering::Relaxed);
+                let handled = c.handled.load(Ordering::Relaxed);
+                ShardSnapshot {
+                    shard,
+                    queue_depth: submitted.saturating_sub(handled),
+                    handled,
+                    memo_hits: c.memo_hits.load(Ordering::Relaxed),
+                    memo_misses: c.memo_misses.load(Ordering::Relaxed),
+                    tenants: c.tenants.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// Receives one response, blocking while any are in flight. Returns
@@ -448,6 +577,55 @@ mod tests {
         let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, 2);
         assert_eq!(pool.in_flight(), 0);
         assert!(pool.recv().is_none());
+        assert!(pool.try_recv().is_none());
+        let _ = pool.shutdown();
+    }
+
+    /// The notifier fires for every processed batch, and try_recv +
+    /// snapshots expose the pool's live state without shutting it down.
+    #[test]
+    fn notifier_fires_and_snapshots_track_live_state() {
+        let wakes = Arc::new(AtomicU64::new(0));
+        let counting = Arc::clone(&wakes);
+        let mut pool = ShardedEngine::with_config(
+            CarryInStrategy::TopDiff,
+            2,
+            None,
+            Some(Arc::new(move || {
+                counting.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        let requests = rover_requests(5);
+        let n = requests.len() as u64;
+        pool.submit_batch(
+            requests
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (i as u64, r))
+                .collect(),
+        );
+        // Drain via the non-blocking path, waiting on the notifier's
+        // promise that responses eventually appear.
+        let mut got = 0u64;
+        while got < n {
+            match pool.try_recv() {
+                Some(_) => got += 1,
+                None => std::thread::yield_now(),
+            }
+        }
+        assert!(pool.try_recv().is_none());
+        assert!(wakes.load(Ordering::Relaxed) >= 1, "worker must notify");
+        let snaps = pool.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps.iter().map(|s| s.handled).sum::<u64>(), n);
+        assert_eq!(snaps.iter().map(|s| s.queue_depth).sum::<u64>(), 0);
+        assert_eq!(snaps.iter().map(|s| s.tenants).sum::<usize>(), 1);
+        let memo_total: u64 = snaps.iter().map(|s| s.memo_hits + s.memo_misses).sum();
+        assert!(memo_total > 0, "selections must be accounted");
+        for s in &snaps {
+            let rate = s.memo_hit_rate();
+            assert!((0.0..=1.0).contains(&rate));
+        }
         let _ = pool.shutdown();
     }
 }

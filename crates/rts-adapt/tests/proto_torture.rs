@@ -6,14 +6,25 @@
 //! well-formed request after the garbage is still served. The
 //! Export/Import/Evict verbs get the same treatment as the PR 4 ops —
 //! including payloads that parse but must not install anything.
+//!
+//! The event-driven front (`rts_adapt::reactor`) gets its own battery:
+//! slow-loris drip feeds, clients that vanish with responses still in
+//! flight, a thousand idle connections under one active one, over-cap
+//! refusal — plus the parity pin: the same scripted sessions against
+//! the threaded and reactor fronts (at *different* shard counts) must
+//! produce byte-identical per-connection response streams, and an
+//! orderly reactor shutdown must lose no accepted delta from the
+//! journal.
 
 mod common;
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 
 use common::{retry, TempDir};
 use rts_adapt::journal::JournalDir;
+use rts_adapt::reactor::{serve_reactor, ReactorOptions, ReactorSummary, Shutdown};
 use rts_adapt::server::{serve, serve_listener, shared, ServeSummary};
 use rts_adapt::ShardedEngine;
 use rts_analysis::semi::CarryInStrategy;
@@ -294,4 +305,282 @@ fn oversized_import_payloads_are_bounded_politely() {
     // Stream re-synchronized; nothing was installed.
     c.send("{\"op\":\"query\",\"tenant\":3}");
     assert!(c.recv().contains("unknown tenant 3"));
+}
+
+// ---------------------------------------------------------------------
+// Event-driven front end (rts_adapt::reactor)
+// ---------------------------------------------------------------------
+
+/// Binds an ephemeral port and runs the reactor on a background thread.
+fn spawn_reactor(
+    shards: usize,
+    max_conns: usize,
+    journal: Option<JournalDir>,
+) -> (
+    SocketAddr,
+    Arc<Shutdown>,
+    std::thread::JoinHandle<std::io::Result<ReactorSummary>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shutdown = Shutdown::new();
+    let remote = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        let mut options = ReactorOptions::new(CarryInStrategy::TopDiff, shards);
+        options.max_conns = max_conns;
+        options.journal = journal;
+        serve_reactor(listener, &options, &remote)
+    });
+    (addr, shutdown, handle)
+}
+
+/// A slow-loris client dripping one request a few bytes at a time never
+/// blocks the reactor: a second client is served in full between the
+/// drips, and the drip-fed line is assembled and answered once its
+/// newline finally arrives.
+#[test]
+fn slow_loris_drip_feeds_are_assembled_while_others_are_served() {
+    let (addr, shutdown, handle) = spawn_reactor(2, 8, None);
+    let mut loris = Client::connect(addr);
+    let mut other = Client::connect(addr);
+    let line = format!("{REGISTER}\n");
+    for (i, chunk) in line.as_bytes().chunks(7).enumerate() {
+        loris.stream.write_all(chunk).unwrap();
+        loris.stream.flush().unwrap();
+        if i % 5 == 0 {
+            // The reactor must stay responsive mid-drip.
+            other.send("{\"op\":\"query\",\"tenant\":31}");
+            assert!(other.recv().contains("unknown tenant 31"));
+        }
+    }
+    assert!(loris.recv().contains("\"verdict\":\"accept\""));
+    drop(loris);
+    drop(other);
+    shutdown.request();
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.accepted_conns, 2);
+    assert_eq!(summary.requests, summary.responses);
+}
+
+/// Clients that vanish with responses still in flight — after a
+/// pipelined burst, or mid-line — never wedge the reactor: their
+/// answers are dropped, their slots are reclaimed, and a fresh session
+/// is served in full.
+#[test]
+fn mid_write_disconnects_never_wedge_the_reactor() {
+    let (addr, shutdown, handle) = spawn_reactor(2, 8, None);
+    // Pipelines a burst and disconnects without reading a byte: every
+    // response is computed, routed to a dead connection, and dropped.
+    {
+        let mut c = Client::connect(addr);
+        c.send(REGISTER);
+        c.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}");
+        for i in 0..50 {
+            let mode = if i % 2 == 0 { "active" } else { "passive" };
+            c.send(&format!(
+                "{{\"op\":\"mode\",\"tenant\":1,\"slot\":0,\"mode\":\"{mode}\"}}"
+            ));
+        }
+    }
+    // Disconnects after half a line.
+    {
+        let c = Client::connect(addr);
+        (&c.stream).write_all(b"{\"op\":\"quer").unwrap();
+    }
+    // The reactor keeps serving; slots are released once the in-flight
+    // answers drain, so retry with a deadline.
+    let c = retry("a served connection after the disconnect storm", || {
+        let mut c = Client::connect(addr);
+        c.send("{\"op\":\"query\",\"tenant\":9}");
+        let line = c.recv();
+        line.contains("unknown tenant 9").then_some(c)
+    });
+    drop(c);
+    shutdown.request();
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.refused_conns, 0);
+    // Responses routed to dead connections are dropped, never queued:
+    // fewer responses than requests, and nothing wedged on the way out.
+    assert!(summary.responses <= summary.requests);
+}
+
+/// A thousand idle connections cost a slot each and nothing else: an
+/// active client underneath them is served promptly, `stats` counts
+/// them, the connection over the cap is refused politely, and closing
+/// the idles frees their slots.
+#[test]
+fn a_thousand_idle_connections_hold_no_slots_hostage() {
+    let idle_target = 1000;
+    let (addr, shutdown, handle) = spawn_reactor(2, idle_target + 1, None);
+    let idle: Vec<TcpStream> = (0..idle_target)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    // The accept queue is FIFO: by the time this client's first line is
+    // answered, every idle connection before it has its slot.
+    let mut c = Client::connect(addr);
+    c.send(REGISTER);
+    assert!(c.recv().contains("\"verdict\":\"accept\""));
+    c.send("{\"op\":\"stats\"}");
+    let stats = c.recv();
+    assert!(
+        stats.contains(&format!("\"live\":{}", idle_target + 1)),
+        "{stats}"
+    );
+    // One more is over the cap: refused with a protocol error line.
+    let mut over = Client::connect(addr);
+    assert!(over.recv().contains("connection cap"), "expected refusal");
+    // Dropping the idles releases their slots; a new connection is
+    // admitted again (the release races the accept, so retry).
+    drop(idle);
+    let c2 = retry("an admitted connection after the idles left", || {
+        let mut c2 = Client::connect(addr);
+        c2.send("{\"op\":\"query\",\"tenant\":77}");
+        let line = c2.recv();
+        line.contains("unknown tenant 77").then_some(c2)
+    });
+    drop(c2);
+    drop(c);
+    shutdown.request();
+    let summary = handle.join().unwrap().unwrap();
+    assert!(summary.accepted_conns >= idle_target as u64 + 2);
+    assert!(summary.refused_conns >= 1);
+}
+
+/// Binds an ephemeral port and serves it with the legacy
+/// thread-per-connection front end (no journal).
+fn spawn_threaded(shards: usize, max_conns: usize) -> SocketAddr {
+    let engine = shared(ShardedEngine::new(CarryInStrategy::TopDiff, shards));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve_listener(&engine, &listener, 8, max_conns);
+    });
+    addr
+}
+
+/// Pipelines each script on its own connection (one thread per client)
+/// and collects each connection's full response stream in order.
+fn run_scripts(addr: SocketAddr, scripts: &[Vec<String>]) -> Vec<Vec<String>> {
+    let handles: Vec<_> = scripts
+        .iter()
+        .cloned()
+        .map(|script| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for line in &script {
+                    c.send(line);
+                }
+                (0..script.len()).map(|_| c.recv()).collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// The parity pin: the same scripted sessions — registrations, deltas,
+/// garbage, mode flips, queries, with per-tenant connection affinity —
+/// against the threaded front at 1 shard and the reactor front at 3
+/// shards produce **byte-identical per-connection response streams**.
+/// Verdict populations are therefore invariant to both the serving
+/// architecture and the shard count.
+#[test]
+fn reactor_and_threaded_fronts_answer_byte_identically() {
+    let scripts: Vec<Vec<String>> = (0..6u64)
+        .map(|i| {
+            let tenant = 100 + i;
+            let mut script = vec![
+                REGISTER.replace("\"tenant\":1", &format!("\"tenant\":{tenant}")),
+                format!(
+                    "{{\"op\":\"arrival\",\"tenant\":{tenant},\"passive_ms\":5342,\"t_max_ms\":10000}}"
+                ),
+                format!(
+                    "{{\"op\":\"arrival\",\"tenant\":{tenant},\"passive_ms\":223,\"t_max_ms\":10000}}"
+                ),
+                format!("tenant {tenant} says: definitely not json"),
+            ];
+            for j in 0..10u64 {
+                let mode = if (i + j) % 2 == 0 { "active" } else { "passive" };
+                script.push(format!(
+                    "{{\"op\":\"mode\",\"tenant\":{tenant},\"slot\":{},\"mode\":\"{mode}\"}}",
+                    j % 2
+                ));
+            }
+            script.push(format!("{{\"op\":\"query\",\"tenant\":{tenant}}}"));
+            script
+        })
+        .collect();
+
+    let threaded = run_scripts(spawn_threaded(1, 16), &scripts);
+    let (addr, shutdown, handle) = spawn_reactor(3, 16, None);
+    let reactor = run_scripts(addr, &scripts);
+    shutdown.request();
+    let summary = handle.join().unwrap().unwrap();
+
+    assert_eq!(threaded, reactor, "per-connection streams must match");
+    let expected: usize = scripts.iter().map(Vec::len).sum();
+    assert_eq!(summary.requests, expected as u64);
+    assert_eq!(summary.responses, expected as u64);
+}
+
+/// The no-lost-delta pin: a shutdown requested while a journaled
+/// pipeline is still in flight answers everything first, and a fresh
+/// engine replaying the journal afterwards reports exactly the state of
+/// the last accepted delta — an orderly stop loses nothing.
+#[test]
+fn orderly_reactor_shutdown_loses_no_accepted_delta() {
+    let dir = TempDir::new("torture_drain_journal");
+    let journal = JournalDir::at(dir.path()).with_compaction(3);
+    let (addr, shutdown, handle) = spawn_reactor(2, 4, Some(journal));
+    let mut c = Client::connect(addr);
+    c.send(REGISTER);
+    c.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}");
+    let n_flips = 20;
+    for i in 0..n_flips {
+        let mode = if i % 2 == 0 { "active" } else { "passive" };
+        c.send(&format!(
+            "{{\"op\":\"mode\",\"tenant\":1,\"slot\":0,\"mode\":\"{mode}\"}}"
+        ));
+    }
+    // Race the stop against the pipeline; the drain owes every answer.
+    shutdown.request();
+    let mut last_accept = String::new();
+    for _ in 0..n_flips + 2 {
+        let line = c.recv();
+        if line.contains("\"verdict\":\"accept\"") {
+            last_accept = line;
+        }
+    }
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.requests, n_flips as u64 + 2);
+    assert_eq!(summary.responses, n_flips as u64 + 2);
+
+    // Replay the journal in a fresh engine (at yet another shard
+    // count): the query must report the periods of the last delta the
+    // live daemon accepted.
+    let mut engine =
+        ShardedEngine::with_journal(CarryInStrategy::TopDiff, 3, JournalDir::at(dir.path()));
+    let mut out: Vec<u8> = Vec::new();
+    serve(
+        &mut engine,
+        BufReader::new("{\"op\":\"query\",\"tenant\":1}\n".as_bytes()),
+        &mut out,
+        8,
+    )
+    .unwrap();
+    let _ = engine.shutdown();
+    let replayed = String::from_utf8(out).unwrap();
+    let periods = |s: &str| {
+        s.split("\"periods_ms\":[")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no periods in {s}"))
+            .split(']')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(
+        periods(&replayed),
+        periods(&last_accept),
+        "replayed: {replayed} vs live: {last_accept}"
+    );
 }

@@ -1,0 +1,635 @@
+//! Offline vendored subset of the `mio` 0.8 API.
+//!
+//! The build environment has no network access, so this crate stands in
+//! for [`mio`](https://docs.rs/mio/0.8) exactly like `vendor/rand`
+//! stands in for `rand`: the *surface* used by this workspace is
+//! API-compatible, the implementation is the smallest correct thing —
+//! raw `epoll(7)` + `eventfd(2)` syscalls declared `extern "C"` (std
+//! already links libc, so no external crate is needed). With network
+//! access, point the workspace dependency back at crates.io `mio 0.8`;
+//! the consuming code compiles against either.
+//!
+//! Supported surface:
+//!
+//! * [`Poll`] / [`Registry`] — create an epoll instance, register /
+//!   reregister / deregister raw-fd sources, wait for readiness.
+//! * [`unix::SourceFd`] — wrap any `RawFd` (listeners, streams) for
+//!   registration, mirroring `mio::unix::SourceFd`.
+//! * [`Events`] / [`Event`] — the readiness batch and its accessors
+//!   (`token`, `is_readable`, `is_writable`, `is_error`,
+//!   `is_read_closed`, `is_write_closed`).
+//! * [`Interest`] / [`Token`] — what to watch and the caller's handle.
+//! * [`Waker`] — cross-thread wakeup via an edge-triggered `eventfd`,
+//!   the same mechanism real mio uses on Linux.
+//!
+//! Documented simplification: sources are registered **level-triggered**
+//! (real mio is edge-triggered). The consuming reactor drains sockets to
+//! `WouldBlock` on every event, which is correct under both deliveries;
+//! level-triggering additionally forgives a partial drain. [`Waker`]
+//! *is* edge-triggered (`EPOLLET`), so one `wake` produces one readiness
+//! report instead of storming every poll.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// ---- Raw syscall boundary ------------------------------------------------
+
+/// Linux `struct epoll_event`. On x86-64 the kernel ABI packs it (12
+/// bytes); `repr(C, packed)` reproduces that layout on every
+/// architecture Rust supports for this workspace.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLPRI: u32 = 0x002;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Converts a `-1`-style syscall return into `io::Result`.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---- Public surface ------------------------------------------------------
+
+/// Associates readiness events with the source they belong to; entirely
+/// caller-defined, delivered back verbatim on every [`Event`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Token(pub usize);
+
+/// Readiness interest of a registration: readable, writable, or both
+/// (`Interest::READABLE | Interest::WRITABLE`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (includes peer-hangup delivery).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (mio's non-operator spelling of `|`).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether read readiness is part of this interest.
+    #[must_use]
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether write readiness is part of this interest.
+    #[must_use]
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn epoll_mask(self) -> u32 {
+        let mut mask = 0;
+        if self.is_readable() {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: u64,
+    events: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    #[must_use]
+    pub fn token(&self) -> Token {
+        Token(self.token as usize)
+    }
+
+    /// Readable (data, pending accept, or a hangup that a read will
+    /// observe as EOF).
+    #[must_use]
+    pub fn is_readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLPRI | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Writable without blocking (or a hangup a write will observe).
+    #[must_use]
+    pub fn is_writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLHUP) != 0
+    }
+
+    /// Error condition on the source (`EPOLLERR`).
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.events & EPOLLERR != 0
+    }
+
+    /// The peer closed its write half (or the whole connection).
+    #[must_use]
+    pub fn is_read_closed(&self) -> bool {
+        self.events & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// The write half is closed (hangup or error).
+    #[must_use]
+    pub fn is_write_closed(&self) -> bool {
+        self.events & (EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// A batch of readiness events, filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    filled: Vec<Event>,
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Copy out of the packed struct before formatting (a reference
+        // into a packed field would be unaligned).
+        let (events, data) = (self.events, self.data);
+        write!(f, "EpollEvent {{ events: {events:#x}, data: {data} }}")
+    }
+}
+
+impl Events {
+    /// An event batch receiving at most `capacity` events per poll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Events {
+        assert!(capacity > 0, "event capacity must be positive");
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; capacity],
+            filled: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.filled.iter()
+    }
+
+    /// Whether the last poll returned no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.filled.is_empty()
+    }
+
+    /// Forgets the events of the last poll (mio parity; [`Poll::poll`]
+    /// clears implicitly).
+    pub fn clear(&mut self) {
+        self.filled.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Registration handle of a [`Poll`]; clones share the same epoll
+/// instance, so any thread holding one may register sources.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: c_int, fd: RawFd, mask: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: mask,
+            data: token.0 as u64,
+        };
+        // SAFETY: `self.epfd` is a live epoll fd owned by the parent
+        // `Poll` (which outlives every Registry use in this workspace);
+        // `ev` is a valid epoll_event for the duration of the call, and
+        // the kernel copies it before returning.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers a source for `interest`, delivering `token` with its
+    /// events. Level-triggered (see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl(2)` error (e.g. `EEXIST` for a double
+    /// registration).
+    pub fn register(
+        &self,
+        source: &mut unix::SourceFd<'_>,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, *source.0, interests.epoll_mask(), token)
+    }
+
+    /// Changes the interest/token of an already-registered source.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl(2)` error (e.g. `ENOENT` when the
+    /// source was never registered).
+    pub fn reregister(
+        &self,
+        source: &mut unix::SourceFd<'_>,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, *source.0, interests.epoll_mask(), token)
+    }
+
+    /// Removes a source from the poller.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl(2)` error.
+    pub fn deregister(&self, source: &mut unix::SourceFd<'_>) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, *source.0, 0, Token(0))
+    }
+
+    /// A second handle onto the same epoll instance (mio parity for
+    /// handing registration capability to another thread).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; `io::Result` for mio parity.
+    pub fn try_clone(&self) -> io::Result<Registry> {
+        Ok(Registry { epfd: self.epfd })
+    }
+}
+
+/// The readiness poller: an `epoll(7)` instance.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_create1(2)` error.
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall with no pointer arguments; the returned
+        // fd (checked below) is owned by the new Poll and closed on drop.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` = forever), or a signal arrives; fills `events`.
+    /// `EINTR` is retried internally, like real mio.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_wait(2)` error.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => c_int::try_from(d.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+        };
+        events.filled.clear();
+        let n = loop {
+            // SAFETY: `raw` is a live, correctly-sized buffer for up to
+            // `raw.len()` epoll_event entries; the epoll fd is owned by
+            // `self` and valid for the whole call.
+            let ret = unsafe {
+                epoll_wait(
+                    self.registry.epfd,
+                    events.raw.as_mut_ptr(),
+                    events.raw.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            match cvt(ret) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        events.filled.extend(events.raw[..n].iter().map(|raw| {
+            // Copy fields out of the packed struct (no references into it).
+            let (ev, data) = (raw.events, raw.data);
+            Event {
+                token: data,
+                events: ev,
+            }
+        }));
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: the epoll fd was created by `Poll::new`, is owned
+        // exclusively by this value, and is closed exactly once.
+        unsafe { close(self.registry.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`]: an `eventfd(2)` registered
+/// edge-triggered, exactly real mio's Linux implementation. Cheap to
+/// share behind an `Arc`; `wake` is async-signal-safe and lock-free.
+#[derive(Debug)]
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    /// Creates the waker and registers it with `registry` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `eventfd(2)` / `epoll_ctl(2)` error.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        // SAFETY: plain syscall with no pointer arguments; the returned
+        // fd (checked below) is owned by the new Waker, closed on drop.
+        let efd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // Edge-triggered: one wake (or burst of wakes) produces one
+        // readiness report, with no need to drain the counter.
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLET,
+            data: token.0 as u64,
+        };
+        // SAFETY: `efd` and `registry.epfd` are live fds; `ev` is valid
+        // for the duration of the call and copied by the kernel.
+        let registered = cvt(unsafe { epoll_ctl(registry.epfd, EPOLL_CTL_ADD, efd, &mut ev) });
+        if let Err(e) = registered {
+            // SAFETY: `efd` was just created above, owned here, closed once.
+            unsafe { close(efd) };
+            return Err(e);
+        }
+        Ok(Waker { efd })
+    }
+
+    /// Wakes the poll this waker is registered with.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `write(2)` error. A full eventfd counter
+    /// (`WouldBlock` after ~2^64 unconsumed wakes) already guarantees
+    /// the poll is awake and reports success.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: `efd` is a live eventfd owned by self; the buffer is 8
+        // valid bytes, the exact size eventfd writes require.
+        let ret = unsafe { write(self.efd, (&one as *const u64).cast::<c_void>(), 8) };
+        if ret == 8 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        Err(err)
+    }
+
+    /// Resets the counter so the *next* `wake` is a fresh edge. Not part
+    /// of real mio's surface (its poller drains internally); the reactor
+    /// calls this once per processed wake event.
+    pub fn reset(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: `efd` is a live eventfd owned by self; the buffer is 8
+        // valid, writable bytes. A WouldBlock result (counter already
+        // zero) is fine and ignored.
+        unsafe { read(self.efd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+    }
+}
+
+// SAFETY: Waker only holds an fd; write(2) on an eventfd is atomic and
+// thread-safe, which is the whole point of the type.
+unsafe impl Send for Waker {}
+// SAFETY: as above — concurrent wake() calls are independent syscalls.
+unsafe impl Sync for Waker {}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: the eventfd was created by `Waker::new`, is owned
+        // exclusively by this value, and is closed exactly once.
+        unsafe { close(self.efd) };
+    }
+}
+
+/// Unix-only source adaptors, mirroring `mio::unix`.
+pub mod unix {
+    use std::os::unix::io::RawFd;
+
+    /// Adapts any raw file descriptor (listener, stream, pipe) for
+    /// registration with a [`crate::Registry`]. The fd's lifecycle stays
+    /// with the caller — exactly `mio::unix::SourceFd`.
+    #[derive(Debug)]
+    pub struct SourceFd<'a>(pub &'a RawFd);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    const LISTENER: Token = Token(7);
+    const CLIENT: Token = Token(8);
+    const WAKER: Token = Token(9);
+
+    #[test]
+    fn listener_becomes_readable_on_pending_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let fd = listener.as_raw_fd();
+        poll.registry()
+            .register(&mut unix::SourceFd(&fd), LISTENER, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing pending: a zero-timeout poll returns empty.
+        poll.poll(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("accept readiness");
+        assert_eq!(ev.token(), LISTENER);
+        assert!(ev.is_readable());
+    }
+
+    #[test]
+    fn stream_readability_and_peer_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let fd = server_side.as_raw_fd();
+        poll.registry()
+            .register(
+                &mut unix::SourceFd(&fd),
+                CLIENT,
+                Interest::READABLE | Interest::WRITABLE,
+            )
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        // A fresh stream is writable.
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_writable()));
+        // Written data makes it readable…
+        (&client).write_all(b"ping\n").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_readable()));
+        // …and a peer close reports read-closed.
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_read_closed()));
+    }
+
+    #[test]
+    fn reregister_changes_interest_and_deregister_removes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut poll = Poll::new().unwrap();
+        let fd = server_side.as_raw_fd();
+        let registry = poll.registry().try_clone().unwrap();
+        registry
+            .register(&mut unix::SourceFd(&fd), CLIENT, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.is_writable()));
+        // Read-only interest on an idle stream: no events.
+        registry
+            .reregister(&mut unix::SourceFd(&fd), CLIENT, Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+        registry.deregister(&mut unix::SourceFd(&fd)).unwrap();
+        // Double deregistration reports the kernel's ENOENT.
+        assert!(registry.deregister(&mut unix::SourceFd(&fd)).is_err());
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_once_per_burst() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            for _ in 0..3 {
+                remote.wake().unwrap();
+            }
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER && e.is_readable()));
+        handle.join().unwrap();
+        waker.reset();
+        // Edge-triggered: after the reset with no further wakes, silence.
+        poll.poll(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+        // A fresh wake is a fresh edge.
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER));
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert_eq!(Interest::READABLE.add(Interest::WRITABLE), both);
+    }
+
+    #[test]
+    fn tokens_round_trip_through_the_kernel() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        let fd = listener.as_raw_fd();
+        let big = Token(usize::MAX >> 1);
+        poll.registry()
+            .register(&mut unix::SourceFd(&fd), big, Interest::READABLE)
+            .unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.iter().next().unwrap().token(), big);
+    }
+}
