@@ -6,6 +6,23 @@
 //! tasks), the minimum feasible period in `[lo, hi]` is found by binary
 //! search, exactly as the paper's Algorithm 2 does with its
 //! `T^l/T^r/T^c` bookkeeping.
+//!
+//! # Why the solver may carry state across probes
+//!
+//! The search itself is stateless, but the `feasible` closures handed to
+//! it by [`crate::period_selection`] are not: they reuse response-time
+//! cascades and top-difference walk state (`TopDiffScratch` carried
+//! evaluations, batched segment lanes) from one probe to the next. That
+//! reuse is sound because each probe's verdict is a pure function of the
+//! candidate period and the frozen task curves — never of the order in
+//! which the binary search happens to visit candidates. Anything cached
+//! across probes is therefore keyed by the inputs that determine the
+//! answer (the curve epoch and the full task keys), and a carried value
+//! is only ever used as a *starting point* that the fixed point then
+//! re-verifies; probe order, search direction and skipped candidates
+//! cannot change any verdict. The incremental-carry parity tests in
+//! `period_selection` pin exactly this: warm and cold solves are
+//! bit-identical across feasibility flips.
 
 use rts_model::time::Duration;
 

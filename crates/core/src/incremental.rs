@@ -39,12 +39,14 @@
 //! for both carry-in strategies.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rts_analysis::semi::{CarryInStrategy, Environment};
 use rts_model::{SecurityTaskSet, System};
 
 use crate::error::SelectionError;
 use crate::period_selection::{rt_environment, select_periods_with_env, PeriodSelection};
+use crate::shared_store::{SharedHandle, SharedSelectionStore, SystemIdentity};
 
 /// The exact identity of a security configuration: the `(C_s, T^max_s)`
 /// tick pairs in priority order.
@@ -108,26 +110,32 @@ const MEMO_CAPACITY: usize = 4096;
 /// Cache statistics of one [`IncrementalSelector`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MemoStats {
-    /// Requests answered from the memo.
+    /// Requests answered from the tenant's own memo.
     pub hits: u64,
+    /// Requests answered from an attached cross-tenant
+    /// [`SharedSelectionStore`] (a structurally identical tenant had
+    /// already solved the configuration). `0` unless a store is attached.
+    pub shared_hits: u64,
     /// Requests that ran Algorithm 1.
     pub misses: u64,
     /// Distinct configurations currently cached.
     pub entries: usize,
-    /// Times the memo hit [`MEMO_CAPACITY`] and was flushed.
+    /// Times the memo hit its capacity bound and was flushed.
     pub flushes: u64,
 }
 
 impl MemoStats {
-    /// Fraction of requests answered from the memo, in `[0, 1]`
-    /// (`0` before any request).
+    /// Fraction of requests answered without running Algorithm 1 —
+    /// per-tenant and shared hits combined — in `[0, 1]` (`0` before any
+    /// request).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.hits + self.shared_hits;
+        let total = served + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 }
@@ -169,8 +177,11 @@ pub struct IncrementalSelector {
     env: Environment,
     rt_ok: bool,
     strategy: CarryInStrategy,
+    identity: SystemIdentity,
     memo: HashMap<SecFingerprint, Result<PeriodSelection, SelectionError>>,
+    shared: Option<SharedHandle>,
     hits: u64,
+    shared_hits: u64,
     misses: u64,
     flushes: u64,
 }
@@ -186,11 +197,25 @@ impl IncrementalSelector {
             env: rt_environment(system),
             rt_ok: rts_analysis::rt_schedulable(system),
             strategy,
+            identity: SystemIdentity::of(system),
             memo: HashMap::new(),
+            shared: None,
             hits: 0,
+            shared_hits: 0,
             misses: 0,
             flushes: 0,
         }
+    }
+
+    /// Attaches a cross-tenant [`SharedSelectionStore`]. From now on a
+    /// per-tenant memo miss consults the store before running Algorithm 1
+    /// (keyed by this tenant's exact [`SystemIdentity`], the exact
+    /// configuration and the strategy — see the `shared_store` module
+    /// docs for why a store hit is bit-identical to a cold solve), and
+    /// every solved configuration is published back for structurally
+    /// identical tenants. Detached selectors behave exactly as before.
+    pub fn attach_shared(&mut self, store: Arc<SharedSelectionStore>) {
+        self.shared = Some(SharedHandle::new(store, self.identity.clone()));
     }
 
     /// Whether the frozen RT side passed Eq. 1. When `false`, every
@@ -225,6 +250,20 @@ impl IncrementalSelector {
             self.hits += 1;
             return cached.clone();
         }
+        // A structurally identical tenant may have solved this exact
+        // configuration already; adopt its answer into the per-tenant
+        // memo so later revisits are local hits.
+        if let Some(shared) = &self.shared {
+            if let Some(cached) = shared.lookup(&fingerprint, self.strategy) {
+                self.shared_hits += 1;
+                if self.memo.len() >= MEMO_CAPACITY {
+                    self.memo.clear();
+                    self.flushes += 1;
+                }
+                self.memo.insert(fingerprint, cached.clone());
+                return cached;
+            }
+        }
         self.misses += 1;
         // Unwind safety for the long-lived environment: a panic inside
         // selection (analysis assertion, arithmetic overflow) would leak
@@ -249,6 +288,9 @@ impl IncrementalSelector {
             self.memo.clear();
             self.flushes += 1;
         }
+        if let Some(shared) = &self.shared {
+            shared.publish(&fingerprint, self.strategy, result.clone());
+        }
         self.memo.insert(fingerprint, result.clone());
         result
     }
@@ -258,6 +300,7 @@ impl IncrementalSelector {
     pub fn stats(&self) -> MemoStats {
         MemoStats {
             hits: self.hits,
+            shared_hits: self.shared_hits,
             misses: self.misses,
             entries: self.memo.len(),
             flushes: self.flushes,
@@ -416,6 +459,52 @@ mod tests {
         assert!(stats.entries <= MEMO_CAPACITY);
         assert_eq!(stats.flushes, 1, "2×capacity distinct configs flush once");
         assert_eq!(stats.misses, 2 * MEMO_CAPACITY as u64);
+    }
+
+    #[test]
+    fn shared_store_answers_identical_tenants_without_solving() {
+        use crate::shared_store::SharedSelectionStore;
+
+        let base = rover();
+        let store = SharedSelectionStore::new();
+        let mut a = IncrementalSelector::new(&base, CarryInStrategy::TopDiff);
+        let mut b = IncrementalSelector::new(&rover(), CarryInStrategy::TopDiff);
+        a.attach_shared(Arc::clone(&store));
+        b.attach_shared(Arc::clone(&store));
+        let sec = SecurityTaskSet::new(vec![
+            SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+            SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+        ]);
+        let scratch = select_periods(&base, CarryInStrategy::TopDiff);
+
+        // A solves and publishes; B adopts without running Algorithm 1.
+        assert_eq!(a.select(&sec), scratch);
+        assert_eq!(b.select(&sec), scratch);
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!((sa.hits, sa.shared_hits, sa.misses), (0, 0, 1));
+        assert_eq!((sb.hits, sb.shared_hits, sb.misses), (0, 1, 0));
+        // The adopted answer landed in B's own memo: revisits are local.
+        assert_eq!(b.select(&sec), scratch);
+        assert_eq!(b.stats().hits, 1);
+        assert!((sb.hit_rate() - 1.0).abs() < f64::EPSILON);
+
+        // A structurally different tenant never aliases the entry.
+        let platform = Platform::dual_core();
+        let rt = RtTaskSet::new_rate_monotonic(vec![
+            RtTask::new(ms(241), ms(500)).unwrap(),
+            RtTask::new(ms(1120), ms(5000)).unwrap(),
+        ]);
+        let partition = Partition::new(platform, vec![CoreId::new(0), CoreId::new(1)]).unwrap();
+        let other = System::new(platform, rt, partition, SecurityTaskSet::default()).unwrap();
+        let mut c = IncrementalSelector::new(&other, CarryInStrategy::TopDiff);
+        c.attach_shared(Arc::clone(&store));
+        assert_eq!(
+            c.select(&sec),
+            select_periods(&with_security(&other, sec), CarryInStrategy::TopDiff)
+        );
+        let sc = c.stats();
+        assert_eq!((sc.shared_hits, sc.misses), (0, 1));
+        assert_eq!(store.stats().entries, 2);
     }
 
     #[test]

@@ -52,8 +52,10 @@ pub mod error;
 pub mod feasible_period;
 pub mod incremental;
 pub mod period_selection;
+pub mod phase_stats;
 pub mod schemes;
 pub mod sensitivity;
+pub mod shared_store;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -73,3 +75,4 @@ pub use period_selection::{
 };
 pub use schemes::{Scheme, SchemeOutcome};
 pub use sensitivity::{rt_wcet_margin, security_task_slack, security_wcet_margin};
+pub use shared_store::{SharedSelectionStore, SharedStoreStats, SystemIdentity};

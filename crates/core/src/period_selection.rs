@@ -23,6 +23,7 @@ use rts_model::{PeriodVector, SecurityTaskSet, System};
 
 use crate::error::SelectionError;
 use crate::feasible_period::min_feasible_period;
+use crate::phase_stats;
 
 /// Result of a successful period selection.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -184,6 +185,12 @@ pub fn select_periods_with_env(
     );
     let mut periods: Vec<Duration> = sec.max_periods();
 
+    // Phase accounting for the benchmark reports: accumulated locally and
+    // flushed to `phase_stats` once per run on every exit path.
+    let mut probes: u64 = 0;
+    let mut cascades: u64 = 0;
+    let mut cascade_tasks: u64 = 0;
+
     // `env` is THE environment of the whole run: RT interference plus the
     // already-final higher-priority migrating tasks. Probes push candidate
     // entries onto it and roll them back via `truncate_migrating` — no
@@ -207,7 +214,12 @@ pub fn select_periods_with_env(
         &mut response_times,
     );
     env.truncate_migrating(0);
-    initial.map_err(|task| SelectionError::SecurityUnschedulable { task })?;
+    cascades += 1;
+    cascade_tasks += response_times.len() as u64;
+    if let Err(task) = initial {
+        phase_stats::record_selection(probes, cascades, cascade_tasks);
+        return Err(SelectionError::SecurityUnschedulable { task });
+    }
     floors.copy_from_slice(&response_times);
 
     // Lines 5–9: optimize one task at a time, high to low priority.
@@ -248,6 +260,9 @@ pub fn select_periods_with_env(
             )
             .is_ok();
             env.truncate_migrating(s);
+            probes += 1;
+            cascades += 1;
+            cascade_tasks += scratch.len() as u64;
             if ok {
                 feasible_candidate = Some(candidate);
                 std::mem::swap(&mut scratch, &mut feasible_buf);
@@ -271,6 +286,7 @@ pub fn select_periods_with_env(
 
     // Leave the environment migrating-free for the next run against it.
     env.truncate_migrating(0);
+    phase_stats::record_selection(probes, cascades, cascade_tasks);
     Ok(PeriodSelection {
         periods: PeriodVector::from_raw(periods),
         response_times,
@@ -376,6 +392,48 @@ mod tests {
             select_periods(&sys, CarryInStrategy::TopDiff),
             Err(SelectionError::SecurityUnschedulable { task: 1 })
         );
+    }
+
+    /// The carried walk state (segment memos, top-difference carried
+    /// evaluations) lives in the `Environment` across selection runs and
+    /// probes. Reusing ONE environment for a whole sequence of
+    /// configurations — including an infeasible one, whose rejecting
+    /// probes also feed the carry — must give `Duration`s bit-identical
+    /// to a cold solve per configuration, for both strategies. The rover
+    /// configurations are directed at the flip case: Tripwire's binary
+    /// search crosses feasible→infeasible candidates several times, so a
+    /// carried state invalidated by a feasibility flip would surface as
+    /// a period mismatch here.
+    #[test]
+    fn carried_walk_state_matches_cold_solves_across_selection_sequences() {
+        let base = rover();
+        let configs: Vec<SecurityTaskSet> = vec![
+            SecurityTaskSet::new(vec![
+                SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+                SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+            ]),
+            // Oversubscribed: rejected, with rejecting probes run first.
+            SecurityTaskSet::new(vec![
+                SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+                SecurityTask::new(ms(9000), ms(10_000)).unwrap(),
+            ]),
+            // Back to feasible configurations of different shapes.
+            SecurityTaskSet::new(vec![SecurityTask::new(ms(223), ms(10_000)).unwrap()]),
+            SecurityTaskSet::new(vec![
+                SecurityTask::new(ms(5342), ms(10_000)).unwrap(),
+                SecurityTask::new(ms(223), ms(10_000)).unwrap(),
+                SecurityTask::new(ms(90), ms(2000)).unwrap(),
+            ]),
+        ];
+        for strategy in [CarryInStrategy::Exhaustive, CarryInStrategy::TopDiff] {
+            let mut warm = rt_environment(&base);
+            for (i, sec) in configs.iter().enumerate() {
+                let carried = select_periods_with_env(sec, &mut warm, strategy);
+                let mut cold_env = rt_environment(&base);
+                let cold = select_periods_with_env(sec, &mut cold_env, strategy);
+                assert_eq!(carried, cold, "config {i}, {strategy:?}");
+            }
+        }
     }
 
     #[test]

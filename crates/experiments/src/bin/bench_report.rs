@@ -68,9 +68,13 @@ fn main() {
 
     let config = SweepConfig::new(cores, per_group).with_jobs(jobs);
     eprint!("bench sweep M={cores} ({per_group}/group, {jobs} jobs): ");
+    rts_analysis::phase_stats::reset();
+    hydra_core::phase_stats::reset();
     let started = std::time::Instant::now();
     let sweep = run_sweep(&config, |g| eprint!("{g} "));
     let wall_secs = started.elapsed().as_secs_f64();
+    let walks = rts_analysis::phase_stats::snapshot();
+    let solver = hydra_core::phase_stats::snapshot();
     eprintln!("done");
 
     // Persist the population: the figure bins become thin readers of the
@@ -114,6 +118,25 @@ fn main() {
     json.push_str(&format!("  \"seed\": {},\n", config.seed));
     json.push_str(&format!("  \"records\": {records},\n"));
     json.push_str(&format!("  \"accepted_hydra_c\": {accepted_hydra_c},\n"));
+    json.push_str("  \"solver_phase\": {\n");
+    json.push_str(&format!("    \"selections\": {},\n", solver.selections));
+    json.push_str(&format!("    \"probes\": {},\n", solver.probes));
+    json.push_str(&format!("    \"cascades\": {},\n", solver.cascades));
+    json.push_str(&format!(
+        "    \"mean_cascade_tasks\": {:.2},\n",
+        solver.mean_cascade_tasks()
+    ));
+    json.push_str(&format!("    \"topdiff_walks\": {},\n", walks.walks));
+    json.push_str(&format!("    \"topdiff_evals\": {},\n", walks.evals));
+    json.push_str(&format!(
+        "    \"mean_evals_per_walk\": {:.2},\n",
+        walks.mean_evals()
+    ));
+    json.push_str(&format!(
+        "    \"quick_confirms\": {}\n",
+        walks.quick_confirms
+    ));
+    json.push_str("  },\n");
     json.push_str(&format!(
         "  \"record_store\": \"{}\",\n",
         store_path.display()

@@ -21,7 +21,14 @@
 //! *exactly* — the determinism oracle — or the run fails hard. The
 //! canonical run also records the workload's single-threaded solver
 //! floor, the honest upper bound any serving layer can reach on one
-//! core.
+//! core (measured on a bare engine with no shared store, so it is the
+//! cost of actually solving every selection).
+//!
+//! The memo block reports per-tenant hits and cross-tenant shared-store
+//! hits separately; `memo_hit_rate` is the combined rate (selections
+//! answered without a solve). The `solver_phase` block breaks the run's
+//! actual solves into Algorithm 2 probes, response-time cascades, and
+//! TopDiff walk evaluations, mirroring `BENCH_sweep.json`.
 
 use hydra_experiments::{
     arg_f64, arg_usize, record_workload, results_dir, run_reactor_load, run_service_load,
@@ -66,7 +73,14 @@ fn main() {
     eprintln!(
         "service bench: {requests} requests, {tenants} tenants, {shards} shards, batch {batch}"
     );
+    // Solver-phase counters cover the whole load (fleet setup included):
+    // they attribute where the run's actual solves went, which is what
+    // makes the memo-hit numbers below auditable.
+    rts_analysis::phase_stats::reset();
+    hydra_core::phase_stats::reset();
     let report = run_service_load(&config);
+    let walks = rts_analysis::phase_stats::snapshot();
+    let solver = hydra_core::phase_stats::snapshot();
 
     // The benchmark population must be exact: every request answered,
     // none with a usage error (the generator reconciles slots precisely).
@@ -85,12 +99,9 @@ fn main() {
     let p95 = report.percentile_us(0.95);
     let p99 = report.percentile_us(0.99);
     let hits = report.memo_hits();
+    let shared_hits = report.memo_shared_hits();
     let misses = report.memo_misses();
-    let hit_rate = if hits + misses == 0 {
-        0.0
-    } else {
-        hits as f64 / (hits + misses) as f64
-    };
+    let hit_rate = report.memo_hit_rate();
 
     // ---- Connection axis: the recorded workload replayed over real
     // TCP against the reactor front end. Populations must reproduce
@@ -159,10 +170,28 @@ fn main() {
     json.push_str(&format!("  \"p95_us\": {p95:.1},\n"));
     json.push_str(&format!("  \"p99_us\": {p99:.1},\n"));
     json.push_str(&format!("  \"memo_hits\": {hits},\n"));
+    json.push_str(&format!("  \"memo_shared_hits\": {shared_hits},\n"));
     json.push_str(&format!("  \"memo_misses\": {misses},\n"));
+    json.push_str(&format!("  \"memo_hit_rate\": {hit_rate:.4},\n"));
+    json.push_str("  \"solver_phase\": {\n");
+    json.push_str(&format!("    \"selections\": {},\n", solver.selections));
+    json.push_str(&format!("    \"probes\": {},\n", solver.probes));
+    json.push_str(&format!("    \"cascades\": {},\n", solver.cascades));
     json.push_str(&format!(
-        "  \"memo_hit_rate\": {hit_rate:.4}{reactor_json}\n"
+        "    \"mean_cascade_tasks\": {:.2},\n",
+        solver.mean_cascade_tasks()
     ));
+    json.push_str(&format!("    \"topdiff_walks\": {},\n", walks.walks));
+    json.push_str(&format!("    \"topdiff_evals\": {},\n", walks.evals));
+    json.push_str(&format!(
+        "    \"mean_evals_per_walk\": {:.2},\n",
+        walks.mean_evals()
+    ));
+    json.push_str(&format!(
+        "    \"quick_confirms\": {}\n",
+        walks.quick_confirms
+    ));
+    json.push_str(&format!("  }}{reactor_json}\n"));
     json.push_str("}\n");
 
     // Only the canonical configuration updates the tracked trajectory

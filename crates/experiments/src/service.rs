@@ -1,10 +1,23 @@
 //! The `rts-adapt` load harness: a synthetic multi-tenant fleet plus a
 //! seeded admission/adaptation request stream.
 //!
-//! Tenants are Table 3 workloads (2 cores, moderate utilization) whose
-//! security tasks become *reactive* monitors; the stream then mixes the
-//! four delta kinds with mode switches dominating — the steady state of
-//! a monitoring fleet — driven through the real
+//! The fleet is **profile-templated**: tenants are stamped from
+//! [`PROFILES`] structural profiles (tenant `index` uses profile
+//! `index % PROFILES`), each a Table 3 workload (2 cores, light to
+//! heavy utilization) whose security tasks become *reactive* monitors.
+//! Every tenant of a profile registers the *same* RT system and builds
+//! its monitor table from the *same* discrete spec catalog — arrivals
+//! append the catalog entry for the next slot, departures drop the last
+//! slot, and WCET re-profiling flips a slot between its quantized
+//! catalog variants — so a tenant's table is always a catalog prefix
+//! and siblings revisit each other's admission problems. That is the
+//! fleet shape a real monitoring service has (many devices of one
+//! hardware/monitor SKU), and it is what the engine's cross-tenant
+//! [`hydra_core::SharedSelectionStore`] exploits: one sibling solves a
+//! configuration, the rest reuse the verdict.
+//!
+//! The stream mixes the four delta kinds with mode switches dominating —
+//! the steady state of a monitoring fleet — driven through the real
 //! [`ids_sim::reactive::ModalMonitor`] state machines, so escalations
 //! and de-escalations arrive exactly as a live detection substrate would
 //! emit them. Every request's latency is measured from batch submission
@@ -112,16 +125,36 @@ impl ServiceReport {
         percentile(&self.latencies_us, q)
     }
 
-    /// Aggregated memo hits across all shards.
+    /// Aggregated per-tenant memo hits across all shards.
     #[must_use]
     pub fn memo_hits(&self) -> u64 {
         self.shards.iter().map(|s| s.memo.hits).sum()
     }
 
-    /// Aggregated memo misses across all shards.
+    /// Aggregated cross-tenant shared-store hits across all shards.
+    #[must_use]
+    pub fn memo_shared_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.memo.shared_hits).sum()
+    }
+
+    /// Aggregated memo misses (full solves) across all shards.
     #[must_use]
     pub fn memo_misses(&self) -> u64 {
         self.shards.iter().map(|s| s.memo.misses).sum()
+    }
+
+    /// Combined memo hit rate: the fraction of selections answered
+    /// without a solve, whether by the tenant's own memo or by the
+    /// cross-tenant shared store.
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let hits = self.memo_hits() + self.memo_shared_hits();
+        let total = hits + self.memo_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 }
 
@@ -145,6 +178,8 @@ struct MonitorSlot {
 /// Generator-side view of one tenant.
 struct TenantSim {
     id: u64,
+    /// Index into the fleet's profile table (`index % PROFILES`).
+    profile: usize,
     monitors: Vec<MonitorSlot>,
     /// A structural event (arrival/departure) is in flight this batch —
     /// no further events for the tenant until it reconciles, so slot
@@ -172,25 +207,69 @@ enum Pending {
 
 /// Caps on a tenant's monitor table. Small tables keep each tenant's
 /// mode hypercube (2^k configurations) warm in the selection memo, which
-/// is the steady state the benchmark is about.
+/// is the steady state the benchmark is about — and they bound the
+/// per-profile configuration space the shared store must cover: with
+/// `k <= MAX_MONITORS` slots of `WCET_VARIANTS x 2` (variant, mode)
+/// states each, a profile's siblings can only ever ask the solver for a
+/// few hundred distinct problems between them.
 const MIN_MONITORS: usize = 1;
-const MAX_MONITORS: usize = 5;
+const MAX_MONITORS: usize = 4;
 
-/// Synthesizes one tenant (2 cores, cycling through moderate utilization
-/// groups), re-drawing until the RT side is partitionable — the sweep's
-/// regeneration rule. The generator is Table 3 with deliberately smaller
-/// task counts (the config's fields are public for exactly this kind of
-/// deviation): a *service* tenant is one embedded system, not a
-/// design-space stress sample.
-fn synthesize_tenant(index: usize, rng: &mut StdRng) -> (System, Vec<MonitorSpec>) {
+/// Structural profiles the fleet is stamped from. Tenant `index` uses
+/// profile `index % PROFILES` (capped at the tenant count), so the
+/// canonical 64-tenant fleet has 8 siblings per profile.
+pub const PROFILES: usize = 8;
+
+/// Quantized WCET variants per catalog slot: the base profile plus one
+/// re-profiled alternative. WCET updates draw from this set instead of a
+/// continuous range, so siblings re-converge on configurations the
+/// shared store has already solved.
+const WCET_VARIANTS: usize = 2;
+
+/// One structural profile: the RT system every sibling registers
+/// verbatim plus the discrete monitor catalog their tables are built
+/// from. `catalog[slot]` holds the [`WCET_VARIANTS`] specs table slot
+/// `slot` may carry (index 0 is the base); tables are always catalog
+/// prefixes, so two siblings at the same (length, variants, modes)
+/// state pose bit-identical admission problems.
+struct TenantProfile {
+    system: System,
+    catalog: Vec<[MonitorSpec; WCET_VARIANTS]>,
+    /// Slots filled at setup; the rest are runtime-arrival headroom.
+    init_len: usize,
+}
+
+/// The quantized re-profiling variant of a base spec: 1.5× the base
+/// sweep costs, clamped into the spec invariants, same `T^max` (a WCET
+/// update cannot change the deadline bound).
+fn reprofiled(base: MonitorSpec) -> MonitorSpec {
+    let t_max = base.t_max();
+    let cap = (t_max.as_ticks() / 2).max(1);
+    let passive = (base.passive_wcet().as_ticks() * 3 / 2).clamp(1, cap);
+    let active = (base.active_wcet().as_ticks() * 3 / 2).clamp(passive, cap);
+    MonitorSpec::modal(
+        Duration::from_ticks(passive),
+        Duration::from_ticks(active),
+        t_max,
+    )
+    .expect("clamped into the base spec's invariants")
+}
+
+/// Synthesizes one profile (2 cores, cycling through light/moderate/
+/// heavy utilization groups), re-drawing until the RT side is
+/// partitionable — the sweep's regeneration rule. The generator is
+/// Table 3 with deliberately smaller task counts (the config's fields
+/// are public for exactly this kind of deviation): a *service* tenant
+/// is one embedded system, not a design-space stress sample.
+fn synthesize_profile(index: usize, rng: &mut StdRng) -> TenantProfile {
     let table3 = Table3Config {
         rt_count: (4, 10),
         sec_count: (2, 4),
         ..Table3Config::for_cores(2)
     };
-    // Spread the fleet over light, moderate and heavy tenants (U/M up to
-    // ~0.7): the heavy third is where simultaneous escalations genuinely
-    // reject, so the stream exercises both verdicts.
+    // Spread the fleet over light, moderate and heavy profiles (U/M up
+    // to ~0.7): the heavy third is where simultaneous escalations
+    // genuinely reject, so the stream exercises both verdicts.
     let group = UtilizationGroup::new(2 + 2 * (index % 3));
     loop {
         let w = generate_workload(&table3, group, rng);
@@ -202,26 +281,47 @@ fn synthesize_tenant(index: usize, rng: &mut StdRng) -> (System, Vec<MonitorSpec
         ) else {
             continue;
         };
-        let specs: Vec<MonitorSpec> = system
-            .security_tasks()
-            .iter()
-            .map(|task| {
-                // Passive = half the drawn WCET; active = up to 2× (the
-                // deep sweep), capped so the spec stays valid — heavy
-                // enough that simultaneous escalations can genuinely
-                // reject at the upper utilization groups.
-                let drawn = task.wcet().as_ticks();
-                let passive = (drawn / 2).max(1);
-                let active = (drawn * 2).clamp(passive, task.t_max().as_ticks() / 2);
-                MonitorSpec::modal(
-                    Duration::from_ticks(passive),
-                    Duration::from_ticks(active.max(passive)),
-                    task.t_max(),
-                )
-                .expect("0 < C/2 <= active <= T^max by construction")
-            })
-            .collect();
-        return (system, specs);
+        // Slot 0 is a deliberately tiny anchor monitor, so every
+        // tenant's table is non-empty (a 10-tick sweep always fits) and
+        // slot events always have a target.
+        let anchor = MonitorSpec::modal(
+            Duration::from_ticks(10),
+            Duration::from_ticks(20),
+            Duration::from_ms(3000),
+        )
+        .expect("valid by construction");
+        let mut catalog = vec![[anchor, reprofiled(anchor)]];
+        for task in system.security_tasks().iter().take(MAX_MONITORS - 1) {
+            // Passive = half the drawn WCET; active = up to 2× (the
+            // deep sweep), capped so the spec stays valid — heavy
+            // enough that simultaneous escalations can genuinely
+            // reject at the upper utilization groups.
+            let drawn = task.wcet().as_ticks();
+            let passive = (drawn / 2).max(1);
+            let active = (drawn * 2).clamp(passive, task.t_max().as_ticks() / 2);
+            let base = MonitorSpec::modal(
+                Duration::from_ticks(passive),
+                Duration::from_ticks(active.max(passive)),
+                task.t_max(),
+            )
+            .expect("0 < C/2 <= active <= T^max by construction");
+            catalog.push([base, reprofiled(base)]);
+        }
+        // Pad to the table cap so runtime arrivals always have a next
+        // catalog entry to append.
+        while catalog.len() < MAX_MONITORS {
+            catalog.push({
+                let base = random_arrival_spec(rng);
+                [base, reprofiled(base)]
+            });
+        }
+        // Leave at least one slot of arrival headroom at setup.
+        let init_len = catalog.len().min(MAX_MONITORS - 1);
+        return TenantProfile {
+            system,
+            catalog,
+            init_len,
+        };
     }
 }
 
@@ -259,8 +359,10 @@ fn next_mode_event(slot: usize, machine: &mut ModalMonitor) -> DeltaEvent {
     }
 }
 
-/// A fresh monitor for a runtime arrival: small-ish passive sweep, an
-/// active sweep up to 12× heavier, `T^max` in the Table 3 band.
+/// A padding monitor for the catalog's arrival-headroom slots: small-ish
+/// passive sweep, an active sweep up to 12× heavier, `T^max` in the
+/// Table 3 band. Drawn once per profile at synthesis time — runtime
+/// arrivals replay the catalog entry, never a fresh draw.
 fn random_arrival_spec(rng: &mut StdRng) -> MonitorSpec {
     let t_max = Duration::from_ms(rng.gen_range(1500..=3000u64));
     let passive_ticks = rng.gen_range(10..=t_max.as_ticks() / 40);
@@ -282,6 +384,7 @@ fn random_arrival_spec(rng: &mut StdRng) -> MonitorSpec {
 /// byte-identical to the in-process benchmark's for the same seed.
 struct StreamGenerator {
     rng: StdRng,
+    profiles: Vec<TenantProfile>,
     tenants: Vec<TenantSim>,
 }
 
@@ -294,6 +397,10 @@ impl StreamGenerator {
         setup: &mut Vec<Request>,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
+        let profile_count = PROFILES.min(config.tenants).max(1);
+        let profiles: Vec<TenantProfile> = (0..profile_count)
+            .map(|p| synthesize_profile(p, &mut rng))
+            .collect();
         let mut tenants: Vec<TenantSim> = Vec::with_capacity(config.tenants);
         let mut issue = |req: Request, handle: &mut dyn FnMut(Request) -> Response| {
             setup.push(req.clone());
@@ -301,18 +408,20 @@ impl StreamGenerator {
         };
         for index in 0..config.tenants {
             let id = 1 + index as u64;
-            let (system, specs) = synthesize_tenant(index, &mut rng);
-            let answer = issue(register_request(id, &system), &mut handle);
+            let profile = index % profiles.len();
+            let answer = issue(register_request(id, &profiles[profile].system), &mut handle);
             assert!(
                 answer.is_admitted(),
                 "tenant {id} registration failed: {answer:?} (assemble_system guarantees Eq. 1)"
             );
             let mut sim = TenantSim {
                 id,
+                profile,
                 monitors: Vec::new(),
                 locked: false,
             };
-            for (slot, spec) in specs.into_iter().enumerate() {
+            for slot in 0..profiles[profile].init_len {
+                let spec = profiles[profile].catalog[slot][0];
                 let answer = issue(
                     Request::Delta {
                         tenant: id,
@@ -320,35 +429,29 @@ impl StreamGenerator {
                     },
                     &mut handle,
                 );
-                // A rejected initial arrival is simply not part of the fleet.
-                if answer.is_admitted() {
-                    sim.monitors.push(MonitorSlot {
-                        spec,
-                        machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
-                    });
+                if !answer.is_admitted() {
+                    // Rejections are deterministic per profile, so every
+                    // sibling stops at the same prefix length — tables
+                    // stay catalog prefixes and stay identical across
+                    // the profile.
+                    break;
                 }
-            }
-            if sim.monitors.is_empty() {
-                // Guarantee at least one monitor per tenant so slot events
-                // always have a target.
-                let tiny = MonitorSpec::fixed(Duration::from_ticks(10), Duration::from_ms(3000))
-                    .expect("valid by construction");
-                let answer = issue(
-                    Request::Delta {
-                        tenant: id,
-                        event: DeltaEvent::Arrival { monitor: tiny },
-                    },
-                    &mut handle,
-                );
-                assert!(answer.is_admitted(), "a 1 ms monitor must fit");
                 sim.monitors.push(MonitorSlot {
-                    spec: tiny,
-                    machine: ModalMonitor::from_spec(tiny, 1),
+                    spec,
+                    machine: ModalMonitor::from_spec(spec, 1 + (slot as u32 % 2)),
                 });
             }
+            assert!(
+                !sim.monitors.is_empty(),
+                "the anchor monitor (catalog slot 0) must always fit"
+            );
             tenants.push(sim);
         }
-        StreamGenerator { rng, tenants }
+        StreamGenerator {
+            rng,
+            profiles,
+            tenants,
+        }
     }
 
     /// Draws one batch of `round` requests. A tenant with a structural
@@ -370,22 +473,16 @@ impl StreamGenerator {
             // MIN_MONITORS is maintained below).
             let can_lock = locked_count + 1 < self.tenants.len();
             let sim = &mut self.tenants[tenant_index];
+            let catalog = &self.profiles[sim.profile].catalog;
             debug_assert!(!sim.monitors.is_empty());
             let roll = self.rng.gen_range(0..100u32);
             let (event, action) = if (94..96).contains(&roll) {
-                // WCET re-profiling within the slot's T^max.
+                // WCET re-profiling: flip the slot onto one of its
+                // quantized catalog variants (possibly the one it
+                // already carries — a memo hit by construction).
                 let slot = self.rng.gen_range(0..sim.monitors.len());
-                let t_max = sim.monitors[slot].spec.t_max();
-                let passive = self.rng.gen_range(10..=t_max.as_ticks() / 40);
-                let active = self
-                    .rng
-                    .gen_range(passive..=(passive * 8).min(t_max.as_ticks() / 3));
-                let spec = MonitorSpec::modal(
-                    Duration::from_ticks(passive),
-                    Duration::from_ticks(active),
-                    t_max,
-                )
-                .expect("within invariants");
+                let variant = self.rng.gen_range(0..WCET_VARIANTS);
+                let spec = catalog[slot][variant];
                 (
                     DeltaEvent::WcetUpdate {
                         slot,
@@ -398,8 +495,10 @@ impl StreamGenerator {
                         spec,
                     },
                 )
-            } else if (96..98).contains(&roll) && sim.monitors.len() < MAX_MONITORS && can_lock {
-                let spec = random_arrival_spec(&mut self.rng);
+            } else if (96..98).contains(&roll) && sim.monitors.len() < catalog.len() && can_lock {
+                // Arrival: tables are always catalog prefixes, so the
+                // next slot's base spec is the only thing that arrives.
+                let spec = catalog[sim.monitors.len()][0];
                 sim.locked = true;
                 locked_count += 1;
                 (
@@ -410,7 +509,9 @@ impl StreamGenerator {
                     },
                 )
             } else if roll >= 98 && sim.monitors.len() > MIN_MONITORS && can_lock {
-                let slot = self.rng.gen_range(0..sim.monitors.len());
+                // Departure: always the last slot, preserving the prefix
+                // shape siblings share.
+                let slot = sim.monitors.len() - 1;
                 sim.locked = true;
                 locked_count += 1;
                 (
@@ -915,6 +1016,32 @@ mod tests {
             assert_eq!(run.rejected, base.rejected, "shards={shards}");
             assert_eq!(run.errors, 0);
         }
+    }
+
+    /// Profile siblings pose bit-identical admission problems, so the
+    /// pool's shared selection store must serve real cross-tenant hits
+    /// and the combined hit rate must dominate the miss count.
+    #[test]
+    fn profile_siblings_share_solver_work() {
+        // 16 tenants over 8 profiles: every profile has a sibling pair.
+        let config = ServiceConfig {
+            tenants: 16,
+            requests: 600,
+            shards: 2,
+            batch: 64,
+            seed: 0xADA0,
+        };
+        let report = run_service_load(&config);
+        assert_eq!(report.errors, 0);
+        assert!(
+            report.memo_shared_hits() > 0,
+            "siblings must reuse each other's solves (shared_hits = 0)"
+        );
+        assert!(
+            report.memo_hit_rate() > 0.5,
+            "combined hit rate collapsed: {:.3}",
+            report.memo_hit_rate()
+        );
     }
 
     /// The TCP replay reproduces the recorded populations exactly at

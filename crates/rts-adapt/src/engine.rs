@@ -16,8 +16,10 @@
 //! free.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hydra_core::incremental::MemoStats;
+use hydra_core::SharedSelectionStore;
 use rts_analysis::semi::CarryInStrategy;
 use rts_model::delta::DeltaEvent;
 use rts_model::time::Duration;
@@ -209,6 +211,12 @@ pub struct AdaptEngine {
     /// The journal's compaction policy ([`JournalDir::compact_every`])
     /// is enforced here, off the no-journal hot path.
     journal: Option<JournalDir>,
+    /// Optional cross-tenant selection memo (see
+    /// [`hydra_core::shared_store`]): when set, every tenant this engine
+    /// creates — by registration, import or journal recovery — gets the
+    /// store attached, so structurally identical tenants share solved
+    /// configurations. The sharded pool hands all its workers one store.
+    shared: Option<Arc<SharedSelectionStore>>,
 }
 
 impl AdaptEngine {
@@ -220,6 +228,7 @@ impl AdaptEngine {
             strategy,
             tenants: HashMap::new(),
             journal: None,
+            shared: None,
         }
     }
 
@@ -233,7 +242,21 @@ impl AdaptEngine {
             strategy,
             tenants: HashMap::new(),
             journal: Some(journal),
+            shared: None,
         }
+    }
+
+    /// Attaches a cross-tenant [`SharedSelectionStore`] and returns the
+    /// engine. Existing tenants (if any) are attached too, so the call
+    /// order relative to recovery does not matter. An engine without a
+    /// store behaves exactly as before — per-tenant memos only.
+    #[must_use]
+    pub fn with_shared_store(mut self, store: Arc<SharedSelectionStore>) -> Self {
+        for slot in self.tenants.values_mut() {
+            slot.state.attach_shared(Arc::clone(&store));
+        }
+        self.shared = Some(store);
+        self
     }
 
     /// Boot-time recovery: replays every journaled tenant accepted by
@@ -253,7 +276,10 @@ impl AdaptEngine {
                 .load_tenant(tenant)
                 .and_then(|history| replay_slot(&history, self.strategy));
             match replayed {
-                Ok(slot) => {
+                Ok(mut slot) => {
+                    if let Some(store) = &self.shared {
+                        slot.state.attach_shared(Arc::clone(store));
+                    }
                     self.tenants.insert(tenant, slot);
                     restored += 1;
                 }
@@ -279,6 +305,7 @@ impl AdaptEngine {
         for t in self.tenants.values() {
             let s = t.state.memo_stats();
             total.hits += s.hits;
+            total.shared_hits += s.shared_hits;
             total.misses += s.misses;
             total.entries += s.entries;
             total.flushes += s.flushes;
@@ -310,7 +337,10 @@ impl AdaptEngine {
             Err(reason) => return Response::Error { tenant, reason },
         };
         match TenantState::new(&system, self.strategy) {
-            Ok(state) => {
+            Ok(mut state) => {
+                if let Some(store) = &self.shared {
+                    state.attach_shared(Arc::clone(store));
+                }
                 let fingerprint = state.admitted_fingerprint();
                 self.tenants.insert(
                     tenant,
@@ -434,6 +464,9 @@ impl AdaptEngine {
                 }
             }
         };
+        if let Some(store) = &self.shared {
+            slot.state.attach_shared(Arc::clone(store));
+        }
         let sel = slot.state.admitted();
         let response = Response::Admitted(Admitted {
             tenant,

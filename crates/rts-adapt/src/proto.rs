@@ -291,11 +291,13 @@ pub fn render_stats(seq: u64, shards: &[ShardSnapshot], conns: ConnStats) -> Str
         let _ = write!(
             out,
             "{{\"shard\":{},\"queue_depth\":{},\"handled\":{},\"memo_hits\":{},\
-             \"memo_misses\":{},\"memo_hit_rate\":{:.4},\"tenants\":{}}}",
+             \"memo_shared_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{:.4},\
+             \"tenants\":{}}}",
             s.shard,
             s.queue_depth,
             s.handled,
             s.memo_hits,
+            s.memo_shared_hits,
             s.memo_misses,
             s.memo_hit_rate(),
             s.tenants
@@ -563,7 +565,8 @@ mod tests {
                 shard: 0,
                 queue_depth: 3,
                 handled: 100,
-                memo_hits: 60,
+                memo_hits: 50,
+                memo_shared_hits: 10,
                 memo_misses: 40,
                 tenants: 7,
             },
@@ -572,6 +575,7 @@ mod tests {
                 queue_depth: 0,
                 handled: 50,
                 memo_hits: 0,
+                memo_shared_hits: 0,
                 memo_misses: 0,
                 tenants: 2,
             },
@@ -603,6 +607,12 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((rate - 0.6).abs() < 1e-9, "{rate}");
+        assert_eq!(
+            rendered_shards[0]
+                .get("memo_shared_hits")
+                .and_then(Json::as_u64),
+            Some(10)
+        );
         assert_eq!(
             rendered_shards[1].get("tenants").and_then(Json::as_u64),
             Some(2)

@@ -16,12 +16,20 @@
 //!   the queues' single producer, each shard worker its single consumer.
 //! * **Wake** — workers signal finished batches through a poll
 //!   [`Waker`] (an `eventfd`), so responses interrupt the blocked
-//!   reactor immediately instead of riding the next I/O event.
+//!   reactor immediately instead of riding the next I/O event. The
+//!   completion path is batched end to end: a worker sends **one**
+//!   channel message carrying every answer of a dispatched batch and
+//!   rings the waker **once** per batch, so draining `n` queued
+//!   requests costs `O(batches)` channel and `eventfd` operations, not
+//!   `O(n)`.
 //! * **Write** — responses are re-ordered per connection by sequence
 //!   number (a connection's answers always arrive in line order, exactly
 //!   like the threaded front end), buffered, and flushed as far as the
 //!   socket allows; write interest is registered only while a backlog
-//!   exists.
+//!   exists. Writes coalesce symmetrically with the wake path: every
+//!   answer that is ready for a connection is appended to its write
+//!   buffer first, then the socket is flushed once per readiness pass —
+//!   one `write` syscall covers however many responses accumulated.
 //!
 //! Backpressure is per connection and two-sided: a connection pauses
 //! (drops read interest) while it has [`HIGH_WATER`] requests in flight

@@ -171,6 +171,15 @@ impl TenantState {
         self.admitted_fingerprint
     }
 
+    /// Attaches a cross-tenant shared selection store to this tenant's
+    /// selector (see [`IncrementalSelector::attach_shared`]). Shared
+    /// hits are *not* reported as `cached` in [`AdmittedDelta`] — that
+    /// flag means "this tenant's own memo answered", which stays
+    /// deterministic regardless of how tenants are sharded.
+    pub fn attach_shared(&mut self, store: std::sync::Arc<hydra_core::SharedSelectionStore>) {
+        self.selector.attach_shared(store);
+    }
+
     /// Memo statistics of the tenant's incremental selector.
     #[must_use]
     pub fn memo_stats(&self) -> MemoStats {

@@ -1,0 +1,81 @@
+//! Property battery for the cross-tenant shared selection memo: for
+//! seeded delta streams mirrored across a fleet of structurally
+//! identical tenants, every answer a sharded pool produces — verdict,
+//! periods, response times, fingerprint, `cached` flag — must be
+//! bit-identical to a bare single-threaded [`AdaptEngine`] that has no
+//! shared store at all, for **every shard count**. Mirrored streams
+//! maximize shared-store traffic (each tenant walks the same
+//! configuration path), so the property exercises the store hard while
+//! the reference never touches it; a separate assertion pins that the
+//! store genuinely served hits, so the battery cannot silently pass
+//! vacuously.
+//!
+//! The vendored proptest has no shrinking, so draws are kept small
+//! enough to diagnose from the reported values alone.
+
+mod common;
+
+use common::{random_event, register_rover};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rts_adapt::{AdaptEngine, Request, Response, ShardedEngine};
+use rts_analysis::semi::CarryInStrategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shared_memo_answers_match_per_tenant_solves_for_every_shard_count(
+        seed in 0u64..(1 << 32),
+        tenants in 2u64..=5,
+        len in 6usize..=16,
+        strategy_pick in 0usize..2,
+    ) {
+        let strategy =
+            [CarryInStrategy::TopDiff, CarryInStrategy::Exhaustive][strategy_pick];
+        // Mirror one seeded stream across all tenants: register every
+        // tenant, then apply each drawn event to every tenant in turn.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut workload: Vec<Request> = (1..=tenants).map(register_rover).collect();
+        for _ in 0..len {
+            let event = random_event(&mut rng);
+            for tenant in 1..=tenants {
+                workload.push(Request::Delta { tenant, event });
+            }
+        }
+
+        // The reference: one bare engine, per-tenant memos only, no
+        // shared store anywhere.
+        let mut reference_engine = AdaptEngine::new(strategy);
+        let reference: Vec<Response> =
+            workload.iter().map(|r| reference_engine.handle(r)).collect();
+        // The mirrored stream must actually reach the selector for the
+        // non-first tenants, or the shared-traffic assertion below would
+        // be meaningless. (Usage errors — bad slots and invalid WCETs —
+        // never run a selection.)
+        let selected: usize = reference[tenants as usize..]
+            .iter()
+            .filter(|r| !matches!(r, Response::Error { .. }))
+            .count();
+
+        for shards in [1usize, 2, 4] {
+            let mut pool = ShardedEngine::new(strategy, shards);
+            let answers = pool.process(workload.clone());
+            prop_assert_eq!(&answers, &reference, "shards={}", shards);
+            let store = pool.shared_store_stats();
+            // On a single shard the pool is sequential, so the first
+            // tenant publishes every distinct configuration before any
+            // mirror tenant asks: each mirror's first encounter of each
+            // configuration is a store hit by construction.
+            if shards == 1 && selected > 0 {
+                prop_assert!(
+                    store.hits > 0,
+                    "sequential pool must share mirrored solves: {:?}",
+                    store
+                );
+            }
+            let _ = pool.shutdown();
+        }
+    }
+}

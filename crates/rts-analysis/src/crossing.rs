@@ -24,7 +24,10 @@
 //! hot paths perform no heap allocation — the buffers live in
 //! [`crate::semi::Environment`] and are re-seeded per walk.
 
-use crate::segments::{walk_crossing, Curve, PairWalker, Piece, SegmentState, NO_BREAKPOINT};
+use crate::phase_stats;
+use crate::segments::{
+    walk_crossing, Curve, GroupLanes, PairWalker, Piece, SegmentState, WalkerLanes, NO_BREAKPOINT,
+};
 
 /// Smallest `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
 /// — i.e. the least fixed point of Eq. 7 for a fixed carry-in assignment;
@@ -125,6 +128,58 @@ pub(crate) fn crossing_holds_at(
     omega <= m * (x - cs) + (m - 1)
 }
 
+/// The task key `(C, T, x̄)` of one migrating `(NC, CI)` pair — the full
+/// identity a carried evaluation is re-validated against (equal keys ⇒
+/// equal curves ⇒ equal values at any point, so reuse is exact by
+/// construction, with no epochs or invalidation protocol on the pairs).
+fn pair_key(pair: &(Curve, Curve)) -> (u64, u64, u64) {
+    let (Curve::Nc { wcet, period }, Curve::Ci { x_bar, .. }) = (&pair.0, &pair.1) else {
+        unreachable!("migrating-task pairs are always (Nc, Ci) curves");
+    };
+    (*wcet, *period, *x_bar)
+}
+
+/// One carried fixed-point evaluation of the top-difference solver: the
+/// exact `Ω` decomposition at the point the previous walk for this
+/// cascade slot converged to. When the next walk starts at the same
+/// point (the warm-start floor of an adjacent binary-search probe), the
+/// crossing condition can be re-checked from these values — recomputing
+/// only the pairs whose task key changed — and confirmed without seeding
+/// a single segment memo.
+#[derive(Clone, Debug, Default)]
+struct EvalMemo {
+    valid: bool,
+    /// Where the evaluation was taken (the previous walk's crossing).
+    x: u64,
+    /// The `C_s` and core count the evaluation was taken under.
+    cs: u64,
+    m: u64,
+    /// Group-curve epoch of the owning environment when `group_value`
+    /// was computed (groups have no per-pair keys; the epoch is bumped on
+    /// every mutation instead).
+    epoch: u64,
+    /// Σ capped group values at `x`.
+    group_value: u64,
+    /// Per-pair task keys, capped NC values and capped `CI − NC` value
+    /// differences at `x`, lane-aligned with the pairs.
+    keys: Vec<(u64, u64, u64)>,
+    pn_value: Vec<u64>,
+    dv: Vec<i64>,
+}
+
+/// Reusable state of the top-difference solver: the batched segment-walk
+/// lanes, the top-k selection buffer, and one [`EvalMemo`] per cascade
+/// slot (indexed by pair count — within one selection cascade the walk
+/// with `j` pairs is always the same task's, so the slot carries that
+/// task's converged evaluation from probe to probe).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TopDiffScratch {
+    groups: GroupLanes,
+    pairs: WalkerLanes,
+    diffs: Vec<(i64, i64)>,
+    memos: Vec<EvalMemo>,
+}
+
 /// Smallest validated crossing for the top-difference interference bound
 /// (Guan et al.): `Ω(x) = Σ I^NC + Σ top_{m−1} max(I^CI − I^NC, 0)`.
 ///
@@ -134,10 +189,20 @@ pub(crate) fn crossing_holds_at(
 /// evaluation, so the returned point genuinely satisfies the crossing
 /// condition (soundness does not depend on the prediction). `start` warm
 /// starts the walk; it must be a sound lower bound on the least crossing
-/// (pass `cs` when none is known). `states`, `walkers` and `diffs` are
-/// reusable scratch buffers (cleared here); with `take == 0` (one core)
-/// the carry-in curves never contribute to `Ω`, so they are neither
-/// seeded nor evaluated.
+/// (pass `cs` when none is known). `epoch` identifies the current
+/// revision of `groups` (callers bump it on every group mutation);
+/// `scratch` carries the lanes, the top-k buffer and the per-slot
+/// evaluation memos across walks.
+///
+/// Two layers make the common period-selection probe O(pairs) instead of
+/// O(segments): the carried-evaluation fast path (if the crossing
+/// condition already holds at `start` according to the memo of the
+/// previous walk, return it without seeding anything), and the batched
+/// [`WalkerLanes`]/[`GroupLanes`] walk for everything else. Both are
+/// bit-identical to the one-walker-at-a-time reference: the fast path
+/// only ever accepts `start` after an exact evaluation (the same point a
+/// cold walk would evaluate and accept first), and the lanes reproduce
+/// [`SegmentState`] values exactly (see the `segments` module docs).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn min_crossing_topdiff(
     groups: &[Curve],
@@ -146,75 +211,120 @@ pub(crate) fn min_crossing_topdiff(
     cs: u64,
     start: u64,
     limit: u64,
-    states: &mut Vec<SegmentState>,
-    walkers: &mut Vec<PairWalker>,
-    diffs: &mut Vec<(i64, i64)>,
+    epoch: u64,
+    scratch: &mut TopDiffScratch,
 ) -> Option<u64> {
     debug_assert!(m >= 1 && cs >= 1);
     let take = (m - 1) as usize;
     let x0 = start.max(cs);
-    // Segment memos: one state per group curve, one self-contained
-    // walker per migrating pair. Each curve is re-walked only when the
-    // probe crosses one of its breakpoints; every other probe costs one
-    // extrapolation.
-    states.clear();
-    states.extend(groups.iter().map(|g| SegmentState::seed(g, x0)));
-    walkers.clear();
-    walkers.extend(
-        pairs
-            .iter()
-            .map(|pair| PairWalker::seed(pair, x0, take > 0)),
-    );
-    let group_states: &mut [SegmentState] = states;
-    let walkers: &mut [PairWalker] = walkers;
+    if x0 > limit {
+        return None;
+    }
+    let slot = pairs.len();
+    if scratch.memos.len() <= slot {
+        scratch.memos.resize_with(slot + 1, EvalMemo::default);
+    }
+    let TopDiffScratch {
+        groups: group_lanes,
+        pairs: pair_lanes,
+        diffs,
+        memos,
+    } = scratch;
+    // Carried-evaluation fast path: the previous walk for this slot
+    // converged at `x0` under an identical `(cs, m)`. Re-validate its Ω
+    // decomposition lane-by-lane (task keys are the full curve identity,
+    // so unchanged keys ⇒ unchanged values; the group sum is guarded by
+    // the epoch) and re-check the crossing condition. In the steady state
+    // of adjacent binary-search probes exactly one pair — the candidate
+    // under search — has changed, so confirming costs two curve
+    // evaluations instead of a full re-seeded walk.
+    let memo = &mut memos[slot];
+    if memo.valid && memo.x == x0 && memo.cs == cs && memo.m == m {
+        debug_assert_eq!(memo.keys.len(), pairs.len());
+        if memo.epoch != epoch {
+            memo.group_value = groups.iter().map(|g| g.capped_piece(x0, cs).value).sum();
+            memo.epoch = epoch;
+        }
+        let mut omega = memo.group_value;
+        for (i, pair) in pairs.iter().enumerate() {
+            let key = pair_key(pair);
+            if memo.keys[i] != key {
+                let pn = pair.0.capped_piece(x0, cs).value;
+                memo.dv[i] = if take > 0 {
+                    pair.1.capped_piece(x0, cs).value as i64 - pn as i64
+                } else {
+                    0
+                };
+                memo.keys[i] = key;
+                memo.pn_value[i] = pn;
+            }
+            omega += memo.pn_value[i];
+        }
+        if take == 1 {
+            let best = memo.dv.iter().copied().max().unwrap_or(0);
+            if best > 0 {
+                omega += best as u64;
+            }
+        } else if take >= 2 {
+            diffs.clear();
+            diffs.extend(memo.dv.iter().filter(|&&dv| dv > 0).map(|&dv| (dv, 0i64)));
+            if diffs.len() > take {
+                diffs.select_nth_unstable_by_key(take - 1, |&(dv, _)| std::cmp::Reverse(dv));
+            }
+            for &(dv, _) in diffs.iter().take(take) {
+                omega += dv as u64;
+            }
+        }
+        if omega <= m * (x0 - cs) + (m - 1) {
+            // `x0` satisfies the condition, and the caller guarantees the
+            // least crossing is ≥ `x0` — so `x0` is the answer, exactly
+            // as the cold walk's first evaluation would conclude.
+            phase_stats::record_topdiff_walk(1, true);
+            return Some(x0);
+        }
+    }
+    // Full batched walk. The memo is stale until the walk converges.
+    memo.valid = false;
+    group_lanes.seed(groups, x0);
+    pair_lanes.seed(pairs, x0, take > 0);
+    let mut evals = 0u64;
     let mut x = x0;
     loop {
         if x > limit {
+            phase_stats::record_topdiff_walk(evals, false);
             return None;
         }
-        let mut omega: u64 = 0;
-        let mut sigma: i64 = 0;
-        let mut next_bp: u64 = NO_BREAKPOINT;
-        for (state, curve) in group_states.iter_mut().zip(groups) {
-            let p = state.capped(curve, x, cs);
-            omega += p.value;
-            sigma += p.slope as i64;
-            next_bp = next_bp.min(p.next_bp);
-        }
-        diffs.clear();
+        evals += 1;
+        let (g_value, g_slope, g_bp) = group_lanes.evaluate(x, cs);
+        let (p_value, p_slope, p_bp) = pair_lanes.evaluate(x, cs, take > 0);
+        let mut omega = g_value + p_value;
+        let mut sigma = (g_slope + p_slope) as i64;
+        let next_bp = g_bp.min(p_bp);
         // Only the m − 1 largest positive differences I^CI − I^NC enter
         // Ω (Guan's bound); their *sum* is what matters, so a top-k
         // selection replaces a full sort — `take == 1` (the two-core
         // sweeps and GLOBAL-TMax's usual shape) is a plain max scan.
-        let mut best: Option<(i64, i64)> = None;
-        for walker in walkers.iter_mut() {
-            let pn = walker.nc_capped(x, cs);
-            omega += pn.value;
-            sigma += pn.slope as i64;
-            next_bp = next_bp.min(pn.next_bp);
-            if take == 0 {
-                continue;
-            }
-            let pc = walker.ci_capped(x, cs);
-            next_bp = next_bp.min(pc.next_bp);
-            let dv = pc.value as i64 - pn.value as i64;
-            if dv > 0 {
-                let ds = pc.slope as i64 - pn.slope as i64;
-                if take == 1 {
-                    if best.map_or(true, |(bv, _)| dv > bv) {
-                        best = Some((dv, ds));
-                    }
-                } else {
-                    diffs.push((dv, ds));
+        if take == 1 {
+            let mut best: Option<(i64, i64)> = None;
+            for (&dv, &ds) in pair_lanes.dvs().iter().zip(pair_lanes.dss()) {
+                if dv > 0 && best.map_or(true, |(bv, _)| dv > bv) {
+                    best = Some((dv, ds));
                 }
             }
-        }
-        if take == 1 {
             if let Some((dv, ds)) = best {
                 omega += dv as u64;
                 sigma += ds;
             }
         } else if take >= 2 {
+            diffs.clear();
+            diffs.extend(
+                pair_lanes
+                    .dvs()
+                    .iter()
+                    .zip(pair_lanes.dss())
+                    .filter(|(&dv, _)| dv > 0)
+                    .map(|(&dv, &ds)| (dv, ds)),
+            );
             if diffs.len() > take {
                 diffs.select_nth_unstable_by_key(take - 1, |&(dv, _)| std::cmp::Reverse(dv));
             }
@@ -233,16 +343,48 @@ pub(crate) fn min_crossing_topdiff(
         debug_assert!(sigma >= 0, "summed interference slope is nonnegative");
         let rhs = m * (x - cs) + (m - 1);
         if omega <= rhs {
+            // Carry this converged evaluation to the next walk of the
+            // same slot: the lanes hold the exact per-pair decomposition
+            // of Ω(x) already.
+            memo.valid = true;
+            memo.x = x;
+            memo.cs = cs;
+            memo.m = m;
+            memo.epoch = epoch;
+            memo.group_value = g_value;
+            memo.keys.clear();
+            memo.pn_value.clear();
+            memo.dv.clear();
+            for i in 0..pairs.len() {
+                memo.keys.push(pair_lanes.key(i));
+            }
+            memo.pn_value.extend_from_slice(pair_lanes.pn_values());
+            if take > 0 {
+                memo.dv.extend_from_slice(pair_lanes.dvs());
+            } else {
+                memo.dv.resize(pairs.len(), 0);
+            }
+            phase_stats::record_topdiff_walk(evals, false);
             return Some(x);
         }
         let slope = sigma as u64;
-        let step = if slope < m {
+        let seg_step = if slope < m {
             let need = omega - rhs; // > 0 here
             let delta = need.div_ceil(m - slope);
             (x + delta).min(next_bp)
         } else {
             next_bp
         };
+        // Monotonicity jump: Ω is nondecreasing (every capped term is,
+        // and the top-k selection is a max over selections of sums of
+        // such terms), so no y with m·(y − cs) + (m − 1) < Ω(x) can be a
+        // crossing. Unlike the in-segment step this bound does not rely
+        // on extrapolation, so it may jump across breakpoints — through
+        // entire busy regions where σ ≥ m would otherwise force a
+        // boundary-by-boundary crawl. It never passes the least crossing
+        // `x*`: Ω(x*) ≥ Ω(x) forces `x* ≥ cs + (Ω(x) − (m−1))/m`.
+        let mono_step = cs + (omega - (m - 1)).div_ceil(m);
+        let step = seg_step.max(mono_step);
         debug_assert!(step > x, "solver must make progress");
         x = step;
     }
@@ -285,20 +427,8 @@ mod tests {
         start: u64,
         limit: u64,
     ) -> Option<u64> {
-        let mut states = Vec::new();
-        let mut walkers = Vec::new();
-        let mut diffs = Vec::new();
-        min_crossing_topdiff(
-            groups,
-            pairs,
-            m,
-            cs,
-            start,
-            limit,
-            &mut states,
-            &mut walkers,
-            &mut diffs,
-        )
+        let mut scratch = TopDiffScratch::default();
+        min_crossing_topdiff(groups, pairs, m, cs, start, limit, 0, &mut scratch)
     }
 
     /// The pre-optimization top-difference walk, kept verbatim as the
@@ -496,7 +626,7 @@ mod tests {
         ];
         let mut states = Vec::new();
         let mut walkers = Vec::new();
-        let mut diffs = Vec::new();
+        let mut scratch = TopDiffScratch::default();
         for (mask, m, cs) in [
             (vec![false, false], 2, 2),
             (vec![true, false], 2, 2),
@@ -516,19 +646,78 @@ mod tests {
             );
             let fresh = masked(&groups, &pairs, &mask, m, cs, cs, 50_000);
             assert_eq!(reused, fresh, "mask {mask:?}");
-            let reused_td = min_crossing_topdiff(
-                &groups,
-                &pairs,
-                m,
-                cs,
-                cs,
-                50_000,
-                &mut states,
-                &mut walkers,
-                &mut diffs,
-            );
+            let reused_td =
+                min_crossing_topdiff(&groups, &pairs, m, cs, cs, 50_000, 0, &mut scratch);
             let fresh_td = topdiff(&groups, &pairs, m, cs, cs, 50_000);
             assert_eq!(reused_td, fresh_td, "topdiff m={m} cs={cs}");
         }
+    }
+
+    /// Simulates the adjacent probes of a period-selection binary search:
+    /// one candidate pair's period shrinks monotonically, so interference
+    /// grows pointwise and each returned crossing is a sound warm-start
+    /// floor for the next call. The carried evaluation must confirm (or
+    /// recompute changed lanes) to exactly the cold answer every time —
+    /// including a candidate that flips the walk infeasible, which
+    /// invalidates the carry, and the recovery solve after it.
+    #[test]
+    fn carried_evaluations_are_exact_across_probe_sequences() {
+        let groups = vec![Curve::Group {
+            tasks: vec![(3, 7), (2, 9)],
+        }];
+        let fixed = (
+            Curve::Nc {
+                wcet: 2,
+                period: 12,
+            },
+            Curve::Ci {
+                wcet: 2,
+                period: 12,
+                x_bar: 5,
+            },
+        );
+        let candidate = |period: u64| {
+            let wcet = 6u64;
+            let response = wcet + 2;
+            assert!(response <= period);
+            let x_bar = (wcet - 1) + (period - response);
+            (
+                Curve::Nc { wcet, period },
+                Curve::Ci {
+                    wcet,
+                    period,
+                    x_bar,
+                },
+            )
+        };
+        let (m, cs) = (2u64, 4u64);
+        let mut scratch = TopDiffScratch::default();
+        let mut floor = cs;
+        let mut last_feasible: Option<(Vec<(Curve, Curve)>, u64)> = None;
+        for period in (20..=60).rev().step_by(3) {
+            let pairs = vec![fixed.clone(), candidate(period)];
+            let warm =
+                min_crossing_topdiff(&groups, &pairs, m, cs, floor, 200_000, 0, &mut scratch);
+            let cold = topdiff(&groups, &pairs, m, cs, cs, 200_000);
+            assert_eq!(warm, cold, "period {period}");
+            floor = warm.expect("generous limit keeps the sequence feasible");
+            last_feasible = Some((pairs, floor));
+        }
+        // Feasibility flip: the same candidate against a limit below its
+        // crossing. Both paths must report None, and the carry must not
+        // resurrect the stale answer.
+        let (pairs, r) = last_feasible.unwrap();
+        let tight = r - 1;
+        let warm = min_crossing_topdiff(&groups, &pairs, m, cs, floor, tight, 0, &mut scratch);
+        assert_eq!(warm, topdiff(&groups, &pairs, m, cs, cs, tight));
+        assert_eq!(warm, None);
+        let heavy = vec![fixed.clone(), candidate(8)];
+        let warm = min_crossing_topdiff(&groups, &heavy, m, cs, floor, r, 0, &mut scratch);
+        let cold = topdiff(&groups, &heavy, m, cs, cs, r);
+        assert_eq!(warm, cold);
+        // Recovery after the invalidation: the last feasible configuration
+        // solved through the same scratch still matches cold exactly.
+        let warm = min_crossing_topdiff(&groups, &pairs, m, cs, floor, 200_000, 0, &mut scratch);
+        assert_eq!(warm, Some(r));
     }
 }

@@ -43,6 +43,7 @@ pub mod carry_in;
 pub(crate) mod crossing;
 pub mod global;
 pub mod interference;
+pub mod phase_stats;
 pub mod sched_check;
 pub mod segments;
 pub mod semi;

@@ -39,20 +39,47 @@
 //!    lower bound on the maximum over selections. Either way the predicted
 //!    first crossing can only lie at or *before* the true one, so jumping
 //!    to it never skips a solution.
-//! 3. **Boundaries are never skipped.** `total(x).next_bp` is strictly
-//!    greater than `x` and at most the first point where property 2 could
-//!    stop holding (a curve breakpoint, a cap engaging or catching up, or
-//!    a point where a different carry-in selection could take over — the
-//!    last is covered because selection switches require some curve pair's
-//!    difference to change slope, which is itself a breakpoint of one of
-//!    the curves). The walk caps every jump at `next_bp`, so it evaluates
-//!    ground truth at or before every such boundary.
+//! 3. **Boundaries are never skipped by extrapolation.** `total(x).next_bp`
+//!    is strictly greater than `x` and at most the first point where
+//!    property 2 could stop holding (a curve breakpoint, a cap engaging or
+//!    catching up, or a point where a different carry-in selection could
+//!    take over — the last is covered because selection switches require
+//!    some curve pair's difference to change slope, which is itself a
+//!    breakpoint of one of the curves). The walk caps every
+//!    *extrapolation-based* jump at `next_bp`, so slope predictions are
+//!    never trusted beyond the segment they were read in.
+//!
+//! One further jump needs no segment knowledge at all: `Ω` is
+//! nondecreasing (every capped term is), so once `Ω(x)` is known exactly,
+//! no `y` with `m·(y − cs) + (m − 1) < Ω(x)` can satisfy the crossing
+//! condition and the walk may jump straight to
+//! `cs + ⌈(Ω(x) − (m − 1)) / m⌉` — across breakpoints — without passing
+//! the least crossing. The walk takes the larger of the two jumps; with
+//! `m = 1` the monotonicity jump *is* the textbook `R ← C + Ω(R)`
+//! iteration, and for `m > 1` it is what carries the walk through busy
+//! regions whose summed slope `σ ≥ m` would otherwise force a
+//! boundary-by-boundary crawl.
 //!
 //! [`SegmentState`] adds a fourth, caller-side obligation: **queries must
 //! be non-decreasing in `x`** within one walk. The memo extrapolates from
 //! the last segment it computed; a backward query would extrapolate from
 //! a segment the point is not in. (Walks that restart — e.g. each Eq. 8
 //! carry-in assignment — must [`SegmentState::seed`] fresh states.)
+//!
+//! # The carry-soundness invariant of the batched walkers
+//!
+//! [`WalkerLanes`] and [`GroupLanes`] evaluate many independent curves per
+//! jump over struct-of-arrays segment memos instead of advancing one
+//! [`PairWalker`] at a time. Their exactness — and the exactness of any
+//! state *carried* between walks built on them — rests on one fact: a
+//! curve's value, right-slope and next breakpoint at a point `x` are pure
+//! functions of `(task parameters, x)` and of nothing else. A lane's
+//! memoized segment therefore stays valid for as long as its task
+//! parameters are unchanged and queries do not decrease, no matter how
+//! many other lanes were refreshed, added or re-keyed in between — which
+//! is precisely why an evaluation carried from one fixed-point walk to the
+//! next (see `crate::semi`) can be re-validated lane-by-lane against the
+//! task keys and reused wherever they match, bit for bit.
 
 /// Sentinel for "no further breakpoint".
 pub const NO_BREAKPOINT: u64 = u64::MAX;
@@ -378,6 +405,351 @@ impl PairWalker {
     }
 }
 
+/// Struct-of-arrays batch walker over the migrating `(NC, CI)` pairs of
+/// one walk: the semantic twin of a `Vec<PairWalker>`, restructured so
+/// the hottest loop of the top-difference solver streams plain parallel
+/// arrays instead of 11-word structs.
+///
+/// An evaluation streams each side's lanes once: a lane whose remembered
+/// segment the query point has left is *refreshed* (via
+/// [`Curve::piece`]-equivalent closed forms, the only div/mod in the
+/// loop — amortized O(1) per lane breakpoint), then extrapolated inside
+/// its segment and capped per Eq. 3/5 — adds, multiplies and compares
+/// over flat `u64`/`i64` arrays that the autovectorizer can chew on,
+/// with no platform intrinsics. Per-lane capped NC values/slopes and CI − NC
+/// differences are left in output arrays for the caller's top-k
+/// selection. The memoization semantics are exactly [`SegmentState`]'s:
+/// queries non-decreasing per seed, values bit-identical to fresh
+/// evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct WalkerLanes {
+    // Static task parameters, one lane per migrating pair.
+    wcet: Vec<u64>,
+    period: Vec<u64>,
+    x_bar: Vec<u64>,
+    // NC-side segment memo (where it was computed, and the piece there).
+    nc_at: Vec<u64>,
+    nc_value: Vec<u64>,
+    nc_slope: Vec<u64>,
+    nc_bp: Vec<u64>,
+    // CI-side segment memo; untouched when seeded without carry-in.
+    ci_at: Vec<u64>,
+    ci_value: Vec<u64>,
+    ci_slope: Vec<u64>,
+    ci_bp: Vec<u64>,
+    // Outputs of the latest `evaluate`.
+    pn_value: Vec<u64>,
+    pn_slope: Vec<u64>,
+    dv: Vec<i64>,
+    ds: Vec<i64>,
+}
+
+impl WalkerLanes {
+    /// Seeds one lane per pair at `x`. With `with_ci` false the CI side is
+    /// never evaluated (one-core walks) and its arrays stay empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair is not an `(Nc, Ci)` pair.
+    pub fn seed(&mut self, pairs: &[(Curve, Curve)], x: u64, with_ci: bool) {
+        let n = pairs.len();
+        self.wcet.clear();
+        self.period.clear();
+        self.x_bar.clear();
+        self.nc_at.clear();
+        self.nc_value.clear();
+        self.nc_slope.clear();
+        self.nc_bp.clear();
+        self.ci_at.clear();
+        self.ci_value.clear();
+        self.ci_slope.clear();
+        self.ci_bp.clear();
+        for pair in pairs {
+            let (Curve::Nc { wcet, period }, Curve::Ci { x_bar, .. }) = (&pair.0, &pair.1) else {
+                unreachable!("migrating-task pairs are always (Nc, Ci) curves");
+            };
+            self.wcet.push(*wcet);
+            self.period.push(*period);
+            self.x_bar.push(*x_bar);
+            let p = nc_piece(*wcet, *period, x);
+            self.nc_at.push(x);
+            self.nc_value.push(p.value);
+            self.nc_slope.push(p.slope);
+            self.nc_bp.push(p.next_bp);
+            if with_ci {
+                let p = ci_piece(*wcet, *period, *x_bar, x);
+                self.ci_at.push(x);
+                self.ci_value.push(p.value);
+                self.ci_slope.push(p.slope);
+                self.ci_bp.push(p.next_bp);
+            }
+        }
+        self.pn_value.clear();
+        self.pn_value.resize(n, 0);
+        self.pn_slope.clear();
+        self.pn_slope.resize(n, 0);
+        self.dv.clear();
+        self.ds.clear();
+        if with_ci {
+            self.dv.resize(n, 0);
+            self.ds.resize(n, 0);
+        }
+    }
+
+    /// Number of seeded lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.wcet.len()
+    }
+
+    /// Whether no lanes are seeded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.wcet.is_empty()
+    }
+
+    /// Evaluates every lane at `x` (non-decreasing per seed), filling the
+    /// output arrays and returning the summed capped NC
+    /// `(value, slope, next breakpoint)` — exactly what summing
+    /// [`PairWalker::nc_capped`] over the pairs would produce, with the
+    /// returned breakpoint additionally min-folded over the CI sides when
+    /// they are evaluated.
+    pub fn evaluate(&mut self, x: u64, cs: u64, with_ci: bool) -> (u64, u64, u64) {
+        let n = self.wcet.len();
+        // Slice views of one proven length so the indexed loops below
+        // compile to straight-line array arithmetic (no per-array bounds
+        // re-checks): the autovectorizer's raw material.
+        let wcet = &self.wcet[..n];
+        let period = &self.period[..n];
+        let nc_at = &mut self.nc_at[..n];
+        let nc_value = &mut self.nc_value[..n];
+        let nc_slope = &mut self.nc_slope[..n];
+        let nc_bp = &mut self.nc_bp[..n];
+        let pn_value = &mut self.pn_value[..n];
+        let pn_slope = &mut self.pn_slope[..n];
+        let mut sum_value = 0u64;
+        let mut sum_slope = 0u64;
+        let mut min_bp = NO_BREAKPOINT;
+        // One pass per side: refresh the lanes whose segment the point has
+        // left (the only div/mod), then in-segment extrapolation plus the
+        // cap over the flat arrays.
+        for i in 0..n {
+            debug_assert!(x >= nc_at[i], "walks query non-decreasing points");
+            if x >= nc_bp[i] {
+                let p = nc_piece(wcet[i], period[i], x);
+                nc_at[i] = x;
+                nc_value[i] = p.value;
+                nc_slope[i] = p.slope;
+                nc_bp[i] = p.next_bp;
+            }
+            let p = cap_piece(
+                Piece {
+                    value: nc_value[i] + nc_slope[i] * (x - nc_at[i]),
+                    slope: nc_slope[i],
+                    next_bp: nc_bp[i],
+                },
+                x,
+                cs,
+            );
+            pn_value[i] = p.value;
+            pn_slope[i] = p.slope;
+            sum_value += p.value;
+            sum_slope += p.slope;
+            min_bp = min_bp.min(p.next_bp);
+        }
+        if with_ci {
+            let x_bar = &self.x_bar[..n];
+            let ci_at = &mut self.ci_at[..n];
+            let ci_value = &mut self.ci_value[..n];
+            let ci_slope = &mut self.ci_slope[..n];
+            let ci_bp = &mut self.ci_bp[..n];
+            let dv = &mut self.dv[..n];
+            let ds = &mut self.ds[..n];
+            for i in 0..n {
+                if x >= ci_bp[i] {
+                    let p = ci_piece(wcet[i], period[i], x_bar[i], x);
+                    ci_at[i] = x;
+                    ci_value[i] = p.value;
+                    ci_slope[i] = p.slope;
+                    ci_bp[i] = p.next_bp;
+                }
+                let p = cap_piece(
+                    Piece {
+                        value: ci_value[i] + ci_slope[i] * (x - ci_at[i]),
+                        slope: ci_slope[i],
+                        next_bp: ci_bp[i],
+                    },
+                    x,
+                    cs,
+                );
+                dv[i] = p.value as i64 - pn_value[i] as i64;
+                ds[i] = p.slope as i64 - pn_slope[i] as i64;
+                min_bp = min_bp.min(p.next_bp);
+            }
+        }
+        (sum_value, sum_slope, min_bp)
+    }
+
+    /// Per-lane task keys `(C, T, x̄)` — the identity an evaluation carried
+    /// across walks is re-validated against.
+    #[must_use]
+    pub fn key(&self, i: usize) -> (u64, u64, u64) {
+        (self.wcet[i], self.period[i], self.x_bar[i])
+    }
+
+    /// Capped NC values of the latest [`WalkerLanes::evaluate`].
+    #[must_use]
+    pub fn pn_values(&self) -> &[u64] {
+        &self.pn_value
+    }
+
+    /// Capped `CI − NC` value differences of the latest evaluate (empty
+    /// when seeded without carry-in).
+    #[must_use]
+    pub fn dvs(&self) -> &[i64] {
+        &self.dv
+    }
+
+    /// Capped `CI − NC` slope differences of the latest evaluate (empty
+    /// when seeded without carry-in).
+    #[must_use]
+    pub fn dss(&self) -> &[i64] {
+        &self.ds
+    }
+}
+
+/// Struct-of-arrays batch walker over the pinned per-core group curves:
+/// the semantic twin of one [`SegmentState`] per [`Curve::Group`], with
+/// the member tasks flattened into lanes *and* a per-group affine
+/// aggregate on top. Between group breakpoints an evaluation extrapolates
+/// the aggregate — O(1) per group, exactly like the old per-group
+/// [`SegmentState`] — and only when the query point crosses the group's
+/// earliest member breakpoint does it refresh the stale lanes and re-sum.
+/// The lane layer makes that refresh pay div/mod only for the tasks whose
+/// segment actually ended (the group closed-form re-walks every member).
+/// Values are bit-identical either way: a sum of affine segments is
+/// affine, so extrapolating the aggregate equals summing the per-lane
+/// extrapolations, and each lane is exact within its own segment.
+#[derive(Clone, Debug, Default)]
+pub struct GroupLanes {
+    // Flattened member tasks of all groups.
+    wcet: Vec<u64>,
+    period: Vec<u64>,
+    at: Vec<u64>,
+    value: Vec<u64>,
+    slope: Vec<u64>,
+    bp: Vec<u64>,
+    /// Lane range of group `g` is `start[g]..start[g + 1]`.
+    start: Vec<usize>,
+    // Per-group uncapped aggregate segment: the summed affine piece of the
+    // group's members, valid on `[agg_at, agg_bp)`.
+    agg_at: Vec<u64>,
+    agg_value: Vec<u64>,
+    agg_slope: Vec<u64>,
+    agg_bp: Vec<u64>,
+}
+
+impl GroupLanes {
+    /// Seeds the lanes for `groups` at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a curve is not a [`Curve::Group`].
+    pub fn seed(&mut self, groups: &[Curve], x: u64) {
+        self.wcet.clear();
+        self.period.clear();
+        self.at.clear();
+        self.value.clear();
+        self.slope.clear();
+        self.bp.clear();
+        self.start.clear();
+        self.start.push(0);
+        self.agg_at.clear();
+        self.agg_value.clear();
+        self.agg_slope.clear();
+        self.agg_bp.clear();
+        for group in groups {
+            let Curve::Group { tasks } = group else {
+                unreachable!("pinned per-core curves are always groups");
+            };
+            let mut value = 0u64;
+            let mut slope = 0u64;
+            let mut next_bp = NO_BREAKPOINT;
+            for &(c, t) in tasks {
+                let p = nc_piece(c, t, x);
+                self.wcet.push(c);
+                self.period.push(t);
+                self.at.push(x);
+                self.value.push(p.value);
+                self.slope.push(p.slope);
+                self.bp.push(p.next_bp);
+                value += p.value;
+                slope += p.slope;
+                next_bp = next_bp.min(p.next_bp);
+            }
+            self.start.push(self.wcet.len());
+            self.agg_at.push(x);
+            self.agg_value.push(value);
+            self.agg_slope.push(slope);
+            self.agg_bp.push(next_bp);
+        }
+    }
+
+    /// Evaluates every group at `x` (non-decreasing per seed), returning
+    /// the summed capped `(value, slope, next breakpoint)` over all groups
+    /// — exactly what summing [`SegmentState::capped`] over the group
+    /// curves would produce.
+    pub fn evaluate(&mut self, x: u64, cs: u64) -> (u64, u64, u64) {
+        let n = self.agg_at.len();
+        let agg_at = &mut self.agg_at[..n];
+        let agg_value = &mut self.agg_value[..n];
+        let agg_slope = &mut self.agg_slope[..n];
+        let agg_bp = &mut self.agg_bp[..n];
+        let mut sum_value = 0u64;
+        let mut sum_slope = 0u64;
+        let mut min_bp = NO_BREAKPOINT;
+        for g in 0..n {
+            debug_assert!(x >= agg_at[g], "walks query non-decreasing points");
+            if x >= agg_bp[g] {
+                // The group's earliest member segment ended: refresh the
+                // stale lanes only, then re-sum the aggregate at `x`.
+                let mut value = 0u64;
+                let mut slope = 0u64;
+                let mut next_bp = NO_BREAKPOINT;
+                for i in self.start[g]..self.start[g + 1] {
+                    if x >= self.bp[i] {
+                        let p = nc_piece(self.wcet[i], self.period[i], x);
+                        self.at[i] = x;
+                        self.value[i] = p.value;
+                        self.slope[i] = p.slope;
+                        self.bp[i] = p.next_bp;
+                    }
+                    value += self.value[i] + self.slope[i] * (x - self.at[i]);
+                    slope += self.slope[i];
+                    next_bp = next_bp.min(self.bp[i]);
+                }
+                agg_at[g] = x;
+                agg_value[g] = value;
+                agg_slope[g] = slope;
+                agg_bp[g] = next_bp;
+            }
+            let p = cap_piece(
+                Piece {
+                    value: agg_value[g] + agg_slope[g] * (x - agg_at[g]),
+                    slope: agg_slope[g],
+                    next_bp: agg_bp[g],
+                },
+                x,
+                cs,
+            );
+            sum_value += p.value;
+            sum_slope += p.slope;
+            min_bp = min_bp.min(p.next_bp);
+        }
+        (sum_value, sum_slope, min_bp)
+    }
+}
+
 /// The crossing walk every solver shares: finds the smallest
 /// `x ∈ [max(cs, start), limit]` with `Ω(x) ≤ m·(x − cs) + (m − 1)`
 /// (⇔ `⌊Ω(x)/m⌋ + cs ≤ x`, the Eq. 7 fixed-point condition), where
@@ -416,13 +788,22 @@ pub fn walk_crossing(
             return Some(x);
         }
         // Inside the current affine segment, solve Ω + σδ ≤ m(x+δ−cs)+m−1.
-        let step = if p.slope < m {
+        let seg_step = if p.slope < m {
             let need = p.value - rhs; // > 0 here
             let delta = need.div_ceil(m - p.slope);
             (x + delta).min(p.next_bp)
         } else {
             p.next_bp
         };
+        // Monotonicity jump: Ω is nondecreasing, so no y with
+        // m·(y − cs) + (m − 1) < Ω(x) can be a crossing. This bound does
+        // not rely on extrapolation, so it may jump across breakpoints —
+        // through busy regions where σ ≥ m would otherwise force a
+        // boundary-by-boundary crawl — and it never passes the least
+        // crossing `x*`, because Ω(x*) ≥ Ω(x) forces
+        // `x* ≥ cs + (Ω(x) − (m−1))/m`.
+        let mono_step = cs + (p.value - (m - 1)).div_ceil(m);
+        let step = seg_step.max(mono_step);
         debug_assert!(step > x, "solver must make progress");
         x = step;
     }
@@ -639,6 +1020,107 @@ mod tests {
         let naive = naive_crossing(&curves, 2, cs, 1_000_000);
         assert_eq!(fast, naive);
         assert!(fast.is_some());
+    }
+
+    /// The batched lanes must reproduce the scalar walkers bit for bit
+    /// along any non-decreasing query schedule — summed NC totals,
+    /// per-lane outputs and breakpoint folds alike.
+    #[test]
+    fn lanes_match_scalar_walkers_along_monotone_queries() {
+        let pairs = vec![
+            (
+                Curve::Nc { wcet: 2, period: 8 },
+                Curve::Ci {
+                    wcet: 2,
+                    period: 8,
+                    x_bar: 3,
+                },
+            ),
+            (
+                Curve::Nc {
+                    wcet: 5,
+                    period: 13,
+                },
+                Curve::Ci {
+                    wcet: 5,
+                    period: 13,
+                    x_bar: 9,
+                },
+            ),
+            (
+                Curve::Nc { wcet: 1, period: 6 },
+                Curve::Ci {
+                    wcet: 1,
+                    period: 6,
+                    x_bar: 2,
+                },
+            ),
+        ];
+        let groups = vec![
+            Curve::Group {
+                tasks: vec![(2, 4), (1, 7)],
+            },
+            Curve::Group {
+                tasks: vec![(3, 9), (2, 5), (1, 11)],
+            },
+        ];
+        for with_ci in [false, true] {
+            let cs = 3;
+            let x0 = 4;
+            let mut lanes = WalkerLanes::default();
+            lanes.seed(&pairs, x0, with_ci);
+            let mut glanes = GroupLanes::default();
+            glanes.seed(&groups, x0);
+            let mut walkers: Vec<PairWalker> = pairs
+                .iter()
+                .map(|p| PairWalker::seed(p, x0, with_ci))
+                .collect();
+            let mut states: Vec<SegmentState> =
+                groups.iter().map(|g| SegmentState::seed(g, x0)).collect();
+            let mut x = x0;
+            for step in [0u64, 1, 2, 0, 3, 5, 1, 13, 0, 2, 40, 7] {
+                x += step;
+                let (pv, ps, pbp) = lanes.evaluate(x, cs, with_ci);
+                let mut want_v = 0;
+                let mut want_s = 0;
+                let mut want_bp = NO_BREAKPOINT;
+                for (i, w) in walkers.iter_mut().enumerate() {
+                    let pn = w.nc_capped(x, cs);
+                    want_v += pn.value;
+                    want_s += pn.slope;
+                    want_bp = want_bp.min(pn.next_bp);
+                    assert_eq!(lanes.pn_values()[i], pn.value, "x={x} lane {i}");
+                    if with_ci {
+                        let pc = w.ci_capped(x, cs);
+                        want_bp = want_bp.min(pc.next_bp);
+                        assert_eq!(
+                            lanes.dvs()[i],
+                            pc.value as i64 - pn.value as i64,
+                            "x={x} lane {i}"
+                        );
+                        assert_eq!(lanes.dss()[i], pc.slope as i64 - pn.slope as i64);
+                    }
+                }
+                assert_eq!((pv, ps, pbp), (want_v, want_s, want_bp), "pairs at x={x}");
+                let (gv, gs, gbp) = glanes.evaluate(x, cs);
+                let mut want = Piece {
+                    value: 0,
+                    slope: 0,
+                    next_bp: NO_BREAKPOINT,
+                };
+                for (state, curve) in states.iter_mut().zip(&groups) {
+                    let p = state.capped(curve, x, cs);
+                    want.value += p.value;
+                    want.slope += p.slope;
+                    want.next_bp = want.next_bp.min(p.next_bp);
+                }
+                assert_eq!(
+                    (gv, gs, gbp),
+                    (want.value, want.slope, want.next_bp),
+                    "groups at x={x}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,9 @@
 use rts_model::time::Duration;
 
 use crate::carry_in::SizedCombinations;
-use crate::crossing::{crossing_holds_at, min_crossing_masked, min_crossing_topdiff};
+use crate::crossing::{
+    crossing_holds_at, min_crossing_masked, min_crossing_topdiff, TopDiffScratch,
+};
 use crate::segments::{Curve, PairWalker, SegmentState};
 use crate::uniproc::HpTask;
 
@@ -154,24 +156,36 @@ pub struct Environment {
     /// Cached `(NC, CI)` curve pair per migrating task, index-aligned
     /// with `migrating`; maintained by `add_migrating`.
     pairs: Vec<(Curve, Curve)>,
-    /// Reusable solver scratch (segment memos, top-k buffer, Eq. 8 mask).
-    /// Never semantically meaningful between calls — excluded from `Eq`.
+    /// Revision counter of `group_curves`, bumped by [`Environment::pin`].
+    /// The top-difference solver's carried evaluations cache per-group
+    /// sums keyed by this epoch (migrating pairs carry their own full
+    /// keys and need no epoch).
+    curve_epoch: u64,
+    /// Reusable solver scratch (segment memos, top-k buffer, Eq. 8 mask,
+    /// and the carried evaluations of the top-difference solver). The
+    /// carried state never changes computed values — reuse is re-validated
+    /// against full task keys on every walk — so it is excluded from `Eq`
+    /// alongside the transient buffers.
     scratch: WalkScratch,
 }
 
 /// The buffers one Eq. 7/8 solve walks through, owned by the environment
-/// so the hot paths allocate nothing. Contents are transient per walk.
+/// so the hot paths allocate nothing. Contents are transient per walk,
+/// except the top-difference scratch's carried evaluations, which are
+/// self-validating (see [`TopDiffScratch`]).
 #[derive(Clone, Debug, Default)]
 struct WalkScratch {
-    /// Per-group-curve segment memos, re-seeded at the start of every
-    /// walk.
+    /// Per-group-curve segment memos of the masked (Eq. 8) walks,
+    /// re-seeded at the start of every walk.
     states: Vec<SegmentState>,
-    /// Per-migrating-pair walkers, re-seeded at the start of every walk.
+    /// Per-migrating-pair walkers of the masked walks, re-seeded at the
+    /// start of every walk.
     walkers: Vec<PairWalker>,
-    /// Top-k selection buffer of the top-difference solver.
-    diffs: Vec<(i64, i64)>,
     /// Carry-in mask of the Eq. 8 enumeration.
     mask: Vec<bool>,
+    /// Batched lanes, top-k buffer and carried evaluations of the
+    /// top-difference solver.
+    topdiff: TopDiffScratch,
 }
 
 /// Equality is defined over the registered tasks only — the cached curves
@@ -218,6 +232,7 @@ impl Environment {
             group_curves: Vec::new(),
             core_slot: vec![None; num_cores],
             pairs: Vec::new(),
+            curve_epoch: 0,
             scratch: WalkScratch::default(),
         }
     }
@@ -235,6 +250,7 @@ impl Environment {
     ///
     /// Panics if `core` is out of range.
     pub fn pin(&mut self, core: usize, task: HpTask) -> &mut Self {
+        self.curve_epoch += 1;
         self.per_core_pinned[core].push(task);
         let entry = (task.wcet.as_ticks(), task.period.as_ticks());
         match self.core_slot[core] {
@@ -358,15 +374,16 @@ impl Environment {
         let k_max = self.num_cores().saturating_sub(1).min(n);
         let groups = &self.group_curves;
         let pairs = &self.pairs;
+        let epoch = self.curve_epoch;
         let WalkScratch {
             states,
             walkers,
-            diffs,
             mask,
+            topdiff,
         } = &mut self.scratch;
         match strategy {
             CarryInStrategy::TopDiff => {
-                min_crossing_topdiff(groups, pairs, m, cs, start, lim, states, walkers, diffs)
+                min_crossing_topdiff(groups, pairs, m, cs, start, lim, epoch, topdiff)
                     .map(Duration::from_ticks)
             }
             CarryInStrategy::Exhaustive => {
