@@ -35,9 +35,11 @@ use ids_sim::reactive::{ModalMonitor, SweepOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rts_adapt::engine::{AdaptEngine, Request, Response, RtSpec};
+use rts_adapt::json::{self, Json};
 use rts_adapt::proto::render_request;
 use rts_adapt::reactor::{serve_reactor, ReactorOptions, Shutdown};
 use rts_adapt::shard::{ShardReport, ShardedEngine};
+use rts_adapt::telemetry::{StageSummary, Telemetry};
 use rts_analysis::semi::CarryInStrategy;
 use rts_model::delta::{DeltaEvent, MonitorSpec};
 use rts_model::time::Duration;
@@ -96,6 +98,11 @@ pub struct ServiceReport {
     pub errors: u64,
     /// Per-shard worker reports (tenant counts, memo statistics).
     pub shards: Vec<ShardReport>,
+    /// Per-stage latency summaries from the pool's telemetry registry.
+    /// The in-process harness has no serving front, so only the worker
+    /// stages (`queue`, `solve`) carry samples; all seven stages are
+    /// present either way. Empty counts everywhere with telemetry off.
+    pub stages: Vec<StageSummary>,
 }
 
 impl ServiceReport {
@@ -662,7 +669,32 @@ pub fn record_workload(config: &ServiceConfig) -> RecordedWorkload {
 /// invalidate the benchmark populations.
 #[must_use]
 pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
-    let mut pool = ShardedEngine::new(CarryInStrategy::TopDiff, config.shards);
+    run_service_load_with(config, true)
+}
+
+/// [`run_service_load`] with the pool's telemetry registry switched on
+/// or off — the two sides of the overhead budget (`service_bench
+/// --overhead-budget`). The request stream, the RNG consumption, and
+/// therefore the verdict populations are bit-identical either way;
+/// only the clock reads and histogram updates differ.
+///
+/// # Panics
+///
+/// As [`run_service_load`].
+#[must_use]
+pub fn run_service_load_with(config: &ServiceConfig, telemetry_on: bool) -> ServiceReport {
+    let telemetry = if telemetry_on {
+        Telemetry::new()
+    } else {
+        Telemetry::off()
+    };
+    let mut pool = ShardedEngine::with_telemetry(
+        CarryInStrategy::TopDiff,
+        config.shards,
+        None,
+        None,
+        telemetry,
+    );
 
     // ---- Fleet setup (untimed): register + initial arrivals. ----
     let mut setup = Vec::new();
@@ -715,6 +747,7 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
     }
     let wall_secs = started.elapsed().as_secs_f64();
 
+    let stages = pool.telemetry().stage_summaries();
     let shards = pool.shutdown();
     let mut latencies_us: Vec<f64> = latencies_ns
         .into_iter()
@@ -729,6 +762,7 @@ pub fn run_service_load(config: &ServiceConfig) -> ServiceReport {
         rejected,
         errors,
         shards,
+        stages,
     }
 }
 
@@ -750,6 +784,12 @@ pub struct ReactorLoadReport {
     pub rejected: u64,
     /// Stream requests answered anything else (must be zero).
     pub errors: u64,
+    /// Server-side per-stage latency summaries, fetched over the wire
+    /// with `{"op":"metrics"}` after the timed stream (all seven
+    /// lifecycle stages; zero counts when the reactor ran with
+    /// telemetry off). This is the breakdown that localizes the fan-in
+    /// ceiling to a stage instead of a guess.
+    pub stages: Vec<StageSummary>,
 }
 
 impl ReactorLoadReport {
@@ -790,6 +830,112 @@ fn tenant_of(request: &Request) -> u64 {
         | Request::Import { tenant, .. }
         | Request::Evict { tenant } => *tenant,
     }
+}
+
+/// Queries a live serving front for its metrics report over one fresh
+/// connection and returns the parsed JSON line (panics on a malformed
+/// answer — the metrics verb is part of the protocol surface under
+/// test).
+fn fetch_metrics(addr: SocketAddr) -> Json {
+    let mut sock = TcpStream::connect(addr).expect("connect for the metrics query");
+    sock.write_all(b"{\"op\":\"metrics\"}\n")
+        .expect("metrics request write");
+    let mut reader = BufReader::new(sock);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("metrics response read");
+    let value = json::parse(line.trim()).expect("metrics response is valid JSON");
+    assert_eq!(
+        value.get("verdict").and_then(Json::as_str),
+        Some("metrics"),
+        "unexpected metrics answer: {line}"
+    );
+    value
+}
+
+/// Asserts the metrics line carries every cataloged series block — the
+/// structural half of the CI `metrics-smoke` contract (value-level
+/// assertions live in `service_bench`). Every unified counter family
+/// must be present: connection gauges, shard snapshots, stage
+/// histograms, solver and walk phase counters, shared-store and journal
+/// counters, and the slow-request ring.
+fn verify_metrics_catalog(metrics: &Json) {
+    for key in [
+        "conns",
+        "shards",
+        "stages",
+        "solver",
+        "walks",
+        "shared_store",
+        "journal",
+        "slow",
+    ] {
+        assert!(
+            metrics.get(key).is_some(),
+            "metrics answer is missing the {key:?} block"
+        );
+    }
+    for (block, fields) in [
+        ("conns", &["live", "refused", "max"][..]),
+        (
+            "solver",
+            &[
+                "selections",
+                "probes",
+                "cascades",
+                "cascade_tasks",
+                "mean_cascade_tasks",
+            ][..],
+        ),
+        (
+            "walks",
+            &["walks", "evals", "quick_confirms", "mean_evals"][..],
+        ),
+        (
+            "shared_store",
+            &["hits", "misses", "entries", "flushes"][..],
+        ),
+        ("journal", &["appends", "snapshots", "fsyncs"][..]),
+    ] {
+        let value = metrics.get(block).expect("presence checked above");
+        for field in fields {
+            assert!(
+                value.get(field).is_some(),
+                "metrics {block:?} block is missing {field:?}"
+            );
+        }
+    }
+}
+
+/// Extracts the per-stage summaries from a parsed metrics line, in the
+/// report's stage order.
+fn parse_stage_summaries(metrics: &Json) -> Vec<StageSummary> {
+    let stages = metrics.get("stages").expect("metrics carries stages");
+    rts_adapt::telemetry::Stage::ALL
+        .iter()
+        .map(|stage| {
+            let entry = stages
+                .get(stage.name())
+                .unwrap_or_else(|| panic!("metrics stages missing {:?}", stage.name()));
+            let field = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("stage {:?} missing {key}", stage.name()))
+            };
+            StageSummary {
+                stage: stage.name().to_string(),
+                count: entry
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .expect("stage count"),
+                p50_us: field("p50_us"),
+                p90_us: field("p90_us"),
+                p99_us: field("p99_us"),
+                max_us: field("max_us"),
+                mean_us: field("mean_us"),
+            }
+        })
+        .collect()
 }
 
 #[derive(Default)]
@@ -904,6 +1050,23 @@ fn drive_connection(
 /// loses a request.
 #[must_use]
 pub fn run_reactor_load(workload: &RecordedWorkload, conns: usize) -> ReactorLoadReport {
+    run_reactor_load_with(workload, conns, true)
+}
+
+/// [`run_reactor_load`] with the reactor's telemetry switched on or
+/// off. The populations are identical either way; with telemetry off
+/// the post-run metrics query still answers, with every stage at zero
+/// count.
+///
+/// # Panics
+///
+/// As [`run_reactor_load`].
+#[must_use]
+pub fn run_reactor_load_with(
+    workload: &RecordedWorkload,
+    conns: usize,
+    telemetry: bool,
+) -> ReactorLoadReport {
     assert!(conns >= 1, "at least one connection");
     let active = conns.min(workload.config.tenants.max(1));
     let window = (64 / active).max(1);
@@ -914,6 +1077,7 @@ pub fn run_reactor_load(workload: &RecordedWorkload, conns: usize) -> ReactorLoa
         let shutdown = Arc::clone(&shutdown);
         let mut options = ReactorOptions::new(CarryInStrategy::TopDiff, workload.config.shards);
         options.max_conns = conns + 8;
+        options.telemetry = telemetry;
         std::thread::spawn(move || serve_reactor(listener, &options, &shutdown))
     };
 
@@ -956,6 +1120,12 @@ pub fn run_reactor_load(workload: &RecordedWorkload, conns: usize) -> ReactorLoa
         totals.rejected += t.rejected;
         totals.errors += t.errors;
     }
+    // The timed stream is over (the finish barrier passed); fetch the
+    // server-side stage breakdown before asking the reactor to drain.
+    // `max_conns = conns + 8` left headroom for exactly this query.
+    let metrics = fetch_metrics(addr);
+    verify_metrics_catalog(&metrics);
+    let stages = parse_stage_summaries(&metrics);
     shutdown.request();
     server
         .join()
@@ -972,6 +1142,7 @@ pub fn run_reactor_load(workload: &RecordedWorkload, conns: usize) -> ReactorLoa
         accepted: totals.accepted,
         rejected: totals.rejected,
         errors: totals.errors,
+        stages,
     }
 }
 
@@ -1059,5 +1230,49 @@ mod tests {
             assert_eq!(replay.rejected, recorded.rejected, "conns={conns}");
             assert!(replay.percentile_us(0.5) > 0.0);
         }
+    }
+
+    /// The determinism pin for the telemetry spine: histograms are
+    /// observers, never participants. The same workload produces
+    /// bit-identical verdict populations with telemetry on and off —
+    /// in-process and over TCP — while the stage counts flip between
+    /// "every request sampled" and "nothing recorded at all".
+    #[test]
+    fn telemetry_never_changes_the_populations() {
+        let on = run_service_load_with(&tiny(), true);
+        let off = run_service_load_with(&tiny(), false);
+        assert_eq!(
+            (on.accepted, on.rejected, on.errors),
+            (off.accepted, off.rejected, off.errors),
+            "telemetry changed the verdicts"
+        );
+        let count = |report: &ServiceReport, name: &str| {
+            report
+                .stages
+                .iter()
+                .find(|s| s.stage == name)
+                .unwrap()
+                .count
+        };
+        for name in ["queue", "solve"] {
+            assert!(
+                count(&on, name) > 0,
+                "stage {name} unsampled with telemetry on"
+            );
+            assert_eq!(
+                count(&off, name),
+                0,
+                "stage {name} sampled with telemetry off"
+            );
+        }
+
+        // Over TCP with telemetry off: same populations, and the metrics
+        // verb still answers with the full (all-zero) catalog.
+        let recorded = record_workload(&tiny());
+        let replay = run_reactor_load_with(&recorded, 3, false);
+        assert_eq!(replay.errors, 0);
+        assert_eq!(replay.accepted, recorded.accepted);
+        assert_eq!(replay.rejected, recorded.rejected);
+        assert!(replay.stages.iter().all(|s| s.count == 0));
     }
 }

@@ -5,7 +5,7 @@
 //! ```sh
 //! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
 //!            [--tcp ADDR] [--threaded] [--max-conns N] [--journal DIR]
-//!            [--compact-every N]
+//!            [--compact-every N] [--no-telemetry]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
@@ -37,6 +37,11 @@
 //! compaction). The `export` / `import` / `evict` protocol verbs hand a
 //! tenant off between two daemons (see the README's Operations section
 //! for the runbook).
+//!
+//! Telemetry (stage-latency histograms, the slow-request ring, the
+//! `{"op":"metrics"}` verb — see `rts_adapt::telemetry`) is on by
+//! default in every mode; `--no-telemetry` selects the zero-clock-read
+//! path: the metrics verb still answers, with every histogram empty.
 
 use std::io::{self, BufReader, Read};
 use std::net::TcpListener;
@@ -46,6 +51,7 @@ use rts_adapt::journal::JournalDir;
 use rts_adapt::reactor::{serve_reactor, ReactorOptions, Shutdown};
 use rts_adapt::server::{serve, serve_tcp, shared};
 use rts_adapt::shard::{ShardReport, ShardedEngine};
+use rts_adapt::telemetry::Telemetry;
 use rts_analysis::semi::CarryInStrategy;
 
 fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -98,6 +104,15 @@ fn main() {
     let journal =
         arg_value(&args, "--journal").map(|dir| JournalDir::at(dir).with_compaction(compact_every));
     let threaded = args.iter().any(|a| a == "--threaded");
+    let telemetry_on = !args.iter().any(|a| a == "--no-telemetry");
+    let build_engine = |journal: Option<JournalDir>| {
+        let telemetry = if telemetry_on {
+            Telemetry::new()
+        } else {
+            Telemetry::off()
+        };
+        ShardedEngine::with_telemetry(strategy, shards, journal, None, telemetry)
+    };
 
     match arg_value(&args, "--tcp") {
         Some(addr) if !threaded => {
@@ -107,6 +122,7 @@ fn main() {
             let mut options = ReactorOptions::new(strategy, shards);
             options.journal = journal;
             options.max_conns = max_conns;
+            options.telemetry = telemetry_on;
             let shutdown = Shutdown::new();
             let watcher = Arc::clone(&shutdown);
             // Stdin EOF (Ctrl-D, or the supervisor closing the pipe)
@@ -135,21 +151,14 @@ fn main() {
         Some(addr) => {
             // Legacy thread-per-connection front end, kept for parity
             // testing; serves until the process is killed.
-            let engine = match journal {
-                Some(journal) => ShardedEngine::with_journal(strategy, shards, journal),
-                None => ShardedEngine::new(strategy, shards),
-            };
-            let engine = shared(engine);
+            let engine = shared(build_engine(journal));
             if let Err(e) = serve_tcp(&engine, addr, batch, max_conns) {
                 fail(e);
             }
             unreachable!("serve_tcp only returns on error");
         }
         None => {
-            let mut engine = match journal {
-                Some(journal) => ShardedEngine::with_journal(strategy, shards, journal),
-                None => ShardedEngine::new(strategy, shards),
-            };
+            let mut engine = build_engine(journal);
             let stdin = io::stdin().lock();
             let stdout = io::stdout().lock();
             let result = serve(&mut engine, BufReader::new(stdin), stdout, batch);

@@ -446,6 +446,49 @@ impl From<io::Error> for ReplayError {
     }
 }
 
+/// Process-wide durability counters, fed by every [`JournalDir`] write
+/// path. Like the solver's phase counters they live in relaxed statics:
+/// journal writes happen on whichever shard worker owns the tenant, far
+/// below anything the metrics verb could thread a handle through, and
+/// the numbers are monitoring telemetry, not synchronization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct JournalStats {
+    /// Accepted events appended (registration lines included).
+    pub appends: u64,
+    /// Snapshot compactions written (write-then-rename cycles).
+    pub snapshots: u64,
+    /// `fsync` calls issued — every append and snapshot pays one, so
+    /// this is the journal's syscall cost in the stage picture.
+    pub fsyncs: u64,
+}
+
+static APPENDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SNAPSHOTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static FSYNCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Reads the process-wide journal counters.
+#[must_use]
+pub fn stats() -> JournalStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    JournalStats {
+        appends: APPENDS.load(Relaxed),
+        snapshots: SNAPSHOTS.load(Relaxed),
+        fsyncs: FSYNCS.load(Relaxed),
+    }
+}
+
+fn count_append() {
+    APPENDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn count_snapshot() {
+    SNAPSHOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn count_fsync() {
+    FSYNCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// A directory of per-tenant journals, with an optional automatic
 /// compaction policy that the owning engine consults.
 #[derive(Clone, Debug)]
@@ -499,7 +542,10 @@ impl JournalDir {
         let mut f = std::fs::File::create(self.path_for(tenant))?;
         f.write_all(render_registration(cores, rt).as_bytes())?;
         f.write_all(b"\n")?;
-        f.sync_all()
+        f.sync_all()?;
+        count_append();
+        count_fsync();
+        Ok(())
     }
 
     /// Appends one accepted event to a tenant's journal.
@@ -515,7 +561,10 @@ impl JournalDir {
             .open(self.path_for(tenant))?;
         f.write_all(render_event(event).as_bytes())?;
         f.write_all(b"\n")?;
-        f.sync_all()
+        f.sync_all()?;
+        count_append();
+        count_fsync();
+        Ok(())
     }
 
     /// Compacts (or initializes) a tenant's journal to a registration +
@@ -544,8 +593,11 @@ impl JournalDir {
             f.write_all(render_snapshot(snapshot).as_bytes())?;
             f.write_all(b"\n")?;
             f.sync_all()?;
+            count_fsync();
         }
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        count_snapshot();
+        Ok(())
     }
 
     /// The tenants with a journal file in this directory, ascending. An

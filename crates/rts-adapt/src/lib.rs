@@ -23,6 +23,10 @@
 //! * [`server`] — the stdin and TCP front ends (the `rts_adaptd`
 //!   binary); TCP connections are served concurrently by bounded
 //!   threads over one shared engine;
+//! * [`telemetry`] — the observability spine: lock-free stage-latency
+//!   histograms, the monotonic tick source, and the worst-N
+//!   slow-request ring behind the `{"op":"metrics"}` verb and the
+//!   Prometheus text exposition;
 //! * [`journal`] — per-tenant event-log persistence: registrations and
 //!   accepted deltas appended as line JSON, snapshot compaction that
 //!   truncates the delta tail (write-then-rename, automatic via
@@ -121,6 +125,7 @@ pub mod proto;
 pub mod reactor;
 pub mod server;
 pub mod shard;
+pub mod telemetry;
 pub mod tenant;
 
 /// The most common imports in one place.
@@ -137,4 +142,5 @@ pub use journal::{replay, JournalDir, ReplayError, TenantHistory, TenantSnapshot
 pub use reactor::{serve_reactor, ReactorOptions, ReactorSummary, Shutdown};
 pub use server::{serve, serve_shared, serve_tcp, shared, SharedEngine};
 pub use shard::ShardedEngine;
+pub use telemetry::{Histogram, SlowRequest, Stage, StageSummary, Telemetry};
 pub use tenant::{ApplyError, MonitorEntry, TenantState};

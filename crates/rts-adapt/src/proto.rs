@@ -51,10 +51,12 @@ use crate::engine::{Admitted, Request, Response, RtSpec};
 use crate::journal;
 use crate::json::{self, Json};
 use crate::shard::ShardSnapshot;
+use crate::telemetry::{Histogram, SlowRequest, Stage};
 
 /// One parsed protocol line: either a request for the engine, or a verb
-/// the *serving layer* answers itself (`stats` needs per-shard queue
-/// depths and connection gauges no single engine worker can see).
+/// the *serving layer* answers itself (`stats` and `metrics` need
+/// per-shard queue depths, connection gauges and stage histograms no
+/// single engine worker can see).
 #[derive(Clone, PartialEq, Debug)]
 pub enum Command {
     /// An ordinary engine request, dispatched to the tenant's shard.
@@ -62,6 +64,13 @@ pub enum Command {
     /// `{"op":"stats"}` — answered immediately by the front end with
     /// [`render_stats`], never entering a shard queue.
     Stats,
+    /// `{"op":"metrics"}` — the full observability report, answered
+    /// immediately by the front end with [`render_metrics`].
+    Metrics,
+    /// `{"op":"metrics","format":"prometheus"}` — the same report as a
+    /// Prometheus-style text exposition, wrapped in one JSON line (the
+    /// `text` field) so it stays line-protocol-safe.
+    MetricsText,
 }
 
 /// Parses one protocol line into a [`Command`].
@@ -80,6 +89,12 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     if op == "stats" {
         return Ok(Command::Stats);
     }
+    if op == "metrics" {
+        return Ok(match value.get("format").and_then(Json::as_str) {
+            Some("prometheus") => Command::MetricsText,
+            _ => Command::Metrics,
+        });
+    }
     parse_engine_request(&value, op).map(Command::Engine)
 }
 
@@ -93,6 +108,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match parse_command(line)? {
         Command::Engine(request) => Ok(request),
         Command::Stats => Err("\"stats\" is answered by the serving layer, not the engine".into()),
+        Command::Metrics | Command::MetricsText => {
+            Err("\"metrics\" is answered by the serving layer, not the engine".into())
+        }
     }
 }
 
@@ -304,6 +322,264 @@ pub fn render_stats(seq: u64, shards: &[ShardSnapshot], conns: ConnStats) -> Str
         );
     }
     out.push_str("]}");
+    out
+}
+
+/// Everything the `{"op":"metrics"}` verb reports, assembled in one
+/// place (see [`crate::shard::ShardedEngine::metrics_report`]) so the
+/// reactor, threaded and stdin fronts render byte-shape-identical
+/// answers from the same code path. This is the unification point for
+/// every previously ad-hoc counter in the workspace: connection
+/// gauges, shard snapshots (memo statistics included), stage-latency
+/// histograms, the solver's selection/probe/cascade counters, the
+/// analysis layer's fixed-point walk counters, the cross-tenant
+/// shared-store counters, the journal's durability counters, and the
+/// worst-N slow-request ring.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    /// Connection gauges of the serving front (zeros on stdin).
+    pub conns: ConnStats,
+    /// Per-shard live snapshots, ordered by shard index.
+    pub shards: Vec<ShardSnapshot>,
+    /// Stage-latency histograms in [`Stage::ALL`] order.
+    pub stages: Vec<(Stage, Histogram)>,
+    /// Algorithm 1/2 phase counters (process-wide).
+    pub solver: hydra_core::phase_stats::SelectionStats,
+    /// Fixed-point walk counters (process-wide).
+    pub walks: rts_analysis::phase_stats::WalkStats,
+    /// Cross-tenant shared selection store counters.
+    pub shared_store: hydra_core::SharedStoreStats,
+    /// Journal durability counters (process-wide).
+    pub journal: journal::JournalStats,
+    /// The worst-N slow requests, worst first.
+    pub slow: Vec<SlowRequest>,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn write_stage_summary(out: &mut String, histogram: &Histogram) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"p50_us\":{:.1},\"p90_us\":{:.1},\"p99_us\":{:.1},\
+         \"max_us\":{:.1},\"mean_us\":{:.1}}}",
+        histogram.count(),
+        us(histogram.quantile_ns(0.50)),
+        us(histogram.quantile_ns(0.90)),
+        us(histogram.quantile_ns(0.99)),
+        us(histogram.max_ns()),
+        histogram.mean_ns() / 1000.0,
+    );
+}
+
+/// Renders the answer to the `{"op":"metrics"}` verb as a single JSON
+/// line (no trailing newline). Every cataloged series is always
+/// present — empty histograms render with `count:0` — so the field set
+/// is identical across fronts and load states by construction.
+#[must_use]
+pub fn render_metrics(seq: u64, report: &MetricsReport) -> String {
+    let mut out = String::with_capacity(1024 + 96 * report.shards.len());
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"verdict\":\"metrics\",\"conns\":{{\"live\":{},\"refused\":{},\
+         \"max\":{}}},\"shards\":[",
+        report.conns.live, report.conns.refused, report.conns.max
+    );
+    for (i, s) in report.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"queue_depth\":{},\"handled\":{},\"memo_hits\":{},\
+             \"memo_shared_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{:.4},\
+             \"tenants\":{}}}",
+            s.shard,
+            s.queue_depth,
+            s.handled,
+            s.memo_hits,
+            s.memo_shared_hits,
+            s.memo_misses,
+            s.memo_hit_rate(),
+            s.tenants
+        );
+    }
+    out.push_str("],\"stages\":{");
+    for (i, (stage, histogram)) in report.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", stage.name());
+        write_stage_summary(&mut out, histogram);
+    }
+    let solver = &report.solver;
+    let _ = write!(
+        out,
+        "}},\"solver\":{{\"selections\":{},\"probes\":{},\"cascades\":{},\
+         \"cascade_tasks\":{},\"mean_cascade_tasks\":{:.2}}}",
+        solver.selections,
+        solver.probes,
+        solver.cascades,
+        solver.cascade_tasks,
+        solver.mean_cascade_tasks()
+    );
+    let walks = &report.walks;
+    let _ = write!(
+        out,
+        ",\"walks\":{{\"walks\":{},\"evals\":{},\"quick_confirms\":{},\"mean_evals\":{:.2}}}",
+        walks.walks,
+        walks.evals,
+        walks.quick_confirms,
+        walks.mean_evals()
+    );
+    let store = &report.shared_store;
+    let _ = write!(
+        out,
+        ",\"shared_store\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"flushes\":{}}}",
+        store.hits, store.misses, store.entries, store.flushes
+    );
+    let journal = &report.journal;
+    let _ = write!(
+        out,
+        ",\"journal\":{{\"appends\":{},\"snapshots\":{},\"fsyncs\":{}}}",
+        journal.appends, journal.snapshots, journal.fsyncs
+    );
+    out.push_str(",\"slow\":[");
+    for (i, slow) in report.slow.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"tenant\":{},\"conn\":{},\"seq\":{},\"parse_us\":{:.1},\"queue_us\":{:.1},\
+             \"solve_us\":{:.1},\"respond_us\":{:.1},\"flush_us\":{:.1},\"total_us\":{:.1}}}",
+            slow.tenant,
+            slow.conn,
+            slow.seq,
+            us(slow.parse_ns),
+            us(slow.queue_ns),
+            us(slow.solve_ns),
+            us(slow.respond_ns),
+            us(slow.flush_ns),
+            us(slow.total_ns)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The Prometheus `le` ladder for stage latencies, in microseconds
+/// (the exposition's bucket granularity; the JSON verb keeps the full
+/// log2 resolution).
+const PROMETHEUS_LE_US: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Renders the same report as a Prometheus-style text exposition
+/// (`# TYPE` headers, cumulative `_bucket{le=...}` histograms, labeled
+/// per-shard counters). Multi-line text — serve it via
+/// [`render_metrics_text`] on the line protocol or dump it raw.
+#[must_use]
+pub fn render_prometheus(report: &MetricsReport) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# TYPE rts_adapt_conns_live gauge\n");
+    let _ = writeln!(out, "rts_adapt_conns_live {}", report.conns.live);
+    out.push_str("# TYPE rts_adapt_conns_refused counter\n");
+    let _ = writeln!(out, "rts_adapt_conns_refused {}", report.conns.refused);
+    out.push_str("# TYPE rts_adapt_conns_max gauge\n");
+    let _ = writeln!(out, "rts_adapt_conns_max {}", report.conns.max);
+    for (name, kind) in [
+        ("queue_depth", "gauge"),
+        ("handled", "counter"),
+        ("memo_hits", "counter"),
+        ("memo_shared_hits", "counter"),
+        ("memo_misses", "counter"),
+        ("tenants", "gauge"),
+    ] {
+        let _ = writeln!(out, "# TYPE rts_adapt_shard_{name} {kind}");
+        for s in &report.shards {
+            let value = match name {
+                "queue_depth" => s.queue_depth,
+                "handled" => s.handled,
+                "memo_hits" => s.memo_hits,
+                "memo_shared_hits" => s.memo_shared_hits,
+                "memo_misses" => s.memo_misses,
+                _ => s.tenants as u64,
+            };
+            let _ = writeln!(
+                out,
+                "rts_adapt_shard_{name}{{shard=\"{}\"}} {value}",
+                s.shard
+            );
+        }
+    }
+    out.push_str("# TYPE rts_adapt_stage_latency_us histogram\n");
+    for (stage, histogram) in &report.stages {
+        let stage = stage.name();
+        for le in PROMETHEUS_LE_US {
+            let _ = writeln!(
+                out,
+                "rts_adapt_stage_latency_us_bucket{{stage=\"{stage}\",le=\"{le}\"}} {}",
+                histogram.count_le_ns(le * 1_000)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "rts_adapt_stage_latency_us_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}",
+            histogram.count()
+        );
+        let _ = writeln!(
+            out,
+            "rts_adapt_stage_latency_us_sum{{stage=\"{stage}\"}} {:.1}",
+            us(histogram.sum_ns())
+        );
+        let _ = writeln!(
+            out,
+            "rts_adapt_stage_latency_us_count{{stage=\"{stage}\"}} {}",
+            histogram.count()
+        );
+    }
+    // Solver and walk counter names come from the crates that own them
+    // (`phase_stats::*Stats::series`), so an added counter shows up here
+    // without this renderer learning about it.
+    let flat = report
+        .solver
+        .series()
+        .into_iter()
+        .chain(report.walks.series())
+        .chain([
+            ("shared_store_hits", report.shared_store.hits),
+            ("shared_store_misses", report.shared_store.misses),
+            ("shared_store_flushes", report.shared_store.flushes),
+            ("journal_appends", report.journal.appends),
+            ("journal_snapshots", report.journal.snapshots),
+            ("journal_fsyncs", report.journal.fsyncs),
+        ]);
+    for (name, value) in flat {
+        let _ = writeln!(out, "# TYPE rts_adapt_{name} counter");
+        let _ = writeln!(out, "rts_adapt_{name} {value}");
+    }
+    out.push_str("# TYPE rts_adapt_shared_store_entries gauge\n");
+    let _ = writeln!(
+        out,
+        "rts_adapt_shared_store_entries {}",
+        report.shared_store.entries
+    );
+    out
+}
+
+/// Wraps the Prometheus exposition in one JSON line for the line
+/// protocol: `{"seq":N,"verdict":"metrics_text","content_type":...,
+/// "text":"..."}` with the text JSON-escaped.
+#[must_use]
+pub fn render_metrics_text(seq: u64, report: &MetricsReport) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"verdict\":\"metrics_text\",\
+         \"content_type\":\"text/plain; version=0.0.4\",\"text\":"
+    );
+    json::write_escaped(&mut out, &render_prometheus(report));
+    out.push('}');
     out
 }
 
@@ -715,5 +991,179 @@ mod tests {
                 "round trip failed for {line}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_is_a_serving_layer_command() {
+        assert_eq!(
+            parse_command(r#"{"op":"metrics"}"#).unwrap(),
+            Command::Metrics
+        );
+        assert_eq!(
+            parse_command(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Command::MetricsText
+        );
+        // Unknown formats fall back to the JSON report rather than erroring.
+        assert_eq!(
+            parse_command(r#"{"op":"metrics","format":"xml"}"#).unwrap(),
+            Command::Metrics
+        );
+        assert!(parse_request(r#"{"op":"metrics"}"#)
+            .unwrap_err()
+            .contains("serving layer"));
+    }
+
+    fn sample_metrics_report() -> MetricsReport {
+        let mut stages: Vec<(Stage, Histogram)> = Stage::ALL
+            .iter()
+            .map(|&stage| (stage, Histogram::new()))
+            .collect();
+        for (stage, histogram) in &mut stages {
+            if *stage == Stage::Solve {
+                for ns in [800, 1_500, 2_000_000] {
+                    histogram.record(ns);
+                }
+            }
+        }
+        MetricsReport {
+            conns: ConnStats {
+                live: 3,
+                refused: 1,
+                max: 64,
+            },
+            shards: vec![ShardSnapshot {
+                shard: 0,
+                queue_depth: 2,
+                handled: 10,
+                memo_hits: 4,
+                memo_shared_hits: 1,
+                memo_misses: 5,
+                tenants: 3,
+            }],
+            stages,
+            solver: hydra_core::phase_stats::SelectionStats {
+                selections: 5,
+                probes: 40,
+                cascades: 41,
+                cascade_tasks: 50,
+            },
+            walks: rts_analysis::phase_stats::WalkStats {
+                walks: 7,
+                evals: 70,
+                quick_confirms: 2,
+            },
+            shared_store: hydra_core::SharedStoreStats {
+                hits: 3,
+                misses: 2,
+                entries: 2,
+                flushes: 1,
+            },
+            journal: journal::JournalStats {
+                appends: 9,
+                snapshots: 1,
+                fsyncs: 4,
+            },
+            slow: vec![SlowRequest {
+                tenant: 4,
+                conn: 2,
+                seq: 11,
+                parse_ns: 1_000,
+                queue_ns: 2_000,
+                solve_ns: 3_000,
+                respond_ns: 4_000,
+                flush_ns: 5_000,
+                total_ns: 15_000,
+            }],
+        }
+    }
+
+    /// Every cataloged series is present in the JSON report even when
+    /// its histogram is empty — the field set never depends on load.
+    #[test]
+    fn metrics_render_carries_every_cataloged_series() {
+        let line = render_metrics(42, &sample_metrics_report());
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            parsed.get("verdict").and_then(Json::as_str),
+            Some("metrics")
+        );
+        let stages = parsed.get("stages").unwrap();
+        for stage in Stage::ALL {
+            let entry = stages
+                .get(stage.name())
+                .unwrap_or_else(|| panic!("stage {} missing", stage.name()));
+            for field in ["count", "p50_us", "p90_us", "p99_us", "max_us", "mean_us"] {
+                assert!(entry.get(field).is_some(), "{}.{field}", stage.name());
+            }
+        }
+        assert_eq!(
+            stages
+                .get("solve")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        // Quantiles are bucket upper edges: the p50 of {0.8µs, 1.5µs,
+        // 2ms} lands in the bucket holding 1.5µs, never above 2ms.
+        let p50 = stages
+            .get("solve")
+            .and_then(|s| s.get("p50_us"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((1.5..2.0).contains(&p50), "{p50}");
+        let solver = parsed.get("solver").unwrap();
+        assert_eq!(solver.get("probes").and_then(Json::as_u64), Some(40));
+        let walks = parsed.get("walks").unwrap();
+        assert_eq!(walks.get("quick_confirms").and_then(Json::as_u64), Some(2));
+        let store = parsed.get("shared_store").unwrap();
+        assert_eq!(store.get("flushes").and_then(Json::as_u64), Some(1));
+        let journal = parsed.get("journal").unwrap();
+        assert_eq!(journal.get("fsyncs").and_then(Json::as_u64), Some(4));
+        let slow = parsed.get("slow").and_then(Json::as_array).unwrap();
+        assert_eq!(slow[0].get("tenant").and_then(Json::as_u64), Some(4));
+        assert_eq!(slow[0].get("conn").and_then(Json::as_u64), Some(2));
+    }
+
+    /// The Prometheus exposition is structurally sound: cumulative
+    /// non-decreasing buckets capped by `+Inf` = `_count`, and the
+    /// line-protocol wrapper carries it byte-for-byte.
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let report = sample_metrics_report();
+        let text = render_prometheus(&report);
+        for series in [
+            "rts_adapt_conns_live",
+            "rts_adapt_shard_handled",
+            "rts_adapt_solver_probes",
+            "rts_adapt_walks_total",
+            "rts_adapt_shared_store_hits",
+            "rts_adapt_journal_fsyncs",
+        ] {
+            assert!(text.contains(series), "missing series {series}");
+        }
+        let solve_buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("rts_adapt_stage_latency_us_bucket{stage=\"solve\""))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(solve_buckets.len(), PROMETHEUS_LE_US.len() + 1);
+        assert!(
+            solve_buckets.windows(2).all(|w| w[0] <= w[1]),
+            "buckets must be cumulative: {solve_buckets:?}"
+        );
+        assert_eq!(*solve_buckets.last().unwrap(), 3);
+
+        let wrapped = render_metrics_text(7, &report);
+        let parsed = crate::json::parse(&wrapped).unwrap();
+        assert_eq!(
+            parsed.get("verdict").and_then(Json::as_str),
+            Some("metrics_text")
+        );
+        assert_eq!(
+            parsed.get("content_type").and_then(Json::as_str),
+            Some("text/plain; version=0.0.4")
+        );
+        assert_eq!(parsed.get("text").and_then(Json::as_str), Some(&*text));
     }
 }

@@ -37,6 +37,17 @@
 //! and resumes below the low-water marks. A slow or dead reader
 //! therefore throttles only itself; the shard queues stay bounded.
 //!
+//! Telemetry ([`crate::telemetry`]) rides the loop at **one monotonic
+//! clock read per poll iteration**: the pass tick, taken right after
+//! `poll` returns (so blocked time is never charged to a request),
+//! stamps every accept, read, parse, and respond event of the pass.
+//! The one deliberate exception is flush completion — when traced
+//! responses fully leave with a pass's write calls, one extra read
+//! closes their flush/total intervals, so the write-syscall fan-in
+//! cost is measured instead of being folded into the next pass. With
+//! telemetry off ([`ReactorOptions::telemetry`] = false) no clock is
+//! read at all and verdict populations are bit-identical either way.
+//!
 //! Ordering and determinism are inherited from [`crate::shard`]: a
 //! tenant's requests stay in submission order (they enter one FIFO in
 //! line order and tenants hash to exactly one shard), so verdict
@@ -52,7 +63,7 @@
 //! Only then is the pool shut down; journal appends are fsynced as they
 //! happen, so an orderly stop loses no accepted delta.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -68,7 +79,8 @@ use crate::engine::{Request, Response};
 use crate::journal::JournalDir;
 use crate::proto::{self, Command, ConnStats};
 use crate::server::{oversized_reason, refuse_connection, MAX_LINE_BYTES};
-use crate::shard::{ShardReport, ShardedEngine};
+use crate::shard::{ResponseMeta, ShardReport, ShardedEngine};
+use crate::telemetry::{SlowRequest, Stage, Telemetry};
 
 /// The listener's poll token.
 const LISTENER: Token = Token(0);
@@ -158,6 +170,10 @@ pub struct ReactorOptions {
     /// Simultaneous-connection cap; connections beyond it are refused
     /// with a protocol error line.
     pub max_conns: usize,
+    /// Stage-latency telemetry (on by default). When off, the reactor
+    /// takes zero clock reads on the hot path and every record call is
+    /// one predictable branch — the ≤2 % overhead budget's floor.
+    pub telemetry: bool,
 }
 
 impl ReactorOptions {
@@ -169,6 +185,7 @@ impl ReactorOptions {
             shards,
             journal: None,
             max_conns: 64,
+            telemetry: true,
         }
     }
 }
@@ -190,6 +207,36 @@ pub struct ReactorSummary {
     pub reports: Vec<ShardReport>,
 }
 
+/// A rendered answer awaiting its in-order turn, plus the trace stamps
+/// it carries if it came out of the engine with telemetry on.
+struct PendingLine {
+    line: String,
+    /// `(tenant, worker stamps)` for traced engine responses; `None`
+    /// for stats/metrics/error lines (those never enter a shard queue,
+    /// so they have no lifecycle to trace).
+    trace: Option<(u64, ResponseMeta)>,
+}
+
+impl PendingLine {
+    fn untraced(line: String) -> PendingLine {
+        PendingLine { line, trace: None }
+    }
+}
+
+/// A traced response whose bytes sit in a connection's write buffer:
+/// once the flushed prefix covers `end`, the request's flush and total
+/// stages are known and the slow ring gets its entry.
+struct FlushTag {
+    /// `write_buf` offset at which this response's bytes end (adjusted
+    /// when the flushed prefix is reclaimed).
+    end: usize,
+    tenant: u64,
+    seq: u64,
+    meta: ResponseMeta,
+    /// Pass tick at which the line entered the write buffer.
+    respond_ns: u64,
+}
+
 /// One live connection's state in the reactor.
 struct Conn {
     stream: TcpStream,
@@ -204,10 +251,19 @@ struct Conn {
     /// answers go out strictly in line order).
     next_write: u64,
     /// Rendered answers that arrived ahead of `next_write`.
-    pending: BTreeMap<u64, String>,
+    pending: BTreeMap<u64, PendingLine>,
     write_buf: Vec<u8>,
     /// Flushed prefix of `write_buf`.
     written: usize,
+    /// Pass tick at accept time (start of the accept stage).
+    accept_ns: u64,
+    /// Accept stage recorded (once, on the first bytes received).
+    accept_done: bool,
+    /// Pass tick at which the oldest unconsumed bytes arrived — the
+    /// start of every request parsed out of the current buffer.
+    read_ns: u64,
+    /// Traced responses in `write_buf`, in buffer order.
+    flush_tags: VecDeque<FlushTag>,
     /// Requests dispatched to the pool and not yet answered. The slot
     /// (and its envelope token) stays reserved until this reaches zero,
     /// even after the socket dies.
@@ -224,7 +280,7 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, accept_ns: u64) -> Conn {
         Conn {
             stream,
             read_buf: Vec::new(),
@@ -234,6 +290,10 @@ impl Conn {
             pending: BTreeMap::new(),
             write_buf: Vec::new(),
             written: 0,
+            accept_ns,
+            accept_done: false,
+            read_ns: 0,
+            flush_tags: VecDeque::new(),
             in_flight: 0,
             read_closed: false,
             dead: false,
@@ -270,6 +330,11 @@ impl Conn {
 struct Reactor {
     registry: Registry,
     pool: ShardedEngine,
+    telemetry: Arc<Telemetry>,
+    /// The pass tick: one monotonic clock read taken right after each
+    /// `poll` return and reused for every event stamp in the pass (the
+    /// one-read-per-iteration discipline; 0 with telemetry off).
+    pass_ns: u64,
     listener: Option<TcpListener>,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
@@ -316,7 +381,7 @@ impl Reactor {
                     });
                     self.live += 1;
                     self.accepted_conns += 1;
-                    let mut conn = Conn::new(stream);
+                    let mut conn = Conn::new(stream, self.pass_ns);
                     self.update_interest(idx, &mut conn);
                     self.conns[idx] = Some(conn);
                 }
@@ -345,6 +410,7 @@ impl Reactor {
         if !readable || conn.read_closed || conn.paused {
             return;
         }
+        let was_empty = conn.read_buf.is_empty();
         let mut chunk = [0u8; 64 * 1024];
         let mut taken = 0;
         loop {
@@ -372,13 +438,24 @@ impl Reactor {
                 }
             }
         }
+        if taken > 0 {
+            // Both stamps reuse the pass tick — no clock read here.
+            if was_empty {
+                conn.read_ns = self.pass_ns;
+            }
+            if !conn.accept_done {
+                conn.accept_done = true;
+                self.telemetry
+                    .record_stage(Stage::Accept, self.pass_ns.saturating_sub(conn.accept_ns));
+            }
+        }
     }
 
     /// Drains every response the workers have finished, re-ordering each
     /// into its connection's pending map (or dropping it if the
     /// connection died) and recording the slots that need service.
     fn route_responses(&mut self, touched: &mut Vec<usize>) {
-        while let Some((packed, response)) = self.pool.try_recv() {
+        while let Some((packed, response, meta)) = self.pool.try_recv_traced() {
             let idx = (packed >> SEQ_BITS) as usize;
             let seq = packed & SEQ_MASK;
             let conn = self.conns[idx]
@@ -386,17 +463,71 @@ impl Reactor {
                 .expect("slots are reserved while requests are in flight");
             conn.in_flight -= 1;
             if !conn.dead {
-                conn.pending
-                    .insert(seq, proto::render_response(seq, &response));
+                // `solved_ns == 0` marks an untraced response (telemetry
+                // off): no stamps to carry forward.
+                let trace = (meta.solved_ns != 0).then(|| (response.tenant(), meta));
+                conn.pending.insert(
+                    seq,
+                    PendingLine {
+                        line: proto::render_response(seq, &response),
+                        trace,
+                    },
+                );
             }
             touched.push(idx);
+        }
+    }
+
+    /// Answers one parsed line: `stats`/`metrics` are served from the
+    /// reactor thread (they never enter a shard queue), engine requests
+    /// join `batch` tagged with the packed token and their read stamp,
+    /// parse failures get an error line. Shared by the in-stream and
+    /// EOF-partial-line sites of [`Reactor::parse_lines`].
+    fn answer_command(
+        &mut self,
+        idx: usize,
+        conn: &mut Conn,
+        seq: u64,
+        parsed: Result<Command, String>,
+        batch: &mut Vec<(u64, Request, u64)>,
+    ) {
+        match parsed {
+            Ok(Command::Stats) => {
+                let line = proto::render_stats(seq, &self.pool.snapshots(), self.conn_stats());
+                conn.pending.insert(seq, PendingLine::untraced(line));
+            }
+            Ok(Command::Metrics) => {
+                let report = self.pool.metrics_report(self.conn_stats());
+                conn.pending.insert(
+                    seq,
+                    PendingLine::untraced(proto::render_metrics(seq, &report)),
+                );
+            }
+            Ok(Command::MetricsText) => {
+                let report = self.pool.metrics_report(self.conn_stats());
+                conn.pending.insert(
+                    seq,
+                    PendingLine::untraced(proto::render_metrics_text(seq, &report)),
+                );
+            }
+            Ok(Command::Engine(request)) => {
+                self.telemetry
+                    .record_stage(Stage::Parse, self.pass_ns.saturating_sub(conn.read_ns));
+                batch.push((((idx as u64) << SEQ_BITS) | seq, request, conn.read_ns));
+                conn.in_flight += 1;
+            }
+            Err(reason) => {
+                self.parse_errors += 1;
+                let line = proto::render_response(seq, &Response::Error { tenant: 0, reason });
+                conn.pending.insert(seq, PendingLine::untraced(line));
+            }
         }
     }
 
     /// Parses complete lines out of `conn`'s read buffer (respecting the
     /// pause watermarks), answering `stats` and parse errors immediately
     /// and appending engine requests to `batch`.
-    fn parse_lines(&mut self, idx: usize, conn: &mut Conn, batch: &mut Vec<(u64, Request)>) {
+    fn parse_lines(&mut self, idx: usize, conn: &mut Conn, batch: &mut Vec<(u64, Request, u64)>) {
         debug_assert!(idx < MAX_SLOTS);
         let mut consumed = 0;
         loop {
@@ -436,24 +567,7 @@ impl Reactor {
                         .map_err(|_| "invalid UTF-8".to_string())
                         .and_then(|text| proto::parse_command(text.trim()));
                     consumed = end + 1;
-                    match parsed {
-                        Ok(Command::Stats) => {
-                            let line =
-                                proto::render_stats(seq, &self.pool.snapshots(), self.conn_stats());
-                            conn.pending.insert(seq, line);
-                        }
-                        Ok(Command::Engine(request)) => {
-                            batch.push((((idx as u64) << SEQ_BITS) | seq, request));
-                            conn.in_flight += 1;
-                        }
-                        Err(reason) => {
-                            self.parse_errors += 1;
-                            conn.pending.insert(
-                                seq,
-                                proto::render_response(seq, &Response::Error { tenant: 0, reason }),
-                            );
-                        }
-                    }
+                    self.answer_command(idx, conn, seq, parsed, batch);
                 }
                 None => {
                     if conn.read_buf.len() - consumed > MAX_LINE_BYTES {
@@ -473,30 +587,7 @@ impl Reactor {
                             .map_err(|_| "invalid UTF-8".to_string())
                             .and_then(|text| proto::parse_command(text.trim()));
                         consumed = conn.read_buf.len();
-                        match parsed {
-                            Ok(Command::Stats) => {
-                                let line = proto::render_stats(
-                                    seq,
-                                    &self.pool.snapshots(),
-                                    self.conn_stats(),
-                                );
-                                conn.pending.insert(seq, line);
-                            }
-                            Ok(Command::Engine(request)) => {
-                                batch.push((((idx as u64) << SEQ_BITS) | seq, request));
-                                conn.in_flight += 1;
-                            }
-                            Err(reason) => {
-                                self.parse_errors += 1;
-                                conn.pending.insert(
-                                    seq,
-                                    proto::render_response(
-                                        seq,
-                                        &Response::Error { tenant: 0, reason },
-                                    ),
-                                );
-                            }
-                        }
+                        self.answer_command(idx, conn, seq, parsed, batch);
                     }
                     break;
                 }
@@ -511,20 +602,30 @@ impl Reactor {
         conn.next_seq += 1;
         self.requests += 1;
         self.parse_errors += 1;
-        conn.pending.insert(
-            seq,
-            proto::render_response(seq, &Response::Error { tenant: 0, reason }),
-        );
+        let line = proto::render_response(seq, &Response::Error { tenant: 0, reason });
+        conn.pending.insert(seq, PendingLine::untraced(line));
     }
 
     /// Moves in-order answers into the write buffer and flushes as far
     /// as the socket allows.
-    fn flush(&mut self, conn: &mut Conn) {
-        while let Some(line) = conn.pending.remove(&conn.next_write) {
-            conn.write_buf.extend_from_slice(line.as_bytes());
+    fn flush(&mut self, idx: usize, conn: &mut Conn) {
+        while let Some(pending) = conn.pending.remove(&conn.next_write) {
+            let seq = conn.next_write;
+            conn.write_buf.extend_from_slice(pending.line.as_bytes());
             conn.write_buf.push(b'\n');
             conn.next_write += 1;
             self.responses += 1;
+            if let Some((tenant, meta)) = pending.trace {
+                self.telemetry
+                    .record_stage(Stage::Respond, self.pass_ns.saturating_sub(meta.solved_ns));
+                conn.flush_tags.push_back(FlushTag {
+                    end: conn.write_buf.len(),
+                    tenant,
+                    seq,
+                    meta,
+                    respond_ns: self.pass_ns,
+                });
+            }
         }
         while conn.written < conn.write_buf.len() {
             match conn.stream.write(&conn.write_buf[conn.written..]) {
@@ -545,14 +646,61 @@ impl Reactor {
             conn.pending.clear();
             conn.write_buf.clear();
             conn.written = 0;
-        } else if conn.written == conn.write_buf.len() {
+            conn.flush_tags.clear();
+            return;
+        }
+        if conn
+            .flush_tags
+            .front()
+            .is_some_and(|tag| tag.end <= conn.written)
+        {
+            // The one deliberate extra clock read (see module docs):
+            // taken only when traced responses completed this pass, it
+            // is what puts the write-syscall cost inside the flush
+            // stage and makes its p50 non-zero under load.
+            let now = self.telemetry.now_ns();
+            while conn
+                .flush_tags
+                .front()
+                .is_some_and(|tag| tag.end <= conn.written)
+            {
+                let tag = conn.flush_tags.pop_front().expect("front was checked");
+                self.record_flushed(idx, &tag, now);
+            }
+        }
+        if conn.written == conn.write_buf.len() {
             conn.write_buf.clear();
             conn.written = 0;
         } else if conn.written >= 64 * 1024 {
-            // Reclaim the flushed prefix of a long-lived backlog.
+            // Reclaim the flushed prefix of a long-lived backlog; tag
+            // offsets shift with the bytes they point past.
             conn.write_buf.drain(..conn.written);
+            for tag in &mut conn.flush_tags {
+                tag.end -= conn.written;
+            }
             conn.written = 0;
         }
+    }
+
+    /// Books a fully-flushed traced response: flush and total stage
+    /// samples, plus its bid for the worst-N slow-request ring.
+    fn record_flushed(&self, idx: usize, tag: &FlushTag, now: u64) {
+        let meta = &tag.meta;
+        let flush_ns = now.saturating_sub(tag.respond_ns);
+        let total_ns = now.saturating_sub(meta.read_ns);
+        self.telemetry.record_stage(Stage::Flush, flush_ns);
+        self.telemetry.record_stage(Stage::Total, total_ns);
+        self.telemetry.offer_slow(SlowRequest {
+            tenant: tag.tenant,
+            conn: idx as u64,
+            seq: tag.seq,
+            parse_ns: meta.submit_ns.saturating_sub(meta.read_ns),
+            queue_ns: meta.dequeue_ns.saturating_sub(meta.submit_ns),
+            solve_ns: meta.solve_ns,
+            respond_ns: tag.respond_ns.saturating_sub(meta.solved_ns),
+            flush_ns,
+            total_ns,
+        });
     }
 
     /// Reconciles the registered poll interest with what the connection
@@ -590,17 +738,18 @@ impl Reactor {
 
     /// One connection's full service pass: parse what's buffered, flush
     /// what's answered, reconcile interest, release the slot if done.
-    fn service_conn(&mut self, idx: usize, batch: &mut Vec<(u64, Request)>) {
+    fn service_conn(&mut self, idx: usize, batch: &mut Vec<(u64, Request, u64)>) {
         let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
             return;
         };
         if !conn.dead {
             self.parse_lines(idx, &mut conn, batch);
-            self.flush(&mut conn);
+            self.flush(idx, &mut conn);
         } else {
             conn.pending.clear();
             conn.write_buf.clear();
             conn.written = 0;
+            conn.flush_tags.clear();
         }
         self.update_interest(idx, &mut conn);
         if conn.finished() {
@@ -673,17 +822,25 @@ pub fn serve_reactor(
     let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
     shutdown.install(Arc::clone(&waker));
     let notify = Arc::clone(&waker);
-    let pool = ShardedEngine::with_config(
+    let telemetry = if options.telemetry {
+        Telemetry::new()
+    } else {
+        Telemetry::off()
+    };
+    let pool = ShardedEngine::with_telemetry(
         options.strategy,
         options.shards,
         options.journal.clone(),
         Some(Arc::new(move || {
             let _ = notify.wake();
         })),
+        Arc::clone(&telemetry),
     );
     let mut reactor = Reactor {
         registry: poll.registry().try_clone()?,
         pool,
+        telemetry,
+        pass_ns: 0,
         listener: Some(listener),
         conns: Vec::new(),
         free: Vec::new(),
@@ -699,7 +856,7 @@ pub fn serve_reactor(
 
     let mut events = Events::with_capacity(1024);
     let mut touched: Vec<usize> = Vec::new();
-    let mut batch: Vec<(u64, Request)> = Vec::new();
+    let mut batch: Vec<(u64, Request, u64)> = Vec::new();
     let mut drain_deadline: Option<Instant> = None;
     loop {
         if shutdown.is_requested() && !reactor.draining {
@@ -712,7 +869,9 @@ pub fn serve_reactor(
                 reactor.service_conn(idx, &mut batch);
             }
             if !batch.is_empty() {
-                reactor.pool.submit_batch(std::mem::take(&mut batch));
+                reactor
+                    .pool
+                    .submit_batch_traced(std::mem::take(&mut batch), reactor.pass_ns);
             }
         }
         if reactor.draining && drain_deadline.is_some_and(|d| Instant::now() >= d) {
@@ -720,6 +879,10 @@ pub fn serve_reactor(
         }
         let timeout = reactor.draining.then(|| Duration::from_millis(50));
         poll.poll(&mut events, timeout)?;
+        // The pass tick: one clock read per poll iteration, taken after
+        // the (possibly long) wait so blocked time is never charged to a
+        // request, reused for every stamp below.
+        reactor.pass_ns = reactor.telemetry.now_ns();
         let quiet = events.is_empty();
 
         touched.clear();
@@ -747,7 +910,9 @@ pub fn serve_reactor(
             reactor.service_conn(idx, &mut batch);
         }
         if !batch.is_empty() {
-            reactor.pool.submit_batch(std::mem::take(&mut batch));
+            reactor
+                .pool
+                .submit_batch_traced(std::mem::take(&mut batch), reactor.pass_ns);
         }
         // Draining exit: a whole poll interval passed with no socket
         // activity, nothing is in flight, every answer is flushed, and

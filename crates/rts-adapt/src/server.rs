@@ -27,7 +27,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::engine::Response;
 use crate::proto::{self, Command, ConnStats};
-use crate::shard::ShardedEngine;
+use crate::shard::{ResponseMeta, ShardedEngine};
+use crate::telemetry::{SlowRequest, Stage, Telemetry};
 
 /// The sharded engine behind a lock, shared by every live connection of
 /// a TCP front end. Cloning shares the same engine.
@@ -59,29 +60,87 @@ impl ConnGauges {
     }
 }
 
-/// Answers one round of parsed commands over the engine: `stats` is
-/// rendered immediately from the shard snapshots and `conns` gauges;
-/// everything else is submitted as one batch and drained. Shared by the
-/// stdin pump and the threaded TCP path (the reactor has its own
-/// single-threaded equivalent).
+/// One answered line of a dispatch round: the rendered response plus,
+/// for traced engine responses, the stamps the pump needs to close the
+/// flush and total stages once the bytes have left with `output`.
+struct RoundAnswer {
+    seq: u64,
+    line: String,
+    /// `(tenant, worker stamps, respond tick)`; `None` for stats,
+    /// metrics, and error lines (never dispatched to a shard).
+    trace: Option<(u64, ResponseMeta, u64)>,
+}
+
+impl RoundAnswer {
+    fn untraced(seq: u64, line: String) -> RoundAnswer {
+        RoundAnswer {
+            seq,
+            line,
+            trace: None,
+        }
+    }
+}
+
+/// Answers one round of parsed commands over the engine: `stats` and
+/// `metrics` are rendered immediately from the shard snapshots, stage
+/// histograms and `conns` gauges; everything else is submitted as one
+/// batch and drained. Shared by the stdin pump and the threaded TCP
+/// path (the reactor has its own single-threaded equivalent).
+///
+/// `read_ns` is the round's read stamp (taken by the pump right after
+/// the blocking read returned): parse = read → submit, respond =
+/// verdict → drained, each booked with one clock read per round.
 fn dispatch_round(
     engine: &mut ShardedEngine,
     conns: ConnStats,
     round: Vec<(u64, Command)>,
-) -> Vec<(u64, String)> {
+    read_ns: u64,
+) -> Vec<RoundAnswer> {
     let mut rendered = Vec::with_capacity(round.len());
     let mut batch = Vec::new();
     for (seq, command) in round {
         match command {
             Command::Stats => {
-                rendered.push((seq, proto::render_stats(seq, &engine.snapshots(), conns)));
+                let line = proto::render_stats(seq, &engine.snapshots(), conns);
+                rendered.push(RoundAnswer::untraced(seq, line));
             }
-            Command::Engine(request) => batch.push((seq, request)),
+            Command::Metrics => {
+                let report = engine.metrics_report(conns);
+                rendered.push(RoundAnswer::untraced(
+                    seq,
+                    proto::render_metrics(seq, &report),
+                ));
+            }
+            Command::MetricsText => {
+                let report = engine.metrics_report(conns);
+                let line = proto::render_metrics_text(seq, &report);
+                rendered.push(RoundAnswer::untraced(seq, line));
+            }
+            Command::Engine(request) => batch.push((seq, request, read_ns)),
         }
     }
-    engine.submit_batch(batch);
-    for (seq, response) in engine.drain() {
-        rendered.push((seq, proto::render_response(seq, &response)));
+    let telemetry = Arc::clone(engine.telemetry());
+    let submit_ns = telemetry.now_ns();
+    for _ in &batch {
+        telemetry.record_stage(Stage::Parse, submit_ns.saturating_sub(read_ns));
+    }
+    engine.submit_batch_traced(batch, submit_ns);
+    let answers = engine.drain_traced();
+    let respond_ns = if answers.iter().any(|(_, _, meta)| meta.solved_ns != 0) {
+        telemetry.now_ns()
+    } else {
+        0
+    };
+    for (seq, response, meta) in answers {
+        let trace = (meta.solved_ns != 0).then(|| {
+            telemetry.record_stage(Stage::Respond, respond_ns.saturating_sub(meta.solved_ns));
+            (response.tenant(), meta, respond_ns)
+        });
+        rendered.push(RoundAnswer {
+            seq,
+            line: proto::render_response(seq, &response),
+            trace,
+        });
     }
     rendered
 }
@@ -113,8 +172,10 @@ pub fn serve<R: Read, W: Write>(
     output: W,
     batch: usize,
 ) -> io::Result<ServeSummary> {
+    let telemetry = Arc::clone(engine.telemetry());
     serve_with(
-        |round| dispatch_round(engine, ConnStats::default(), round),
+        |round, read_ns| dispatch_round(engine, ConnStats::default(), round, read_ns),
+        &telemetry,
         input,
         output,
         batch,
@@ -153,12 +214,14 @@ fn serve_shared_gauged<R: Read, W: Write>(
     output: W,
     batch: usize,
 ) -> io::Result<ServeSummary> {
+    let telemetry = Arc::clone(engine.lock().expect("engine mutex poisoned").telemetry());
     serve_with(
-        |round| {
+        |round, read_ns| {
             let conns = gauges.map(ConnGauges::snapshot).unwrap_or_default();
             let mut engine = engine.lock().expect("engine mutex poisoned");
-            dispatch_round(&mut engine, conns, round)
+            dispatch_round(&mut engine, conns, round, read_ns)
         },
+        &telemetry,
         input,
         output,
         batch,
@@ -168,8 +231,14 @@ fn serve_shared_gauged<R: Read, W: Write>(
 /// The shared stream pump: reads rounds of lines, hands parsed commands
 /// to `dispatch` (which must answer every submitted command exactly
 /// once, already rendered), and writes seq-ordered responses.
+///
+/// Telemetry costs the pump at most four clock reads per round (read
+/// stamp here, submit and respond stamps in the dispatcher, one flush
+/// stamp after `output.flush()`), shared by every line of the round —
+/// and zero with a disabled registry.
 fn serve_with<R: Read, W: Write>(
-    mut dispatch: impl FnMut(Vec<(u64, Command)>) -> Vec<(u64, String)>,
+    mut dispatch: impl FnMut(Vec<(u64, Command)>, u64) -> Vec<RoundAnswer>,
+    telemetry: &Telemetry,
     input: BufReader<R>,
     mut output: W,
     batch: usize,
@@ -195,9 +264,12 @@ fn serve_with<R: Read, W: Write>(
             round.push((seq, next.map(|()| std::mem::take(&mut line))));
             seq += 1;
         }
+        // The round's read stamp, taken after the blocking read so wait
+        // time on an idle stream is never charged to a request.
+        let read_ns = telemetry.now_ns();
 
         summary.requests += round.len() as u64;
-        let mut answers: Vec<(u64, String)> = Vec::with_capacity(round.len());
+        let mut answers: Vec<RoundAnswer> = Vec::with_capacity(round.len());
         let mut submitted: Vec<(u64, Command)> = Vec::with_capacity(round.len());
         for (line_seq, text) in round.drain(..) {
             let parsed = text.and_then(|bytes| {
@@ -208,21 +280,45 @@ fn serve_with<R: Read, W: Write>(
                 Ok(command) => submitted.push((line_seq, command)),
                 Err(reason) => {
                     summary.parse_errors += 1;
-                    answers.push((
-                        line_seq,
-                        proto::render_response(line_seq, &Response::Error { tenant: 0, reason }),
-                    ));
+                    let line =
+                        proto::render_response(line_seq, &Response::Error { tenant: 0, reason });
+                    answers.push(RoundAnswer::untraced(line_seq, line));
                 }
             }
         }
-        answers.extend(dispatch(submitted));
-        answers.sort_by_key(|&(s, _)| s);
-        for (_, rendered) in &answers {
-            output.write_all(rendered.as_bytes())?;
+        answers.extend(dispatch(submitted, read_ns));
+        answers.sort_by_key(|answer| answer.seq);
+        for answer in &answers {
+            output.write_all(answer.line.as_bytes())?;
             output.write_all(b"\n")?;
         }
         output.flush()?;
         summary.responses += answers.len() as u64;
+        if answers.iter().any(|answer| answer.trace.is_some()) {
+            // One clock read closes flush and total for the whole round
+            // (the bytes left with the single flush above).
+            let now = telemetry.now_ns();
+            for answer in &answers {
+                let Some((tenant, meta, respond_ns)) = answer.trace else {
+                    continue;
+                };
+                let flush_ns = now.saturating_sub(respond_ns);
+                let total_ns = now.saturating_sub(meta.read_ns);
+                telemetry.record_stage(Stage::Flush, flush_ns);
+                telemetry.record_stage(Stage::Total, total_ns);
+                telemetry.offer_slow(SlowRequest {
+                    tenant,
+                    conn: 0,
+                    seq: answer.seq,
+                    parse_ns: meta.submit_ns.saturating_sub(meta.read_ns),
+                    queue_ns: meta.dequeue_ns.saturating_sub(meta.submit_ns),
+                    solve_ns: meta.solve_ns,
+                    respond_ns: respond_ns.saturating_sub(meta.solved_ns),
+                    flush_ns,
+                    total_ns,
+                });
+            }
+        }
     }
 }
 

@@ -50,10 +50,38 @@ use rts_analysis::semi::CarryInStrategy;
 
 use crate::engine::{AdaptEngine, Request, Response};
 use crate::journal::JournalDir;
+use crate::telemetry::{Stage, Telemetry, TRACE_SAMPLE};
 
-/// One request travelling through the pool, tagged with the caller's
-/// sequence number.
-type Envelope = (u64, Request);
+/// One request travelling through the pool: the caller's sequence
+/// number, the request, and the telemetry stamps taken so far (both 0
+/// when the pool's registry is disabled).
+#[derive(Debug)]
+struct Envelope {
+    seq: u64,
+    request: Request,
+    /// Tick at which the request's bytes were read off the wire (the
+    /// submit tick on the in-process path).
+    read_ns: u64,
+    /// Tick at which the request was enqueued toward its shard.
+    submit_ns: u64,
+}
+
+/// The telemetry stamps a worker hands back with each response, so the
+/// serving front can finish the trace (respond/flush/total) without
+/// keeping any per-token side table. All zeros when telemetry is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Tick at which the request's bytes were read off the wire.
+    pub read_ns: u64,
+    /// Tick at which the request was enqueued toward its shard.
+    pub submit_ns: u64,
+    /// Tick at which the worker dequeued the batch.
+    pub dequeue_ns: u64,
+    /// Nanoseconds the engine spent producing the verdict.
+    pub solve_ns: u64,
+    /// Tick at which the verdict was produced.
+    pub solved_ns: u64,
+}
 
 /// Called by a worker after it pushes a batch of responses onto the
 /// results channel — the event-driven server installs its poll waker
@@ -138,16 +166,17 @@ pub struct ShardReport {
 #[derive(Debug)]
 pub struct ShardedEngine {
     senders: Vec<Sender<Vec<Envelope>>>,
-    results: Receiver<Vec<(u64, Response)>>,
+    results: Receiver<Vec<(u64, Response, ResponseMeta)>>,
     /// Responses already pulled off the channel but not yet handed to the
     /// caller (workers answer a whole dispatched batch per message).
-    ready: VecDeque<(u64, Response)>,
+    ready: VecDeque<(u64, Response, ResponseMeta)>,
     reports: Receiver<ShardReport>,
     workers: Vec<JoinHandle<()>>,
     in_flight: usize,
     scratch: Vec<Vec<Envelope>>,
     counters: Vec<Arc<ShardCounters>>,
     shared: Arc<SharedSelectionStore>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl ShardedEngine {
@@ -182,6 +211,21 @@ impl ShardedEngine {
         journal: Option<JournalDir>,
         notifier: Option<ResponseNotifier>,
     ) -> Self {
+        Self::with_telemetry(strategy, shards, journal, notifier, Telemetry::new())
+    }
+
+    /// Like [`ShardedEngine::with_config`] with an explicit telemetry
+    /// registry — pass [`Telemetry::off`] for the measured runtime-off
+    /// path (no clock reads, no histogram writes; one predictable
+    /// branch per request).
+    #[must_use]
+    pub fn with_telemetry(
+        strategy: CarryInStrategy,
+        shards: usize,
+        journal: Option<JournalDir>,
+        notifier: Option<ResponseNotifier>,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         let shards = shards.max(1);
         let shared = SharedSelectionStore::new();
         let (results_tx, results) = mpsc::channel();
@@ -200,6 +244,7 @@ impl ShardedEngine {
             let notifier = notifier.clone();
             let counters = Arc::clone(&counters[shard]);
             let shared = Arc::clone(&shared);
+            let telemetry = Arc::clone(&telemetry);
             workers.push(std::thread::spawn(move || {
                 let mut engine = match journal {
                     Some(journal) => {
@@ -218,9 +263,21 @@ impl ShardedEngine {
                     None => AdaptEngine::new(strategy).with_shared_store(shared),
                 };
                 let mut handled = 0u64;
+                // Round-robin trace-sample counter: request k is fully
+                // stamped iff k % TRACE_SAMPLE == 0. Per-worker, so the
+                // sample can't alias batch or tenant structure; see
+                // telemetry's module docs for the cost arithmetic.
+                let mut trace_tick = 0u64;
                 for batch in rx {
                     let mut answers = Vec::with_capacity(batch.len());
-                    for (seq, request) in batch {
+                    let traced = telemetry.enabled();
+                    for envelope in batch {
+                        let Envelope {
+                            seq,
+                            request,
+                            read_ns,
+                            submit_ns,
+                        } = envelope;
                         // Contain per-request panics: the tenant table
                         // is transactional (it commits only on success)
                         // and the selector restores its environment's
@@ -229,6 +286,11 @@ impl ShardedEngine {
                         // error and serving on keeps the pool healthy —
                         // a dead worker would instead wedge every
                         // drain() forever.
+                        let sampled = traced && trace_tick % TRACE_SAMPLE == 0;
+                        trace_tick += 1;
+                        // Sampled requests pay two clock reads (queue
+                        // exit, verdict); the other seven pay none.
+                        let dequeue_ns = if sampled { telemetry.now_ns() } else { 0 };
                         let response =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 engine.handle(&request)
@@ -238,7 +300,23 @@ impl ShardedEngine {
                                 reason: "internal error while handling the request".into(),
                             });
                         handled += 1;
-                        answers.push((seq, response));
+                        let meta = if sampled {
+                            let solved_ns = telemetry.now_ns();
+                            let solve_ns = solved_ns.saturating_sub(dequeue_ns);
+                            telemetry
+                                .record_stage(Stage::Queue, dequeue_ns.saturating_sub(submit_ns));
+                            telemetry.record_stage(Stage::Solve, solve_ns);
+                            ResponseMeta {
+                                read_ns,
+                                submit_ns,
+                                dequeue_ns,
+                                solve_ns,
+                                solved_ns,
+                            }
+                        } else {
+                            ResponseMeta::default()
+                        };
+                        answers.push((seq, response, meta));
                     }
                     // One channel message (and below, one waker ping) per
                     // dispatched batch — not per request.
@@ -280,6 +358,7 @@ impl ShardedEngine {
             scratch: (0..shards).map(|_| Vec::new()).collect(),
             counters,
             shared,
+            telemetry,
         }
     }
 
@@ -287,6 +366,33 @@ impl ShardedEngine {
     #[must_use]
     pub fn shared_store_stats(&self) -> hydra_core::SharedStoreStats {
         self.shared.stats()
+    }
+
+    /// The pool's telemetry registry (shared with its workers and
+    /// whichever serving front pumps the pool).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Assembles the full observability report behind the
+    /// `{"op":"metrics"}` verb: every ad-hoc counter in the workspace —
+    /// connection gauges (the caller's, since only the front knows
+    /// them), shard snapshots, stage histograms, solver and walk phase
+    /// counters, shared-store and journal counters — plus the worst-N
+    /// slow-request ring, in one struct for the proto renderers.
+    #[must_use]
+    pub fn metrics_report(&self, conns: crate::proto::ConnStats) -> crate::proto::MetricsReport {
+        crate::proto::MetricsReport {
+            conns,
+            shards: self.snapshots(),
+            stages: self.telemetry.stage_snapshots(),
+            solver: hydra_core::phase_stats::snapshot(),
+            walks: rts_analysis::phase_stats::snapshot(),
+            shared_store: self.shared.stats(),
+            journal: crate::journal::stats(),
+            slow: self.telemetry.slow_requests(),
+        }
     }
 
     /// Number of shards.
@@ -316,10 +422,45 @@ impl ShardedEngine {
     /// Panics if a worker thread has died (its channel is closed) —
     /// workers only exit on shutdown, so this indicates a bug, and
     /// continuing would silently drop requests.
-    pub fn submit_batch(&mut self, batch: Vec<Envelope>) {
+    pub fn submit_batch(&mut self, batch: Vec<(u64, Request)>) {
+        // In-process callers have no wire read, so the read and submit
+        // stamps coincide: one clock read per submitted batch.
+        let now_ns = self.telemetry.now_ns();
+        self.dispatch(
+            batch
+                .into_iter()
+                .map(|(seq, request)| Envelope {
+                    seq,
+                    request,
+                    read_ns: now_ns,
+                    submit_ns: now_ns,
+                })
+                .collect(),
+        );
+    }
+
+    /// Like [`ShardedEngine::submit_batch`] for serving fronts that
+    /// already stamped each request: `read_ns` per request (the tick
+    /// its bytes were read) and one shared `submit_ns` (the front's
+    /// current pass tick — the whole batch is enqueued in one pass).
+    pub fn submit_batch_traced(&mut self, batch: Vec<(u64, Request, u64)>, submit_ns: u64) {
+        self.dispatch(
+            batch
+                .into_iter()
+                .map(|(seq, request, read_ns)| Envelope {
+                    seq,
+                    request,
+                    read_ns,
+                    submit_ns,
+                })
+                .collect(),
+        );
+    }
+
+    fn dispatch(&mut self, batch: Vec<Envelope>) {
         self.in_flight += batch.len();
         for envelope in batch {
-            let shard = self.shard_of(envelope.1.tenant());
+            let shard = self.shard_of(envelope.request.tenant());
             self.scratch[shard].push(envelope);
         }
         for (shard, bucket) in self.scratch.iter_mut().enumerate() {
@@ -338,6 +479,13 @@ impl ShardedEngine {
     /// otherwise (including when nothing is in flight). The event-driven
     /// server drains this after every waker event.
     pub fn try_recv(&mut self) -> Option<(u64, Response)> {
+        self.try_recv_traced()
+            .map(|(seq, response, _)| (seq, response))
+    }
+
+    /// Non-blocking receive keeping the worker's telemetry stamps, so
+    /// a serving front can finish the trace (respond/flush/total).
+    pub fn try_recv_traced(&mut self) -> Option<(u64, Response, ResponseMeta)> {
         if self.in_flight == 0 {
             return None;
         }
@@ -384,6 +532,11 @@ impl ShardedEngine {
     /// Receives one response, blocking while any are in flight. Returns
     /// `None` once nothing is in flight.
     pub fn recv(&mut self) -> Option<(u64, Response)> {
+        self.recv_traced().map(|(seq, response, _)| (seq, response))
+    }
+
+    /// Blocking receive keeping the worker's telemetry stamps.
+    pub fn recv_traced(&mut self) -> Option<(u64, Response, ResponseMeta)> {
         if self.in_flight == 0 {
             return None;
         }
@@ -404,6 +557,16 @@ impl ShardedEngine {
     pub fn drain(&mut self) -> Vec<(u64, Response)> {
         let mut out = Vec::with_capacity(self.in_flight);
         while let Some(answer) = self.recv() {
+            out.push(answer);
+        }
+        out
+    }
+
+    /// [`ShardedEngine::drain`] with each response's worker-side trace
+    /// stamps (what the pump front ends feed into the stage histograms).
+    pub fn drain_traced(&mut self) -> Vec<(u64, Response, ResponseMeta)> {
+        let mut out = Vec::with_capacity(self.in_flight);
+        while let Some(answer) = self.recv_traced() {
             out.push(answer);
         }
         out

@@ -522,6 +522,55 @@ fn reactor_and_threaded_fronts_answer_byte_identically() {
     assert_eq!(summary.responses, expected as u64);
 }
 
+/// The observability parity pin: `stats`, `metrics`, and the Prometheus
+/// exposition answer with the **exact same field set** on the threaded
+/// and reactor fronts. Numeric values legitimately differ (timings,
+/// process-wide counters), so every digit run is masked to `#` and the
+/// remaining byte shape — field names, nesting, ordering, units — must
+/// be identical.
+#[test]
+fn stats_and_metrics_share_a_byte_shape_across_fronts() {
+    fn mask(line: &str) -> String {
+        let mut out = String::with_capacity(line.len());
+        let mut in_digits = false;
+        for c in line.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('#');
+                }
+                in_digits = true;
+            } else {
+                in_digits = false;
+                out.push(c);
+            }
+        }
+        out
+    }
+    let script: Vec<String> = vec![
+        REGISTER.to_string(),
+        "{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}".into(),
+        "{\"op\":\"mode\",\"tenant\":1,\"slot\":0,\"mode\":\"active\"}".into(),
+        "{\"op\":\"query\",\"tenant\":1}".into(),
+        "{\"op\":\"stats\"}".into(),
+        "{\"op\":\"metrics\"}".into(),
+        "{\"op\":\"metrics\",\"format\":\"prometheus\"}".into(),
+    ];
+    let threaded = run_scripts(spawn_threaded(2, 16), std::slice::from_ref(&script));
+    let (addr, shutdown, handle) = spawn_reactor(2, 16, None);
+    let reactor = run_scripts(addr, std::slice::from_ref(&script));
+    shutdown.request();
+    handle.join().unwrap().unwrap();
+    // The first four lines are engine answers (covered by the strict
+    // parity pin above); the last three are the observability verbs.
+    for (i, (t, r)) in threaded[0].iter().zip(&reactor[0]).enumerate().skip(4) {
+        assert_eq!(
+            mask(t),
+            mask(r),
+            "line {i}: field sets diverged\nthreaded: {t}\nreactor:  {r}"
+        );
+    }
+}
+
 /// The no-lost-delta pin: a shutdown requested while a journaled
 /// pipeline is still in flight answers everything first, and a fresh
 /// engine replaying the journal afterwards reports exactly the state of
