@@ -4,8 +4,8 @@
 //!
 //! Usage: `service_bench [--requests N] [--tenants N] [--shards N]
 //!                       [--batch N] [--seed S] [--budget-secs S]
-//!                       [--conns LIST] [--overhead-budget PCT]
-//!                       [--assert-stages]`
+//!                       [--conns LIST] [--reactors LIST]
+//!                       [--overhead-budget PCT] [--assert-stages]`
 //!
 //! Defaults are the tracked configuration: 100 000 requests over 64
 //! Table 3 tenants, 4 shards, 512-request batches. Only that canonical
@@ -18,12 +18,16 @@
 //! workload is recorded once and replayed over real TCP against the
 //! event-driven reactor front end at each listed connection count
 //! (per-tenant connection affinity; surplus connections held idle).
-//! Every replay must reproduce the recorded verdict populations
-//! *exactly* — the determinism oracle — or the run fails hard. The
-//! canonical run also records the workload's single-threaded solver
-//! floor, the honest upper bound any serving layer can reach on one
-//! core (measured on a bare engine with no shared store, so it is the
-//! cost of actually solving every selection).
+//! `--reactors 1,2,4` crosses it with the **reactor axis**: each
+//! replay point runs with that many `SO_REUSEPORT` reactor threads
+//! over one shared shard pool (default `1`, the classic single-reactor
+//! front). Every point of the (conns × reactors) grid must reproduce
+//! the recorded verdict populations *exactly* — the determinism
+//! oracle — or the run fails hard. The canonical run also records the
+//! workload's single-threaded solver floor, the honest upper bound any
+//! serving layer can reach on one core (measured on a bare engine with
+//! no shared store, so it is the cost of actually solving every
+//! selection).
 //!
 //! The memo block reports per-tenant hits and cross-tenant shared-store
 //! hits separately; `memo_hit_rate` is the combined rate (selections
@@ -49,7 +53,7 @@
 //! every trial and still trips it.
 
 use hydra_experiments::{
-    arg_f64, arg_present, arg_usize, record_workload, results_dir, run_reactor_load,
+    arg_f64, arg_present, arg_usize, record_workload, results_dir, run_reactor_load_at,
     run_service_load, run_service_load_with, ServiceConfig,
 };
 use rts_adapt::telemetry::StageSummary;
@@ -107,16 +111,21 @@ fn main() {
     let budget_secs = arg_f64(&args, "--budget-secs");
     let overhead_budget = arg_f64(&args, "--overhead-budget");
     let assert_stages = arg_present(&args, "--assert-stages");
-    let conns_axis: Vec<usize> = args
-        .iter()
-        .position(|a| a == "--conns")
-        .and_then(|i| args.get(i + 1))
-        .map(|list| {
-            list.split(',')
-                .map(|v| v.parse().expect("--conns takes a comma-separated list"))
-                .collect()
-        })
-        .unwrap_or_default();
+    let axis_list = |flag: &str| -> Option<Vec<usize>> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|list| {
+                list.split(',')
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("{flag} takes a comma-separated list"))
+                    })
+                    .collect()
+            })
+    };
+    let conns_axis: Vec<usize> = axis_list("--conns").unwrap_or_default();
+    let reactors_axis: Vec<usize> = axis_list("--reactors").unwrap_or_else(|| vec![1]);
 
     let config = ServiceConfig {
         tenants,
@@ -175,64 +184,64 @@ fn main() {
         reactor_json.push_str(&format!(
             ",\n  \"solver_floor_rps\": {floor:.1},\n  \"reactor\": ["
         ));
-        for (i, &conns) in conns_axis.iter().enumerate() {
-            eprintln!("reactor replay: {conns} connections...");
-            let replay = run_reactor_load(&recorded, conns);
-            assert_eq!(
-                replay.errors, 0,
-                "conns={conns}: protocol errors in the replay"
-            );
-            assert_eq!(
-                replay.accepted, recorded.accepted,
-                "conns={conns}: accepted population diverged"
-            );
-            assert_eq!(
-                replay.rejected, recorded.rejected,
-                "conns={conns}: rejected population diverged"
-            );
-            if assert_stages {
-                // The CI metrics-smoke contract: a loaded reactor must
-                // have sampled the full request lifecycle, and flushes
-                // take real time (the post-write clock read exists
-                // precisely so this is measurable).
-                for name in [
-                    "accept", "parse", "queue", "solve", "respond", "flush", "total",
-                ] {
-                    let stage = replay
-                        .stages
-                        .iter()
-                        .find(|s| s.stage == name)
-                        .unwrap_or_else(|| panic!("conns={conns}: stage {name} missing"));
-                    assert!(
-                        stage.count > 0,
-                        "conns={conns}: stage {name} recorded no samples under load"
-                    );
-                    if name == "flush" {
+        let mut row = 0usize;
+        for &reactors in &reactors_axis {
+            for &conns in &conns_axis {
+                let at = format!("conns={conns} reactors={reactors}");
+                eprintln!("reactor replay: {conns} connections x {reactors} reactors...");
+                let replay = run_reactor_load_at(&recorded, conns, reactors, true);
+                assert_eq!(replay.errors, 0, "{at}: protocol errors in the replay");
+                assert_eq!(
+                    replay.accepted, recorded.accepted,
+                    "{at}: accepted population diverged"
+                );
+                assert_eq!(
+                    replay.rejected, recorded.rejected,
+                    "{at}: rejected population diverged"
+                );
+                if assert_stages {
+                    // The CI metrics-smoke contract: a loaded reactor must
+                    // have sampled the full request lifecycle, and flushes
+                    // take real time (the post-write clock read exists
+                    // precisely so this is measurable).
+                    for name in [
+                        "accept", "parse", "queue", "solve", "respond", "flush", "total",
+                    ] {
+                        let stage = replay
+                            .stages
+                            .iter()
+                            .find(|s| s.stage == name)
+                            .unwrap_or_else(|| panic!("{at}: stage {name} missing"));
                         assert!(
-                            stage.p50_us > 0.0,
-                            "conns={conns}: flush p50 is zero under load"
+                            stage.count > 0,
+                            "{at}: stage {name} recorded no samples under load"
                         );
+                        if name == "flush" {
+                            assert!(stage.p50_us > 0.0, "{at}: flush p50 is zero under load");
+                        }
                     }
                 }
+                if row > 0 {
+                    reactor_json.push(',');
+                }
+                row += 1;
+                reactor_json.push_str(&format!(
+                    "\n    {{\"conns\":{conns},\"reactors\":{reactors},\"window\":{},\
+                     \"wall_secs\":{:.4},\
+                     \"throughput_rps\":{:.1},\"p50_us\":{:.1},\"p95_us\":{:.1},\
+                     \"p99_us\":{:.1},\"accepted\":{},\"rejected\":{},\
+                     \"stages\":{}}}",
+                    replay.window,
+                    replay.wall_secs,
+                    replay.throughput_rps(),
+                    replay.percentile_us(0.50),
+                    replay.percentile_us(0.95),
+                    replay.percentile_us(0.99),
+                    replay.accepted,
+                    replay.rejected,
+                    stage_json(&replay.stages, "    "),
+                ));
             }
-            if i > 0 {
-                reactor_json.push(',');
-            }
-            reactor_json.push_str(&format!(
-                "\n    {{\"conns\":{conns},\"window\":{},\"wall_secs\":{:.4},\
-                 \"throughput_rps\":{:.1},\"p50_us\":{:.1},\"p95_us\":{:.1},\
-                 \"p99_us\":{:.1},\"accepted\":{},\"rejected\":{},\
-                 \"stages\":{}}}",
-                replay.window,
-                replay.wall_secs,
-                replay.throughput_rps(),
-                replay.percentile_us(0.50),
-                replay.percentile_us(0.95),
-                replay.percentile_us(0.99),
-                replay.accepted,
-                replay.rejected,
-                stage_json(&replay.stages, "    "),
-            ));
         }
         reactor_json.push_str("\n  ]");
     }

@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -37,7 +37,7 @@ use rand::{Rng, SeedableRng};
 use rts_adapt::engine::{AdaptEngine, Request, Response, RtSpec};
 use rts_adapt::json::{self, Json};
 use rts_adapt::proto::render_request;
-use rts_adapt::reactor::{serve_reactor, ReactorOptions, Shutdown};
+use rts_adapt::reactor::{bind_reuseport_listeners, serve_reactors, ReactorOptions, Shutdown};
 use rts_adapt::shard::{ShardReport, ShardedEngine};
 use rts_adapt::telemetry::{StageSummary, Telemetry};
 use rts_analysis::semi::CarryInStrategy;
@@ -772,6 +772,8 @@ pub struct ReactorLoadReport {
     /// Connections opened against the reactor (idle ones included when
     /// there are more connections than tenants).
     pub conns: usize,
+    /// `SO_REUSEPORT` reactor threads that served the replay.
+    pub reactors: usize,
     /// Pipelining window per connection during the timed stream.
     pub window: usize,
     /// Wall time of the timed stream (setup excluded).
@@ -861,6 +863,7 @@ fn fetch_metrics(addr: SocketAddr) -> Json {
 fn verify_metrics_catalog(metrics: &Json) {
     for key in [
         "conns",
+        "reactors",
         "shards",
         "stages",
         "solver",
@@ -901,6 +904,28 @@ fn verify_metrics_catalog(metrics: &Json) {
             assert!(
                 value.get(field).is_some(),
                 "metrics {block:?} block is missing {field:?}"
+            );
+        }
+    }
+    // The reactors block is an array with one entry per serving reactor,
+    // each carrying the full per-reactor gauge/counter catalog.
+    let reactors = metrics
+        .get("reactors")
+        .and_then(Json::as_array)
+        .expect("metrics reactors block is an array");
+    assert!(!reactors.is_empty(), "metrics reactors array is empty");
+    for entry in reactors {
+        for field in [
+            "reactor",
+            "live",
+            "refused",
+            "max",
+            "flush_passes",
+            "iovecs_written",
+        ] {
+            assert!(
+                entry.get(field).is_some(),
+                "metrics reactors entry is missing {field:?}"
             );
         }
     }
@@ -1050,7 +1075,7 @@ fn drive_connection(
 /// loses a request.
 #[must_use]
 pub fn run_reactor_load(workload: &RecordedWorkload, conns: usize) -> ReactorLoadReport {
-    run_reactor_load_with(workload, conns, true)
+    run_reactor_load_at(workload, conns, 1, true)
 }
 
 /// [`run_reactor_load`] with the reactor's telemetry switched on or
@@ -1067,18 +1092,48 @@ pub fn run_reactor_load_with(
     conns: usize,
     telemetry: bool,
 ) -> ReactorLoadReport {
+    run_reactor_load_at(workload, conns, 1, telemetry)
+}
+
+/// The full replay: `reactors` `SO_REUSEPORT` reactor threads over one
+/// shared shard pool (`reactors == 1` is the classic single-reactor
+/// serve). The kernel spreads the client connections across the
+/// listeners, so which reactor serves a given tenant varies run to run —
+/// but per-tenant order still holds (affinity keeps a tenant on one
+/// connection, and a connection lives on one reactor), so the verdict
+/// populations must equal the recorded run's at every point of the
+/// (conns × reactors) grid.
+///
+/// # Panics
+///
+/// As [`run_reactor_load`].
+#[must_use]
+pub fn run_reactor_load_at(
+    workload: &RecordedWorkload,
+    conns: usize,
+    reactors: usize,
+    telemetry: bool,
+) -> ReactorLoadReport {
     assert!(conns >= 1, "at least one connection");
+    assert!(reactors >= 1, "at least one reactor");
     let active = conns.min(workload.config.tenants.max(1));
     let window = (64 / active).max(1);
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
-    let addr = listener.local_addr().expect("listener address");
+    let listeners =
+        bind_reuseport_listeners("127.0.0.1:0".parse().expect("loopback address"), reactors)
+            .expect("bind the reactor listeners");
+    let addr = listeners[0].local_addr().expect("listener address");
     let shutdown = Shutdown::new();
     let server = {
         let shutdown = Arc::clone(&shutdown);
         let mut options = ReactorOptions::new(CarryInStrategy::TopDiff, workload.config.shards);
-        options.max_conns = conns + 8;
+        // The global budget is split evenly across reactors but the
+        // kernel's SO_REUSEPORT hash is not: give every reactor's share
+        // room for the whole client fleet so an uneven spread can never
+        // refuse a replay connection (the +8 keeps the post-run metrics
+        // query connectable).
+        options.max_conns = (conns + 8) * reactors;
         options.telemetry = telemetry;
-        std::thread::spawn(move || serve_reactor(listener, &options, &shutdown))
+        std::thread::spawn(move || serve_reactors(listeners, &options, &shutdown))
     };
 
     // Tenant ids start at 1; affinity keeps a tenant's setup and stream
@@ -1136,6 +1191,7 @@ pub fn run_reactor_load_with(
         .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     ReactorLoadReport {
         conns,
+        reactors,
         window,
         wall_secs,
         latencies_us: totals.latencies_us,
@@ -1216,18 +1272,20 @@ mod tests {
     }
 
     /// The TCP replay reproduces the recorded populations exactly at
-    /// every point of the connection axis — including more connections
-    /// than tenants (the surplus held idle).
+    /// every point of the (connections × reactors) grid — including
+    /// more connections than tenants (the surplus held idle) and more
+    /// reactors than connections (the surplus listeners never accept).
     #[test]
     fn reactor_replay_reproduces_recorded_populations_at_any_fan_out() {
         let recorded = record_workload(&tiny());
         assert_eq!(recorded.stream.len(), 300);
-        for conns in [1, 3, 7] {
-            let replay = run_reactor_load(&recorded, conns);
-            assert_eq!(replay.responses(), 300, "conns={conns}");
-            assert_eq!(replay.errors, 0, "conns={conns}");
-            assert_eq!(replay.accepted, recorded.accepted, "conns={conns}");
-            assert_eq!(replay.rejected, recorded.rejected, "conns={conns}");
+        for (conns, reactors) in [(1, 1), (3, 1), (7, 1), (1, 2), (3, 2), (7, 4)] {
+            let replay = run_reactor_load_at(&recorded, conns, reactors, true);
+            let at = format!("conns={conns} reactors={reactors}");
+            assert_eq!(replay.responses(), 300, "{at}");
+            assert_eq!(replay.errors, 0, "{at}");
+            assert_eq!(replay.accepted, recorded.accepted, "{at}");
+            assert_eq!(replay.rejected, recorded.rejected, "{at}");
             assert!(replay.percentile_us(0.5) > 0.0);
         }
     }

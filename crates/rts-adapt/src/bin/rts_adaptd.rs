@@ -4,20 +4,23 @@
 //!
 //! ```sh
 //! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
-//!            [--tcp ADDR] [--threaded] [--max-conns N] [--journal DIR]
-//!            [--compact-every N] [--no-telemetry]
+//!            [--tcp ADDR] [--reactors N] [--threaded] [--max-conns N]
+//!            [--journal DIR] [--compact-every N] [--no-telemetry]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
 //! (one JSON request per line, one JSON response per line — see
 //! `rts_adapt::proto`); with `--tcp ADDR` it binds the address and
 //! serves up to `--max-conns` connections (default 64) through the
-//! event-driven reactor (`rts_adapt::reactor`): one epoll thread, one
-//! engine shard pool, no per-connection threads. `--threaded` selects
-//! the legacy thread-per-connection front end instead (kept for parity
-//! testing; it serves until the process is killed). `--batch` bounds
-//! request batching in the stdin and threaded modes; the reactor
-//! batches by readiness instead.
+//! event-driven reactor (`rts_adapt::reactor`): epoll threads over one
+//! engine shard pool, no per-connection threads. `--reactors N`
+//! (default 1) runs N reactors, each with its own `SO_REUSEPORT`
+//! listener on the same address — the kernel spreads connections across
+//! them and `--max-conns` becomes a global budget split evenly.
+//! `--threaded` selects the legacy thread-per-connection front end
+//! instead (kept for parity testing; it serves until the process is
+//! killed). `--batch` bounds request batching in the stdin and threaded
+//! modes; the reactor sizes batches adaptively by arrival rate.
 //!
 //! **Graceful shutdown**: in stdin mode, EOF ends the serve loop; in
 //! reactor mode, a watcher thread waits for stdin EOF (Ctrl-D, or the
@@ -44,11 +47,10 @@
 //! path: the metrics verb still answers, with every histogram empty.
 
 use std::io::{self, BufReader, Read};
-use std::net::TcpListener;
 use std::sync::Arc;
 
 use rts_adapt::journal::JournalDir;
-use rts_adapt::reactor::{serve_reactor, ReactorOptions, Shutdown};
+use rts_adapt::reactor::{bind_reuseport_listeners, serve_reactors, ReactorOptions, Shutdown};
 use rts_adapt::server::{serve, serve_tcp, shared};
 use rts_adapt::shard::{ShardReport, ShardedEngine};
 use rts_adapt::telemetry::Telemetry;
@@ -116,9 +118,18 @@ fn main() {
 
     match arg_value(&args, "--tcp") {
         Some(addr) if !threaded => {
-            // Event-driven front end: the reactor owns its shard pool
-            // (the completion waker is installed at construction).
-            let listener = TcpListener::bind(addr).unwrap_or_else(|e| fail(e));
+            // Event-driven front end. With --reactors N, every listener
+            // binds the same address via SO_REUSEPORT so the kernel
+            // spreads incoming connections across the reactor threads.
+            let reactors = arg_value(&args, "--reactors")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1usize)
+                .max(1);
+            let parsed = addr.parse().unwrap_or_else(|e| fail(e));
+            let listeners = bind_reuseport_listeners(parsed, reactors).unwrap_or_else(|e| fail(e));
+            if let Ok(local) = listeners[0].local_addr() {
+                eprintln!("rts_adaptd listening on {local} ({reactors} reactors)");
+            }
             let mut options = ReactorOptions::new(strategy, shards);
             options.journal = journal;
             options.max_conns = max_conns;
@@ -138,7 +149,8 @@ fn main() {
                 }
                 watcher.request();
             });
-            let summary = serve_reactor(listener, &options, &shutdown).unwrap_or_else(|e| fail(e));
+            let summary =
+                serve_reactors(listeners, &options, &shutdown).unwrap_or_else(|e| fail(e));
             eprintln!(
                 "rts_adaptd: {} requests ({} parse errors), {} connections accepted, {} refused",
                 summary.requests,

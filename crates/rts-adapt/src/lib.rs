@@ -139,7 +139,10 @@ pub mod prelude {
 
 pub use engine::{AdaptEngine, Admitted, Request, Response, RtSpec};
 pub use journal::{replay, JournalDir, ReplayError, TenantHistory, TenantSnapshot};
-pub use reactor::{serve_reactor, ReactorOptions, ReactorSummary, Shutdown};
+pub use reactor::{
+    bind_reuseport_listeners, serve_reactor, serve_reactors, ReactorOptions, ReactorSummary,
+    Shutdown,
+};
 pub use server::{serve, serve_shared, serve_tcp, shared, SharedEngine};
 pub use shard::ShardedEngine;
 pub use telemetry::{Histogram, SlowRequest, Stage, StageSummary, Telemetry};

@@ -290,18 +290,65 @@ pub struct ConnStats {
     pub max: usize,
 }
 
-/// Renders the answer to the `stats` verb: connection gauges plus one
-/// entry per shard (queue depth, handled count, memo statistics, tenant
-/// count), as a single JSON line (no trailing newline).
+/// One serving reactor's gauges and egress counters, as reported by the
+/// `stats` and `metrics` verbs. Single-reactor and non-reactor fronts
+/// report exactly one entry (reactor 0) so the field set — pinned by
+/// the cross-front byte-shape parity test — never depends on the
+/// serving architecture; the threaded and stdin fronts have no gathered
+/// egress, so their flush counters stay 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReactorStats {
+    /// Reactor index (0-based).
+    pub reactor: usize,
+    /// Connections this reactor is currently serving.
+    pub live: usize,
+    /// Connections this reactor refused over its share of the cap.
+    pub refused: u64,
+    /// This reactor's share of the global `--max-conns` budget.
+    pub max: usize,
+    /// Gathered-writev flush passes the reactor has run.
+    pub flush_passes: u64,
+    /// Total iovecs submitted across those passes (responses per
+    /// syscall ≈ `iovecs_written / flush_passes`).
+    pub iovecs_written: u64,
+}
+
+fn write_reactor_entries(out: &mut String, reactors: &[ReactorStats]) {
+    out.push('[');
+    for (i, r) in reactors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"reactor\":{},\"live\":{},\"refused\":{},\"max\":{},\
+             \"flush_passes\":{},\"iovecs_written\":{}}}",
+            r.reactor, r.live, r.refused, r.max, r.flush_passes, r.iovecs_written
+        );
+    }
+    out.push(']');
+}
+
+/// Renders the answer to the `stats` verb: connection gauges, one entry
+/// per serving reactor, plus one entry per shard (queue depth, handled
+/// count, memo statistics, tenant count), as a single JSON line (no
+/// trailing newline).
 #[must_use]
-pub fn render_stats(seq: u64, shards: &[ShardSnapshot], conns: ConnStats) -> String {
-    let mut out = String::with_capacity(128 + 96 * shards.len());
+pub fn render_stats(
+    seq: u64,
+    shards: &[ShardSnapshot],
+    conns: ConnStats,
+    reactors: &[ReactorStats],
+) -> String {
+    let mut out = String::with_capacity(192 + 96 * (shards.len() + reactors.len()));
     let _ = write!(
         out,
         "{{\"seq\":{seq},\"verdict\":\"stats\",\"conns\":{{\"live\":{},\"refused\":{},\
-         \"max\":{}}},\"shards\":[",
+         \"max\":{}}},\"reactors\":",
         conns.live, conns.refused, conns.max
     );
+    write_reactor_entries(&mut out, reactors);
+    out.push_str(",\"shards\":[");
     for (i, s) in shards.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -339,6 +386,9 @@ pub fn render_stats(seq: u64, shards: &[ShardSnapshot], conns: ConnStats) -> Str
 pub struct MetricsReport {
     /// Connection gauges of the serving front (zeros on stdin).
     pub conns: ConnStats,
+    /// Per-reactor gauges and egress counters, ordered by reactor
+    /// index. Non-reactor fronts report one all-zero entry (reactor 0).
+    pub reactors: Vec<ReactorStats>,
     /// Per-shard live snapshots, ordered by shard index.
     pub shards: Vec<ShardSnapshot>,
     /// Stage-latency histograms in [`Stage::ALL`] order.
@@ -383,9 +433,11 @@ pub fn render_metrics(seq: u64, report: &MetricsReport) -> String {
     let _ = write!(
         out,
         "{{\"seq\":{seq},\"verdict\":\"metrics\",\"conns\":{{\"live\":{},\"refused\":{},\
-         \"max\":{}}},\"shards\":[",
+         \"max\":{}}},\"reactors\":",
         report.conns.live, report.conns.refused, report.conns.max
     );
+    write_reactor_entries(&mut out, &report.reactors);
+    out.push_str(",\"shards\":[");
     for (i, s) in report.shards.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -487,6 +539,29 @@ pub fn render_prometheus(report: &MetricsReport) -> String {
     let _ = writeln!(out, "rts_adapt_conns_refused {}", report.conns.refused);
     out.push_str("# TYPE rts_adapt_conns_max gauge\n");
     let _ = writeln!(out, "rts_adapt_conns_max {}", report.conns.max);
+    for (name, kind) in [
+        ("live", "gauge"),
+        ("refused", "counter"),
+        ("max", "gauge"),
+        ("flush_passes", "counter"),
+        ("iovecs_written", "counter"),
+    ] {
+        let _ = writeln!(out, "# TYPE rts_adapt_reactor_{name} {kind}");
+        for r in &report.reactors {
+            let value = match name {
+                "live" => r.live as u64,
+                "refused" => r.refused,
+                "max" => r.max as u64,
+                "flush_passes" => r.flush_passes,
+                _ => r.iovecs_written,
+            };
+            let _ = writeln!(
+                out,
+                "rts_adapt_reactor_{name}{{reactor=\"{}\"}} {value}",
+                r.reactor
+            );
+        }
+    }
     for (name, kind) in [
         ("queue_depth", "gauge"),
         ("handled", "counter"),
@@ -856,6 +931,14 @@ mod tests {
                 tenants: 2,
             },
         ];
+        let reactors = [ReactorStats {
+            reactor: 0,
+            live: 12,
+            refused: 4,
+            max: 64,
+            flush_passes: 5,
+            iovecs_written: 31,
+        }];
         let line = render_stats(
             9,
             &shards,
@@ -864,6 +947,7 @@ mod tests {
                 refused: 4,
                 max: 64,
             },
+            &reactors,
         );
         let parsed = crate::json::parse(&line).unwrap();
         assert_eq!(parsed.get("seq").and_then(Json::as_u64), Some(9));
@@ -872,6 +956,14 @@ mod tests {
         assert_eq!(conns.get("live").and_then(Json::as_u64), Some(12));
         assert_eq!(conns.get("refused").and_then(Json::as_u64), Some(4));
         assert_eq!(conns.get("max").and_then(Json::as_u64), Some(64));
+        let rendered_reactors = parsed.get("reactors").and_then(Json::as_array).unwrap();
+        assert_eq!(rendered_reactors.len(), 1);
+        assert_eq!(
+            rendered_reactors[0]
+                .get("iovecs_written")
+                .and_then(Json::as_u64),
+            Some(31)
+        );
         let rendered_shards = parsed.get("shards").and_then(Json::as_array).unwrap();
         assert_eq!(rendered_shards.len(), 2);
         assert_eq!(
@@ -1031,6 +1123,24 @@ mod tests {
                 refused: 1,
                 max: 64,
             },
+            reactors: vec![
+                ReactorStats {
+                    reactor: 0,
+                    live: 2,
+                    refused: 1,
+                    max: 32,
+                    flush_passes: 6,
+                    iovecs_written: 18,
+                },
+                ReactorStats {
+                    reactor: 1,
+                    live: 1,
+                    refused: 0,
+                    max: 32,
+                    flush_passes: 4,
+                    iovecs_written: 9,
+                },
+            ],
             shards: vec![ShardSnapshot {
                 shard: 0,
                 queue_depth: 2,
@@ -1112,6 +1222,22 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((1.5..2.0).contains(&p50), "{p50}");
+        let reactors = parsed.get("reactors").and_then(Json::as_array).unwrap();
+        assert_eq!(reactors.len(), 2);
+        for field in [
+            "reactor",
+            "live",
+            "refused",
+            "max",
+            "flush_passes",
+            "iovecs_written",
+        ] {
+            assert!(reactors[0].get(field).is_some(), "reactors[0].{field}");
+        }
+        assert_eq!(
+            reactors[1].get("flush_passes").and_then(Json::as_u64),
+            Some(4)
+        );
         let solver = parsed.get("solver").unwrap();
         assert_eq!(solver.get("probes").and_then(Json::as_u64), Some(40));
         let walks = parsed.get("walks").unwrap();
@@ -1139,6 +1265,8 @@ mod tests {
             "rts_adapt_walks_total",
             "rts_adapt_shared_store_hits",
             "rts_adapt_journal_fsyncs",
+            "rts_adapt_reactor_flush_passes{reactor=\"1\"} 4",
+            "rts_adapt_reactor_iovecs_written{reactor=\"0\"} 18",
         ] {
             assert!(text.contains(series), "missing series {series}");
         }

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::engine::Response;
-use crate::proto::{self, Command, ConnStats};
+use crate::proto::{self, Command, ConnStats, ReactorStats};
 use crate::shard::{ResponseMeta, ShardedEngine};
 use crate::telemetry::{SlowRequest, Stage, Telemetry};
 
@@ -101,18 +101,19 @@ fn dispatch_round(
     for (seq, command) in round {
         match command {
             Command::Stats => {
-                let line = proto::render_stats(seq, &engine.snapshots(), conns);
+                let line =
+                    proto::render_stats(seq, &engine.snapshots(), conns, &[front_reactor(conns)]);
                 rendered.push(RoundAnswer::untraced(seq, line));
             }
             Command::Metrics => {
-                let report = engine.metrics_report(conns);
+                let report = engine.metrics_report(conns, vec![front_reactor(conns)]);
                 rendered.push(RoundAnswer::untraced(
                     seq,
                     proto::render_metrics(seq, &report),
                 ));
             }
             Command::MetricsText => {
-                let report = engine.metrics_report(conns);
+                let report = engine.metrics_report(conns, vec![front_reactor(conns)]);
                 let line = proto::render_metrics_text(seq, &report);
                 rendered.push(RoundAnswer::untraced(seq, line));
             }
@@ -143,6 +144,21 @@ fn dispatch_round(
         });
     }
     rendered
+}
+
+/// The one `reactors` entry a non-reactor front reports: the serving
+/// architecture never changes the `stats`/`metrics` field set (pinned
+/// by the cross-front byte-shape parity test), and a front with no
+/// gathered egress keeps its flush counters at zero.
+fn front_reactor(conns: ConnStats) -> ReactorStats {
+    ReactorStats {
+        reactor: 0,
+        live: conns.live,
+        refused: conns.refused,
+        max: conns.max,
+        flush_passes: 0,
+        iovecs_written: 0,
+    }
 }
 
 /// Totals of one [`serve`] run.

@@ -24,7 +24,10 @@ use std::sync::Arc;
 
 use common::{retry, TempDir};
 use rts_adapt::journal::JournalDir;
-use rts_adapt::reactor::{serve_reactor, ReactorOptions, ReactorSummary, Shutdown};
+use rts_adapt::reactor::{
+    bind_reuseport_listeners, serve_reactor, serve_reactors, ReactorOptions, ReactorSummary,
+    Shutdown,
+};
 use rts_adapt::server::{serve, serve_listener, shared, ServeSummary};
 use rts_adapt::ShardedEngine;
 use rts_analysis::semi::CarryInStrategy;
@@ -632,4 +635,163 @@ fn orderly_reactor_shutdown_loses_no_accepted_delta() {
         periods(&last_accept),
         "replayed: {replayed} vs live: {last_accept}"
     );
+}
+
+/// A client that pipelines a large burst and vanishes without reading a
+/// byte leaves the reactor mid-way through a **gathered writev pass**:
+/// its egress queue holds many completed responses, the kernel buffers
+/// are full, and the next flush hits a dead socket. The queue must be
+/// dropped wholesale, the slot reclaimed, and a fresh session served in
+/// full.
+#[test]
+fn disconnect_mid_gathered_writev_pass_never_wedges_the_reactor() {
+    let (addr, shutdown, handle) = spawn_reactor(2, 8, None);
+    {
+        let mut c = Client::connect(addr);
+        // Synchronous setup so the burst below is pure mode churn.
+        c.send(REGISTER);
+        assert!(c.recv().contains("\"verdict\":\"accept\""));
+        c.send("{\"op\":\"arrival\",\"tenant\":1,\"passive_ms\":5342,\"t_max_ms\":10000}");
+        assert!(c.recv().contains("\"verdict\":\"accept\""));
+        // Pipeline a burst and never read: answers pile up in the
+        // connection's egress queue once the kernel buffers fill, so
+        // the reactor's flush passes gather many queued buffers into
+        // single writev calls against an ever-fuller socket.
+        for i in 0..2000 {
+            let mode = if i % 2 == 0 { "active" } else { "passive" };
+            c.send(&format!(
+                "{{\"op\":\"mode\",\"tenant\":1,\"slot\":0,\"mode\":\"{mode}\"}}"
+            ));
+        }
+        // Let the reactor answer into the unread socket until it jams.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        // Dropped here with queued responses: the unread bytes make the
+        // close an RST, and the next gathered writev dies mid-pass.
+    }
+    let c = retry(
+        "a served connection after the mid-writev disconnect",
+        || {
+            let mut c = Client::connect(addr);
+            c.send("{\"op\":\"query\",\"tenant\":55}");
+            let line = c.recv();
+            line.contains("unknown tenant 55").then_some(c)
+        },
+    );
+    drop(c);
+    shutdown.request();
+    let summary = handle.join().unwrap().unwrap();
+    // The dead connection's queued answers are dropped, never leaked
+    // into another connection's stream or left wedging the pass.
+    assert!(summary.responses <= summary.requests);
+    assert_eq!(summary.refused_conns, 0);
+}
+
+/// Binds `n` `SO_REUSEPORT` listeners on one ephemeral port and runs
+/// the multi-reactor serve on a background thread.
+fn spawn_reactors(
+    n: usize,
+    shards: usize,
+    max_conns: usize,
+    journal: Option<JournalDir>,
+) -> (
+    SocketAddr,
+    Arc<Shutdown>,
+    std::thread::JoinHandle<std::io::Result<ReactorSummary>>,
+) {
+    let listeners = bind_reuseport_listeners("127.0.0.1:0".parse().unwrap(), n).unwrap();
+    let addr = listeners[0].local_addr().unwrap();
+    let shutdown = Shutdown::new();
+    let remote = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        let mut options = ReactorOptions::new(CarryInStrategy::TopDiff, shards);
+        options.max_conns = max_conns;
+        options.journal = journal;
+        serve_reactors(listeners, &options, &remote)
+    });
+    (addr, shutdown, handle)
+}
+
+/// The multi-reactor no-lost-delta pin: three journaled pipelines land
+/// on four `SO_REUSEPORT` reactors over one shard pool, a shutdown
+/// races the in-flight bursts, and every reactor still owes — and
+/// delivers — every answer before draining. A fresh engine replaying
+/// the journal afterwards reports exactly each tenant's last accepted
+/// delta.
+#[test]
+fn multi_reactor_drain_loses_no_accepted_delta() {
+    let dir = TempDir::new("torture_drain_multi");
+    let journal = JournalDir::at(dir.path()).with_compaction(3);
+    let (addr, shutdown, handle) = spawn_reactors(4, 2, 16, Some(journal));
+    let tenants = [1u64, 2, 3];
+    let n_flips = 16u64;
+    let mut clients: Vec<(u64, Client)> = tenants
+        .iter()
+        .map(|&t| {
+            let mut c = Client::connect(addr);
+            // A synchronous registration first: the round-trip proves
+            // this connection's reactor accepted it, so the raced drain
+            // below owes it every pipelined answer.
+            c.send(&REGISTER.replace("\"tenant\":1", &format!("\"tenant\":{t}")));
+            assert!(c.recv().contains("\"verdict\":\"accept\""));
+            c.send(&format!(
+                "{{\"op\":\"arrival\",\"tenant\":{t},\"passive_ms\":5342,\"t_max_ms\":10000}}"
+            ));
+            for i in 0..n_flips {
+                let mode = if i % 2 == 0 { "active" } else { "passive" };
+                c.send(&format!(
+                    "{{\"op\":\"mode\",\"tenant\":{t},\"slot\":0,\"mode\":\"{mode}\"}}"
+                ));
+            }
+            (t, c)
+        })
+        .collect();
+    // Race the stop against all three pipelines at once.
+    shutdown.request();
+    let mut last_accepts: Vec<(u64, String)> = Vec::new();
+    for (t, c) in &mut clients {
+        let mut last = String::new();
+        for _ in 0..n_flips + 1 {
+            let line = c.recv();
+            if line.contains("\"verdict\":\"accept\"") {
+                last = line;
+            }
+        }
+        assert!(!last.is_empty(), "tenant {t} saw no accepted delta");
+        last_accepts.push((*t, last));
+    }
+    drop(clients);
+    let summary = handle.join().unwrap().unwrap();
+    let expected = tenants.len() as u64 * (n_flips + 2);
+    assert_eq!(summary.requests, expected);
+    assert_eq!(summary.responses, expected);
+
+    // Replay the shared journal in a fresh engine at another shard
+    // count: every tenant must report the periods of the last delta its
+    // reactor accepted before the drain.
+    let mut engine =
+        ShardedEngine::with_journal(CarryInStrategy::TopDiff, 3, JournalDir::at(dir.path()));
+    let input: String = tenants
+        .iter()
+        .map(|t| format!("{{\"op\":\"query\",\"tenant\":{t}}}\n"))
+        .collect();
+    let mut out: Vec<u8> = Vec::new();
+    serve(&mut engine, BufReader::new(input.as_bytes()), &mut out, 8).unwrap();
+    let _ = engine.shutdown();
+    let replayed = String::from_utf8(out).unwrap();
+    let periods = |s: &str| {
+        s.split("\"periods_ms\":[")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no periods in {s}"))
+            .split(']')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    for (line, (t, last)) in replayed.lines().zip(&last_accepts) {
+        assert_eq!(
+            periods(line),
+            periods(last),
+            "tenant {t}: replayed {line} vs live {last}"
+        );
+    }
 }

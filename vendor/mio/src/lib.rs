@@ -21,6 +21,15 @@
 //! * [`Interest`] / [`Token`] — what to watch and the caller's handle.
 //! * [`Waker`] — cross-thread wakeup via an edge-triggered `eventfd`,
 //!   the same mechanism real mio uses on Linux.
+//! * [`unix::writev`] — gathered vectored write (`writev(2)`) over a raw
+//!   fd, the egress primitive the reactor's cross-connection flush
+//!   batching is built on. Not part of real mio's surface; with crates.io
+//!   mio the consuming code would reach for `std::io::Write::write_vectored`
+//!   on the `mio::net` stream instead.
+//! * [`net::bind_reuseport`] — an IPv4 `TcpListener` bound with
+//!   `SO_REUSEPORT` (and `SO_REUSEADDR`) set before `bind(2)`, so N
+//!   independent reactors can share one listening address and let the
+//!   kernel spread accepts across them.
 //!
 //! Documented simplification: sources are registered **level-triggered**
 //! (real mio is edge-triggered). The consuming reactor drains sockets to
@@ -54,6 +63,20 @@ extern "C" {
     fn close(fd: c_int) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    // `iov` is an array of `struct iovec`; `std::io::IoSlice` is
+    // documented ABI-compatible with iovec, so the wrapper passes a cast
+    // slice pointer rather than redeclaring the struct.
+    fn writev(fd: c_int, iov: *const c_void, iovcnt: c_int) -> isize;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: c_uint,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, addrlen: c_uint) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
 }
 
 const EPOLL_CLOEXEC: c_int = 0o2000000;
@@ -71,6 +94,17 @@ const EPOLLET: u32 = 1 << 31;
 
 const EFD_CLOEXEC: c_int = 0o2000000;
 const EFD_NONBLOCK: c_int = 0o4000;
+
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+
+/// Linux caps a single `writev(2)` at `IOV_MAX` (1024) iovecs; longer
+/// gathers are clipped to this and the caller loops on the short write.
+const IOV_MAX: usize = 1024;
 
 /// Converts a `-1`-style syscall return into `io::Result`.
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -472,8 +506,11 @@ impl Drop for Waker {
     }
 }
 
-/// Unix-only source adaptors, mirroring `mio::unix`.
+/// Unix-only source adaptors and syscall helpers, mirroring `mio::unix`
+/// plus the gathered-write primitive this workspace's reactor needs.
 pub mod unix {
+    use std::io;
+    use std::os::raw::c_int;
     use std::os::unix::io::RawFd;
 
     /// Adapts any raw file descriptor (listener, stream, pipe) for
@@ -481,6 +518,125 @@ pub mod unix {
     /// with the caller — exactly `mio::unix::SourceFd`.
     #[derive(Debug)]
     pub struct SourceFd<'a>(pub &'a RawFd);
+
+    /// Gathered vectored write: one `writev(2)` call over up to
+    /// `IOV_MAX` (1024) of `bufs`, returning the byte count the kernel
+    /// accepted. Longer slices are clipped to `IOV_MAX` — a short
+    /// return, exactly like any partial write, and the caller's retry
+    /// loop picks up the tail. Errors surface as `io::Error`
+    /// (`WouldBlock` on a full socket buffer, `BrokenPipe`/
+    /// `ConnectionReset` on a vanished peer).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `writev(2)` error.
+    pub fn writev(fd: RawFd, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let count = bufs.len().min(super::IOV_MAX);
+        // SAFETY: `std::io::IoSlice` is documented ABI-compatible with
+        // `struct iovec`, so `bufs[..count]` is a valid iovec array for
+        // the duration of the call; `fd` is a caller-owned live fd and
+        // the kernel only reads through the iovec pointers.
+        let ret = unsafe { super::writev(fd, bufs.as_ptr().cast(), count as c_int) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret as usize)
+        }
+    }
+}
+
+/// Listener constructors beyond what `std::net` exposes, in the spirit
+/// of `mio::net` (which real mio builds on `socket2` — unavailable
+/// offline, hence the raw syscalls here).
+pub mod net {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::FromRawFd;
+
+    use super::{cvt, AF_INET, SOCK_CLOEXEC, SOCK_STREAM, SOL_SOCKET, SO_REUSEADDR, SO_REUSEPORT};
+
+    /// Linux `struct sockaddr_in`; ports and addresses are stored in
+    /// network byte order.
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    /// Closes the wrapped fd on drop — error-path cleanup between
+    /// `socket(2)` and the handoff to `TcpListener`.
+    struct FdGuard(c_int);
+
+    impl Drop for FdGuard {
+        fn drop(&mut self) {
+            // SAFETY: the fd was created by `socket(2)` below, is owned
+            // exclusively by this guard, and is closed exactly once.
+            unsafe { super::close(self.0) };
+        }
+    }
+
+    /// Binds an IPv4 TCP listener with `SO_REUSEPORT` (and
+    /// `SO_REUSEADDR`) set before `bind(2)`, so several listeners can
+    /// share one address and the kernel load-balances incoming
+    /// connections across them. Port 0 picks an ephemeral port as usual;
+    /// read it back with `local_addr()` and bind the siblings to it.
+    /// The listener is returned blocking, like `TcpListener::bind`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an IPv6 address (this shim is IPv4-only, like
+    /// the rest of the workspace), otherwise the underlying `socket(2)` /
+    /// `setsockopt(2)` / `bind(2)` / `listen(2)` error.
+    pub fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "bind_reuseport supports IPv4 addresses only",
+            ));
+        };
+        // SAFETY: plain syscall with no pointer arguments; the returned
+        // fd (checked by cvt) is owned by the guard until handoff.
+        let fd = cvt(unsafe { super::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+        let guard = FdGuard(fd);
+        let one: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: `fd` is the live socket created above; `one` is a
+            // valid 4-byte option value for the duration of the call.
+            cvt(unsafe {
+                super::setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    (&one as *const c_int).cast::<c_void>(),
+                    std::mem::size_of::<c_int>() as u32,
+                )
+            })?;
+        }
+        let sa = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            sin_addr: u32::from(*v4.ip()).to_be(),
+            sin_zero: [0; 8],
+        };
+        // SAFETY: `sa` is a correctly laid out sockaddr_in valid for the
+        // call; the kernel copies it before returning.
+        cvt(unsafe {
+            super::bind(
+                fd,
+                (&sa as *const SockAddrIn).cast::<c_void>(),
+                std::mem::size_of::<SockAddrIn>() as u32,
+            )
+        })?;
+        // SAFETY: `fd` is the bound socket; no pointer arguments.
+        cvt(unsafe { super::listen(fd, 1024) })?;
+        std::mem::forget(guard);
+        // SAFETY: `fd` is a freshly created, bound, listening TCP socket
+        // owned by nothing else; `TcpListener` takes sole ownership.
+        Ok(unsafe { TcpListener::from_raw_fd(fd) })
+    }
 }
 
 #[cfg(test)]
@@ -606,6 +762,86 @@ mod tests {
         poll.poll(&mut events, Some(Duration::from_secs(5)))
             .unwrap();
         assert!(events.iter().any(|e| e.token() == WAKER));
+    }
+
+    #[test]
+    fn writev_gathers_scattered_buffers_into_one_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let parts: Vec<&[u8]> = vec![b"alpha ", b"", b"beta ", b"gamma\n"];
+        let slices: Vec<std::io::IoSlice<'_>> =
+            parts.iter().map(|p| std::io::IoSlice::new(p)).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut sent = 0;
+        while sent < total {
+            // Loopback with tiny payloads: each call accepts everything
+            // remaining, but loop anyway to model the real caller.
+            sent += unix::writev(server_side.as_raw_fd(), &slices).unwrap();
+        }
+        drop(server_side);
+        let mut got = String::new();
+        std::io::Read::read_to_string(&mut &client, &mut got).unwrap();
+        assert_eq!(got, "alpha beta gamma\n");
+    }
+
+    #[test]
+    fn writev_on_a_closed_peer_reports_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop(client);
+        // First write may succeed into the kernel buffer; the pipe error
+        // surfaces within a bounded number of attempts.
+        let payload = [std::io::IoSlice::new(b"x".as_slice())];
+        let err = (0..100)
+            .find_map(|_| unix::writev(server_side.as_raw_fd(), &payload).err())
+            .expect("a write to a closed peer must eventually fail");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_address() {
+        let first = net::bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        assert_ne!(addr.port(), 0, "ephemeral port must be discoverable");
+        let second = net::bind_reuseport(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+        // Both listeners accept: connect until each has served once (the
+        // kernel hashes by source port, so spread over fresh sockets).
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let (mut first_hits, mut second_hits) = (0u32, 0u32);
+        let mut held = Vec::new();
+        for _ in 0..64 {
+            held.push(TcpStream::connect(addr).unwrap());
+            std::thread::sleep(Duration::from_millis(1));
+            while first.accept().is_ok() {
+                first_hits += 1;
+            }
+            while second.accept().is_ok() {
+                second_hits += 1;
+            }
+            if first_hits > 0 && second_hits > 0 {
+                break;
+            }
+        }
+        assert!(
+            first_hits > 0 && second_hits > 0,
+            "kernel never spread accepts: {first_hits} vs {second_hits}"
+        );
+    }
+
+    #[test]
+    fn reuseport_rejects_ipv6() {
+        let err = net::bind_reuseport("[::1]:0".parse().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]
