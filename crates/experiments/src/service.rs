@@ -733,8 +733,10 @@ pub fn run_service_load_with(config: &ServiceConfig, telemetry_on: bool) -> Serv
                     errors += 1;
                     false
                 }
-                Response::Exported { .. } | Response::Evicted { .. } => {
-                    unreachable!("the load harness issues no export/evict requests")
+                Response::Exported { .. }
+                | Response::Evicted { .. }
+                | Response::Replicated { .. } => {
+                    unreachable!("the load harness issues no export/evict/replicate requests")
                 }
             };
             // Reconcile the generator's table with the engine's verdict.
@@ -830,7 +832,9 @@ fn tenant_of(request: &Request) -> u64 {
         | Request::Query { tenant }
         | Request::Export { tenant }
         | Request::Import { tenant, .. }
-        | Request::Evict { tenant } => *tenant,
+        | Request::Evict { tenant }
+        | Request::Replicate { tenant, .. }
+        | Request::Adopt { tenant } => *tenant,
     }
 }
 

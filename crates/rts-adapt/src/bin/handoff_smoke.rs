@@ -18,11 +18,11 @@
 //! on success. Wall time is a few seconds — CI wraps it in a hard
 //! `timeout` like the other smoke jobs.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rts_adapt::client::{LineClient, RetryPolicy};
 use rts_adapt::journal::JournalDir;
 use rts_adapt::server::{serve_listener, shared};
 use rts_adapt::{json, Request, Response, ShardedEngine};
@@ -32,30 +32,22 @@ const TENANTS: u64 = 8;
 const DELTAS: usize = 120;
 const MOVED: [u64; 3] = [2, 5, 7];
 
+/// The bounded-retry line client (`rts_adapt::client`) under the same
+/// discipline the test suite's `retry` helper uses: a daemon still in
+/// its restart window (first-connect `ECONNREFUSED`) is ridden out, a
+/// genuinely dead one still fails the run in seconds.
 struct Client {
-    stream: TcpStream,
-    reader: BufReader<TcpStream>,
+    inner: LineClient,
 }
 
 impl Client {
     fn connect(addr: std::net::SocketAddr) -> Self {
-        let stream = TcpStream::connect(addr).expect("connect to daemon");
-        stream
-            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-            .unwrap();
-        Client {
-            reader: BufReader::new(stream.try_clone().unwrap()),
-            stream,
-        }
+        let inner = LineClient::connect(addr, &RetryPolicy::default()).expect("connect to daemon");
+        Client { inner }
     }
 
     fn request(&mut self, line: &str) -> String {
-        self.stream.write_all(line.as_bytes()).unwrap();
-        self.stream.write_all(b"\n").unwrap();
-        let mut answer = String::new();
-        self.reader.read_line(&mut answer).unwrap();
-        assert!(!answer.is_empty(), "daemon closed the connection");
-        answer.trim_end().to_string()
+        self.inner.request(line).expect("daemon round trip")
     }
 }
 

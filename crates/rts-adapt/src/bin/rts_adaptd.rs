@@ -5,7 +5,8 @@
 //! ```sh
 //! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
 //!            [--tcp ADDR] [--reactors N] [--threaded] [--max-conns N]
-//!            [--journal DIR] [--compact-every N] [--no-telemetry]
+//!            [--journal DIR] [--compact-every N] [--retain-archives N]
+//!            [--replicate-to ADDR] [--source ID] [--no-telemetry]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
@@ -37,9 +38,20 @@
 //! `rts_adapt::journal`). A tenant's journal is automatically compacted
 //! to a registration + snapshot pair once its tail reaches
 //! `--compact-every` accepted deltas (default 512; `0` disables
-//! compaction). The `export` / `import` / `evict` protocol verbs hand a
+//! compaction). `--retain-archives N` keeps only the newest N retired/
+//! corrupt archive generations per tenant (default: keep everything).
+//! The `export` / `import` / `evict` protocol verbs hand a
 //! tenant off between two daemons (see the README's Operations section
 //! for the runbook).
+//!
+//! With `--replicate-to ADDR` (requires `--journal`) every journal
+//! mutation is streamed to the standby daemon at `ADDR` over the
+//! `replicate` protocol verb (see `rts_adapt::replication`), stamped
+//! with this daemon's `--source ID` (default `primary`); the standby
+//! keeps a lagged byte-identical replica of each tenant's journal and
+//! promotes it on `{"op":"adopt"}` — the fleet coordinator (`rts-coord`)
+//! drives that failover. Graceful shutdown flushes the replication
+//! stream after the serve loop drains.
 //!
 //! Telemetry (stage-latency histograms, the slow-request ring, the
 //! `{"op":"metrics"}` verb — see `rts_adapt::telemetry`) is on by
@@ -49,8 +61,10 @@
 use std::io::{self, BufReader, Read};
 use std::sync::Arc;
 
+use rts_adapt::client::RetryPolicy;
 use rts_adapt::journal::JournalDir;
 use rts_adapt::reactor::{bind_reuseport_listeners, serve_reactors, ReactorOptions, Shutdown};
+use rts_adapt::replication::Replicator;
 use rts_adapt::server::{serve, serve_tcp, shared};
 use rts_adapt::shard::{ShardReport, ShardedEngine};
 use rts_adapt::telemetry::Telemetry;
@@ -103,8 +117,43 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(512usize);
 
-    let journal =
-        arg_value(&args, "--journal").map(|dir| JournalDir::at(dir).with_compaction(compact_every));
+    let retain_archives = arg_value(&args, "--retain-archives")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+
+    // Replication piggybacks on the journal: the replicator mirrors
+    // every journal-file mutation to the standby, and self-heals from
+    // the journal files themselves (hence the pre-replication clone it
+    // is handed). A replication stream without a journal has nothing to
+    // mirror, so the combination is refused rather than half-working.
+    let replicate_to = arg_value(&args, "--replicate-to");
+    let mut replicator: Option<Replicator> = None;
+    let journal = match arg_value(&args, "--journal") {
+        Some(dir) => {
+            let mut journal = JournalDir::at(dir)
+                .with_compaction(compact_every)
+                .with_archive_retention(retain_archives);
+            if let Some(standby) = replicate_to {
+                let standby = standby.parse().unwrap_or_else(|e| fail(e));
+                let source = arg_value(&args, "--source").unwrap_or("primary");
+                let handle = Replicator::spawn(
+                    source,
+                    standby,
+                    RetryPolicy::default(),
+                    Some(journal.clone()),
+                );
+                replicator = Some(handle.clone());
+                journal = journal.with_replication(handle);
+            }
+            Some(journal)
+        }
+        None => {
+            if replicate_to.is_some() {
+                fail("--replicate-to requires --journal (replication mirrors the journal)");
+            }
+            None
+        }
+    };
     let threaded = args.iter().any(|a| a == "--threaded");
     let telemetry_on = !args.iter().any(|a| a == "--no-telemetry");
     let build_engine = |journal: Option<JournalDir>| {
@@ -159,6 +208,7 @@ fn main() {
                 summary.refused_conns
             );
             report_shards(&summary.reports);
+            flush_replication(replicator.as_ref());
         }
         Some(addr) => {
             // Legacy thread-per-connection front end, kept for parity
@@ -182,9 +232,24 @@ fn main() {
                         summary.requests, summary.parse_errors
                     );
                     report_shards(&reports);
+                    flush_replication(replicator.as_ref());
                 }
                 Err(e) => fail(e),
             }
+        }
+    }
+}
+
+/// Quiesces the replication stream on graceful shutdown so an orderly
+/// stop loses no replicated delta; a standby that cannot be reached in
+/// time is reported, never waited on forever.
+fn flush_replication(replicator: Option<&Replicator>) {
+    if let Some(replicator) = replicator {
+        if !replicator.flush(std::time::Duration::from_secs(10)) {
+            eprintln!(
+                "rts_adaptd: replication stream did not quiesce within 10s ({:?})",
+                replicator.stats()
+            );
         }
     }
 }

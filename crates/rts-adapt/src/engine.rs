@@ -26,6 +26,7 @@ use rts_model::time::Duration;
 use rts_model::{CoreId, Partition, Platform, RtTask, RtTaskSet, SecurityTaskSet, System};
 
 use crate::journal::{self, JournalDir, ReplayError, TenantHistory, TenantSnapshot};
+use crate::replication::ReplPayload;
 use crate::tenant::{ApplyError, TenantState};
 
 /// One legacy RT task as it crosses the registration boundary.
@@ -93,6 +94,29 @@ pub enum Request {
         /// Tenant identifier.
         tenant: u64,
     },
+    /// Apply one replicated journal mutation to this daemon's *replica
+    /// store* (the standby role — see [`crate::replication`]). Replica
+    /// files are invisible to recovery and queries until adopted.
+    Replicate {
+        /// Tenant identifier.
+        tenant: u64,
+        /// The primary the op came from. The standby tracks the most
+        /// recent resetter per tenant and ignores appends/retires from
+        /// anyone else, so hand-off races resolve to the new owner.
+        source: String,
+        /// The mirrored journal mutation.
+        payload: ReplPayload,
+    },
+    /// Failover: promote `tenant`'s replica to a live tenant. The
+    /// replica history is **re-admitted** through the full analysis
+    /// (exactly like [`Import`]), installed, compacted into this
+    /// daemon's own journal, and the replica file retired.
+    ///
+    /// [`Import`]: Request::Import
+    Adopt {
+        /// Tenant identifier.
+        tenant: u64,
+    },
 }
 
 impl Request {
@@ -105,7 +129,9 @@ impl Request {
             | Request::Query { tenant }
             | Request::Export { tenant }
             | Request::Import { tenant, .. }
-            | Request::Evict { tenant } => tenant,
+            | Request::Evict { tenant }
+            | Request::Replicate { tenant, .. }
+            | Request::Adopt { tenant } => tenant,
         }
     }
 }
@@ -164,6 +190,16 @@ pub enum Response {
         /// answer.
         fingerprint: u64,
     },
+    /// A [`Request::Replicate`] was handled by the standby.
+    Replicated {
+        /// The tenant.
+        tenant: u64,
+        /// Whether the op changed the replica store. `false` means the
+        /// op was *deliberately ignored* (it came from a source that no
+        /// longer owns the tenant) — a success for the protocol, a
+        /// no-op for the disk.
+        applied: bool,
+    },
 }
 
 impl Response {
@@ -181,7 +217,8 @@ impl Response {
             | Response::Rejected { tenant, .. }
             | Response::Error { tenant, .. }
             | Response::Exported { tenant, .. }
-            | Response::Evicted { tenant, .. } => tenant,
+            | Response::Evicted { tenant, .. }
+            | Response::Replicated { tenant, .. } => tenant,
         }
     }
 }
@@ -217,6 +254,14 @@ pub struct AdaptEngine {
     /// store attached, so structurally identical tenants share solved
     /// configurations. The sharded pool hands all its workers one store.
     shared: Option<Arc<SharedSelectionStore>>,
+    /// The standby role's replica store (`<journal>/replica/`), lazily
+    /// derived from `journal`. Replica files are written by
+    /// [`Request::Replicate`], promoted by [`Request::Adopt`], and never
+    /// seen by recovery or queries.
+    replica: Option<JournalDir>,
+    /// Which primary most recently reset each replicated tenant —
+    /// appends/retires from anyone else are ignored (hand-off guard).
+    replica_owner: HashMap<u64, String>,
 }
 
 impl AdaptEngine {
@@ -229,6 +274,8 @@ impl AdaptEngine {
             tenants: HashMap::new(),
             journal: None,
             shared: None,
+            replica: None,
+            replica_owner: HashMap::new(),
         }
     }
 
@@ -241,8 +288,10 @@ impl AdaptEngine {
         AdaptEngine {
             strategy,
             tenants: HashMap::new(),
+            replica: Some(journal.replica()),
             journal: Some(journal),
             shared: None,
+            replica_owner: HashMap::new(),
         }
     }
 
@@ -328,6 +377,12 @@ impl AdaptEngine {
             Request::Export { tenant } => self.export(*tenant),
             Request::Import { tenant, history } => self.import(*tenant, history),
             Request::Evict { tenant } => self.evict(*tenant),
+            Request::Replicate {
+                tenant,
+                source,
+                payload,
+            } => self.replicate(*tenant, source, payload),
+            Request::Adopt { tenant } => self.adopt(*tenant),
         }
     }
 
@@ -446,6 +501,14 @@ impl AdaptEngine {
     }
 
     fn import(&mut self, tenant: u64, history: &TenantHistory) -> Response {
+        self.install_history(tenant, history)
+    }
+
+    /// Re-admits a portable history and installs the tenant — the shared
+    /// back half of `import` (hand-off) and `adopt` (failover). The
+    /// history is analysed, never trusted; on success the tenant's own
+    /// journal here starts compacted.
+    fn install_history(&mut self, tenant: u64, history: &TenantHistory) -> Response {
         let mut slot = match replay_slot(history, self.strategy) {
             Ok(slot) => slot,
             // The payload's configuration does not admit here — an
@@ -517,6 +580,117 @@ impl AdaptEngine {
             tenant,
             fingerprint,
         }
+    }
+
+    /// The standby half of [`crate::replication`]: applies one mirrored
+    /// journal mutation to the replica store. No analysis runs here —
+    /// the replica is bytes on disk until an [`Request::Adopt`] promotes
+    /// it through the full re-admission path.
+    fn replicate(&mut self, tenant: u64, source: &str, payload: &ReplPayload) -> Response {
+        let Some(replica) = self.replica.clone() else {
+            return Response::Error {
+                tenant,
+                reason: "replication requires a journal on the standby (start with --journal)"
+                    .into(),
+            };
+        };
+        let stale = self
+            .replica_owner
+            .get(&tenant)
+            .is_some_and(|owner| owner != source);
+        match payload {
+            ReplPayload::Reset { history } => {
+                // A reset always wins ownership: it is how a tenant's
+                // *new* primary (after import) announces itself.
+                match replica.write_history(tenant, history) {
+                    Ok(()) => {
+                        self.replica_owner.insert(tenant, source.to_string());
+                        Response::Replicated {
+                            tenant,
+                            applied: true,
+                        }
+                    }
+                    Err(e) => Response::Error {
+                        tenant,
+                        reason: format!("replica reset failed: {e}"),
+                    },
+                }
+            }
+            ReplPayload::Append { event } => {
+                if stale {
+                    return Response::Replicated {
+                        tenant,
+                        applied: false,
+                    };
+                }
+                match replica.append_event(tenant, event) {
+                    Ok(()) => Response::Replicated {
+                        tenant,
+                        applied: true,
+                    },
+                    // No replica file: the standby restarted or never
+                    // saw the reset. The error answer makes the primary
+                    // self-heal with a full resend.
+                    Err(e) => Response::Error {
+                        tenant,
+                        reason: format!("replica append failed: {e}"),
+                    },
+                }
+            }
+            ReplPayload::Retire => {
+                if stale {
+                    return Response::Replicated {
+                        tenant,
+                        applied: false,
+                    };
+                }
+                match replica.retire_tenant(tenant) {
+                    Ok(()) => {
+                        self.replica_owner.remove(&tenant);
+                        Response::Replicated {
+                            tenant,
+                            applied: true,
+                        }
+                    }
+                    Err(e) => Response::Error {
+                        tenant,
+                        reason: format!("replica retire failed: {e}"),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Failover: promote a replicated tenant to live service. The
+    /// replica history runs the full re-admission analysis (identical
+    /// to an import, so the zero-divergence replay guarantee carries
+    /// over); on success the replica file is retired so a second adopt
+    /// — or a later replication stream for a re-registered tenant —
+    /// starts clean.
+    fn adopt(&mut self, tenant: u64) -> Response {
+        let Some(replica) = self.replica.clone() else {
+            return Response::Error {
+                tenant,
+                reason: "adoption requires a journal on the standby (start with --journal)".into(),
+            };
+        };
+        let history = match replica.load_tenant(tenant) {
+            Ok(history) => history,
+            Err(e) => {
+                return Response::Error {
+                    tenant,
+                    reason: format!("no adoptable replica for tenant {tenant}: {e}"),
+                }
+            }
+        };
+        let response = self.install_history(tenant, &history);
+        if response.is_admitted() {
+            self.replica_owner.remove(&tenant);
+            if let Err(e) = replica.retire_tenant(tenant) {
+                eprintln!("journal: could not retire adopted replica of tenant {tenant}: {e}");
+            }
+        }
+        response
     }
 
     /// Forces a snapshot compaction of one tenant's journal, regardless

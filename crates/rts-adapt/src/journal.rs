@@ -490,21 +490,48 @@ fn count_fsync() {
 }
 
 /// A directory of per-tenant journals, with an optional automatic
-/// compaction policy that the owning engine consults.
+/// compaction policy that the owning engine consults, an optional
+/// archive-retention cap, and an optional replication stream that
+/// mirrors every journal mutation to a warm standby.
 #[derive(Clone, Debug)]
 pub struct JournalDir {
     dir: PathBuf,
     compact_every: Option<usize>,
+    retain_archives: Option<usize>,
+    replicate: Option<crate::replication::Replicator>,
 }
 
 impl JournalDir {
     /// A journal rooted at `dir` (created on first write), without
-    /// automatic compaction.
+    /// automatic compaction. Opening the directory sweeps any stray
+    /// `tenant_<id>.jsonl.tmp` left by a crash between the snapshot
+    /// rewrite's `create` and `rename` — such a file is never read by
+    /// recovery (the rename never happened, so the previous journal is
+    /// the truth) and would otherwise sit on disk forever.
     #[must_use]
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        JournalDir {
+        let dir = JournalDir {
             dir: dir.into(),
             compact_every: None,
+            retain_archives: None,
+            replicate: None,
+        };
+        dir.sweep_stray_tmp();
+        dir
+    }
+
+    /// Best-effort removal of `tenant_*.jsonl.tmp` strays (see
+    /// [`JournalDir::at`]). A missing directory is a clean no-op.
+    fn sweep_stray_tmp(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("tenant_") && name.ends_with(".jsonl.tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
         }
     }
 
@@ -522,6 +549,53 @@ impl JournalDir {
     #[must_use]
     pub fn compact_every(&self) -> Option<usize> {
         self.compact_every
+    }
+
+    /// Caps how many `.jsonl.retired` / `.jsonl.corrupt` archives are
+    /// kept per tenant (`0` disables the cap). The coordinator's
+    /// rebalancing retires a journal on every hand-off, so an unbounded
+    /// fleet would otherwise grow archives without limit; with a cap,
+    /// each new archive prunes the oldest ones beyond `keep`.
+    #[must_use]
+    pub fn with_archive_retention(mut self, keep: usize) -> Self {
+        self.retain_archives = (keep > 0).then_some(keep);
+        self
+    }
+
+    /// The archive-retention cap, if enabled.
+    #[must_use]
+    pub fn retain_archives(&self) -> Option<usize> {
+        self.retain_archives
+    }
+
+    /// Attaches a replication stream: every journal mutation (begin,
+    /// append, snapshot rewrite, retire) is mirrored to the replicator,
+    /// which forwards it to a warm standby over the line protocol. The
+    /// handle travels with clones, so every shard worker streams
+    /// through the same forwarder. Journal writes never block on the
+    /// network — replication is asynchronous by design.
+    #[must_use]
+    pub fn with_replication(mut self, replicator: crate::replication::Replicator) -> Self {
+        self.replicate = Some(replicator);
+        self
+    }
+
+    /// The replica store a *standby* keeps under this journal: a
+    /// sibling `replica/` directory holding the mirrored journals of
+    /// remote primaries. Kept strictly apart from the standby's own
+    /// journals so boot recovery never installs a replica as a live
+    /// tenant; no compaction and no onward replication apply (the
+    /// replica mirrors the primary's compaction decisions verbatim).
+    #[must_use]
+    pub fn replica(&self) -> JournalDir {
+        let replica = JournalDir {
+            dir: self.dir.join("replica"),
+            compact_every: None,
+            retain_archives: self.retain_archives,
+            replicate: None,
+        };
+        replica.sweep_stray_tmp();
+        replica
     }
 
     /// The journal file of one tenant.
@@ -545,6 +619,17 @@ impl JournalDir {
         f.sync_all()?;
         count_append();
         count_fsync();
+        if let Some(repl) = &self.replicate {
+            repl.reset(
+                tenant,
+                TenantHistory {
+                    cores,
+                    rt: rt.to_vec(),
+                    snapshot: None,
+                    events: Vec::new(),
+                },
+            );
+        }
         Ok(())
     }
 
@@ -564,6 +649,9 @@ impl JournalDir {
         f.sync_all()?;
         count_append();
         count_fsync();
+        if let Some(repl) = &self.replicate {
+            repl.append(tenant, *event);
+        }
         Ok(())
     }
 
@@ -597,6 +685,53 @@ impl JournalDir {
         }
         std::fs::rename(&tmp, &path)?;
         count_snapshot();
+        if let Some(repl) = &self.replicate {
+            repl.reset(
+                tenant,
+                TenantHistory {
+                    cores,
+                    rt: rt.to_vec(),
+                    snapshot: Some(snapshot.clone()),
+                    events: Vec::new(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Writes a tenant's journal file verbatim from a history — the
+    /// standby's replica store uses this to mirror a primary's
+    /// registration/snapshot rewrites. Same write-then-rename dance as
+    /// [`JournalDir::snapshot_tenant`], so a crash mid-write leaves the
+    /// previous replica intact; the rendered bytes are exactly what the
+    /// primary's own journal holds (same renderers, tick-exact), so a
+    /// healthy replica is byte-identical to its source file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_history(&self, tenant: u64, history: &TenantHistory) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(tenant);
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut text = render_registration(history.cores, &history.rt);
+            text.push('\n');
+            if let Some(snapshot) = &history.snapshot {
+                text.push_str(&render_snapshot(snapshot));
+                text.push('\n');
+            }
+            for event in &history.events {
+                text.push_str(&render_event(event));
+                text.push('\n');
+            }
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            count_fsync();
+        }
+        std::fs::rename(&tmp, &path)?;
+        count_append();
         Ok(())
     }
 
@@ -622,41 +757,95 @@ impl JournalDir {
     }
 
     /// Poisons a tenant's journal after a failed write: the file is
-    /// renamed to `tenant_<id>.jsonl.corrupt`, so boot-time recovery
-    /// reports the tenant as *absent* (and the operator finds the
-    /// partial history preserved for inspection) instead of silently
-    /// replaying a history with a hole in it — a journal that dropped
-    /// one accepted event would otherwise replay cleanly to a *different*
-    /// committed state, violating the bit-identical guarantee. Idempotent
-    /// and best-effort: if even the rename fails there is nothing
-    /// durable left to do, and the error says so.
+    /// renamed to a unique `tenant_<id>.jsonl.corrupt[.k]` archive, so
+    /// boot-time recovery reports the tenant as *absent* (and the
+    /// operator finds the partial history preserved for inspection)
+    /// instead of silently replaying a history with a hole in it — a
+    /// journal that dropped one accepted event would otherwise replay
+    /// cleanly to a *different* committed state, violating the
+    /// bit-identical guarantee. Idempotent and best-effort: if even the
+    /// rename fails there is nothing durable left to do, and the error
+    /// says so.
     ///
     /// # Errors
     ///
     /// Propagates the rename error (missing files are fine — the tenant
     /// is already unrecoverable, which is the goal).
     pub fn poison_tenant(&self, tenant: u64) -> io::Result<()> {
-        self.rename_aside(tenant, "jsonl.corrupt")
+        self.archive_aside(tenant, "corrupt")
     }
 
     /// Retires a tenant's journal after an eviction (hand-off drain):
-    /// the file is renamed to `tenant_<id>.jsonl.retired` so a restart
-    /// does not resurrect a tenant that now lives on another daemon,
-    /// while the final history stays on disk for the operator. A later
-    /// retirement of the same tenant overwrites the previous one.
+    /// the file is renamed to `tenant_<id>.jsonl.retired` — or, when
+    /// earlier retirements already archived this tenant, to the next
+    /// free `tenant_<id>.jsonl.retired.<k>` — so a restart does not
+    /// resurrect a tenant that now lives on another daemon, while every
+    /// retired history stays on disk for the operator. Repeated
+    /// evict/re-register cycles (the coordinator's rebalancing does
+    /// this constantly) therefore never destroy an earlier archive;
+    /// [`JournalDir::with_archive_retention`] bounds how many are kept.
     ///
     /// # Errors
     ///
     /// Propagates the rename error (missing files are fine — an
     /// unjournaled tenant has nothing to retire).
     pub fn retire_tenant(&self, tenant: u64) -> io::Result<()> {
-        self.rename_aside(tenant, "jsonl.retired")
+        let result = self.archive_aside(tenant, "retired");
+        if result.is_ok() {
+            if let Some(repl) = &self.replicate {
+                repl.retire(tenant);
+            }
+        }
+        result
     }
 
-    fn rename_aside(&self, tenant: u64, extension: &str) -> io::Result<()> {
+    /// The existing archives of one tenant and kind, as
+    /// `(generation, path)` pairs. The unsuffixed archive is
+    /// generation 0; later ones carry `.1`, `.2`, … — generations are
+    /// monotonically increasing, so ascending generation is exactly
+    /// age order even after retention pruned older entries.
+    fn archives(&self, tenant: u64, kind: &str) -> Vec<(u64, PathBuf)> {
+        let prefix = format!("tenant_{tenant}.jsonl.{kind}");
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut found: Vec<(u64, PathBuf)> = entries
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let name = entry.file_name();
+                let rest = name.to_str()?.strip_prefix(&prefix)?;
+                let generation = if rest.is_empty() {
+                    0
+                } else {
+                    rest.strip_prefix('.')?.parse().ok()?
+                };
+                Some((generation, entry.path()))
+            })
+            .collect();
+        found.sort_unstable_by_key(|&(generation, _)| generation);
+        found
+    }
+
+    /// Renames a journal aside to a unique archive name of `kind` and
+    /// applies the retention cap. Missing journals are a no-op (and
+    /// leave the archive set untouched).
+    fn archive_aside(&self, tenant: u64, kind: &str) -> io::Result<()> {
         let path = self.path_for(tenant);
-        match std::fs::rename(&path, path.with_extension(extension)) {
-            Ok(()) => Ok(()),
+        let existing = self.archives(tenant, kind);
+        let target = match existing.last() {
+            None => path.with_extension(format!("jsonl.{kind}")),
+            Some(&(latest, _)) => path.with_extension(format!("jsonl.{kind}.{}", latest + 1)),
+        };
+        match std::fs::rename(&path, &target) {
+            Ok(()) => {
+                if let Some(keep) = self.retain_archives {
+                    let total = existing.len() + 1;
+                    for (_, old) in existing.into_iter().take(total.saturating_sub(keep)) {
+                        let _ = std::fs::remove_file(old);
+                    }
+                }
+                Ok(())
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
@@ -1102,13 +1291,125 @@ mod tests {
         dir.retire_tenant(6).unwrap();
         assert!(dir.tenants().is_empty());
         assert!(dir.path_for(6).with_extension("jsonl.retired").exists());
-        // A re-registered-then-retired tenant overwrites the archive.
+        // A re-registered-then-retired tenant archives under the next
+        // free generation — BOTH histories survive on disk.
         dir.begin_tenant(6, 1, &rt).unwrap();
+        dir.append_event(6, &DeltaEvent::Departure { slot: 0 })
+            .unwrap();
         dir.retire_tenant(6).unwrap();
         assert!(dir.tenants().is_empty());
-        // Retiring an absent journal is fine.
+        assert!(dir.path_for(6).with_extension("jsonl.retired").exists());
+        assert!(dir.path_for(6).with_extension("jsonl.retired.1").exists());
+        // The generations are distinguishable: the first archive has no
+        // tail, the second records the departure.
+        let first =
+            std::fs::read_to_string(dir.path_for(6).with_extension("jsonl.retired")).unwrap();
+        let second =
+            std::fs::read_to_string(dir.path_for(6).with_extension("jsonl.retired.1")).unwrap();
+        assert_eq!(first.lines().count(), 1);
+        assert_eq!(second.lines().count(), 2);
+        // Retiring an absent journal is fine, and plants no archive.
         dir.retire_tenant(42).unwrap();
+        assert!(!dir.path_for(42).with_extension("jsonl.retired").exists());
         let _ = std::fs::remove_dir_all(dir.dir);
+    }
+
+    #[test]
+    fn stray_snapshot_tmp_is_swept_at_open_and_recovery_unaffected() {
+        // A crash between the snapshot rewrite's File::create and
+        // rename strands tenant_<id>.jsonl.tmp. Opening the directory
+        // must remove the stray, and boot recovery must keep answering
+        // from the intact journal it shadows.
+        let root =
+            std::env::temp_dir().join(format!("hydra_journal_tmpsweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let rt = rover_rt();
+        {
+            let dir = JournalDir::at(&root);
+            dir.begin_tenant(4, 2, &rt).unwrap();
+            dir.append_event(4, &DeltaEvent::Departure { slot: 0 })
+                .unwrap();
+        }
+        // Plant the stray exactly where snapshot_tenant would write it.
+        let stray = root.join("tenant_4.jsonl.tmp");
+        std::fs::write(&stray, "{\"event\":\"register\"").unwrap();
+        let unrelated = root.join("notes.tmp");
+        std::fs::write(&unrelated, "operator scratch").unwrap();
+
+        let dir = JournalDir::at(&root);
+        assert!(!stray.exists(), "open must sweep the stray tmp");
+        assert!(unrelated.exists(), "only journal tmps are swept");
+        assert_eq!(dir.tenants(), vec![4]);
+        let history = dir.load_tenant(4).unwrap();
+        assert_eq!(history.events, vec![DeltaEvent::Departure { slot: 0 }]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn archive_retention_prunes_oldest_generations() {
+        let dir = JournalDir::at(
+            std::env::temp_dir().join(format!("hydra_journal_retain_{}", std::process::id())),
+        )
+        .with_archive_retention(2);
+        assert_eq!(dir.retain_archives(), Some(2));
+        assert_eq!(
+            dir.clone().with_archive_retention(0).retain_archives(),
+            None
+        );
+        let rt = [RtSpec {
+            wcet: ms(10),
+            period: ms(100),
+            core: 0,
+        }];
+        for _ in 0..4 {
+            dir.begin_tenant(9, 1, &rt).unwrap();
+            dir.retire_tenant(9).unwrap();
+        }
+        // Generations 0..=3 were written; only the newest two survive.
+        assert!(!dir.path_for(9).with_extension("jsonl.retired").exists());
+        assert!(!dir.path_for(9).with_extension("jsonl.retired.1").exists());
+        assert!(dir.path_for(9).with_extension("jsonl.retired.2").exists());
+        assert!(dir.path_for(9).with_extension("jsonl.retired.3").exists());
+        // The next retirement keeps counting upward — age order stays
+        // generation order even after pruning.
+        dir.begin_tenant(9, 1, &rt).unwrap();
+        dir.retire_tenant(9).unwrap();
+        assert!(!dir.path_for(9).with_extension("jsonl.retired.2").exists());
+        assert!(dir.path_for(9).with_extension("jsonl.retired.4").exists());
+        let _ = std::fs::remove_dir_all(dir.dir);
+    }
+
+    #[test]
+    fn write_history_mirrors_journal_bytes_and_replica_stays_invisible() {
+        let root =
+            std::env::temp_dir().join(format!("hydra_journal_mirror_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = JournalDir::at(&root);
+        let rt = rover_rt();
+        dir.begin_tenant(2, 2, &rt).unwrap();
+        let arrival = DeltaEvent::Arrival {
+            monitor: MonitorSpec::fixed(ms(223), ms(10_000)).unwrap(),
+        };
+        dir.append_event(2, &arrival).unwrap();
+
+        // Mirror the same history into the replica store: the bytes
+        // must match the source journal exactly (same renderers).
+        let replica = dir.replica();
+        let history = dir.load_tenant(2).unwrap();
+        replica.write_history(2, &history).unwrap();
+        replica.append_event(2, &arrival).unwrap();
+        dir.append_event(2, &arrival).unwrap();
+        let source = std::fs::read_to_string(dir.path_for(2)).unwrap();
+        let mirrored = std::fs::read_to_string(replica.path_for(2)).unwrap();
+        assert_eq!(source, mirrored, "replica must mirror the journal bytes");
+        // Replica journals never leak into the parent's recovery scan,
+        // and vice versa.
+        assert_eq!(dir.tenants(), vec![2]);
+        assert_eq!(replica.tenants(), vec![2]);
+        replica.retire_tenant(2).unwrap();
+        assert_eq!(dir.tenants(), vec![2]);
+        assert!(replica.tenants().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

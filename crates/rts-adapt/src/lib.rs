@@ -35,7 +35,16 @@
 //!   recovery never installs an unverified configuration. The same
 //!   history shape is the hand-off payload behind the protocol's
 //!   `export`/`import`/`evict` verbs, which move a tenant between two
-//!   daemons with bit-identical subsequent answers.
+//!   daemons with bit-identical subsequent answers;
+//! * [`client`] — the bounded-retry dial-out path (connect backoff
+//!   through daemon restart windows, line-protocol round trips) shared
+//!   by the replicator, the fleet coordinator and the smoke harnesses;
+//! * [`replication`] — warm-standby streaming: every journal-file
+//!   mutation is mirrored, in order, to a standby daemon's replica
+//!   store over the `replicate` protocol verb, and the `adopt` verb
+//!   fails a dead primary's tenants over through the same re-admission
+//!   analysis recovery uses — so failover inherits the bit-identical
+//!   replay guarantee instead of needing its own.
 //!
 //! # Why mode-aware re-admission is sound
 //!
@@ -118,11 +127,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod engine;
 pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod reactor;
+pub mod replication;
 pub mod server;
 pub mod shard;
 pub mod telemetry;
@@ -137,12 +148,14 @@ pub mod prelude {
     pub use rts_model::delta::{DeltaEvent, MonitorMode, MonitorSpec};
 }
 
+pub use client::{connect_with_retry, LineClient, RetryPolicy};
 pub use engine::{AdaptEngine, Admitted, Request, Response, RtSpec};
 pub use journal::{replay, JournalDir, ReplayError, TenantHistory, TenantSnapshot};
 pub use reactor::{
     bind_reuseport_listeners, serve_reactor, serve_reactors, ReactorOptions, ReactorSummary,
     Shutdown,
 };
+pub use replication::{ReplPayload, ReplStats, Replicator};
 pub use server::{serve, serve_shared, serve_tcp, shared, SharedEngine};
 pub use shard::ShardedEngine;
 pub use telemetry::{Histogram, SlowRequest, Stage, StageSummary, Telemetry};

@@ -13,6 +13,10 @@
 //! {"op":"export","tenant":1}
 //! {"op":"import","tenant":1,"journal":{"cores":2,"rt":[...],"snapshot":{...},"events":[...]}}
 //! {"op":"evict","tenant":1}
+//! {"op":"replicate","tenant":1,"source":"d0","kind":"reset","journal":{...}}
+//! {"op":"replicate","tenant":1,"source":"d0","kind":"append","entry":{"event":"mode",...}}
+//! {"op":"replicate","tenant":1,"source":"d0","kind":"retire"}
+//! {"op":"adopt","tenant":1}
 //! ```
 //!
 //! `active_ms` may be omitted on `arrival` for a single-mode monitor.
@@ -30,7 +34,17 @@
 //! {"seq":2,"tenant":9,"verdict":"error","reason":"unknown tenant 9 (register it first)"}
 //! {"seq":3,"tenant":1,"verdict":"export","fingerprint":"…","journal":{...}}
 //! {"seq":4,"tenant":1,"verdict":"evicted","fingerprint":"…"}
+//! {"seq":5,"tenant":1,"verdict":"replicated","applied":true}
 //! ```
+//!
+//! The `replicate` verb is the warm-standby stream (see
+//! [`crate::replication`]): each op mirrors one journal-file mutation on
+//! the primary — `reset` replaces the standby's replica file with the
+//! `journal` history (journal integer-tick encoding, like `import`),
+//! `append` adds one journal *line* (the `entry` object is exactly a
+//! journal file line), `retire` archives it. `adopt` promotes a replica
+//! to a live tenant through the full re-admission analysis and answers
+//! like `import`.
 //!
 //! An `export` response's `journal` value is exactly what `import`
 //! accepts on another daemon — the hand-off runbook is: `export` on A,
@@ -50,6 +64,7 @@ use rts_model::time::{Duration, TICKS_PER_MS};
 use crate::engine::{Admitted, Request, Response, RtSpec};
 use crate::journal;
 use crate::json::{self, Json};
+use crate::replication::ReplPayload;
 use crate::shard::ShardSnapshot;
 use crate::telemetry::{Histogram, SlowRequest, Stage};
 
@@ -188,6 +203,36 @@ fn parse_engine_request(value: &Json, op: &str) -> Result<Request, String> {
             Ok(Request::Import { tenant, history })
         }
         "evict" => Ok(Request::Evict { tenant }),
+        "replicate" => {
+            let source = value
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or("missing string field \"source\"")?
+                .to_string();
+            let payload = match value.get("kind").and_then(Json::as_str) {
+                Some("reset") => {
+                    let payload = value.get("journal").ok_or("missing field \"journal\"")?;
+                    let history =
+                        journal::parse_history(payload).map_err(|e| format!("journal: {e}"))?;
+                    ReplPayload::Reset { history }
+                }
+                Some("append") => {
+                    let entry = value.get("entry").ok_or("missing field \"entry\"")?;
+                    let event =
+                        journal::event_from_value(entry).map_err(|e| format!("entry: {e}"))?;
+                    ReplPayload::Append { event }
+                }
+                Some("retire") => ReplPayload::Retire,
+                Some(other) => return Err(format!("unknown replicate kind \"{other}\"")),
+                None => return Err("missing string field \"kind\"".into()),
+            };
+            Ok(Request::Replicate {
+                tenant,
+                source,
+                payload,
+            })
+        }
+        "adopt" => Ok(Request::Adopt { tenant }),
         other => Err(format!("unknown op \"{other}\"")),
     }
 }
@@ -272,6 +317,13 @@ pub fn render_response(seq: u64, response: &Response) -> String {
                 out,
                 "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"evicted\",\
                  \"fingerprint\":\"{fingerprint:016x}\"}}"
+            );
+        }
+        Response::Replicated { tenant, applied } => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"tenant\":{tenant},\"verdict\":\"replicated\",\
+                 \"applied\":{applied}}}"
             );
         }
     }
@@ -741,6 +793,32 @@ pub fn render_request(request: &Request) -> String {
         Request::Evict { tenant } => {
             let _ = write!(out, "{{\"op\":\"evict\",\"tenant\":{tenant}}}");
         }
+        Request::Replicate {
+            tenant,
+            source,
+            payload,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"op\":\"replicate\",\"tenant\":{tenant},\"source\":"
+            );
+            json::write_escaped(&mut out, source);
+            match payload {
+                ReplPayload::Reset { history } => {
+                    out.push_str(",\"kind\":\"reset\",\"journal\":");
+                    out.push_str(&journal::render_history(history));
+                }
+                ReplPayload::Append { event } => {
+                    out.push_str(",\"kind\":\"append\",\"entry\":");
+                    out.push_str(&journal::render_event(event));
+                }
+                ReplPayload::Retire => out.push_str(",\"kind\":\"retire\""),
+            }
+            out.push('}');
+        }
+        Request::Adopt { tenant } => {
+            let _ = write!(out, "{{\"op\":\"adopt\",\"tenant\":{tenant}}}");
+        }
     }
     out
 }
@@ -1074,6 +1152,35 @@ mod tests {
             Request::Query { tenant: 7 },
             Request::Export { tenant: 7 },
             Request::Evict { tenant: 7 },
+            Request::Replicate {
+                tenant: 7,
+                source: "d\"0\"".into(), // exercises source escaping
+                payload: crate::replication::ReplPayload::Reset {
+                    history: crate::journal::TenantHistory {
+                        cores: 2,
+                        rt: vec![RtSpec {
+                            wcet: ms(240),
+                            period: Duration::from_ticks(5_005),
+                            core: 0,
+                        }],
+                        snapshot: None,
+                        events: vec![DeltaEvent::Departure { slot: 1 }],
+                    },
+                },
+            },
+            Request::Replicate {
+                tenant: 7,
+                source: "d1".into(),
+                payload: crate::replication::ReplPayload::Append {
+                    event: DeltaEvent::Arrival { monitor: modal },
+                },
+            },
+            Request::Replicate {
+                tenant: 7,
+                source: "d1".into(),
+                payload: crate::replication::ReplPayload::Retire,
+            },
+            Request::Adopt { tenant: 7 },
         ];
         for request in requests {
             let line = render_request(&request);
@@ -1083,6 +1190,26 @@ mod tests {
                 "round trip failed for {line}"
             );
         }
+    }
+
+    #[test]
+    fn replicated_response_renders_verdict_and_applied() {
+        let line = render_response(
+            9,
+            &Response::Replicated {
+                tenant: 4,
+                applied: false,
+            },
+        );
+        assert_eq!(
+            line,
+            "{\"seq\":9,\"tenant\":4,\"verdict\":\"replicated\",\"applied\":false}"
+        );
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("verdict").and_then(Json::as_str),
+            Some("replicated")
+        );
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Warm-standby replication: every journal-file mutation on a primary
+//! is streamed, in order, to a standby daemon over the ordinary line
+//! protocol (`{"op":"replicate",...}` — see [`crate::proto`]).
+//!
+//! # Design: replicate the *journal*, not the engine
+//!
+//! The replication stream mirrors the three mutations a
+//! [`JournalDir`](crate::journal::JournalDir) ever performs on a tenant
+//! file — rewrite it whole (registration, snapshot compaction, import),
+//! append one accepted delta, retire it — rather than the requests that
+//! caused them. Because both ends run the same renderers at integer-tick
+//! precision, the standby's replica file is a byte-identical (lagged)
+//! mirror of the primary's journal file, and failover is exactly the
+//! recovery path PR 5 already proved bit-identical: load the replica,
+//! re-admit through the full analysis, serve. Nothing about the engine,
+//! shards, or the solver had to learn about replication; the journal is
+//! the replication log.
+//!
+//! # Ordering and loss
+//!
+//! A [`Replicator`] is a cheap cloneable handle over one mpsc channel
+//! drained by a single forwarder thread, so ops for one tenant are
+//! delivered in journal order (the engine's per-tenant FIFO guarantees
+//! the enqueue order, the channel and the single drainer preserve it).
+//! Replication is asynchronous and *lossy by design* under a dead
+//! standby — the primary's own fsynced journal remains the durability
+//! anchor; the standby is a warm copy that re-seeds itself: if the
+//! standby rejects an append (say it restarted and lost the replica
+//! tail), the forwarder self-heals by re-sending the tenant's full
+//! journal as a fresh reset.
+//!
+//! # Fault injection
+//!
+//! [`Replicator::sever`] simulates a primary crash from the
+//! replication stream's point of view: every op not yet delivered is
+//! dropped and nothing further is forwarded. Crash-injection tests use
+//! it to freeze the standby at an arbitrary prefix of the stream and
+//! then assert that failover from that prefix is still self-consistent.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rts_model::delta::DeltaEvent;
+
+use crate::client::{LineClient, RetryPolicy};
+use crate::engine::Request;
+use crate::journal::{JournalDir, TenantHistory};
+use crate::proto::render_request;
+
+/// One replicated journal mutation — the payload of the `replicate`
+/// protocol verb.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplPayload {
+    /// The tenant's file was rewritten whole: registration (empty
+    /// history), snapshot compaction, or import. The standby replaces
+    /// its replica file with exactly this history.
+    Reset {
+        /// The full on-disk history after the rewrite.
+        history: TenantHistory,
+    },
+    /// One accepted delta was appended to the tenant's file.
+    Append {
+        /// The appended event.
+        event: DeltaEvent,
+    },
+    /// The tenant's file was retired (evicted). The standby archives
+    /// its replica the same way.
+    Retire,
+}
+
+/// Delivery counters, all monotonic (read with [`Replicator::stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReplStats {
+    /// Ops accepted into the channel.
+    pub enqueued: u64,
+    /// Ops acknowledged by the standby.
+    pub delivered: u64,
+    /// Ops abandoned (retry budget spent, standby rejection that could
+    /// not be healed, or severed before delivery).
+    pub dropped: u64,
+    /// Self-healing full-journal resends after a standby rejection.
+    pub heals: u64,
+    /// Reconnect attempts to the standby.
+    pub reconnects: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    enqueued: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    heals: AtomicU64,
+    reconnects: AtomicU64,
+    severed: AtomicBool,
+    rejection_logged: AtomicBool,
+}
+
+enum ReplOp {
+    Apply { tenant: u64, payload: ReplPayload },
+    Flush { ack: Sender<()> },
+}
+
+/// A handle to the replication stream. Cloning is cheap (an mpsc sender
+/// plus an `Arc` of counters); every clone feeds the same forwarder.
+#[derive(Clone, Debug)]
+pub struct Replicator {
+    tx: Sender<ReplOp>,
+    counters: Arc<Counters>,
+    source: Arc<str>,
+}
+
+impl Replicator {
+    /// Starts a forwarder thread streaming to the standby at `standby`.
+    ///
+    /// `source` names this primary on the wire — the standby tracks the
+    /// most recent resetter per tenant and ignores appends/retires from
+    /// a different source, which makes hand-off races (old primary's
+    /// retire racing the new primary's reset) harmless. `journal` is
+    /// the primary's own journal directory (a clone *without*
+    /// replication attached), used to self-heal by re-reading a
+    /// tenant's file when the standby rejects an append.
+    #[must_use]
+    pub fn spawn(
+        source: impl Into<String>,
+        standby: SocketAddr,
+        policy: RetryPolicy,
+        journal: Option<JournalDir>,
+    ) -> Replicator {
+        let (tx, rx) = mpsc::channel::<ReplOp>();
+        let counters = Arc::new(Counters::default());
+        let source: Arc<str> = Arc::from(source.into());
+        let worker_counters = Arc::clone(&counters);
+        let worker_source = Arc::clone(&source);
+        std::thread::Builder::new()
+            .name("repl-forwarder".into())
+            .spawn(move || {
+                forward(
+                    &rx,
+                    standby,
+                    &policy,
+                    &worker_counters,
+                    &worker_source,
+                    journal.as_ref(),
+                );
+            })
+            .expect("spawning the replication forwarder thread");
+        Replicator {
+            tx,
+            counters,
+            source,
+        }
+    }
+
+    /// The source id this primary stamps on every replicated op.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Streams a whole-file rewrite (registration, snapshot, import).
+    pub fn reset(&self, tenant: u64, history: TenantHistory) {
+        self.enqueue(tenant, ReplPayload::Reset { history });
+    }
+
+    /// Streams one appended accepted delta.
+    pub fn append(&self, tenant: u64, event: DeltaEvent) {
+        self.enqueue(tenant, ReplPayload::Append { event });
+    }
+
+    /// Streams a retirement (eviction).
+    pub fn retire(&self, tenant: u64) {
+        self.enqueue(tenant, ReplPayload::Retire);
+    }
+
+    fn enqueue(&self, tenant: u64, payload: ReplPayload) {
+        if self.counters.severed.load(Ordering::Relaxed) {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
+        // A closed channel means the forwarder exited; ops are then
+        // dropped silently, exactly like a severed stream.
+        if self.tx.send(ReplOp::Apply { tenant, payload }).is_err() {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Quiesces the stream: blocks until every op enqueued before this
+    /// call has been delivered (or abandoned), or `timeout` elapses.
+    /// Returns whether the flush completed in time. The graceful-drain
+    /// paths call this so an orderly stop loses no replicated delta.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(ReplOp::Flush { ack: ack_tx }).is_err() {
+            return false;
+        }
+        ack_rx.recv_timeout(timeout).is_ok()
+    }
+
+    /// Fault injection: simulate this primary crashing out of the
+    /// replication stream. Undelivered ops are dropped, future ops are
+    /// black-holed. Irreversible for this replicator.
+    pub fn sever(&self) {
+        self.counters.severed.store(true, Ordering::Relaxed);
+    }
+
+    /// Current delivery counters.
+    #[must_use]
+    pub fn stats(&self) -> ReplStats {
+        ReplStats {
+            enqueued: self.counters.enqueued.load(Ordering::Relaxed),
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            heals: self.counters.heals.load(Ordering::Relaxed),
+            reconnects: self.counters.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Delivery {
+    Delivered,
+    Rejected(String),
+    Exhausted,
+}
+
+fn forward(
+    rx: &mpsc::Receiver<ReplOp>,
+    standby: SocketAddr,
+    policy: &RetryPolicy,
+    counters: &Counters,
+    source: &str,
+    journal: Option<&JournalDir>,
+) {
+    let mut conn: Option<LineClient> = None;
+    while let Ok(op) = rx.recv() {
+        match op {
+            ReplOp::Flush { ack } => {
+                // The channel is FIFO: reaching the marker means every
+                // earlier op was delivered or abandoned.
+                let _ = ack.send(());
+            }
+            ReplOp::Apply { tenant, payload } => {
+                if counters.severed.load(Ordering::Relaxed) {
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let line = render_request(&Request::Replicate {
+                    tenant,
+                    source: source.to_string(),
+                    payload: payload.clone(),
+                });
+                match deliver(&mut conn, standby, policy, counters, &line) {
+                    Delivery::Delivered => {
+                        counters.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Delivery::Rejected(reason) => {
+                        if matches!(payload, ReplPayload::Append { .. })
+                            && heal(
+                                &mut conn, standby, policy, counters, source, journal, tenant,
+                            )
+                        {
+                            counters.heals.fetch_add(1, Ordering::Relaxed);
+                            counters.delivered.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            counters.dropped.fetch_add(1, Ordering::Relaxed);
+                            if !counters.rejection_logged.swap(true, Ordering::Relaxed) {
+                                eprintln!(
+                                    "replication: standby rejected tenant {tenant}: {reason} \
+                                     (further rejections counted silently)"
+                                );
+                            }
+                        }
+                    }
+                    Delivery::Exhausted => {
+                        counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A standby that rejected an append has lost the tenant's replica tail
+/// (most likely it restarted). The primary's fsynced journal already
+/// contains the appended event, so re-sending the whole file as a reset
+/// reconverges the replica exactly.
+fn heal(
+    conn: &mut Option<LineClient>,
+    standby: SocketAddr,
+    policy: &RetryPolicy,
+    counters: &Counters,
+    source: &str,
+    journal: Option<&JournalDir>,
+    tenant: u64,
+) -> bool {
+    let Some(journal) = journal else {
+        return false;
+    };
+    let Ok(history) = journal.load_tenant(tenant) else {
+        return false;
+    };
+    let line = render_request(&Request::Replicate {
+        tenant,
+        source: source.to_string(),
+        payload: ReplPayload::Reset { history },
+    });
+    matches!(
+        deliver(conn, standby, policy, counters, &line),
+        Delivery::Delivered
+    )
+}
+
+/// Delivers one line to the standby: reconnects with capped backoff on
+/// I/O trouble, classifies the standby's answer. `applied:false` (the
+/// standby ignored a stale-source op on purpose) counts as delivered.
+fn deliver(
+    conn: &mut Option<LineClient>,
+    standby: SocketAddr,
+    policy: &RetryPolicy,
+    counters: &Counters,
+    line: &str,
+) -> Delivery {
+    let attempts = policy.attempts.max(1);
+    for attempt in 0..attempts {
+        if counters.severed.load(Ordering::Relaxed) {
+            return Delivery::Exhausted;
+        }
+        if conn.is_none() {
+            match LineClient::connect(standby, &RetryPolicy::once()) {
+                Ok(client) => *conn = Some(client),
+                Err(_) => {
+                    counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.delay(attempt));
+                    continue;
+                }
+            }
+        }
+        let client = conn.as_mut().expect("connection was just established");
+        match client.request(line) {
+            Ok(answer) => {
+                if answer.contains("\"verdict\":\"error\"") {
+                    let reason = crate::json::parse(&answer)
+                        .ok()
+                        .and_then(|v| v.get("reason").and_then(|r| r.as_str().map(String::from)))
+                        .unwrap_or_else(|| answer.clone());
+                    return Delivery::Rejected(reason);
+                }
+                return Delivery::Delivered;
+            }
+            Err(_) => {
+                // Broken pipe, timeout, standby restarting: redial.
+                *conn = None;
+                std::thread::sleep(policy.delay(attempt));
+            }
+        }
+    }
+    Delivery::Exhausted
+}

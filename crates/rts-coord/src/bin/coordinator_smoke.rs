@@ -1,0 +1,374 @@
+//! `coordinator_smoke` — the budgeted fleet-failover drill CI runs
+//! (see `.github/workflows/ci.yml`).
+//!
+//! The scenario is the README's coordinator runbook end to end, with
+//! **real daemon subprocesses** and a real `SIGKILL`:
+//!
+//! 1. boot a warm standby and three journaled primaries, each primary
+//!    replicating to the standby (`--replicate-to`, per-daemon
+//!    `--source` ids, aggressive compaction so resets are exercised);
+//! 2. place a seeded 12-tenant load across the fleet through the
+//!    coordinator (consistent-hash placement, bounded-retry clients);
+//! 3. record every tenant's query answer, wait for the victim's
+//!    replica journals on the standby to be *byte-identical* to its own
+//!    journals (replication quiesced), then `SIGKILL` the primary that
+//!    owns the most tenants;
+//! 4. fail over: every stranded tenant is adopted from its replica
+//!    journal on the standby, and its query answer through the
+//!    coordinator must be **byte-identical** to the pre-kill recording
+//!    (verdict, periods, response times, fingerprint — zero
+//!    re-admission divergence);
+//! 5. keep serving: more seeded deltas across survivors + standby, then
+//!    gracefully decommission one survivor (`remove_member`: export →
+//!    import → evict through the coordinator) and assert its tenants'
+//!    answers are preserved on their new homes.
+//!
+//! Exits non-zero (panics) on any mismatch; prints a one-line summary
+//! on success. CI wraps it in a hard `timeout` like the other smokes.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rts_adapt::client::RetryPolicy;
+use rts_coord::Coordinator;
+
+const TENANTS: u64 = 12;
+const DELTAS: usize = 150;
+const AFTER_DELTAS: usize = 60;
+
+/// Strips the per-connection `"seq":N,` echo so answers routed through
+/// different connections compare byte-identically.
+fn strip_seq(line: &str) -> String {
+    match (line.find("\"seq\":"), line.find(',')) {
+        (Some(0..=1), Some(comma)) => format!("{{{}", &line[comma + 1..]),
+        _ => line.to_string(),
+    }
+}
+
+/// The `rts_adaptd` binary sits beside this one (both built into
+/// `target/<profile>/` — CI builds the two explicitly).
+fn daemon_binary() -> PathBuf {
+    let mut path = std::env::current_exe().expect("own path");
+    path.set_file_name("rts_adaptd");
+    assert!(
+        path.exists(),
+        "rts_adaptd not found at {} — build it first (cargo build -p rts-adapt --bin rts_adaptd)",
+        path.display()
+    );
+    path
+}
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns one daemon on an ephemeral port and parses the bound address
+/// from its `rts_adaptd listening on ADDR` stderr line. Stderr keeps
+/// draining on a background thread so the daemon never blocks on a full
+/// pipe; stdin stays piped — dropping it is the graceful-drain signal.
+fn spawn_daemon(bin: &Path, journal: &Path, extra: &[String]) -> Daemon {
+    let mut args = vec![
+        "--tcp".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--shards".to_string(),
+        "2".to_string(),
+        "--journal".to_string(),
+        journal.display().to_string(),
+        "--compact-every".to_string(),
+        "8".to_string(),
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(bin)
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rts_adaptd");
+    let stderr = child.stderr.take().expect("stderr is piped");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut tx = Some(tx);
+        for line in std::io::BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("rts_adaptd listening on ") {
+                if let (Some(tx), Some(addr)) = (tx.take(), rest.split_whitespace().next()) {
+                    let _ = tx.send(addr.to_string());
+                }
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("daemon must report its address")
+        .parse()
+        .expect("daemon address parses");
+    Daemon { child, addr }
+}
+
+/// One seeded delta line against a random tenant from `pool` — the same
+/// mix the hand-off smoke uses (arrivals dominate; departures and mode
+/// flips exercise rejections and usage errors).
+fn random_line(rng: &mut StdRng, pool: &[u64]) -> (u64, String) {
+    let tenant = pool[rng.gen_range(0..pool.len())];
+    let line = match rng.gen_range(0u32..8) {
+        0..=4 => {
+            let t_max = rng.gen_range(2_000u64..=12_000);
+            let passive = rng.gen_range(1..=t_max / 2);
+            let active = rng.gen_range(passive..=t_max);
+            format!(
+                "{{\"op\":\"arrival\",\"tenant\":{tenant},\"passive_ms\":{passive},\
+                 \"active_ms\":{active},\"t_max_ms\":{t_max}}}"
+            )
+        }
+        5 => format!(
+            "{{\"op\":\"departure\",\"tenant\":{tenant},\"slot\":{}}}",
+            rng.gen_range(0u32..5)
+        ),
+        _ => format!(
+            "{{\"op\":\"mode\",\"tenant\":{tenant},\"slot\":{},\"mode\":\"{}\"}}",
+            rng.gen_range(0u32..5),
+            if rng.gen_bool(0.5) {
+                "active"
+            } else {
+                "passive"
+            },
+        ),
+    };
+    (tenant, line)
+}
+
+/// Blocks until every listed tenant's replica file on the standby is
+/// byte-identical to the primary's own journal file — the observable
+/// definition of "replication has quiesced for these tenants".
+fn wait_replicas_synced(primary_dir: &Path, replica_dir: &Path, tenants: &[u64]) {
+    for _ in 0..750 {
+        let synced = tenants.iter().all(|t| {
+            let name = format!("tenant_{t}.jsonl");
+            match (
+                std::fs::read(primary_dir.join(&name)),
+                std::fs::read(replica_dir.join(&name)),
+            ) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => false,
+            }
+        });
+        if synced {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!(
+        "replication did not quiesce: {} vs {}",
+        primary_dir.display(),
+        replica_dir.display()
+    );
+}
+
+fn main() {
+    let started = std::time::Instant::now();
+    let bin = daemon_binary();
+    let root = std::env::temp_dir().join(format!("hydra_coord_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // 1. Standby first (primaries dial it at boot), then three
+    // replicating primaries.
+    let standby = spawn_daemon(&bin, &root.join("standby"), &[]);
+    let names = ["d0", "d1", "d2"];
+    let mut fleet: BTreeMap<String, Daemon> = BTreeMap::new();
+    for name in names {
+        let daemon = spawn_daemon(
+            &bin,
+            &root.join(name),
+            &[
+                "--replicate-to".to_string(),
+                standby.addr.to_string(),
+                "--source".to_string(),
+                name.to_string(),
+            ],
+        );
+        fleet.insert(name.to_string(), daemon);
+    }
+
+    let mut coordinator = Coordinator::new(RetryPolicy::default());
+    coordinator.set_standby("standby", standby.addr);
+    for (name, daemon) in &fleet {
+        let report = coordinator.add_member(name.clone(), daemon.addr);
+        assert!(report.errors.is_empty(), "join errors: {:?}", report.errors);
+    }
+
+    // 2. Seeded load through the coordinator.
+    let all: Vec<u64> = (1..=TENANTS).collect();
+    for &t in &all {
+        let answer = coordinator
+            .route(
+                t,
+                &format!(
+                    "{{\"op\":\"register\",\"tenant\":{t},\"cores\":2,\"rt\":[\
+                     {{\"wcet_ms\":240,\"period_ms\":500,\"core\":0}},\
+                     {{\"wcet_ms\":1120,\"period_ms\":5000,\"core\":1}}]}}"
+                ),
+            )
+            .expect("register routes");
+        assert!(answer.contains("\"verdict\":\"accept\""), "{answer}");
+    }
+    let mut rng = StdRng::seed_from_u64(0xC00D ^ 0xCAFE);
+    let (mut accepted, mut rejected, mut errored) = (0u32, 0u32, 0u32);
+    for _ in 0..DELTAS {
+        let (tenant, line) = random_line(&mut rng, &all);
+        let answer = coordinator.route(tenant, &line).expect("delta routes");
+        if answer.contains("\"verdict\":\"accept\"") {
+            accepted += 1;
+        } else if answer.contains("\"verdict\":\"reject\"") {
+            rejected += 1;
+        } else {
+            errored += 1;
+        }
+    }
+    assert!(accepted >= 40, "only {accepted} accepted — load too thin");
+    assert!(rejected >= 1, "the load must exercise rejections");
+    assert!(errored >= 1, "the load must exercise usage errors");
+    for name in names {
+        assert!(
+            coordinator.placements().values().any(|m| m == name),
+            "placement must spread across the fleet (nothing on {name})"
+        );
+    }
+
+    // 3. Record pre-kill answers, pick the busiest primary as the
+    // victim, wait for its replicas to quiesce, then SIGKILL it.
+    let before: BTreeMap<u64, String> = all
+        .iter()
+        .map(|&t| {
+            let answer = coordinator
+                .route(t, &format!("{{\"op\":\"query\",\"tenant\":{t}}}"))
+                .expect("query routes");
+            (t, strip_seq(&answer))
+        })
+        .collect();
+    let victim = names
+        .iter()
+        .max_by_key(|name| {
+            coordinator
+                .placements()
+                .values()
+                .filter(|m| m.as_str() == **name)
+                .count()
+        })
+        .copied()
+        .expect("three candidates");
+    let stranded: Vec<u64> = coordinator
+        .placements()
+        .iter()
+        .filter_map(|(&t, m)| (m == victim).then_some(t))
+        .collect();
+    assert!(!stranded.is_empty(), "victim {victim} must own tenants");
+    wait_replicas_synced(
+        &root.join(victim),
+        &root.join("standby").join("replica"),
+        &stranded,
+    );
+    let mut victim_daemon = fleet.remove(victim).expect("victim is in the fleet");
+    victim_daemon.child.kill().expect("SIGKILL the victim");
+    let _ = victim_daemon.child.wait();
+
+    // 4. Fail over and assert byte-identical answers for every
+    // stranded tenant.
+    let report = coordinator.fail_over(victim);
+    assert!(
+        report.errors.is_empty(),
+        "failover must adopt every stranded tenant: {:?}",
+        report.errors
+    );
+    assert_eq!(report.adopted.len(), stranded.len());
+    for &t in &stranded {
+        assert_eq!(coordinator.placements()[&t], "standby");
+        let answer = coordinator
+            .route(t, &format!("{{\"op\":\"query\",\"tenant\":{t}}}"))
+            .expect("adopted tenant routes");
+        assert_eq!(
+            strip_seq(&answer),
+            before[&t],
+            "tenant {t} diverged across failover"
+        );
+    }
+    // Survivors are untouched by the failover.
+    for &t in &all {
+        if !stranded.contains(&t) {
+            let answer = coordinator
+                .route(t, &format!("{{\"op\":\"query\",\"tenant\":{t}}}"))
+                .expect("survivor routes");
+            assert_eq!(strip_seq(&answer), before[&t], "survivor {t} disturbed");
+        }
+    }
+
+    // 5. The fleet keeps serving after the failure...
+    let mut post_accepted = 0u32;
+    for _ in 0..AFTER_DELTAS {
+        let (tenant, line) = random_line(&mut rng, &all);
+        let answer = coordinator.route(tenant, &line).expect("post-kill delta");
+        if answer.contains("\"verdict\":\"accept\"") {
+            post_accepted += 1;
+        }
+    }
+    assert!(post_accepted >= 15, "fleet stalled after failover");
+    // ...and a graceful decommission (export → import → evict through
+    // the coordinator) preserves its tenants' answers on new homes.
+    let leaver = *names.iter().find(|n| **n != victim).expect("a survivor");
+    let leaving: Vec<u64> = coordinator
+        .placements()
+        .iter()
+        .filter_map(|(&t, m)| (m == leaver).then_some(t))
+        .collect();
+    let pre_leave: BTreeMap<u64, String> = leaving
+        .iter()
+        .map(|&t| {
+            let answer = coordinator
+                .route(t, &format!("{{\"op\":\"query\",\"tenant\":{t}}}"))
+                .expect("query before decommission");
+            (t, strip_seq(&answer))
+        })
+        .collect();
+    let report = coordinator.remove_member(leaver);
+    assert!(
+        report.errors.is_empty(),
+        "decommission errors: {:?}",
+        report.errors
+    );
+    for &t in &leaving {
+        assert_ne!(coordinator.placements()[&t], leaver, "tenant {t} stuck");
+        let answer = coordinator
+            .route(t, &format!("{{\"op\":\"query\",\"tenant\":{t}}}"))
+            .expect("moved tenant routes");
+        assert_eq!(
+            strip_seq(&answer),
+            pre_leave[&t],
+            "tenant {t} diverged across decommission"
+        );
+    }
+
+    // Graceful shutdown: close stdin (the drain signal), reap, clean up.
+    for (_, mut daemon) in fleet {
+        drop(daemon.child.stdin.take());
+        let _ = daemon.child.wait();
+    }
+    let mut standby = standby;
+    drop(standby.child.stdin.take());
+    let _ = standby.child.wait();
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "coordinator-smoke OK: {TENANTS} tenants over 3+1 daemons, {DELTAS}+{AFTER_DELTAS} deltas \
+         ({accepted} accepted, {rejected} rejected, {errored} errors), {} adopted after SIGKILL of \
+         {victim}, {} moved off {leaver}, {:.2}s",
+        stranded.len(),
+        leaving.len(),
+        started.elapsed().as_secs_f64(),
+    );
+}

@@ -1,0 +1,408 @@
+//! The coordinator: placement, rebalancing, and failover over the
+//! `rts_adaptd` line protocol.
+//!
+//! The coordinator owns three pieces of state: the **membership set**
+//! (name → address of every serving daemon, plus one warm standby), the
+//! **ring** ([`HashRing`]) that says where a tenant *should* live, and
+//! the **placement map** that says where each tenant *actually* lives.
+//! Routing always follows the placement map — the ring is only
+//! consulted to place new tenants and to compute rebalance moves — so a
+//! tenant is never routed to a daemon that has not finished importing
+//! it, and failover can pin tenants to the standby without lying to the
+//! ring.
+//!
+//! Every daemon conversation goes through the bounded-retry
+//! [`LineClient`] (`rts_adapt::client`), and every step of a tenant
+//! move consults the optional [fault hook](Coordinator::on_step) first
+//! — the crash-injection tests drop connections, inject delays, and
+//! kill daemons between `export` and `import` through it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use rts_adapt::client::{LineClient, RetryPolicy};
+use rts_adapt::json;
+
+use crate::ring::HashRing;
+
+/// A rebalance/failover step, as exposed to the fault hook.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// About to `export` the tenant from its current owner.
+    Export,
+    /// About to `import` the tenant on its new owner.
+    Import,
+    /// About to `evict` the tenant from its old owner.
+    Evict,
+    /// About to `adopt` the tenant on the standby.
+    Adopt,
+}
+
+/// What the fault hook saw: which step, for which tenant, against which
+/// member.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepContext<'a> {
+    /// The step about to run.
+    pub step: Step,
+    /// The tenant being moved/adopted.
+    pub tenant: u64,
+    /// The member the step's request will be sent to.
+    pub target: &'a str,
+}
+
+/// What the fault hook wants done before the step runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// Run the step normally.
+    Proceed,
+    /// Sleep this long first (races a concurrent kill against the step).
+    Delay(Duration),
+    /// Drop the coordinator's connection to the target first (the step
+    /// then redials through the bounded-retry policy).
+    DropConnection,
+}
+
+type FaultHook = Box<dyn FnMut(&StepContext<'_>) -> FaultAction + Send>;
+
+/// One completed tenant move.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TenantMove {
+    /// The tenant that moved.
+    pub tenant: u64,
+    /// The member it left.
+    pub from: String,
+    /// The member it landed on.
+    pub to: String,
+}
+
+/// What a rebalance did: the moves that completed, and per-tenant
+/// errors for those that did not (a failed move leaves the tenant
+/// owned by — and placed on — its original member; nothing is evicted
+/// until the import has been acknowledged).
+#[derive(Default, Debug)]
+pub struct RebalanceReport {
+    /// Moves that completed export → import → evict.
+    pub moved: Vec<TenantMove>,
+    /// Human-readable descriptions of the moves that failed.
+    pub errors: Vec<String>,
+}
+
+/// What a failover did.
+#[derive(Default, Debug)]
+pub struct FailoverReport {
+    /// Tenants the standby now serves.
+    pub adopted: Vec<u64>,
+    /// Tenants whose replica could not be adopted, with reasons. These
+    /// tenants are *lost until operator action* (e.g. re-import from
+    /// the dead daemon's journal directory) — the report never silently
+    /// drops them.
+    pub errors: Vec<String>,
+}
+
+/// The fleet coordinator. Single-threaded by design (one coordinator
+/// per fleet; its work is control-plane, not data-plane).
+pub struct Coordinator {
+    members: BTreeMap<String, SocketAddr>,
+    standby: Option<(String, SocketAddr)>,
+    ring: HashRing,
+    /// Authoritative tenant → member-name map; routing follows this,
+    /// never the raw ring (see module docs).
+    placements: BTreeMap<u64, String>,
+    conns: HashMap<String, LineClient>,
+    policy: RetryPolicy,
+    hook: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("members", &self.members)
+            .field("standby", &self.standby)
+            .field("placements", &self.placements)
+            .field("hook", &self.hook.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coordinator {
+    /// An empty coordinator dialing daemons under `policy`.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> Self {
+        Coordinator {
+            members: BTreeMap::new(),
+            standby: None,
+            ring: HashRing::new(HashRing::DEFAULT_VNODES),
+            placements: BTreeMap::new(),
+            conns: HashMap::new(),
+            policy,
+            hook: None,
+        }
+    }
+
+    /// Installs the fault-injection hook consulted before every
+    /// export/import/evict/adopt step.
+    pub fn on_step(&mut self, hook: impl FnMut(&StepContext<'_>) -> FaultAction + Send + 'static) {
+        self.hook = Some(Box::new(hook));
+    }
+
+    /// Declares the warm standby. Not a ring member: the standby serves
+    /// no tenants until a failover pins them to it.
+    pub fn set_standby(&mut self, name: impl Into<String>, addr: SocketAddr) {
+        self.standby = Some((name.into(), addr));
+    }
+
+    /// Current tenant placements (tenant → member name).
+    #[must_use]
+    pub fn placements(&self) -> &BTreeMap<u64, String> {
+        &self.placements
+    }
+
+    /// Member names currently serving (standby excluded).
+    #[must_use]
+    pub fn members(&self) -> Vec<&str> {
+        self.members.keys().map(String::as_str).collect()
+    }
+
+    /// Adds a serving daemon and rebalances: tenants whose ring
+    /// assignment moved onto the new member are handed over.
+    pub fn add_member(&mut self, name: impl Into<String>, addr: SocketAddr) -> RebalanceReport {
+        let name = name.into();
+        self.members.insert(name.clone(), addr);
+        self.ring.add(&name);
+        self.rebalance()
+    }
+
+    /// Gracefully decommissions a member: its tenants are handed to
+    /// their new ring owners (the member must still be alive — for a
+    /// *dead* member use [`Coordinator::fail_over`]), then it leaves
+    /// the membership set.
+    pub fn remove_member(&mut self, name: &str) -> RebalanceReport {
+        self.ring.remove(name);
+        let report = self.rebalance();
+        // Only forget the address once nothing is placed there — failed
+        // moves keep their tenants on the leaving member, and routing
+        // must keep working for them.
+        if !self.placements.values().any(|m| m == name) {
+            self.members.remove(name);
+            self.conns.remove(name);
+        }
+        report
+    }
+
+    /// Routes one already-rendered protocol line to `tenant`'s owner
+    /// (placing an unplaced tenant by the ring first) and returns the
+    /// daemon's answer.
+    ///
+    /// # Errors
+    ///
+    /// No members, or the round trip to the owner failed after the
+    /// bounded retries.
+    pub fn route(&mut self, tenant: u64, line: &str) -> io::Result<String> {
+        let owner = match self.placements.get(&tenant) {
+            Some(owner) => owner.clone(),
+            None => {
+                let owner = self
+                    .ring
+                    .lookup(tenant)
+                    .ok_or_else(|| io::Error::other("no members to place the tenant on"))?
+                    .to_string();
+                self.placements.insert(tenant, owner.clone());
+                owner
+            }
+        };
+        self.request(&owner, line)
+    }
+
+    /// Reconciles every placement with the ring: tenants whose assigned
+    /// member changed are moved via export → import → evict. Failed
+    /// moves stay where they were and are reported, never dropped.
+    pub fn rebalance(&mut self) -> RebalanceReport {
+        let mut report = RebalanceReport::default();
+        let planned: Vec<(u64, String, String)> = self
+            .placements
+            .iter()
+            .filter_map(|(&tenant, current)| {
+                let target = self.ring.lookup(tenant)?;
+                (target != current).then(|| (tenant, current.clone(), target.to_string()))
+            })
+            .collect();
+        for (tenant, from, to) in planned {
+            match self.move_tenant(tenant, &from, &to) {
+                Ok(()) => {
+                    self.placements.insert(tenant, to.clone());
+                    report.moved.push(TenantMove { tenant, from, to });
+                }
+                Err(e) => report
+                    .errors
+                    .push(format!("tenant {tenant} ({from} → {to}): {e}")),
+            }
+        }
+        report
+    }
+
+    /// Fails a dead member's tenants over to the standby: each is
+    /// adopted from its replica journal and re-pinned to the standby in
+    /// the placement map. The dead member leaves the membership set;
+    /// tenants whose adoption failed are reported (and unplaced — they
+    /// have no serving owner until an operator intervenes).
+    pub fn fail_over(&mut self, dead: &str) -> FailoverReport {
+        let mut report = FailoverReport::default();
+        let Some((standby_name, _)) = self.standby.clone() else {
+            report.errors.push("no standby configured".into());
+            return report;
+        };
+        self.ring.remove(dead);
+        self.members.remove(dead);
+        self.conns.remove(dead);
+        let stranded: Vec<u64> = self
+            .placements
+            .iter()
+            .filter_map(|(&tenant, owner)| (owner == dead).then_some(tenant))
+            .collect();
+        for tenant in stranded {
+            let action = self.consult(Step::Adopt, tenant, &standby_name);
+            self.apply(action, &standby_name);
+            let line = format!("{{\"op\":\"adopt\",\"tenant\":{tenant}}}");
+            match self
+                .request_standby(&line)
+                .and_then(|answer| expect_verdict(&answer, "accept"))
+            {
+                Ok(()) => {
+                    self.placements.insert(tenant, standby_name.clone());
+                    report.adopted.push(tenant);
+                }
+                Err(e) => {
+                    self.placements.remove(&tenant);
+                    report.errors.push(format!("tenant {tenant}: {e}"));
+                }
+            }
+        }
+        report
+    }
+
+    /// One export → import → evict hand-off. Eviction only runs after
+    /// the import is acknowledged, so a crash at any step leaves the
+    /// tenant owned exactly once: before import-ack it stays with
+    /// `from` (the importer may hold a dead copy that a `register` or
+    /// re-import overwrites); an evict failure is surfaced as an error
+    /// *after* ownership already moved, with the placement map pointing
+    /// at `to`.
+    fn move_tenant(&mut self, tenant: u64, from: &str, to: &str) -> io::Result<()> {
+        let action = self.consult(Step::Export, tenant, from);
+        self.apply(action, from);
+        let answer = self.request(from, &format!("{{\"op\":\"export\",\"tenant\":{tenant}}}"))?;
+        expect_verdict(&answer, "export")?;
+        let parsed = json::parse(&answer).map_err(io::Error::other)?;
+        let history = parsed
+            .get("journal")
+            .ok_or_else(|| io::Error::other("export answer carried no journal"))?;
+        let import_line = format!(
+            "{{\"op\":\"import\",\"tenant\":{tenant},\"journal\":{}}}",
+            json::render(history)
+        );
+
+        let action = self.consult(Step::Import, tenant, to);
+        self.apply(action, to);
+        let answer = self.request(to, &import_line)?;
+        expect_verdict(&answer, "accept")?;
+
+        let action = self.consult(Step::Evict, tenant, from);
+        self.apply(action, from);
+        let answer = self.request(from, &format!("{{\"op\":\"evict\",\"tenant\":{tenant}}}"))?;
+        expect_verdict(&answer, "evicted")?;
+        Ok(())
+    }
+
+    fn consult(&mut self, step: Step, tenant: u64, target: &str) -> FaultAction {
+        match &mut self.hook {
+            Some(hook) => hook(&StepContext {
+                step,
+                tenant,
+                target,
+            }),
+            None => FaultAction::Proceed,
+        }
+    }
+
+    fn apply(&mut self, action: FaultAction, target: &str) {
+        match action {
+            FaultAction::Proceed => {}
+            FaultAction::Delay(pause) => std::thread::sleep(pause),
+            FaultAction::DropConnection => {
+                self.conns.remove(target);
+            }
+        }
+    }
+
+    /// One round trip to a member. A mid-conversation I/O failure drops
+    /// the cached connection and redials once — the redial itself runs
+    /// the full bounded-retry connect policy.
+    fn request(&mut self, member: &str, line: &str) -> io::Result<String> {
+        let addr = self.addr_of(member)?;
+        self.request_addr(member, addr, line)
+    }
+
+    fn request_standby(&mut self, line: &str) -> io::Result<String> {
+        let (name, addr) = self
+            .standby
+            .clone()
+            .ok_or_else(|| io::Error::other("no standby configured"))?;
+        self.request_addr(&name, addr, line)
+    }
+
+    fn request_addr(&mut self, name: &str, addr: SocketAddr, line: &str) -> io::Result<String> {
+        for attempt in 0..2 {
+            if !self.conns.contains_key(name) {
+                let client = LineClient::connect(addr, &self.policy)?;
+                self.conns.insert(name.to_string(), client);
+            }
+            let conn = self.conns.get_mut(name).expect("connection just cached");
+            match conn.request(line) {
+                Ok(answer) => return Ok(answer),
+                Err(e) => {
+                    self.conns.remove(name);
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("the second attempt either returned or errored");
+    }
+
+    fn addr_of(&self, member: &str) -> io::Result<SocketAddr> {
+        if let Some(addr) = self.members.get(member) {
+            return Ok(*addr);
+        }
+        if let Some((name, addr)) = &self.standby {
+            if name == member {
+                return Ok(*addr);
+            }
+        }
+        Err(io::Error::other(format!("unknown member \"{member}\"")))
+    }
+}
+
+/// Checks a daemon answer for the expected verdict; anything else
+/// (including `reject`/`error` answers) becomes an `io::Error` carrying
+/// the daemon's reason.
+fn expect_verdict(answer: &str, wanted: &str) -> io::Result<()> {
+    let parsed = json::parse(answer).map_err(io::Error::other)?;
+    match parsed.get("verdict").and_then(|v| v.as_str()) {
+        Some(verdict) if verdict == wanted => Ok(()),
+        Some(other) => {
+            let reason = parsed
+                .get("reason")
+                .and_then(|r| r.as_str())
+                .unwrap_or("(no reason)");
+            Err(io::Error::other(format!(
+                "expected verdict \"{wanted}\", daemon answered \"{other}\": {reason}"
+            )))
+        }
+        None => Err(io::Error::other(format!(
+            "expected verdict \"{wanted}\", got unparseable answer: {answer}"
+        ))),
+    }
+}

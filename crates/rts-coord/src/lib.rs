@@ -1,0 +1,35 @@
+//! `rts-coord` — the fleet coordinator for `rts_adaptd` daemons.
+//!
+//! PR 5 gave a single daemon everything it needs to be moved around —
+//! portable journals, bit-identical replay, the `export`/`import`/
+//! `evict` hand-off verbs — and PR 10 adds the two protocol verbs
+//! (`replicate`, `adopt`) that keep a warm standby's replica journals
+//! current. This crate is the control plane that drives all of it:
+//!
+//! * [`ring`] — a deterministic consistent-hash ring (SplitMix64,
+//!   virtual nodes, no process-dependent hashing) deciding where each
+//!   tenant *should* live;
+//! * [`coord`] — the [`Coordinator`]: membership, an authoritative
+//!   placement map that routing follows, rebalancing on membership
+//!   change via the hand-off verbs (evict only after import-ack, so a
+//!   crash anywhere leaves every tenant owned exactly once), and
+//!   failover that adopts a dead member's tenants from the standby's
+//!   replica journals. Every daemon conversation uses the
+//!   bounded-retry client (`rts_adapt::client`), and a fault-injection
+//!   hook lets tests drop/delay/kill mid-move.
+//!
+//! The `rts_coordd` binary wraps the coordinator in a line-JSON control
+//! protocol on stdin/stdout; `coordinator_smoke` is the CI drill — real
+//! daemon subprocesses, seeded load, a SIGKILL mid-fleet, and
+//! byte-identical answers after failover.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod ring;
+
+pub use coord::{
+    Coordinator, FailoverReport, FaultAction, RebalanceReport, Step, StepContext, TenantMove,
+};
+pub use ring::HashRing;

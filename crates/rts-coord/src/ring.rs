@@ -1,0 +1,192 @@
+//! A deterministic consistent-hash ring.
+//!
+//! Placement must be a *pure function* of the membership set — any two
+//! coordinators (or the same one after a restart) looking at the same
+//! members must place every tenant identically, or a restart would
+//! trigger a fleet-wide rebalance. So the ring uses no RNG and no
+//! `DefaultHasher` (whose output is deliberately unstable across
+//! processes): member names and tenant ids are hashed with the same
+//! SplitMix64 finalizer the shard dispatcher uses, each member owning
+//! `vnodes` points on the `u64` circle. A tenant lands on the first
+//! point clockwise of its hash; removing a member moves *only* that
+//! member's tenants (the consistent-hashing property the rebalancer
+//! relies on to keep membership changes cheap).
+
+/// SplitMix64's finalizer: a fast, well-mixed `u64 → u64` permutation
+/// (the same one `rts_adapt`'s shard dispatch uses).
+#[must_use]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable hash of a member name: bytes folded through SplitMix64.
+#[must_use]
+fn hash_name(name: &str) -> u64 {
+    let mut acc = 0xA076_1D64_78BD_642Fu64; // arbitrary non-zero seed
+    for &byte in name.as_bytes() {
+        acc = splitmix(acc ^ u64::from(byte));
+    }
+    acc
+}
+
+/// The ring: an ordered list of `(point, member-index)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct HashRing {
+    members: Vec<String>,
+    points: Vec<(u64, usize)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Default virtual nodes per member — enough that a 3-member fleet
+    /// splits tenants within a few percent of evenly.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// An empty ring with `vnodes` points per member (≥ 1; 0 behaves
+    /// as 1).
+    #[must_use]
+    pub fn new(vnodes: usize) -> Self {
+        HashRing {
+            members: Vec::new(),
+            points: Vec::new(),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    /// The member names currently on the ring, in insertion order.
+    #[must_use]
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Whether `name` is on the ring.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.members.iter().any(|m| m == name)
+    }
+
+    /// Adds a member (idempotent).
+    pub fn add(&mut self, name: &str) {
+        if self.contains(name) {
+            return;
+        }
+        let index = self.members.len();
+        self.members.push(name.to_string());
+        let base = hash_name(name);
+        for vnode in 0..self.vnodes {
+            self.points.push((splitmix(base ^ vnode as u64), index));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a member (idempotent). Other members' points are
+    /// untouched, so only the removed member's tenants move.
+    pub fn remove(&mut self, name: &str) {
+        let Some(removed) = self.members.iter().position(|m| m == name) else {
+            return;
+        };
+        self.members.remove(removed);
+        self.points.retain(|&(_, index)| index != removed);
+        for point in &mut self.points {
+            if point.1 > removed {
+                point.1 -= 1;
+            }
+        }
+    }
+
+    /// The member owning `tenant`: the first ring point clockwise of
+    /// the tenant's hash (wrapping). `None` on an empty ring.
+    #[must_use]
+    pub fn lookup(&self, tenant: u64) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = splitmix(tenant);
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, index) = self.points[at % self.points.len()];
+        Some(&self.members[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let mut a = HashRing::new(32);
+        let mut b = HashRing::new(32);
+        for name in ["d0", "d1", "d2"] {
+            a.add(name);
+        }
+        // Same membership, different insertion order: same placement.
+        for name in ["d2", "d0", "d1"] {
+            b.add(name);
+        }
+        for tenant in 0..500u64 {
+            assert_eq!(a.lookup(tenant), b.lookup(tenant), "tenant {tenant}");
+            assert!(a.lookup(tenant).is_some());
+        }
+    }
+
+    #[test]
+    fn membership_change_moves_only_the_affected_tenants() {
+        let mut ring = HashRing::new(64);
+        for name in ["d0", "d1", "d2"] {
+            ring.add(name);
+        }
+        let before: Vec<String> = (0..1000u64)
+            .map(|t| ring.lookup(t).unwrap().to_string())
+            .collect();
+        ring.remove("d1");
+        for (tenant, old) in before.iter().enumerate() {
+            let new = ring.lookup(tenant as u64).unwrap();
+            if old != "d1" {
+                // Consistent hashing: survivors keep their tenants.
+                assert_eq!(new, old, "tenant {tenant} moved needlessly");
+            } else {
+                assert_ne!(new, "d1");
+            }
+        }
+        // Re-adding restores the original placement exactly.
+        ring.add("d1");
+        for (tenant, old) in before.iter().enumerate() {
+            assert_eq!(ring.lookup(tenant as u64).unwrap(), old);
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_even() {
+        let mut ring = HashRing::new(HashRing::DEFAULT_VNODES);
+        for name in ["d0", "d1", "d2"] {
+            ring.add(name);
+        }
+        let mut counts = std::collections::HashMap::new();
+        for tenant in 0..3000u64 {
+            *counts
+                .entry(ring.lookup(tenant).unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        for (member, count) in counts {
+            // 3000 tenants over 3 members: each should see 1000 ± 50 %.
+            assert!(
+                (500..=1500).contains(&count),
+                "{member} got {count} of 3000"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_and_idempotent_ops() {
+        let mut ring = HashRing::new(8);
+        assert!(ring.lookup(1).is_none());
+        ring.add("d0");
+        ring.add("d0");
+        assert_eq!(ring.members().len(), 1);
+        ring.remove("ghost");
+        assert_eq!(ring.lookup(1), Some("d0"));
+    }
+}
