@@ -6,7 +6,7 @@
 //! rts_adaptd [--shards N] [--batch N] [--strategy topdiff|exhaustive]
 //!            [--tcp ADDR] [--reactors N] [--threaded] [--max-conns N]
 //!            [--journal DIR] [--compact-every N] [--retain-archives N]
-//!            [--replicate-to ADDR] [--source ID] [--no-telemetry]
+//!            [--replicate-to ADDR --source ID] [--no-telemetry]
 //! ```
 //!
 //! Without `--tcp` the daemon speaks the line protocol on stdin/stdout
@@ -44,10 +44,12 @@
 //! tenant off between two daemons (see the README's Operations section
 //! for the runbook).
 //!
-//! With `--replicate-to ADDR` (requires `--journal`) every journal
-//! mutation is streamed to the standby daemon at `ADDR` over the
-//! `replicate` protocol verb (see `rts_adapt::replication`), stamped
-//! with this daemon's `--source ID` (default `primary`); the standby
+//! With `--replicate-to ADDR` (requires `--journal` and `--source ID`)
+//! every journal mutation is streamed to the standby daemon at `ADDR`
+//! over the `replicate` protocol verb (see `rts_adapt::replication`),
+//! stamped with this daemon's `--source ID` — which must be unique
+//! among the daemons replicating to one standby, or the standby's
+//! source-owner guard cannot tell their streams apart; the standby
 //! keeps a lagged byte-identical replica of each tenant's journal and
 //! promotes it on `{"op":"adopt"}` — the fleet coordinator (`rts-coord`)
 //! drives that failover. Graceful shutdown flushes the replication
@@ -135,13 +137,23 @@ fn main() {
                 .with_archive_retention(retain_archives);
             if let Some(standby) = replicate_to {
                 let standby = standby.parse().unwrap_or_else(|e| fail(e));
-                let source = arg_value(&args, "--source").unwrap_or("primary");
-                let handle = Replicator::spawn(
-                    source,
-                    standby,
-                    RetryPolicy::default(),
-                    Some(journal.clone()),
-                );
+                // No default source id: two primaries sharing one
+                // standby with the same id would defeat the standby's
+                // source-owner guard that makes hand-off races
+                // harmless, so colliding silently is worse than
+                // refusing to start.
+                let source = arg_value(&args, "--source").unwrap_or_else(|| {
+                    fail(
+                        "--replicate-to requires --source ID \
+                         (a stable id unique among every daemon replicating to this standby)",
+                    )
+                });
+                // Fail fast on a dead standby: the forwarder already
+                // rides a bounded drop-oldest backlog and self-heals
+                // gaps with full resets, so short retries lose nothing
+                // a long blocking policy would save.
+                let handle =
+                    Replicator::spawn(source, standby, RetryPolicy::quick(), Some(journal.clone()));
                 replicator = Some(handle.clone());
                 journal = journal.with_replication(handle);
             }

@@ -261,6 +261,10 @@ pub struct AdaptEngine {
     replica: Option<JournalDir>,
     /// Which primary most recently reset each replicated tenant —
     /// appends/retires from anyone else are ignored (hand-off guard).
+    /// Mirrored to `tenant_<id>.owner` sidecars in the replica store
+    /// and rebuilt from them at startup, so the guard survives standby
+    /// restarts; a tenant with an *unknown* owner rejects appends and
+    /// ignores retires until a reset re-establishes ownership.
     replica_owner: HashMap<u64, String>,
 }
 
@@ -285,13 +289,19 @@ impl AdaptEngine {
     /// sharded daemon does).
     #[must_use]
     pub fn with_journal(strategy: CarryInStrategy, journal: JournalDir) -> Self {
+        let replica = journal.replica();
+        // Rebuild the source-owner guard from the persisted sidecars,
+        // so a standby restart does not forget who owns each replica
+        // (a stale old primary's ops would otherwise land on the new
+        // owner's replica file).
+        let replica_owner = replica.owners();
         AdaptEngine {
             strategy,
             tenants: HashMap::new(),
-            replica: Some(journal.replica()),
+            replica: Some(replica),
             journal: Some(journal),
             shared: None,
-            replica_owner: HashMap::new(),
+            replica_owner,
         }
     }
 
@@ -594,16 +604,24 @@ impl AdaptEngine {
                     .into(),
             };
         };
-        let stale = self
-            .replica_owner
-            .get(&tenant)
-            .is_some_and(|owner| owner != source);
+        let owner = self.replica_owner.get(&tenant);
+        let stale = owner.is_some_and(|owner| owner != source);
         match payload {
             ReplPayload::Reset { history } => {
                 // A reset always wins ownership: it is how a tenant's
                 // *new* primary (after import) announces itself.
                 match replica.write_history(tenant, history) {
                     Ok(()) => {
+                        // Persist the owner beside the replica so the
+                        // guard survives a standby restart; a failed
+                        // write degrades to unknown-owner (rejected
+                        // appends, healed by the next reset), never to
+                        // a wrong owner.
+                        if let Err(e) = replica.record_owner(tenant, source) {
+                            eprintln!(
+                                "journal: could not record replica owner for tenant {tenant}: {e}"
+                            );
+                        }
                         self.replica_owner.insert(tenant, source.to_string());
                         Response::Replicated {
                             tenant,
@@ -616,11 +634,52 @@ impl AdaptEngine {
                     },
                 }
             }
-            ReplPayload::Append { event } => {
+            ReplPayload::Append { event, at } => {
                 if stale {
                     return Response::Replicated {
                         tenant,
                         applied: false,
+                    };
+                }
+                if owner.is_none() {
+                    // Unknown ownership (the standby restarted before
+                    // the sidecar was written, or the reset never
+                    // arrived): reject, so the true primary self-heals
+                    // with a reset that re-establishes ownership.
+                    return Response::Error {
+                        tenant,
+                        reason: format!("replica of tenant {tenant} has no recorded owner"),
+                    };
+                }
+                // The offset guard. The replica mirrors the primary's
+                // journal byte-for-byte, so the stamped offset tells an
+                // in-sync append from a gap (reject → the primary
+                // heals) and from a late duplicate whose event a heal's
+                // reset already installed (acknowledge, apply nothing —
+                // re-appending it would diverge the replica).
+                let len = match std::fs::metadata(replica.path_for(tenant)) {
+                    Ok(meta) => meta.len(),
+                    Err(e) => {
+                        return Response::Error {
+                            tenant,
+                            reason: format!("replica append failed: {e}"),
+                        }
+                    }
+                };
+                if len > *at {
+                    return Response::Replicated {
+                        tenant,
+                        applied: false,
+                    };
+                }
+                if len < *at {
+                    return Response::Error {
+                        tenant,
+                        reason: format!(
+                            "replica append failed: replica is {} bytes behind the \
+                             primary's journal",
+                            *at - len
+                        ),
                     };
                 }
                 match replica.append_event(tenant, event) {
@@ -638,7 +697,14 @@ impl AdaptEngine {
                 }
             }
             ReplPayload::Retire => {
-                if stale {
+                if stale || owner.is_none() {
+                    // Stale *or unknown* owner: without a recorded
+                    // owner the retire may well be a dead primary's
+                    // stragglers racing a hand-off — archiving the new
+                    // owner's replica would strand the tenant until its
+                    // next reset. Ignoring is always safe: a retired
+                    // tenant's replica merely lingers until the next
+                    // reset or retire from its true owner.
                     return Response::Replicated {
                         tenant,
                         applied: false,
@@ -646,6 +712,11 @@ impl AdaptEngine {
                 }
                 match replica.retire_tenant(tenant) {
                     Ok(()) => {
+                        if let Err(e) = replica.clear_owner(tenant) {
+                            eprintln!(
+                                "journal: could not clear replica owner for tenant {tenant}: {e}"
+                            );
+                        }
                         self.replica_owner.remove(&tenant);
                         Response::Replicated {
                             tenant,
@@ -686,6 +757,9 @@ impl AdaptEngine {
         let response = self.install_history(tenant, &history);
         if response.is_admitted() {
             self.replica_owner.remove(&tenant);
+            if let Err(e) = replica.clear_owner(tenant) {
+                eprintln!("journal: could not clear owner of adopted tenant {tenant}: {e}");
+            }
             if let Err(e) = replica.retire_tenant(tenant) {
                 eprintln!("journal: could not retire adopted replica of tenant {tenant}: {e}");
             }

@@ -644,13 +644,21 @@ impl JournalDir {
         let mut f = std::fs::OpenOptions::new()
             .append(true)
             .open(self.path_for(tenant))?;
+        // The replicated op carries the byte offset this line starts
+        // at; the byte-identical replica uses it to drop late
+        // duplicates after a self-heal reset and to detect gaps (see
+        // `crate::replication`). Only paid when replication is on.
+        let at = match &self.replicate {
+            Some(_) => f.metadata()?.len(),
+            None => 0,
+        };
         f.write_all(render_event(event).as_bytes())?;
         f.write_all(b"\n")?;
         f.sync_all()?;
         count_append();
         count_fsync();
         if let Some(repl) = &self.replicate {
-            repl.append(tenant, *event);
+            repl.append(tenant, *event, at);
         }
         Ok(())
     }
@@ -733,6 +741,71 @@ impl JournalDir {
         std::fs::rename(&tmp, &path)?;
         count_append();
         Ok(())
+    }
+
+    /// The sidecar recording which primary owns a replicated tenant's
+    /// file (see [`JournalDir::record_owner`]).
+    fn owner_path(&self, tenant: u64) -> PathBuf {
+        self.dir.join(format!("tenant_{tenant}.owner"))
+    }
+
+    /// Records which primary (`source`) owns a replicated tenant's
+    /// file, as a `tenant_<id>.owner` sidecar beside the replica. The
+    /// replica file itself must stay byte-identical to the primary's
+    /// journal, so ownership cannot live inside it; without the
+    /// sidecar, a standby restart would forget every owner and a stale
+    /// old primary's appends/retires could land on the new owner's
+    /// replica. The standby rebuilds its owner map from these at
+    /// startup (see [`JournalDir::owners`]). Torn sidecars are
+    /// self-correcting: a mismatching owner rejects the true source's
+    /// next append, whose self-heal reset rewrites the sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn record_owner(&self, tenant: u64, source: &str) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.owner_path(tenant), source)
+    }
+
+    /// Removes a tenant's owner sidecar (the replica was retired or
+    /// adopted). An absent sidecar is a clean no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than [`io::ErrorKind::NotFound`].
+    pub fn clear_owner(&self, tenant: u64) -> io::Result<()> {
+        match std::fs::remove_file(self.owner_path(tenant)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// The recorded replica owners (tenant → source), read from the
+    /// `tenant_<id>.owner` sidecars. The standby engine rebuilds its
+    /// in-memory owner map from this at startup, so the source-owner
+    /// guard survives restarts. Unreadable sidecars are skipped (their
+    /// tenants then behave as unknown-owner: appends are rejected and
+    /// the true primary self-heals with a reset).
+    #[must_use]
+    pub fn owners(&self) -> std::collections::HashMap<u64, String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return std::collections::HashMap::new();
+        };
+        entries
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let name = entry.file_name();
+                let tenant = name
+                    .to_str()?
+                    .strip_prefix("tenant_")?
+                    .strip_suffix(".owner")?
+                    .parse()
+                    .ok()?;
+                let source = std::fs::read_to_string(entry.path()).ok()?;
+                Some((tenant, source))
+            })
+            .collect()
     }
 
     /// The tenants with a journal file in this directory, ascending. An

@@ -14,7 +14,7 @@
 //! {"op":"import","tenant":1,"journal":{"cores":2,"rt":[...],"snapshot":{...},"events":[...]}}
 //! {"op":"evict","tenant":1}
 //! {"op":"replicate","tenant":1,"source":"d0","kind":"reset","journal":{...}}
-//! {"op":"replicate","tenant":1,"source":"d0","kind":"append","entry":{"event":"mode",...}}
+//! {"op":"replicate","tenant":1,"source":"d0","kind":"append","at":184,"entry":{"event":"mode",...}}
 //! {"op":"replicate","tenant":1,"source":"d0","kind":"retire"}
 //! {"op":"adopt","tenant":1}
 //! ```
@@ -42,7 +42,9 @@
 //! the primary — `reset` replaces the standby's replica file with the
 //! `journal` history (journal integer-tick encoding, like `import`),
 //! `append` adds one journal *line* (the `entry` object is exactly a
-//! journal file line), `retire` archives it. `adopt` promotes a replica
+//! journal file line; `at` is the byte offset the line starts at in the
+//! primary's journal, the standby's idempotence guard), `retire`
+//! archives it. `adopt` promotes a replica
 //! to a live tenant through the full re-admission analysis and answers
 //! like `import`.
 //!
@@ -220,7 +222,8 @@ fn parse_engine_request(value: &Json, op: &str) -> Result<Request, String> {
                     let entry = value.get("entry").ok_or("missing field \"entry\"")?;
                     let event =
                         journal::event_from_value(entry).map_err(|e| format!("entry: {e}"))?;
-                    ReplPayload::Append { event }
+                    let at = field_u64(value, "at")?;
+                    ReplPayload::Append { event, at }
                 }
                 Some("retire") => ReplPayload::Retire,
                 Some(other) => return Err(format!("unknown replicate kind \"{other}\"")),
@@ -808,8 +811,8 @@ pub fn render_request(request: &Request) -> String {
                     out.push_str(",\"kind\":\"reset\",\"journal\":");
                     out.push_str(&journal::render_history(history));
                 }
-                ReplPayload::Append { event } => {
-                    out.push_str(",\"kind\":\"append\",\"entry\":");
+                ReplPayload::Append { event, at } => {
+                    let _ = write!(out, ",\"kind\":\"append\",\"at\":{at},\"entry\":");
                     out.push_str(&journal::render_event(event));
                 }
                 ReplPayload::Retire => out.push_str(",\"kind\":\"retire\""),
@@ -1173,6 +1176,7 @@ mod tests {
                 source: "d1".into(),
                 payload: crate::replication::ReplPayload::Append {
                     event: DeltaEvent::Arrival { monitor: modal },
+                    at: 184,
                 },
             },
             Request::Replicate {

@@ -18,16 +18,38 @@
 //!
 //! # Ordering and loss
 //!
-//! A [`Replicator`] is a cheap cloneable handle over one mpsc channel
+//! A [`Replicator`] is a cheap cloneable handle over one bounded queue
 //! drained by a single forwarder thread, so ops for one tenant are
 //! delivered in journal order (the engine's per-tenant FIFO guarantees
-//! the enqueue order, the channel and the single drainer preserve it).
+//! the enqueue order, the queue and the single drainer preserve it).
 //! Replication is asynchronous and *lossy by design* under a dead
 //! standby — the primary's own fsynced journal remains the durability
 //! anchor; the standby is a warm copy that re-seeds itself: if the
 //! standby rejects an append (say it restarted and lost the replica
 //! tail), the forwarder self-heals by re-sending the tenant's full
 //! journal as a fresh reset.
+//!
+//! Two mechanisms make that lossiness safe rather than hopeful:
+//!
+//! * **Offset-stamped appends.** Every [`ReplPayload::Append`] carries
+//!   the byte offset its line starts at in the primary's journal file
+//!   (`at`). The replica is byte-identical, so the standby compares
+//!   `at` against its replica file's length: equal means in-sync
+//!   (append), shorter means the replica is missing events (reject, so
+//!   the primary heals with a full reset), **longer means the op is a
+//!   late duplicate** — typically an append that was still queued
+//!   behind a self-heal whose reset already installed it — and it is
+//!   acknowledged but not re-applied. Without the stamp, the heal race
+//!   would append such events twice and the replica would silently
+//!   diverge from the byte-identical guarantee.
+//! * **A bounded backlog.** The queue holds at most
+//!   [`DEFAULT_BACKLOG_CAP`] pending ops (see
+//!   [`Replicator::with_backlog_cap`]); when a dead standby makes the
+//!   forwarder burn its whole retry budget per op while shard threads
+//!   keep enqueueing, the *oldest* pending op is evicted instead of
+//!   growing the queue without bound. Newest state wins, and any gap
+//!   the eviction leaves is exactly the offset mismatch the self-heal
+//!   path already repairs once the standby returns.
 //!
 //! # Fault injection
 //!
@@ -37,10 +59,11 @@
 //! it to freeze the standby at an arbitrary prefix of the stream and
 //! then assert that failover from that prefix is still self-consistent.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use rts_model::delta::DeltaEvent;
@@ -65,6 +88,13 @@ pub enum ReplPayload {
     Append {
         /// The appended event.
         event: DeltaEvent,
+        /// Byte offset the event's line starts at in the primary's
+        /// journal file. The replica is byte-identical, so the standby
+        /// uses this to tell an in-sync append (replica length equals
+        /// `at`) from a gap (shorter — reject, let the primary heal)
+        /// and from a late duplicate already covered by a heal's reset
+        /// (longer — acknowledge without re-applying).
+        at: u64,
     },
     /// The tenant's file was retired (evicted). The standby archives
     /// its replica the same way.
@@ -98,18 +128,120 @@ struct Counters {
     rejection_logged: AtomicBool,
 }
 
+#[derive(Debug)]
 enum ReplOp {
     Apply { tenant: u64, payload: ReplPayload },
     Flush { ack: Sender<()> },
 }
 
-/// A handle to the replication stream. Cloning is cheap (an mpsc sender
-/// plus an `Arc` of counters); every clone feeds the same forwarder.
+/// Default bound on the forwarder's pending-op backlog (see
+/// [`Replicator::with_backlog_cap`]).
+pub const DEFAULT_BACKLOG_CAP: usize = 1024;
+
+/// The bounded op queue between the shard threads and the forwarder.
+/// Capacity applies to `Apply` ops only; when full, the *oldest*
+/// pending `Apply` is evicted (flush markers are never evicted, so a
+/// flush still observes every op that survived ahead of it).
+#[derive(Debug)]
+struct Backlog {
+    cap: AtomicUsize,
+    inner: Mutex<BacklogInner>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BacklogInner {
+    ops: VecDeque<ReplOp>,
+    /// `Apply` ops currently in `ops` (the capped population).
+    applies: usize,
+    closed: bool,
+}
+
+impl Backlog {
+    fn new(cap: usize) -> Self {
+        Backlog {
+            cap: AtomicUsize::new(cap.max(1)),
+            inner: Mutex::new(BacklogInner::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one op. Returns how many pending ops were evicted to
+    /// make room, or `Err(())` when the forwarder has already exited.
+    fn push(&self, op: ReplOp) -> Result<u64, ()> {
+        let cap = self.cap.load(Ordering::Relaxed).max(1);
+        let mut inner = self.inner.lock().expect("backlog lock");
+        if inner.closed {
+            return Err(());
+        }
+        let mut evicted = 0;
+        if matches!(op, ReplOp::Apply { .. }) {
+            while inner.applies >= cap {
+                let Some(pos) = inner
+                    .ops
+                    .iter()
+                    .position(|o| matches!(o, ReplOp::Apply { .. }))
+                else {
+                    break;
+                };
+                inner.ops.remove(pos);
+                inner.applies -= 1;
+                evicted += 1;
+            }
+            inner.applies += 1;
+        }
+        inner.ops.push_back(op);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(evicted)
+    }
+
+    /// Dequeues the next op, blocking while the queue is empty. `None`
+    /// once the queue is closed *and* drained (the orderly-exit path).
+    fn pop(&self) -> Option<ReplOp> {
+        let mut inner = self.inner.lock().expect("backlog lock");
+        loop {
+            if let Some(op) = inner.ops.pop_front() {
+                if matches!(op, ReplOp::Apply { .. }) {
+                    inner.applies -= 1;
+                }
+                return Some(op);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("backlog lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("backlog lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Closes the backlog when the last [`Replicator`] clone drops, so the
+/// forwarder drains what is queued and exits (the mpsc-channel exit
+/// semantics, reproduced for the bounded queue).
+#[derive(Debug)]
+struct ProducerGuard {
+    backlog: Arc<Backlog>,
+}
+
+impl Drop for ProducerGuard {
+    fn drop(&mut self) {
+        self.backlog.close();
+    }
+}
+
+/// A handle to the replication stream. Cloning is cheap (`Arc`s of the
+/// backlog and counters); every clone feeds the same forwarder.
 #[derive(Clone, Debug)]
 pub struct Replicator {
-    tx: Sender<ReplOp>,
+    backlog: Arc<Backlog>,
     counters: Arc<Counters>,
     source: Arc<str>,
+    _producers: Arc<ProducerGuard>,
 }
 
 impl Replicator {
@@ -129,29 +261,49 @@ impl Replicator {
         policy: RetryPolicy,
         journal: Option<JournalDir>,
     ) -> Replicator {
-        let (tx, rx) = mpsc::channel::<ReplOp>();
+        let backlog = Arc::new(Backlog::new(DEFAULT_BACKLOG_CAP));
         let counters = Arc::new(Counters::default());
         let source: Arc<str> = Arc::from(source.into());
+        let worker_backlog = Arc::clone(&backlog);
         let worker_counters = Arc::clone(&counters);
         let worker_source = Arc::clone(&source);
         std::thread::Builder::new()
             .name("repl-forwarder".into())
             .spawn(move || {
                 forward(
-                    &rx,
+                    &worker_backlog,
                     standby,
                     &policy,
                     &worker_counters,
                     &worker_source,
                     journal.as_ref(),
                 );
+                // If forward() ever exits abnormally, refuse further
+                // enqueues instead of accumulating a dead backlog.
+                worker_backlog.close();
             })
             .expect("spawning the replication forwarder thread");
         Replicator {
-            tx,
+            _producers: Arc::new(ProducerGuard {
+                backlog: Arc::clone(&backlog),
+            }),
+            backlog,
             counters,
             source,
         }
+    }
+
+    /// Caps the pending-op backlog (default [`DEFAULT_BACKLOG_CAP`];
+    /// values below 1 are treated as 1). With the standby unreachable,
+    /// the forwarder spends its whole retry budget per op while shard
+    /// threads keep enqueueing every journal mutation; the cap bounds
+    /// that backlog by evicting the *oldest* pending op — newest state
+    /// wins, and anything evicted reconverges through the
+    /// offset-guarded self-heal once the standby returns.
+    #[must_use]
+    pub fn with_backlog_cap(self, cap: usize) -> Self {
+        self.backlog.cap.store(cap.max(1), Ordering::Relaxed);
+        self
     }
 
     /// The source id this primary stamps on every replicated op.
@@ -165,9 +317,11 @@ impl Replicator {
         self.enqueue(tenant, ReplPayload::Reset { history });
     }
 
-    /// Streams one appended accepted delta.
-    pub fn append(&self, tenant: u64, event: DeltaEvent) {
-        self.enqueue(tenant, ReplPayload::Append { event });
+    /// Streams one appended accepted delta. `at` is the byte offset the
+    /// event's line starts at in the primary's journal file (see
+    /// [`ReplPayload::Append`]).
+    pub fn append(&self, tenant: u64, event: DeltaEvent, at: u64) {
+        self.enqueue(tenant, ReplPayload::Append { event, at });
     }
 
     /// Streams a retirement (eviction).
@@ -181,10 +335,19 @@ impl Replicator {
             return;
         }
         self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
-        // A closed channel means the forwarder exited; ops are then
-        // dropped silently, exactly like a severed stream.
-        if self.tx.send(ReplOp::Apply { tenant, payload }).is_err() {
-            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        match self.backlog.push(ReplOp::Apply { tenant, payload }) {
+            // Evicted ops were abandoned to keep the backlog bounded;
+            // the offset guard heals the gap once the standby returns.
+            Ok(evicted) => {
+                if evicted > 0 {
+                    self.counters.dropped.fetch_add(evicted, Ordering::Relaxed);
+                }
+            }
+            // A closed backlog means the forwarder exited; ops are then
+            // dropped silently, exactly like a severed stream.
+            Err(()) => {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -194,7 +357,7 @@ impl Replicator {
     /// paths call this so an orderly stop loses no replicated delta.
     pub fn flush(&self, timeout: Duration) -> bool {
         let (ack_tx, ack_rx) = mpsc::channel();
-        if self.tx.send(ReplOp::Flush { ack: ack_tx }).is_err() {
+        if self.backlog.push(ReplOp::Flush { ack: ack_tx }).is_err() {
             return false;
         }
         ack_rx.recv_timeout(timeout).is_ok()
@@ -227,7 +390,7 @@ enum Delivery {
 }
 
 fn forward(
-    rx: &mpsc::Receiver<ReplOp>,
+    backlog: &Backlog,
     standby: SocketAddr,
     policy: &RetryPolicy,
     counters: &Counters,
@@ -235,10 +398,10 @@ fn forward(
     journal: Option<&JournalDir>,
 ) {
     let mut conn: Option<LineClient> = None;
-    while let Ok(op) = rx.recv() {
+    while let Some(op) = backlog.pop() {
         match op {
             ReplOp::Flush { ack } => {
-                // The channel is FIFO: reaching the marker means every
+                // The queue is FIFO: reaching the marker means every
                 // earlier op was delivered or abandoned.
                 let _ = ack.send(());
             }
@@ -286,7 +449,10 @@ fn forward(
 /// A standby that rejected an append has lost the tenant's replica tail
 /// (most likely it restarted). The primary's fsynced journal already
 /// contains the appended event, so re-sending the whole file as a reset
-/// reconverges the replica exactly.
+/// reconverges the replica exactly. The re-read file may also contain
+/// *later* events whose `Append` ops are still queued behind this one —
+/// that is safe: those ops carry a byte offset below the reset's length,
+/// so the standby acknowledges them without re-applying (no duplicates).
 fn heal(
     conn: &mut Option<LineClient>,
     standby: SocketAddr,

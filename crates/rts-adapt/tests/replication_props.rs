@@ -33,7 +33,7 @@ use rts_adapt::journal::{self, JournalDir, TenantHistory};
 use rts_adapt::proto::{render_request, render_response};
 use rts_adapt::server;
 use rts_adapt::{
-    AdaptEngine, LineClient, ReplPayload, Replicator, Request, RetryPolicy, ShardedEngine,
+    AdaptEngine, LineClient, ReplPayload, Replicator, Request, Response, RetryPolicy, ShardedEngine,
 };
 use rts_analysis::semi::CarryInStrategy;
 use rts_model::time::Duration;
@@ -221,7 +221,26 @@ fn stale_sources_are_acknowledged_but_ignored() {
         },
     );
     assert_eq!(answer(&mut client, &line), applied(7, true));
-    let line = replicate(7, "b", ReplPayload::Append { event: accepted });
+    // The stale-source verdict must not depend on the offset guard:
+    // stamp an offset that *would* be in sync.
+    let replica_len = |tenant: u64| {
+        std::fs::metadata(
+            standby_dir
+                .path()
+                .join("replica")
+                .join(format!("tenant_{tenant}.jsonl")),
+        )
+        .expect("replica file")
+        .len()
+    };
+    let line = replicate(
+        7,
+        "b",
+        ReplPayload::Append {
+            event: accepted,
+            at: replica_len(7),
+        },
+    );
     assert_eq!(answer(&mut client, &line), applied(7, false));
     let line = replicate(7, "b", ReplPayload::Retire);
     assert_eq!(answer(&mut client, &line), applied(7, false));
@@ -259,7 +278,14 @@ fn stale_sources_are_acknowledged_but_ignored() {
         },
     );
     assert_eq!(answer(&mut client, &line), applied(8, true));
-    let line = replicate(8, "a", ReplPayload::Append { event: accepted });
+    let line = replicate(
+        8,
+        "a",
+        ReplPayload::Append {
+            event: accepted,
+            at: replica_len(8),
+        },
+    );
     assert_eq!(answer(&mut client, &line), applied(8, false));
     let adopt = client
         .request(&render_request(&Request::Adopt { tenant: 8 }))
@@ -273,6 +299,263 @@ fn stale_sources_are_acknowledged_but_ignored() {
         .replay_tenant(8, CarryInStrategy::TopDiff)
         .expect("replay adopted tenant 8");
     assert_eq!(Observed::of(&replayed), Observed::of(&oracle_b));
+}
+
+/// The self-heal race, made deterministic: appends queue up behind an
+/// append the standby must reject, so the heal's full-journal reset
+/// already contains the queued events. Without the offset guard the
+/// standby would apply them *again* on top of the reset, silently
+/// diverging the replica from the byte-identical guarantee.
+#[test]
+fn a_heal_behind_queued_appends_never_duplicates_events() {
+    let primary_dir = TempDir::new("replp_healrace");
+    let standby_dir = TempDir::new("replp_healrace_standby");
+
+    // Phase 1: build journal history the standby will never see — no
+    // replication attached, so the stream later starts mid-file.
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    {
+        let mut engine =
+            AdaptEngine::with_journal(CarryInStrategy::TopDiff, JournalDir::at(primary_dir.path()));
+        assert!(engine.handle(&register_rover(1)).is_admitted());
+        drive_stream(&mut rng, &[1], 6, |r| engine.handle(&r));
+    }
+
+    // The standby's listener exists (connects land in the accept
+    // backlog) but nothing serves it yet: the forwarder blocks on its
+    // first delivery while the test stacks more appends behind it.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind standby listener");
+    let standby = listener.local_addr().expect("standby address");
+
+    // Phase 2: a restarted primary on the same journal, now
+    // replicating. Every accepted delta enqueues an Append the standby
+    // must reject (it holds no replica), and the first rejection heals
+    // with a reset that already covers the whole queue.
+    let replicator = Replicator::spawn(
+        "p0",
+        standby,
+        RetryPolicy::quick(),
+        Some(JournalDir::at(primary_dir.path())),
+    );
+    let journal = JournalDir::at(primary_dir.path()).with_replication(replicator.clone());
+    let mut engine = AdaptEngine::with_journal(CarryInStrategy::TopDiff, journal);
+    assert_eq!(engine.recover_journaled(|_| true), (1, 0));
+    let mut accepted = 0usize;
+    while accepted < 2 {
+        // At least two queued appends: the first triggers the heal, the
+        // rest must be acknowledged as late duplicates, not re-applied.
+        accepted += drive_stream(&mut rng, &[1], 4, |r| engine.handle(&r))
+            .accepted
+            .len();
+    }
+
+    // Only now does the standby start serving; the queued stream drains
+    // through the rejection → heal → late-duplicate sequence.
+    let standby_engine = ShardedEngine::with_journal(
+        CarryInStrategy::TopDiff,
+        2,
+        JournalDir::at(standby_dir.path()),
+    );
+    let shared = server::shared(standby_engine);
+    std::thread::spawn(move || {
+        let _ = server::serve_listener(&shared, &listener, 16, 32);
+    });
+    assert!(replicator.flush(StdDuration::from_secs(10)));
+    let stats = replicator.stats();
+    assert!(stats.heals >= 1, "the standby never healed: {stats:?}");
+    assert_eq!(stats.dropped, 0, "nothing may be abandoned: {stats:?}");
+
+    // The replica must be byte-identical to the primary's journal —
+    // the duplicate bug appended queued events twice.
+    let primary_bytes =
+        std::fs::read(primary_dir.path().join("tenant_1.jsonl")).expect("primary journal");
+    let replica_bytes = std::fs::read(standby_dir.path().join("replica").join("tenant_1.jsonl"))
+        .expect("standby replica");
+    assert_eq!(
+        primary_bytes, replica_bytes,
+        "replica diverged across the heal race"
+    );
+
+    // And failover from it is still bit-identical to the live primary.
+    let mut client = LineClient::connect(standby, &RetryPolicy::quick()).expect("dial standby");
+    let adopt = client
+        .request(&render_request(&Request::Adopt { tenant: 1 }))
+        .expect("adopt round trip");
+    assert!(
+        adopt.contains("\"verdict\":\"accept\""),
+        "adopt answered {adopt}"
+    );
+    let mine = strip_seq(&render_response(
+        0,
+        &engine.handle(&Request::Query { tenant: 1 }),
+    ));
+    let theirs = strip_seq(
+        &client
+            .request(&render_request(&Request::Query { tenant: 1 }))
+            .expect("query round trip"),
+    );
+    assert_eq!(theirs, mine, "adoption diverged after the heal race");
+}
+
+/// A dead standby (connects succeed, requests hang — it died
+/// mid-request) must not let the primary's replication queue grow
+/// without bound: the backlog cap evicts the oldest pending ops.
+#[test]
+fn a_dead_standby_keeps_the_backlog_bounded() {
+    let primary_dir = TempDir::new("replp_backlog");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind unserved listener");
+    let standby = listener.local_addr().expect("unserved address");
+
+    let replicator = Replicator::spawn(
+        "p0",
+        standby,
+        RetryPolicy::quick(),
+        Some(JournalDir::at(primary_dir.path())),
+    )
+    .with_backlog_cap(4);
+    let journal = JournalDir::at(primary_dir.path()).with_replication(replicator.clone());
+    let mut engine = AdaptEngine::with_journal(CarryInStrategy::TopDiff, journal);
+    assert!(engine.handle(&register_rover(1)).is_admitted());
+
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    let mut accepted = 0usize;
+    while accepted < 12 {
+        accepted += drive_stream(&mut rng, &[1], 4, |r| engine.handle(&r))
+            .accepted
+            .len();
+    }
+
+    // Registration reset + ≥12 appends enqueued; the forwarder holds at
+    // most one in flight and the queue at most 4, so everything else
+    // must have been evicted — synchronously, on the enqueueing thread.
+    let stats = replicator.stats();
+    assert!(stats.enqueued >= 13, "{stats:?}");
+    assert_eq!(stats.delivered, 0, "{stats:?}");
+    assert!(
+        stats.dropped >= stats.enqueued - 5,
+        "backlog grew beyond its cap: {stats:?}"
+    );
+    drop(listener);
+}
+
+/// The source-owner guard must survive a standby restart: ownership is
+/// persisted in sidecar files and rebuilt at boot, so a stale old
+/// primary can neither archive nor append to the new owner's replica
+/// even after the standby forgot everything in memory.
+#[test]
+fn replica_ownership_survives_a_standby_restart() {
+    let standby_dir = TempDir::new("replp_ownerboot");
+    let replica_file = standby_dir.path().join("replica").join("tenant_5.jsonl");
+    let owner_file = standby_dir.path().join("replica").join("tenant_5.owner");
+
+    // An accepted event, discovered against a throwaway oracle.
+    let mut oracle = AdaptEngine::new(CarryInStrategy::TopDiff);
+    assert!(oracle.handle(&register_rover(5)).is_admitted());
+    let mut rng = StdRng::seed_from_u64(0x0EE7);
+    let accepted = loop {
+        let event = random_event(&mut rng);
+        if oracle
+            .handle(&Request::Delta { tenant: 5, event })
+            .is_admitted()
+        {
+            break event;
+        }
+    };
+
+    let bare = TenantHistory {
+        cores: 2,
+        rt: rover_rt(),
+        snapshot: None,
+        events: Vec::new(),
+    };
+    let replicate = |source: &str, payload: ReplPayload| Request::Replicate {
+        tenant: 5,
+        source: source.to_string(),
+        payload,
+    };
+    let was_applied = |response: &Response| match response {
+        Response::Replicated { applied, .. } => Some(*applied),
+        _ => None,
+    };
+
+    // Standby #1: source "new" wins ownership via a reset.
+    let mut standby =
+        AdaptEngine::with_journal(CarryInStrategy::TopDiff, JournalDir::at(standby_dir.path()));
+    let answer = standby.handle(&replicate(
+        "new",
+        ReplPayload::Reset {
+            history: bare.clone(),
+        },
+    ));
+    assert_eq!(was_applied(&answer), Some(true), "{answer:?}");
+    assert!(owner_file.exists(), "no owner sidecar was recorded");
+
+    // Standby #2: the restart that used to forget ownership.
+    drop(standby);
+    let mut standby =
+        AdaptEngine::with_journal(CarryInStrategy::TopDiff, JournalDir::at(standby_dir.path()));
+    let len = std::fs::metadata(&replica_file)
+        .expect("replica file")
+        .len();
+    // The stale old primary's retire must not archive the replica…
+    let answer = standby.handle(&replicate("old", ReplPayload::Retire));
+    assert_eq!(was_applied(&answer), Some(false), "{answer:?}");
+    assert!(replica_file.exists(), "a stale retire archived the replica");
+    // …nor its append land on it…
+    let answer = standby.handle(&replicate(
+        "old",
+        ReplPayload::Append {
+            event: accepted,
+            at: len,
+        },
+    ));
+    assert_eq!(was_applied(&answer), Some(false), "{answer:?}");
+    assert_eq!(
+        std::fs::metadata(&replica_file)
+            .expect("replica file")
+            .len(),
+        len,
+        "a stale append mutated the replica"
+    );
+    // …while the true owner's stream keeps applying.
+    let answer = standby.handle(&replicate(
+        "new",
+        ReplPayload::Append {
+            event: accepted,
+            at: len,
+        },
+    ));
+    assert_eq!(was_applied(&answer), Some(true), "{answer:?}");
+
+    // With the sidecar destroyed out-of-band, ownership is *unknown*:
+    // appends are rejected outright (so the primary heals with a
+    // reset), and the healing reset re-records ownership.
+    drop(standby);
+    std::fs::remove_file(&owner_file).expect("remove owner sidecar");
+    let mut standby =
+        AdaptEngine::with_journal(CarryInStrategy::TopDiff, JournalDir::at(standby_dir.path()));
+    let len = std::fs::metadata(&replica_file)
+        .expect("replica file")
+        .len();
+    let answer = standby.handle(&replicate(
+        "new",
+        ReplPayload::Append {
+            event: accepted,
+            at: len,
+        },
+    ));
+    assert!(
+        matches!(answer, Response::Error { .. }),
+        "an unknown-owner append was not rejected: {answer:?}"
+    );
+    let answer = standby.handle(&replicate(
+        "new",
+        ReplPayload::Reset {
+            history: bare.clone(),
+        },
+    ));
+    assert_eq!(was_applied(&answer), Some(true), "{answer:?}");
+    assert!(owner_file.exists(), "the healing reset recorded no owner");
 }
 
 #[test]

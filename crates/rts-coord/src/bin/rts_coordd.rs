@@ -9,14 +9,18 @@
 //! {"op":"standby","member":"s0","addr":"127.0.0.1:4900"}
 //! {"op":"leave","member":"d0"}
 //! {"op":"failover","member":"d0"}
+//! {"op":"recover","tenant":7}
 //! {"op":"placements"}
 //! {"op":"arrival","tenant":7,"passive_ms":100,"t_max_ms":5000}   // routed
 //! ```
 //!
 //! `join`/`leave` rebalance immediately (export → import → evict over
 //! the fleet); `failover` adopts the dead member's tenants on the
-//! standby. Every answer is one JSON line; rebalance/failover answers
-//! carry the move list and any per-tenant errors. Exit: stdin EOF.
+//! standby — tenants whose adoption fails are quarantined, so routing
+//! for them errors until `recover` declares their data restored (see
+//! `rts_coord::Coordinator::mark_recovered`). Every answer is one JSON
+//! line; rebalance/failover answers carry the move list and any
+//! per-tenant errors. Exit: stdin EOF.
 
 use std::io::{self, BufRead, Write};
 use std::net::SocketAddr;
@@ -118,6 +122,16 @@ fn handle_line(coordinator: &mut Coordinator, line: &str) -> String {
         "failover" => match member_and_addr(&value) {
             Ok((member, _)) => render_failover(&coordinator.fail_over(&member)),
             Err(e) => error_line(&e),
+        },
+        "recover" => match value.get("tenant").and_then(Json::as_u64) {
+            Some(tenant) => {
+                if coordinator.mark_recovered(tenant) {
+                    format!("{{\"verdict\":\"recovered\",\"tenant\":{tenant}}}")
+                } else {
+                    error_line(&format!("tenant {tenant} is not quarantined"))
+                }
+            }
+            None => error_line("recover needs a \"tenant\""),
         },
         "placements" => {
             let mut out = String::from("{\"verdict\":\"placements\",\"tenants\":{");

@@ -110,6 +110,12 @@ pub struct Coordinator {
     /// Authoritative tenant → member-name map; routing follows this,
     /// never the raw ring (see module docs).
     placements: BTreeMap<u64, String>,
+    /// Tenants quarantined by a failed adoption (tenant → reason).
+    /// Routing for them errors instead of silently re-placing them by
+    /// the ring onto a member that has none of their data; an operator
+    /// recovers the data, then [`Coordinator::mark_recovered`] lifts
+    /// the quarantine.
+    lost: BTreeMap<u64, String>,
     conns: HashMap<String, LineClient>,
     policy: RetryPolicy,
     hook: Option<FaultHook>,
@@ -121,6 +127,7 @@ impl std::fmt::Debug for Coordinator {
             .field("members", &self.members)
             .field("standby", &self.standby)
             .field("placements", &self.placements)
+            .field("lost", &self.lost)
             .field("hook", &self.hook.is_some())
             .finish_non_exhaustive()
     }
@@ -135,6 +142,7 @@ impl Coordinator {
             standby: None,
             ring: HashRing::new(HashRing::DEFAULT_VNODES),
             placements: BTreeMap::new(),
+            lost: BTreeMap::new(),
             conns: HashMap::new(),
             policy,
             hook: None,
@@ -157,6 +165,22 @@ impl Coordinator {
     #[must_use]
     pub fn placements(&self) -> &BTreeMap<u64, String> {
         &self.placements
+    }
+
+    /// Tenants quarantined by a failed failover adoption (tenant →
+    /// reason). Routing for them errors until
+    /// [`Coordinator::mark_recovered`].
+    #[must_use]
+    pub fn lost(&self) -> &BTreeMap<u64, String> {
+        &self.lost
+    }
+
+    /// Lifts a lost tenant's quarantine after an operator recovered its
+    /// data (e.g. re-imported the dead daemon's journal somewhere); the
+    /// next route places it by the ring again. Returns whether the
+    /// tenant was quarantined.
+    pub fn mark_recovered(&mut self, tenant: u64) -> bool {
+        self.lost.remove(&tenant).is_some()
     }
 
     /// Member names currently serving (standby excluded).
@@ -197,9 +221,19 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// No members, or the round trip to the owner failed after the
-    /// bounded retries.
+    /// The tenant is quarantined after a failed adoption (see
+    /// [`Coordinator::lost`]), there are no members, or the round trip
+    /// to the owner failed after the bounded retries.
     pub fn route(&mut self, tenant: u64, line: &str) -> io::Result<String> {
+        if let Some(reason) = self.lost.get(&tenant) {
+            // Never fall through to ring placement: a fresh member has
+            // none of the tenant's data, and a blank re-registration
+            // would mask the loss behind an empty tenant.
+            return Err(io::Error::other(format!(
+                "tenant {tenant} was lost in a failover ({reason}); \
+                 recover its data, then mark it recovered"
+            )));
+        }
         let owner = match self.placements.get(&tenant) {
             Some(owner) => owner.clone(),
             None => {
@@ -245,8 +279,10 @@ impl Coordinator {
     /// Fails a dead member's tenants over to the standby: each is
     /// adopted from its replica journal and re-pinned to the standby in
     /// the placement map. The dead member leaves the membership set;
-    /// tenants whose adoption failed are reported (and unplaced — they
-    /// have no serving owner until an operator intervenes).
+    /// tenants whose adoption failed are reported *and quarantined* —
+    /// routing for them errors (instead of silently re-placing them on
+    /// a member with none of their data) until an operator recovers the
+    /// data and calls [`Coordinator::mark_recovered`].
     pub fn fail_over(&mut self, dead: &str) -> FailoverReport {
         let mut report = FailoverReport::default();
         let Some((standby_name, _)) = self.standby.clone() else {
@@ -275,6 +311,7 @@ impl Coordinator {
                 }
                 Err(e) => {
                     self.placements.remove(&tenant);
+                    self.lost.insert(tenant, e.to_string());
                     report.errors.push(format!("tenant {tenant}: {e}"));
                 }
             }

@@ -180,6 +180,105 @@ fn record_answers(
         .collect()
 }
 
+/// Boots an in-process daemon with no journal — adoption on it always
+/// fails ("adoption requires a journal"), which is exactly what the
+/// quarantine drill needs.
+fn spawn_journalless_daemon() -> SocketAddr {
+    let engine = ShardedEngine::new(CarryInStrategy::TopDiff, 2);
+    let shared = server::shared(engine);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind daemon listener");
+    let addr = listener.local_addr().expect("daemon address");
+    std::thread::spawn(move || {
+        let _ = server::serve_listener(&shared, &listener, 16, 32);
+    });
+    addr
+}
+
+#[test]
+fn a_failed_adoption_quarantines_the_tenant_instead_of_replacing_it() {
+    let d0_dir = TempDir::new("quarantine_d0");
+    let d1_dir = TempDir::new("quarantine_d1");
+    // The standby cannot adopt anything: no journal, so no replicas.
+    let standby = spawn_journalless_daemon();
+    let (d0, _) = spawn_daemon(d0_dir.path(), None);
+    let (d1, _) = spawn_daemon(d1_dir.path(), None);
+
+    let mut coordinator = Coordinator::new(RetryPolicy::quick());
+    coordinator.set_standby("standby", standby);
+    assert!(coordinator.add_member("d0", d0).errors.is_empty());
+    assert!(coordinator.add_member("d1", d1).errors.is_empty());
+    let tenants: Vec<u64> = (1..=6).collect();
+    for &t in &tenants {
+        let answer = coordinator.route(t, &register_line(t)).expect("register");
+        assert!(
+            answer.contains("\"verdict\":\"accept\""),
+            "register answered {answer}"
+        );
+    }
+    let placements = coordinator.placements().clone();
+    let victims: Vec<u64> = placements
+        .iter()
+        .filter(|(_, m)| *m == "d0")
+        .map(|(t, _)| *t)
+        .collect();
+    let survivors: Vec<u64> = tenants
+        .iter()
+        .copied()
+        .filter(|t| !victims.contains(t))
+        .collect();
+    assert!(
+        !victims.is_empty() && !survivors.is_empty(),
+        "the ring put everything on one member: {placements:?}"
+    );
+
+    // Every adoption fails, so every victim must land in quarantine —
+    // reported, unplaced, and refusing to route.
+    let report = coordinator.fail_over("d0");
+    assert!(report.adopted.is_empty(), "adopted {:?}", report.adopted);
+    assert_eq!(report.errors.len(), victims.len());
+    let mut lost: Vec<u64> = coordinator.lost().keys().copied().collect();
+    lost.sort_unstable();
+    assert_eq!(lost, victims, "quarantine set ≠ the failed adoptions");
+    for &t in &victims {
+        let err = coordinator
+            .route(t, &query_line(t))
+            .expect_err("routing a lost tenant must error, not re-place it");
+        assert!(
+            err.to_string().contains("lost in a failover"),
+            "unexpected routing error: {err}"
+        );
+        assert!(
+            !coordinator.placements().contains_key(&t),
+            "tenant {t} was silently re-placed"
+        );
+    }
+    // Survivors keep routing normally.
+    for &t in &survivors {
+        coordinator
+            .route(t, &query_line(t))
+            .expect("query survivor");
+    }
+
+    // Operator action: declare one tenant recovered — it routes again
+    // (by ring placement, as a fresh registration target), while the
+    // others stay quarantined.
+    let recovered = victims[0];
+    assert!(coordinator.mark_recovered(recovered));
+    assert!(!coordinator.mark_recovered(recovered), "double recovery");
+    let answer = coordinator
+        .route(recovered, &register_line(recovered))
+        .expect("re-register the recovered tenant");
+    assert!(
+        answer.contains("\"verdict\":\"accept\""),
+        "re-register answered {answer}"
+    );
+    for &t in &victims[1..] {
+        coordinator
+            .route(t, &query_line(t))
+            .expect_err("still quarantined");
+    }
+}
+
 #[test]
 fn a_daemon_dead_mid_rebalance_loses_no_tenant() {
     let d0_dir = TempDir::new("deadimport_d0");
